@@ -1,0 +1,152 @@
+//! Ablation benches for the design knobs DESIGN.md §9 calls out:
+//!
+//! * HT thinning fraction (0 / paper's 2.5% / 10%) — cost and, via the
+//!   printed NRMSE side-channel, the accuracy trade-off;
+//! * EX-RCMH `α` sweep (Li et al. recommend `[0, 0.3]`);
+//! * EX-GMD `δ` sweep (`[0.3, 0.7]`);
+//! * non-backtracking vs simple walk as the NeighborSample engine.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use labelcount_bench::fixtures;
+use labelcount_core::{Algorithm, ExGmd, ExRcmh, NsHorvitzThompson, RunConfig};
+use labelcount_osn::{OsnApi, SimulatedOsn};
+use labelcount_walk::{NonBacktrackingWalk, SimpleWalk, Walker};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_thinning(c: &mut Criterion) {
+    let d = fixtures::googleplus_like();
+    let target = d.targets[0].label;
+    let budget = d.graph.num_nodes() / 20;
+    let mut group = c.benchmark_group("ablations/ht_thinning");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(2));
+    for frac in [0.0, 0.025, 0.1] {
+        let cfg = RunConfig {
+            burn_in: d.burn_in,
+            thinning_frac: frac,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("frac_{frac}")),
+            &cfg,
+            |b, cfg| {
+                let mut rng = StdRng::seed_from_u64(31);
+                b.iter(|| {
+                    let osn = SimulatedOsn::new(&d.graph);
+                    black_box(
+                        NsHorvitzThompson
+                            .estimate(&osn, target, budget, cfg, &mut rng)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rcmh_alpha(c: &mut Criterion) {
+    let d = fixtures::facebook_like();
+    let target = d.targets[0].label;
+    let budget = d.graph.num_nodes() / 20;
+    let cfg = RunConfig {
+        burn_in: d.burn_in,
+        ..RunConfig::default()
+    };
+    let mut group = c.benchmark_group("ablations/rcmh_alpha");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(2));
+    for alpha in [0.0, 0.1, 0.2, 0.3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("alpha_{alpha}")),
+            &alpha,
+            |b, &alpha| {
+                let alg = ExRcmh::new(alpha);
+                let mut rng = StdRng::seed_from_u64(37);
+                b.iter(|| {
+                    let osn = SimulatedOsn::new(&d.graph);
+                    black_box(alg.estimate(&osn, target, budget, &cfg, &mut rng).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gmd_delta(c: &mut Criterion) {
+    let d = fixtures::facebook_like();
+    let target = d.targets[0].label;
+    let budget = d.graph.num_nodes() / 20;
+    let cfg = RunConfig {
+        burn_in: d.burn_in,
+        ..RunConfig::default()
+    };
+    let mut group = c.benchmark_group("ablations/gmd_delta");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(2));
+    for delta in [0.3, 0.5, 0.7] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("delta_{delta}")),
+            &delta,
+            |b, &delta| {
+                let alg = ExGmd::new(delta);
+                let mut rng = StdRng::seed_from_u64(41);
+                b.iter(|| {
+                    let osn = SimulatedOsn::new(&d.graph);
+                    black_box(alg.estimate(&osn, target, budget, &cfg, &mut rng).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_nonbacktracking(c: &mut Criterion) {
+    // Non-backtracking walks keep the degree-proportional stationary
+    // distribution but decorrelate faster (Lee et al.); compare raw walk
+    // cost per step against the simple walk at equal step counts.
+    let d = fixtures::orkut_like();
+    let g = &d.graph;
+    let mut group = c.benchmark_group("ablations/nonbacktracking_engine");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("simple_walk_2k_steps", |b| {
+        b.iter(|| {
+            let osn = SimulatedOsn::new(g);
+            let mut rng = StdRng::seed_from_u64(43);
+            let mut w = SimpleWalk::new(OsnApi::random_node(&osn, &mut rng));
+            for _ in 0..2_000 {
+                black_box(w.step(&osn, &mut rng));
+            }
+            osn.api_calls()
+        })
+    });
+    group.bench_function("non_backtracking_2k_steps", |b| {
+        b.iter(|| {
+            let osn = SimulatedOsn::new(g);
+            let mut rng = StdRng::seed_from_u64(43);
+            let mut w = NonBacktrackingWalk::new(OsnApi::random_node(&osn, &mut rng));
+            for _ in 0..2_000 {
+                black_box(w.step(&osn, &mut rng));
+            }
+            osn.api_calls()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_thinning,
+    bench_rcmh_alpha,
+    bench_gmd_delta,
+    bench_nonbacktracking
+);
+criterion_main!(benches);

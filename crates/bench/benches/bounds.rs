@@ -1,0 +1,50 @@
+//! Regenerates the Theorem 4.1–4.5 sample-size bounds (paper Tables
+//! 18–22): full-graph scans computing `F`, `T(u)` and the five closed
+//! forms per dataset.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use labelcount_bench::fixtures;
+use labelcount_core::bounds::{all_bounds, ApproxParams};
+use labelcount_graph::GroundTruth;
+use std::hint::black_box;
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounds_tables18to22");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    for d in fixtures::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(d.name), d, |b, d| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for (i, _) in d.targets.iter().enumerate() {
+                    let gt = GroundTruth::compute(&d.graph, d.targets[i].label);
+                    for v in all_bounds(&d.graph, &gt, ApproxParams::paper()) {
+                        if v.is_finite() {
+                            acc += v;
+                        }
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+
+    // Ground truth alone (the scan the bounds sit on).
+    let mut group = c.benchmark_group("bounds/ground_truth_scan");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
+    for d in [fixtures::facebook_like(), fixtures::livejournal_like()] {
+        group.bench_with_input(BenchmarkId::from_parameter(d.name), d, |b, d| {
+            b.iter(|| black_box(GroundTruth::compute(&d.graph, d.targets[0].label).f))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Benches for the extension estimators (DESIGN.md §2 items 9b/9c):
+//! label-refined wedge/triangle counting (the paper's §6 future work) and
+//! `|V|`/`|E|` estimation via walk collisions.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use labelcount_bench::fixtures;
+use labelcount_core::motifs::{estimate_labeled_triangles, estimate_labeled_wedges};
+use labelcount_core::size::estimate_graph_size;
+use labelcount_graph::motifs::{count_labeled_triangles, count_labeled_wedges, TargetTriple};
+use labelcount_graph::LabelId;
+use labelcount_osn::SimulatedOsn;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn triple() -> TargetTriple {
+    TargetTriple::new(LabelId(1), LabelId(2), LabelId(3))
+}
+
+fn bench_motif_estimators(c: &mut Criterion) {
+    let d = fixtures::pokec_like();
+    let budget = d.graph.num_nodes() / 10;
+    let mut group = c.benchmark_group("extensions/motifs");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(2));
+    group.bench_with_input(BenchmarkId::from_parameter("wedges"), &budget, |b, &k| {
+        let mut rng = StdRng::seed_from_u64(51);
+        b.iter(|| {
+            let osn = SimulatedOsn::new(&d.graph);
+            black_box(estimate_labeled_wedges(&osn, triple(), k, d.burn_in, &mut rng).unwrap())
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("triangles"),
+        &budget,
+        |b, &k| {
+            let mut rng = StdRng::seed_from_u64(53);
+            b.iter(|| {
+                let osn = SimulatedOsn::new(&d.graph);
+                black_box(
+                    estimate_labeled_triangles(&osn, triple(), k, d.burn_in, &mut rng).unwrap(),
+                )
+            })
+        },
+    );
+    group.finish();
+
+    // Exact counters (the evaluation-side full scans).
+    let mut group = c.benchmark_group("extensions/exact_motif_scan");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("wedges", |b| {
+        b.iter(|| black_box(count_labeled_wedges(&d.graph, triple())))
+    });
+    group.bench_function("triangles", |b| {
+        b.iter(|| black_box(count_labeled_triangles(&d.graph, triple())))
+    });
+    group.finish();
+}
+
+fn bench_size_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/size_estimation");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(2));
+    for d in [fixtures::facebook_like(), fixtures::orkut_like()] {
+        let k = d.graph.num_nodes(); // walk length = |V| samples
+        group.bench_with_input(BenchmarkId::from_parameter(d.name), &k, |b, &k| {
+            let mut rng = StdRng::seed_from_u64(57);
+            b.iter(|| {
+                let osn = SimulatedOsn::new(&d.graph);
+                black_box(estimate_graph_size(&osn, k, d.burn_in, &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_motif_estimators, bench_size_estimation);
+criterion_main!(benches);

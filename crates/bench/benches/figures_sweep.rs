@@ -1,0 +1,52 @@
+//! Regenerates the Figure 1–2 computation (NRMSE of the five proposed
+//! estimators vs the relative target-edge count at the 5%|V| budget) at
+//! benchmark scale.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use labelcount_bench::fixtures;
+use labelcount_core::algorithms;
+use labelcount_experiments::datasets::Dataset;
+use labelcount_experiments::runner::{nrmse_sweep, SweepConfig};
+use std::hint::black_box;
+
+/// One frequency sweep: all of the dataset's calibrated targets at the
+/// 5%|V| budget with the five proposed algorithms.
+fn figure_once(d: &Dataset, seed: u64) -> f64 {
+    let cfg = SweepConfig {
+        reps: 5,
+        threads: 4,
+        seed,
+        ..SweepConfig::default()
+    };
+    let budget = d.graph.num_nodes() / 20;
+    let algs = algorithms::proposed();
+    let mut acc = 0.0;
+    for t in &d.targets {
+        let rows = nrmse_sweep(&d.graph, d.burn_in, t.label, t.f, &[budget], &algs, &cfg);
+        acc += rows.iter().map(|r| r.nrmse[0]).sum::<f64>();
+    }
+    acc
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_sweep");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("fig1_orkut"),
+        fixtures::orkut_like(),
+        |b, d| b.iter(|| black_box(figure_once(d, 19))),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("fig2_livejournal"),
+        fixtures::livejournal_like(),
+        |b, d| b.iter(|| black_box(figure_once(d, 23))),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

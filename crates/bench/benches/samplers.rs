@@ -1,0 +1,74 @@
+//! Per-estimate cost of all ten algorithms at a fixed 5%|V| API budget —
+//! the work behind every cell of Tables 4–17.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use labelcount_bench::fixtures;
+use labelcount_core::{algorithms, RunConfig};
+use labelcount_osn::SimulatedOsn;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers/estimate_5pct");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+
+    for d in [fixtures::facebook_like(), fixtures::pokec_like()] {
+        let target = d.targets[0].label;
+        let budget = d.graph.num_nodes() / 20;
+        let cfg = RunConfig {
+            burn_in: d.burn_in,
+            ..RunConfig::default()
+        };
+        for alg in algorithms::all_paper(0.2, 0.5) {
+            group.bench_with_input(
+                BenchmarkId::new(alg.abbrev(), d.name),
+                &budget,
+                |b, &budget| {
+                    let mut rng = StdRng::seed_from_u64(11);
+                    b.iter(|| {
+                        let osn = SimulatedOsn::new(&d.graph);
+                        black_box(alg.estimate(&osn, target, budget, &cfg, &mut rng).unwrap())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Budget scaling of the two proposed samplers (0.5% → 5% of |V|).
+    let d = fixtures::googleplus_like();
+    let target = d.targets[0].label;
+    let cfg = RunConfig {
+        burn_in: d.burn_in,
+        ..RunConfig::default()
+    };
+    let mut group = c.benchmark_group("samplers/budget_scaling");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(2));
+    for pct_half in [1usize, 4, 10] {
+        let budget = (d.graph.num_nodes() * pct_half / 200).max(1);
+        for alg in algorithms::proposed().into_iter().take(2) {
+            group.bench_with_input(
+                BenchmarkId::new(alg.abbrev(), format!("{:.1}pct", pct_half as f64 / 2.0)),
+                &budget,
+                |b, &budget| {
+                    let mut rng = StdRng::seed_from_u64(13);
+                    b.iter(|| {
+                        let osn = SimulatedOsn::new(&d.graph);
+                        black_box(alg.estimate(&osn, target, budget, &cfg, &mut rng).unwrap())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

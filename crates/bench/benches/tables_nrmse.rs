@@ -1,0 +1,51 @@
+//! Regenerates the NRMSE tables (paper Tables 4–17) at benchmark scale:
+//! one target per table family, a reduced sweep per iteration. Timing
+//! these end-to-end sweeps is what predicts full-harness runtimes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use labelcount_bench::fixtures;
+use labelcount_core::algorithms;
+use labelcount_experiments::datasets::Dataset;
+use labelcount_experiments::runner::{nrmse_sweep, SweepConfig};
+use std::hint::black_box;
+
+fn sweep_once(d: &Dataset, target_idx: usize, seed: u64) -> f64 {
+    let t = &d.targets[target_idx.min(d.targets.len() - 1)];
+    let cfg = SweepConfig {
+        reps: 5,
+        threads: 4,
+        seed,
+        ..SweepConfig::default()
+    };
+    let sizes = [d.graph.num_nodes() / 40, d.graph.num_nodes() / 20];
+    let algs = algorithms::all_paper(cfg.alpha, cfg.delta);
+    let rows = nrmse_sweep(&d.graph, d.burn_in, t.label, t.f, &sizes, &algs, &cfg);
+    rows.iter().map(|r| r.nrmse.iter().sum::<f64>()).sum()
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables_nrmse");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+
+    // One representative per table family.
+    let cases: [(&str, &Dataset, usize); 5] = [
+        ("table4_facebook", fixtures::facebook_like(), 0),
+        ("table5_googleplus", fixtures::googleplus_like(), 0),
+        ("table6to9_pokec", fixtures::pokec_like(), 0),
+        ("table10to13_orkut", fixtures::orkut_like(), 0),
+        ("table14to17_livejournal", fixtures::livejournal_like(), 0),
+    ];
+    for (name, d, idx) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &idx, |b, &idx| {
+            b.iter(|| black_box(sweep_once(d, idx, 17)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Walk-step throughput for every walker, on the OSN and on the implicit
+//! line graph — the substrate cost behind all tables.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use labelcount_bench::fixtures;
+use labelcount_osn::{LineGraphView, LineNode, OsnApi, SimulatedOsn};
+use labelcount_walk::{
+    GmdWalk, MaxDegreeWalk, MetropolisHastingsWalk, NonBacktrackingWalk, RcmhWalk, SimpleWalk,
+    Walker,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const STEPS: usize = 1_000;
+
+fn bench_walks(c: &mut Criterion) {
+    let d = fixtures::facebook_like();
+    let g = &d.graph;
+    let mut group = c.benchmark_group("walks/osn");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+
+    group.bench_function("simple", |b| {
+        b.iter(|| {
+            let osn = SimulatedOsn::new(g);
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut w = SimpleWalk::new(OsnApi::random_node(&osn, &mut rng));
+            for _ in 0..STEPS {
+                black_box(w.step(&osn, &mut rng));
+            }
+        })
+    });
+    group.bench_function("metropolis_hastings", |b| {
+        b.iter(|| {
+            let osn = SimulatedOsn::new(g);
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut w = MetropolisHastingsWalk::new(OsnApi::random_node(&osn, &mut rng));
+            for _ in 0..STEPS {
+                black_box(w.step(&osn, &mut rng));
+            }
+        })
+    });
+    group.bench_function("max_degree", |b| {
+        b.iter(|| {
+            let osn = SimulatedOsn::new(g);
+            let mut rng = StdRng::seed_from_u64(3);
+            let start = OsnApi::random_node(&osn, &mut rng);
+            let mut w = MaxDegreeWalk::new(&osn, start);
+            for _ in 0..STEPS {
+                black_box(w.step(&osn, &mut rng));
+            }
+        })
+    });
+    group.bench_function("rcmh_alpha02", |b| {
+        b.iter(|| {
+            let osn = SimulatedOsn::new(g);
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut w = RcmhWalk::new(OsnApi::random_node(&osn, &mut rng), 0.2);
+            for _ in 0..STEPS {
+                black_box(w.step(&osn, &mut rng));
+            }
+        })
+    });
+    group.bench_function("gmd_delta05", |b| {
+        b.iter(|| {
+            let osn = SimulatedOsn::new(g);
+            let mut rng = StdRng::seed_from_u64(5);
+            let start = OsnApi::random_node(&osn, &mut rng);
+            let mut w = GmdWalk::with_delta(&osn, start, 0.5);
+            for _ in 0..STEPS {
+                black_box(w.step(&osn, &mut rng));
+            }
+        })
+    });
+    group.bench_function("non_backtracking", |b| {
+        b.iter(|| {
+            let osn = SimulatedOsn::new(g);
+            let mut rng = StdRng::seed_from_u64(6);
+            let mut w = NonBacktrackingWalk::new(OsnApi::random_node(&osn, &mut rng));
+            for _ in 0..STEPS {
+                black_box(w.step(&osn, &mut rng));
+            }
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("walks/line_graph");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("simple", |b| {
+        b.iter(|| {
+            let osn = SimulatedOsn::new(g);
+            let lg = LineGraphView::new(&osn);
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut w = SimpleWalk::<LineNode>::new(lg.random_start(&mut rng));
+            for _ in 0..STEPS {
+                black_box(w.step(&lg, &mut rng));
+            }
+        })
+    });
+    group.bench_function("metropolis_hastings", |b| {
+        b.iter(|| {
+            let osn = SimulatedOsn::new(g);
+            let lg = LineGraphView::new(&osn);
+            let mut rng = StdRng::seed_from_u64(8);
+            let mut w = MetropolisHastingsWalk::<LineNode>::new(lg.random_start(&mut rng));
+            for _ in 0..STEPS {
+                black_box(w.step(&lg, &mut rng));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_walks);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Lazily built miniature datasets shared by the bench targets.
+//!
+//! Benchmarks need stable, quickly built inputs: each fixture is a scaled
+//! surrogate dataset (same generators and label calibration as the full
+//! harness) built once per process.
+
+use std::sync::OnceLock;
+
+use labelcount_experiments::datasets::{build, Dataset, DatasetKind};
+
+/// Scale used for bench datasets (≈ 1–3k nodes each).
+pub const BENCH_SCALE: f64 = 0.02;
+
+/// Seed used for bench datasets.
+pub const BENCH_SEED: u64 = 2018;
+
+fn cell(kind: DatasetKind, slot: &'static OnceLock<Dataset>) -> &'static Dataset {
+    slot.get_or_init(|| build(kind, BENCH_SCALE, BENCH_SEED))
+}
+
+/// The miniature facebook-like dataset (binary labels, abundant target).
+pub fn facebook_like() -> &'static Dataset {
+    static SLOT: OnceLock<Dataset> = OnceLock::new();
+    cell(DatasetKind::FacebookLike, &SLOT)
+}
+
+/// The miniature googleplus-like dataset.
+pub fn googleplus_like() -> &'static Dataset {
+    static SLOT: OnceLock<Dataset> = OnceLock::new();
+    cell(DatasetKind::GooglePlusLike, &SLOT)
+}
+
+/// The miniature pokec-like dataset (location labels, rare targets).
+pub fn pokec_like() -> &'static Dataset {
+    static SLOT: OnceLock<Dataset> = OnceLock::new();
+    cell(DatasetKind::PokecLike, &SLOT)
+}
+
+/// The miniature orkut-like dataset (degree-bucket labels).
+pub fn orkut_like() -> &'static Dataset {
+    static SLOT: OnceLock<Dataset> = OnceLock::new();
+    cell(DatasetKind::OrkutLike, &SLOT)
+}
+
+/// The miniature livejournal-like dataset.
+pub fn livejournal_like() -> &'static Dataset {
+    static SLOT: OnceLock<Dataset> = OnceLock::new();
+    cell(DatasetKind::LiveJournalLike, &SLOT)
+}
+
+/// All five fixtures, in Table 1 order.
+pub fn all() -> [&'static Dataset; 5] {
+    [
+        facebook_like(),
+        googleplus_like(),
+        pokec_like(),
+        orkut_like(),
+        livejournal_like(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build_and_have_targets() {
+        for d in all() {
+            assert!(d.graph.num_nodes() > 0);
+            assert!(!d.targets.is_empty(), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn fixtures_are_cached() {
+        let a = facebook_like() as *const Dataset;
+        let b = facebook_like() as *const Dataset;
+        assert_eq!(a, b);
+    }
+}

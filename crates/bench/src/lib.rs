@@ -1,0 +1,16 @@
+//! Shared fixtures for the labelcount Criterion benchmarks.
+//!
+//! Each bench target under `benches/` regenerates one family of the
+//! paper's evaluation artifacts at benchmark-friendly scale (DESIGN.md §5
+//! maps tables/figures to targets):
+//!
+//! | bench target | paper artifact |
+//! |--------------|----------------|
+//! | `walks` | walk-step throughput (substrate for everything) |
+//! | `samplers` | per-estimate cost of all ten algorithms |
+//! | `tables_nrmse` | Tables 4–17 (NRMSE sweeps per dataset family) |
+//! | `figures_sweep` | Figures 1–2 (NRMSE vs relative target count) |
+//! | `bounds` | Tables 18–22 (Theorem 4.1–4.5 bounds) |
+//! | `ablations` | thinning/α/δ/non-backtracking design knobs |
+
+pub mod fixtures;

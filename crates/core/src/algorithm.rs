@@ -1,0 +1,153 @@
+//! The uniform algorithm interface and the paper's algorithm roster.
+
+use labelcount_graph::TargetLabel;
+use labelcount_osn::SimulatedOsn;
+use rand::RngCore;
+
+use crate::error::EstimateError;
+
+/// Shared run parameters (everything except the sample size, which the
+/// experiments sweep).
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Burn-in steps before sampling begins — the mixing time of the walk.
+    /// The paper measures `T(10⁻³)` per dataset and discards everything
+    /// before it; [`labelcount_walk::mixing::default_burn_in`] provides a
+    /// fallback when computing `T(ε)` is too expensive.
+    pub burn_in: usize,
+    /// Thinning for the Horvitz–Thompson estimators: when positive, only
+    /// every `r`-th draw (`r = thinning_frac · k`) enters the HT sample
+    /// set, the paper's §4.1.3/§4.2.3 strategy (after Hardiman & Katzir)
+    /// for approximately independent draws. The default is the paper's
+    /// `r = 2.5%·k`; without it, correlation between consecutive walk
+    /// samples deflates the distinct count and biases HT downward (the
+    /// thinning ablation bench demonstrates this).
+    pub thinning_frac: f64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            burn_in: 1_000,
+            thinning_frac: 0.0,
+        }
+    }
+}
+
+impl RunConfig {
+    /// The thinning interval in walk steps for sample size `k`.
+    pub fn thinning_interval(&self, k: usize) -> usize {
+        ((self.thinning_frac * k as f64).round() as usize).max(1)
+    }
+}
+
+/// An estimator of the number of target edges `F`, runnable against a
+/// restricted-access OSN.
+///
+/// Object-safe so the harness can hold `Vec<Box<dyn Algorithm>>` and sweep
+/// the paper's ten algorithms uniformly. `Sync + Send` so replicated
+/// simulations can share one instance across worker threads (all provided
+/// implementations are stateless).
+pub trait Algorithm: Sync + Send {
+    /// The abbreviation used in the paper's Table 2 (e.g.
+    /// `"NeighborSample-HH"`, `"EX-MHRW"`).
+    fn abbrev(&self) -> &'static str;
+
+    /// Estimates `F` for `target` under an API-call `budget` (the paper's
+    /// tables quote budgets as a share of `|V|`, e.g. 5%|V| API calls).
+    /// Burn-in is budget-free; every neighbor-list and profile fetch after
+    /// it costs one call.
+    fn estimate(
+        &self,
+        osn: &SimulatedOsn<'_>,
+        target: TargetLabel,
+        budget: usize,
+        cfg: &RunConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<f64, EstimateError>;
+}
+
+/// Constructors for the paper's algorithm roster.
+pub mod algorithms {
+    use super::Algorithm;
+    use crate::baselines::{ExGmd, ExMdrw, ExMhrw, ExRcmh, ExRw};
+    use crate::neighbor_exploration::{NeHansenHurwitz, NeHorvitzThompson, NeReweighted};
+    use crate::neighbor_sample::{NsHansenHurwitz, NsHorvitzThompson};
+
+    /// The five algorithms proposed by the paper (§4).
+    pub fn proposed() -> Vec<Box<dyn Algorithm>> {
+        vec![
+            Box::new(NsHansenHurwitz),
+            Box::new(NsHorvitzThompson),
+            Box::new(NeHansenHurwitz),
+            Box::new(NeHorvitzThompson),
+            Box::new(NeReweighted),
+        ]
+    }
+
+    /// The five baseline adaptations of Li et al. (§5.1). `alpha` controls
+    /// EX-RCMH (paper: `α ∈ [0, 0.3]`), `delta` controls EX-GMD (paper:
+    /// `δ ∈ [0.3, 0.7]`).
+    pub fn baselines(alpha: f64, delta: f64) -> Vec<Box<dyn Algorithm>> {
+        vec![
+            Box::new(ExMdrw),
+            Box::new(ExMhrw),
+            Box::new(ExRw),
+            Box::new(ExRcmh::new(alpha)),
+            Box::new(ExGmd::new(delta)),
+        ]
+    }
+
+    /// All ten algorithms of the paper's Table 2, in the row order of the
+    /// result tables.
+    pub fn all_paper(alpha: f64, delta: f64) -> Vec<Box<dyn Algorithm>> {
+        let mut v = proposed();
+        v.extend(baselines(alpha, delta));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thinning_interval_follows_fraction() {
+        let cfg = RunConfig {
+            burn_in: 0,
+            thinning_frac: 0.025,
+        };
+        assert_eq!(cfg.thinning_interval(1_000), 25);
+        assert_eq!(cfg.thinning_interval(40), 1);
+        assert_eq!(cfg.thinning_interval(1), 1); // never zero
+        assert_eq!(cfg.thinning_interval(200), 5);
+    }
+
+    #[test]
+    fn roster_matches_table2() {
+        let all = algorithms::all_paper(0.2, 0.5);
+        let abbrevs: Vec<&str> = all.iter().map(|a| a.abbrev()).collect();
+        assert_eq!(
+            abbrevs,
+            vec![
+                "NeighborSample-HH",
+                "NeighborSample-HT",
+                "NeighborExploration-HH",
+                "NeighborExploration-HT",
+                "NeighborExploration-RW",
+                "EX-MDRW",
+                "EX-MHRW",
+                "EX-RW",
+                "EX-RCMH",
+                "EX-GMD",
+            ]
+        );
+    }
+
+    #[test]
+    fn default_config_keeps_all_draws() {
+        let cfg = RunConfig::default();
+        assert_eq!(cfg.thinning_frac, 0.0);
+        assert!(cfg.burn_in > 0);
+    }
+}

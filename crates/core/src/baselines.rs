@@ -1,0 +1,454 @@
+//! Baseline adaptations (paper §5.1): node-count estimators of Li et al.
+//! (ICDE 2015) run on the implicit line graph `G'`.
+//!
+//! The transformation: each node of `G'` is an edge of `G`, two nodes of
+//! `G'` are adjacent iff their edges share an endpoint. Target edges of `G`
+//! are exactly target nodes of `G'`, so any unbiased estimator of the
+//! *relative count* of target nodes, multiplied by `|H| = |E|`, estimates
+//! `F`. Five estimators are adapted:
+//!
+//! | Abbrev   | walk on `G'`          | stationary dist.      | correction            |
+//! |----------|-----------------------|-----------------------|-----------------------|
+//! | EX-RW    | simple                | `∝ d'(e)`             | weights `1/d'(e)`     |
+//! | EX-MHRW  | Metropolis–Hastings   | uniform               | none                  |
+//! | EX-MDRW  | maximum-degree (lazy) | uniform               | none                  |
+//! | EX-RCMH  | RCMH(α)               | `∝ d'(e)^{1−α}`       | weights `d'(e)^{α−1}` |
+//! | EX-GMD   | GMD(c = δ·d'_max)     | `∝ max(d'(e), c)`     | weights `1/max(d',c)` |
+
+use labelcount_graph::TargetLabel;
+use labelcount_osn::{LineGraphView, LineNode, OsnApi, SimulatedOsn};
+use labelcount_walk::{
+    GmdWalk, MaxDegreeWalk, MetropolisHastingsWalk, RcmhWalk, SimpleWalk, Walker,
+};
+use rand::RngCore;
+
+use crate::algorithm::{Algorithm, RunConfig};
+use crate::error::EstimateError;
+
+/// A line-graph view over the standard OSN simulation.
+type Lg<'a, 'g> = LineGraphView<'a, SimulatedOsn<'g>>;
+
+/// One observed line node: target flag and line degree.
+struct LineSample {
+    is_target: bool,
+    degree: usize,
+}
+
+/// Runs `walker` on the line graph under an API-call budget (burn-in is
+/// budget-free, as for the proposed samplers), recording target flags and
+/// line degrees. Each line-graph step costs several underlying calls
+/// (endpoint neighbor lists, proposal degrees, endpoint profiles), so the
+/// baselines collect fewer samples per budget than NeighborSample — the
+/// price of the `G'` transformation.
+fn collect_line_samples<W>(
+    lg: &Lg<'_, '_>,
+    mut walker: W,
+    target: TargetLabel,
+    budget: usize,
+    burn_in: usize,
+    rng: &mut dyn RngCore,
+) -> Result<Vec<LineSample>, EstimateError>
+where
+    W: for<'a, 'g> Walker<Lg<'a, 'g>>,
+{
+    if budget == 0 {
+        return Err(EstimateError::ZeroSampleSize);
+    }
+    walker.burn_in(lg, burn_in, rng);
+    let spent0 = lg.api().api_calls();
+    let mut samples = Vec::new();
+    loop {
+        if lg.api().budget_exhausted() {
+            return Err(EstimateError::BudgetExhausted {
+                collected: samples.len(),
+            });
+        }
+        let e = walker.step(lg, rng);
+        samples.push(LineSample {
+            is_target: lg.is_target(e, target),
+            degree: lg.degree(e),
+        });
+        if (lg.api().api_calls() - spent0) as usize >= budget {
+            break;
+        }
+    }
+    Ok(samples)
+}
+
+/// Guards against OSNs where the line-graph walk cannot start.
+fn check_nonempty(osn: &SimulatedOsn<'_>) -> Result<(), EstimateError> {
+    if osn.num_nodes() == 0 || osn.num_edges() == 0 {
+        Err(EstimateError::EmptyGraph)
+    } else {
+        Ok(())
+    }
+}
+
+/// Weighted relative-count estimate scaled to a count:
+/// `F̂ = |E| · Σ I(eᵢ)·wᵢ / Σ wᵢ`.
+fn weighted_estimate(samples: &[LineSample], w: impl Fn(&LineSample) -> f64, e: usize) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for s in samples {
+        let wi = w(s);
+        den += wi;
+        if s.is_target {
+            num += wi;
+        }
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        e as f64 * num / den
+    }
+}
+
+/// EX-RW: simple walk on `G'` + re-weighted estimator (weights `1/d'`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExRw;
+
+impl Algorithm for ExRw {
+    fn abbrev(&self) -> &'static str {
+        "EX-RW"
+    }
+
+    fn estimate(
+        &self,
+        osn: &SimulatedOsn<'_>,
+        target: TargetLabel,
+        budget: usize,
+        cfg: &RunConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<f64, EstimateError> {
+        check_nonempty(osn)?;
+        let lg = LineGraphView::new(osn);
+        let start = lg.random_start(rng);
+        let samples = collect_line_samples(
+            &lg,
+            SimpleWalk::<LineNode>::new(start),
+            target,
+            budget,
+            cfg.burn_in,
+            rng,
+        )?;
+        Ok(weighted_estimate(
+            &samples,
+            |s| {
+                if s.degree == 0 {
+                    0.0
+                } else {
+                    1.0 / s.degree as f64
+                }
+            },
+            osn.num_edges(),
+        ))
+    }
+}
+
+/// EX-MHRW: Metropolis–Hastings walk on `G'`; uniform stationary
+/// distribution, so the plain hit fraction scales to `F̂`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExMhrw;
+
+impl Algorithm for ExMhrw {
+    fn abbrev(&self) -> &'static str {
+        "EX-MHRW"
+    }
+
+    fn estimate(
+        &self,
+        osn: &SimulatedOsn<'_>,
+        target: TargetLabel,
+        budget: usize,
+        cfg: &RunConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<f64, EstimateError> {
+        check_nonempty(osn)?;
+        let lg = LineGraphView::new(osn);
+        let start = lg.random_start(rng);
+        let samples = collect_line_samples(
+            &lg,
+            MetropolisHastingsWalk::<LineNode>::new(start),
+            target,
+            budget,
+            cfg.burn_in,
+            rng,
+        )?;
+        let hits = samples.iter().filter(|s| s.is_target).count();
+        Ok(osn.num_edges() as f64 * hits as f64 / samples.len() as f64)
+    }
+}
+
+/// EX-MDRW: maximum-degree (lazy) walk on `G'`; uniform stationary
+/// distribution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExMdrw;
+
+impl Algorithm for ExMdrw {
+    fn abbrev(&self) -> &'static str {
+        "EX-MDRW"
+    }
+
+    fn estimate(
+        &self,
+        osn: &SimulatedOsn<'_>,
+        target: TargetLabel,
+        budget: usize,
+        cfg: &RunConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<f64, EstimateError> {
+        check_nonempty(osn)?;
+        let lg = LineGraphView::new(osn);
+        let start = lg.random_start(rng);
+        let walker = MaxDegreeWalk::<LineNode>::with_bound(start, lg.max_degree_bound());
+        let samples = collect_line_samples(&lg, walker, target, budget, cfg.burn_in, rng)?;
+        let hits = samples.iter().filter(|s| s.is_target).count();
+        Ok(osn.num_edges() as f64 * hits as f64 / samples.len() as f64)
+    }
+}
+
+/// EX-RCMH: rejection-controlled MH walk on `G'` with exponent `α`;
+/// stationary `∝ d'^{1−α}`, corrected with weights `d'^{α−1}`.
+#[derive(Clone, Copy, Debug)]
+pub struct ExRcmh {
+    alpha: f64,
+}
+
+impl ExRcmh {
+    /// Creates the baseline with control parameter `alpha ∈ [0, 1]`
+    /// (Li et al. recommend `[0, 0.3]`).
+    pub fn new(alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        ExRcmh { alpha }
+    }
+
+    /// The control parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Algorithm for ExRcmh {
+    fn abbrev(&self) -> &'static str {
+        "EX-RCMH"
+    }
+
+    fn estimate(
+        &self,
+        osn: &SimulatedOsn<'_>,
+        target: TargetLabel,
+        budget: usize,
+        cfg: &RunConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<f64, EstimateError> {
+        check_nonempty(osn)?;
+        let lg = LineGraphView::new(osn);
+        let start = lg.random_start(rng);
+        let walker = RcmhWalk::<LineNode>::new(start, self.alpha);
+        let alpha = self.alpha;
+        let samples = collect_line_samples(&lg, walker, target, budget, cfg.burn_in, rng)?;
+        Ok(weighted_estimate(
+            &samples,
+            |s| {
+                if s.degree == 0 {
+                    0.0
+                } else {
+                    (s.degree as f64).powf(alpha - 1.0)
+                }
+            },
+            osn.num_edges(),
+        ))
+    }
+}
+
+/// EX-GMD: general maximum-degree walk on `G'` with virtual degree
+/// `c = δ · d'_max`; stationary `∝ max(d', c)`, corrected with weights
+/// `1/max(d', c)`.
+#[derive(Clone, Copy, Debug)]
+pub struct ExGmd {
+    delta: f64,
+}
+
+impl ExGmd {
+    /// Creates the baseline with `delta ∈ (0, 1]` (Li et al. recommend
+    /// `[0.3, 0.7]`).
+    pub fn new(delta: f64) -> Self {
+        assert!(
+            delta > 0.0 && delta <= 1.0,
+            "delta must be in (0, 1], got {delta}"
+        );
+        ExGmd { delta }
+    }
+
+    /// The control parameter.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+}
+
+impl Algorithm for ExGmd {
+    fn abbrev(&self) -> &'static str {
+        "EX-GMD"
+    }
+
+    fn estimate(
+        &self,
+        osn: &SimulatedOsn<'_>,
+        target: TargetLabel,
+        budget: usize,
+        cfg: &RunConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<f64, EstimateError> {
+        check_nonempty(osn)?;
+        let lg = LineGraphView::new(osn);
+        let start = lg.random_start(rng);
+        let c = ((lg.max_degree_bound() as f64 * self.delta).round() as usize).max(1);
+        let walker = GmdWalk::<LineNode>::new(start, c);
+        let samples = collect_line_samples(&lg, walker, target, budget, cfg.burn_in, rng)?;
+        Ok(weighted_estimate(
+            &samples,
+            |s| 1.0 / s.degree.max(c) as f64,
+            osn.num_edges(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::algorithms;
+    use labelcount_graph::gen::barabasi_albert;
+    use labelcount_graph::labels::{assign_binary_labels, with_labels};
+    use labelcount_graph::{GraphBuilder, GroundTruth, LabelId, LabeledGraph, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn labeled_ba(seed: u64, n: usize, m: usize, p1: f64) -> LabeledGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = barabasi_albert(n, m, &mut rng);
+        let mut labels = vec![Vec::new(); n];
+        assign_binary_labels(&mut labels, p1, &mut rng);
+        with_labels(&g, &labels)
+    }
+
+    fn target() -> TargetLabel {
+        TargetLabel::new(LabelId(1), LabelId(2))
+    }
+
+    fn mean_estimate(
+        alg: &dyn Algorithm,
+        g: &LabeledGraph,
+        k: usize,
+        reps: usize,
+        seed: u64,
+    ) -> f64 {
+        let cfg = RunConfig {
+            burn_in: 150,
+            thinning_frac: 0.025,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sum = 0.0;
+        for _ in 0..reps {
+            let osn = SimulatedOsn::new(g);
+            sum += alg.estimate(&osn, target(), k, &cfg, &mut rng).unwrap();
+        }
+        sum / reps as f64
+    }
+
+    #[test]
+    fn all_five_baselines_approximately_unbiased() {
+        let g = labeled_ba(41, 300, 3, 0.4);
+        let gt = GroundTruth::compute(&g, target());
+        assert!(gt.f > 0);
+        for alg in algorithms::baselines(0.2, 0.5) {
+            let mean = mean_estimate(alg.as_ref(), &g, 400, 60, 42);
+            let rel = (mean - gt.f as f64).abs() / gt.f as f64;
+            assert!(
+                rel < 0.25,
+                "{}: mean {mean} vs F {} (rel {rel})",
+                alg.abbrev(),
+                gt.f
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_walk_baselines_exact_on_all_target_graph() {
+        // Cycle where all nodes have both labels: every edge is a target
+        // edge, so the hit fraction is exactly 1 and EX-MHRW/EX-MDRW
+        // return exactly |E|.
+        let mut b = GraphBuilder::new(6);
+        for i in 0..6u32 {
+            b.add_edge(NodeId(i), NodeId((i + 1) % 6));
+            b.set_labels(NodeId(i), &[LabelId(1), LabelId(2)]);
+        }
+        let g = b.build();
+        let cfg = RunConfig {
+            burn_in: 30,
+            thinning_frac: 0.025,
+        };
+        let mut rng = StdRng::seed_from_u64(43);
+        let osn = SimulatedOsn::new(&g);
+        for alg in [&ExMhrw as &dyn Algorithm, &ExMdrw] {
+            let est = alg.estimate(&osn, target(), 60, &cfg, &mut rng).unwrap();
+            assert_eq!(est, g.num_edges() as f64, "{}", alg.abbrev());
+        }
+    }
+
+    #[test]
+    fn zero_target_edges_estimates_zero() {
+        let g = labeled_ba(44, 150, 3, 1.0);
+        let cfg = RunConfig::default();
+        let mut rng = StdRng::seed_from_u64(45);
+        let osn = SimulatedOsn::new(&g);
+        for alg in algorithms::baselines(0.2, 0.5) {
+            let est = alg.estimate(&osn, target(), 100, &cfg, &mut rng).unwrap();
+            assert_eq!(est, 0.0, "{}", alg.abbrev());
+        }
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let g = GraphBuilder::new(0).build();
+        let osn = SimulatedOsn::new(&g);
+        let cfg = RunConfig::default();
+        let mut rng = StdRng::seed_from_u64(46);
+        for alg in algorithms::baselines(0.2, 0.5) {
+            assert_eq!(
+                alg.estimate(&osn, target(), 10, &cfg, &mut rng)
+                    .unwrap_err(),
+                EstimateError::EmptyGraph,
+                "{}",
+                alg.abbrev()
+            );
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let g = labeled_ba(47, 100, 2, 0.5);
+        let osn = SimulatedOsn::new(&g);
+        osn.set_budget(50);
+        let cfg = RunConfig {
+            burn_in: 10,
+            thinning_frac: 0.025,
+        };
+        let mut rng = StdRng::seed_from_u64(48);
+        match ExRw.estimate(&osn, target(), 10_000, &cfg, &mut rng) {
+            Err(EstimateError::BudgetExhausted { .. }) => {}
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rcmh_invalid_alpha() {
+        ExRcmh::new(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn gmd_invalid_delta() {
+        ExGmd::new(1.2);
+    }
+}

@@ -1,0 +1,244 @@
+//! Sample-size bounds for `(ε, δ)`-approximation (Theorems 4.1–4.5).
+//!
+//! Each bound evaluates the paper's closed form from exact graph
+//! quantities (`F`, `T(u)`, `d(u)`), so computing them requires full graph
+//! access — they are evaluation-side results (the paper's Tables 18–22),
+//! not something an estimator could compute online.
+//!
+//! All bounds return `f64::INFINITY` when `F = 0` (no sample size can
+//! `(ε,δ)`-approximate a zero count multiplicatively).
+
+use labelcount_graph::{GroundTruth, LabeledGraph};
+
+/// Accuracy target: `P[(1−ε)F < F̂ < (1+ε)F] ≥ 1 − δ` (Eq. 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ApproxParams {
+    /// Relative error `ε ∈ (0, 1]`.
+    pub epsilon: f64,
+    /// Failure probability `δ ∈ (0, 1)`.
+    pub delta: f64,
+}
+
+impl ApproxParams {
+    /// Creates the parameter pair, validating the theorem preconditions.
+    ///
+    /// # Panics
+    /// Panics if `ε ∉ (0, 1]` or `δ ∉ (0, 1)`.
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon <= 1.0, "need 0 < ε ≤ 1");
+        assert!(delta > 0.0 && delta < 1.0, "need 0 < δ < 1");
+        ApproxParams { epsilon, delta }
+    }
+
+    /// The paper's Tables 18–22 setting: `(0.1, 0.1)`.
+    pub fn paper() -> Self {
+        ApproxParams::new(0.1, 0.1)
+    }
+}
+
+/// Theorem 4.1 — NeighborSample + Hansen–Hurwitz:
+/// `k ≥ (Σ_{X∈E} |E|·I(X) − F²) / (ε²·F²·δ) = (|E|·F − F²) / (ε²·F²·δ)`.
+pub fn ns_hh_bound(g: &LabeledGraph, gt: &GroundTruth, p: ApproxParams) -> f64 {
+    let f = gt.f as f64;
+    if f == 0.0 {
+        return f64::INFINITY;
+    }
+    let e = g.num_edges() as f64;
+    ((e * f - f * f) / (p.epsilon * p.epsilon * f * f * p.delta)).max(1.0)
+}
+
+/// Theorem 4.2 — NeighborSample + Horvitz–Thompson:
+/// `k ≥ max_{e∈E} log((I(e)² + B)/B) / log(1/A(e))` with `A(e) = 1 − 1/|E|`
+/// and `B = δ·ε²·F²/|E|`. Since `I ∈ {0, 1}` the max is attained at any
+/// target edge.
+pub fn ns_ht_bound(g: &LabeledGraph, gt: &GroundTruth, p: ApproxParams) -> f64 {
+    let f = gt.f as f64;
+    if f == 0.0 {
+        return f64::INFINITY;
+    }
+    let e = g.num_edges() as f64;
+    let a = 1.0 - 1.0 / e;
+    let b = p.delta * p.epsilon * p.epsilon * f * f / e;
+    (((1.0 + b) / b).ln() / (1.0 / a).ln()).max(1.0)
+}
+
+/// Theorem 4.3 — NeighborExploration + Hansen–Hurwitz:
+/// `k ≥ (Σ_u 2|E|·T(u)²/d(u) − 4F²) / (4·ε²·F²·δ)`.
+pub fn ne_hh_bound(g: &LabeledGraph, gt: &GroundTruth, p: ApproxParams) -> f64 {
+    let f = gt.f as f64;
+    if f == 0.0 {
+        return f64::INFINITY;
+    }
+    let e = g.num_edges() as f64;
+    let sum: f64 = g
+        .nodes()
+        .filter(|&u| gt.t[u.index()] > 0)
+        .map(|u| {
+            let t = gt.t[u.index()] as f64;
+            2.0 * e * t * t / g.degree(u) as f64
+        })
+        .sum();
+    ((sum - 4.0 * f * f) / (4.0 * p.epsilon * p.epsilon * f * f * p.delta)).max(1.0)
+}
+
+/// Theorem 4.4 — NeighborExploration + Horvitz–Thompson:
+/// `k ≥ max_{y∈V} log((T(y)² + B)/B) / log(1/A(y))` with
+/// `A(y) = 1 − d(y)/2|E|` and `B = 4·δ·ε²·F²/|V|`.
+pub fn ne_ht_bound(g: &LabeledGraph, gt: &GroundTruth, p: ApproxParams) -> f64 {
+    let f = gt.f as f64;
+    if f == 0.0 {
+        return f64::INFINITY;
+    }
+    let two_e = g.degree_sum() as f64;
+    let b = 4.0 * p.delta * p.epsilon * p.epsilon * f * f / g.num_nodes() as f64;
+    let mut worst: f64 = 1.0;
+    for u in g.nodes() {
+        let t = gt.t[u.index()] as f64;
+        if t == 0.0 {
+            continue; // log(B/B) = 0 contributes nothing
+        }
+        let a = 1.0 - g.degree(u) as f64 / two_e;
+        let k = ((t * t + b) / b).ln() / (1.0 / a).ln();
+        worst = worst.max(k);
+    }
+    worst
+}
+
+/// Theorem 4.5 — NeighborExploration + Re-weighted:
+/// `k ≥ max{ 18·(Σ_y T(y)²/π_y − 4F²) / (4·ε²·F²·δ),
+///           18·(Σ_y 1/π_y − |V|²) / (ε²·|V|²·δ) }`
+/// with `π_y = d(y)/2|E|`.
+pub fn ne_rw_bound(g: &LabeledGraph, gt: &GroundTruth, p: ApproxParams) -> f64 {
+    let f = gt.f as f64;
+    if f == 0.0 {
+        return f64::INFINITY;
+    }
+    let two_e = g.degree_sum() as f64;
+    let n = g.num_nodes() as f64;
+    let mut sum_t = 0.0f64;
+    let mut sum_inv_pi = 0.0f64;
+    for u in g.nodes() {
+        let d = g.degree(u) as f64;
+        if d == 0.0 {
+            continue;
+        }
+        let pi = d / two_e;
+        sum_inv_pi += 1.0 / pi;
+        let t = gt.t[u.index()] as f64;
+        if t > 0.0 {
+            sum_t += t * t / pi;
+        }
+    }
+    let k1 = 18.0 * (sum_t - 4.0 * f * f) / (4.0 * p.epsilon * p.epsilon * f * f * p.delta);
+    let k2 = 18.0 * (sum_inv_pi - n * n) / (p.epsilon * p.epsilon * n * n * p.delta);
+    k1.max(k2).max(1.0)
+}
+
+/// All five bounds in the column order of the paper's Tables 18–22:
+/// `[NS-HH, NS-HT, NE-HH, NE-HT, NE-RW]`.
+pub fn all_bounds(g: &LabeledGraph, gt: &GroundTruth, p: ApproxParams) -> [f64; 5] {
+    [
+        ns_hh_bound(g, gt, p),
+        ns_ht_bound(g, gt, p),
+        ne_hh_bound(g, gt, p),
+        ne_ht_bound(g, gt, p),
+        ne_rw_bound(g, gt, p),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use labelcount_graph::gen::barabasi_albert;
+    use labelcount_graph::labels::{assign_binary_labels, with_labels};
+    use labelcount_graph::{LabelId, TargetLabel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture(p1: f64) -> (labelcount_graph::LabeledGraph, GroundTruth) {
+        let mut rng = StdRng::seed_from_u64(61);
+        let g = barabasi_albert(500, 4, &mut rng);
+        let mut labels = vec![Vec::new(); g.num_nodes()];
+        assign_binary_labels(&mut labels, p1, &mut rng);
+        let g = with_labels(&g, &labels);
+        let gt = GroundTruth::compute(&g, TargetLabel::new(LabelId(1), LabelId(2)));
+        (g, gt)
+    }
+
+    #[test]
+    fn bounds_positive_and_finite_when_targets_exist() {
+        let (g, gt) = fixture(0.4);
+        assert!(gt.f > 0);
+        for (i, b) in all_bounds(&g, &gt, ApproxParams::paper())
+            .iter()
+            .enumerate()
+        {
+            assert!(b.is_finite() && *b >= 1.0, "bound {i} = {b}");
+        }
+    }
+
+    #[test]
+    fn zero_f_gives_infinite_bounds() {
+        let (g, gt) = fixture(1.0);
+        assert_eq!(gt.f, 0);
+        for b in all_bounds(&g, &gt, ApproxParams::paper()) {
+            assert!(b.is_infinite());
+        }
+    }
+
+    #[test]
+    fn bounds_shrink_with_looser_accuracy() {
+        let (g, gt) = fixture(0.4);
+        let tight = ApproxParams::new(0.05, 0.05);
+        let loose = ApproxParams::new(0.3, 0.3);
+        for (bt, bl) in all_bounds(&g, &gt, tight)
+            .iter()
+            .zip(all_bounds(&g, &gt, loose))
+        {
+            assert!(*bt > bl, "tight {bt} must exceed loose {bl}");
+        }
+    }
+
+    #[test]
+    fn ns_hh_matches_closed_form() {
+        let (g, gt) = fixture(0.4);
+        let p = ApproxParams::paper();
+        let e = g.num_edges() as f64;
+        let f = gt.f as f64;
+        let expect = (e * f - f * f) / (0.01 * f * f * 0.1);
+        assert!((ns_hh_bound(&g, &gt, p) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rarer_targets_need_more_samples() {
+        // Smaller F ⇒ larger relative-error bar ⇒ larger k.
+        let (g1, gt1) = fixture(0.4); // frequent cross edges
+        let (g2, gt2) = fixture(0.02); // rare cross edges
+        assert!(gt2.f < gt1.f);
+        let p = ApproxParams::paper();
+        assert!(ns_hh_bound(&g2, &gt2, p) > ns_hh_bound(&g1, &gt1, p));
+        assert!(ne_hh_bound(&g2, &gt2, p) > ne_hh_bound(&g1, &gt1, p));
+    }
+
+    #[test]
+    fn ne_hh_bound_beats_ns_hh_for_rare_targets() {
+        // The paper's Tables 18–22 consistently show the NE-HH bound below
+        // the NS-HH bound on rare labels — exploration concentrates the
+        // estimator.
+        let (g, gt) = fixture(0.05);
+        let p = ApproxParams::paper();
+        assert!(ne_hh_bound(&g, &gt, p) < ns_hh_bound(&g, &gt, p));
+    }
+
+    #[test]
+    #[should_panic(expected = "ε")]
+    fn invalid_epsilon_rejected() {
+        ApproxParams::new(0.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "δ")]
+    fn invalid_delta_rejected() {
+        ApproxParams::new(0.1, 1.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type shared by all estimators.
+
+/// Why an estimation run could not produce an estimate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EstimateError {
+    /// The OSN has no users or no friendships, so neither sampler can walk.
+    EmptyGraph,
+    /// A requested sample size of zero.
+    ZeroSampleSize,
+    /// The API-call budget of the [`labelcount_osn::SimulatedOsn`] ran out
+    /// before the requested number of samples was collected. Contains the
+    /// number of samples collected before exhaustion.
+    BudgetExhausted {
+        /// Samples collected before the budget ran out.
+        collected: usize,
+    },
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::EmptyGraph => write!(f, "the OSN has no nodes or no edges"),
+            EstimateError::ZeroSampleSize => write!(f, "sample size k must be positive"),
+            EstimateError::BudgetExhausted { collected } => {
+                write!(f, "API budget exhausted after {collected} samples")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(EstimateError::EmptyGraph.to_string().contains("no nodes"));
+        assert!(EstimateError::ZeroSampleSize
+            .to_string()
+            .contains("positive"));
+        let e = EstimateError::BudgetExhausted { collected: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,350 @@
+//! Random-walk estimators for label-refined wedge and triangle counts —
+//! the extension the paper names as future work (§6: "it would be
+//! interesting to estimate some other types of graph properties such as
+//! numbers of wedges and triangles refined by users' labels").
+//!
+//! Both estimators follow the NeighborExploration recipe: sample nodes
+//! from a stationary simple walk, and when the current node can play a
+//! role in the motif, explore its neighborhood to measure the node's motif
+//! count; the Hansen–Hurwitz correction `2|E|/d(u)` removes the walk's
+//! degree bias.
+//!
+//! * **Wedges.** `W(u)` = target wedges centered at `u`, computed from
+//!   three neighbor-label counters (closed form, see
+//!   `labelcount_graph::motifs::wedges_at`). `E[W(Y)/π(Y)] = Σ_u W(u) = W`
+//!   since each wedge has exactly one center, so
+//!   `Ŵ = (1/k) Σᵢ 2|E| · W(uᵢ)/d(uᵢ)` is unbiased.
+//! * **Triangles.** `T△(u)` = target triangles containing `u`, measured by
+//!   testing adjacency between label-matching neighbor pairs (the same
+//!   neighbor-of-neighbor API reads a crawler would issue).
+//!   `Σ_u T△(u) = 3Δ`, so `Δ̂ = (1/3k) Σᵢ 2|E| · T△(uᵢ)/d(uᵢ)`.
+//!
+//! API cost: a wedge observation costs `O(d(u))` profile reads when `u`
+//! carries the center label; a triangle observation costs up to
+//! `O(d(u))` profile reads plus one neighbor-list read per label-matching
+//! neighbor. Both estimators take an API-call budget like the edge
+//! estimators.
+
+use labelcount_graph::motifs::TargetTriple;
+use labelcount_graph::NodeId;
+use labelcount_osn::{OsnApi, SimulatedOsn};
+use labelcount_walk::{SimpleWalk, Walker};
+use rand::Rng;
+
+use crate::error::EstimateError;
+use crate::neighbor_sample::random_walk_start;
+
+/// One motif observation at a sampled node.
+#[derive(Clone, Copy, Debug)]
+pub struct MotifSample {
+    /// The sampled user.
+    pub node: NodeId,
+    /// The user's degree.
+    pub degree: usize,
+    /// The motif count at this node (`W(u)` or `T△(u)`).
+    pub count: usize,
+}
+
+/// Counts target wedges centered at `u` through the API: one profile read
+/// per neighbor (closed form over the three label counters).
+fn observe_wedges(osn: &SimulatedOsn<'_>, u: NodeId, t: TargetTriple) -> usize {
+    if !osn.has_label(u, t.center) {
+        return 0;
+    }
+    let (t1, t3) = t.ends;
+    let mut a = 0usize;
+    let mut b = 0usize;
+    let mut both = 0usize;
+    for &v in osn.neighbors(u) {
+        let ls = osn.labels(v);
+        let in_a = ls.binary_search(&t1).is_ok();
+        let in_b = ls.binary_search(&t3).is_ok();
+        a += in_a as usize;
+        b += in_b as usize;
+        both += (in_a && in_b) as usize;
+    }
+    if t1 == t3 {
+        a * a.saturating_sub(1) / 2
+    } else {
+        a * b - both - both * both.saturating_sub(1) / 2
+    }
+}
+
+/// Counts target triangles containing `u` through the API: profile reads
+/// for all neighbors, then pairwise adjacency checks between neighbors
+/// that can complete the label multiset with `u`'s labels.
+fn observe_triangles(osn: &SimulatedOsn<'_>, u: NodeId, t: TargetTriple) -> usize {
+    let [x, y, z] = t.sorted();
+    // u must carry at least one of the three labels to be in any target
+    // triangle.
+    let u_labels = osn.labels(u);
+    let u_any = [x, y, z].iter().any(|l| u_labels.binary_search(l).is_ok());
+    if !u_any {
+        return 0;
+    }
+    // Copy the (sorted) neighbor list, then read each neighbor's label
+    // flags once.
+    let neighbors: Vec<NodeId> = osn.neighbors(u).to_vec();
+    let flags: Vec<(bool, bool, bool)> = neighbors
+        .iter()
+        .map(|&v| {
+            let ls = osn.labels(v);
+            (
+                ls.binary_search(&x).is_ok(),
+                ls.binary_search(&y).is_ok(),
+                ls.binary_search(&z).is_ok(),
+            )
+        })
+        .collect();
+    let u_flags = (
+        u_labels.binary_search(&x).is_ok(),
+        u_labels.binary_search(&y).is_ok(),
+        u_labels.binary_search(&z).is_ok(),
+    );
+
+    // For each neighbor pair that could realize the multiset together with
+    // u, check adjacency with one neighbor-list read (the first of the
+    // pair; the list is already local for repeat pairs).
+    let assignable = |a: (bool, bool, bool), b: (bool, bool, bool), c: (bool, bool, bool)| {
+        const PERMS: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let get = |f: (bool, bool, bool), i: usize| match i {
+            0 => f.0,
+            1 => f.1,
+            _ => f.2,
+        };
+        PERMS
+            .iter()
+            .any(|p| get(a, p[0]) && get(b, p[1]) && get(c, p[2]))
+    };
+
+    let mut count = 0usize;
+    for (i, &v) in neighbors.iter().enumerate() {
+        // One neighbor-list read for v, reused across all pairs (i, j).
+        let v_adj = osn.neighbors(v);
+        for (j, &w) in neighbors.iter().enumerate().skip(i + 1) {
+            if !assignable(u_flags, flags[i], flags[j]) {
+                continue;
+            }
+            if v_adj.binary_search(&w).is_ok() {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Generic budgeted motif sampler: walks, observes `measure` at each
+/// position, stops when `budget` API calls are spent.
+fn sample_motifs(
+    osn: &SimulatedOsn<'_>,
+    budget: usize,
+    burn_in: usize,
+    rng: &mut (impl Rng + ?Sized),
+    measure: impl Fn(&SimulatedOsn<'_>, NodeId) -> usize,
+) -> Result<Vec<MotifSample>, EstimateError> {
+    if budget == 0 {
+        return Err(EstimateError::ZeroSampleSize);
+    }
+    let start = random_walk_start(osn, rng)?;
+    let mut walk = SimpleWalk::new(start);
+    walk.burn_in(osn, burn_in, rng);
+    let spent0 = osn.api_calls();
+
+    let mut samples = Vec::new();
+    loop {
+        if osn.budget_exhausted() {
+            return Err(EstimateError::BudgetExhausted {
+                collected: samples.len(),
+            });
+        }
+        let u = walk.step(osn, rng);
+        let degree = osn.degree(u);
+        let count = measure(osn, u);
+        samples.push(MotifSample {
+            node: u,
+            degree,
+            count,
+        });
+        if (osn.api_calls() - spent0) as usize >= budget {
+            break;
+        }
+    }
+    Ok(samples)
+}
+
+/// Hansen–Hurwitz reduction `Σ c(uᵢ)·2|E|/d(uᵢ) / (k·share)`, where
+/// `share` is how many sampled nodes see each motif (1 for wedge centers,
+/// 3 for triangle corners).
+fn hansen_hurwitz(samples: &[MotifSample], num_edges: usize, share: f64) -> f64 {
+    let two_e = 2.0 * num_edges as f64;
+    let sum: f64 = samples
+        .iter()
+        .map(|s| two_e * s.count as f64 / s.degree.max(1) as f64)
+        .sum();
+    sum / (samples.len() as f64 * share)
+}
+
+/// Estimates the number of target wedges for `t` under an API-call budget.
+pub fn estimate_labeled_wedges(
+    osn: &SimulatedOsn<'_>,
+    t: TargetTriple,
+    budget: usize,
+    burn_in: usize,
+    rng: &mut (impl Rng + ?Sized),
+) -> Result<f64, EstimateError> {
+    let samples = sample_motifs(osn, budget, burn_in, rng, |osn, u| {
+        observe_wedges(osn, u, t)
+    })?;
+    Ok(hansen_hurwitz(&samples, osn.num_edges(), 1.0))
+}
+
+/// Estimates the number of target triangles for `t` under an API-call
+/// budget.
+pub fn estimate_labeled_triangles(
+    osn: &SimulatedOsn<'_>,
+    t: TargetTriple,
+    budget: usize,
+    burn_in: usize,
+    rng: &mut (impl Rng + ?Sized),
+) -> Result<f64, EstimateError> {
+    let samples = sample_motifs(osn, budget, burn_in, rng, |osn, u| {
+        observe_triangles(osn, u, t)
+    })?;
+    Ok(hansen_hurwitz(&samples, osn.num_edges(), 3.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use labelcount_graph::gen::barabasi_albert;
+    use labelcount_graph::labels::with_labels;
+    use labelcount_graph::motifs::{
+        count_labeled_triangles, count_labeled_wedges, triangles_at, wedges_at,
+    };
+    use labelcount_graph::{LabelId, LabeledGraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture(seed: u64) -> LabeledGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = barabasi_albert(400, 5, &mut rng);
+        let labels: Vec<Vec<LabelId>> = (0..g.num_nodes())
+            .map(|i| vec![LabelId(1 + (i % 3) as u32)])
+            .collect();
+        with_labels(&g, &labels)
+    }
+
+    fn triple() -> TargetTriple {
+        TargetTriple::new(LabelId(1), LabelId(2), LabelId(3))
+    }
+
+    #[test]
+    fn api_wedge_observation_matches_ground_truth() {
+        let g = fixture(1);
+        let osn = SimulatedOsn::new(&g);
+        for u in g.nodes().take(60) {
+            assert_eq!(
+                observe_wedges(&osn, u, triple()),
+                wedges_at(&g, u, triple()),
+                "node {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn api_triangle_observation_matches_ground_truth() {
+        let g = fixture(2);
+        let osn = SimulatedOsn::new(&g);
+        for u in g.nodes().take(40) {
+            assert_eq!(
+                observe_triangles(&osn, u, triple()),
+                triangles_at(&g, u, triple()),
+                "node {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn wedge_estimator_approximately_unbiased() {
+        let g = fixture(3);
+        let truth = count_labeled_wedges(&g, triple()) as f64;
+        assert!(truth > 0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let reps = 80;
+        let mut sum = 0.0;
+        for _ in 0..reps {
+            let osn = SimulatedOsn::new(&g);
+            sum += estimate_labeled_wedges(&osn, triple(), 3_000, 100, &mut rng).unwrap();
+        }
+        let mean = sum / reps as f64;
+        let rel = (mean - truth).abs() / truth;
+        assert!(rel < 0.1, "mean {mean} vs truth {truth}");
+    }
+
+    #[test]
+    fn triangle_estimator_approximately_unbiased() {
+        let g = fixture(5);
+        let truth = count_labeled_triangles(&g, triple()) as f64;
+        assert!(truth > 0.0, "fixture must contain target triangles");
+        let mut rng = StdRng::seed_from_u64(6);
+        let reps = 80;
+        let mut sum = 0.0;
+        for _ in 0..reps {
+            let osn = SimulatedOsn::new(&g);
+            sum += estimate_labeled_triangles(&osn, triple(), 5_000, 100, &mut rng).unwrap();
+        }
+        let mean = sum / reps as f64;
+        let rel = (mean - truth).abs() / truth;
+        assert!(rel < 0.15, "mean {mean} vs truth {truth}");
+    }
+
+    #[test]
+    fn absent_labels_estimate_zero() {
+        let g = fixture(7);
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(8);
+        let t = TargetTriple::new(LabelId(7), LabelId(8), LabelId(9));
+        assert_eq!(
+            estimate_labeled_wedges(&osn, t, 500, 50, &mut rng).unwrap(),
+            0.0
+        );
+        assert_eq!(
+            estimate_labeled_triangles(&osn, t, 500, 50, &mut rng).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let g = fixture(9);
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(10);
+        assert!(matches!(
+            estimate_labeled_wedges(&osn, triple(), 0, 10, &mut rng),
+            Err(EstimateError::ZeroSampleSize)
+        ));
+    }
+
+    #[test]
+    fn budget_limits_api_calls() {
+        let g = fixture(11);
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(12);
+        let budget = 800usize;
+        estimate_labeled_triangles(&osn, triple(), budget, 50, &mut rng).unwrap();
+        let spent = osn.api_calls() as usize;
+        // Burn-in (50 calls) + budget + at most one observation overshoot.
+        assert!(spent >= budget);
+        assert!(
+            spent < budget + 50 + 4 * 400,
+            "spent {spent} far beyond budget"
+        );
+    }
+}

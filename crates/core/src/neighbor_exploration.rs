@@ -1,0 +1,474 @@
+//! NeighborExploration (paper §4.2): node sampling plus neighborhood
+//! exploration of label-carrying nodes.
+//!
+//! A single simple random walk is burned in, then each further position
+//! `u` is a sample. If `u` carries one of the two target labels, all of
+//! `u`'s friends are explored and `T(u)` — the number of target edges
+//! incident to `u` — is recorded (Algorithm 2). Exploring only
+//! label-carrying nodes is the paper's mechanism for sampling *target*
+//! edges with boosted probability `Σ_{u∈Q} d(u) / 2|E|` instead of
+//! `F/|E|` (§5.3), which is why NeighborExploration dominates when target
+//! edges are rare.
+//!
+//! # API-call budgets
+//!
+//! Under the budgeted entry points a non-explored sample costs ~3 calls
+//! (walk step + degree + profile) while an explored one costs
+//! `~4 + d(u)` (one profile per friend). On abundant labels exploration
+//! therefore eats the budget — exactly the regime where the paper observes
+//! NeighborSample overtaking NeighborExploration (§5.2 finding 4).
+
+use labelcount_graph::{NodeId, TargetLabel};
+use labelcount_osn::{OsnApi, SimulatedOsn};
+use labelcount_walk::{SimpleWalk, Walker};
+use rand::{Rng, RngCore};
+use std::collections::HashSet;
+
+use crate::algorithm::{Algorithm, RunConfig};
+use crate::error::EstimateError;
+use crate::neighbor_sample::{label_flags, random_walk_start, thin_indices};
+
+/// One sampled node with the observations the estimators need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeSample {
+    /// The sampled user.
+    pub node: NodeId,
+    /// The user's degree `d(u)` (known from the neighbor list).
+    pub degree: usize,
+    /// `T(u)`: incident target edges; `0` without exploration when the
+    /// user carries neither target label.
+    pub t: usize,
+}
+
+/// Computes `T(u)` by exploring all of `u`'s friends: one neighbor-list
+/// fetch plus one profile fetch per friend. Only called for users carrying
+/// a target label.
+fn explore_t(
+    osn: &SimulatedOsn<'_>,
+    u: NodeId,
+    u_has_t1: bool,
+    u_has_t2: bool,
+    target: TargetLabel,
+) -> usize {
+    let (t1, t2) = (target.first(), target.second());
+    let mut t = 0usize;
+    for &v in osn.neighbors(u) {
+        let ls = osn.labels(v);
+        let v_has_t1 = ls.binary_search(&t1).is_ok();
+        let v_has_t2 = ls.binary_search(&t2).is_ok();
+        if (u_has_t1 && v_has_t2) || (u_has_t2 && v_has_t1) {
+            t += 1;
+        }
+    }
+    t
+}
+
+/// Observes the walk's current node: degree, label flags, and `T(u)` if a
+/// target label is present.
+fn observe(osn: &SimulatedOsn<'_>, u: NodeId, target: TargetLabel) -> NodeSample {
+    let degree = osn.degree(u);
+    let (u_has_t1, u_has_t2) = label_flags(osn, u, target);
+    let t = if u_has_t1 || u_has_t2 {
+        explore_t(osn, u, u_has_t1, u_has_t2, target)
+    } else {
+        0
+    };
+    NodeSample { node: u, degree, t }
+}
+
+/// Runs the NeighborExploration process with an explicit sample count
+/// (Algorithm 2 with the single-walk implementation of §4.2.2). The
+/// budgeted variant used by the [`Algorithm`] impls is
+/// [`run_neighbor_exploration`].
+pub fn sample_nodes(
+    osn: &SimulatedOsn<'_>,
+    target: TargetLabel,
+    k: usize,
+    burn_in: usize,
+    thin: usize,
+    rng: &mut (impl Rng + ?Sized),
+) -> Result<Vec<NodeSample>, EstimateError> {
+    if k == 0 {
+        return Err(EstimateError::ZeroSampleSize);
+    }
+    let thin = thin.max(1);
+    let start = random_walk_start(osn, rng)?;
+    let mut walk = SimpleWalk::new(start);
+    walk.burn_in(osn, burn_in, rng);
+
+    let mut samples = Vec::with_capacity(k);
+    while samples.len() < k {
+        if osn.budget_exhausted() {
+            return Err(EstimateError::BudgetExhausted {
+                collected: samples.len(),
+            });
+        }
+        for _ in 0..thin {
+            walk.step(osn, rng);
+        }
+        samples.push(observe(osn, Walker::<SimulatedOsn>::current(&walk), target));
+    }
+    Ok(samples)
+}
+
+/// Runs the NeighborExploration process under an API-call budget: burn-in
+/// (budget-free), then walk-observe-explore until `budget` calls are
+/// spent. At least one node is always observed.
+pub fn run_neighbor_exploration(
+    osn: &SimulatedOsn<'_>,
+    target: TargetLabel,
+    budget: usize,
+    burn_in: usize,
+    rng: &mut (impl Rng + ?Sized),
+) -> Result<Vec<NodeSample>, EstimateError> {
+    if budget == 0 {
+        return Err(EstimateError::ZeroSampleSize);
+    }
+    let start = random_walk_start(osn, rng)?;
+    let mut walk = SimpleWalk::new(start);
+    walk.burn_in(osn, burn_in, rng);
+    let spent0 = osn.api_calls();
+
+    let mut samples = Vec::new();
+    loop {
+        if osn.budget_exhausted() {
+            return Err(EstimateError::BudgetExhausted {
+                collected: samples.len(),
+            });
+        }
+        let u = walk.step(osn, rng);
+        samples.push(observe(osn, u, target));
+        if (osn.api_calls() - spent0) as usize >= budget {
+            break;
+        }
+    }
+    Ok(samples)
+}
+
+/// Inclusion probability of node `u` after `k` stationary draws:
+/// `Pr(u ∈ S) = 1 − (1 − d(u)/2|E|)^k` (§4.2.3).
+pub fn node_inclusion_probability(degree: usize, num_edges: usize, k: usize) -> f64 {
+    let pi = degree as f64 / (2.0 * num_edges as f64);
+    1.0 - (1.0 - pi).powi(k as i32)
+}
+
+/// NeighborExploration with the Hansen–Hurwitz estimator (Eq. 11):
+/// `F̂ = (1/k) Σᵢ |E| · T(uᵢ) / d(uᵢ)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NeHansenHurwitz;
+
+impl Algorithm for NeHansenHurwitz {
+    fn abbrev(&self) -> &'static str {
+        "NeighborExploration-HH"
+    }
+
+    fn estimate(
+        &self,
+        osn: &SimulatedOsn<'_>,
+        target: TargetLabel,
+        budget: usize,
+        cfg: &RunConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<f64, EstimateError> {
+        let samples = run_neighbor_exploration(osn, target, budget, cfg.burn_in, rng)?;
+        let e = osn.num_edges() as f64;
+        let sum: f64 = samples
+            .iter()
+            .map(|s| e * s.t as f64 / s.degree.max(1) as f64)
+            .sum();
+        Ok(sum / samples.len() as f64)
+    }
+}
+
+/// NeighborExploration with the Horvitz–Thompson estimator (Eq. 13):
+/// `F̂ = ½ Σ_{u ∈ S distinct} T(u) / (1 − (1 − d(u)/2|E|)^k)`.
+///
+/// With `cfg.thinning_frac > 0`, only every `r`-th draw enters the sample
+/// set (§4.2.3's independence strategy) and the retained count is the `k`
+/// of the inclusion probability.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NeHorvitzThompson;
+
+impl Algorithm for NeHorvitzThompson {
+    fn abbrev(&self) -> &'static str {
+        "NeighborExploration-HT"
+    }
+
+    fn estimate(
+        &self,
+        osn: &SimulatedOsn<'_>,
+        target: TargetLabel,
+        budget: usize,
+        cfg: &RunConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<f64, EstimateError> {
+        let samples = run_neighbor_exploration(osn, target, budget, cfg.burn_in, rng)?;
+        // Two passes: the retained count must be known before the inclusion
+        // probabilities; the sum runs in first-seen order so results are
+        // bit-for-bit reproducible.
+        let retained = thin_indices(samples.len(), cfg.thinning_frac).count();
+        let mut seen: HashSet<NodeId> = HashSet::with_capacity(retained);
+        let e = osn.num_edges();
+        let mut sum = 0.0f64;
+        for i in thin_indices(samples.len(), cfg.thinning_frac) {
+            let s = &samples[i];
+            if seen.insert(s.node) && s.t > 0 {
+                sum += s.t as f64 / node_inclusion_probability(s.degree, e, retained);
+            }
+        }
+        Ok(sum / 2.0)
+    }
+}
+
+/// NeighborExploration with the Re-weighted estimator (Eq. 19):
+/// `F̂ = |V| · Σᵢ T(uᵢ)/d(uᵢ) / (2 Σᵢ 1/d(uᵢ))` — importance sampling from
+/// the walk's stationary distribution toward the uniform node
+/// distribution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NeReweighted;
+
+impl Algorithm for NeReweighted {
+    fn abbrev(&self) -> &'static str {
+        "NeighborExploration-RW"
+    }
+
+    fn estimate(
+        &self,
+        osn: &SimulatedOsn<'_>,
+        target: TargetLabel,
+        budget: usize,
+        cfg: &RunConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<f64, EstimateError> {
+        let samples = run_neighbor_exploration(osn, target, budget, cfg.burn_in, rng)?;
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for s in &samples {
+            let d = s.degree.max(1) as f64;
+            num += s.t as f64 / d;
+            den += 1.0 / d;
+        }
+        if den == 0.0 {
+            return Ok(0.0);
+        }
+        Ok(osn.num_nodes() as f64 * num / (2.0 * den))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use labelcount_graph::gen::barabasi_albert;
+    use labelcount_graph::labels::{assign_binary_labels, with_labels};
+    use labelcount_graph::{GraphBuilder, GroundTruth, LabelId, LabeledGraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn labeled_ba(seed: u64, n: usize, m: usize, p1: f64) -> LabeledGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = barabasi_albert(n, m, &mut rng);
+        let mut labels = vec![Vec::new(); n];
+        assign_binary_labels(&mut labels, p1, &mut rng);
+        with_labels(&g, &labels)
+    }
+
+    fn target() -> TargetLabel {
+        TargetLabel::new(LabelId(1), LabelId(2))
+    }
+
+    #[test]
+    fn recorded_t_matches_ground_truth() {
+        let g = labeled_ba(21, 200, 3, 0.3);
+        let gt = GroundTruth::compute(&g, target());
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(22);
+        let samples = sample_nodes(&osn, target(), 300, 50, 1, &mut rng).unwrap();
+        for s in samples {
+            assert_eq!(s.degree, g.degree(s.node));
+            if target().involves(&g, s.node) {
+                assert_eq!(s.t, gt.t[s.node.index()], "T({})", s.node);
+            } else {
+                assert_eq!(s.t, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_controls_sample_count() {
+        let g = labeled_ba(20, 400, 3, 0.5);
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(19);
+        // Abundant labels: every sample explored ⇒ cost ≈ 4 + d(u) ≈ 10.
+        let samples = run_neighbor_exploration(&osn, target(), 600, 30, &mut rng).unwrap();
+        assert!(
+            samples.len() < 200,
+            "exploration must eat the budget, got {} samples",
+            samples.len()
+        );
+        assert!(!samples.is_empty());
+    }
+
+    #[test]
+    fn rare_labels_explore_rarely_and_sample_cheaply() {
+        // Only node labels 1 and 9 exist; label 2 never occurs, so the
+        // target (1,2) still triggers exploration at label-1 nodes only.
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = barabasi_albert(400, 3, &mut rng);
+        let mut labels = vec![vec![LabelId(9)]; g.num_nodes()];
+        for slot in labels.iter_mut().take(8) {
+            *slot = vec![LabelId(1)];
+        }
+        let g = with_labels(&g, &labels);
+        let osn = SimulatedOsn::new(&g);
+        let budget = 600;
+        let samples = run_neighbor_exploration(&osn, target(), budget, 30, &mut rng).unwrap();
+        // Cheap samples (~3 calls each) ⇒ roughly budget/3 of them.
+        assert!(
+            samples.len() > budget / 5,
+            "rare labels should give many samples, got {}",
+            samples.len()
+        );
+    }
+
+    #[test]
+    fn hh_estimator_is_approximately_unbiased() {
+        let g = labeled_ba(23, 400, 3, 0.3);
+        let gt = GroundTruth::compute(&g, target());
+        assert!(gt.f > 0);
+        let cfg = RunConfig {
+            burn_in: 100,
+            thinning_frac: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(24);
+        let reps = 120;
+        let mut sum = 0.0;
+        for _ in 0..reps {
+            let osn = SimulatedOsn::new(&g);
+            sum += NeHansenHurwitz
+                .estimate(&osn, target(), 2_000, &cfg, &mut rng)
+                .unwrap();
+        }
+        let mean = sum / reps as f64;
+        let rel = (mean - gt.f as f64).abs() / gt.f as f64;
+        assert!(rel < 0.1, "mean {mean} vs F {}", gt.f);
+    }
+
+    #[test]
+    fn ht_estimator_is_approximately_unbiased() {
+        let g = labeled_ba(25, 400, 3, 0.3);
+        let gt = GroundTruth::compute(&g, target());
+        let cfg = RunConfig {
+            burn_in: 100,
+            thinning_frac: 0.025,
+        };
+        let mut rng = StdRng::seed_from_u64(26);
+        let reps = 150;
+        let mut sum = 0.0;
+        for _ in 0..reps {
+            let osn = SimulatedOsn::new(&g);
+            sum += NeHorvitzThompson
+                .estimate(&osn, target(), 2_000, &cfg, &mut rng)
+                .unwrap();
+        }
+        let mean = sum / reps as f64;
+        let rel = (mean - gt.f as f64).abs() / gt.f as f64;
+        assert!(rel < 0.15, "mean {mean} vs F {}", gt.f);
+    }
+
+    #[test]
+    fn rw_estimator_is_approximately_unbiased() {
+        let g = labeled_ba(27, 400, 3, 0.3);
+        let gt = GroundTruth::compute(&g, target());
+        let cfg = RunConfig {
+            burn_in: 100,
+            thinning_frac: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(28);
+        let reps = 150;
+        let mut sum = 0.0;
+        for _ in 0..reps {
+            let osn = SimulatedOsn::new(&g);
+            sum += NeReweighted
+                .estimate(&osn, target(), 2_500, &cfg, &mut rng)
+                .unwrap();
+        }
+        let mean = sum / reps as f64;
+        let rel = (mean - gt.f as f64).abs() / gt.f as f64;
+        // The ratio estimator is only asymptotically unbiased.
+        assert!(rel < 0.2, "mean {mean} vs F {}", gt.f);
+    }
+
+    #[test]
+    fn exploration_only_for_label_carriers() {
+        // No node carries a target label: every sample costs exactly 3
+        // calls (step + degree + profile), no exploration.
+        let mut b = GraphBuilder::new(4);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 3), (3, 0)] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        for i in 0..4u32 {
+            b.add_label(NodeId(i), LabelId(9));
+        }
+        let g = b.build();
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(29);
+        let k = 50;
+        let samples = sample_nodes(&osn, target(), k, 10, 1, &mut rng).unwrap();
+        assert!(samples.iter().all(|s| s.t == 0));
+        // Profile calls: exactly one per retained sample.
+        assert_eq!(osn.stats().label_calls, k as u64);
+    }
+
+    #[test]
+    fn zero_target_edges_estimates_zero() {
+        let g = labeled_ba(30, 150, 3, 1.0);
+        let osn = SimulatedOsn::new(&g);
+        let cfg = RunConfig::default();
+        let mut rng = StdRng::seed_from_u64(31);
+        for alg in [
+            &NeHansenHurwitz as &dyn Algorithm,
+            &NeHorvitzThompson,
+            &NeReweighted,
+        ] {
+            let est = alg.estimate(&osn, target(), 300, &cfg, &mut rng).unwrap();
+            assert_eq!(est, 0.0, "{}", alg.abbrev());
+        }
+    }
+
+    #[test]
+    fn hard_budget_exhaustion_reported() {
+        let g = labeled_ba(32, 100, 2, 0.5);
+        let osn = SimulatedOsn::new(&g);
+        osn.set_budget(40);
+        let mut rng = StdRng::seed_from_u64(33);
+        match run_neighbor_exploration(&osn, target(), 100_000, 10, &mut rng) {
+            Err(EstimateError::BudgetExhausted { collected }) => {
+                assert!(collected < 100_000)
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_inclusion_probability_sane() {
+        assert!((node_inclusion_probability(20, 10, 1) - 1.0).abs() < 1e-12);
+        let p = node_inclusion_probability(3, 300, 1);
+        assert!((p - 3.0 / 600.0).abs() < 1e-12);
+        assert!(node_inclusion_probability(3, 300, 50) > node_inclusion_probability(3, 300, 5));
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let g = labeled_ba(34, 60, 2, 0.5);
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(35);
+        assert_eq!(
+            run_neighbor_exploration(&osn, target(), 0, 10, &mut rng).unwrap_err(),
+            EstimateError::ZeroSampleSize
+        );
+        assert_eq!(
+            sample_nodes(&osn, target(), 0, 10, 1, &mut rng).unwrap_err(),
+            EstimateError::ZeroSampleSize
+        );
+    }
+}

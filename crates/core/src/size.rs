@@ -1,0 +1,171 @@
+//! Random-walk estimation of `|V|` and `|E|` — the paper's prior-knowledge
+//! assumption made self-contained.
+//!
+//! The problem definition (§3) assumes `|V|` and `|E|` are known, noting
+//! that otherwise "some existing methods such as \[11\] and \[23\] could be
+//! used to estimate" them. This module implements those companions so the
+//! library works end-to-end on an OSN whose size is *not* published:
+//!
+//! * `|V|`: the collision estimator of Katzir, Liberty & Somekh (WWW 2011,
+//!   the paper's \[13\]; also used by \[11\]). From `k` stationary samples
+//!   with degrees `d₁…d_k` and `C` = number of sample pairs that hit the
+//!   same node:
+//!   `n̂ = (Σ dᵢ)(Σ 1/dᵢ) / (2C)`
+//!   (both factors concentrate: `E[Σd·Σ1/d] ≈ k²·n·Σd²/(2|E|)²` and
+//!   `E[2C] ≈ k²·Σd²/(2|E|)²`).
+//! * `|E|`: from the same samples, `Ê = k·Σ dᵢ / (4C)` (same collision
+//!   normalization applied to the degree mean `E[d] = Σd²/2|E|`).
+//!
+//! Both need at least one collision; the walk length required scales with
+//! `2|E|/√(Σd²)` (a birthday bound), so rapid growth of `C` on skewed
+//! graphs makes these practical — hubs collide quickly.
+
+use std::collections::HashMap;
+
+use labelcount_graph::NodeId;
+use labelcount_osn::{OsnApi, SimulatedOsn};
+use labelcount_walk::{SimpleWalk, Walker};
+use rand::Rng;
+
+use crate::error::EstimateError;
+use crate::neighbor_sample::random_walk_start;
+
+/// Output of [`estimate_graph_size`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SizeEstimate {
+    /// Estimated number of users `n̂`.
+    pub num_nodes: f64,
+    /// Estimated number of friendships `Ê`.
+    pub num_edges: f64,
+    /// Node collisions observed among the samples (reliability indicator:
+    /// estimates with few collisions are noisy).
+    pub collisions: usize,
+    /// Number of walk samples used.
+    pub samples: usize,
+}
+
+/// Estimates `|V|` and `|E|` from a single stationary random walk of `k`
+/// samples (after `burn_in` steps).
+///
+/// Returns [`EstimateError::ZeroSampleSize`] for `k == 0` and an estimate
+/// with `collisions == 0` (and infinite sizes) when no collision occurred
+/// — callers should then increase `k`.
+pub fn estimate_graph_size(
+    osn: &SimulatedOsn<'_>,
+    k: usize,
+    burn_in: usize,
+    rng: &mut (impl Rng + ?Sized),
+) -> Result<SizeEstimate, EstimateError> {
+    if k == 0 {
+        return Err(EstimateError::ZeroSampleSize);
+    }
+    let start = random_walk_start(osn, rng)?;
+    let mut walk = SimpleWalk::new(start);
+    walk.burn_in(osn, burn_in, rng);
+
+    let mut sum_d = 0.0f64;
+    let mut sum_inv_d = 0.0f64;
+    let mut seen: HashMap<NodeId, usize> = HashMap::with_capacity(k);
+    let mut collisions = 0usize;
+    for _ in 0..k {
+        if osn.budget_exhausted() {
+            return Err(EstimateError::BudgetExhausted {
+                collected: seen.len(),
+            });
+        }
+        let u = walk.step(osn, rng);
+        let d = osn.degree(u).max(1) as f64;
+        sum_d += d;
+        sum_inv_d += 1.0 / d;
+        // Each repeat visit collides with every earlier visit of the same
+        // node: a node seen m times contributes C(m, 2) pairs.
+        let m = seen.entry(u).or_insert(0);
+        collisions += *m;
+        *m += 1;
+    }
+
+    let (num_nodes, num_edges) = if collisions == 0 {
+        (f64::INFINITY, f64::INFINITY)
+    } else {
+        (
+            sum_d * sum_inv_d / (2.0 * collisions as f64),
+            k as f64 * sum_d / (4.0 * collisions as f64),
+        )
+    };
+    Ok(SizeEstimate {
+        num_nodes,
+        num_edges,
+        collisions,
+        samples: k,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use labelcount_graph::gen::barabasi_albert;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sizes_estimated_within_tolerance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = barabasi_albert(2_000, 5, &mut rng);
+        let reps = 40;
+        let mut n_sum = 0.0;
+        let mut e_sum = 0.0;
+        for _ in 0..reps {
+            let osn = SimulatedOsn::new(&g);
+            let est = estimate_graph_size(&osn, 2_500, 100, &mut rng).unwrap();
+            assert!(est.collisions > 0, "walk of 2500 must collide on 2k nodes");
+            n_sum += est.num_nodes;
+            e_sum += est.num_edges;
+        }
+        let n_mean = n_sum / reps as f64;
+        let e_mean = e_sum / reps as f64;
+        let n_rel = (n_mean - g.num_nodes() as f64).abs() / g.num_nodes() as f64;
+        let e_rel = (e_mean - g.num_edges() as f64).abs() / g.num_edges() as f64;
+        assert!(n_rel < 0.15, "n̂ mean {n_mean} vs {}", g.num_nodes());
+        assert!(e_rel < 0.15, "Ê mean {e_mean} vs {}", g.num_edges());
+    }
+
+    #[test]
+    fn no_collision_reports_infinity() {
+        // A huge sparse-sample regime: 10 samples on 5k nodes rarely
+        // collide; when they don't, the estimate must be explicit about it.
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = barabasi_albert(5_000, 3, &mut rng);
+        let osn = SimulatedOsn::new(&g);
+        let est = estimate_graph_size(&osn, 10, 100, &mut rng).unwrap();
+        if est.collisions == 0 {
+            assert!(est.num_nodes.is_infinite());
+            assert!(est.num_edges.is_infinite());
+        }
+        assert_eq!(est.samples, 10);
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = barabasi_albert(100, 3, &mut rng);
+        let osn = SimulatedOsn::new(&g);
+        assert!(matches!(
+            estimate_graph_size(&osn, 0, 10, &mut rng),
+            Err(EstimateError::ZeroSampleSize)
+        ));
+    }
+
+    #[test]
+    fn repeat_visits_count_pairwise_collisions() {
+        // A 2-node path: the walk alternates, so k samples visit each node
+        // ~k/2 times, giving ~2·C(k/2,2) collisions.
+        let mut b = labelcount_graph::GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1));
+        let g = b.build();
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(4);
+        let est = estimate_graph_size(&osn, 10, 0, &mut rng).unwrap();
+        // 10 samples over 2 nodes: 5 visits each ⇒ 2 × C(5,2) = 20.
+        assert_eq!(est.collisions, 20);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the estimators: estimates are finite and
+//! scale-bounded on arbitrary inputs, inclusion probabilities behave, and
+//! the theoretical bounds respond monotonically to their inputs.
+
+use labelcount_core::bounds::{all_bounds, ne_hh_bound, ns_hh_bound, ApproxParams};
+use labelcount_core::neighbor_exploration::node_inclusion_probability;
+use labelcount_core::neighbor_sample::edge_inclusion_probability;
+use labelcount_core::{algorithms, RunConfig};
+use labelcount_graph::gen::barabasi_albert;
+use labelcount_graph::labels::with_labels;
+use labelcount_graph::{GroundTruth, LabelId, LabeledGraph, TargetLabel};
+use labelcount_osn::SimulatedOsn;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_labeled_ba() -> impl Strategy<Value = LabeledGraph> {
+    (8usize..50, 1usize..4, any::<u64>(), 2u32..4).prop_map(|(n, m, seed, nl)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = barabasi_albert(n.max(m + 1), m, &mut rng);
+        let labels: Vec<Vec<LabelId>> = (0..g.num_nodes())
+            .map(|i| vec![LabelId(1 + (i as u32) % nl)])
+            .collect();
+        with_labels(&g, &labels)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_algorithm_is_finite_on_arbitrary_graphs(
+        g in arb_labeled_ba(),
+        seed in any::<u64>(),
+        budget in 20usize..200,
+    ) {
+        let target = TargetLabel::new(LabelId(1), LabelId(2));
+        let cfg = RunConfig { burn_in: 30, ..RunConfig::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for alg in algorithms::all_paper(0.2, 0.5) {
+            let osn = SimulatedOsn::new(&g);
+            let est = alg.estimate(&osn, target, budget, &cfg, &mut rng).unwrap();
+            prop_assert!(est.is_finite() && est >= 0.0, "{}: {est}", alg.abbrev());
+        }
+    }
+
+    #[test]
+    fn inclusion_probabilities_are_probabilities(
+        e in 1usize..100_000,
+        k in 1usize..10_000,
+        d in 1usize..100,
+    ) {
+        let pe = edge_inclusion_probability(e, k);
+        prop_assert!((0.0..=1.0).contains(&pe));
+        if d <= 2 * e {
+            let pn = node_inclusion_probability(d, e, k);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&pn));
+            // More draws, more likely included.
+            prop_assert!(node_inclusion_probability(d, e, k + 1) >= pn - 1e-12);
+        }
+    }
+
+    #[test]
+    fn bounds_monotone_in_epsilon_and_delta(g in arb_labeled_ba()) {
+        let target = TargetLabel::new(LabelId(1), LabelId(2));
+        let gt = GroundTruth::compute(&g, target);
+        prop_assume!(gt.f > 0);
+        let tight = all_bounds(&g, &gt, ApproxParams::new(0.05, 0.05));
+        let loose = all_bounds(&g, &gt, ApproxParams::new(0.2, 0.2));
+        for (t, l) in tight.iter().zip(loose) {
+            prop_assert!(*t >= l, "tight {t} < loose {l}");
+        }
+    }
+
+    #[test]
+    fn hh_bounds_scale_inversely_with_f(g in arb_labeled_ba()) {
+        // Between two targets on the same graph, the rarer one needs at
+        // least as many samples under the NS-HH bound (exactly (|E|-F)/F
+        // scaling) — monotone in F.
+        let t12 = TargetLabel::new(LabelId(1), LabelId(2));
+        let t13 = TargetLabel::new(LabelId(1), LabelId(3));
+        let g12 = GroundTruth::compute(&g, t12);
+        let g13 = GroundTruth::compute(&g, t13);
+        prop_assume!(g12.f > 0 && g13.f > 0);
+        let p = ApproxParams::paper();
+        let (rare, freq) = if g12.f < g13.f { (&g12, &g13) } else { (&g13, &g12) };
+        prop_assert!(ns_hh_bound(&g, rare, p) >= ns_hh_bound(&g, freq, p));
+        let _ = ne_hh_bound(&g, rare, p); // must not panic on any input
+    }
+
+    #[test]
+    fn estimates_deterministic_given_seed(g in arb_labeled_ba(), seed in any::<u64>()) {
+        let target = TargetLabel::new(LabelId(1), LabelId(2));
+        let cfg = RunConfig { burn_in: 20, ..RunConfig::default() };
+        for alg in algorithms::proposed() {
+            let osn = SimulatedOsn::new(&g);
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let a = alg.estimate(&osn, target, 50, &cfg, &mut r1).unwrap();
+            let osn = SimulatedOsn::new(&g);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let b = alg.estimate(&osn, target, 50, &cfg, &mut r2).unwrap();
+            prop_assert_eq!(a, b, "{} not deterministic", alg.abbrev());
+        }
+    }
+}

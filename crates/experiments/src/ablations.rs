@@ -1,0 +1,277 @@
+//! Ablation experiments for the design knobs DESIGN.md §9 calls out.
+//!
+//! Each produces a text table like the paper artifacts, runnable through
+//! `labelcount-exp` (`ablation-thinning`, `ablation-alpha`,
+//! `ablation-delta`, `ablation-burnin`, `bias-decomposition`):
+//!
+//! * **thinning** — the §4.1.3/§4.2.3 HT thinning fraction: 0 (keep all
+//!   draws, our default) vs the paper's 2.5% vs 10%, on an abundant- and a
+//!   rare-label dataset;
+//! * **alpha** — EX-RCMH's rejection-control exponent over the paper's
+//!   recommended `[0, 0.3]` plus the MH limit 1.0;
+//! * **delta** — EX-GMD's virtual-degree factor over `[0.3, 0.7]`;
+//! * **burn-in** — sensitivity to the burn-in length (0, `T(ε)`, `2T(ε)`,
+//!   `10T(ε)`): how much does skipping or padding the mixing time matter?
+//! * **bias decomposition** — NRMSE split into variance and squared bias
+//!   (Eq. 24's two components) for the five proposed estimators.
+
+use labelcount_core::{algorithms, Algorithm, ExGmd, ExRcmh, RunConfig};
+use labelcount_graph::TargetLabel;
+use labelcount_osn::SimulatedOsn;
+use labelcount_stats::{nrmse_parts, replicate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::datasets::Dataset;
+use crate::report::format_plain_table;
+use crate::runner::{paper_sizes, SweepConfig};
+
+/// Collects replicated estimates for one configuration.
+fn estimates(
+    d: &Dataset,
+    target: TargetLabel,
+    alg: &dyn Algorithm,
+    budget: usize,
+    run_cfg: RunConfig,
+    cfg: &SweepConfig,
+    seed: u64,
+) -> Vec<f64> {
+    replicate(cfg.reps, cfg.threads, seed, |_i, s| {
+        let osn = SimulatedOsn::new(&d.graph);
+        let mut rng = StdRng::seed_from_u64(s);
+        alg.estimate(&osn, target, budget, &run_cfg, &mut rng)
+            .expect("unbudgeted estimation cannot fail")
+    })
+}
+
+/// NRMSE at the 5%|V| budget for one algorithm under a custom run config.
+fn nrmse_at_5pct(
+    d: &Dataset,
+    target_idx: usize,
+    alg: &dyn Algorithm,
+    run_cfg: RunConfig,
+    cfg: &SweepConfig,
+    seed: u64,
+) -> f64 {
+    let t = &d.targets[target_idx];
+    let budget = *paper_sizes(d.graph.num_nodes()).last().unwrap();
+    let est = estimates(d, t.label, alg, budget, run_cfg, cfg, seed);
+    nrmse_parts(&est, t.f as f64).nrmse
+}
+
+/// Thinning-fraction ablation for the two HT estimators.
+pub fn ablation_thinning(abundant: &Dataset, rare: &Dataset, cfg: &SweepConfig) -> String {
+    let fracs = [0.0, 0.01, 0.025, 0.1];
+    let algs: Vec<Box<dyn Algorithm>> = vec![
+        Box::new(labelcount_core::NsHorvitzThompson),
+        Box::new(labelcount_core::NeHorvitzThompson),
+    ];
+    let mut rows = Vec::new();
+    for (d, tidx) in [(abundant, 0usize), (rare, 0usize)] {
+        for alg in &algs {
+            let mut row = vec![d.name.to_string(), alg.abbrev().to_string()];
+            for (fi, &frac) in fracs.iter().enumerate() {
+                let run_cfg = RunConfig {
+                    burn_in: d.burn_in,
+                    thinning_frac: frac,
+                };
+                let e = nrmse_at_5pct(d, tidx, alg.as_ref(), run_cfg, cfg, 900 + fi as u64);
+                row.push(format!("{e:.3}"));
+            }
+            rows.push(row);
+        }
+    }
+    format_plain_table(
+        &format!(
+            "Ablation: HT thinning fraction r/k at 5%|V| API calls ({} reps)",
+            cfg.reps
+        ),
+        &["network", "estimator", "r=0", "r=1%k", "r=2.5%k", "r=10%k"],
+        &rows,
+    )
+}
+
+/// EX-RCMH α sweep.
+pub fn ablation_alpha(d: &Dataset, cfg: &SweepConfig) -> String {
+    let alphas = [0.0, 0.1, 0.2, 0.3, 1.0];
+    let run_cfg = RunConfig {
+        burn_in: d.burn_in,
+        thinning_frac: cfg.thinning_frac,
+    };
+    let mut rows = Vec::new();
+    for (ti, t) in d.targets.iter().enumerate() {
+        let mut row = vec![t.label.to_string(), format!("{:.4}", t.fraction)];
+        for (ai, &alpha) in alphas.iter().enumerate() {
+            let alg = ExRcmh::new(alpha);
+            let e = nrmse_at_5pct(d, ti, &alg, run_cfg, cfg, 1_000 + (ti * 10 + ai) as u64);
+            row.push(format!("{e:.3}"));
+        }
+        rows.push(row);
+    }
+    format_plain_table(
+        &format!(
+            "Ablation: EX-RCMH alpha on {} at 5%|V| API calls ({} reps; alpha=0 is the simple walk, alpha=1 plain MH)",
+            d.name, cfg.reps
+        ),
+        &["label", "F/|E|", "a=0", "a=0.1", "a=0.2", "a=0.3", "a=1.0"],
+        &rows,
+    )
+}
+
+/// EX-GMD δ sweep.
+pub fn ablation_delta(d: &Dataset, cfg: &SweepConfig) -> String {
+    let deltas = [0.3, 0.5, 0.7, 1.0];
+    let run_cfg = RunConfig {
+        burn_in: d.burn_in,
+        thinning_frac: cfg.thinning_frac,
+    };
+    let mut rows = Vec::new();
+    for (ti, t) in d.targets.iter().enumerate() {
+        let mut row = vec![t.label.to_string(), format!("{:.4}", t.fraction)];
+        for (di, &delta) in deltas.iter().enumerate() {
+            let alg = ExGmd::new(delta);
+            let e = nrmse_at_5pct(d, ti, &alg, run_cfg, cfg, 2_000 + (ti * 10 + di) as u64);
+            row.push(format!("{e:.3}"));
+        }
+        rows.push(row);
+    }
+    format_plain_table(
+        &format!(
+            "Ablation: EX-GMD delta on {} at 5%|V| API calls ({} reps)",
+            d.name, cfg.reps
+        ),
+        &["label", "F/|E|", "d=0.3", "d=0.5", "d=0.7", "d=1.0"],
+        &rows,
+    )
+}
+
+/// Burn-in-length sensitivity for the proposed estimators.
+pub fn ablation_burnin(d: &Dataset, cfg: &SweepConfig) -> String {
+    let t_mix = d.mixing_time.unwrap_or(d.burn_in / 2).max(1);
+    let burnins = [0usize, t_mix, 2 * t_mix, 10 * t_mix];
+    let algs = algorithms::proposed();
+    let mut rows = Vec::new();
+    for alg in &algs {
+        let mut row = vec![alg.abbrev().to_string()];
+        for (bi, &burn_in) in burnins.iter().enumerate() {
+            let run_cfg = RunConfig {
+                burn_in,
+                thinning_frac: cfg.thinning_frac,
+            };
+            let e = nrmse_at_5pct(d, 0, alg.as_ref(), run_cfg, cfg, 3_000 + bi as u64);
+            row.push(format!("{e:.3}"));
+        }
+        rows.push(row);
+    }
+    format_plain_table(
+        &format!(
+            "Ablation: burn-in length on {} (T(1e-3) = {t_mix}) at 5%|V| API calls ({} reps)",
+            d.name, cfg.reps
+        ),
+        &["algorithm", "0", "T", "2T", "10T"],
+        &rows,
+    )
+}
+
+/// Bias/variance decomposition of the proposed estimators (Eq. 24's two
+/// components of the squared error).
+pub fn bias_decomposition(d: &Dataset, target_idx: usize, cfg: &SweepConfig) -> String {
+    let t = &d.targets[target_idx];
+    let budget = *paper_sizes(d.graph.num_nodes()).last().unwrap();
+    let run_cfg = RunConfig {
+        burn_in: d.burn_in,
+        thinning_frac: cfg.thinning_frac,
+    };
+    let mut rows = Vec::new();
+    for (ai, alg) in algorithms::proposed().iter().enumerate() {
+        let est = estimates(
+            d,
+            t.label,
+            alg.as_ref(),
+            budget,
+            run_cfg,
+            cfg,
+            4_000 + ai as u64,
+        );
+        let parts = nrmse_parts(&est, t.f as f64);
+        let f = t.f as f64;
+        rows.push(vec![
+            alg.abbrev().to_string(),
+            format!("{:.3}", parts.nrmse),
+            format!("{:.3}", parts.variance.sqrt() / f),
+            format!("{:+.3}", (parts.mean - f) / f),
+        ]);
+    }
+    format_plain_table(
+        &format!(
+            "Bias decomposition: {} target {} at 5%|V| API calls ({} reps); NRMSE² = (rel std)² + (rel bias)²",
+            d.name, t.label, cfg.reps
+        ),
+        &["algorithm", "NRMSE", "rel std", "rel bias"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{build, DatasetKind};
+
+    fn tiny_cfg() -> SweepConfig {
+        SweepConfig {
+            reps: 6,
+            threads: 4,
+            seed: 1,
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn thinning_ablation_renders() {
+        let cfg = tiny_cfg();
+        let a = build(DatasetKind::FacebookLike, 0.02, 1);
+        let b = build(DatasetKind::PokecLike, 0.01, 2);
+        let out = ablation_thinning(&a, &b, &cfg);
+        assert!(out.contains("r=2.5%k"));
+        assert!(out.contains("facebook-like"));
+        assert!(out.contains("pokec-like"));
+        // 2 datasets × 2 estimators + caption + header.
+        assert_eq!(out.trim_end().lines().count(), 6);
+    }
+
+    #[test]
+    fn alpha_and_delta_ablations_render() {
+        let cfg = tiny_cfg();
+        let d = build(DatasetKind::FacebookLike, 0.02, 3);
+        let a = ablation_alpha(&d, &cfg);
+        assert!(a.contains("a=1.0"));
+        let g = ablation_delta(&d, &cfg);
+        assert!(g.contains("d=0.7"));
+    }
+
+    #[test]
+    fn burnin_ablation_covers_all_proposed() {
+        let cfg = tiny_cfg();
+        let d = build(DatasetKind::FacebookLike, 0.02, 4);
+        let out = ablation_burnin(&d, &cfg);
+        for abbrev in [
+            "NeighborSample-HH",
+            "NeighborSample-HT",
+            "NeighborExploration-HH",
+            "NeighborExploration-HT",
+            "NeighborExploration-RW",
+        ] {
+            assert!(out.contains(abbrev), "{out}");
+        }
+    }
+
+    #[test]
+    fn bias_decomposition_reports_components() {
+        let cfg = tiny_cfg();
+        let d = build(DatasetKind::FacebookLike, 0.02, 5);
+        let out = bias_decomposition(&d, 0, &cfg);
+        assert!(out.contains("rel std"));
+        assert!(out.contains("rel bias"));
+        assert_eq!(out.trim_end().lines().count(), 7);
+    }
+}

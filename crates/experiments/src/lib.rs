@@ -1,0 +1,29 @@
+//! # labelcount-experiments
+//!
+//! Experiment harness regenerating **every table and figure** of the
+//! evaluation section of Wu et al. (EDBT 2018). See DESIGN.md §5 for the
+//! experiment ↔ module index and §6 for the dataset substitution argument.
+//!
+//! Entry points:
+//!
+//! * the [`datasets`] module builds the five surrogate datasets
+//!   (facebook-, googleplus-, pokec-, orkut-, livejournal-like) with label
+//!   models calibrated to the paper's target-edge fractions;
+//! * the [`runner`] module sweeps algorithms × sample sizes × replications
+//!   and reduces to NRMSE (the paper's Eq. 24), in parallel;
+//! * the [`tables`] module maps each paper table/figure to a function;
+//! * the [`ablations`] module produces measured artifacts for the design
+//!   knobs (HT thinning, EX-RCMH α, EX-GMD δ, burn-in length) plus a
+//!   bias/variance decomposition of the proposed estimators;
+//! * the `labelcount-exp` binary exposes all of it on the command line.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod datasets;
+pub mod report;
+pub mod runner;
+pub mod tables;
+
+pub use datasets::{Dataset, DatasetKind, TargetSpec};
+pub use runner::{nrmse_sweep, SweepConfig, SweepRow};

@@ -1,0 +1,261 @@
+//! The replicated NRMSE sweep behind every results table.
+
+use labelcount_core::{Algorithm, RunConfig};
+use labelcount_graph::{LabeledGraph, TargetLabel};
+use labelcount_osn::SimulatedOsn;
+use labelcount_stats::{nrmse, replicate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Global sweep parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepConfig {
+    /// Independent simulations per cell (paper: 200).
+    pub reps: usize,
+    /// Worker threads for the replications.
+    pub threads: usize,
+    /// Base RNG seed; every (algorithm, size, replication) derives its own
+    /// seed deterministically, so sweeps are reproducible.
+    pub seed: u64,
+    /// EX-RCMH control parameter `α` (paper: best of `[0, 0.3]`).
+    pub alpha: f64,
+    /// EX-GMD control parameter `δ` (paper: best of `[0.3, 0.7]`).
+    pub delta: f64,
+    /// Thinning fraction for the HT estimators (`0.0` keeps every draw;
+    /// see `labelcount_core::RunConfig::thinning_frac`).
+    pub thinning_frac: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            reps: 200,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            seed: 0xEDB7_2018,
+            alpha: 0.2,
+            delta: 0.5,
+            thinning_frac: 0.0,
+        }
+    }
+}
+
+/// One row of a results table: an algorithm and its NRMSE per sample size.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// Algorithm abbreviation (Table 2).
+    pub abbrev: &'static str,
+    /// NRMSE per sample size, aligned with the `sizes` argument.
+    pub nrmse: Vec<f64>,
+}
+
+/// The paper's sample-size grid: 0.5%, 1.0%, …, 5.0% of `|V|`.
+pub fn paper_sizes(num_nodes: usize) -> Vec<usize> {
+    (1..=10)
+        .map(|i| ((num_nodes as f64) * 0.005 * i as f64).round() as usize)
+        .map(|k| k.max(1))
+        .collect()
+}
+
+/// Column headers matching [`paper_sizes`].
+pub fn paper_size_headers() -> Vec<String> {
+    (1..=10)
+        .map(|i| format!("{:.1}%|V|", 0.5 * i as f64))
+        .collect()
+}
+
+/// Runs `reps` replications of `alg` at sample size `k` and reduces the
+/// estimates to NRMSE against `f_true`.
+///
+/// Every replication builds its own [`SimulatedOsn`] (so API accounting
+/// never crosses replications) and its own seeded RNG.
+#[allow(clippy::too_many_arguments)] // sweep plumbing: every argument is a distinct experiment axis
+pub fn replicated_nrmse(
+    graph: &LabeledGraph,
+    burn_in: usize,
+    target: TargetLabel,
+    f_true: usize,
+    alg: &dyn Algorithm,
+    k: usize,
+    cfg: &SweepConfig,
+    cell_seed: u64,
+) -> f64 {
+    assert!(f_true > 0, "NRMSE needs a positive ground truth");
+    let run_cfg = RunConfig {
+        burn_in,
+        thinning_frac: cfg.thinning_frac,
+    };
+    let estimates = replicate(cfg.reps, cfg.threads, cell_seed, |_i, seed| {
+        let osn = SimulatedOsn::new(graph);
+        let mut rng = StdRng::seed_from_u64(seed);
+        alg.estimate(&osn, target, k, &run_cfg, &mut rng)
+            .expect("estimation on an unbudgeted connected graph cannot fail")
+    });
+    nrmse(&estimates, f_true as f64)
+}
+
+/// Runs the full algorithms × sizes sweep for one (graph, target) pair —
+/// the computation behind each of the paper's Tables 4–17.
+pub fn nrmse_sweep(
+    graph: &LabeledGraph,
+    burn_in: usize,
+    target: TargetLabel,
+    f_true: usize,
+    sizes: &[usize],
+    algorithms: &[Box<dyn Algorithm>],
+    cfg: &SweepConfig,
+) -> Vec<SweepRow> {
+    algorithms
+        .iter()
+        .enumerate()
+        .map(|(ai, alg)| {
+            let nrmse = sizes
+                .iter()
+                .enumerate()
+                .map(|(si, &k)| {
+                    // Distinct deterministic seed per cell.
+                    let cell_seed = cfg
+                        .seed
+                        .wrapping_add((ai as u64) << 32)
+                        .wrapping_add(si as u64);
+                    replicated_nrmse(
+                        graph,
+                        burn_in,
+                        target,
+                        f_true,
+                        alg.as_ref(),
+                        k,
+                        cfg,
+                        cell_seed,
+                    )
+                })
+                .collect();
+            SweepRow {
+                abbrev: alg.abbrev(),
+                nrmse,
+            }
+        })
+        .collect()
+}
+
+/// Index of the best (lowest-NRMSE) row per column — the paper bolds these.
+pub fn best_per_column(rows: &[SweepRow]) -> Vec<usize> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let cols = rows[0].nrmse.len();
+    (0..cols)
+        .map(|c| {
+            rows.iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.nrmse[c].partial_cmp(&b.nrmse[c]).unwrap())
+                .map(|(i, _)| i)
+                .unwrap()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use labelcount_core::algorithms;
+    use labelcount_graph::gen::barabasi_albert;
+    use labelcount_graph::labels::{assign_binary_labels, with_labels};
+    use labelcount_graph::GroundTruth;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (LabeledGraph, TargetLabel, usize) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = barabasi_albert(300, 4, &mut rng);
+        let mut labels = vec![Vec::new(); g.num_nodes()];
+        assign_binary_labels(&mut labels, 0.4, &mut rng);
+        let g = with_labels(&g, &labels);
+        let target = TargetLabel::new(1.into(), 2.into());
+        let f = GroundTruth::compute(&g, target).f;
+        (g, target, f)
+    }
+
+    fn quick_cfg() -> SweepConfig {
+        SweepConfig {
+            reps: 30,
+            threads: 4,
+            seed: 11,
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn paper_sizes_are_half_percent_steps() {
+        let sizes = paper_sizes(10_000);
+        assert_eq!(sizes.len(), 10);
+        assert_eq!(sizes[0], 50);
+        assert_eq!(sizes[9], 500);
+        assert_eq!(paper_size_headers()[0], "0.5%|V|");
+        assert_eq!(paper_size_headers()[9], "5.0%|V|");
+    }
+
+    #[test]
+    fn tiny_graphs_never_get_zero_sizes() {
+        assert!(paper_sizes(10).iter().all(|&k| k >= 1));
+    }
+
+    #[test]
+    fn sweep_produces_finite_errors_for_all_algorithms() {
+        let (g, target, f) = fixture();
+        let algs = algorithms::all_paper(0.2, 0.5);
+        let rows = nrmse_sweep(&g, 50, target, f, &[30, 90], &algs, &quick_cfg());
+        assert_eq!(rows.len(), 10);
+        for row in &rows {
+            assert_eq!(row.nrmse.len(), 2);
+            for &e in &row.nrmse {
+                assert!(e.is_finite() && e >= 0.0, "{}: {e}", row.abbrev);
+            }
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_sample_size_for_hh() {
+        let (g, target, f) = fixture();
+        let algs: Vec<Box<dyn labelcount_core::Algorithm>> =
+            vec![Box::new(labelcount_core::NsHansenHurwitz)];
+        let cfg = SweepConfig {
+            reps: 80,
+            ..quick_cfg()
+        };
+        let rows = nrmse_sweep(&g, 50, target, f, &[20, 300], &algs, &cfg);
+        assert!(
+            rows[0].nrmse[1] < rows[0].nrmse[0],
+            "NRMSE {:?} should decrease",
+            rows[0].nrmse
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic_given_seed() {
+        let (g, target, f) = fixture();
+        let algs: Vec<Box<dyn labelcount_core::Algorithm>> =
+            vec![Box::new(labelcount_core::NsHansenHurwitz)];
+        let cfg = quick_cfg();
+        let a = nrmse_sweep(&g, 20, target, f, &[40], &algs, &cfg);
+        let b = nrmse_sweep(&g, 20, target, f, &[40], &algs, &cfg);
+        assert_eq!(a[0].nrmse, b[0].nrmse);
+    }
+
+    #[test]
+    fn best_per_column_finds_minima() {
+        let rows = vec![
+            SweepRow {
+                abbrev: "a",
+                nrmse: vec![0.5, 0.1],
+            },
+            SweepRow {
+                abbrev: "b",
+                nrmse: vec![0.2, 0.3],
+            },
+        ];
+        assert_eq!(best_per_column(&rows), vec![1, 0]);
+        assert!(best_per_column(&[]).is_empty());
+    }
+}

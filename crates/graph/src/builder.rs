@@ -1,0 +1,256 @@
+//! Mutable construction of [`LabeledGraph`]s.
+//!
+//! The paper's preprocessing (§5.1): *"In each network, we remove the
+//! directions of edges, self-loops and multi-edges."* [`GraphBuilder`]
+//! performs exactly that — edges are added as unordered pairs, self-loops are
+//! dropped, and duplicates collapse to a single undirected edge at
+//! [`GraphBuilder::build`] time.
+
+use crate::csr::LabeledGraph;
+use crate::{LabelId, NodeId};
+
+/// Incremental builder for [`LabeledGraph`].
+///
+/// ```
+/// use labelcount_graph::{GraphBuilder, NodeId, LabelId};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1));
+/// b.add_edge(NodeId(1), NodeId(0)); // duplicate: collapsed
+/// b.add_edge(NodeId(1), NodeId(1)); // self-loop: dropped
+/// b.add_edge(NodeId(1), NodeId(2));
+/// b.set_labels(NodeId(0), &[LabelId(1)]);
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    /// Edge list with endpoints normalized so `e.0 <= e.1`; self-loops are
+    /// filtered at insertion, duplicates at build.
+    edges: Vec<(NodeId, NodeId)>,
+    /// Per-node label sets (unsorted until build).
+    labels: Vec<Vec<LabelId>>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_nodes` nodes (ids
+    /// `0..num_nodes`) and no edges.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+            labels: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Creates a builder pre-sized for `num_edges` edge insertions.
+    pub fn with_capacity(num_nodes: usize, num_edges: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::with_capacity(num_edges),
+            labels: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Number of nodes this builder was created with.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Adds the undirected edge `(u, v)`. Self-loops are silently dropped;
+    /// duplicate edges are collapsed at [`GraphBuilder::build`] time.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(
+            u.index() < self.num_nodes && v.index() < self.num_nodes,
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.num_nodes
+        );
+        if u == v {
+            return;
+        }
+        let e = if u < v { (u, v) } else { (v, u) };
+        self.edges.push(e);
+    }
+
+    /// Whether the edge has already been inserted (linear scan; intended for
+    /// tests and small generators — prefer generator-local dedup for bulk
+    /// construction).
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let e = if u < v { (u, v) } else { (v, u) };
+        self.edges.contains(&e)
+    }
+
+    /// Number of edge insertions so far (before dedup).
+    pub fn num_edge_insertions(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a single label to node `u` (duplicates collapse at build).
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    pub fn add_label(&mut self, u: NodeId, t: LabelId) {
+        self.labels[u.index()].push(t);
+    }
+
+    /// Replaces the label set of node `u`.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    pub fn set_labels(&mut self, u: NodeId, ts: &[LabelId]) {
+        let slot = &mut self.labels[u.index()];
+        slot.clear();
+        slot.extend_from_slice(ts);
+    }
+
+    /// Finalizes into an immutable CSR graph: sorts, deduplicates, and packs
+    /// adjacency and label lists.
+    pub fn build(mut self) -> LabeledGraph {
+        // Deduplicate edges.
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        // Degree counting pass.
+        let n = self.num_nodes;
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            degree[u.index()] += 1;
+            degree[v.index()] += 1;
+        }
+
+        // Prefix sums → offsets.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        // Fill adjacency. Edges are sorted by (u, v) so per-node lists come
+        // out sorted for the first endpoint; the reverse direction needs a
+        // final per-node sort.
+        let mut cursor = offsets.clone();
+        let mut adjacency = vec![NodeId::default(); acc];
+        for &(u, v) in &self.edges {
+            adjacency[cursor[u.index()]] = v;
+            cursor[u.index()] += 1;
+            adjacency[cursor[v.index()]] = u;
+            cursor[v.index()] += 1;
+        }
+        for i in 0..n {
+            adjacency[offsets[i]..offsets[i + 1]].sort_unstable();
+        }
+
+        // Labels: sort + dedup per node, then pack.
+        let mut num_labels = 0usize;
+        for ls in &mut self.labels {
+            ls.sort_unstable();
+            ls.dedup();
+            if let Some(&max) = ls.last() {
+                num_labels = num_labels.max(max.index() + 1);
+            }
+        }
+        let mut label_offsets = Vec::with_capacity(n + 1);
+        label_offsets.push(0);
+        let mut total = 0usize;
+        for ls in &self.labels {
+            total += ls.len();
+            label_offsets.push(total);
+        }
+        let mut label_data = Vec::with_capacity(total);
+        for ls in &self.labels {
+            label_data.extend_from_slice(ls);
+        }
+
+        LabeledGraph::from_parts(offsets, adjacency, label_offsets, label_data, num_labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 0);
+            assert!(g.labels(u).is_empty());
+        }
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(0));
+        b.add_edge(NodeId(1), NodeId(1));
+        b.add_edge(NodeId(0), NodeId(1));
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn multi_edges_collapsed_regardless_of_direction() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn duplicate_labels_collapsed() {
+        let mut b = GraphBuilder::new(1);
+        b.add_label(NodeId(0), LabelId(3));
+        b.add_label(NodeId(0), LabelId(3));
+        b.add_label(NodeId(0), LabelId(1));
+        let g = b.build();
+        assert_eq!(g.labels(NodeId(0)), &[LabelId(1), LabelId(3)]);
+        assert_eq!(g.num_labels(), 4); // ids 0..=3
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(2));
+    }
+
+    #[test]
+    fn contains_edge_is_direction_insensitive() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(2), NodeId(1));
+        assert!(b.contains_edge(NodeId(1), NodeId(2)));
+        assert!(b.contains_edge(NodeId(2), NodeId(1)));
+        assert!(!b.contains_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn build_produces_valid_csr_on_star() {
+        let mut b = GraphBuilder::new(6);
+        for i in 1..6 {
+            b.add_edge(NodeId(0), NodeId(i));
+        }
+        let g = b.build();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.degree(NodeId(0)), 5);
+        assert_eq!(g.num_edges(), 5);
+    }
+}

@@ -1,0 +1,204 @@
+//! Connected components and largest-component extraction.
+//!
+//! The paper evaluates every algorithm on the largest connected component of
+//! each network (§5.1), because a random walk can only reach the component
+//! of its start node. [`largest_component`] extracts that component as a new
+//! [`LabeledGraph`] (with remapped dense node ids) plus the mapping back to
+//! the original ids.
+
+use crate::csr::LabeledGraph;
+use crate::{GraphBuilder, NodeId};
+
+/// Per-node component labeling: `assignment[u] = component index`,
+/// components numbered `0..num_components` in order of discovery.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Component index of each node.
+    pub assignment: Vec<u32>,
+    /// Size (node count) of each component.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Index of the largest component (ties broken toward the smaller
+    /// index, i.e. first discovered).
+    pub fn largest(&self) -> Option<usize> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Computes connected components with an iterative BFS (no recursion, safe
+/// for multi-million-node graphs).
+pub fn connected_components(g: &LabeledGraph) -> Components {
+    const UNVISITED: u32 = u32::MAX;
+    let n = g.num_nodes();
+    let mut assignment = vec![UNVISITED; n];
+    let mut sizes = Vec::new();
+    let mut queue = Vec::new();
+
+    for start in g.nodes() {
+        if assignment[start.index()] != UNVISITED {
+            continue;
+        }
+        let comp = sizes.len() as u32;
+        let mut size = 0usize;
+        assignment[start.index()] = comp;
+        queue.push(start);
+        while let Some(u) = queue.pop() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                if assignment[v.index()] == UNVISITED {
+                    assignment[v.index()] = comp;
+                    queue.push(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+
+    Components { assignment, sizes }
+}
+
+/// Result of [`largest_component`]: the extracted subgraph plus the id
+/// mapping back to the input graph.
+#[derive(Clone, Debug)]
+pub struct ExtractedComponent {
+    /// The largest connected component, with dense node ids `0..size`.
+    pub graph: LabeledGraph,
+    /// `original[new_id] = old_id` in the input graph.
+    pub original: Vec<NodeId>,
+}
+
+/// Extracts the largest connected component as a standalone graph.
+///
+/// Node labels are carried over. Returns `None` for an empty graph.
+pub fn largest_component(g: &LabeledGraph) -> Option<ExtractedComponent> {
+    if g.num_nodes() == 0 {
+        return None;
+    }
+    let comps = connected_components(g);
+    let target = comps.largest()? as u32;
+
+    // Old → new id mapping for member nodes.
+    const ABSENT: u32 = u32::MAX;
+    let mut new_id = vec![ABSENT; g.num_nodes()];
+    let mut original = Vec::with_capacity(comps.sizes[target as usize]);
+    for u in g.nodes() {
+        if comps.assignment[u.index()] == target {
+            new_id[u.index()] = original.len() as u32;
+            original.push(u);
+        }
+    }
+
+    let mut b = GraphBuilder::with_capacity(original.len(), g.num_edges());
+    for (new_u, &old_u) in original.iter().enumerate() {
+        b.set_labels(NodeId(new_u as u32), g.labels(old_u));
+        for &old_v in g.neighbors(old_u) {
+            let new_v = new_id[old_v.index()];
+            debug_assert_ne!(new_v, ABSENT, "neighbor must be in same component");
+            // Insert each edge once.
+            if (new_u as u32) < new_v {
+                b.add_edge(NodeId(new_u as u32), NodeId(new_v));
+            }
+        }
+    }
+    Some(ExtractedComponent {
+        graph: b.build(),
+        original,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LabelId;
+
+    /// Two triangles (0,1,2) and (3,4,5), plus isolated node 6.
+    fn two_triangles_and_isolate() -> LabeledGraph {
+        let mut b = GraphBuilder::new(7);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.set_labels(NodeId(3), &[LabelId(9)]);
+        b.build()
+    }
+
+    #[test]
+    fn counts_components() {
+        let g = two_triangles_and_isolate();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3);
+        let mut sizes = c.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 3, 3]);
+    }
+
+    #[test]
+    fn assignment_constant_within_component() {
+        let g = two_triangles_and_isolate();
+        let c = connected_components(&g);
+        assert_eq!(c.assignment[0], c.assignment[1]);
+        assert_eq!(c.assignment[1], c.assignment[2]);
+        assert_eq!(c.assignment[3], c.assignment[4]);
+        assert_ne!(c.assignment[0], c.assignment[3]);
+        assert_ne!(c.assignment[0], c.assignment[6]);
+    }
+
+    #[test]
+    fn largest_ties_break_to_first_discovered() {
+        let g = two_triangles_and_isolate();
+        let c = connected_components(&g);
+        // Components of equal size 3; node 0's component is discovered first.
+        assert_eq!(c.largest(), Some(c.assignment[0] as usize));
+    }
+
+    #[test]
+    fn extraction_preserves_structure_and_labels() {
+        let mut b = GraphBuilder::new(6);
+        // Path 0-1-2-3 (largest), edge 4-5.
+        for &(u, v) in &[(0, 1), (1, 2), (2, 3), (4, 5)] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.set_labels(NodeId(2), &[LabelId(7)]);
+        let g = b.build();
+
+        let ex = largest_component(&g).unwrap();
+        assert_eq!(ex.graph.num_nodes(), 4);
+        assert_eq!(ex.graph.num_edges(), 3);
+        assert!(ex.graph.validate().is_ok());
+        // Node 2 (old) carries label 7 wherever it landed.
+        let new2 = ex.original.iter().position(|&o| o == NodeId(2)).unwrap();
+        assert_eq!(ex.graph.labels(NodeId(new2 as u32)), &[LabelId(7)]);
+        // Degrees preserved under the mapping.
+        for (new_u, &old_u) in ex.original.iter().enumerate() {
+            assert_eq!(ex.graph.degree(NodeId(new_u as u32)), g.degree(old_u));
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_no_largest_component() {
+        let g = GraphBuilder::new(0).build();
+        assert!(largest_component(&g).is_none());
+    }
+
+    #[test]
+    fn connected_graph_extracts_to_itself() {
+        let mut b = GraphBuilder::new(4);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 3)] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        let g = b.build();
+        let ex = largest_component(&g).unwrap();
+        assert_eq!(ex.graph.num_nodes(), g.num_nodes());
+        assert_eq!(ex.graph.num_edges(), g.num_edges());
+    }
+}

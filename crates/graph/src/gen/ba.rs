@@ -1,0 +1,127 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! OSN friendship graphs have heavy-tailed degree distributions; the BA
+//! model reproduces that (`P(d) ∝ d^−3`), which is the property the
+//! random-walk estimators are most sensitive to (the walk's stationary
+//! distribution is proportional to degree). All five surrogate datasets in
+//! `labelcount-experiments` are BA-based.
+
+use rand::Rng;
+
+use crate::{GraphBuilder, LabeledGraph, NodeId};
+
+/// Generates a Barabási–Albert graph: starts from a clique on `m + 1` nodes,
+/// then attaches each new node to `m` distinct existing nodes chosen with
+/// probability proportional to their current degree.
+///
+/// Preferential selection uses the standard trick of sampling a uniform
+/// position in the running endpoint list (each node appears once per unit of
+/// degree), which is exact and `O(1)` per draw.
+///
+/// The result is connected with `n·m − m(m+1)/2 + m(m+1)/2 = ...` ≈ `n·m`
+/// edges and mean degree ≈ `2m`.
+///
+/// # Panics
+/// Panics if `m == 0` or `n < m + 1`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> LabeledGraph {
+    assert!(m >= 1, "attachment count m must be >= 1");
+    assert!(n > m, "need n >= m + 1 (n={n}, m={m})");
+
+    let mut b = GraphBuilder::with_capacity(n, n * m);
+    // Flat endpoint list: node u appears degree(u) times.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique on nodes 0..=m.
+    for u in 0..=(m as u32) {
+        for v in (u + 1)..=(m as u32) {
+            b.add_edge(NodeId(u), NodeId(v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    let mut targets: Vec<u32> = Vec::with_capacity(m);
+    for u in (m + 1)..n {
+        targets.clear();
+        // Draw m distinct preferential targets.
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(NodeId(u as u32), NodeId(t));
+            endpoints.push(u as u32);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 500;
+        let m = 4;
+        let g = barabasi_albert(n, m, &mut rng);
+        assert_eq!(g.num_nodes(), n);
+        // Clique edges + m per subsequent node.
+        let expected = m * (m + 1) / 2 + (n - m - 1) * m;
+        assert_eq!(g.num_edges(), expected);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn connected() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = barabasi_albert(300, 3, &mut rng);
+        assert_eq!(connected_components(&g).count(), 1);
+    }
+
+    #[test]
+    fn minimum_degree_is_m() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let m = 5;
+        let g = barabasi_albert(200, m, &mut rng);
+        for u in g.nodes() {
+            assert!(g.degree(u) >= m, "degree({u}) = {} < m", g.degree(u));
+        }
+    }
+
+    #[test]
+    fn heavy_tail_hubs_emerge() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let g = barabasi_albert(2_000, 3, &mut rng);
+        let max_deg = g.nodes().map(|u| g.degree(u)).max().unwrap();
+        let mean_deg = g.degree_sum() as f64 / g.num_nodes() as f64;
+        // A hub far above the mean is the signature of preferential
+        // attachment; for n = 2000 the max degree is reliably > 10× mean.
+        assert!(
+            max_deg as f64 > 10.0 * mean_deg,
+            "max {max_deg} vs mean {mean_deg}"
+        );
+    }
+
+    #[test]
+    fn smallest_valid_instance() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let g = barabasi_albert(2, 1, &mut rng);
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= m + 1")]
+    fn rejects_too_few_nodes() {
+        let mut rng = StdRng::seed_from_u64(16);
+        barabasi_albert(3, 3, &mut rng);
+    }
+}

@@ -1,0 +1,222 @@
+//! Planted-community graphs: BA-style degree skew + block structure.
+//!
+//! Location labels in Pokec-like networks are strongly homophilous: most
+//! friendships fall inside a region. This generator plants `c` communities,
+//! gives every node a home community, and wires each new node's `m` edges
+//! either inside its community (probability `p_in`) or anywhere in the graph
+//! (otherwise), always with preferential attachment within the chosen pool.
+//! Community membership is exposed via [`PlantedCommunityConfig`]-driven
+//! assignment so label models can align labels with communities.
+
+use rand::Rng;
+
+use crate::{GraphBuilder, LabeledGraph, NodeId};
+
+/// Configuration for [`planted_communities`].
+#[derive(Clone, Debug)]
+pub struct PlantedCommunityConfig {
+    /// Total number of nodes.
+    pub n: usize,
+    /// Edges attached per arriving node (mean degree ≈ `2m`).
+    pub m: usize,
+    /// Number of communities; sizes follow a Zipf-like `1/rank` profile so
+    /// some communities are large (big cities) and most are small.
+    pub communities: usize,
+    /// Probability that an edge stays inside the arriving node's community.
+    pub p_in: f64,
+}
+
+/// Result of [`planted_communities`]: the graph plus each node's community.
+#[derive(Clone, Debug)]
+pub struct PlantedGraph {
+    /// The generated graph.
+    pub graph: LabeledGraph,
+    /// `community[u]` = community index of node `u`.
+    pub community: Vec<u32>,
+}
+
+/// Generates a preferential-attachment graph with planted communities.
+///
+/// # Panics
+/// Panics if `m == 0`, `communities == 0`, `n < m + 1`, or
+/// `p_in ∉ [0, 1]`.
+pub fn planted_communities<R: Rng + ?Sized>(
+    cfg: &PlantedCommunityConfig,
+    rng: &mut R,
+) -> PlantedGraph {
+    assert!(cfg.m >= 1, "m must be >= 1");
+    assert!(cfg.communities >= 1, "need at least one community");
+    assert!(cfg.n > cfg.m, "need n >= m + 1");
+    assert!((0.0..=1.0).contains(&cfg.p_in), "p_in must be in [0, 1]");
+
+    // Zipf-like community sizes: weight of community c is 1/(c+1).
+    let weights: Vec<f64> = (0..cfg.communities).map(|c| 1.0 / (c + 1) as f64).collect();
+    let wsum: f64 = weights.iter().sum();
+
+    // Assign every node a community up front (independent of arrival order).
+    let mut community = Vec::with_capacity(cfg.n);
+    for _ in 0..cfg.n {
+        let mut r = rng.gen::<f64>() * wsum;
+        let mut pick = cfg.communities - 1;
+        for (c, &w) in weights.iter().enumerate() {
+            if r < w {
+                pick = c;
+                break;
+            }
+            r -= w;
+        }
+        community.push(pick as u32);
+    }
+
+    let mut b = GraphBuilder::with_capacity(cfg.n, cfg.n * cfg.m);
+    // Global endpoint pool and one pool per community, for preferential
+    // attachment restricted to a community.
+    let mut global: Vec<u32> = Vec::with_capacity(2 * cfg.n * cfg.m);
+    let mut per_comm: Vec<Vec<u32>> = vec![Vec::new(); cfg.communities];
+
+    let push_endpoint =
+        |global: &mut Vec<u32>, per_comm: &mut Vec<Vec<u32>>, community: &[u32], u: u32| {
+            global.push(u);
+            per_comm[community[u as usize] as usize].push(u);
+        };
+
+    // Seed clique on 0..=m.
+    for u in 0..=(cfg.m as u32) {
+        for v in (u + 1)..=(cfg.m as u32) {
+            b.add_edge(NodeId(u), NodeId(v));
+            push_endpoint(&mut global, &mut per_comm, &community, u);
+            push_endpoint(&mut global, &mut per_comm, &community, v);
+        }
+    }
+
+    let mut targets: Vec<u32> = Vec::with_capacity(cfg.m);
+    for u in (cfg.m + 1)..cfg.n {
+        let home = community[u] as usize;
+        targets.clear();
+        let mut attempts = 0usize;
+        while targets.len() < cfg.m {
+            attempts += 1;
+            // Fall back to the global pool if the home community has no
+            // endpoints yet or we keep colliding.
+            let pool: &[u32] = if rng.gen::<f64>() < cfg.p_in
+                && !per_comm[home].is_empty()
+                && attempts < 50 * cfg.m
+            {
+                &per_comm[home]
+            } else {
+                &global
+            };
+            let t = pool[rng.gen_range(0..pool.len())];
+            if t as usize != u && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(NodeId(u as u32), NodeId(t));
+            push_endpoint(&mut global, &mut per_comm, &community, u as u32);
+            push_endpoint(&mut global, &mut per_comm, &community, t);
+        }
+    }
+
+    PlantedGraph {
+        graph: b.build(),
+        community,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(n: usize) -> PlantedCommunityConfig {
+        PlantedCommunityConfig {
+            n,
+            m: 4,
+            communities: 8,
+            p_in: 0.8,
+        }
+    }
+
+    #[test]
+    fn basic_shape() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let pg = planted_communities(&cfg(800), &mut rng);
+        assert_eq!(pg.graph.num_nodes(), 800);
+        assert_eq!(pg.community.len(), 800);
+        assert!(pg.graph.validate().is_ok());
+        assert_eq!(connected_components(&pg.graph).count(), 1);
+    }
+
+    #[test]
+    fn communities_in_range() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let pg = planted_communities(&cfg(500), &mut rng);
+        assert!(pg.community.iter().all(|&c| c < 8));
+        // Zipf sizing ⇒ community 0 should be the biggest.
+        let mut sizes = [0usize; 8];
+        for &c in &pg.community {
+            sizes[c as usize] += 1;
+        }
+        let max = *sizes.iter().max().unwrap();
+        assert_eq!(sizes[0], max);
+    }
+
+    #[test]
+    fn homophily_dominates_at_high_p_in() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let pg = planted_communities(
+            &PlantedCommunityConfig {
+                n: 2_000,
+                m: 5,
+                communities: 4,
+                p_in: 0.9,
+            },
+            &mut rng,
+        );
+        let mut inside = 0usize;
+        let mut total = 0usize;
+        for (u, v) in pg.graph.edges() {
+            total += 1;
+            if pg.community[u.index()] == pg.community[v.index()] {
+                inside += 1;
+            }
+        }
+        let frac = inside as f64 / total as f64;
+        // Under p_in = 0.9 with a dominant community, well over half of the
+        // edges must be intra-community.
+        assert!(frac > 0.6, "intra-community fraction {frac}");
+    }
+
+    #[test]
+    fn p_in_zero_behaves_like_plain_ba() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let pg = planted_communities(
+            &PlantedCommunityConfig {
+                n: 400,
+                m: 3,
+                communities: 5,
+                p_in: 0.0,
+            },
+            &mut rng,
+        );
+        assert_eq!(pg.graph.num_edges(), 3 * (3 + 1) / 2 + (400 - 4) * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_in")]
+    fn invalid_p_in_rejected() {
+        let mut rng = StdRng::seed_from_u64(35);
+        planted_communities(
+            &PlantedCommunityConfig {
+                n: 100,
+                m: 2,
+                communities: 2,
+                p_in: 1.5,
+            },
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Erdős–Rényi random graphs: `G(n, m)` and `G(n, p)`.
+
+use rand::Rng;
+
+use crate::{GraphBuilder, LabeledGraph, NodeId};
+
+/// Generates `G(n, m)`: `n` nodes and exactly `m` distinct undirected edges
+/// sampled uniformly without replacement (rejection sampling; suitable for
+/// the sparse regime `m ≪ n²/2` used throughout the experiments).
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges `n(n−1)/2`.
+pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> LabeledGraph {
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= possible, "G(n={n}, m={m}) needs m <= {possible}");
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            b.add_edge(NodeId(key.0), NodeId(key.1));
+        }
+    }
+    b.build()
+}
+
+/// Generates `G(n, p)`: each of the `n(n−1)/2` possible edges present
+/// independently with probability `p`, using geometric skipping so the cost
+/// is `O(n + m)` rather than `O(n²)`.
+///
+/// # Panics
+/// Panics if `p` is not in `[0, 1]`.
+pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> LabeledGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return b.build();
+    }
+    if p == 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                b.add_edge(NodeId(u), NodeId(v));
+            }
+        }
+        return b.build();
+    }
+    // Batagelj–Brandes skipping over the upper-triangular edge enumeration.
+    let log1mp = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n = n as i64;
+    while v < n {
+        let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        w += 1 + ((1.0 - r).ln() / log1mp).floor() as i64;
+        while w >= v && v < n {
+            w -= v;
+            v += 1;
+        }
+        if v < n {
+            b.add_edge(NodeId(w as u32), NodeId(v as u32));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi_gnm(100, 250, &mut rng);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 250);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn gnm_zero_edges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = erdos_renyi_gnm(10, 0, &mut rng);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn gnm_complete_graph() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi_gnm(6, 15, &mut rng);
+        assert_eq!(g.num_edges(), 15);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs m <=")]
+    fn gnm_too_many_edges_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        erdos_renyi_gnm(4, 7, &mut rng);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 400;
+        let p = 0.05;
+        let g = erdos_renyi_gnp(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let sd = (expected * (1.0 - p)).sqrt();
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 5.0 * sd,
+            "got {got}, expected {expected} ± {}",
+            5.0 * sd
+        );
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(erdos_renyi_gnp(50, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(erdos_renyi_gnp(5, 1.0, &mut rng).num_edges(), 10);
+    }
+
+    #[test]
+    fn gnp_deterministic_given_seed() {
+        let g1 = erdos_renyi_gnp(60, 0.1, &mut StdRng::seed_from_u64(7));
+        let g2 = erdos_renyi_gnp(60, 0.1, &mut StdRng::seed_from_u64(7));
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        for u in g1.nodes() {
+            assert_eq!(g1.neighbors(u), g2.neighbors(u));
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Synthetic OSN generators.
+//!
+//! The paper evaluates on SNAP/KONECT snapshots that are not redistributable
+//! here; these generators produce surrogate graphs with the structural
+//! properties the estimators are sensitive to (degree heavy tails, small
+//! diameter, community structure). See DESIGN.md §6 for the substitution
+//! argument.
+//!
+//! All generators are deterministic given an RNG, take node counts small
+//! enough for laptop-scale experiments, and return graphs through
+//! [`crate::GraphBuilder`] so the usual preprocessing (self-loop and
+//! multi-edge removal) applies.
+
+mod ba;
+mod community;
+mod er;
+mod ws;
+
+pub use ba::barabasi_albert;
+pub use community::{planted_communities, PlantedCommunityConfig};
+pub use er::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use ws::watts_strogatz;

@@ -1,0 +1,125 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! Used in tests and ablations as a *low-variance-degree* contrast to the
+//! BA surrogates: on a WS graph the simple random walk's stationary
+//! distribution is nearly uniform, which separates estimator effects that
+//! stem from degree skew from those that stem from label placement.
+
+use rand::Rng;
+
+use crate::{GraphBuilder, LabeledGraph, NodeId};
+
+/// Generates a Watts–Strogatz graph: a ring lattice on `n` nodes where each
+/// node connects to its `k/2` clockwise neighbors, then each lattice edge is
+/// rewired (its clockwise endpoint replaced by a uniform random node) with
+/// probability `beta`.
+///
+/// Rewiring skips moves that would create self-loops or duplicate edges, as
+/// in the original model.
+///
+/// # Panics
+/// Panics if `k` is odd, `k == 0`, `k >= n`, or `beta ∉ [0, 1]`.
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> LabeledGraph {
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "k must be positive and even (got {k})"
+    );
+    assert!(k < n, "need k < n (k={k}, n={n})");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+
+    // Adjacency sets for duplicate checks during rewiring.
+    let mut adj: Vec<std::collections::BTreeSet<u32>> = vec![std::collections::BTreeSet::new(); n];
+    let half = k / 2;
+    for u in 0..n {
+        for j in 1..=half {
+            let v = (u + j) % n;
+            adj[u].insert(v as u32);
+            adj[v].insert(u as u32);
+        }
+    }
+
+    for u in 0..n {
+        for j in 1..=half {
+            let v = (u + j) % n;
+            if rng.gen::<f64>() >= beta {
+                continue;
+            }
+            // Try to rewire (u, v) → (u, w).
+            let w = rng.gen_range(0..n as u32);
+            if w as usize == u || adj[u].contains(&w) {
+                continue; // keep original edge, as in the canonical model
+            }
+            adj[u].remove(&(v as u32));
+            adj[v].remove(&(u as u32));
+            adj[u].insert(w);
+            adj[w as usize].insert(u as u32);
+        }
+    }
+
+    let mut b = GraphBuilder::with_capacity(n, n * half);
+    for (u, ns) in adj.iter().enumerate() {
+        for &v in ns {
+            if (u as u32) < v {
+                b.add_edge(NodeId(u as u32), NodeId(v));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unrewired_is_ring_lattice() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = watts_strogatz(20, 4, 0.0, &mut rng);
+        assert_eq!(g.num_edges(), 20 * 2);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+        }
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(g.has_edge(NodeId(0), NodeId(19)));
+        assert!(g.has_edge(NodeId(0), NodeId(18)));
+        assert!(!g.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn rewiring_preserves_edge_count() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = watts_strogatz(100, 6, 0.3, &mut rng);
+        assert_eq!(g.num_edges(), 100 * 3);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn full_rewiring_still_valid() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = watts_strogatz(60, 4, 1.0, &mut rng);
+        assert_eq!(g.num_edges(), 60 * 2);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_k_rejected() {
+        let mut rng = StdRng::seed_from_u64(24);
+        watts_strogatz(10, 3, 0.1, &mut rng);
+    }
+
+    #[test]
+    fn degree_variance_small_compared_to_ba() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let g = watts_strogatz(500, 8, 0.2, &mut rng);
+        let mean = g.degree_sum() as f64 / g.num_nodes() as f64;
+        let max = g.nodes().map(|u| g.degree(u)).max().unwrap() as f64;
+        assert!(
+            max < 3.0 * mean,
+            "WS should have no hubs: max {max}, mean {mean}"
+        );
+    }
+}

@@ -1,0 +1,339 @@
+//! Exact ground truth for target-edge counting.
+//!
+//! The estimators never see these quantities (they only observe the graph
+//! through the restricted API), but the evaluation needs them:
+//!
+//! * `F` — the true number of target edges, for NRMSE;
+//! * `T(u)` — the number of target edges incident to each node, which both
+//!   the NeighborExploration estimators (measured on samples) and the
+//!   theoretical bounds of Theorems 4.3–4.5 (summed over all of `V`) use;
+//! * per-pair counts over *all* label pairs, which the experiment harness
+//!   uses to pick target labels from frequency quartiles as the paper does
+//!   (§5.2: "order those edge labels in ascending order of the count of
+//!   target edges and divide them into 4 parts").
+
+use std::collections::HashMap;
+
+use crate::csr::LabeledGraph;
+use crate::{LabelId, NodeId};
+
+/// A target edge label `(t1, t2)` — an unordered pair of node labels.
+///
+/// An edge `(u, v)` is a *target edge* iff `u` has `t1` and `v` has `t2`, or
+/// `v` has `t1` and `u` has `t2` (paper §3). The pair is stored normalized
+/// (`first <= second`) so `(a, b)` and `(b, a)` compare equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TargetLabel {
+    first: LabelId,
+    second: LabelId,
+}
+
+impl TargetLabel {
+    /// Creates a (normalized) target edge label.
+    pub fn new(t1: LabelId, t2: LabelId) -> Self {
+        if t1 <= t2 {
+            TargetLabel {
+                first: t1,
+                second: t2,
+            }
+        } else {
+            TargetLabel {
+                first: t2,
+                second: t1,
+            }
+        }
+    }
+
+    /// The smaller label of the pair.
+    pub fn first(&self) -> LabelId {
+        self.first
+    }
+
+    /// The larger label of the pair.
+    pub fn second(&self) -> LabelId {
+        self.second
+    }
+
+    /// Whether the pair is homophilous (`t1 == t2`).
+    pub fn is_same(&self) -> bool {
+        self.first == self.second
+    }
+
+    /// Whether node `u` of graph `g` carries at least one of the two labels
+    /// — the trigger condition for NeighborExploration (Alg. 2, line 4).
+    pub fn involves(&self, g: &LabeledGraph, u: NodeId) -> bool {
+        g.has_label(u, self.first) || g.has_label(u, self.second)
+    }
+
+    /// Whether the edge `(u, v)` is a target edge in `g`.
+    #[inline]
+    pub fn matches(&self, g: &LabeledGraph, u: NodeId, v: NodeId) -> bool {
+        (g.has_label(u, self.first) && g.has_label(v, self.second))
+            || (g.has_label(v, self.first) && g.has_label(u, self.second))
+    }
+
+    /// `T(u)`: the number of target edges incident to `u` — the quantity
+    /// NeighborExploration records after exploring `u`'s neighbors.
+    pub fn incident_count(&self, g: &LabeledGraph, u: NodeId) -> usize {
+        g.neighbors(u)
+            .iter()
+            .filter(|&&v| self.matches(g, u, v))
+            .count()
+    }
+}
+
+impl std::fmt::Display for TargetLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.first, self.second)
+    }
+}
+
+/// Exact evaluation-side quantities for one `(graph, target label)` pair.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    /// The target edge label.
+    pub target: TargetLabel,
+    /// `F`: the exact number of target edges.
+    pub f: usize,
+    /// `T(u)` for every node (indexed by `NodeId`).
+    pub t: Vec<usize>,
+}
+
+impl GroundTruth {
+    /// Computes `F` and `T(u)` with one pass over all edges.
+    pub fn compute(g: &LabeledGraph, target: TargetLabel) -> Self {
+        let mut t = vec![0usize; g.num_nodes()];
+        let mut f = 0usize;
+        for (u, v) in g.edges() {
+            if target.matches(g, u, v) {
+                f += 1;
+                t[u.index()] += 1;
+                t[v.index()] += 1;
+            }
+        }
+        GroundTruth { target, f, t }
+    }
+
+    /// Relative target-edge count `F / |E|` (x-axis of Figures 1–2).
+    pub fn relative_count(&self, g: &LabeledGraph) -> f64 {
+        if g.num_edges() == 0 {
+            0.0
+        } else {
+            self.f as f64 / g.num_edges() as f64
+        }
+    }
+
+    /// The node set `Q` of §5.3: nodes incident to at least one target edge.
+    pub fn covered_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.t
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t > 0)
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+
+    /// Consistency identity `Σ_u T(u) = 2F` (each target edge is incident to
+    /// exactly two nodes).
+    pub fn t_sum(&self) -> usize {
+        self.t.iter().sum()
+    }
+}
+
+/// Counts target edges for **every** label pair present in the graph in one
+/// pass. Key is the normalized [`TargetLabel`]; value is its exact `F`.
+///
+/// For nodes with multiple labels, an edge contributes to every pair formed
+/// by one label of each endpoint (matching the paper's definition of an
+/// edge's labels as pairs "one is a label of u and the other is a label of
+/// v"). An edge is counted once per distinct pair it realizes.
+pub fn all_pair_counts(g: &LabeledGraph) -> HashMap<TargetLabel, usize> {
+    let mut counts: HashMap<TargetLabel, usize> = HashMap::new();
+    let mut seen: Vec<TargetLabel> = Vec::new();
+    for (u, v) in g.edges() {
+        seen.clear();
+        for &lu in g.labels(u) {
+            for &lv in g.labels(v) {
+                let pair = TargetLabel::new(lu, lv);
+                if !seen.contains(&pair) {
+                    seen.push(pair);
+                }
+            }
+        }
+        for &pair in &seen {
+            *counts.entry(pair).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Picks one label pair from each ascending-frequency quartile, mirroring
+/// the paper's target-label selection for Pokec/Orkut/LiveJournal (§5.2).
+///
+/// Pairs are sorted by ascending count and split into four equal parts; the
+/// pair at relative position `pos ∈ [0, 1)` within each part is returned
+/// (deterministic, so experiments are reproducible). Returns fewer than four
+/// entries if the graph has fewer than four distinct pairs.
+pub fn quartile_labels(
+    counts: &HashMap<TargetLabel, usize>,
+    pos: f64,
+) -> Vec<(TargetLabel, usize)> {
+    assert!((0.0..1.0).contains(&pos), "pos must be in [0, 1)");
+    let mut sorted: Vec<(TargetLabel, usize)> = counts
+        .iter()
+        .filter(|(_, &c)| c > 0)
+        .map(|(&t, &c)| (t, c))
+        .collect();
+    sorted.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+    if sorted.is_empty() {
+        return Vec::new();
+    }
+    if sorted.len() < 4 {
+        return sorted;
+    }
+    let q = sorted.len() / 4;
+    (0..4)
+        .map(|i| {
+            let lo = i * q;
+            let hi = if i == 3 { sorted.len() } else { (i + 1) * q };
+            let idx = lo + ((hi - lo) as f64 * pos) as usize;
+            sorted[idx.min(hi - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Path 0-1-2-3 with labels [1], [2], [1], [2].
+    fn labeled_path() -> LabeledGraph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(2), NodeId(3));
+        b.set_labels(NodeId(0), &[LabelId(1)]);
+        b.set_labels(NodeId(1), &[LabelId(2)]);
+        b.set_labels(NodeId(2), &[LabelId(1)]);
+        b.set_labels(NodeId(3), &[LabelId(2)]);
+        b.build()
+    }
+
+    #[test]
+    fn target_label_normalizes() {
+        let a = TargetLabel::new(LabelId(5), LabelId(2));
+        let b = TargetLabel::new(LabelId(2), LabelId(5));
+        assert_eq!(a, b);
+        assert_eq!(a.first(), LabelId(2));
+        assert_eq!(a.second(), LabelId(5));
+        assert!(!a.is_same());
+        assert!(TargetLabel::new(LabelId(3), LabelId(3)).is_same());
+    }
+
+    #[test]
+    fn f_counts_cross_label_edges() {
+        let g = labeled_path();
+        let gt = GroundTruth::compute(&g, TargetLabel::new(LabelId(1), LabelId(2)));
+        // All 3 path edges connect a 1-node and a 2-node.
+        assert_eq!(gt.f, 3);
+        assert_eq!(gt.t, vec![1, 2, 2, 1]);
+        assert_eq!(gt.t_sum(), 2 * gt.f);
+    }
+
+    #[test]
+    fn same_label_pairs_counted() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        for i in 0..3 {
+            b.set_labels(NodeId(i), &[LabelId(1)]);
+        }
+        let g = b.build();
+        let gt = GroundTruth::compute(&g, TargetLabel::new(LabelId(1), LabelId(1)));
+        assert_eq!(gt.f, 2);
+    }
+
+    #[test]
+    fn zero_target_edges() {
+        let g = labeled_path();
+        let gt = GroundTruth::compute(&g, TargetLabel::new(LabelId(1), LabelId(9)));
+        assert_eq!(gt.f, 0);
+        assert!(gt.covered_nodes().next().is_none());
+        assert_eq!(gt.relative_count(&g), 0.0);
+    }
+
+    #[test]
+    fn incident_count_matches_t() {
+        let g = labeled_path();
+        let target = TargetLabel::new(LabelId(1), LabelId(2));
+        let gt = GroundTruth::compute(&g, target);
+        for u in g.nodes() {
+            assert_eq!(target.incident_count(&g, u), gt.t[u.index()]);
+        }
+    }
+
+    #[test]
+    fn involves_checks_either_label() {
+        let g = labeled_path();
+        let target = TargetLabel::new(LabelId(1), LabelId(9));
+        assert!(target.involves(&g, NodeId(0))); // has label 1
+        assert!(!target.involves(&g, NodeId(1))); // has only label 2
+    }
+
+    #[test]
+    fn multi_label_nodes_count_each_pair_once_per_edge() {
+        // Edge (0,1); node 0 has {1,2}, node 1 has {1,2}.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.set_labels(NodeId(0), &[LabelId(1), LabelId(2)]);
+        b.set_labels(NodeId(1), &[LabelId(1), LabelId(2)]);
+        let g = b.build();
+        let counts = all_pair_counts(&g);
+        // Pairs realized: (1,1), (1,2), (2,2) — each once.
+        assert_eq!(counts.len(), 3);
+        assert_eq!(counts[&TargetLabel::new(LabelId(1), LabelId(1))], 1);
+        assert_eq!(counts[&TargetLabel::new(LabelId(1), LabelId(2))], 1);
+        assert_eq!(counts[&TargetLabel::new(LabelId(2), LabelId(2))], 1);
+        // F computed directly agrees.
+        let gt = GroundTruth::compute(&g, TargetLabel::new(LabelId(1), LabelId(2)));
+        assert_eq!(gt.f, 1);
+    }
+
+    #[test]
+    fn all_pair_counts_agree_with_direct_computation() {
+        let g = labeled_path();
+        let counts = all_pair_counts(&g);
+        for (&pair, &c) in &counts {
+            assert_eq!(GroundTruth::compute(&g, pair).f, c, "pair {pair}");
+        }
+        // (1,2) occurs on all 3 edges; nothing else occurs.
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts[&TargetLabel::new(LabelId(1), LabelId(2))], 3);
+    }
+
+    #[test]
+    fn quartile_labels_span_frequencies() {
+        let mut counts = HashMap::new();
+        for i in 0..16u32 {
+            counts.insert(TargetLabel::new(LabelId(i), LabelId(i)), (i + 1) as usize);
+        }
+        let picks = quartile_labels(&counts, 0.0);
+        assert_eq!(picks.len(), 4);
+        // One pick per ascending quartile ⇒ counts strictly increasing.
+        for w in picks.windows(2) {
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(picks[0].1, 1);
+        assert_eq!(picks[3].1, 13);
+    }
+
+    #[test]
+    fn quartile_labels_small_input_returns_all() {
+        let mut counts = HashMap::new();
+        counts.insert(TargetLabel::new(LabelId(0), LabelId(1)), 5);
+        counts.insert(TargetLabel::new(LabelId(1), LabelId(2)), 2);
+        let picks = quartile_labels(&counts, 0.5);
+        assert_eq!(picks.len(), 2);
+        assert!(picks[0].1 <= picks[1].1);
+    }
+}

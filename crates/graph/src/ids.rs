@@ -1,0 +1,94 @@
+//! Strongly-typed identifiers for nodes and labels.
+
+use std::fmt;
+
+/// Identifier of a node (a user of the OSN).
+///
+/// Nodes are dense indices `0..graph.num_nodes()`; the `u32` representation
+/// keeps adjacency arrays compact (4 bytes per endpoint), which matters for
+/// the multi-million-edge surrogate datasets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the node id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a node id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "node index overflows u32");
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of a node label (e.g. a gender, a location, a degree bucket).
+///
+/// The paper denotes all labels by integers in its experiments (§5.1); we do
+/// the same and keep an optional integer→name mapping in
+/// [`crate::labels::LabelNames`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// Returns the label id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for LabelId {
+    fn from(v: u32) -> Self {
+        LabelId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n, NodeId(42));
+        assert_eq!(format!("{n}"), "v42");
+    }
+
+    #[test]
+    fn label_id_display_is_bare_integer() {
+        assert_eq!(format!("{}", LabelId(7)), "7");
+        assert_eq!(LabelId(7).index(), 7);
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(LabelId(0) < LabelId(9));
+    }
+}

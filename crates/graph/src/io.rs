@@ -1,0 +1,248 @@
+//! Plain-text graph serialization.
+//!
+//! Two simple line-oriented formats, so generated surrogate datasets can be
+//! cached on disk and real SNAP-style edge lists can be loaded if available:
+//!
+//! * **edge list** — one `u v` pair per line; `#`-prefixed lines are
+//!   comments (SNAP convention);
+//! * **label list** — one `u l1 l2 …` line per labeled node.
+
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::{GraphBuilder, LabelId, LabeledGraph, NodeId};
+
+/// Errors produced by the readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that could not be parsed (1-based line number, content).
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse(line, text) => write!(f, "parse error at line {line}: {text:?}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Parse(..) => None,
+        }
+    }
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads an edge list from a reader. Node ids may be sparse; they are kept
+/// as-is, with `num_nodes = max id + 1`. Self-loops and duplicates are
+/// removed by the builder.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<LabeledGraph, IoError> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id = 0u32;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u32, IoError> {
+            tok.and_then(|t| t.parse().ok())
+                .ok_or_else(|| IoError::Parse(lineno + 1, line.clone()))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(NodeId(u), NodeId(v));
+    }
+    Ok(b.build())
+}
+
+/// Reads a label list (`u l1 l2 …` per line) and applies it to `g`,
+/// returning a relabeled graph. Unlisted nodes keep empty label sets.
+pub fn read_labels<R: BufRead>(reader: R, g: &LabeledGraph) -> Result<LabeledGraph, IoError> {
+    let mut labels: Vec<Vec<LabelId>> = vec![Vec::new(); g.num_nodes()];
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let u: u32 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| IoError::Parse(lineno + 1, line.clone()))?;
+        if u as usize >= g.num_nodes() {
+            return Err(IoError::Parse(lineno + 1, line.clone()));
+        }
+        for tok in it {
+            let l: u32 = tok
+                .parse()
+                .map_err(|_| IoError::Parse(lineno + 1, line.clone()))?;
+            labels[u as usize].push(LabelId(l));
+        }
+    }
+    Ok(crate::labels::with_labels(g, &labels))
+}
+
+/// Writes the edge list of `g` (one `u v` line per undirected edge, `u < v`).
+pub fn write_edge_list<W: Write>(g: &LabeledGraph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# labelcount edge list |V|={} |E|={}",
+        g.num_nodes(),
+        g.num_edges()
+    )?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{} {}", u.0, v.0)?;
+    }
+    w.flush()
+}
+
+/// Writes the label list of `g` (nodes with empty label sets are skipped).
+pub fn write_labels<W: Write>(g: &LabeledGraph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# labelcount labels")?;
+    for u in g.nodes() {
+        let ls = g.labels(u);
+        if ls.is_empty() {
+            continue;
+        }
+        write!(w, "{}", u.0)?;
+        for l in ls {
+            write!(w, " {}", l.0)?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Convenience: load a graph from an edge-list file and an optional label
+/// file.
+pub fn load_graph(edges_path: &Path, labels_path: Option<&Path>) -> Result<LabeledGraph, IoError> {
+    let f = std::fs::File::open(edges_path)?;
+    let g = read_edge_list(io::BufReader::new(f))?;
+    match labels_path {
+        Some(p) => {
+            let f = std::fs::File::open(p)?;
+            read_labels(io::BufReader::new(f), &g)
+        }
+        None => Ok(g),
+    }
+}
+
+/// Convenience: persist a graph as `<stem>.edges` + `<stem>.labels`.
+pub fn save_graph(g: &LabeledGraph, stem: &Path) -> io::Result<()> {
+    let edges = stem.with_extension("edges");
+    let labels = stem.with_extension("labels");
+    write_edge_list(g, std::fs::File::create(edges)?)?;
+    write_labels(g, std::fs::File::create(labels)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let input = "# comment\n0 1\n1 2\n2 0\n";
+        let g = read_edge_list(Cursor::new(input)).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(Cursor::new(out)).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for u in g.nodes() {
+            assert_eq!(g2.neighbors(u), g.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let g = read_edge_list(Cursor::new("0 1\n1 2\n")).unwrap();
+        let g = read_labels(Cursor::new("0 5\n2 5 7\n"), &g).unwrap();
+        assert_eq!(g.labels(NodeId(0)), &[LabelId(5)]);
+        assert!(g.labels(NodeId(1)).is_empty());
+        assert_eq!(g.labels(NodeId(2)), &[LabelId(5), LabelId(7)]);
+
+        let mut out = Vec::new();
+        write_labels(&g, &mut out).unwrap();
+        let g2 = read_labels(Cursor::new(out), &g).unwrap();
+        for u in g.nodes() {
+            assert_eq!(g2.labels(u), g.labels(u));
+        }
+    }
+
+    #[test]
+    fn blank_lines_and_whitespace_tolerated() {
+        let g = read_edge_list(Cursor::new("\n  0   1  \n\n# x\n1 2\n")).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_edge_reports_line() {
+        let err = read_edge_list(Cursor::new("0 1\nnot numbers\n")).unwrap_err();
+        match err {
+            IoError::Parse(line, _) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn label_for_unknown_node_is_error() {
+        let g = read_edge_list(Cursor::new("0 1\n")).unwrap();
+        assert!(read_labels(Cursor::new("7 1\n"), &g).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = read_edge_list(Cursor::new("")).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        let dir = std::env::temp_dir().join("labelcount_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("tiny");
+
+        let g = read_edge_list(Cursor::new("0 1\n1 2\n")).unwrap();
+        let g = read_labels(Cursor::new("0 3\n1 4\n2 3\n"), &g).unwrap();
+        save_graph(&g, &stem).unwrap();
+
+        let loaded = load_graph(
+            &stem.with_extension("edges"),
+            Some(&stem.with_extension("labels")),
+        )
+        .unwrap();
+        assert_eq!(loaded.num_edges(), 2);
+        assert_eq!(loaded.labels(NodeId(1)), &[LabelId(4)]);
+    }
+}

@@ -1,0 +1,49 @@
+//! # labelcount-graph
+//!
+//! Labeled-graph substrate for the `labelcount` workspace.
+//!
+//! This crate provides everything the estimators of Wu et al. (EDBT 2018,
+//! *Counting Edges with Target Labels in Online Social Networks via Random
+//! Walk*) need from a graph:
+//!
+//! * [`LabeledGraph`] — an immutable, compressed-sparse-row (CSR) undirected
+//!   graph whose nodes carry sets of labels (gender, location, degree bucket,
+//!   …), built through [`GraphBuilder`] which removes self-loops and
+//!   multi-edges exactly as the paper's preprocessing does.
+//! * [`components`] — connected components and largest-connected-component
+//!   extraction (the paper evaluates on the largest CC of each network).
+//! * [`ground_truth`] — exact target-edge counts `F` and per-node incident
+//!   target-edge counts `T(u)`, used to compute NRMSE and the theoretical
+//!   sample-size bounds.
+//! * [`gen`] — synthetic OSN generators (Erdős–Rényi, Barabási–Albert,
+//!   Watts–Strogatz, planted communities) substituting for the SNAP/KONECT
+//!   snapshots used in the paper (see DESIGN.md §6).
+//! * [`labels`] — label-assignment models (binary gender-like, Zipf
+//!   location-like with homophily, degree buckets).
+//! * [`io`] — plain-text edge-list / label-list readers and writers.
+//! * [`motifs`] — exact counts of label-refined wedges and triangles, the
+//!   ground truth for the paper's future-work extension (§6).
+//!
+//! The graph is deliberately *not* exposed to the estimator crates directly;
+//! they access it through the restricted-API simulation in `labelcount-osn`,
+//! mirroring the paper's assumption that OSNs are only reachable via
+//! neighbor-list APIs.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod components;
+pub mod csr;
+pub mod gen;
+pub mod ground_truth;
+pub mod io;
+pub mod labels;
+pub mod motifs;
+pub mod stats;
+
+mod ids;
+
+pub use builder::GraphBuilder;
+pub use csr::LabeledGraph;
+pub use ground_truth::{GroundTruth, TargetLabel};
+pub use ids::{LabelId, NodeId};

@@ -1,0 +1,297 @@
+//! Exact counts of label-refined wedges and triangles.
+//!
+//! The paper's future-work section (§6) proposes extending label-refined
+//! counting beyond edges, to "numbers of wedges and triangles refined by
+//! users' labels". This module provides the *exact* (full-access) counts
+//! used as evaluation ground truth for the random-walk estimators in
+//! `labelcount-core::motifs`.
+//!
+//! Definitions:
+//!
+//! * a **target wedge** for `(t1, t2, t3)` is a path `v – u – w`
+//!   (`v ≠ w`) whose *center* `u` carries `t2` and whose endpoints carry
+//!   `t1` and `t3` in some order; each wedge is counted once (the
+//!   endpoint pair is unordered);
+//! * a **target triangle** for `(t1, t2, t3)` is a triangle `{u, v, w}`
+//!   whose three vertices can be assigned the three labels (as a
+//!   multiset); each triangle is counted once.
+
+use crate::csr::LabeledGraph;
+use crate::{LabelId, NodeId};
+
+/// A label triple for wedge/triangle refinement.
+///
+/// For wedges the order matters only between center (`center`) and the
+/// endpoint pair (`ends`, unordered). For triangles all three are an
+/// unordered multiset.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TargetTriple {
+    /// Label required on the wedge center (`t2`).
+    pub center: LabelId,
+    /// Labels required on the two endpoints (`t1`, `t3`), normalized so
+    /// `ends.0 <= ends.1`.
+    pub ends: (LabelId, LabelId),
+}
+
+impl TargetTriple {
+    /// Creates a triple with endpoint labels `t1`, `t3` and center `t2`.
+    pub fn new(t1: LabelId, t2: LabelId, t3: LabelId) -> Self {
+        let ends = if t1 <= t3 { (t1, t3) } else { (t3, t1) };
+        TargetTriple { center: t2, ends }
+    }
+
+    /// The three labels as a sorted array (the triangle multiset view).
+    pub fn sorted(&self) -> [LabelId; 3] {
+        let mut all = [self.ends.0, self.center, self.ends.1];
+        all.sort_unstable();
+        all
+    }
+}
+
+impl std::fmt::Display for TargetTriple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}, {})", self.ends.0, self.center, self.ends.1)
+    }
+}
+
+/// `W(u)`: the number of target wedges centered at `u`.
+///
+/// Closed form from the neighbor label counts: with `A` = neighbors
+/// carrying `t1`, `B` = neighbors carrying `t3`, the unordered endpoint
+/// pairs are `|A||B| − |A∩B| − C(|A∩B|, 2)` (subtracting the diagonal and
+/// the double-counted pairs whose both endpoints carry both labels); for
+/// `t1 = t3` this reduces to `C(|A|, 2)`.
+pub fn wedges_at(g: &LabeledGraph, u: NodeId, t: TargetTriple) -> usize {
+    if !g.has_label(u, t.center) {
+        return 0;
+    }
+    let (t1, t3) = t.ends;
+    let mut a = 0usize; // |A|
+    let mut b = 0usize; // |B|
+    let mut both = 0usize; // |A ∩ B|
+    for &v in g.neighbors(u) {
+        let in_a = g.has_label(v, t1);
+        let in_b = g.has_label(v, t3);
+        a += in_a as usize;
+        b += in_b as usize;
+        both += (in_a && in_b) as usize;
+    }
+    if t1 == t3 {
+        a * (a.saturating_sub(1)) / 2
+    } else {
+        a * b - both - both * (both.saturating_sub(1)) / 2
+    }
+}
+
+/// Exact number of target wedges in the graph (one pass over nodes; cost
+/// `O(Σ_u d(u))`).
+pub fn count_labeled_wedges(g: &LabeledGraph, t: TargetTriple) -> usize {
+    g.nodes().map(|u| wedges_at(g, u, t)).sum()
+}
+
+/// Whether the triangle `{a, b, c}` realizes the label multiset of `t`
+/// under some assignment.
+fn triangle_matches(g: &LabeledGraph, a: NodeId, b: NodeId, c: NodeId, t: TargetTriple) -> bool {
+    let [x, y, z] = t.sorted();
+    let nodes = [a, b, c];
+    // Try all 6 assignments (labels may repeat, nodes may carry several
+    // labels, so no shortcut is safe).
+    const PERMS: [[usize; 3]; 6] = [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
+    PERMS.iter().any(|p| {
+        g.has_label(nodes[p[0]], x) && g.has_label(nodes[p[1]], y) && g.has_label(nodes[p[2]], z)
+    })
+}
+
+/// `T△(u)`: the number of target triangles containing `u`.
+pub fn triangles_at(g: &LabeledGraph, u: NodeId, t: TargetTriple) -> usize {
+    let ns = g.neighbors(u);
+    let mut count = 0usize;
+    for (i, &v) in ns.iter().enumerate() {
+        for &w in &ns[i + 1..] {
+            if g.has_edge(v, w) && triangle_matches(g, u, v, w, t) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Exact number of target triangles (each triangle enumerated at its
+/// smallest vertex; cost `O(Σ_u d(u)² log d)` — evaluation-side only).
+pub fn count_labeled_triangles(g: &LabeledGraph, t: TargetTriple) -> usize {
+    let mut count = 0usize;
+    for u in g.nodes() {
+        let ns = g.neighbors(u);
+        for (i, &v) in ns.iter().enumerate() {
+            if v <= u {
+                continue;
+            }
+            for &w in &ns[i + 1..] {
+                if w > v && g.has_edge(v, w) && triangle_matches(g, u, v, w, t) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Triangle 0-1-2 plus pendant 3 on node 1.
+    /// Labels: 0:[1], 1:[2], 2:[3], 3:[1].
+    fn fixture() -> LabeledGraph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(0), NodeId(2));
+        b.add_edge(NodeId(1), NodeId(3));
+        b.set_labels(NodeId(0), &[LabelId(1)]);
+        b.set_labels(NodeId(1), &[LabelId(2)]);
+        b.set_labels(NodeId(2), &[LabelId(3)]);
+        b.set_labels(NodeId(3), &[LabelId(1)]);
+        b.build()
+    }
+
+    #[test]
+    fn triple_normalizes_ends() {
+        let a = TargetTriple::new(LabelId(3), LabelId(2), LabelId(1));
+        let b = TargetTriple::new(LabelId(1), LabelId(2), LabelId(3));
+        assert_eq!(a, b);
+        assert_eq!(a.ends, (LabelId(1), LabelId(3)));
+        assert_eq!(a.sorted(), [LabelId(1), LabelId(2), LabelId(3)]);
+    }
+
+    #[test]
+    fn wedges_counted_once_per_endpoint_pair() {
+        let g = fixture();
+        // Wedges centered at 1 (label 2) with ends {1, 3}:
+        // 0(1)-1-2(3) and 3(1)-1-2(3) ⇒ 2 wedges.
+        let t = TargetTriple::new(LabelId(1), LabelId(2), LabelId(3));
+        assert_eq!(wedges_at(&g, NodeId(1), t), 2);
+        assert_eq!(count_labeled_wedges(&g, t), 2);
+    }
+
+    #[test]
+    fn same_end_labels_use_binomial() {
+        let g = fixture();
+        // Center 1 (label 2), both ends label 1: neighbors of 1 with
+        // label 1 are {0, 3} ⇒ C(2,2)... C(2,2)=1 wedge (0-1-3).
+        let t = TargetTriple::new(LabelId(1), LabelId(2), LabelId(1));
+        assert_eq!(wedges_at(&g, NodeId(1), t), 1);
+        assert_eq!(count_labeled_wedges(&g, t), 1);
+    }
+
+    #[test]
+    fn wedge_center_label_is_required() {
+        let g = fixture();
+        let t = TargetTriple::new(LabelId(1), LabelId(9), LabelId(3));
+        assert_eq!(count_labeled_wedges(&g, t), 0);
+    }
+
+    #[test]
+    fn triangle_count_matches_fixture() {
+        let g = fixture();
+        // One triangle {0,1,2} with labels {1,2,3}.
+        let t = TargetTriple::new(LabelId(1), LabelId(2), LabelId(3));
+        assert_eq!(count_labeled_triangles(&g, t), 1);
+        // Each vertex sees it once.
+        assert_eq!(triangles_at(&g, NodeId(0), t), 1);
+        assert_eq!(triangles_at(&g, NodeId(1), t), 1);
+        assert_eq!(triangles_at(&g, NodeId(2), t), 1);
+        assert_eq!(triangles_at(&g, NodeId(3), t), 0);
+        // Wrong multiset ⇒ zero.
+        let t = TargetTriple::new(LabelId(1), LabelId(1), LabelId(3));
+        assert_eq!(count_labeled_triangles(&g, t), 0);
+    }
+
+    #[test]
+    fn per_node_triangle_sum_is_three_times_total() {
+        // Complete graph K5 with uniform labels: every triangle matches.
+        let mut b = GraphBuilder::new(5);
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(NodeId(u), NodeId(v));
+            }
+            b.add_label(NodeId(u), LabelId(1));
+        }
+        let g = b.build();
+        let t = TargetTriple::new(LabelId(1), LabelId(1), LabelId(1));
+        let total = count_labeled_triangles(&g, t);
+        assert_eq!(total, 10); // C(5,3)
+        let sum: usize = g.nodes().map(|u| triangles_at(&g, u, t)).sum();
+        assert_eq!(sum, 3 * total);
+    }
+
+    #[test]
+    fn multi_label_nodes_satisfy_multiple_roles() {
+        // Triangle where one node carries two labels.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(0), NodeId(2));
+        b.set_labels(NodeId(0), &[LabelId(1), LabelId(2)]);
+        b.set_labels(NodeId(1), &[LabelId(2)]);
+        b.set_labels(NodeId(2), &[LabelId(3)]);
+        let g = b.build();
+        // (1,2,3): assign 0→1, 1→2, 2→3 ✓.
+        assert_eq!(
+            count_labeled_triangles(&g, TargetTriple::new(LabelId(1), LabelId(2), LabelId(3))),
+            1
+        );
+        // (2,2,3): assign 0→2, 1→2, 2→3 ✓.
+        assert_eq!(
+            count_labeled_triangles(&g, TargetTriple::new(LabelId(2), LabelId(2), LabelId(3))),
+            1
+        );
+    }
+
+    #[test]
+    fn wedge_closed_form_matches_enumeration() {
+        // Random-ish small graph: compare the closed form against naive
+        // enumeration of endpoint pairs.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = crate::gen::erdos_renyi_gnm(30, 90, &mut rng);
+        let labels: Vec<Vec<LabelId>> = (0..30)
+            .map(|_| vec![LabelId(rng.gen_range(1..4))])
+            .collect();
+        let g = crate::labels::with_labels(&g, &labels);
+        for (a, b, c) in [(1, 2, 3), (1, 2, 1), (2, 2, 2), (3, 1, 3)] {
+            let t = TargetTriple::new(LabelId(a), LabelId(b), LabelId(c));
+            for u in g.nodes() {
+                let naive = {
+                    if !g.has_label(u, t.center) {
+                        0
+                    } else {
+                        let ns = g.neighbors(u);
+                        let mut n = 0;
+                        for (i, &v) in ns.iter().enumerate() {
+                            for &w in &ns[i + 1..] {
+                                let (t1, t3) = t.ends;
+                                if (g.has_label(v, t1) && g.has_label(w, t3))
+                                    || (g.has_label(v, t3) && g.has_label(w, t1))
+                                {
+                                    n += 1;
+                                }
+                            }
+                        }
+                        n
+                    }
+                };
+                assert_eq!(wedges_at(&g, u, t), naive, "node {u} triple {t}");
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Structural statistics of a graph (degree distribution and summaries).
+//!
+//! Used by the experiment harness for Table 1 (dataset statistics) and by
+//! the degree-bucket label model to choose bucket bounds.
+
+use crate::LabeledGraph;
+
+/// Summary statistics of a graph's degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree `2|E| / |V|`.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+}
+
+/// Computes [`DegreeStats`]. Returns `None` for an empty graph.
+pub fn degree_stats(g: &LabeledGraph) -> Option<DegreeStats> {
+    if g.num_nodes() == 0 {
+        return None;
+    }
+    let mut degrees: Vec<usize> = g.nodes().map(|u| g.degree(u)).collect();
+    degrees.sort_unstable();
+    Some(DegreeStats {
+        min: degrees[0],
+        max: *degrees.last().unwrap(),
+        mean: g.degree_sum() as f64 / g.num_nodes() as f64,
+        median: degrees[degrees.len() / 2],
+    })
+}
+
+/// Full degree histogram: `hist[d]` = number of nodes of degree `d`.
+pub fn degree_histogram(g: &LabeledGraph) -> Vec<usize> {
+    let max = g.nodes().map(|u| g.degree(u)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for u in g.nodes() {
+        hist[g.degree(u)] += 1;
+    }
+    hist
+}
+
+/// Degree quantile bounds splitting nodes into `buckets` roughly equal
+/// groups — input for [`crate::labels::degree_bucket_labels`]. The returned
+/// vector has `buckets − 1` strictly increasing bounds (possibly fewer when
+/// the degree distribution has few distinct values).
+pub fn degree_quantile_bounds(g: &LabeledGraph, buckets: usize) -> Vec<usize> {
+    assert!(buckets >= 2, "need at least two buckets");
+    let mut degrees: Vec<usize> = g.nodes().map(|u| g.degree(u)).collect();
+    degrees.sort_unstable();
+    if degrees.is_empty() {
+        return Vec::new();
+    }
+    let mut bounds = Vec::with_capacity(buckets - 1);
+    for i in 1..buckets {
+        let b = degrees[(degrees.len() * i) / buckets];
+        if bounds.last() != Some(&b) && b > degrees[0] {
+            bounds.push(b);
+        }
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::barabasi_albert;
+    use crate::{GraphBuilder, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stats_on_star() {
+        let mut b = GraphBuilder::new(5);
+        for i in 1..5 {
+            b.add_edge(NodeId(0), NodeId(i));
+        }
+        let g = b.build();
+        let s = degree_stats(&g).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 1.6).abs() < 1e-12);
+        assert_eq!(s.median, 1);
+    }
+
+    #[test]
+    fn empty_graph_has_no_stats() {
+        let g = GraphBuilder::new(0).build();
+        assert!(degree_stats(&g).is_none());
+        assert!(degree_histogram(&g).is_empty() || degree_histogram(&g) == vec![0]);
+    }
+
+    #[test]
+    fn histogram_sums_to_node_count() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let g = barabasi_albert(400, 3, &mut rng);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), g.num_nodes());
+        // Weighted sum = degree sum.
+        let wsum: usize = h.iter().enumerate().map(|(d, &c)| d * c).sum();
+        assert_eq!(wsum, g.degree_sum());
+    }
+
+    #[test]
+    fn quantile_bounds_strictly_increasing() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let g = barabasi_albert(2_000, 4, &mut rng);
+        let bounds = degree_quantile_bounds(&g, 8);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        assert!(!bounds.is_empty());
+    }
+
+    #[test]
+    fn quantile_bounds_balance_buckets() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let g = barabasi_albert(5_000, 4, &mut rng);
+        let bounds = degree_quantile_bounds(&g, 4);
+        let labels = crate::labels::degree_bucket_labels(&g, &bounds);
+        let mut counts = vec![0usize; bounds.len() + 1];
+        for ls in &labels {
+            counts[ls[0].index()] += 1;
+        }
+        // No bucket should be empty on a 5k-node BA graph.
+        assert!(counts.iter().all(|&c| c > 0), "counts {counts:?}");
+    }
+}

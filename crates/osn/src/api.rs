@@ -1,0 +1,78 @@
+//! The restricted OSN access trait.
+
+use labelcount_graph::{LabelId, NodeId};
+use rand::Rng;
+
+/// Access to an online social network restricted to what real OSN APIs
+/// provide (paper §3):
+///
+/// * retrieve the friend list of a known user ([`OsnApi::neighbors`]);
+/// * read a known user's profile labels ([`OsnApi::labels`]);
+/// * prior knowledge of `|V|` and `|E|` ([`OsnApi::num_nodes`],
+///   [`OsnApi::num_edges`]) — the paper assumes these are published by the
+///   OSN owner or estimated with existing methods;
+/// * draw a uniformly random user id ([`OsnApi::random_node`]) — used only
+///   to seed random walks (real crawlers use an arbitrary seed user; the
+///   burn-in makes the choice irrelevant).
+///
+/// Deliberately absent: edge enumeration, node iteration, global label
+/// statistics. Estimators that only hold an `impl OsnApi` are statically
+/// prevented from cheating.
+pub trait OsnApi {
+    /// Prior knowledge: the number of users `|V|`.
+    fn num_nodes(&self) -> usize;
+
+    /// Prior knowledge: the number of friendships `|E|`.
+    fn num_edges(&self) -> usize;
+
+    /// The friend list of `u` (sorted by node id). Each invocation models
+    /// one neighbor-list API call.
+    fn neighbors(&self, u: NodeId) -> &[NodeId];
+
+    /// The profile labels of `u` (sorted). Each invocation models one
+    /// profile API call.
+    fn labels(&self, u: NodeId) -> &[LabelId];
+
+    /// Degree of `u`, via its friend list.
+    #[inline]
+    fn degree(&self, u: NodeId) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Whether `u` carries label `t`, via the profile.
+    #[inline]
+    fn has_label(&self, u: NodeId, t: LabelId) -> bool {
+        self.labels(u).binary_search(&t).is_ok()
+    }
+
+    /// An upper bound on the maximum degree, required by the
+    /// maximum-degree random-walk baselines. Defaults to `|V| − 1` (always
+    /// valid); [`crate::SimulatedOsn`] overrides it with the true maximum,
+    /// matching the baselines' assumption that the bound is known.
+    fn max_degree_bound(&self) -> usize {
+        self.num_nodes().saturating_sub(1)
+    }
+
+    /// Draws a uniformly random user id to seed a walk.
+    fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId
+    where
+        Self: Sized,
+    {
+        assert!(self.num_nodes() > 0, "cannot sample from an empty OSN");
+        NodeId(rng.gen_range(0..self.num_nodes() as u32))
+    }
+
+    /// Samples a uniformly random friend of `u`, or `None` if `u` has no
+    /// friends. One neighbor-list call.
+    fn sample_neighbor<R: Rng + ?Sized>(&self, u: NodeId, rng: &mut R) -> Option<NodeId>
+    where
+        Self: Sized,
+    {
+        let ns = self.neighbors(u);
+        if ns.is_empty() {
+            None
+        } else {
+            Some(ns[rng.gen_range(0..ns.len())])
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # labelcount-osn
+//!
+//! Restricted-access simulation of an online social network.
+//!
+//! The paper's core assumption (§3) is that the graph `G(V, E)` is *not*
+//! fully accessible: the only operations are per-user API calls that return
+//! a user's friend list (and the labels in the user's public profile), plus
+//! prior knowledge of `|V|` and `|E|`. This crate enforces that access
+//! pattern in code:
+//!
+//! * [`OsnApi`] — the trait every estimator works against. There is no way
+//!   to enumerate edges or scan nodes through it.
+//! * [`SimulatedOsn`] — wraps a [`labelcount_graph::LabeledGraph`] behind
+//!   the API with full call accounting ([`AccessStats`]) and an optional
+//!   call budget, so experiments can report exactly how many API calls an
+//!   estimate consumed (the paper quotes budgets as a percentage of `|V|`).
+//! * [`linegraph`] — the implicit transformed graph `G'` of §5.1 (one node
+//!   per edge of `G`, adjacency = shared endpoint), through which the five
+//!   baseline algorithms of Li et al. run. `G'` is never materialized; its
+//!   operations are translated to `OsnApi` calls on `G`.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod linegraph;
+pub mod simulated;
+
+pub use api::OsnApi;
+pub use linegraph::{LineGraphView, LineNode};
+pub use simulated::{AccessStats, SimulatedOsn};

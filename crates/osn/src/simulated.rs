@@ -1,0 +1,288 @@
+//! In-memory OSN with API-call accounting.
+
+use std::cell::{Cell, RefCell};
+
+use labelcount_graph::{LabelId, LabeledGraph, NodeId};
+
+use crate::api::OsnApi;
+
+/// Counters describing how an estimator used the API.
+///
+/// Two views are kept per endpoint:
+///
+/// * *raw* — every invocation (what a naive crawler without a cache pays);
+/// * *distinct* — unique users touched (what a caching crawler pays; the
+///   paper's budgets correspond to sampling iterations, which our samplers
+///   map 1:1 to walk steps, so both views are reported by the harness).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Total neighbor-list invocations.
+    pub neighbor_calls: u64,
+    /// Distinct users whose neighbor list was fetched.
+    pub distinct_neighbor_calls: u64,
+    /// Total profile (label) invocations.
+    pub label_calls: u64,
+    /// Distinct users whose profile was fetched.
+    pub distinct_label_calls: u64,
+}
+
+impl AccessStats {
+    /// Total raw API calls of both kinds.
+    pub fn total_calls(&self) -> u64 {
+        self.neighbor_calls + self.label_calls
+    }
+
+    /// Total distinct users touched by either kind of call.
+    pub fn total_distinct(&self) -> u64 {
+        self.distinct_neighbor_calls + self.distinct_label_calls
+    }
+}
+
+/// A [`LabeledGraph`] exposed through the restricted [`OsnApi`], with call
+/// accounting and an optional hard budget on neighbor-list calls.
+///
+/// ```
+/// use labelcount_graph::{GraphBuilder, NodeId};
+/// use labelcount_osn::{OsnApi, SimulatedOsn};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1));
+/// b.add_edge(NodeId(1), NodeId(2));
+/// let g = b.build();
+///
+/// let osn = SimulatedOsn::new(&g);
+/// assert_eq!(osn.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+/// assert_eq!(osn.stats().neighbor_calls, 1); // every fetch is counted
+/// ```
+///
+/// Interior mutability (`Cell`/`RefCell`) keeps the `OsnApi` methods `&self`
+/// so estimators can share one API handle; the type is intentionally not
+/// `Sync` — replicated experiments create one `SimulatedOsn` per thread.
+pub struct SimulatedOsn<'g> {
+    graph: &'g LabeledGraph,
+    max_degree: usize,
+    neighbor_calls: Cell<u64>,
+    label_calls: Cell<u64>,
+    neighbor_seen: RefCell<Vec<bool>>,
+    label_seen: RefCell<Vec<bool>>,
+    distinct_neighbor: Cell<u64>,
+    distinct_label: Cell<u64>,
+    budget: Cell<Option<u64>>,
+}
+
+impl<'g> SimulatedOsn<'g> {
+    /// Wraps a graph behind the restricted API.
+    pub fn new(graph: &'g LabeledGraph) -> Self {
+        let max_degree = graph.nodes().map(|u| graph.degree(u)).max().unwrap_or(0);
+        SimulatedOsn {
+            graph,
+            max_degree,
+            neighbor_calls: Cell::new(0),
+            label_calls: Cell::new(0),
+            neighbor_seen: RefCell::new(vec![false; graph.num_nodes()]),
+            label_seen: RefCell::new(vec![false; graph.num_nodes()]),
+            distinct_neighbor: Cell::new(0),
+            distinct_label: Cell::new(0),
+            budget: Cell::new(None),
+        }
+    }
+
+    /// Sets a hard budget on *raw neighbor-list calls*. Once exhausted,
+    /// [`SimulatedOsn::budget_exhausted`] turns true; samplers are expected
+    /// to poll it and stop. (Calls are still answered so in-flight state
+    /// stays consistent — a real crawler's last response doesn't vanish.)
+    pub fn set_budget(&self, calls: u64) {
+        self.budget.set(Some(calls));
+    }
+
+    /// Removes the budget.
+    pub fn clear_budget(&self) {
+        self.budget.set(None);
+    }
+
+    /// Whether the neighbor-call budget (if any) has been used up.
+    pub fn budget_exhausted(&self) -> bool {
+        match self.budget.get() {
+            Some(b) => self.neighbor_calls.get() >= b,
+            None => false,
+        }
+    }
+
+    /// Remaining neighbor-list calls under the budget, if one is set.
+    pub fn budget_remaining(&self) -> Option<u64> {
+        self.budget
+            .get()
+            .map(|b| b.saturating_sub(self.neighbor_calls.get()))
+    }
+
+    /// Snapshot of the access counters.
+    pub fn stats(&self) -> AccessStats {
+        AccessStats {
+            neighbor_calls: self.neighbor_calls.get(),
+            distinct_neighbor_calls: self.distinct_neighbor.get(),
+            label_calls: self.label_calls.get(),
+            distinct_label_calls: self.distinct_label.get(),
+        }
+    }
+
+    /// Resets all counters (budget is kept).
+    pub fn reset_stats(&self) {
+        self.neighbor_calls.set(0);
+        self.label_calls.set(0);
+        self.distinct_neighbor.set(0);
+        self.distinct_label.set(0);
+        self.neighbor_seen.borrow_mut().fill(false);
+        self.label_seen.borrow_mut().fill(false);
+    }
+
+    /// Total raw API calls so far (neighbor-list + profile). This is the
+    /// currency of the paper's evaluation: sample-size budgets are quoted
+    /// as API calls (a share of `|V|`), and every estimator pays per call.
+    pub fn api_calls(&self) -> u64 {
+        self.neighbor_calls.get() + self.label_calls.get()
+    }
+
+    /// Evaluation-side escape hatch: the underlying graph, for ground-truth
+    /// computation and bound evaluation. Estimators must not use this.
+    pub fn ground_truth_graph(&self) -> &'g LabeledGraph {
+        self.graph
+    }
+}
+
+impl OsnApi for SimulatedOsn<'_> {
+    fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        self.neighbor_calls.set(self.neighbor_calls.get() + 1);
+        let mut seen = self.neighbor_seen.borrow_mut();
+        if !seen[u.index()] {
+            seen[u.index()] = true;
+            self.distinct_neighbor.set(self.distinct_neighbor.get() + 1);
+        }
+        self.graph.neighbors(u)
+    }
+
+    fn labels(&self, u: NodeId) -> &[LabelId] {
+        self.label_calls.set(self.label_calls.get() + 1);
+        let mut seen = self.label_seen.borrow_mut();
+        if !seen[u.index()] {
+            seen[u.index()] = true;
+            self.distinct_label.set(self.distinct_label.get() + 1);
+        }
+        self.graph.labels(u)
+    }
+
+    fn max_degree_bound(&self) -> usize {
+        self.max_degree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use labelcount_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn path4() -> LabeledGraph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(2), NodeId(3));
+        b.set_labels(NodeId(0), &[LabelId(1)]);
+        b.build()
+    }
+
+    #[test]
+    fn counts_raw_and_distinct_calls() {
+        let g = path4();
+        let osn = SimulatedOsn::new(&g);
+        osn.neighbors(NodeId(1));
+        osn.neighbors(NodeId(1));
+        osn.neighbors(NodeId(2));
+        osn.labels(NodeId(0));
+        osn.labels(NodeId(0));
+        let s = osn.stats();
+        assert_eq!(s.neighbor_calls, 3);
+        assert_eq!(s.distinct_neighbor_calls, 2);
+        assert_eq!(s.label_calls, 2);
+        assert_eq!(s.distinct_label_calls, 1);
+        assert_eq!(s.total_calls(), 5);
+        assert_eq!(s.total_distinct(), 3);
+    }
+
+    #[test]
+    fn degree_goes_through_neighbor_accounting() {
+        let g = path4();
+        let osn = SimulatedOsn::new(&g);
+        assert_eq!(osn.degree(NodeId(1)), 2);
+        assert_eq!(osn.stats().neighbor_calls, 1);
+    }
+
+    #[test]
+    fn budget_tracks_neighbor_calls() {
+        let g = path4();
+        let osn = SimulatedOsn::new(&g);
+        osn.set_budget(2);
+        assert!(!osn.budget_exhausted());
+        assert_eq!(osn.budget_remaining(), Some(2));
+        osn.neighbors(NodeId(0));
+        osn.neighbors(NodeId(1));
+        assert!(osn.budget_exhausted());
+        assert_eq!(osn.budget_remaining(), Some(0));
+        osn.clear_budget();
+        assert!(!osn.budget_exhausted());
+    }
+
+    #[test]
+    fn reset_clears_counters_not_budget() {
+        let g = path4();
+        let osn = SimulatedOsn::new(&g);
+        osn.set_budget(10);
+        osn.neighbors(NodeId(0));
+        osn.reset_stats();
+        let s = osn.stats();
+        assert_eq!(s.total_calls(), 0);
+        assert_eq!(s.total_distinct(), 0);
+        assert_eq!(osn.budget_remaining(), Some(10));
+    }
+
+    #[test]
+    fn prior_knowledge_is_free() {
+        let g = path4();
+        let osn = SimulatedOsn::new(&g);
+        assert_eq!(osn.num_nodes(), 4);
+        assert_eq!(osn.num_edges(), 3);
+        assert_eq!(osn.max_degree_bound(), 2);
+        assert_eq!(osn.stats().total_calls(), 0);
+    }
+
+    #[test]
+    fn random_node_in_range_and_sample_neighbor_valid() {
+        let g = path4();
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let u = osn.random_node(&mut rng);
+            assert!(u.index() < 4);
+            if let Some(v) = osn.sample_neighbor(u, &mut rng) {
+                assert!(g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn has_label_uses_profile() {
+        let g = path4();
+        let osn = SimulatedOsn::new(&g);
+        assert!(osn.has_label(NodeId(0), LabelId(1)));
+        assert!(!osn.has_label(NodeId(1), LabelId(1)));
+        assert_eq!(osn.stats().label_calls, 2);
+    }
+}

@@ -1,0 +1,22 @@
+//! # labelcount-stats
+//!
+//! Statistics substrate for the experiment harness:
+//!
+//! * [`nrmse()`] — the paper's error measure (Eq. 24), capturing both the
+//!   variance and the bias of an estimator;
+//! * [`RunningStats`] — single-pass (Welford) mean/variance accumulation;
+//! * [`replicate()`] — deterministic parallel Monte-Carlo replication on
+//!   `std::thread::scope` (each replication gets a seed derived from the
+//!   base seed and its index, so results are reproducible regardless of
+//!   thread count);
+//! * [`percentile`] — order statistics for summaries.
+
+#![warn(missing_docs)]
+
+pub mod nrmse;
+pub mod replicate;
+pub mod running;
+
+pub use nrmse::{nrmse, nrmse_parts, NrmseParts};
+pub use replicate::{replicate, replication_seed};
+pub use running::{percentile, RunningStats};

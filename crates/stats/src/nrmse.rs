@@ -1,0 +1,104 @@
+//! Normalized root mean square error (paper §5.1, Eq. 24).
+
+/// Decomposition of the squared error into variance and squared bias:
+/// `E[(F̂ − F)²] = Var[F̂] + (F − E[F̂])²`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NrmseParts {
+    /// The NRMSE itself.
+    pub nrmse: f64,
+    /// Sample mean of the estimates.
+    pub mean: f64,
+    /// Sample variance of the estimates (population form, divides by `n`,
+    /// matching the plug-in estimate of `E[(F̂ − F)²]`).
+    pub variance: f64,
+    /// `(F − mean)²` — the squared-bias component.
+    pub bias_sq: f64,
+}
+
+/// `NRMSE(F̂) = sqrt(E[(F̂ − F)²]) / F`, estimated over independent
+/// simulation runs (the paper averages 200).
+///
+/// ```
+/// use labelcount_stats::nrmse;
+/// // Estimates scattered around the truth 100 with ±20 swings: NRMSE 0.2.
+/// assert!((nrmse(&[80.0, 120.0, 80.0, 120.0], 100.0) - 0.2).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+/// Panics if `estimates` is empty or `truth` is not positive.
+pub fn nrmse(estimates: &[f64], truth: f64) -> f64 {
+    nrmse_parts(estimates, truth).nrmse
+}
+
+/// [`nrmse`] plus its bias/variance decomposition.
+///
+/// # Panics
+/// Panics if `estimates` is empty or `truth` is not positive.
+pub fn nrmse_parts(estimates: &[f64], truth: f64) -> NrmseParts {
+    assert!(!estimates.is_empty(), "need at least one estimate");
+    assert!(truth > 0.0, "NRMSE is undefined for F <= 0");
+    let n = estimates.len() as f64;
+    let mean = estimates.iter().sum::<f64>() / n;
+    let mse = estimates
+        .iter()
+        .map(|e| (e - truth) * (e - truth))
+        .sum::<f64>()
+        / n;
+    let variance = estimates
+        .iter()
+        .map(|e| (e - mean) * (e - mean))
+        .sum::<f64>()
+        / n;
+    let bias_sq = (truth - mean) * (truth - mean);
+    NrmseParts {
+        nrmse: mse.sqrt() / truth,
+        mean,
+        variance,
+        bias_sq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_estimates_have_zero_error() {
+        assert_eq!(nrmse(&[100.0, 100.0, 100.0], 100.0), 0.0);
+    }
+
+    #[test]
+    fn constant_bias_shows_as_relative_error() {
+        // Always estimating 120 for truth 100: NRMSE = 0.2.
+        let e = nrmse(&[120.0; 50], 100.0);
+        assert!((e - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decomposition_identity_holds() {
+        let estimates = [90.0, 110.0, 105.0, 95.0, 130.0];
+        let p = nrmse_parts(&estimates, 100.0);
+        let mse = (p.nrmse * 100.0) * (p.nrmse * 100.0);
+        assert!((mse - (p.variance + p.bias_sq)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_noise_is_pure_variance() {
+        let p = nrmse_parts(&[80.0, 120.0], 100.0);
+        assert_eq!(p.bias_sq, 0.0);
+        assert!((p.variance - 400.0).abs() < 1e-12);
+        assert!((p.nrmse - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_estimates_rejected() {
+        nrmse(&[], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn zero_truth_rejected() {
+        nrmse(&[1.0], 0.0);
+    }
+}

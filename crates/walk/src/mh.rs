@@ -1,0 +1,119 @@
+//! Metropolis–Hastings random walk (uniform stationary distribution).
+
+use rand::Rng;
+
+use crate::traits::{WalkableGraph, Walker};
+
+/// The Metropolis–Hastings random walk: propose a uniformly random neighbor
+/// `v` of the current state `u`, accept with probability
+/// `min(1, d(u)/d(v))`, otherwise stay at `u`.
+///
+/// The acceptance rule makes the stationary distribution uniform over the
+/// (connected component of the) state space, so visited states can be used
+/// as uniform node samples without reweighting — the mechanism behind the
+/// EX-MHRW baseline.
+#[derive(Clone, Debug)]
+pub struct MetropolisHastingsWalk<N> {
+    current: N,
+    accepted: u64,
+    proposed: u64,
+}
+
+impl<N: Copy> MetropolisHastingsWalk<N> {
+    /// Starts a walk at `start`.
+    pub fn new(start: N) -> Self {
+        MetropolisHastingsWalk {
+            current: start,
+            accepted: 0,
+            proposed: 0,
+        }
+    }
+
+    /// Fraction of proposals accepted so far (diagnostic; low acceptance
+    /// means the walk wastes API calls, the motivation for RCMH).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.proposed == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.proposed as f64
+        }
+    }
+}
+
+impl<G: WalkableGraph> Walker<G> for MetropolisHastingsWalk<G::Node> {
+    fn current(&self) -> G::Node {
+        self.current
+    }
+
+    fn step<R: Rng + ?Sized>(&mut self, g: &G, rng: &mut R) -> G::Node {
+        let du = g.degree(self.current);
+        if du == 0 {
+            return self.current;
+        }
+        if let Some(v) = g.sample_neighbor(self.current, rng) {
+            self.proposed += 1;
+            let dv = g.degree(v);
+            // Accept with min(1, d(u)/d(v)).
+            if dv <= du || rng.gen::<f64>() < du as f64 / dv as f64 {
+                self.current = v;
+                self.accepted += 1;
+            }
+        }
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::{assert_tv_close, test_graph, visit_frequencies};
+    use labelcount_graph::NodeId;
+    use labelcount_osn::SimulatedOsn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stationary_distribution_is_uniform() {
+        let g = test_graph(201);
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(21);
+        let walker = MetropolisHastingsWalk::new(NodeId(0));
+        let freq = visit_frequencies(
+            &osn,
+            walker,
+            400_000,
+            g.num_nodes(),
+            |u| u.index(),
+            &mut rng,
+        );
+        let expected = vec![1.0 / g.num_nodes() as f64; g.num_nodes()];
+        assert_tv_close(&freq, &expected, 0.02, "MH walk");
+    }
+
+    #[test]
+    fn acceptance_rate_below_one_on_skewed_graph() {
+        let g = test_graph(202);
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut walker = MetropolisHastingsWalk::new(NodeId(0));
+        for _ in 0..5_000 {
+            walker.step(&osn, &mut rng);
+        }
+        let rate = walker.acceptance_rate();
+        assert!(rate > 0.1 && rate < 1.0, "acceptance rate {rate}");
+    }
+
+    #[test]
+    fn stays_on_edges_or_in_place() {
+        let g = test_graph(203);
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut walker = MetropolisHastingsWalk::new(NodeId(1));
+        let mut prev = Walker::<SimulatedOsn>::current(&walker);
+        for _ in 0..300 {
+            let next = walker.step(&osn, &mut rng);
+            assert!(next == prev || g.has_edge(prev, next));
+            prev = next;
+        }
+    }
+}

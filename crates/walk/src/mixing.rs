@@ -1,0 +1,259 @@
+//! Mixing time of the simple random walk (paper §5.1, Eq. 23).
+//!
+//! The paper defines
+//!
+//! ```text
+//! T(ε) = max_i min{ t : ½ Σ_u |π(u) − [π(i) Pᵗ](u)| < ε }
+//! ```
+//!
+//! where `P` is the simple-walk transition matrix and `π(i)` the point mass
+//! at node `i`, and uses `ε = 10⁻³`. Samples drawn before the mixing time
+//! are discarded (burn-in). This module computes `T(ε)` by sparse power
+//! iteration: each step costs `O(|E|)`, so the exact all-starts computation
+//! is `O(|V| · |E| · T)` — fine for the smaller surrogates; for larger
+//! graphs [`Starts::Sampled`] evaluates the max over a random subset of
+//! start nodes (a lower bound on the true max, which is how measurement
+//! studies estimate mixing times in practice).
+//!
+//! This computation requires full graph access and is therefore an
+//! *evaluation-side* tool: estimators receive the resulting burn-in length
+//! as a parameter, never the graph.
+
+use labelcount_graph::LabeledGraph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The stationary distribution `π(u) = d(u) / 2|E|` of the simple walk.
+///
+/// Isolated nodes get probability 0 (they are unreachable anyway).
+pub fn stationary_distribution(g: &LabeledGraph) -> Vec<f64> {
+    let denom = g.degree_sum() as f64;
+    g.nodes().map(|u| g.degree(u) as f64 / denom).collect()
+}
+
+/// One application of the transition operator: `next = cur · P`, where
+/// `P(u, v) = 1/d(u)` for each neighbor `v` (isolated nodes keep their
+/// mass). `next` is cleared and overwritten.
+pub fn step_distribution(g: &LabeledGraph, cur: &[f64], next: &mut [f64]) {
+    assert_eq!(cur.len(), g.num_nodes());
+    assert_eq!(next.len(), g.num_nodes());
+    next.fill(0.0);
+    for u in g.nodes() {
+        let mass = cur[u.index()];
+        if mass == 0.0 {
+            continue;
+        }
+        let d = g.degree(u);
+        if d == 0 {
+            next[u.index()] += mass;
+            continue;
+        }
+        let share = mass / d as f64;
+        for &v in g.neighbors(u) {
+            next[v.index()] += share;
+        }
+    }
+}
+
+/// Total-variation distance `½ Σ |a(u) − b(u)|`.
+pub fn total_variation(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / 2.0
+}
+
+/// Steps until the distribution started at `start` is within `eps` of
+/// stationarity, or `None` if not reached within `max_t` steps (e.g. on
+/// bipartite graphs, where the plain walk is periodic and never mixes).
+pub fn mixing_time_from_start(
+    g: &LabeledGraph,
+    start: labelcount_graph::NodeId,
+    eps: f64,
+    max_t: usize,
+) -> Option<usize> {
+    let pi = stationary_distribution(g);
+    let mut cur = vec![0.0; g.num_nodes()];
+    cur[start.index()] = 1.0;
+    let mut next = vec![0.0; g.num_nodes()];
+    if total_variation(&cur, &pi) < eps {
+        return Some(0);
+    }
+    for t in 1..=max_t {
+        step_distribution(g, &cur, &mut next);
+        std::mem::swap(&mut cur, &mut next);
+        if total_variation(&cur, &pi) < eps {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Which start nodes to take the maximum over.
+#[derive(Clone, Copy, Debug)]
+pub enum Starts {
+    /// Every node — the exact definition (cost `O(|V| · |E| · T)`).
+    All,
+    /// A uniform random subset of the given size — a lower bound.
+    Sampled(usize),
+}
+
+/// Result of [`mixing_time`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MixingEstimate {
+    /// `max` over evaluated starts of the per-start mixing time; `None` if
+    /// any evaluated start failed to mix within the step cap.
+    pub t: Option<usize>,
+    /// How many start nodes were evaluated.
+    pub starts_evaluated: usize,
+    /// Whether every node was evaluated (i.e. `t` is the exact `T(ε)`).
+    pub exact: bool,
+}
+
+/// Computes the mixing time `T(ε)` per Eq. 23.
+pub fn mixing_time<R: Rng + ?Sized>(
+    g: &LabeledGraph,
+    eps: f64,
+    max_t: usize,
+    starts: Starts,
+    rng: &mut R,
+) -> MixingEstimate {
+    assert!(eps > 0.0, "eps must be positive");
+    let all: Vec<labelcount_graph::NodeId> = g.nodes().collect();
+    let (chosen, exact): (Vec<_>, bool) = match starts {
+        Starts::All => (all, true),
+        Starts::Sampled(k) if k >= g.num_nodes() => (all, true),
+        Starts::Sampled(k) => {
+            let mut picks = all;
+            picks.shuffle(rng);
+            picks.truncate(k);
+            (picks, false)
+        }
+    };
+    let starts_evaluated = chosen.len();
+    let mut worst = Some(0usize);
+    for s in chosen {
+        match (mixing_time_from_start(g, s, eps, max_t), worst) {
+            (Some(t), Some(w)) => worst = Some(w.max(t)),
+            _ => {
+                worst = None;
+                break;
+            }
+        }
+    }
+    MixingEstimate {
+        t: worst,
+        starts_evaluated,
+        exact,
+    }
+}
+
+/// A pragmatic burn-in length when computing `T(ε)` is too expensive:
+/// `ceil(c · log |V|)` steps, the scaling of rapidly-mixing social graphs
+/// (Mohaisen et al., IMC 2010 observe super-logarithmic but still small
+/// mixing times; `c = 50` is deliberately generous).
+pub fn default_burn_in(num_nodes: usize) -> usize {
+    let n = num_nodes.max(2) as f64;
+    (50.0 * n.ln()).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use labelcount_graph::gen::{barabasi_albert, watts_strogatz};
+    use labelcount_graph::{GraphBuilder, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stationary_sums_to_one_and_is_degree_proportional() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let g = barabasi_albert(100, 3, &mut rng);
+        let pi = stationary_distribution(&g);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for u in g.nodes() {
+            assert!((pi[u.index()] - g.degree(u) as f64 / g.degree_sum() as f64).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn step_preserves_probability_mass() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let g = barabasi_albert(80, 2, &mut rng);
+        let mut cur = vec![0.0; g.num_nodes()];
+        cur[5] = 1.0;
+        let mut next = vec![0.0; g.num_nodes()];
+        step_distribution(&g, &cur, &mut next);
+        assert!((next.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_is_fixed_point() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let g = barabasi_albert(60, 3, &mut rng);
+        let pi = stationary_distribution(&g);
+        let mut next = vec![0.0; g.num_nodes()];
+        step_distribution(&g, &pi, &mut next);
+        assert!(total_variation(&pi, &next) < 1e-12);
+    }
+
+    #[test]
+    fn total_variation_basics() {
+        assert_eq!(total_variation(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(total_variation(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert!((total_variation(&[0.5, 0.5], &[0.75, 0.25]) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ba_graph_mixes_quickly() {
+        let mut rng = StdRng::seed_from_u64(74);
+        let g = barabasi_albert(500, 4, &mut rng);
+        let est = mixing_time(&g, 1e-3, 1_000, Starts::Sampled(10), &mut rng);
+        let t = est.t.expect("BA graph must mix");
+        assert!(t > 0 && t < 200, "mixing time {t}");
+        assert!(!est.exact);
+        assert_eq!(est.starts_evaluated, 10);
+    }
+
+    #[test]
+    fn ring_lattice_mixes_slower_than_ba() {
+        let mut rng = StdRng::seed_from_u64(75);
+        let ba = barabasi_albert(200, 4, &mut rng);
+        let ws = watts_strogatz(200, 4, 0.01, &mut rng);
+        let t_ba = mixing_time(&ba, 1e-2, 20_000, Starts::Sampled(5), &mut rng)
+            .t
+            .unwrap();
+        let t_ws = mixing_time(&ws, 1e-2, 20_000, Starts::Sampled(5), &mut rng)
+            .t
+            .unwrap();
+        assert!(t_ws > t_ba, "WS {t_ws} vs BA {t_ba}");
+    }
+
+    #[test]
+    fn bipartite_graph_never_mixes() {
+        // Even cycle = bipartite = periodic plain walk.
+        let mut b = GraphBuilder::new(6);
+        for i in 0..6u32 {
+            b.add_edge(NodeId(i), NodeId((i + 1) % 6));
+        }
+        let g = b.build();
+        assert_eq!(mixing_time_from_start(&g, NodeId(0), 1e-3, 2_000), None);
+    }
+
+    #[test]
+    fn exact_mode_covers_all_starts() {
+        let mut rng = StdRng::seed_from_u64(76);
+        let g = barabasi_albert(40, 3, &mut rng);
+        let est = mixing_time(&g, 1e-3, 2_000, Starts::All, &mut rng);
+        assert!(est.exact);
+        assert_eq!(est.starts_evaluated, 40);
+        assert!(est.t.is_some());
+        // Exact max dominates any sampled max.
+        let sampled = mixing_time(&g, 1e-3, 2_000, Starts::Sampled(5), &mut rng);
+        assert!(sampled.t.unwrap() <= est.t.unwrap());
+    }
+
+    #[test]
+    fn default_burn_in_scales_logarithmically() {
+        assert!(default_burn_in(4_000) < default_burn_in(4_000_000));
+        assert!(default_burn_in(100) >= 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Non-backtracking random walk (extension).
+//!
+//! Lee, Xu & Eun (SIGMETRICS 2012) — cited by the paper as a more
+//! efficient alternative to the simple random walk — showed that refusing
+//! to immediately reverse an edge reduces the asymptotic variance of
+//! degree-proportional estimators while *keeping the same stationary
+//! distribution* `π(u) ∝ d(u)`. We include it as an optional drop-in
+//! replacement for [`crate::SimpleWalk`] in the samplers and ablation
+//! benches.
+
+use rand::Rng;
+
+use crate::traits::{WalkableGraph, Walker};
+
+/// A random walk that never traverses the edge it just arrived on, except
+/// when the current state has degree 1 (where backtracking is forced).
+///
+/// Drawing a uniform neighbor ≠ previous is done by rejection, which takes
+/// `d/(d−1) ≤ 2` expected draws; each retry re-invokes
+/// [`WalkableGraph::sample_neighbor`] (extra *raw* API calls, but on a
+/// cached crawl the node's list is already cached, so the distinct-call
+/// budget is unaffected).
+#[derive(Clone, Debug)]
+pub struct NonBacktrackingWalk<N> {
+    current: N,
+    previous: Option<N>,
+}
+
+impl<N: Copy + Eq> NonBacktrackingWalk<N> {
+    /// Starts a walk at `start` with no history.
+    pub fn new(start: N) -> Self {
+        NonBacktrackingWalk {
+            current: start,
+            previous: None,
+        }
+    }
+
+    /// The state visited before the current one, if any.
+    pub fn previous(&self) -> Option<N> {
+        self.previous
+    }
+}
+
+impl<G: WalkableGraph> Walker<G> for NonBacktrackingWalk<G::Node> {
+    fn current(&self) -> G::Node {
+        self.current
+    }
+
+    fn step<R: Rng + ?Sized>(&mut self, g: &G, rng: &mut R) -> G::Node {
+        let d = g.degree(self.current);
+        if d == 0 {
+            return self.current;
+        }
+        let next = if d == 1 {
+            // Forced move (possibly backtracking).
+            g.sample_neighbor(self.current, rng)
+        } else {
+            // Rejection-sample a neighbor different from `previous`.
+            loop {
+                let cand = g.sample_neighbor(self.current, rng);
+                match (cand, self.previous) {
+                    (Some(c), Some(p)) if c == p => continue,
+                    _ => break cand,
+                }
+            }
+        };
+        if let Some(v) = next {
+            self.previous = Some(self.current);
+            self.current = v;
+        }
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::{assert_tv_close, test_graph, visit_frequencies};
+    use labelcount_graph::{GraphBuilder, NodeId};
+    use labelcount_osn::SimulatedOsn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn never_backtracks_when_degree_allows() {
+        let g = test_graph(601);
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut walker = NonBacktrackingWalk::new(NodeId(0));
+        let mut prev: Option<NodeId> = None;
+        let mut cur = NodeId(0);
+        for _ in 0..2_000 {
+            let next = walker.step(&osn, &mut rng);
+            if let Some(p) = prev {
+                if g.degree(cur) > 1 {
+                    assert_ne!(next, p, "backtracked at degree {}", g.degree(cur));
+                }
+            }
+            prev = Some(cur);
+            cur = next;
+        }
+    }
+
+    #[test]
+    fn stationary_distribution_still_degree_proportional() {
+        let g = test_graph(602);
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(62);
+        let walker = NonBacktrackingWalk::new(NodeId(0));
+        let freq = visit_frequencies(
+            &osn,
+            walker,
+            400_000,
+            g.num_nodes(),
+            |u| u.index(),
+            &mut rng,
+        );
+        let expected: Vec<f64> = g
+            .nodes()
+            .map(|u| g.degree(u) as f64 / g.degree_sum() as f64)
+            .collect();
+        assert_tv_close(&freq, &expected, 0.02, "non-backtracking walk");
+    }
+
+    #[test]
+    fn degree_one_forces_backtrack() {
+        // Path 0-1: from 1 the only move is back to 0.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1));
+        let g = b.build();
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(63);
+        let mut walker = NonBacktrackingWalk::new(NodeId(0));
+        assert_eq!(walker.step(&osn, &mut rng), NodeId(1));
+        assert_eq!(walker.step(&osn, &mut rng), NodeId(0));
+        assert_eq!(walker.previous(), Some(NodeId(1)));
+    }
+}

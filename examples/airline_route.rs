@@ -1,0 +1,98 @@
+//! The paper's second motivating scenario (§1): an airline considers a new
+//! route between China and Austria and wants to know how many
+//! China–Austria friendships exist in an OSN — an indicator of demand.
+//!
+//! The twist demonstrated here: the answer must come with an accuracy
+//! contract. We use the theoretical bounds of Theorems 4.1–4.5 to pick a
+//! sampler, then verify empirically that the estimate lands inside the
+//! `(ε, δ)` band.
+//!
+//! ```sh
+//! cargo run --release --example airline_route
+//! ```
+
+use labelcount::core::bounds::{all_bounds, ApproxParams};
+use labelcount::core::{Algorithm, NeHansenHurwitz, RunConfig};
+use labelcount::graph::gen::{planted_communities, PlantedCommunityConfig};
+use labelcount::graph::labels::{assign_zipf_location_labels, with_labels};
+use labelcount::graph::{GroundTruth, LabelId, TargetLabel};
+use labelcount::osn::SimulatedOsn;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 40k users, 30 countries; country 2 plays "China" (large), country
+    // 5 plays "Austria" (mid-sized).
+    let mut rng = StdRng::seed_from_u64(99);
+    let pg = planted_communities(
+        &PlantedCommunityConfig {
+            n: 40_000,
+            m: 12,
+            communities: 30,
+            p_in: 0.75,
+        },
+        &mut rng,
+    );
+    let mut labels = vec![Vec::new(); pg.graph.num_nodes()];
+    assign_zipf_location_labels(&mut labels, &pg.community, 30, 1.0, &mut rng);
+    let g = with_labels(&pg.graph, &labels);
+
+    let target = TargetLabel::new(LabelId(2), LabelId(5));
+    let truth = GroundTruth::compute(&g, target);
+    println!(
+        "China(2)-Austria(5) friendships: exact F = {} of {} edges ({:.4}%)",
+        truth.f,
+        g.num_edges(),
+        100.0 * truth.relative_count(&g)
+    );
+
+    // What do the theorems say about the sample sizes needed for a
+    // (0.3, 0.2)-approximation? (Chebyshev-based, hence conservative.)
+    let p = ApproxParams::new(0.3, 0.2);
+    let names = [
+        "NeighborSample-HH",
+        "NeighborSample-HT",
+        "NeighborExploration-HH",
+        "NeighborExploration-HT",
+        "NeighborExploration-RW",
+    ];
+    println!("\nTheorems 4.1-4.5 sample-size bounds for eps=0.3, delta=0.2:");
+    let bounds = all_bounds(&g, &truth, p);
+    let mut best = 0;
+    for (i, (n, b)) in names.iter().zip(&bounds).enumerate() {
+        println!("  {n:<24} k >= {b:.2e}");
+        if *b < bounds[best] {
+            best = i;
+        }
+    }
+    println!("  -> smallest bound: {}", names[best]);
+
+    // Run the bound-recommended estimator (NE-HH on rare labels) many
+    // times and check the (eps, delta) contract empirically. Note the
+    // empirical sample need is far below the Chebyshev bound, exactly as
+    // the paper observes about its Tables 18-22.
+    let cfg = RunConfig {
+        burn_in: 400,
+        ..RunConfig::default()
+    };
+    let budget = g.num_nodes() / 5; // 20%|V| API calls
+    let reps = 100;
+    let mut inside = 0;
+    for i in 0..reps {
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(5_000 + i);
+        let est = NeHansenHurwitz
+            .estimate(&osn, target, budget, &cfg, &mut rng)
+            .unwrap();
+        let f = truth.f as f64;
+        if est > (1.0 - p.epsilon) * f && est < (1.0 + p.epsilon) * f {
+            inside += 1;
+        }
+    }
+    println!(
+        "\nempirical check at {budget} API calls: {inside}/{reps} estimates inside \
+         the +/-{:.0}% band (contract requires >= {:.0}%)",
+        100.0 * p.epsilon,
+        100.0 * (1.0 - p.delta)
+    );
+}

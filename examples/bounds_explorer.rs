@@ -1,0 +1,79 @@
+//! Explores the `(ε, δ)`-approximation sample-size bounds of Theorems
+//! 4.1–4.5 (the paper's Tables 18–22): how each bound reacts to the
+//! target-edge frequency and to the accuracy knobs — and how conservative
+//! the Chebyshev analysis is compared to what the estimators actually
+//! need.
+//!
+//! ```sh
+//! cargo run --release --example bounds_explorer
+//! ```
+
+use labelcount::core::bounds::{all_bounds, ApproxParams};
+use labelcount::graph::gen::barabasi_albert;
+use labelcount::graph::labels::{
+    assign_binary_labels, binary_share_for_cross_fraction, with_labels,
+};
+use labelcount::graph::{GroundTruth, LabelId, TargetLabel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const NAMES: [&str; 5] = ["NS-HH", "NS-HT", "NE-HH", "NE-HT", "NE-RW"];
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let base = barabasi_albert(20_000, 10, &mut rng);
+    let target = TargetLabel::new(LabelId(1), LabelId(2));
+
+    // Sweep the cross-edge frequency by re-labeling the same graph.
+    println!("bounds at (eps, delta) = (0.1, 0.1) vs target-edge frequency:");
+    println!(
+        "{:>10} {:>10} {}",
+        "F/|E|",
+        "F",
+        NAMES.map(|n| format!("{n:>12}")).join("")
+    );
+    for frac in [0.005, 0.02, 0.1, 0.3, 0.45] {
+        let p1 = binary_share_for_cross_fraction(frac);
+        let mut labels = vec![Vec::new(); base.num_nodes()];
+        assign_binary_labels(&mut labels, p1, &mut rng);
+        let g = with_labels(&base, &labels);
+        let gt = GroundTruth::compute(&g, target);
+        let bounds = all_bounds(&g, &gt, ApproxParams::paper());
+        print!("{:>10.3} {:>10}", gt.relative_count(&g), gt.f);
+        for b in bounds {
+            print!("{:>12.2e}", b);
+        }
+        println!();
+    }
+
+    // Sweep the accuracy knobs on one labeled graph.
+    let p1 = binary_share_for_cross_fraction(0.05);
+    let mut labels = vec![Vec::new(); base.num_nodes()];
+    assign_binary_labels(&mut labels, p1, &mut rng);
+    let g = with_labels(&base, &labels);
+    let gt = GroundTruth::compute(&g, target);
+    println!(
+        "\nbounds vs accuracy (fixed frequency {:.3}):",
+        gt.relative_count(&g)
+    );
+    println!(
+        "{:>6} {:>6} {}",
+        "eps",
+        "delta",
+        NAMES.map(|n| format!("{n:>12}")).join("")
+    );
+    for (eps, delta) in [(0.3, 0.3), (0.2, 0.2), (0.1, 0.1), (0.05, 0.05)] {
+        let bounds = all_bounds(&g, &gt, ApproxParams::new(eps, delta));
+        print!("{:>6} {:>6}", eps, delta);
+        for b in bounds {
+            print!("{:>12.2e}", b);
+        }
+        println!();
+    }
+    println!(
+        "\nTwo of the paper's observations are visible here: the NE-HH bound is the\n\
+         smallest across frequencies (Tables 18-22), and all bounds shrink rapidly as\n\
+         the target gets more frequent. The paper also notes (\u{00a7}5.2) that in practice\n\
+         far fewer samples suffice - Chebyshev bounds are worst-case."
+    );
+}

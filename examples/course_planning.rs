@@ -1,0 +1,95 @@
+//! The paper's motivating scenario (§1): an education institution wants to
+//! know whether a new Spanish course in Hong Kong is viable, by estimating
+//! the number of friendships between users living in Hong Kong and users
+//! living in Spain — without crawling the whole network.
+//!
+//! This example builds a location-labeled OSN with homophilous
+//! communities (people befriend locals), then runs the paper's
+//! recommendation for rare labels — NeighborExploration — against
+//! NeighborSample at increasing API budgets, showing how quickly each
+//! converges.
+//!
+//! ```sh
+//! cargo run --release --example course_planning
+//! ```
+
+use labelcount::core::{Algorithm, NeHansenHurwitz, NsHansenHurwitz, RunConfig};
+use labelcount::graph::gen::{planted_communities, PlantedCommunityConfig};
+use labelcount::graph::labels::{assign_zipf_location_labels, with_labels, LabelNames};
+use labelcount::graph::{GroundTruth, LabelId, TargetLabel};
+use labelcount::osn::SimulatedOsn;
+use labelcount::stats::{nrmse, replicate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A 30k-user OSN with 25 locations; location 3 plays "Hong Kong" and
+    // location 7 plays "Spain" (rare labels in each other's neighborhoods
+    // since friendships are 80% within-location).
+    let mut rng = StdRng::seed_from_u64(7);
+    let pg = planted_communities(
+        &PlantedCommunityConfig {
+            n: 30_000,
+            m: 10,
+            communities: 25,
+            p_in: 0.8,
+        },
+        &mut rng,
+    );
+    let mut labels = vec![Vec::new(); pg.graph.num_nodes()];
+    assign_zipf_location_labels(&mut labels, &pg.community, 25, 1.0, &mut rng);
+    let g = with_labels(&pg.graph, &labels);
+
+    let mut names = LabelNames::new();
+    names.insert(LabelId(3), "Hong Kong");
+    names.insert(LabelId(7), "Spain");
+    let target = TargetLabel::new(LabelId(3), LabelId(7));
+    let truth = GroundTruth::compute(&g, target);
+    println!(
+        "question: how many {}–{} friendships?   exact answer: {} ({:.4}% of all {} edges)",
+        names.get(target.first()).unwrap(),
+        names.get(target.second()).unwrap(),
+        truth.f,
+        100.0 * truth.relative_count(&g),
+        g.num_edges()
+    );
+
+    let cfg = RunConfig {
+        burn_in: 400,
+        ..RunConfig::default()
+    };
+    let reps = 60;
+    println!(
+        "\n{:>10} {:>22} {:>22}   ({} replications each)",
+        "budget", "NeighborSample-HH", "NeighborExploration-HH", reps
+    );
+    for pct in [1, 2, 5, 10] {
+        let budget = g.num_nodes() * pct / 100;
+        let run = |alg: &'static dyn Algorithm| {
+            let estimates = replicate(reps, 8, 1000 + pct as u64, |_i, seed| {
+                let osn = SimulatedOsn::new(&g);
+                let mut rng = StdRng::seed_from_u64(seed);
+                alg.estimate(&osn, target, budget, &cfg, &mut rng).unwrap()
+            });
+            nrmse(&estimates, truth.f as f64)
+        };
+        let ns = run(&NsHansenHurwitz);
+        let ne = run(&NeHansenHurwitz);
+        println!(
+            "{:>8}%|V| {:>15.3} NRMSE {:>15.3} NRMSE   {}",
+            pct,
+            ns,
+            ne,
+            if ne < ns {
+                "-> exploration wins (rare target)"
+            } else {
+                "-> plain sampling wins"
+            }
+        );
+    }
+    println!(
+        "\nAs in the paper (§5.3): for rare cross-location friendships, exploring the\n\
+         neighborhoods of label-carrying users finds target edges with much higher\n\
+         probability than uniform edge sampling."
+    );
+}

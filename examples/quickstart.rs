@@ -1,0 +1,65 @@
+//! Quickstart: estimate the number of cross-label friendships in a
+//! synthetic OSN with every algorithm of the paper, and compare against
+//! the exact count.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use labelcount::core::{algorithms, RunConfig};
+use labelcount::graph::gen::barabasi_albert;
+use labelcount::graph::labels::{assign_binary_labels, with_labels};
+use labelcount::graph::{GroundTruth, LabelId, TargetLabel};
+use labelcount::osn::SimulatedOsn;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A synthetic OSN: preferential-attachment graph, binary labels
+    //    (think gender in a user profile).
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = barabasi_albert(10_000, 10, &mut rng);
+    let mut labels = vec![Vec::new(); g.num_nodes()];
+    assign_binary_labels(&mut labels, 0.45, &mut rng);
+    let g = with_labels(&g, &labels);
+
+    // 2. The question: how many label-1–label-2 friendships are there?
+    let target = TargetLabel::new(LabelId(1), LabelId(2));
+    let truth = GroundTruth::compute(&g, target);
+    println!(
+        "graph: |V|={} |E|={}   target {}   true F = {}",
+        g.num_nodes(),
+        g.num_edges(),
+        target,
+        truth.f
+    );
+
+    // 3. Estimate through the restricted API with a 5%|V| call budget.
+    let budget = g.num_nodes() / 20;
+    let cfg = RunConfig {
+        burn_in: 500,
+        ..RunConfig::default()
+    };
+    println!(
+        "budget: {budget} API calls (5% of |V|), burn-in {}",
+        cfg.burn_in
+    );
+    println!(
+        "{:<24} {:>12} {:>10} {:>12}",
+        "algorithm", "estimate", "rel.err", "API calls"
+    );
+    for alg in algorithms::all_paper(0.2, 0.5) {
+        let osn = SimulatedOsn::new(&g);
+        let est = alg
+            .estimate(&osn, target, budget, &cfg, &mut rng)
+            .expect("estimation failed");
+        let rel = (est - truth.f as f64) / truth.f as f64;
+        println!(
+            "{:<24} {:>12.1} {:>9.1}% {:>12}",
+            alg.abbrev(),
+            est,
+            100.0 * rel,
+            osn.stats().total_calls()
+        );
+    }
+}

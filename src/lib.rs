@@ -1,0 +1,58 @@
+//! # labelcount
+//!
+//! A from-scratch Rust reproduction of **"Counting Edges with Target Labels
+//! in Online Social Networks via Random Walk"** (Wu, Long, Fu & Chen,
+//! EDBT 2018).
+//!
+//! Given an OSN reachable only through per-user APIs (friend lists and
+//! profile labels) and a target edge label `(t1, t2)`, the library
+//! estimates `F` — the number of edges whose endpoints carry `t1` and `t2`
+//! — from a single random walk, with two sampler families
+//! (NeighborSample and NeighborExploration) and five baseline adaptations.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`graph`] | `labelcount-graph` | CSR labeled graphs, generators, ground truth |
+//! | [`osn`] | `labelcount-osn` | restricted-API simulation, line graph `G'` |
+//! | [`walk`] | `labelcount-walk` | simple/MH/MD/RCMH/GMD/non-backtracking walks, mixing time |
+//! | [`core`] | `labelcount-core` | the paper's estimators, baselines, bounds |
+//! | [`stats`] | `labelcount-stats` | NRMSE, parallel replication |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use labelcount::graph::gen::barabasi_albert;
+//! use labelcount::graph::labels::{assign_binary_labels, with_labels};
+//! use labelcount::graph::{GroundTruth, LabelId, TargetLabel};
+//! use labelcount::osn::SimulatedOsn;
+//! use labelcount::core::{Algorithm, NsHansenHurwitz, RunConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // A synthetic OSN with binary "gender" labels.
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let g = barabasi_albert(2_000, 8, &mut rng);
+//! let mut labels = vec![Vec::new(); g.num_nodes()];
+//! assign_binary_labels(&mut labels, 0.45, &mut rng);
+//! let g = with_labels(&g, &labels);
+//!
+//! // Estimate the number of female–male friendships via random walk,
+//! // spending 5% of |V| in API calls.
+//! let target = TargetLabel::new(LabelId(1), LabelId(2));
+//! let osn = SimulatedOsn::new(&g);
+//! let cfg = RunConfig { burn_in: 200, ..RunConfig::default() };
+//! let estimate = NsHansenHurwitz
+//!     .estimate(&osn, target, g.num_nodes() / 20, &cfg, &mut rng)
+//!     .unwrap();
+//!
+//! let truth = GroundTruth::compute(&g, target).f as f64;
+//! assert!((estimate - truth).abs() / truth < 0.5);
+//! ```
+
+pub use labelcount_core as core;
+pub use labelcount_graph as graph;
+pub use labelcount_osn as osn;
+pub use labelcount_stats as stats;
+pub use labelcount_walk as walk;

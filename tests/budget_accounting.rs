@@ -1,0 +1,119 @@
+//! The API-call budget contract, end to end: every algorithm must spend
+//! close to (and never wildly beyond) its budget, burn-in must be
+//! budget-free, and hard OSN budgets must interrupt cleanly.
+
+use labelcount::core::{algorithms, Algorithm, EstimateError, NsHansenHurwitz, RunConfig};
+use labelcount::graph::gen::barabasi_albert;
+use labelcount::graph::labels::{assign_binary_labels, with_labels};
+use labelcount::graph::{LabelId, LabeledGraph, TargetLabel};
+use labelcount::osn::SimulatedOsn;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixture(seed: u64) -> LabeledGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = barabasi_albert(2_000, 6, &mut rng);
+    let mut labels = vec![Vec::new(); g.num_nodes()];
+    assign_binary_labels(&mut labels, 0.4, &mut rng);
+    with_labels(&g, &labels)
+}
+
+fn target() -> TargetLabel {
+    TargetLabel::new(LabelId(1), LabelId(2))
+}
+
+#[test]
+fn every_algorithm_spends_close_to_its_budget() {
+    let g = fixture(1);
+    let burn_in = 100usize;
+    let cfg = RunConfig {
+        burn_in,
+        ..RunConfig::default()
+    };
+    let budget = 600usize;
+    let mut rng = StdRng::seed_from_u64(2);
+    for alg in algorithms::all_paper(0.2, 0.5) {
+        let osn = SimulatedOsn::new(&g);
+        alg.estimate(&osn, target(), budget, &cfg, &mut rng)
+            .unwrap();
+        let spent = osn.api_calls() as usize;
+        // Total = burn-in cost + sampled-phase (>= budget, < budget + one
+        // observation). Burn-in itself costs at most a few calls per step.
+        assert!(
+            spent >= budget,
+            "{} spent only {spent} of {budget}",
+            alg.abbrev()
+        );
+        let max_overshoot = 4 * g.nodes().map(|u| g.degree(u)).max().unwrap() + 8 * burn_in;
+        assert!(
+            spent <= budget + max_overshoot,
+            "{} spent {spent}, way past {budget}",
+            alg.abbrev()
+        );
+    }
+}
+
+#[test]
+fn burn_in_is_not_charged_to_the_budget() {
+    // Same budget with wildly different burn-ins must produce comparable
+    // sampled-phase work: sample counts should not shrink with burn-in.
+    let g = fixture(3);
+    let budget = 500usize;
+    let mut counts = Vec::new();
+    for burn_in in [10usize, 2_000] {
+        let osn = SimulatedOsn::new(&g);
+        let cfg = RunConfig {
+            burn_in,
+            ..RunConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        NsHansenHurwitz
+            .estimate(&osn, target(), budget, &cfg, &mut rng)
+            .unwrap();
+        // Sampled-phase calls = total − burn-in walk calls (1/step).
+        counts.push(osn.api_calls() as i64 - burn_in as i64);
+    }
+    let diff = (counts[0] - counts[1]).abs();
+    assert!(
+        diff <= 8,
+        "sampled-phase spend must be burn-in independent: {counts:?}"
+    );
+}
+
+#[test]
+fn hard_osn_budget_interrupts_every_algorithm() {
+    let g = fixture(5);
+    let cfg = RunConfig {
+        burn_in: 5,
+        ..RunConfig::default()
+    };
+    for alg in algorithms::all_paper(0.2, 0.5) {
+        let osn = SimulatedOsn::new(&g);
+        osn.set_budget(120);
+        let mut rng = StdRng::seed_from_u64(6);
+        // Ask for far more than the hard budget allows.
+        match alg.estimate(&osn, target(), 1_000_000, &cfg, &mut rng) {
+            Err(EstimateError::BudgetExhausted { .. }) => {}
+            other => panic!("{}: expected exhaustion, got {other:?}", alg.abbrev()),
+        }
+    }
+}
+
+#[test]
+fn distinct_calls_never_exceed_raw_calls() {
+    let g = fixture(7);
+    let cfg = RunConfig {
+        burn_in: 50,
+        ..RunConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(8);
+    for alg in algorithms::all_paper(0.2, 0.5) {
+        let osn = SimulatedOsn::new(&g);
+        alg.estimate(&osn, target(), 400, &cfg, &mut rng).unwrap();
+        let s = osn.stats();
+        assert!(s.distinct_neighbor_calls <= s.neighbor_calls);
+        assert!(s.distinct_label_calls <= s.label_calls);
+        assert!(s.distinct_neighbor_calls as usize <= g.num_nodes());
+        assert!(s.distinct_label_calls as usize <= g.num_nodes());
+    }
+}

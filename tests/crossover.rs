@@ -1,0 +1,130 @@
+//! The paper's central empirical finding (§5.2 finding 4, §5.3, Figures
+//! 1–2): which sampler family wins is decided by the relative count of
+//! target edges.
+//!
+//! * rare target edges → NeighborExploration wins (it boosts the target
+//!   sampling probability from `F/|E|` to `Σ_{u∈Q} d(u)/2|E|`);
+//! * abundant target edges → NeighborSample wins (exploration wastes API
+//!   budget re-checking neighborhoods that are full of target edges
+//!   anyway).
+
+use labelcount::core::{Algorithm, NeHansenHurwitz, NsHansenHurwitz, RunConfig};
+use labelcount::graph::gen::barabasi_albert;
+use labelcount::graph::labels::{assign_binary_labels, with_labels};
+use labelcount::graph::{GroundTruth, LabelId, LabeledGraph, TargetLabel};
+use labelcount::osn::SimulatedOsn;
+use labelcount::stats::{nrmse, replicate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn target() -> TargetLabel {
+    TargetLabel::new(LabelId(1), LabelId(2))
+}
+
+/// BA graph where a small clique-adjacent subset carries label 1 and the
+/// rest label 9 except a thin label-2 minority — target edges are rare.
+fn rare_target_graph(seed: u64) -> LabeledGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = barabasi_albert(6_000, 8, &mut rng);
+    let mut labels = vec![vec![LabelId(9)]; g.num_nodes()];
+    // ~5% of nodes carry label 1, ~5% label 2; cross edges are ~0.5% of E.
+    for (i, slot) in labels.iter_mut().enumerate() {
+        if i % 20 == 3 {
+            *slot = vec![LabelId(1)];
+        } else if i % 20 == 11 {
+            *slot = vec![LabelId(2)];
+        }
+    }
+    with_labels(&g, &labels)
+}
+
+/// Binary-labeled graph where ~half of the edges are target edges.
+fn abundant_target_graph(seed: u64) -> LabeledGraph {
+    // Matches the facebook-like regime (Table 4): mean degree ~44 and a
+    // ~30/70 label split so 42% of the edges are cross-label. The
+    // asymmetry matters: it makes the per-node cross fraction T(u)/d(u)
+    // bimodal (~0.7 at minority nodes, ~0.3 at majority nodes), which is
+    // what inflates NeighborExploration's variance in this regime.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = barabasi_albert(4_000, 22, &mut rng);
+    let mut labels = vec![Vec::new(); g.num_nodes()];
+    assign_binary_labels(
+        &mut labels,
+        labelcount::graph::labels::binary_share_for_cross_fraction(0.424),
+        &mut rng,
+    );
+    with_labels(&g, &labels)
+}
+
+fn nrmse_of(alg: &dyn Algorithm, g: &LabeledGraph, budget: usize, seed: u64) -> f64 {
+    let truth = GroundTruth::compute(g, target());
+    assert!(truth.f > 0, "fixture must have target edges");
+    let cfg = RunConfig {
+        burn_in: 300,
+        ..RunConfig::default()
+    };
+    let estimates = replicate(120, 8, seed, |_i, s| {
+        let osn = SimulatedOsn::new(g);
+        let mut rng = StdRng::seed_from_u64(s);
+        alg.estimate(&osn, target(), budget, &cfg, &mut rng)
+            .unwrap()
+    });
+    nrmse(&estimates, truth.f as f64)
+}
+
+#[test]
+fn exploration_wins_when_target_edges_are_rare() {
+    let g = rare_target_graph(21);
+    let budget = g.num_nodes() / 10;
+    let ns = nrmse_of(&NsHansenHurwitz, &g, budget, 22);
+    let ne = nrmse_of(&NeHansenHurwitz, &g, budget, 23);
+    assert!(
+        ne < 0.7 * ns,
+        "rare targets: NE ({ne}) should clearly beat NS ({ns})"
+    );
+}
+
+#[test]
+fn plain_sampling_wins_when_target_edges_are_abundant() {
+    let g = abundant_target_graph(24);
+    let budget = g.num_nodes() / 20;
+    let ns = nrmse_of(&NsHansenHurwitz, &g, budget, 25);
+    let ne = nrmse_of(&NeHansenHurwitz, &g, budget, 26);
+    assert!(ns < ne, "abundant targets: NS ({ns}) should beat NE ({ne})");
+}
+
+#[test]
+fn exploration_samples_fewer_nodes_on_abundant_labels() {
+    // The mechanism behind the crossover: on abundant labels every sample
+    // triggers a full neighborhood exploration, so NE affords far fewer
+    // samples per API budget than NS.
+    use labelcount::core::neighbor_exploration::run_neighbor_exploration;
+    use labelcount::core::neighbor_sample::run_neighbor_sample;
+
+    let abundant = abundant_target_graph(27);
+    let rare = rare_target_graph(28);
+    let budget = 2_000;
+    let mut rng = StdRng::seed_from_u64(29);
+
+    let osn = SimulatedOsn::new(&abundant);
+    let ne_abundant = run_neighbor_exploration(&osn, target(), budget, 100, &mut rng)
+        .unwrap()
+        .len();
+    let osn = SimulatedOsn::new(&abundant);
+    let ns_abundant = run_neighbor_sample(&osn, target(), budget, 100, &mut rng)
+        .unwrap()
+        .len();
+    let osn = SimulatedOsn::new(&rare);
+    let ne_rare = run_neighbor_exploration(&osn, target(), budget, 100, &mut rng)
+        .unwrap()
+        .len();
+
+    assert!(
+        ne_abundant * 3 < ns_abundant,
+        "NE ({ne_abundant}) must collect far fewer samples than NS ({ns_abundant})"
+    );
+    assert!(
+        ne_rare > 2 * ne_abundant,
+        "NE on rare labels ({ne_rare}) must collect more samples than on abundant ({ne_abundant})"
+    );
+}

@@ -1,0 +1,86 @@
+//! Reproducibility across the whole pipeline: identical seeds must yield
+//! identical datasets, sweeps, and estimates, regardless of thread count.
+
+use labelcount::core::algorithms;
+use labelcount::graph::GroundTruth;
+use labelcount_experiments::datasets::{build, DatasetKind};
+use labelcount_experiments::runner::{nrmse_sweep, SweepConfig};
+
+#[test]
+fn dataset_builds_are_deterministic() {
+    let a = build(DatasetKind::FacebookLike, 0.05, 77);
+    let b = build(DatasetKind::FacebookLike, 0.05, 77);
+    assert_eq!(a.graph.num_nodes(), b.graph.num_nodes());
+    assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+    assert_eq!(a.burn_in, b.burn_in);
+    assert_eq!(a.targets.len(), b.targets.len());
+    for (x, y) in a.targets.iter().zip(&b.targets) {
+        assert_eq!(x.label, y.label);
+        assert_eq!(x.f, y.f);
+    }
+    for u in a.graph.nodes() {
+        assert_eq!(a.graph.neighbors(u), b.graph.neighbors(u));
+        assert_eq!(a.graph.labels(u), b.graph.labels(u));
+    }
+}
+
+#[test]
+fn different_data_seeds_give_different_graphs() {
+    let a = build(DatasetKind::FacebookLike, 0.05, 1);
+    let b = build(DatasetKind::FacebookLike, 0.05, 2);
+    let differs = a
+        .graph
+        .nodes()
+        .any(|u| a.graph.neighbors(u) != b.graph.neighbors(u));
+    assert!(differs, "different seeds must change the graph");
+}
+
+#[test]
+fn sweep_results_independent_of_thread_count() {
+    let d = build(DatasetKind::FacebookLike, 0.05, 3);
+    let t = &d.targets[0];
+    let gt = GroundTruth::compute(&d.graph, t.label);
+    let algs = algorithms::proposed();
+    let run = |threads: usize| {
+        let cfg = SweepConfig {
+            reps: 16,
+            threads,
+            seed: 9,
+            ..SweepConfig::default()
+        };
+        nrmse_sweep(&d.graph, d.burn_in, t.label, gt.f, &[40, 120], &algs, &cfg)
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.abbrev, p.abbrev);
+        assert_eq!(
+            s.nrmse, p.nrmse,
+            "{} differs across thread counts",
+            s.abbrev
+        );
+    }
+}
+
+#[test]
+fn sweep_seed_changes_results() {
+    let d = build(DatasetKind::FacebookLike, 0.05, 3);
+    let t = &d.targets[0];
+    let gt = GroundTruth::compute(&d.graph, t.label);
+    let algs = algorithms::proposed();
+    let run = |seed: u64| {
+        let cfg = SweepConfig {
+            reps: 8,
+            threads: 4,
+            seed,
+            ..SweepConfig::default()
+        };
+        nrmse_sweep(&d.graph, d.burn_in, t.label, gt.f, &[60], &algs, &cfg)
+    };
+    let a = run(1);
+    let b = run(2);
+    assert!(
+        a.iter().zip(&b).any(|(x, y)| x.nrmse != y.nrmse),
+        "different sweep seeds must change at least one cell"
+    );
+}

@@ -1,0 +1,139 @@
+//! End-to-end integration: generation → preprocessing → mixing → restricted
+//! API → estimation → error measurement, spanning every crate.
+
+use labelcount::core::{algorithms, Algorithm, NsHansenHurwitz, RunConfig};
+use labelcount::graph::components::largest_component;
+use labelcount::graph::gen::barabasi_albert;
+use labelcount::graph::labels::{assign_binary_labels, with_labels};
+use labelcount::graph::{GroundTruth, LabelId, LabeledGraph, TargetLabel};
+use labelcount::osn::SimulatedOsn;
+use labelcount::stats::{nrmse, replicate};
+use labelcount::walk::mixing::{mixing_time, Starts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_osn_graph(seed: u64, n: usize, p1: f64) -> LabeledGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = barabasi_albert(n, 6, &mut rng);
+    let mut labels = vec![Vec::new(); g.num_nodes()];
+    assign_binary_labels(&mut labels, p1, &mut rng);
+    let g = with_labels(&g, &labels);
+    largest_component(&g).unwrap().graph
+}
+
+fn target() -> TargetLabel {
+    TargetLabel::new(LabelId(1), LabelId(2))
+}
+
+#[test]
+fn full_pipeline_estimates_within_tolerance() {
+    let g = build_osn_graph(1, 3_000, 0.4);
+    let truth = GroundTruth::compute(&g, target());
+    assert!(truth.f > 0);
+
+    // Measured mixing time drives the burn-in, as in the harness.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mt = mixing_time(&g, 1e-3, 2_000, Starts::Sampled(3), &mut rng)
+        .t
+        .expect("BA graph must mix");
+    let cfg = RunConfig {
+        burn_in: 2 * mt,
+        ..RunConfig::default()
+    };
+
+    let estimates = replicate(60, 8, 3, |_i, seed| {
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        NsHansenHurwitz
+            .estimate(&osn, target(), g.num_nodes() / 10, &cfg, &mut rng)
+            .unwrap()
+    });
+    let err = nrmse(&estimates, truth.f as f64);
+    assert!(err < 0.35, "NRMSE {err}");
+}
+
+#[test]
+fn all_ten_algorithms_produce_finite_nonnegative_estimates() {
+    let g = build_osn_graph(4, 1_500, 0.35);
+    let cfg = RunConfig {
+        burn_in: 200,
+        ..RunConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(5);
+    for alg in algorithms::all_paper(0.2, 0.5) {
+        let osn = SimulatedOsn::new(&g);
+        let est = alg
+            .estimate(&osn, target(), 200, &cfg, &mut rng)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", alg.abbrev()));
+        assert!(
+            est.is_finite() && est >= 0.0,
+            "{}: estimate {est}",
+            alg.abbrev()
+        );
+        assert!(
+            est <= 2.0 * g.num_edges() as f64,
+            "{}: estimate {est} beyond any plausible count",
+            alg.abbrev()
+        );
+    }
+}
+
+#[test]
+fn error_shrinks_with_budget_for_proposed_algorithms() {
+    let g = build_osn_graph(6, 3_000, 0.4);
+    let truth = GroundTruth::compute(&g, target());
+    let cfg = RunConfig {
+        burn_in: 200,
+        ..RunConfig::default()
+    };
+    for alg in algorithms::proposed() {
+        let err_at = |budget: usize, seed: u64| {
+            let estimates = replicate(80, 8, seed, |_i, s| {
+                let osn = SimulatedOsn::new(&g);
+                let mut rng = StdRng::seed_from_u64(s);
+                alg.estimate(&osn, target(), budget, &cfg, &mut rng)
+                    .unwrap()
+            });
+            nrmse(&estimates, truth.f as f64)
+        };
+        let small = err_at(60, 7);
+        let large = err_at(1_500, 8);
+        assert!(
+            large < small,
+            "{}: NRMSE {small} -> {large} should shrink",
+            alg.abbrev()
+        );
+    }
+}
+
+#[test]
+fn estimators_see_only_the_api() {
+    // The OSN's call counters fully explain the estimator's graph access:
+    // no calls before, some calls after, reset works.
+    let g = build_osn_graph(9, 800, 0.5);
+    let osn = SimulatedOsn::new(&g);
+    assert_eq!(osn.stats().total_calls(), 0);
+    let cfg = RunConfig {
+        burn_in: 50,
+        ..RunConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(10);
+    NsHansenHurwitz
+        .estimate(&osn, target(), 100, &cfg, &mut rng)
+        .unwrap();
+    let s = osn.stats();
+    assert!(s.neighbor_calls > 0);
+    assert!(s.label_calls > 0);
+    assert!(s.distinct_neighbor_calls <= s.neighbor_calls);
+    osn.reset_stats();
+    assert_eq!(osn.stats().total_calls(), 0);
+}
+
+#[test]
+fn ground_truth_is_invariant_under_component_extraction_of_connected_graph() {
+    let g = build_osn_graph(11, 1_000, 0.4);
+    let f1 = GroundTruth::compute(&g, target()).f;
+    let ex = largest_component(&g).unwrap();
+    let f2 = GroundTruth::compute(&ex.graph, target()).f;
+    assert_eq!(f1, f2);
+}

@@ -1,0 +1,101 @@
+//! End-to-end tests for the extensions: labeled motif counting (paper §6
+//! future work) and graph-size estimation (paper's prior-knowledge
+//! assumption), including their interaction with the restricted API.
+
+use labelcount::core::motifs::{estimate_labeled_triangles, estimate_labeled_wedges};
+use labelcount::core::size::estimate_graph_size;
+use labelcount::graph::gen::{barabasi_albert, watts_strogatz};
+use labelcount::graph::labels::with_labels;
+use labelcount::graph::motifs::{count_labeled_triangles, count_labeled_wedges, TargetTriple};
+use labelcount::graph::{LabelId, LabeledGraph};
+use labelcount::osn::SimulatedOsn;
+use labelcount::stats::replicate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn three_label_ba(seed: u64, n: usize, m: usize) -> LabeledGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = barabasi_albert(n, m, &mut rng);
+    let labels: Vec<Vec<LabelId>> = (0..g.num_nodes())
+        .map(|i| vec![LabelId(1 + (i % 3) as u32)])
+        .collect();
+    with_labels(&g, &labels)
+}
+
+fn triple() -> TargetTriple {
+    TargetTriple::new(LabelId(1), LabelId(2), LabelId(3))
+}
+
+#[test]
+fn wedge_estimates_converge_to_exact_count() {
+    let g = three_label_ba(1, 1_500, 5);
+    let truth = count_labeled_wedges(&g, triple()) as f64;
+    assert!(truth > 0.0);
+    let means: Vec<f64> = [800usize, 8_000]
+        .iter()
+        .map(|&budget| {
+            let estimates = replicate(60, 8, budget as u64, |_i, seed| {
+                let osn = SimulatedOsn::new(&g);
+                let mut rng = StdRng::seed_from_u64(seed);
+                estimate_labeled_wedges(&osn, triple(), budget, 100, &mut rng).unwrap()
+            });
+            let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+            (mean - truth).abs() / truth
+        })
+        .collect();
+    assert!(means[1] < 0.1, "large-budget relative error {}", means[1]);
+}
+
+#[test]
+fn triangle_estimates_match_on_clustered_graph() {
+    // WS graphs are triangle-rich; relabel and compare.
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = watts_strogatz(900, 8, 0.1, &mut rng);
+    let labels: Vec<Vec<LabelId>> = (0..g.num_nodes())
+        .map(|i| vec![LabelId(1 + (i % 3) as u32)])
+        .collect();
+    let g = with_labels(&g, &labels);
+    let truth = count_labeled_triangles(&g, triple()) as f64;
+    assert!(truth > 0.0, "WS fixture must contain target triangles");
+
+    let estimates = replicate(60, 8, 3, |_i, seed| {
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        estimate_labeled_triangles(&osn, triple(), 6_000, 200, &mut rng).unwrap()
+    });
+    let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+    let rel = (mean - truth).abs() / truth;
+    assert!(rel < 0.15, "mean {mean} vs truth {truth}");
+}
+
+#[test]
+fn size_estimates_feed_the_prior_knowledge() {
+    // The paper's assumption 2 closed: estimate |V| and |E| from the walk,
+    // then check they are close enough to drive the estimators.
+    let g = three_label_ba(4, 2_500, 6);
+    let estimates = replicate(30, 8, 5, |_i, seed| {
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        estimate_graph_size(&osn, 3_000, 100, &mut rng).unwrap()
+    });
+    let n_mean = estimates.iter().map(|e| e.num_nodes).sum::<f64>() / estimates.len() as f64;
+    let e_mean = estimates.iter().map(|e| e.num_edges).sum::<f64>() / estimates.len() as f64;
+    let n_rel = (n_mean - g.num_nodes() as f64).abs() / g.num_nodes() as f64;
+    let e_rel = (e_mean - g.num_edges() as f64).abs() / g.num_edges() as f64;
+    assert!(n_rel < 0.2, "relative |V| error {n_rel}");
+    assert!(e_rel < 0.2, "relative |E| error {e_rel}");
+    assert!(estimates.iter().all(|e| e.collisions > 0));
+}
+
+#[test]
+fn motif_estimators_only_touch_the_api() {
+    let g = three_label_ba(6, 800, 4);
+    let osn = SimulatedOsn::new(&g);
+    let mut rng = StdRng::seed_from_u64(7);
+    assert_eq!(osn.stats().total_calls(), 0);
+    estimate_labeled_wedges(&osn, triple(), 500, 50, &mut rng).unwrap();
+    let after_wedges = osn.stats().total_calls();
+    assert!(after_wedges > 0);
+    estimate_labeled_triangles(&osn, triple(), 500, 50, &mut rng).unwrap();
+    assert!(osn.stats().total_calls() > after_wedges);
+}
