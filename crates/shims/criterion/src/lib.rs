@@ -1,0 +1,232 @@
+//! API-compatible subset of `criterion`, implemented from scratch.
+//!
+//! The bench targets under `crates/bench/benches` register through the
+//! standard criterion surface (`criterion_group!`, `criterion_main!`,
+//! benchmark groups with `sample_size`/`measurement_time`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`).
+//! This shim keeps those programs compiling and running in offline builds:
+//! every benchmark executes its closure a small number of timed iterations
+//! and prints the mean wall-clock time per iteration. There is no warm-up
+//! modeling, outlier analysis, plotting, or baseline comparison — swap the
+//! `[workspace.dependencies]` path entry for the crates.io release to get
+//! the real harness.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work. Re-exported for parity with `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Iterations each benchmark runs (after one untimed warm-up call).
+const MEASURED_ITERS: u32 = 3;
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Registers and runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(None, &id.into(), f);
+        self
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; this shim always runs a fixed small number
+    /// of iterations.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; this shim does not time-box measurement.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Registers and runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(Some(&self.name), &id.into(), f);
+        self
+    }
+
+    /// Registers and runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(Some(&self.name), &id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Times `routine`: one untimed warm-up call, then a fixed number of
+    /// measured iterations.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..MEASURED_ITERS {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = MEASURED_ITERS;
+    }
+}
+
+fn run_benchmark<F>(group: Option<&str>, id: &BenchmarkId, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if bencher.iterations > 0 {
+        let per_iter = bencher.elapsed / bencher.iterations;
+        println!(
+            "{label:<60} {per_iter:>12.2?}/iter ({} iters)",
+            bencher.iterations
+        );
+    } else {
+        println!("{label:<60} (no measurement: Bencher::iter never called)");
+    }
+}
+
+/// Collects benchmark functions into a single group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group
+                .sample_size(10)
+                .measurement_time(Duration::from_millis(1));
+            group.bench_function("plain", |b| b.iter(|| calls += 1));
+            group.bench_with_input(BenchmarkId::new("with_input", 5), &5u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            group.finish();
+        }
+        // warm-up + measured iterations.
+        assert_eq!(calls, 1 + MEASURED_ITERS);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+}

@@ -1,0 +1,259 @@
+//! API-compatible subset of `proptest`, implemented from scratch.
+//!
+//! The workspace's property tests use a small slice of proptest: the
+//! [`proptest!`] macro with `#![proptest_config(..)]`, range / tuple /
+//! [`collection::vec`] / [`strategy::Just`] / [`arbitrary::any`]
+//! strategies, [`Strategy::prop_map`] and [`Strategy::prop_flat_map`]
+//! combinators, and the `prop_assert*` / [`prop_assume!`] macros. This
+//! shim provides exactly that, vendored so offline builds work.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   role (the assertion message); it is not minimized first.
+//! * **Deterministic seeding.** Each test's RNG is seeded from a hash of
+//!   its module path and name, so failures reproduce exactly across runs.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests.
+///
+/// In a test module each declared property carries `#[test]` as usual; the
+/// attribute is omitted here so the doctest can drive the property itself:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            cfg = (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (cfg = ($cfg:expr); $(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::rng_for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases.saturating_mul(64).saturating_add(1024),
+                        "{}: too many inputs rejected by prop_assume!",
+                        stringify!($name),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                            continue
+                        }
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                            message,
+                        )) => {
+                            panic!(
+                                "property '{}' failed at case {}: {}",
+                                stringify!($name),
+                                accepted,
+                                message,
+                            )
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Like `assert!`, but fails the current property case instead of panicking
+/// directly (so the harness can report the case index).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!` for property cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    left,
+                    right,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Like `assert_ne!` for property cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}\n  both: {:?}", format!($($fmt)+), left),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (without counting it) when its inputs do not
+/// satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3usize..17, b in 0u32..5, c in any::<u64>()) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(b < 5);
+            let _ = c;
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            v in crate::collection::vec((0u32..10, 0u32..10), 1..20),
+            n in Just(7usize),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert_eq!(n, 7);
+            for (x, y) in v {
+                prop_assert!(x < 10 && y < 10);
+            }
+        }
+
+        #[test]
+        fn flat_map_sees_outer_value(
+            pair in (1usize..8).prop_flat_map(|n| (Just(n), 0..n)),
+        ) {
+            let (n, i) = pair;
+            prop_assert!(i < n, "{i} >= {n}");
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'fails' failed")]
+    fn failing_property_panics_with_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            #[allow(unused)]
+            fn fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        fails();
+    }
+}

@@ -1,0 +1,61 @@
+//! Run configuration and case outcomes for the [`crate::proptest!`] macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for one `proptest!` block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        assert!(cases > 0, "need at least one case");
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the message describes it.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject,
+}
+
+/// Deterministic per-test RNG: seeded from an FNV-1a hash of the test's
+/// full path, so every run generates the same case sequence (failures
+/// reproduce without recording seeds).
+pub fn rng_for_test(full_name: &str) -> StdRng {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in full_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn rng_is_stable_per_name_and_distinct_across_names() {
+        let mut a = rng_for_test("mod::test_a");
+        let mut b = rng_for_test("mod::test_a");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = rng_for_test("mod::test_b");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

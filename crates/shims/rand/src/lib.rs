@@ -1,0 +1,335 @@
+//! API-compatible subset of the `rand` 0.8 crate, implemented from scratch
+//! with no dependencies.
+//!
+//! The labelcount workspace builds in fully offline environments, so the
+//! real `rand` crate cannot be fetched from a registry. This shim provides
+//! the exact surface the workspace uses:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen`, `gen_range`, and `gen_bool`;
+//! * [`SeedableRng`] with the SplitMix64-based `seed_from_u64` expansion;
+//! * [`rngs::StdRng`] backed by xoshiro256\*\* (Blackman & Vigna) — a
+//!   different generator than the real `StdRng`'s ChaCha12, but with the
+//!   same contract the workspace relies on: deterministic given a seed and
+//!   statistically sound for Monte-Carlo simulation;
+//! * [`seq::SliceRandom`] with `choose` and Fisher–Yates `shuffle`;
+//! * the [`distributions::Standard`] distribution for `gen::<f64>()` and
+//!   friends.
+//!
+//! The trait-object plumbing mirrors `rand` 0.8 exactly: `RngCore` is
+//! object-safe, `&mut R` forwards `RngCore`, and `Rng` is blanket-implemented
+//! for every `RngCore + ?Sized`, so `&mut dyn RngCore` works everywhere a
+//! generic `impl Rng` does.
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: a source of uniformly random
+/// 32-bit and 64-bit words. Object-safe.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`] (sized or not).
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution
+    /// (`f64` in `[0, 1)`, full-range integers, fair `bool`).
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (`start..end` or `start..=end`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Exactly uniform draw from `[0, span)` via Lemire's widening-multiply
+/// rejection method — no modulo bias, matching the real `rand` crate's
+/// uniform-integer guarantee. `span == 0` means the full `u64` domain.
+#[inline]
+fn uniform_u64_below<R: RngCore + ?Sized>(span: u64, rng: &mut R) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    let mut product = (rng.next_u64() as u128) * (span as u128);
+    let mut low = product as u64;
+    if low < span {
+        // Reject draws in the unevenly covered low fringe (at most
+        // span/2^64 of the domain, so retries are vanishingly rare).
+        let threshold = span.wrapping_neg() % span;
+        while low < threshold {
+            product = (rng.next_u64() as u128) * (span as u128);
+            low = product as u64;
+        }
+    }
+    (product >> 64) as u64
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "cannot sample empty range {}..{}",
+                    self.start,
+                    self.end
+                );
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(uniform_u64_below(span, rng)) as $t
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range {start}..={end}");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                (start as u64).wrapping_add(uniform_u64_below(span, rng)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "cannot sample empty range {}..{}",
+                    self.start,
+                    self.end
+                );
+                let unit: $t = Standard.sample(rng);
+                let value = self.start + unit * (self.end - self.start);
+                // Rounding can land exactly on the excluded upper bound
+                // when the span is within an ulp of the start; clamp to
+                // keep the documented half-open contract.
+                if value < self.end {
+                    value
+                } else {
+                    self.end.next_down().max(self.start)
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_sample_range!(f32, f64);
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it into a full seed with
+    /// the SplitMix64 sequence — a construction analogous to (but not
+    /// stream-compatible with) `rand` 0.8's PCG-based expansion, so nearby
+    /// seeds still produce unrelated streams.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Creates a generator from a fixed internal constant. The real crate
+    /// seeds from OS entropy; this offline shim is deterministic instead
+    /// (the workspace only ever seeds explicitly).
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(0x853C_49E6_748F_EA9B)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0u32..1);
+            assert_eq!(y, 0);
+            let z = rng.gen_range(0usize..=4);
+            assert!(z <= 4);
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        let trials = 100_000;
+        for _ in 0..trials {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / trials as f64;
+            assert!((frac - 0.1).abs() < 0.01, "bucket frequency {frac}");
+        }
+    }
+
+    #[test]
+    fn dyn_rng_core_works_like_generic() {
+        fn sample(rng: &mut dyn RngCore) -> (f64, usize) {
+            (rng.gen::<f64>(), rng.gen_range(0..100))
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut check = StdRng::seed_from_u64(4);
+        let (f, i) = sample(&mut rng);
+        assert_eq!(f, check.gen::<f64>());
+        assert_eq!(i, check.gen_range(0..100));
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use super::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "50-element shuffle staying sorted is ~impossible"
+        );
+    }
+
+    #[test]
+    fn choose_returns_an_element() {
+        use super::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(7);
+        let v = [10, 20, 30];
+        assert!(v.contains(v.choose(&mut rng).unwrap()));
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,154 @@
+//! Integration coverage for `labelcount-stats`: known-answer NRMSE cases,
+//! empty-input and single-sample edge cases for both the NRMSE reduction
+//! and the running-moment accumulators.
+
+use labelcount_stats::{nrmse, nrmse_parts, percentile, replicate, RunningStats};
+
+// ---------------------------------------------------------------- NRMSE --
+
+#[test]
+fn nrmse_known_answers() {
+    // Pure bias: constant 130 vs truth 100 -> RMSE 30 -> NRMSE 0.3.
+    assert!((nrmse(&[130.0; 7], 100.0) - 0.3).abs() < 1e-12);
+    // Pure variance: +/-10 around truth 50 -> RMSE 10 -> NRMSE 0.2.
+    assert!((nrmse(&[40.0, 60.0, 40.0, 60.0], 50.0) - 0.2).abs() < 1e-12);
+    // Mixed: estimates {0, 200} vs truth 100 -> RMSE 100 -> NRMSE 1.
+    assert!((nrmse(&[0.0, 200.0], 100.0) - 1.0).abs() < 1e-12);
+    // Truth scaling: same absolute errors, 10x truth -> 10x smaller NRMSE.
+    let coarse = nrmse(&[90.0, 110.0], 100.0);
+    let fine = nrmse(&[990.0, 1010.0], 1000.0);
+    assert!((coarse - 10.0 * fine).abs() < 1e-12);
+}
+
+#[test]
+fn nrmse_single_sample() {
+    // One estimate: NRMSE is its relative error, variance is zero, and the
+    // decomposition collapses to pure squared bias.
+    let p = nrmse_parts(&[120.0], 100.0);
+    assert!((p.nrmse - 0.2).abs() < 1e-12);
+    assert_eq!(p.mean, 120.0);
+    assert_eq!(p.variance, 0.0);
+    assert!((p.bias_sq - 400.0).abs() < 1e-12);
+    // A perfect single estimate is exactly zero error.
+    assert_eq!(nrmse(&[55.0], 55.0), 0.0);
+}
+
+#[test]
+fn nrmse_decomposition_identity_on_asymmetric_data() {
+    let estimates = [3.0, 9.0, 4.0, 14.0, 2.0, 11.0];
+    let truth = 8.0;
+    let p = nrmse_parts(&estimates, truth);
+    let mse = (p.nrmse * truth).powi(2);
+    assert!((mse - (p.variance + p.bias_sq)).abs() < 1e-9);
+    assert!(p.variance > 0.0 && p.bias_sq > 0.0);
+}
+
+#[test]
+#[should_panic(expected = "at least one")]
+fn nrmse_rejects_empty_input() {
+    nrmse(&[], 10.0);
+}
+
+#[test]
+#[should_panic(expected = "undefined")]
+fn nrmse_rejects_nonpositive_truth() {
+    nrmse(&[1.0], -3.0);
+}
+
+// ------------------------------------------------------- running moments --
+
+#[test]
+fn running_stats_known_answers() {
+    // Data 1..=5: mean 3, population variance 2, sample variance 2.5.
+    let mut s = RunningStats::new();
+    for x in 1..=5 {
+        s.push(x as f64);
+    }
+    assert_eq!(s.count(), 5);
+    assert!((s.mean() - 3.0).abs() < 1e-12);
+    assert!((s.variance() - 2.0).abs() < 1e-12);
+    assert!((s.sample_variance() - 2.5).abs() < 1e-12);
+    assert_eq!(s.min(), 1.0);
+    assert_eq!(s.max(), 5.0);
+}
+
+#[test]
+fn running_stats_empty_input() {
+    let s = RunningStats::new();
+    assert_eq!(s.count(), 0);
+    assert_eq!(s.mean(), 0.0);
+    assert_eq!(s.variance(), 0.0);
+    assert_eq!(s.sample_variance(), 0.0);
+    assert_eq!(s.std_dev(), 0.0);
+    assert!(s.min().is_infinite() && s.min() > 0.0);
+    assert!(s.max().is_infinite() && s.max() < 0.0);
+}
+
+#[test]
+fn running_stats_single_sample() {
+    let mut s = RunningStats::new();
+    s.push(42.5);
+    assert_eq!(s.count(), 1);
+    assert_eq!(s.mean(), 42.5);
+    assert_eq!(s.variance(), 0.0);
+    // Bessel correction undefined for n = 1; documented as 0.
+    assert_eq!(s.sample_variance(), 0.0);
+    assert_eq!(s.min(), 42.5);
+    assert_eq!(s.max(), 42.5);
+}
+
+#[test]
+fn running_stats_merge_edge_cases() {
+    let mut filled = RunningStats::new();
+    for x in [2.0, 4.0, 6.0] {
+        filled.push(x);
+    }
+    let snapshot = filled;
+
+    // Merging an empty accumulator changes nothing.
+    filled.merge(&RunningStats::new());
+    assert_eq!(filled.count(), snapshot.count());
+    assert_eq!(filled.mean(), snapshot.mean());
+    assert_eq!(filled.variance(), snapshot.variance());
+
+    // Merging into an empty accumulator copies the other side.
+    let mut empty = RunningStats::new();
+    empty.merge(&snapshot);
+    assert_eq!(empty.count(), 3);
+    assert!((empty.mean() - 4.0).abs() < 1e-12);
+
+    // Merging two singletons matches pushing both.
+    let mut a = RunningStats::new();
+    a.push(10.0);
+    let mut b = RunningStats::new();
+    b.push(20.0);
+    a.merge(&b);
+    assert_eq!(a.count(), 2);
+    assert!((a.mean() - 15.0).abs() < 1e-12);
+    assert!((a.variance() - 25.0).abs() < 1e-12);
+}
+
+#[test]
+fn percentile_single_element_and_extremes() {
+    assert_eq!(percentile(&[7.0], 0.0), 7.0);
+    assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    assert_eq!(percentile(&[7.0], 100.0), 7.0);
+    // Order independence.
+    assert_eq!(percentile(&[9.0, 1.0, 5.0], 50.0), 5.0);
+}
+
+// ----------------------------------------------------------- replication --
+
+#[test]
+fn replicate_reduces_into_nrmse_deterministically() {
+    // End-to-end shape of the harness reduction: replicate -> nrmse, with
+    // thread count not changing a single bit.
+    let synth = |_i: usize, seed: u64| 100.0 + (seed % 21) as f64 - 10.0;
+    let serial = replicate(64, 1, 5, synth);
+    let parallel = replicate(64, 8, 5, synth);
+    assert_eq!(serial, parallel);
+    assert_eq!(
+        nrmse(&serial, 100.0).to_bits(),
+        nrmse(&parallel, 100.0).to_bits()
+    );
+}

@@ -1,10 +1,73 @@
 //! Reproducibility across the whole pipeline: identical seeds must yield
 //! identical datasets, sweeps, and estimates, regardless of thread count.
 
-use labelcount::core::algorithms;
+use labelcount::core::{algorithms, Algorithm, NeHansenHurwitz, NsHansenHurwitz, RunConfig};
 use labelcount::graph::GroundTruth;
+use labelcount::osn::SimulatedOsn;
 use labelcount_experiments::datasets::{build, DatasetKind};
 use labelcount_experiments::runner::{nrmse_sweep, SweepConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Identical `StdRng` seeds must produce bit-identical estimates across
+/// two independent runs, for both sampler families. (`assert_eq!` on `f64`
+/// is deliberate: determinism means the same bits, not "close".)
+#[test]
+fn ns_and_ne_estimates_are_bit_identical_given_seed() {
+    let d = build(DatasetKind::FacebookLike, 0.05, 41);
+    let target = d.targets[0].label;
+    let cfg = RunConfig {
+        burn_in: 60,
+        ..RunConfig::default()
+    };
+    let budget = d.graph.num_nodes() / 10;
+    for (alg, name) in [
+        (&NsHansenHurwitz as &dyn Algorithm, "NS"),
+        (&NeHansenHurwitz, "NE"),
+    ] {
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            let run = || {
+                let osn = SimulatedOsn::new(&d.graph);
+                let mut rng = StdRng::seed_from_u64(seed);
+                alg.estimate(&osn, target, budget, &cfg, &mut rng).unwrap()
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{name} sampler not seed-stable at seed {seed}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+/// Different seeds must not collapse to one estimate (guards against an
+/// RNG that ignores its seed, which would make the test above vacuous).
+#[test]
+fn ns_and_ne_estimates_vary_across_seeds() {
+    let d = build(DatasetKind::FacebookLike, 0.05, 41);
+    let target = d.targets[0].label;
+    let cfg = RunConfig {
+        burn_in: 60,
+        ..RunConfig::default()
+    };
+    let budget = d.graph.num_nodes() / 10;
+    for alg in [&NsHansenHurwitz as &dyn Algorithm, &NeHansenHurwitz] {
+        let estimates: Vec<f64> = (0..4)
+            .map(|seed| {
+                let osn = SimulatedOsn::new(&d.graph);
+                let mut rng = StdRng::seed_from_u64(seed);
+                alg.estimate(&osn, target, budget, &cfg, &mut rng).unwrap()
+            })
+            .collect();
+        assert!(
+            estimates.windows(2).any(|w| w[0] != w[1]),
+            "{}: all seeds produced {estimates:?}",
+            alg.abbrev()
+        );
+    }
+}
 
 #[test]
 fn dataset_builds_are_deterministic() {

@@ -1,0 +1,78 @@
+//! Smoke coverage for the runnable examples: every example must build, and
+//! `quickstart` must run end-to-end with its fixed seed and print the
+//! expected report shape.
+//!
+//! These tests shell out to the same `cargo` that is running the test
+//! suite (the build lock serializes with any concurrent invocation, so
+//! nesting is safe) and share the workspace target directory, so the
+//! example binaries are typically already fresh.
+
+use std::path::Path;
+use std::process::Command;
+
+fn workspace_root() -> &'static Path {
+    // CARGO_MANIFEST_DIR = crates/labelcount; the workspace root is two up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("facade manifest sits two levels below the workspace root")
+}
+
+fn cargo() -> Command {
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.current_dir(workspace_root());
+    cmd
+}
+
+#[test]
+fn all_examples_build() {
+    let output = cargo()
+        .args(["build", "--examples", "--quiet"])
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn quickstart_runs_end_to_end() {
+    let output = cargo()
+        .args(["run", "--quiet", "--example", "quickstart"])
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "quickstart exited with {:?}:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // The example seeds its RNG with 42, so the graph shape is fixed and
+    // the report must name every algorithm of the paper's Table 2.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("graph: |V|=10000"),
+        "unexpected header:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("true F = "),
+        "missing ground truth:\n{stdout}"
+    );
+    for abbrev in [
+        "NeighborSample-HH",
+        "NeighborSample-HT",
+        "NeighborExploration-HH",
+        "NeighborExploration-HT",
+        "NeighborExploration-RW",
+        "EX-MDRW",
+        "EX-MHRW",
+        "EX-RW",
+        "EX-RCMH",
+        "EX-GMD",
+    ] {
+        assert!(stdout.contains(abbrev), "missing {abbrev} row:\n{stdout}");
+    }
+}
