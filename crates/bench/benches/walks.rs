@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use labelcount_bench::fixtures;
 use labelcount_osn::{LineGraphView, LineNode, OsnApi, SimulatedOsn};
 use labelcount_walk::{
@@ -113,6 +113,46 @@ fn bench_walks(c: &mut Criterion) {
                 black_box(w.step(&lg, &mut rng));
             }
         })
+    });
+    group.finish();
+
+    // Per-step dispatch vs the batched `steps_into` path, on identical RNG
+    // streams — the comparison the perf harness (`labelcount-perf`) records
+    // as `per_step_ns` / `batched_ns` in every BENCH_*.json. Setup (fresh
+    // OSN wrapper, seeded RNG, output buffer) is excluded via iter_batched.
+    let mut group = c.benchmark_group("walks/batched_vs_per_step");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("simple_per_step", |b| {
+        b.iter_batched(
+            || (SimulatedOsn::new(g), StdRng::seed_from_u64(9)),
+            |(osn, mut rng)| {
+                let mut w = SimpleWalk::new(OsnApi::random_node(&osn, &mut rng));
+                let mut last = Walker::<SimulatedOsn>::current(&w);
+                for _ in 0..STEPS {
+                    last = w.step(&osn, &mut rng);
+                }
+                black_box(last)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("simple_batched", |b| {
+        b.iter_batched_ref(
+            || {
+                let osn = SimulatedOsn::new(g);
+                let rng = StdRng::seed_from_u64(9);
+                let buf = vec![labelcount_graph::NodeId(0); STEPS];
+                (osn, rng, buf)
+            },
+            |(osn, rng, buf)| {
+                let mut w = SimpleWalk::new(OsnApi::random_node(osn, rng));
+                w.steps_into(osn, buf, rng);
+                black_box(buf[STEPS - 1])
+            },
+            BatchSize::LargeInput,
+        )
     });
     group.finish();
 }

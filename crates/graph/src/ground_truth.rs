@@ -114,6 +114,53 @@ impl GroundTruth {
         GroundTruth { target, f, t }
     }
 
+    /// Computes `F` and `T(u)` in parallel over contiguous node ranges.
+    ///
+    /// Each worker owns a slice of the node range and scans only the
+    /// adjacency of its own nodes, so `T(u)` is written by exactly one
+    /// worker and the partial results concatenate without merging; `F`
+    /// counts each edge once from its smaller endpoint. Work is distributed
+    /// through [`labelcount_stats::replicate()`]'s dynamic thread-scope
+    /// scheduler (oversubscribed chunks so skewed-degree ranges don't
+    /// straggle), which also guarantees the result is identical for every
+    /// `threads` value — and bit-identical to [`GroundTruth::compute`].
+    pub fn compute_parallel(g: &LabeledGraph, target: TargetLabel, threads: usize) -> Self {
+        let n = g.num_nodes();
+        let threads = threads.max(1);
+        // ~4 chunks per worker balances hub-heavy ranges; keep chunks big
+        // enough that spawn overhead stays negligible on small graphs.
+        let chunk = n.div_ceil(threads * 4).max(1024);
+        let num_chunks = n.div_ceil(chunk).max(1);
+        if n == 0 || threads == 1 || num_chunks == 1 {
+            return GroundTruth::compute(g, target);
+        }
+
+        let parts = labelcount_stats::replicate(num_chunks, threads, 0, |i, _seed| {
+            let lo = i * chunk;
+            let hi = ((i + 1) * chunk).min(n);
+            let mut t = vec![0usize; hi - lo];
+            let mut f = 0usize;
+            for ui in lo..hi {
+                let u = NodeId::from_index(ui);
+                for &v in g.neighbors(u) {
+                    if target.matches(g, u, v) {
+                        t[ui - lo] += 1;
+                        f += usize::from(u < v);
+                    }
+                }
+            }
+            (f, t)
+        });
+
+        let mut t = Vec::with_capacity(n);
+        let mut f = 0usize;
+        for (pf, pt) in parts {
+            f += pf;
+            t.extend(pt);
+        }
+        GroundTruth { target, f, t }
+    }
+
     /// Relative target-edge count `F / |E|` (x-axis of Figures 1–2).
     pub fn relative_count(&self, g: &LabeledGraph) -> f64 {
         if g.num_edges() == 0 {
@@ -217,6 +264,39 @@ mod tests {
         b.set_labels(NodeId(2), &[LabelId(1)]);
         b.set_labels(NodeId(3), &[LabelId(2)]);
         b.build()
+    }
+
+    #[test]
+    fn parallel_ground_truth_matches_serial() {
+        use crate::gen::barabasi_albert;
+        use crate::labels::{assign_binary_labels, with_labels};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(2024);
+        let g = barabasi_albert(3_000, 6, &mut rng);
+        let mut labels = vec![Vec::new(); g.num_nodes()];
+        assign_binary_labels(&mut labels, 0.4, &mut rng);
+        let g = with_labels(&g, &labels);
+        let target = TargetLabel::new(LabelId(1), LabelId(2));
+
+        let serial = GroundTruth::compute(&g, target);
+        for threads in [1, 2, 3, 8] {
+            let par = GroundTruth::compute_parallel(&g, target, threads);
+            assert_eq!(par.f, serial.f, "threads={threads}");
+            assert_eq!(par.t, serial.t, "threads={threads}");
+            assert_eq!(par.t_sum(), 2 * par.f);
+        }
+    }
+
+    #[test]
+    fn parallel_ground_truth_handles_tiny_graphs() {
+        let g = labeled_path();
+        let target = TargetLabel::new(LabelId(1), LabelId(2));
+        let serial = GroundTruth::compute(&g, target);
+        let par = GroundTruth::compute_parallel(&g, target, 16);
+        assert_eq!(par.f, serial.f);
+        assert_eq!(par.t, serial.t);
     }
 
     #[test]

@@ -89,34 +89,38 @@ impl<'a, A: OsnApi> LineGraphView<'a, A> {
     /// Samples a uniformly random `G'`-neighbor of `e`, or `None` if `e` is
     /// an isolated edge of `G` (both endpoints degree 1).
     ///
-    /// The draw is exact (no rejection): an index into the multiset
-    /// `N(u)\{v} ⊎ N(v)\{u}` is sampled and mapped back to an edge.
+    /// The draw is exact (no rejection) and O(1) past the neighbor-list
+    /// fetches: an index into the multiset `N(u)\{v} ⊎ N(v)\{u}` is split by
+    /// the precomputed endpoint degrees, and the excluded endpoint is
+    /// remapped with the swap-with-last trick (`N(w)\{x}` is sampled by
+    /// drawing from the first `d(w)−1` slots and substituting the last slot
+    /// whenever `x` itself comes up — each remaining neighbor keeps
+    /// probability `1/(d(w)−1)`, no position scan or binary search needed).
+    /// Exactly two neighbor-list calls, always (the previous implementation
+    /// paid a third call whenever the draw landed on the `N(v)` side).
     pub fn sample_neighbor<R: Rng + ?Sized>(&self, e: LineNode, rng: &mut R) -> Option<LineNode> {
         let nu = self.api.neighbors(e.u);
-        let du = nu.len();
-        // Position of v inside N(u) (exists by construction).
-        let pu = nu
-            .binary_search(&e.v)
-            .expect("line node must be an edge of G");
-        let dv = self.api.degree(e.v);
+        let nv = self.api.neighbors(e.v);
+        debug_assert!(
+            nu.binary_search(&e.v).is_ok() && nv.binary_search(&e.u).is_ok(),
+            "line node {e} must be an edge of G with symmetric adjacency"
+        );
+        let (du, dv) = (nu.len(), nv.len());
         let total = du + dv - 2;
         if total == 0 {
             return None;
         }
         let idx = rng.gen_range(0..total);
         if idx < du - 1 {
-            // Pick from N(u) \ {v}.
-            let j = if idx < pu { idx } else { idx + 1 };
-            Some(LineNode::new(e.u, nu[j]))
+            // Pick slot idx of N(u) \ {v}.
+            let w = nu[idx];
+            let w = if w == e.v { nu[du - 1] } else { w };
+            Some(LineNode::new(e.u, w))
         } else {
-            // Pick from N(v) \ {u}.
-            let nv = self.api.neighbors(e.v);
-            let pv = nv
-                .binary_search(&e.u)
-                .expect("graph adjacency must be symmetric");
-            let k = idx - (du - 1);
-            let j = if k < pv { k } else { k + 1 };
-            Some(LineNode::new(e.v, nv[j]))
+            // Pick slot idx − (d(u)−1) of N(v) \ {u}.
+            let w = nv[idx - (du - 1)];
+            let w = if w == e.u { nv[dv - 1] } else { w };
+            Some(LineNode::new(e.v, w))
         }
     }
 

@@ -1,0 +1,439 @@
+//! The perf-regression gate: compares freshly produced BENCH_*.json files
+//! against the committed baselines.
+//!
+//! Only the machine-dependent `measured` section gates. Before
+//! thresholding, every timing metric is **normalized by the run's
+//! calibration score** (`measured.calibration_ops_per_sec`, a fixed
+//! pointer-chasing workload measured alongside each scenario): a uniformly
+//! slower machine scores proportionally lower on the calibration too, so
+//! the normalized ratios cancel and committed baselines transfer across
+//! machine generations. After normalization, a throughput metric fails
+//! when it drops below `baseline / max_regression`, a wall-time metric
+//! when it exceeds `baseline * max_regression`, and the allocator
+//! peak-bytes proxy (already machine-independent) fails on the same ratio
+//! when both sides measured it. The threshold stays generous (CI default
+//! 2.5×) — the gate exists to catch order-of-magnitude cliffs (an
+//! accidentally quadratic hot path, a debug assert in a loop), not 10%
+//! noise.
+//!
+//! Deterministic `counters` drift (different estimates, API-call counts,
+//! step counts) is reported as a **warning**, not a failure: algorithmic
+//! changes legitimately move counters, and the PR that moves them is
+//! expected to regenerate the baselines it changes.
+
+use std::path::Path;
+
+use crate::report::{Report, ReportError};
+
+/// Outcome of comparing one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Finding {
+    /// Scenario name.
+    pub scenario: String,
+    /// Metric path, e.g. `measured.per_step_steps_per_sec`.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Whether this finding fails the gate (false = warning only).
+    pub fatal: bool,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Result of a whole comparison run.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    /// All findings, fatal and warnings.
+    pub findings: Vec<Finding>,
+    /// Scenarios compared.
+    pub compared: usize,
+}
+
+impl Comparison {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        !self.findings.iter().any(|f| f.fatal)
+    }
+}
+
+/// Higher-is-better throughput metrics of the `measured` section.
+fn throughput_metrics(r: &Report) -> [(&'static str, f64); 3] {
+    [
+        (
+            "measured.per_step_steps_per_sec",
+            r.measured.per_step_steps_per_sec,
+        ),
+        (
+            "measured.batched_steps_per_sec",
+            r.measured.batched_steps_per_sec,
+        ),
+        ("measured.line_steps_per_sec", r.measured.line_steps_per_sec),
+    ]
+}
+
+/// Lower-is-better wall-time metrics of the `measured` section.
+fn walltime_metrics(r: &Report) -> [(&'static str, f64); 1] {
+    [("measured.total_ms", r.measured.total_ms)]
+}
+
+/// The machine-speed scale factor: multiplying the current run's
+/// throughput by this (or dividing its wall times) expresses it in the
+/// baseline machine's units. Falls back to 1 (raw comparison) when either
+/// side lacks a positive calibration score.
+fn machine_scale(baseline: &Report, current: &Report) -> f64 {
+    let (b, c) = (
+        baseline.measured.calibration_ops_per_sec,
+        current.measured.calibration_ops_per_sec,
+    );
+    if b > 0.0 && c > 0.0 {
+        b / c
+    } else {
+        1.0
+    }
+}
+
+/// Compares one current report against its baseline.
+pub fn compare_reports(baseline: &Report, current: &Report, max_regression: f64) -> Vec<Finding> {
+    assert!(max_regression >= 1.0, "threshold must be >= 1");
+    let scenario = current.meta.name.clone();
+    let scale = machine_scale(baseline, current);
+    let mut findings = Vec::new();
+
+    for ((metric, base), (_, cur)) in throughput_metrics(baseline)
+        .into_iter()
+        .zip(throughput_metrics(current))
+    {
+        let cur_scaled = cur * scale;
+        if base > 0.0 && cur_scaled < base / max_regression {
+            findings.push(Finding {
+                scenario: scenario.clone(),
+                metric: metric.to_string(),
+                baseline: base,
+                current: cur,
+                fatal: true,
+                message: format!(
+                    "throughput regressed {:.2}x machine-normalized (scale {scale:.2}, limit {max_regression}x)",
+                    base / cur_scaled.max(f64::MIN_POSITIVE)
+                ),
+            });
+        }
+    }
+    for ((metric, base), (_, cur)) in walltime_metrics(baseline)
+        .into_iter()
+        .zip(walltime_metrics(current))
+    {
+        let cur_scaled = cur / scale;
+        if base > 0.0 && cur_scaled > base * max_regression {
+            findings.push(Finding {
+                scenario: scenario.clone(),
+                metric: metric.to_string(),
+                baseline: base,
+                current: cur,
+                fatal: true,
+                message: format!(
+                    "wall time regressed {:.2}x machine-normalized (scale {scale:.2}, limit {max_regression}x)",
+                    cur_scaled / base
+                ),
+            });
+        }
+    }
+    // The allocation proxy is byte-denominated, hence machine-independent:
+    // no normalization, but only gate when both runs actually measured it.
+    let (ba, ca) = (&baseline.measured.alloc, &current.measured.alloc);
+    if ba.measured && ca.measured && ba.peak_bytes > 0 {
+        let ratio = ca.peak_bytes as f64 / ba.peak_bytes as f64;
+        if ratio > max_regression {
+            findings.push(Finding {
+                scenario: scenario.clone(),
+                metric: "measured.alloc.peak_bytes".to_string(),
+                baseline: ba.peak_bytes as f64,
+                current: ca.peak_bytes as f64,
+                fatal: true,
+                message: format!("allocator peak regressed {ratio:.2}x (limit {max_regression}x)"),
+            });
+        }
+    }
+
+    // Counter drift: warn so reviewers notice baselines that need
+    // regeneration, but do not fail the gate.
+    if baseline.walk != current.walk
+        || baseline.algorithms != current.algorithms
+        || baseline.ground_truth_f != current.ground_truth_f
+    {
+        findings.push(Finding {
+            scenario: scenario.clone(),
+            metric: "counters".to_string(),
+            baseline: f64::NAN,
+            current: f64::NAN,
+            fatal: false,
+            message: "deterministic counters differ from baseline — regenerate BENCH_*.json in this PR if the algorithmic change is intentional".to_string(),
+        });
+    }
+    findings
+}
+
+/// Loads `BENCH_*.json` from `dir`, keyed by scenario name.
+pub fn load_reports(dir: &Path) -> Result<Vec<Report>, String> {
+    let mut reports = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|f| f.to_str())
+                .is_some_and(|f| f.starts_with("BENCH_") && f.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let report = Report::from_json_text(&text)
+            .map_err(|e: ReportError| format!("{}: {e}", path.display()))?;
+        reports.push(report);
+    }
+    Ok(reports)
+}
+
+/// Compares every scenario present in **both** directories. A scenario
+/// present only in the baseline (removed) or only in the current run (new)
+/// is a warning; comparing zero scenarios is fatal (the gate would be
+/// vacuous).
+pub fn compare_dirs(
+    baseline_dir: &Path,
+    current_dir: &Path,
+    max_regression: f64,
+) -> Result<Comparison, String> {
+    let baselines = load_reports(baseline_dir)?;
+    let currents = load_reports(current_dir)?;
+    let mut cmp = Comparison::default();
+
+    for cur in &currents {
+        match baselines.iter().find(|b| b.meta.name == cur.meta.name) {
+            Some(base) => {
+                cmp.compared += 1;
+                cmp.findings
+                    .extend(compare_reports(base, cur, max_regression));
+            }
+            None => cmp.findings.push(Finding {
+                scenario: cur.meta.name.clone(),
+                metric: "presence".into(),
+                baseline: f64::NAN,
+                current: f64::NAN,
+                fatal: false,
+                message: "no committed baseline for this scenario — commit its BENCH_*.json".into(),
+            }),
+        }
+    }
+    for base in &baselines {
+        if !currents.iter().any(|c| c.meta.name == base.meta.name) {
+            cmp.findings.push(Finding {
+                scenario: base.meta.name.clone(),
+                metric: "presence".into(),
+                baseline: f64::NAN,
+                current: f64::NAN,
+                fatal: false,
+                message: "baseline scenario missing from current run".into(),
+            });
+        }
+    }
+    if cmp.compared == 0 {
+        return Err(format!(
+            "no overlapping scenarios between {} and {}",
+            baseline_dir.display(),
+            current_dir.display()
+        ));
+    }
+    Ok(cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc_track::AllocDelta;
+    use crate::report::{AlgoCounters, Measured, ScenarioMeta, WalkCounters, SCHEMA_VERSION};
+
+    fn report(name: &str, per_step: f64, total_ms: f64) -> Report {
+        Report {
+            schema_version: SCHEMA_VERSION,
+            meta: ScenarioMeta {
+                name: name.into(),
+                family: "ba".into(),
+                tier: "smoke".into(),
+                seed: 1,
+                nodes: 10,
+                edges: 20,
+                budget: 5,
+                burn_in: 2,
+                reps: 1,
+            },
+            walk: WalkCounters {
+                steps: 100,
+                per_step_end: 1,
+                batched_end: 1,
+                line_end: (0, 1),
+                line_api_calls: 200,
+            },
+            algorithms: vec![AlgoCounters {
+                abbrev: "A".into(),
+                estimates: vec![1.0],
+                api_calls: 10,
+                nrmse: Some(0.1),
+            }],
+            ground_truth_f: 7,
+            measured: Measured {
+                total_ms,
+                per_step_steps_per_sec: per_step,
+                batched_steps_per_sec: per_step * 1.2,
+                line_steps_per_sec: per_step / 2.0,
+                gt_serial_ms: 1.0,
+                gt_parallel_ms: 0.5,
+                calibration_ops_per_sec: 1.0e8,
+                alloc: AllocDelta::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let base = report("ba_smoke", 1.0e6, 100.0);
+        let cur = report("ba_smoke", 0.5e6, 200.0); // 2x, limit 2.5x
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert!(findings.iter().all(|f| !f.fatal), "{findings:?}");
+    }
+
+    #[test]
+    fn throughput_cliff_is_fatal() {
+        let base = report("ba_smoke", 1.0e6, 100.0);
+        let cur = report("ba_smoke", 0.3e6, 100.0); // 3.3x down
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert!(findings
+            .iter()
+            .any(|f| f.fatal && f.metric.contains("per_step")));
+    }
+
+    #[test]
+    fn walltime_cliff_is_fatal() {
+        let base = report("ba_smoke", 1.0e6, 100.0);
+        let cur = report("ba_smoke", 1.0e6, 300.0); // 3x slower
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert!(findings
+            .iter()
+            .any(|f| f.fatal && f.metric == "measured.total_ms"));
+    }
+
+    #[test]
+    fn uniformly_slower_machine_passes_via_calibration() {
+        // Current machine is 4x slower across the board — calibration
+        // included — so normalized metrics are identical and even a tight
+        // threshold passes.
+        let base = report("ba_smoke", 1.0e6, 100.0);
+        let mut cur = report("ba_smoke", 0.25e6, 400.0);
+        cur.measured.batched_steps_per_sec = base.measured.batched_steps_per_sec / 4.0;
+        cur.measured.line_steps_per_sec = base.measured.line_steps_per_sec / 4.0;
+        cur.measured.calibration_ops_per_sec = base.measured.calibration_ops_per_sec / 4.0;
+        let findings = compare_reports(&base, &cur, 1.2);
+        assert!(findings.iter().all(|f| !f.fatal), "{findings:?}");
+    }
+
+    #[test]
+    fn algorithmic_cliff_still_fails_on_a_slower_machine() {
+        // Machine is 2x slower, but per-step throughput fell 10x: the 5x
+        // machine-normalized drop must trip the 2.5x gate.
+        let base = report("ba_smoke", 1.0e6, 100.0);
+        let mut cur = report("ba_smoke", 0.1e6, 200.0);
+        cur.measured.batched_steps_per_sec = base.measured.batched_steps_per_sec / 2.0;
+        cur.measured.line_steps_per_sec = base.measured.line_steps_per_sec / 2.0;
+        cur.measured.calibration_ops_per_sec = base.measured.calibration_ops_per_sec / 2.0;
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.fatal && f.metric.contains("per_step")),
+            "{findings:?}"
+        );
+        assert!(!findings
+            .iter()
+            .any(|f| f.fatal && f.metric == "measured.total_ms"));
+    }
+
+    #[test]
+    fn missing_calibration_falls_back_to_raw_comparison() {
+        let mut base = report("ba_smoke", 1.0e6, 100.0);
+        base.measured.calibration_ops_per_sec = 0.0;
+        let cur = report("ba_smoke", 0.3e6, 100.0); // 3.3x down, raw
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert!(findings.iter().any(|f| f.fatal));
+    }
+
+    #[test]
+    fn alloc_peak_gates_only_when_measured_on_both_sides() {
+        let mut base = report("ba_smoke", 1.0e6, 100.0);
+        let mut cur = report("ba_smoke", 1.0e6, 100.0);
+        base.measured.alloc = AllocDelta {
+            peak_bytes: 1 << 20,
+            allocs: 10,
+            measured: true,
+        };
+        cur.measured.alloc = AllocDelta {
+            peak_bytes: 4 << 20, // 4x
+            allocs: 10,
+            measured: true,
+        };
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert!(findings
+            .iter()
+            .any(|f| f.fatal && f.metric == "measured.alloc.peak_bytes"));
+
+        // Same blow-up but unmeasured on one side: no gate.
+        cur.measured.alloc.measured = false;
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert!(findings.iter().all(|f| !f.fatal), "{findings:?}");
+    }
+
+    #[test]
+    fn counter_drift_warns_but_does_not_fail() {
+        let base = report("ba_smoke", 1.0e6, 100.0);
+        let mut cur = report("ba_smoke", 1.0e6, 100.0);
+        cur.ground_truth_f = 8;
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].fatal);
+        assert_eq!(findings[0].metric, "counters");
+    }
+
+    #[test]
+    fn dir_comparison_round_trips_files() {
+        let tmp = std::env::temp_dir().join(format!("lcperf_cmp_{}", std::process::id()));
+        let base_dir = tmp.join("base");
+        let cur_dir = tmp.join("cur");
+        std::fs::create_dir_all(&base_dir).unwrap();
+        std::fs::create_dir_all(&cur_dir).unwrap();
+
+        let base = report("ba_smoke", 1.0e6, 100.0);
+        let cur = report("ba_smoke", 0.9e6, 110.0);
+        std::fs::write(base_dir.join(base.file_name()), base.to_json().to_pretty()).unwrap();
+        std::fs::write(cur_dir.join(cur.file_name()), cur.to_json().to_pretty()).unwrap();
+        // A brand-new scenario without baseline: warning only.
+        let extra = report("er_smoke", 2.0e6, 50.0);
+        std::fs::write(cur_dir.join(extra.file_name()), extra.to_json().to_pretty()).unwrap();
+
+        let cmp = compare_dirs(&base_dir, &cur_dir, 2.5).unwrap();
+        assert_eq!(cmp.compared, 1);
+        assert!(cmp.passed(), "{:?}", cmp.findings);
+        assert!(cmp.findings.iter().any(|f| f.metric == "presence"));
+        std::fs::remove_dir_all(&tmp).unwrap();
+    }
+
+    #[test]
+    fn empty_overlap_is_an_error() {
+        let tmp = std::env::temp_dir().join(format!("lcperf_cmp_empty_{}", std::process::id()));
+        std::fs::create_dir_all(tmp.join("a")).unwrap();
+        std::fs::create_dir_all(tmp.join("b")).unwrap();
+        assert!(compare_dirs(&tmp.join("a"), &tmp.join("b"), 2.5).is_err());
+        std::fs::remove_dir_all(&tmp).unwrap();
+    }
+}

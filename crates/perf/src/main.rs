@@ -1,0 +1,168 @@
+//! `labelcount-perf` — the scenario-matrix perf harness CLI.
+//!
+//! ```text
+//! labelcount-perf [--tier smoke|standard|stress] [--family ba,er,loaded]
+//!                 [--seed N] [--out DIR]
+//! labelcount-perf compare --baseline DIR --current DIR [--max-regression X]
+//! ```
+//!
+//! The run mode writes one `BENCH_<family>_<tier>.json` per scenario into
+//! `--out` (default: the current directory, i.e. the repo root when run via
+//! `cargo run`). The compare mode loads both directories and exits non-zero
+//! if any scenario's `measured` metrics regressed beyond the threshold.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use labelcount_perf::alloc_track::CountingAlloc;
+use labelcount_perf::compare::compare_dirs;
+use labelcount_perf::scenario::{run_scenario, Family, ScenarioSpec, Tier, DEFAULT_SEED};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn main() -> ExitCode {
+    CountingAlloc::mark_installed();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = if args.first().map(String::as_str) == Some("compare") {
+        cmd_compare(&args[1..])
+    } else {
+        cmd_run(&args)
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("labelcount-perf: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let mut tier = Tier::Smoke;
+    let mut families: Vec<Family> = Family::all().to_vec();
+    let mut seed = DEFAULT_SEED;
+    let mut out = PathBuf::from(".");
+
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tier" => {
+                let v = take_value(args, &mut i, "--tier")?;
+                tier = Tier::parse(&v).ok_or_else(|| format!("unknown tier `{v}`"))?;
+            }
+            "--family" => {
+                let v = take_value(args, &mut i, "--family")?;
+                families = v
+                    .split(',')
+                    .map(|s| Family::parse(s.trim()).ok_or_else(|| format!("unknown family `{s}`")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--seed" => {
+                let v = take_value(args, &mut i, "--seed")?;
+                seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--out" => out = PathBuf::from(take_value(args, &mut i, "--out")?),
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+        i += 1;
+    }
+
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    for family in families {
+        let spec = ScenarioSpec { family, tier, seed };
+        eprintln!("running scenario {} ...", spec.name());
+        let report = run_scenario(&spec);
+        let path = out.join(report.file_name());
+        std::fs::write(&path, report.to_json().to_pretty())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        let m = &report.measured;
+        eprintln!(
+            "  {:>10} nodes {:>10} edges | walk {:>12.0} steps/s per-step, {:>12.0} batched, {:>11.0} line | gt {:.1} ms serial / {:.1} ms parallel | {:.0} ms total -> {}",
+            report.meta.nodes,
+            report.meta.edges,
+            m.per_step_steps_per_sec,
+            m.batched_steps_per_sec,
+            m.line_steps_per_sec,
+            m.gt_serial_ms,
+            m.gt_parallel_ms,
+            m.total_ms,
+            path.display()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
+    let mut baseline: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
+    let mut max_regression = 2.5f64;
+
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(take_value(args, &mut i, "--baseline")?)),
+            "--current" => current = Some(PathBuf::from(take_value(args, &mut i, "--current")?)),
+            "--max-regression" => {
+                let v = take_value(args, &mut i, "--max-regression")?;
+                max_regression = v.parse().map_err(|_| format!("bad threshold `{v}`"))?;
+                if max_regression < 1.0 {
+                    return Err("--max-regression must be >= 1.0".into());
+                }
+            }
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+        i += 1;
+    }
+    let baseline = baseline.ok_or("compare requires --baseline DIR")?;
+    let current = current.ok_or("compare requires --current DIR")?;
+
+    let cmp = compare_dirs(&baseline, &current, max_regression)?;
+    for f in &cmp.findings {
+        let tag = if f.fatal { "FAIL" } else { "warn" };
+        if f.baseline.is_nan() {
+            eprintln!("[{tag}] {}: {}: {}", f.scenario, f.metric, f.message);
+        } else {
+            eprintln!(
+                "[{tag}] {}: {}: baseline {:.3e}, current {:.3e} — {}",
+                f.scenario, f.metric, f.baseline, f.current, f.message
+            );
+        }
+    }
+    eprintln!(
+        "compared {} scenario(s) at threshold {max_regression}x: {}",
+        cmp.compared,
+        if cmp.passed() { "PASS" } else { "FAIL" }
+    );
+    Ok(if cmp.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+const HELP: &str = "labelcount-perf — scenario-matrix perf harness
+
+USAGE:
+  labelcount-perf [--tier smoke|standard|stress] [--family ba,er,loaded]
+                  [--seed N] [--out DIR]
+  labelcount-perf compare --baseline DIR --current DIR [--max-regression X]
+
+Run mode writes one BENCH_<family>_<tier>.json per scenario (default out:
+current directory). Compare mode exits 1 if any measured metric regressed
+more than the threshold (default 2.5x) against the baseline directory.";

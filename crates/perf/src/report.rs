@@ -1,0 +1,441 @@
+//! The schema-versioned BENCH_*.json report: types, serialization, and
+//! parsing.
+//!
+//! A report splits cleanly into two halves:
+//!
+//! * `counters` — **deterministic** given (scenario, seed): walk step
+//!   counts and end states, per-replication API calls, the estimates
+//!   themselves, NRMSE, exact ground truth. Two runs at the same seed must
+//!   produce identical `counters`; the harness's determinism test and CI
+//!   enforce this.
+//! * `measured` — machine-dependent: wall times, steps/sec, allocator
+//!   traffic. The regression gate compares only these, with a generous
+//!   ratio threshold.
+
+use crate::alloc_track::AllocDelta;
+use crate::json::{Json, JsonError};
+
+/// Version of the BENCH_*.json schema. Bump on any breaking change and
+/// regenerate the committed baselines in the same PR.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Scenario identity and workload parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioMeta {
+    /// `<family>_<tier>`, e.g. `ba_smoke` — also the file-name stem.
+    pub name: String,
+    /// Graph family (`ba`, `er`, `loaded`).
+    pub family: String,
+    /// Scale tier (`smoke`, `standard`, `stress`).
+    pub tier: String,
+    /// Base RNG seed for the whole scenario.
+    pub seed: u64,
+    /// Nodes of the built graph.
+    pub nodes: u64,
+    /// Edges of the built graph.
+    pub edges: u64,
+    /// API-call budget per estimator replication.
+    pub budget: u64,
+    /// Burn-in steps per replication.
+    pub burn_in: u64,
+    /// Estimator replications per algorithm.
+    pub reps: u64,
+}
+
+/// Deterministic walk counters (identical across same-seed runs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalkCounters {
+    /// Steps taken on each stepping path (per-step OSN, batched OSN,
+    /// per-step line graph).
+    pub steps: u64,
+    /// Final node index after the per-step OSN walk.
+    pub per_step_end: u64,
+    /// Final node index after the batched OSN walk (must equal
+    /// `per_step_end`: both paths consume identical RNG streams).
+    pub batched_end: u64,
+    /// Final line-node endpoints after the line-graph walk.
+    pub line_end: (u64, u64),
+    /// Raw API calls consumed by the line-graph walk (tracks the O(1)
+    /// `sample_neighbor` — exactly 2 neighbor-list calls per step).
+    pub line_api_calls: u64,
+}
+
+/// One algorithm's deterministic results on a scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlgoCounters {
+    /// Table 2 abbreviation, or the extension name.
+    pub abbrev: String,
+    /// The per-replication estimates, in replication order.
+    pub estimates: Vec<f64>,
+    /// Total raw API calls across all replications.
+    pub api_calls: u64,
+    /// NRMSE of the estimates against exact ground truth (`None` when the
+    /// ground truth is not computed at this tier).
+    pub nrmse: Option<f64>,
+}
+
+/// Machine-dependent timings (compared by the regression gate).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Measured {
+    /// Whole-scenario wall time, milliseconds.
+    pub total_ms: f64,
+    /// Per-step walk throughput, steps/second.
+    pub per_step_steps_per_sec: f64,
+    /// Batched (`steps_into`) walk throughput, steps/second.
+    pub batched_steps_per_sec: f64,
+    /// Line-graph walk throughput, steps/second.
+    pub line_steps_per_sec: f64,
+    /// Serial `GroundTruth::compute` wall time, milliseconds.
+    pub gt_serial_ms: f64,
+    /// `GroundTruth::compute_parallel` wall time, milliseconds.
+    pub gt_parallel_ms: f64,
+    /// Machine-speed proxy measured alongside the scenario
+    /// ([`crate::scenario::calibration_ops_per_sec`]); the regression gate
+    /// normalizes timing metrics by it so baselines transfer across
+    /// machines.
+    pub calibration_ops_per_sec: f64,
+    /// Allocator traffic over the scenario.
+    pub alloc: AllocDelta,
+}
+
+/// A complete scenario report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// Schema version (always [`SCHEMA_VERSION`] for freshly produced
+    /// reports).
+    pub schema_version: u64,
+    /// Scenario identity.
+    pub meta: ScenarioMeta,
+    /// Deterministic counters.
+    pub walk: WalkCounters,
+    /// Deterministic per-algorithm counters, Table 2 order then
+    /// extensions.
+    pub algorithms: Vec<AlgoCounters>,
+    /// Exact target-edge count `F`.
+    pub ground_truth_f: u64,
+    /// Machine-dependent measurements.
+    pub measured: Measured,
+}
+
+impl Report {
+    /// The file name this report is stored under.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.meta.name)
+    }
+
+    /// Serializes to the schema's pretty-printed JSON.
+    pub fn to_json(&self) -> Json {
+        let m = &self.meta;
+        let w = &self.walk;
+        let ms = &self.measured;
+        let opt = |x: Option<f64>| x.map(Json::Num).unwrap_or(Json::Null);
+        Json::obj(vec![
+            ("schema_version", Json::Num(self.schema_version as f64)),
+            (
+                "scenario",
+                Json::obj(vec![
+                    ("name", Json::Str(m.name.clone())),
+                    ("family", Json::Str(m.family.clone())),
+                    ("tier", Json::Str(m.tier.clone())),
+                    ("seed", Json::Num(m.seed as f64)),
+                    ("nodes", Json::Num(m.nodes as f64)),
+                    ("edges", Json::Num(m.edges as f64)),
+                    ("budget", Json::Num(m.budget as f64)),
+                    ("burn_in", Json::Num(m.burn_in as f64)),
+                    ("reps", Json::Num(m.reps as f64)),
+                ]),
+            ),
+            (
+                "counters",
+                Json::obj(vec![
+                    (
+                        "walk",
+                        Json::obj(vec![
+                            ("steps", Json::Num(w.steps as f64)),
+                            ("per_step_end", Json::Num(w.per_step_end as f64)),
+                            ("batched_end", Json::Num(w.batched_end as f64)),
+                            (
+                                "line_end",
+                                Json::Arr(vec![
+                                    Json::Num(w.line_end.0 as f64),
+                                    Json::Num(w.line_end.1 as f64),
+                                ]),
+                            ),
+                            ("line_api_calls", Json::Num(w.line_api_calls as f64)),
+                        ]),
+                    ),
+                    (
+                        "algorithms",
+                        Json::Arr(
+                            self.algorithms
+                                .iter()
+                                .map(|a| {
+                                    Json::obj(vec![
+                                        ("abbrev", Json::Str(a.abbrev.clone())),
+                                        (
+                                            "estimates",
+                                            Json::Arr(
+                                                a.estimates.iter().map(|&e| Json::Num(e)).collect(),
+                                            ),
+                                        ),
+                                        ("api_calls", Json::Num(a.api_calls as f64)),
+                                        ("nrmse", opt(a.nrmse)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("ground_truth_f", Json::Num(self.ground_truth_f as f64)),
+                ]),
+            ),
+            (
+                "measured",
+                Json::obj(vec![
+                    ("total_ms", Json::Num(ms.total_ms)),
+                    (
+                        "per_step_steps_per_sec",
+                        Json::Num(ms.per_step_steps_per_sec),
+                    ),
+                    ("batched_steps_per_sec", Json::Num(ms.batched_steps_per_sec)),
+                    ("line_steps_per_sec", Json::Num(ms.line_steps_per_sec)),
+                    ("gt_serial_ms", Json::Num(ms.gt_serial_ms)),
+                    ("gt_parallel_ms", Json::Num(ms.gt_parallel_ms)),
+                    (
+                        "calibration_ops_per_sec",
+                        Json::Num(ms.calibration_ops_per_sec),
+                    ),
+                    (
+                        "alloc",
+                        Json::obj(vec![
+                            ("peak_bytes", Json::Num(ms.alloc.peak_bytes as f64)),
+                            ("allocs", Json::Num(ms.alloc.allocs as f64)),
+                            ("measured", Json::Bool(ms.alloc.measured)),
+                        ]),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Parses a report from JSON text, validating the schema version.
+    pub fn from_json_text(text: &str) -> Result<Report, ReportError> {
+        let v = Json::parse(text)?;
+        let schema_version = field_u64(&v, "schema_version")?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(ReportError::Schema(format!(
+                "schema_version {schema_version} != supported {SCHEMA_VERSION}"
+            )));
+        }
+        let sc = v.get("scenario").ok_or_else(|| miss("scenario"))?;
+        let meta = ScenarioMeta {
+            name: field_str(sc, "name")?,
+            family: field_str(sc, "family")?,
+            tier: field_str(sc, "tier")?,
+            seed: field_u64(sc, "seed")?,
+            nodes: field_u64(sc, "nodes")?,
+            edges: field_u64(sc, "edges")?,
+            budget: field_u64(sc, "budget")?,
+            burn_in: field_u64(sc, "burn_in")?,
+            reps: field_u64(sc, "reps")?,
+        };
+        let counters = v.get("counters").ok_or_else(|| miss("counters"))?;
+        let wj = counters.get("walk").ok_or_else(|| miss("counters.walk"))?;
+        let line_end = wj
+            .get("line_end")
+            .and_then(Json::as_arr)
+            .filter(|a| a.len() == 2)
+            .ok_or_else(|| miss("counters.walk.line_end"))?;
+        let walk = WalkCounters {
+            steps: field_u64(wj, "steps")?,
+            per_step_end: field_u64(wj, "per_step_end")?,
+            batched_end: field_u64(wj, "batched_end")?,
+            line_end: (
+                line_end[0].as_u64().ok_or_else(|| miss("line_end[0]"))?,
+                line_end[1].as_u64().ok_or_else(|| miss("line_end[1]"))?,
+            ),
+            line_api_calls: field_u64(wj, "line_api_calls")?,
+        };
+        let algorithms = counters
+            .get("algorithms")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| miss("counters.algorithms"))?
+            .iter()
+            .map(|a| {
+                Ok(AlgoCounters {
+                    abbrev: field_str(a, "abbrev")?,
+                    estimates: a
+                        .get("estimates")
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| miss("estimates"))?
+                        .iter()
+                        .map(|e| e.as_f64().ok_or_else(|| miss("estimates[i]")))
+                        .collect::<Result<_, _>>()?,
+                    api_calls: field_u64(a, "api_calls")?,
+                    nrmse: match a.get("nrmse") {
+                        Some(Json::Null) | None => None,
+                        Some(x) => Some(x.as_f64().ok_or_else(|| miss("nrmse"))?),
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>, ReportError>>()?;
+        let ground_truth_f = field_u64(counters, "ground_truth_f")?;
+        let mj = v.get("measured").ok_or_else(|| miss("measured"))?;
+        let aj = mj.get("alloc").ok_or_else(|| miss("measured.alloc"))?;
+        let measured = Measured {
+            total_ms: field_f64(mj, "total_ms")?,
+            per_step_steps_per_sec: field_f64(mj, "per_step_steps_per_sec")?,
+            batched_steps_per_sec: field_f64(mj, "batched_steps_per_sec")?,
+            line_steps_per_sec: field_f64(mj, "line_steps_per_sec")?,
+            gt_serial_ms: field_f64(mj, "gt_serial_ms")?,
+            gt_parallel_ms: field_f64(mj, "gt_parallel_ms")?,
+            calibration_ops_per_sec: field_f64(mj, "calibration_ops_per_sec")?,
+            alloc: AllocDelta {
+                peak_bytes: field_u64(aj, "peak_bytes")?,
+                allocs: field_u64(aj, "allocs")?,
+                measured: matches!(aj.get("measured"), Some(Json::Bool(true))),
+            },
+        };
+        Ok(Report {
+            schema_version,
+            meta,
+            walk,
+            algorithms,
+            ground_truth_f,
+            measured,
+        })
+    }
+}
+
+/// Errors loading a report.
+#[derive(Debug)]
+pub enum ReportError {
+    /// The document is not valid JSON.
+    Json(JsonError),
+    /// The document is valid JSON but violates the schema.
+    Schema(String),
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::Json(e) => write!(f, "{e}"),
+            ReportError::Schema(s) => write!(f, "schema error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<JsonError> for ReportError {
+    fn from(e: JsonError) -> Self {
+        ReportError::Json(e)
+    }
+}
+
+fn miss(path: &str) -> ReportError {
+    ReportError::Schema(format!("missing or mistyped field `{path}`"))
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, ReportError> {
+    v.get(key).and_then(Json::as_u64).ok_or_else(|| miss(key))
+}
+
+fn field_f64(v: &Json, key: &str) -> Result<f64, ReportError> {
+    v.get(key).and_then(Json::as_f64).ok_or_else(|| miss(key))
+}
+
+fn field_str(v: &Json, key: &str) -> Result<String, ReportError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| miss(key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_report() -> Report {
+        Report {
+            schema_version: SCHEMA_VERSION,
+            meta: ScenarioMeta {
+                name: "ba_smoke".into(),
+                family: "ba".into(),
+                tier: "smoke".into(),
+                seed: 2018,
+                nodes: 2000,
+                edges: 15936,
+                budget: 100,
+                burn_in: 60,
+                reps: 5,
+            },
+            walk: WalkCounters {
+                steps: 100_000,
+                per_step_end: 17,
+                batched_end: 17,
+                line_end: (3, 88),
+                line_api_calls: 200_000,
+            },
+            algorithms: vec![
+                AlgoCounters {
+                    abbrev: "NeighborSample-HH".into(),
+                    estimates: vec![6800.5, 7011.25, 6500.0],
+                    api_calls: 1530,
+                    nrmse: Some(0.041),
+                },
+                AlgoCounters {
+                    abbrev: "ext-triangles".into(),
+                    estimates: vec![123.0],
+                    api_calls: 400,
+                    nrmse: None,
+                },
+            ],
+            ground_truth_f: 6750,
+            measured: Measured {
+                total_ms: 1234.5,
+                per_step_steps_per_sec: 1.0e7,
+                batched_steps_per_sec: 1.3e7,
+                line_steps_per_sec: 4.0e6,
+                gt_serial_ms: 12.0,
+                gt_parallel_ms: 3.5,
+                calibration_ops_per_sec: 1.5e8,
+                alloc: AllocDelta {
+                    peak_bytes: 1 << 20,
+                    allocs: 4242,
+                    measured: true,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample_report();
+        let text = r.to_json().to_pretty();
+        let parsed = Report::from_json_text(&text).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(r.file_name(), "BENCH_ba_smoke.json");
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let r = sample_report();
+        let text = r
+            .to_json()
+            .to_pretty()
+            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+        match Report::from_json_text(&text) {
+            Err(ReportError::Schema(msg)) => assert!(msg.contains("999"), "{msg}"),
+            other => panic!("expected schema error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_fields_are_schema_errors() {
+        let text = "{\"schema_version\": 1}";
+        assert!(matches!(
+            Report::from_json_text(text),
+            Err(ReportError::Schema(_))
+        ));
+    }
+}

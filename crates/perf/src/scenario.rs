@@ -1,0 +1,517 @@
+//! The scenario matrix and its runner.
+//!
+//! A scenario is one (graph family × scale tier) cell; running it exercises
+//! every algorithm of the paper's Table 2 plus the motif and graph-size
+//! extensions, and measures the walk substrate itself (per-step vs batched
+//! stepping, line-graph stepping through the O(1) neighbor sampler, serial
+//! vs parallel ground truth). Everything seeded is deterministic: two runs
+//! of the same scenario at the same seed produce identical `counters`
+//! sections (the wall-clock `measured` section is machine-dependent).
+
+use std::time::Instant;
+
+use labelcount_core::{algorithms, motifs, size, RunConfig};
+use labelcount_graph::components::largest_component;
+use labelcount_graph::gen::{barabasi_albert, erdos_renyi_gnm};
+use labelcount_graph::labels::{assign_binary_labels, with_labels};
+use labelcount_graph::motifs::{count_labeled_triangles, count_labeled_wedges, TargetTriple};
+use labelcount_graph::{GroundTruth, LabeledGraph, NodeId, TargetLabel};
+use labelcount_osn::{LineGraphView, OsnApi, SimulatedOsn};
+use labelcount_stats::{nrmse, replication_seed};
+use labelcount_walk::mixing::default_burn_in;
+use labelcount_walk::{SimpleWalk, Walker};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::alloc_track;
+use crate::report::{AlgoCounters, Measured, Report, ScenarioMeta, WalkCounters, SCHEMA_VERSION};
+
+/// Graph family axis of the matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Barabási–Albert preferential attachment (heavy-tailed degrees, the
+    /// paper's dominant regime).
+    Ba,
+    /// Erdős–Rényi `G(n, m)` (near-uniform degrees — the walks' easy case).
+    Er,
+    /// A generated graph persisted as an edge list + label list and loaded
+    /// back through `labelcount_graph::io` (exercises the loader path real
+    /// snapshots would take).
+    Loaded,
+}
+
+impl Family {
+    /// All families, matrix order.
+    pub fn all() -> [Family; 3] {
+        [Family::Ba, Family::Er, Family::Loaded]
+    }
+
+    /// Stable lowercase name (file-name stem component).
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Ba => "ba",
+            Family::Er => "er",
+            Family::Loaded => "loaded",
+        }
+    }
+
+    /// Parses a family name.
+    pub fn parse(s: &str) -> Option<Family> {
+        Family::all().into_iter().find(|f| f.name() == s)
+    }
+}
+
+/// Scale-tier axis of the matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// ~2k nodes; seconds even in debug builds. The CI gate runs this.
+    Smoke,
+    /// ~200k nodes; tens of seconds in release builds.
+    Standard,
+    /// ~2M nodes; minutes and gigabytes — run deliberately.
+    Stress,
+}
+
+impl Tier {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Smoke => "smoke",
+            Tier::Standard => "standard",
+            Tier::Stress => "stress",
+        }
+    }
+
+    /// Parses a tier name.
+    pub fn parse(s: &str) -> Option<Tier> {
+        [Tier::Smoke, Tier::Standard, Tier::Stress]
+            .into_iter()
+            .find(|t| t.name() == s)
+    }
+
+    /// Target node count before largest-component extraction.
+    pub fn nodes(self) -> usize {
+        match self {
+            Tier::Smoke => 2_000,
+            Tier::Standard => 200_000,
+            Tier::Stress => 2_000_000,
+        }
+    }
+
+    /// Estimator replications per algorithm.
+    pub fn reps(self) -> usize {
+        match self {
+            Tier::Smoke => 5,
+            Tier::Standard => 3,
+            Tier::Stress => 1,
+        }
+    }
+
+    /// Steps for the walk-throughput measurement. Sized so the timed
+    /// window is tens of milliseconds even in release builds — per-step
+    /// costs are ~10ns, and the regression gate needs windows large enough
+    /// that scheduler noise cannot fake a 2.5× cliff.
+    pub fn walk_steps(self) -> usize {
+        match self {
+            Tier::Smoke => 2_000_000,
+            Tier::Standard => 5_000_000,
+            Tier::Stress => 10_000_000,
+        }
+    }
+}
+
+/// One cell of the matrix plus its run parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioSpec {
+    /// Graph family.
+    pub family: Family,
+    /// Scale tier.
+    pub tier: Tier,
+    /// Base seed; every internal RNG derives from it via
+    /// [`labelcount_stats::replication_seed`].
+    pub seed: u64,
+}
+
+/// Default base seed (the paper's year, like the bench fixtures).
+pub const DEFAULT_SEED: u64 = 2018;
+
+/// Internal stream ids for [`replication_seed`] derivation, so no two
+/// measurement phases share an RNG stream.
+mod stream {
+    pub const GRAPH: u64 = 1;
+    pub const WALK: u64 = 2;
+    pub const LINE_WALK: u64 = 3;
+    pub const ALGO_BASE: u64 = 100;
+    pub const EXT_WEDGES: u64 = 900;
+    pub const EXT_TRIANGLES: u64 = 901;
+    pub const EXT_SIZE: u64 = 902;
+}
+
+impl ScenarioSpec {
+    /// `<family>_<tier>` — report name and file stem.
+    pub fn name(&self) -> String {
+        format!("{}_{}", self.family.name(), self.tier.name())
+    }
+}
+
+/// Builds the scenario's graph: generate (or generate + save + load for
+/// [`Family::Loaded`]), assign binary labels, keep the largest component.
+pub fn build_graph(spec: &ScenarioSpec) -> LabeledGraph {
+    let mut rng = StdRng::seed_from_u64(replication_seed(spec.seed, stream::GRAPH));
+    let n = spec.tier.nodes();
+    let g = match spec.family {
+        Family::Ba => barabasi_albert(n, 8, &mut rng),
+        // Same average degree as the BA cell so throughput numbers compare
+        // across families.
+        Family::Er => erdos_renyi_gnm(n, 4 * n, &mut rng),
+        Family::Loaded => barabasi_albert(n, 6, &mut rng),
+    };
+    let mut labels = vec![Vec::new(); g.num_nodes()];
+    assign_binary_labels(&mut labels, 0.45, &mut rng);
+    let g = with_labels(&g, &labels);
+    let g = largest_component(&g)
+        .expect("generated graph is non-empty")
+        .graph;
+
+    if spec.family == Family::Loaded {
+        // Round-trip through the on-disk formats, then continue with the
+        // loaded copy — the whole point of this family is to measure and
+        // exercise the loader.
+        let stem =
+            std::env::temp_dir().join(format!("labelcount_perf_{}_{}", spec.name(), spec.seed));
+        labelcount_graph::io::save_graph(&g, &stem).expect("write scenario graph");
+        let loaded = labelcount_graph::io::load_graph(
+            &stem.with_extension("edges"),
+            Some(&stem.with_extension("labels")),
+        )
+        .expect("reload scenario graph");
+        let _ = std::fs::remove_file(stem.with_extension("edges"));
+        let _ = std::fs::remove_file(stem.with_extension("labels"));
+        assert_eq!(loaded.num_edges(), g.num_edges(), "lossy graph round-trip");
+        loaded
+    } else {
+        g
+    }
+}
+
+/// The target edge label every scenario estimates: the cross pair of the
+/// binary label model.
+pub fn scenario_target() -> TargetLabel {
+    TargetLabel::new(1.into(), 2.into())
+}
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1e3
+}
+
+/// Measures a fixed machine-speed proxy: dependent pseudo-random loads
+/// over a 4 MiB table — the same cache-missy pointer-chasing profile as a
+/// random walk over a CSR graph. The regression gate divides every timing
+/// metric by this before thresholding, so committed baselines survive
+/// moves between machine generations (a uniformly 2× slower CI runner
+/// scores ~2× lower here too, and the normalized ratios cancel); only
+/// *algorithmic* cliffs relative to machine speed trip the gate.
+pub fn calibration_ops_per_sec() -> f64 {
+    const SLOTS: usize = 1 << 19; // 4 MiB of u64
+    const OPS: usize = 4_000_000;
+    let mut table = vec![0u64; SLOTS];
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for slot in table.iter_mut() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *slot = x;
+    }
+    let t0 = Instant::now();
+    let mut idx = 0usize;
+    let mut acc = 0u64;
+    for _ in 0..OPS {
+        let v = table[idx];
+        acc = acc.wrapping_add(v);
+        idx = (v ^ acc) as usize & (SLOTS - 1);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    OPS as f64 / elapsed.max(1e-9)
+}
+
+fn rate(steps: usize, elapsed_ms: f64) -> f64 {
+    if elapsed_ms <= 0.0 {
+        0.0
+    } else {
+        steps as f64 / (elapsed_ms / 1e3)
+    }
+}
+
+/// JSON has no Inf/NaN; non-finite estimates (e.g. a collision-free size
+/// estimate) are stored as this sentinel so counters stay comparable.
+pub const NON_FINITE_SENTINEL: f64 = -1.0;
+
+fn sanitize(e: f64) -> f64 {
+    if e.is_finite() {
+        e
+    } else {
+        NON_FINITE_SENTINEL
+    }
+}
+
+fn finite_nrmse(estimates: &[f64], truth: f64) -> Option<f64> {
+    if truth <= 0.0 || estimates.is_empty() || estimates.iter().any(|e| !e.is_finite()) {
+        None
+    } else {
+        Some(nrmse(estimates, truth))
+    }
+}
+
+/// Runs one scenario end to end and assembles its [`Report`].
+pub fn run_scenario(spec: &ScenarioSpec) -> Report {
+    let scenario_start = Instant::now();
+    let alloc_before = alloc_track::snapshot();
+
+    let g = build_graph(spec);
+    let n = g.num_nodes();
+    let target = scenario_target();
+    let budget = (n / 20).max(100);
+    let burn_in = default_burn_in(n);
+    let reps = spec.tier.reps();
+
+    // --- Ground truth: parallel (used) timed against serial (reference).
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4);
+    let t0 = Instant::now();
+    let gt_serial = GroundTruth::compute(&g, target);
+    let gt_serial_ms = ms(t0);
+    let t0 = Instant::now();
+    let gt = GroundTruth::compute_parallel(&g, target, threads);
+    let gt_parallel_ms = ms(t0);
+    assert_eq!(gt.f, gt_serial.f, "parallel ground truth must agree");
+
+    // --- Walk substrate throughput: per-step vs batched on the OSN, and
+    // the line graph through the exact O(1) neighbor sampler. The batched
+    // path replays the identical RNG stream, so matching end states double
+    // as a correctness check.
+    let steps = spec.tier.walk_steps();
+    let walk_seed = replication_seed(spec.seed, stream::WALK);
+
+    let osn = SimulatedOsn::new(&g);
+    let mut rng = StdRng::seed_from_u64(walk_seed);
+    let mut w = SimpleWalk::new(OsnApi::random_node(&osn, &mut rng));
+    let t0 = Instant::now();
+    let mut per_step_end = Walker::<SimulatedOsn>::current(&w);
+    for _ in 0..steps {
+        per_step_end = w.step(&osn, &mut rng);
+    }
+    let per_step_ms = ms(t0);
+
+    let osn = SimulatedOsn::new(&g);
+    let mut rng = StdRng::seed_from_u64(walk_seed);
+    let mut w = SimpleWalk::new(OsnApi::random_node(&osn, &mut rng));
+    let mut buf = vec![NodeId(0); 4_096];
+    let t0 = Instant::now();
+    let mut batched_end = Walker::<SimulatedOsn>::current(&w);
+    let mut remaining = steps;
+    while remaining > 0 {
+        let take = remaining.min(buf.len());
+        w.steps_into(&osn, &mut buf[..take], &mut rng);
+        batched_end = buf[take - 1];
+        remaining -= take;
+    }
+    let batched_ms = ms(t0);
+    assert_eq!(
+        per_step_end, batched_end,
+        "batched stepping must replay the per-step RNG stream"
+    );
+
+    let line_steps = (steps / 4).max(1);
+    let osn = SimulatedOsn::new(&g);
+    let lg = LineGraphView::new(&osn);
+    let mut rng = StdRng::seed_from_u64(replication_seed(spec.seed, stream::LINE_WALK));
+    let mut lw = SimpleWalk::new(lg.random_start(&mut rng));
+    let t0 = Instant::now();
+    let mut line_end = Walker::<LineGraphView<'_, SimulatedOsn>>::current(&lw);
+    for _ in 0..line_steps {
+        line_end = lw.step(&lg, &mut rng);
+    }
+    let line_ms = ms(t0);
+    let line_api_calls = osn.api_calls();
+
+    // --- The paper's ten algorithms.
+    let cfg = RunConfig {
+        burn_in,
+        ..RunConfig::default()
+    };
+    let mut algo_counters = Vec::new();
+    for (ai, alg) in algorithms::all_paper(0.2, 0.5).iter().enumerate() {
+        let mut estimates = Vec::with_capacity(reps);
+        let mut api_calls = 0u64;
+        for rep in 0..reps {
+            let rep_seed =
+                replication_seed(spec.seed, stream::ALGO_BASE + ai as u64).wrapping_add(rep as u64);
+            let osn = SimulatedOsn::new(&g);
+            let mut rng = StdRng::seed_from_u64(rep_seed);
+            let e = alg
+                .estimate(&osn, target, budget, &cfg, &mut rng)
+                .expect("unbudgeted estimation on a connected component");
+            estimates.push(sanitize(e));
+            api_calls += osn.api_calls();
+        }
+        algo_counters.push(AlgoCounters {
+            abbrev: alg.abbrev().to_string(),
+            nrmse: finite_nrmse(&estimates, gt.f as f64),
+            estimates,
+            api_calls,
+        });
+    }
+
+    // --- Extensions: label-refined motifs and graph-size estimation.
+    // Exact motif counts are only computed at smoke scale (the exact
+    // counters are quadratic in hub degrees); larger tiers report the
+    // estimates with `nrmse: null`.
+    let triple = TargetTriple::new(1.into(), 2.into(), 1.into());
+    let motif_truth = (spec.tier == Tier::Smoke).then(|| {
+        (
+            count_labeled_wedges(&g, triple),
+            count_labeled_triangles(&g, triple),
+        )
+    });
+
+    let ext = |abbrev: &str,
+               stream_id: u64,
+               truth: Option<f64>,
+               f: &dyn Fn(&SimulatedOsn<'_>, &mut StdRng) -> f64| {
+        let mut estimates = Vec::with_capacity(reps);
+        let mut api_calls = 0u64;
+        for rep in 0..reps {
+            let rep_seed = replication_seed(spec.seed, stream_id).wrapping_add(rep as u64);
+            let osn = SimulatedOsn::new(&g);
+            let mut rng = StdRng::seed_from_u64(rep_seed);
+            estimates.push(sanitize(f(&osn, &mut rng)));
+            api_calls += osn.api_calls();
+        }
+        AlgoCounters {
+            abbrev: abbrev.to_string(),
+            nrmse: truth.and_then(|t| finite_nrmse(&estimates, t)),
+            estimates,
+            api_calls,
+        }
+    };
+
+    algo_counters.push(ext(
+        "ext-wedges",
+        stream::EXT_WEDGES,
+        motif_truth.map(|(w, _)| w as f64),
+        &|osn, rng| {
+            motifs::estimate_labeled_wedges(osn, triple, budget, burn_in, rng)
+                .expect("unbudgeted motif estimation")
+        },
+    ));
+    algo_counters.push(ext(
+        "ext-triangles",
+        stream::EXT_TRIANGLES,
+        motif_truth.map(|(_, t)| t as f64),
+        &|osn, rng| {
+            motifs::estimate_labeled_triangles(osn, triple, budget, burn_in, rng)
+                .expect("unbudgeted motif estimation")
+        },
+    ));
+    algo_counters.push(ext(
+        "ext-size-nodes",
+        stream::EXT_SIZE,
+        Some(n as f64),
+        &|osn, rng| {
+            size::estimate_graph_size(osn, budget, burn_in, rng)
+                .expect("unbudgeted size estimation")
+                .num_nodes
+        },
+    ));
+
+    let alloc = alloc_track::delta(alloc_before, alloc_track::snapshot());
+    Report {
+        schema_version: SCHEMA_VERSION,
+        meta: ScenarioMeta {
+            name: spec.name(),
+            family: spec.family.name().to_string(),
+            tier: spec.tier.name().to_string(),
+            seed: spec.seed,
+            nodes: n as u64,
+            edges: g.num_edges() as u64,
+            budget: budget as u64,
+            burn_in: burn_in as u64,
+            reps: reps as u64,
+        },
+        walk: WalkCounters {
+            steps: steps as u64,
+            per_step_end: per_step_end.index() as u64,
+            batched_end: batched_end.index() as u64,
+            line_end: (line_end.u().index() as u64, line_end.v().index() as u64),
+            line_api_calls,
+        },
+        algorithms: algo_counters,
+        ground_truth_f: gt.f as u64,
+        measured: Measured {
+            total_ms: ms(scenario_start),
+            per_step_steps_per_sec: rate(steps, per_step_ms),
+            batched_steps_per_sec: rate(steps, batched_ms),
+            line_steps_per_sec: rate(line_steps, line_ms),
+            gt_serial_ms,
+            gt_parallel_ms,
+            calibration_ops_per_sec: calibration_ops_per_sec(),
+            alloc,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_parsing_round_trip() {
+        for f in Family::all() {
+            assert_eq!(Family::parse(f.name()), Some(f));
+        }
+        for t in [Tier::Smoke, Tier::Standard, Tier::Stress] {
+            assert_eq!(Tier::parse(t.name()), Some(t));
+        }
+        assert_eq!(Family::parse("nope"), None);
+        assert_eq!(Tier::parse("huge"), None);
+        let spec = ScenarioSpec {
+            family: Family::Er,
+            tier: Tier::Smoke,
+            seed: 1,
+        };
+        assert_eq!(spec.name(), "er_smoke");
+    }
+
+    #[test]
+    fn graphs_build_deterministically_per_family() {
+        for family in Family::all() {
+            let spec = ScenarioSpec {
+                family,
+                tier: Tier::Smoke,
+                seed: 11,
+            };
+            let a = build_graph(&spec);
+            let b = build_graph(&spec);
+            assert_eq!(a.num_nodes(), b.num_nodes(), "{family:?}");
+            assert_eq!(a.num_edges(), b.num_edges(), "{family:?}");
+            for u in a.nodes() {
+                assert_eq!(a.neighbors(u), b.neighbors(u), "{family:?}");
+                assert_eq!(a.labels(u), b.labels(u), "{family:?}");
+            }
+            // The cross target must exist, or NRMSE is meaningless.
+            let f = GroundTruth::compute(&a, scenario_target()).f;
+            assert!(f > 0, "{family:?} has no target edges");
+        }
+    }
+
+    #[test]
+    fn sanitize_maps_non_finite_to_sentinel() {
+        assert_eq!(sanitize(f64::INFINITY), NON_FINITE_SENTINEL);
+        assert_eq!(sanitize(f64::NAN), NON_FINITE_SENTINEL);
+        assert_eq!(sanitize(2.5), 2.5);
+        assert_eq!(finite_nrmse(&[1.0, NON_FINITE_SENTINEL], 0.0), None);
+        assert!(finite_nrmse(&[90.0, 110.0], 100.0).is_some());
+    }
+}

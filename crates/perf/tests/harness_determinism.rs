@@ -1,0 +1,75 @@
+//! The harness's core guarantee: same scenario + same seed ⇒ identical
+//! deterministic counters (steps, API calls, estimates), end to end
+//! through JSON serialization.
+
+use labelcount_perf::report::Report;
+use labelcount_perf::scenario::{run_scenario, Family, ScenarioSpec, Tier};
+
+fn smoke_spec(family: Family, seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        family,
+        tier: Tier::Smoke,
+        seed,
+    }
+}
+
+/// Two same-seed runs must agree on every counter. Wall-clock metrics are
+/// deliberately not compared.
+#[test]
+fn smoke_counters_are_identical_across_runs_at_the_same_seed() {
+    let spec = smoke_spec(Family::Ba, 7);
+    let a = run_scenario(&spec);
+    let b = run_scenario(&spec);
+
+    assert_eq!(a.meta, b.meta);
+    assert_eq!(a.walk, b.walk);
+    assert_eq!(a.ground_truth_f, b.ground_truth_f);
+    assert_eq!(a.algorithms.len(), b.algorithms.len());
+    for (x, y) in a.algorithms.iter().zip(&b.algorithms) {
+        assert_eq!(x.abbrev, y.abbrev);
+        assert_eq!(x.api_calls, y.api_calls, "{}", x.abbrev);
+        // Bit-identical, not approximately equal.
+        let xb: Vec<u64> = x.estimates.iter().map(|e| e.to_bits()).collect();
+        let yb: Vec<u64> = y.estimates.iter().map(|e| e.to_bits()).collect();
+        assert_eq!(xb, yb, "{}", x.abbrev);
+        assert_eq!(
+            x.nrmse.map(f64::to_bits),
+            y.nrmse.map(f64::to_bits),
+            "{}",
+            x.abbrev
+        );
+    }
+}
+
+/// Counters must survive the BENCH_*.json round trip unchanged, and the
+/// batched walk must land on the same node as the per-step walk.
+#[test]
+fn smoke_report_round_trips_and_batched_walk_agrees() {
+    let spec = smoke_spec(Family::Er, 13);
+    let report = run_scenario(&spec);
+
+    assert_eq!(report.walk.per_step_end, report.walk.batched_end);
+    // The line walk pays exactly 2 neighbor-list calls per step through the
+    // O(1) sampler (plus the calls spent finding a start edge).
+    assert!(report.walk.line_api_calls >= 2 * (report.walk.steps / 4));
+
+    let text = report.to_json().to_pretty();
+    let parsed = Report::from_json_text(&text).unwrap();
+    assert_eq!(parsed, report);
+    assert_eq!(parsed.file_name(), "BENCH_er_smoke.json");
+}
+
+/// Different seeds must actually change the estimates (guards against a
+/// harness that ignores its seed, which would make the determinism test
+/// vacuous).
+#[test]
+fn different_seeds_change_estimates() {
+    let a = run_scenario(&smoke_spec(Family::Ba, 1));
+    let b = run_scenario(&smoke_spec(Family::Ba, 2));
+    let differs = a
+        .algorithms
+        .iter()
+        .zip(&b.algorithms)
+        .any(|(x, y)| x.estimates != y.estimates);
+    assert!(differs, "estimates identical across different seeds");
+}

@@ -10,6 +10,22 @@
 //! modeling, outlier analysis, plotting, or baseline comparison — swap the
 //! `[workspace.dependencies]` path entry for the crates.io release to get
 //! the real harness.
+//!
+//! # Deviation from real criterion: `iter_batched` timing
+//!
+//! Real criterion times `iter_batched` by pre-building a whole batch of
+//! inputs, reading the timer once around the batched routine calls, and
+//! dividing — setup cost never enters the measurement, and timer overhead
+//! amortizes across the batch. This shim instead starts and stops the
+//! timer around **each individual routine call**, summing the intervals:
+//! setup cost is likewise excluded (an earlier revision timed the whole
+//! setup+routine loop, silently charging setup to the reported mean —
+//! inconsistent with real criterion and wrong for benchmarks whose setup
+//! clones large fixtures), and dropping the routine's output / the input
+//! also happens outside the timed interval (matching real criterion's
+//! semantics) — but per-call `Instant` reads add a few tens of nanoseconds
+//! per iteration. Treat sub-microsecond `iter_batched` results as upper
+//! bounds; `iter` results are unaffected.
 
 #![warn(missing_docs)]
 
@@ -139,6 +155,23 @@ pub struct Bencher {
     iterations: u32,
 }
 
+/// Batch-size hint for [`Bencher::iter_batched`]. Accepted for API parity;
+/// this shim re-runs `setup` before every routine call regardless (the
+/// `PerIteration` strategy), so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are small; real criterion batches many per timer read.
+    SmallInput,
+    /// Inputs are large; real criterion uses fewer per batch.
+    LargeInput,
+    /// One input per iteration (what this shim always does).
+    PerIteration,
+    /// Explicit batch count.
+    NumBatches(u64),
+    /// Explicit iterations per batch.
+    NumIterations(u64),
+}
+
 impl Bencher {
     /// Times `routine`: one untimed warm-up call, then a fixed number of
     /// measured iterations.
@@ -152,6 +185,51 @@ impl Bencher {
             black_box(routine());
         }
         self.elapsed = start.elapsed();
+        self.iterations = MEASURED_ITERS;
+    }
+
+    /// Times `routine` over inputs built by `setup`, excluding setup cost
+    /// from the reported time (see the module docs for how this differs
+    /// from real criterion's batched timer reads). Like real criterion, the
+    /// routine's output is dropped *outside* the timed interval.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..MEASURED_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            let out = black_box(routine(input));
+            elapsed += start.elapsed();
+            drop(out);
+        }
+        self.elapsed = elapsed;
+        self.iterations = MEASURED_ITERS;
+    }
+
+    /// [`Bencher::iter_batched`] for routines taking the input by `&mut`
+    /// (the input's `Drop` also stays outside the timed interval).
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut warm = setup();
+        black_box(routine(&mut warm));
+        drop(warm);
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..MEASURED_ITERS {
+            let mut input = setup();
+            let start = Instant::now();
+            let out = black_box(routine(&mut input));
+            elapsed += start.elapsed();
+            drop(out);
+            drop(input);
+        }
+        self.elapsed = elapsed;
         self.iterations = MEASURED_ITERS;
     }
 }
@@ -221,6 +299,48 @@ mod tests {
         }
         // warm-up + measured iterations.
         assert_eq!(calls, 1 + MEASURED_ITERS);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration_and_excludes_it_from_timing() {
+        let mut b = Bencher::default();
+        let mut setups = 0u32;
+        let mut calls = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                std::thread::sleep(Duration::from_millis(20));
+                7u32
+            },
+            |x| {
+                calls += 1;
+                black_box(x + 1)
+            },
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 1 + MEASURED_ITERS);
+        assert_eq!(calls, 1 + MEASURED_ITERS);
+        assert_eq!(b.iterations, MEASURED_ITERS);
+        // The 20ms-per-iteration setup must not be charged to the routine.
+        assert!(
+            b.elapsed < Duration::from_millis(10),
+            "setup leaked into elapsed: {:?}",
+            b.elapsed
+        );
+    }
+
+    #[test]
+    fn iter_batched_ref_passes_input_mutably() {
+        let mut b = Bencher::default();
+        b.iter_batched_ref(
+            || vec![1u64, 2, 3],
+            |v| {
+                v.push(4);
+                v.len()
+            },
+            BatchSize::PerIteration,
+        );
+        assert_eq!(b.iterations, MEASURED_ITERS);
     }
 
     #[test]

@@ -74,6 +74,24 @@ impl<G: WalkableGraph> Walker<G> for SimpleWalk<G::Node> {
         }
         self.current
     }
+
+    /// Batched override: keeps the walk position in a local across the whole
+    /// buffer and commits walker state (`current`, the step counter) once at
+    /// the end, instead of a field load + two field stores per step. The
+    /// visit sequence is bit-identical to a [`Walker::step`] loop — same RNG
+    /// draws in the same order — so callers can switch freely between the
+    /// per-step and batched paths.
+    fn steps_into<R: Rng + ?Sized>(&mut self, g: &G, buf: &mut [G::Node], rng: &mut R) {
+        let mut cur = self.current;
+        for slot in buf.iter_mut() {
+            if let Some(next) = g.sample_neighbor(cur, rng) {
+                cur = next;
+            }
+            *slot = cur;
+        }
+        self.current = cur;
+        self.steps += buf.len() as u64;
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +146,39 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let mut walker = SimpleWalk::new(NodeId(0));
         assert_eq!(walker.step(&osn, &mut rng), NodeId(0));
+    }
+
+    #[test]
+    fn batched_steps_match_per_step_sequence() {
+        let g = test_graph(104);
+        let osn = SimulatedOsn::new(&g);
+
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut per_step = SimpleWalk::new(NodeId(0));
+        let singles: Vec<NodeId> = (0..257).map(|_| per_step.step(&osn, &mut rng_a)).collect();
+
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let mut batched = SimpleWalk::new(NodeId(0));
+        let mut buf = vec![NodeId(0); 257];
+        Walker::<SimulatedOsn>::steps_into(&mut batched, &osn, &mut buf, &mut rng_b);
+
+        assert_eq!(singles, buf);
+        assert_eq!(per_step.steps_taken(), batched.steps_taken());
+        assert_eq!(
+            Walker::<SimulatedOsn>::current(&per_step),
+            Walker::<SimulatedOsn>::current(&batched)
+        );
+    }
+
+    #[test]
+    fn batched_steps_with_empty_buffer_is_a_no_op() {
+        let g = test_graph(105);
+        let osn = SimulatedOsn::new(&g);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut walker = SimpleWalk::new(NodeId(5));
+        Walker::<SimulatedOsn>::steps_into(&mut walker, &osn, &mut [], &mut rng);
+        assert_eq!(walker.steps_taken(), 0);
+        assert_eq!(Walker::<SimulatedOsn>::current(&walker), NodeId(5));
     }
 
     #[test]

@@ -101,6 +101,19 @@ pub trait Walker<G: WalkableGraph> {
             self.step(g, rng);
         }
     }
+
+    /// Advances `buf.len()` steps, writing the visited states into `buf` in
+    /// order. Equivalent to calling [`Walker::step`] once per slot, but
+    /// batched so implementations can amortize per-step overhead (monomorphic
+    /// dispatch, walker-state loads/stores) across the whole buffer; consumers
+    /// that sample in bulk (throughput harnesses, vectorized estimators)
+    /// should prefer it over a `step` loop. The default just loops `step`, so
+    /// every walker gets the API with identical visit sequences either way.
+    fn steps_into<R: Rng + ?Sized>(&mut self, g: &G, buf: &mut [G::Node], rng: &mut R) {
+        for slot in buf.iter_mut() {
+            *slot = self.step(g, rng);
+        }
+    }
 }
 
 #[cfg(test)]
