@@ -11,7 +11,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use labelcount_bench::fixtures;
 use labelcount_core::{Algorithm, ExGmd, ExRcmh, NsHorvitzThompson, RunConfig};
-use labelcount_osn::{OsnApi, SimulatedOsn};
+use labelcount_osn::{OsnApiExt, SimulatedOsn};
 use labelcount_walk::{NonBacktrackingWalk, SimpleWalk, Walker};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -121,7 +121,7 @@ fn bench_nonbacktracking(c: &mut Criterion) {
         b.iter(|| {
             let osn = SimulatedOsn::new(g);
             let mut rng = StdRng::seed_from_u64(43);
-            let mut w = SimpleWalk::new(OsnApi::random_node(&osn, &mut rng));
+            let mut w = SimpleWalk::new(OsnApiExt::random_node(&osn, &mut rng));
             for _ in 0..2_000 {
                 black_box(w.step(&osn, &mut rng));
             }
@@ -132,7 +132,7 @@ fn bench_nonbacktracking(c: &mut Criterion) {
         b.iter(|| {
             let osn = SimulatedOsn::new(g);
             let mut rng = StdRng::seed_from_u64(43);
-            let mut w = NonBacktrackingWalk::new(OsnApi::random_node(&osn, &mut rng));
+            let mut w = NonBacktrackingWalk::new(OsnApiExt::random_node(&osn, &mut rng));
             for _ in 0..2_000 {
                 black_box(w.step(&osn, &mut rng));
             }

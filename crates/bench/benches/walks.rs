@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use labelcount_bench::fixtures;
-use labelcount_osn::{LineGraphView, LineNode, OsnApi, SimulatedOsn};
+use labelcount_osn::{LineGraphView, LineNode, OsnApiExt, SimulatedOsn};
 use labelcount_walk::{
     GmdWalk, MaxDegreeWalk, MetropolisHastingsWalk, NonBacktrackingWalk, RcmhWalk, SimpleWalk,
     Walker,
@@ -28,7 +28,7 @@ fn bench_walks(c: &mut Criterion) {
         b.iter(|| {
             let osn = SimulatedOsn::new(g);
             let mut rng = StdRng::seed_from_u64(1);
-            let mut w = SimpleWalk::new(OsnApi::random_node(&osn, &mut rng));
+            let mut w = SimpleWalk::new(OsnApiExt::random_node(&osn, &mut rng));
             for _ in 0..STEPS {
                 black_box(w.step(&osn, &mut rng));
             }
@@ -38,7 +38,7 @@ fn bench_walks(c: &mut Criterion) {
         b.iter(|| {
             let osn = SimulatedOsn::new(g);
             let mut rng = StdRng::seed_from_u64(2);
-            let mut w = MetropolisHastingsWalk::new(OsnApi::random_node(&osn, &mut rng));
+            let mut w = MetropolisHastingsWalk::new(OsnApiExt::random_node(&osn, &mut rng));
             for _ in 0..STEPS {
                 black_box(w.step(&osn, &mut rng));
             }
@@ -48,7 +48,7 @@ fn bench_walks(c: &mut Criterion) {
         b.iter(|| {
             let osn = SimulatedOsn::new(g);
             let mut rng = StdRng::seed_from_u64(3);
-            let start = OsnApi::random_node(&osn, &mut rng);
+            let start = OsnApiExt::random_node(&osn, &mut rng);
             let mut w = MaxDegreeWalk::new(&osn, start);
             for _ in 0..STEPS {
                 black_box(w.step(&osn, &mut rng));
@@ -59,7 +59,7 @@ fn bench_walks(c: &mut Criterion) {
         b.iter(|| {
             let osn = SimulatedOsn::new(g);
             let mut rng = StdRng::seed_from_u64(4);
-            let mut w = RcmhWalk::new(OsnApi::random_node(&osn, &mut rng), 0.2);
+            let mut w = RcmhWalk::new(OsnApiExt::random_node(&osn, &mut rng), 0.2);
             for _ in 0..STEPS {
                 black_box(w.step(&osn, &mut rng));
             }
@@ -69,7 +69,7 @@ fn bench_walks(c: &mut Criterion) {
         b.iter(|| {
             let osn = SimulatedOsn::new(g);
             let mut rng = StdRng::seed_from_u64(5);
-            let start = OsnApi::random_node(&osn, &mut rng);
+            let start = OsnApiExt::random_node(&osn, &mut rng);
             let mut w = GmdWalk::with_delta(&osn, start, 0.5);
             for _ in 0..STEPS {
                 black_box(w.step(&osn, &mut rng));
@@ -80,7 +80,7 @@ fn bench_walks(c: &mut Criterion) {
         b.iter(|| {
             let osn = SimulatedOsn::new(g);
             let mut rng = StdRng::seed_from_u64(6);
-            let mut w = NonBacktrackingWalk::new(OsnApi::random_node(&osn, &mut rng));
+            let mut w = NonBacktrackingWalk::new(OsnApiExt::random_node(&osn, &mut rng));
             for _ in 0..STEPS {
                 black_box(w.step(&osn, &mut rng));
             }
@@ -128,7 +128,7 @@ fn bench_walks(c: &mut Criterion) {
         b.iter_batched(
             || (SimulatedOsn::new(g), StdRng::seed_from_u64(9)),
             |(osn, mut rng)| {
-                let mut w = SimpleWalk::new(OsnApi::random_node(&osn, &mut rng));
+                let mut w = SimpleWalk::new(OsnApiExt::random_node(&osn, &mut rng));
                 let mut last = Walker::<SimulatedOsn>::current(&w);
                 for _ in 0..STEPS {
                     last = w.step(&osn, &mut rng);
@@ -147,7 +147,7 @@ fn bench_walks(c: &mut Criterion) {
                 (osn, rng, buf)
             },
             |(osn, rng, buf)| {
-                let mut w = SimpleWalk::new(OsnApi::random_node(osn, rng));
+                let mut w = SimpleWalk::new(OsnApiExt::random_node(osn, rng));
                 w.steps_into(osn, buf, rng);
                 black_box(buf[STEPS - 1])
             },

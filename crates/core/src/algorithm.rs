@@ -1,7 +1,7 @@
 //! The uniform algorithm interface and the paper's algorithm roster.
 
 use labelcount_graph::TargetLabel;
-use labelcount_osn::SimulatedOsn;
+use labelcount_osn::OsnApi;
 use rand::RngCore;
 
 use crate::error::EstimateError;
@@ -59,7 +59,7 @@ pub trait Algorithm: Sync + Send {
     /// it costs one call.
     fn estimate(
         &self,
-        osn: &SimulatedOsn<'_>,
+        osn: &dyn OsnApi,
         target: TargetLabel,
         budget: usize,
         cfg: &RunConfig,

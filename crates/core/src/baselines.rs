@@ -16,7 +16,7 @@
 //! | EX-GMD   | GMD(c = δ·d'_max)     | `∝ max(d'(e), c)`     | weights `1/max(d',c)` |
 
 use labelcount_graph::TargetLabel;
-use labelcount_osn::{LineGraphView, LineNode, OsnApi, SimulatedOsn};
+use labelcount_osn::{LineGraphView, LineNode, OsnApi};
 use labelcount_walk::{
     GmdWalk, MaxDegreeWalk, MetropolisHastingsWalk, RcmhWalk, SimpleWalk, Walker,
 };
@@ -25,8 +25,8 @@ use rand::RngCore;
 use crate::algorithm::{Algorithm, RunConfig};
 use crate::error::EstimateError;
 
-/// A line-graph view over the standard OSN simulation.
-type Lg<'a, 'g> = LineGraphView<'a, SimulatedOsn<'g>>;
+/// A line-graph view over any restricted-access OSN handle.
+type Lg<'a> = LineGraphView<'a, dyn OsnApi + 'a>;
 
 /// One observed line node: target flag and line degree.
 struct LineSample {
@@ -41,7 +41,7 @@ struct LineSample {
 /// baselines collect fewer samples per budget than NeighborSample — the
 /// price of the `G'` transformation.
 fn collect_line_samples<W>(
-    lg: &Lg<'_, '_>,
+    lg: &Lg<'_>,
     mut walker: W,
     target: TargetLabel,
     budget: usize,
@@ -49,7 +49,7 @@ fn collect_line_samples<W>(
     rng: &mut dyn RngCore,
 ) -> Result<Vec<LineSample>, EstimateError>
 where
-    W: for<'a, 'g> Walker<Lg<'a, 'g>>,
+    W: for<'a> Walker<Lg<'a>>,
 {
     if budget == 0 {
         return Err(EstimateError::ZeroSampleSize);
@@ -76,7 +76,7 @@ where
 }
 
 /// Guards against OSNs where the line-graph walk cannot start.
-fn check_nonempty(osn: &SimulatedOsn<'_>) -> Result<(), EstimateError> {
+fn check_nonempty(osn: &dyn OsnApi) -> Result<(), EstimateError> {
     if osn.num_nodes() == 0 || osn.num_edges() == 0 {
         Err(EstimateError::EmptyGraph)
     } else {
@@ -114,7 +114,7 @@ impl Algorithm for ExRw {
 
     fn estimate(
         &self,
-        osn: &SimulatedOsn<'_>,
+        osn: &dyn OsnApi,
         target: TargetLabel,
         budget: usize,
         cfg: &RunConfig,
@@ -157,7 +157,7 @@ impl Algorithm for ExMhrw {
 
     fn estimate(
         &self,
-        osn: &SimulatedOsn<'_>,
+        osn: &dyn OsnApi,
         target: TargetLabel,
         budget: usize,
         cfg: &RunConfig,
@@ -191,7 +191,7 @@ impl Algorithm for ExMdrw {
 
     fn estimate(
         &self,
-        osn: &SimulatedOsn<'_>,
+        osn: &dyn OsnApi,
         target: TargetLabel,
         budget: usize,
         cfg: &RunConfig,
@@ -235,7 +235,7 @@ impl Algorithm for ExRcmh {
 
     fn estimate(
         &self,
-        osn: &SimulatedOsn<'_>,
+        osn: &dyn OsnApi,
         target: TargetLabel,
         budget: usize,
         cfg: &RunConfig,
@@ -293,7 +293,7 @@ impl Algorithm for ExGmd {
 
     fn estimate(
         &self,
-        osn: &SimulatedOsn<'_>,
+        osn: &dyn OsnApi,
         target: TargetLabel,
         budget: usize,
         cfg: &RunConfig,
@@ -320,6 +320,7 @@ mod tests {
     use labelcount_graph::gen::barabasi_albert;
     use labelcount_graph::labels::{assign_binary_labels, with_labels};
     use labelcount_graph::{GraphBuilder, GroundTruth, LabelId, LabeledGraph, NodeId};
+    use labelcount_osn::SimulatedOsn;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

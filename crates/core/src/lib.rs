@@ -30,13 +30,18 @@
 //!
 //! All estimators implement the object-safe [`Algorithm`] trait so the
 //! experiment harness can sweep them uniformly; [`algorithms::all_paper`]
-//! returns the ten algorithms of the paper's Table 2.
+//! returns the ten algorithms of the paper's Table 2. Every estimator
+//! takes `&dyn labelcount_osn::OsnApi`, so the same compiled code runs
+//! against the direct simulation or the thread-safe cached access layer;
+//! [`engine::Engine`] packages the latter — one graph behind a shared
+//! cache, serving many (optionally parallel-replicated) queries.
 
 #![warn(missing_docs)]
 
 pub mod algorithm;
 pub mod baselines;
 pub mod bounds;
+pub mod engine;
 pub mod error;
 pub mod motifs;
 pub mod neighbor_exploration;
@@ -46,6 +51,7 @@ pub mod size;
 pub use algorithm::{algorithms, Algorithm, RunConfig};
 pub use baselines::{ExGmd, ExMdrw, ExMhrw, ExRcmh, ExRw};
 pub use bounds::ApproxParams;
+pub use engine::Engine;
 pub use error::EstimateError;
 pub use neighbor_exploration::{NeHansenHurwitz, NeHorvitzThompson, NeReweighted};
 pub use neighbor_sample::{NsHansenHurwitz, NsHorvitzThompson};

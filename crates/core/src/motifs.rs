@@ -27,7 +27,7 @@
 
 use labelcount_graph::motifs::TargetTriple;
 use labelcount_graph::NodeId;
-use labelcount_osn::{OsnApi, SimulatedOsn};
+use labelcount_osn::OsnApi;
 use labelcount_walk::{SimpleWalk, Walker};
 use rand::Rng;
 
@@ -47,7 +47,7 @@ pub struct MotifSample {
 
 /// Counts target wedges centered at `u` through the API: one profile read
 /// per neighbor (closed form over the three label counters).
-fn observe_wedges(osn: &SimulatedOsn<'_>, u: NodeId, t: TargetTriple) -> usize {
+fn observe_wedges(osn: &dyn OsnApi, u: NodeId, t: TargetTriple) -> usize {
     if !osn.has_label(u, t.center) {
         return 0;
     }
@@ -55,7 +55,7 @@ fn observe_wedges(osn: &SimulatedOsn<'_>, u: NodeId, t: TargetTriple) -> usize {
     let mut a = 0usize;
     let mut b = 0usize;
     let mut both = 0usize;
-    for &v in osn.neighbors(u) {
+    for &v in osn.neighbors(u).iter() {
         let ls = osn.labels(v);
         let in_a = ls.binary_search(&t1).is_ok();
         let in_b = ls.binary_search(&t3).is_ok();
@@ -73,7 +73,7 @@ fn observe_wedges(osn: &SimulatedOsn<'_>, u: NodeId, t: TargetTriple) -> usize {
 /// Counts target triangles containing `u` through the API: profile reads
 /// for all neighbors, then pairwise adjacency checks between neighbors
 /// that can complete the label multiset with `u`'s labels.
-fn observe_triangles(osn: &SimulatedOsn<'_>, u: NodeId, t: TargetTriple) -> usize {
+fn observe_triangles(osn: &dyn OsnApi, u: NodeId, t: TargetTriple) -> usize {
     let [x, y, z] = t.sorted();
     // u must carry at least one of the three labels to be in any target
     // triangle.
@@ -143,11 +143,11 @@ fn observe_triangles(osn: &SimulatedOsn<'_>, u: NodeId, t: TargetTriple) -> usiz
 /// Generic budgeted motif sampler: walks, observes `measure` at each
 /// position, stops when `budget` API calls are spent.
 fn sample_motifs(
-    osn: &SimulatedOsn<'_>,
+    osn: &dyn OsnApi,
     budget: usize,
     burn_in: usize,
     rng: &mut (impl Rng + ?Sized),
-    measure: impl Fn(&SimulatedOsn<'_>, NodeId) -> usize,
+    measure: impl Fn(&dyn OsnApi, NodeId) -> usize,
 ) -> Result<Vec<MotifSample>, EstimateError> {
     if budget == 0 {
         return Err(EstimateError::ZeroSampleSize);
@@ -193,7 +193,7 @@ fn hansen_hurwitz(samples: &[MotifSample], num_edges: usize, share: f64) -> f64 
 
 /// Estimates the number of target wedges for `t` under an API-call budget.
 pub fn estimate_labeled_wedges(
-    osn: &SimulatedOsn<'_>,
+    osn: &dyn OsnApi,
     t: TargetTriple,
     budget: usize,
     burn_in: usize,
@@ -208,7 +208,7 @@ pub fn estimate_labeled_wedges(
 /// Estimates the number of target triangles for `t` under an API-call
 /// budget.
 pub fn estimate_labeled_triangles(
-    osn: &SimulatedOsn<'_>,
+    osn: &dyn OsnApi,
     t: TargetTriple,
     budget: usize,
     burn_in: usize,
@@ -229,6 +229,7 @@ mod tests {
         count_labeled_triangles, count_labeled_wedges, triangles_at, wedges_at,
     };
     use labelcount_graph::{LabelId, LabeledGraph};
+    use labelcount_osn::SimulatedOsn;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

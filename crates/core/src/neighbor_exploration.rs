@@ -19,7 +19,7 @@
 //! NeighborSample overtaking NeighborExploration (§5.2 finding 4).
 
 use labelcount_graph::{NodeId, TargetLabel};
-use labelcount_osn::{OsnApi, SimulatedOsn};
+use labelcount_osn::OsnApi;
 use labelcount_walk::{SimpleWalk, Walker};
 use rand::{Rng, RngCore};
 use std::collections::HashSet;
@@ -44,7 +44,7 @@ pub struct NodeSample {
 /// fetch plus one profile fetch per friend. Only called for users carrying
 /// a target label.
 fn explore_t(
-    osn: &SimulatedOsn<'_>,
+    osn: &dyn OsnApi,
     u: NodeId,
     u_has_t1: bool,
     u_has_t2: bool,
@@ -52,7 +52,7 @@ fn explore_t(
 ) -> usize {
     let (t1, t2) = (target.first(), target.second());
     let mut t = 0usize;
-    for &v in osn.neighbors(u) {
+    for &v in osn.neighbors(u).iter() {
         let ls = osn.labels(v);
         let v_has_t1 = ls.binary_search(&t1).is_ok();
         let v_has_t2 = ls.binary_search(&t2).is_ok();
@@ -65,7 +65,7 @@ fn explore_t(
 
 /// Observes the walk's current node: degree, label flags, and `T(u)` if a
 /// target label is present.
-fn observe(osn: &SimulatedOsn<'_>, u: NodeId, target: TargetLabel) -> NodeSample {
+fn observe(osn: &dyn OsnApi, u: NodeId, target: TargetLabel) -> NodeSample {
     let degree = osn.degree(u);
     let (u_has_t1, u_has_t2) = label_flags(osn, u, target);
     let t = if u_has_t1 || u_has_t2 {
@@ -81,7 +81,7 @@ fn observe(osn: &SimulatedOsn<'_>, u: NodeId, target: TargetLabel) -> NodeSample
 /// budgeted variant used by the [`Algorithm`] impls is
 /// [`run_neighbor_exploration`].
 pub fn sample_nodes(
-    osn: &SimulatedOsn<'_>,
+    osn: &dyn OsnApi,
     target: TargetLabel,
     k: usize,
     burn_in: usize,
@@ -106,7 +106,7 @@ pub fn sample_nodes(
         for _ in 0..thin {
             walk.step(osn, rng);
         }
-        samples.push(observe(osn, Walker::<SimulatedOsn>::current(&walk), target));
+        samples.push(observe(osn, Walker::<dyn OsnApi>::current(&walk), target));
     }
     Ok(samples)
 }
@@ -115,7 +115,7 @@ pub fn sample_nodes(
 /// (budget-free), then walk-observe-explore until `budget` calls are
 /// spent. At least one node is always observed.
 pub fn run_neighbor_exploration(
-    osn: &SimulatedOsn<'_>,
+    osn: &dyn OsnApi,
     target: TargetLabel,
     budget: usize,
     burn_in: usize,
@@ -164,7 +164,7 @@ impl Algorithm for NeHansenHurwitz {
 
     fn estimate(
         &self,
-        osn: &SimulatedOsn<'_>,
+        osn: &dyn OsnApi,
         target: TargetLabel,
         budget: usize,
         cfg: &RunConfig,
@@ -196,7 +196,7 @@ impl Algorithm for NeHorvitzThompson {
 
     fn estimate(
         &self,
-        osn: &SimulatedOsn<'_>,
+        osn: &dyn OsnApi,
         target: TargetLabel,
         budget: usize,
         cfg: &RunConfig,
@@ -234,7 +234,7 @@ impl Algorithm for NeReweighted {
 
     fn estimate(
         &self,
-        osn: &SimulatedOsn<'_>,
+        osn: &dyn OsnApi,
         target: TargetLabel,
         budget: usize,
         cfg: &RunConfig,
@@ -261,6 +261,7 @@ mod tests {
     use labelcount_graph::gen::barabasi_albert;
     use labelcount_graph::labels::{assign_binary_labels, with_labels};
     use labelcount_graph::{GraphBuilder, GroundTruth, LabelId, LabeledGraph};
+    use labelcount_osn::SimulatedOsn;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

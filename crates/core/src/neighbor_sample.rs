@@ -21,7 +21,7 @@
 //! endpoint profiles.
 
 use labelcount_graph::{NodeId, TargetLabel};
-use labelcount_osn::{OsnApi, SimulatedOsn};
+use labelcount_osn::{OsnApi, OsnApiExt};
 use labelcount_walk::{SimpleWalk, Walker};
 use rand::{Rng, RngCore};
 use std::collections::HashSet;
@@ -30,7 +30,7 @@ use crate::algorithm::{Algorithm, RunConfig};
 use crate::error::EstimateError;
 
 /// Which of the two target labels node `u` carries — one profile call.
-pub(crate) fn label_flags(osn: &SimulatedOsn<'_>, u: NodeId, target: TargetLabel) -> (bool, bool) {
+pub(crate) fn label_flags(osn: &dyn OsnApi, u: NodeId, target: TargetLabel) -> (bool, bool) {
     let ls = osn.labels(u);
     (
         ls.binary_search(&target.first()).is_ok(),
@@ -40,12 +40,7 @@ pub(crate) fn label_flags(osn: &SimulatedOsn<'_>, u: NodeId, target: TargetLabel
 
 /// Whether `(u, v)` is a target edge, observed through the API (two
 /// profile calls).
-pub(crate) fn is_target_edge(
-    osn: &SimulatedOsn<'_>,
-    u: NodeId,
-    v: NodeId,
-    target: TargetLabel,
-) -> bool {
+pub(crate) fn is_target_edge(osn: &dyn OsnApi, u: NodeId, v: NodeId, target: TargetLabel) -> bool {
     let (u1, u2) = label_flags(osn, u, target);
     if !u1 && !u2 {
         return false;
@@ -58,7 +53,7 @@ pub(crate) fn is_target_edge(
 /// paper's crawls start from an arbitrary seed user inside the giant
 /// component).
 pub(crate) fn random_walk_start(
-    osn: &SimulatedOsn<'_>,
+    osn: &dyn OsnApi,
     rng: &mut (impl Rng + ?Sized),
 ) -> Result<NodeId, EstimateError> {
     if osn.num_nodes() == 0 || osn.num_edges() == 0 {
@@ -81,7 +76,7 @@ pub type SampledEdge = (NodeId, NodeId);
 /// collected. (The budgeted variant used by the [`Algorithm`] impls is
 /// [`run_neighbor_sample`].)
 pub fn sample_edges(
-    osn: &SimulatedOsn<'_>,
+    osn: &dyn OsnApi,
     k: usize,
     burn_in: usize,
     thin: usize,
@@ -105,7 +100,7 @@ pub fn sample_edges(
         for _ in 0..thin - 1 {
             walk.step(osn, rng);
         }
-        let prev = Walker::<SimulatedOsn>::current(&walk);
+        let prev = Walker::<dyn OsnApi>::current(&walk);
         let cur = walk.step(osn, rng);
         debug_assert_ne!(prev, cur, "stationary walk cannot be stuck");
         edges.push((prev, cur));
@@ -127,7 +122,7 @@ pub struct EdgeObservation {
 /// least one edge is always collected; each costs ~3 calls (step + two
 /// profiles).
 pub fn run_neighbor_sample(
-    osn: &SimulatedOsn<'_>,
+    osn: &dyn OsnApi,
     target: TargetLabel,
     budget: usize,
     burn_in: usize,
@@ -148,7 +143,7 @@ pub fn run_neighbor_sample(
                 collected: out.len(),
             });
         }
-        let prev = Walker::<SimulatedOsn>::current(&walk);
+        let prev = Walker::<dyn OsnApi>::current(&walk);
         let cur = walk.step(osn, rng);
         debug_assert_ne!(prev, cur, "stationary walk cannot be stuck");
         out.push(EdgeObservation {
@@ -180,7 +175,7 @@ impl Algorithm for NsHansenHurwitz {
 
     fn estimate(
         &self,
-        osn: &SimulatedOsn<'_>,
+        osn: &dyn OsnApi,
         target: TargetLabel,
         budget: usize,
         cfg: &RunConfig,
@@ -226,7 +221,7 @@ impl Algorithm for NsHorvitzThompson {
 
     fn estimate(
         &self,
-        osn: &SimulatedOsn<'_>,
+        osn: &dyn OsnApi,
         target: TargetLabel,
         budget: usize,
         cfg: &RunConfig,
@@ -255,6 +250,7 @@ mod tests {
     use labelcount_graph::gen::barabasi_albert;
     use labelcount_graph::labels::{assign_binary_labels, with_labels};
     use labelcount_graph::{GraphBuilder, GroundTruth, LabelId, LabeledGraph};
+    use labelcount_osn::SimulatedOsn;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -487,6 +483,7 @@ mod sparse_regime_tests {
     use labelcount_graph::gen::barabasi_albert;
     use labelcount_graph::labels::{assign_binary_labels, with_labels};
     use labelcount_graph::{GroundTruth, LabelId, TargetLabel};
+    use labelcount_osn::SimulatedOsn;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

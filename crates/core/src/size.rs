@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 
 use labelcount_graph::NodeId;
-use labelcount_osn::{OsnApi, SimulatedOsn};
+use labelcount_osn::OsnApi;
 use labelcount_walk::{SimpleWalk, Walker};
 use rand::Rng;
 
@@ -51,7 +51,7 @@ pub struct SizeEstimate {
 /// with `collisions == 0` (and infinite sizes) when no collision occurred
 /// — callers should then increase `k`.
 pub fn estimate_graph_size(
-    osn: &SimulatedOsn<'_>,
+    osn: &dyn OsnApi,
     k: usize,
     burn_in: usize,
     rng: &mut (impl Rng + ?Sized),
@@ -104,6 +104,7 @@ pub fn estimate_graph_size(
 mod tests {
     use super::*;
     use labelcount_graph::gen::barabasi_albert;
+    use labelcount_osn::SimulatedOsn;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

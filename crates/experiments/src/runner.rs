@@ -1,11 +1,8 @@
 //! The replicated NRMSE sweep behind every results table.
 
-use labelcount_core::{Algorithm, RunConfig};
+use labelcount_core::{Algorithm, Engine, RunConfig};
 use labelcount_graph::{LabeledGraph, TargetLabel};
-use labelcount_osn::SimulatedOsn;
-use labelcount_stats::{nrmse, replicate};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use labelcount_stats::nrmse;
 
 /// Global sweep parameters.
 #[derive(Clone, Copy, Debug)]
@@ -65,14 +62,19 @@ pub fn paper_size_headers() -> Vec<String> {
         .collect()
 }
 
-/// Runs `reps` replications of `alg` at sample size `k` and reduces the
-/// estimates to NRMSE against `f_true`.
+/// Runs `reps` replications of `alg` at sample size `k` against an
+/// existing [`Engine`] and reduces the estimates to NRMSE against
+/// `f_true`.
 ///
-/// Every replication builds its own [`SimulatedOsn`] (so API accounting
-/// never crosses replications) and its own seeded RNG.
+/// One [`labelcount_osn::OsnSession`] per replication (so API accounting
+/// and budgets never cross replications), per-replication seeds from
+/// [`labelcount_stats::replication_seed`]. Results are bit-identical to
+/// the historical per-replication `SimulatedOsn` loop regardless of
+/// `cfg.threads` *and* of cache warmth — sharing one engine across many
+/// cells (as [`nrmse_sweep`] does) only removes repeat backend fetches.
 #[allow(clippy::too_many_arguments)] // sweep plumbing: every argument is a distinct experiment axis
-pub fn replicated_nrmse(
-    graph: &LabeledGraph,
+pub fn replicated_nrmse_on(
+    engine: &Engine<'_>,
     burn_in: usize,
     target: TargetLabel,
     f_true: usize,
@@ -86,13 +88,30 @@ pub fn replicated_nrmse(
         burn_in,
         thinning_frac: cfg.thinning_frac,
     };
-    let estimates = replicate(cfg.reps, cfg.threads, cell_seed, |_i, seed| {
-        let osn = SimulatedOsn::new(graph);
-        let mut rng = StdRng::seed_from_u64(seed);
-        alg.estimate(&osn, target, k, &run_cfg, &mut rng)
-            .expect("estimation on an unbudgeted connected graph cannot fail")
-    });
+    let estimates: Vec<f64> = engine
+        .estimate_replicated(alg, target, k, &run_cfg, cell_seed, cfg.reps, cfg.threads)
+        .into_iter()
+        .map(|r| r.expect("estimation on an unbudgeted connected graph cannot fail"))
+        .collect();
     nrmse(&estimates, f_true as f64)
+}
+
+/// Standalone form of [`replicated_nrmse_on`] for one-off cells: builds a
+/// throwaway engine over `graph`. Sweeps should build one engine per
+/// graph and use [`replicated_nrmse_on`] so later cells hit a warm cache.
+#[allow(clippy::too_many_arguments)] // sweep plumbing: every argument is a distinct experiment axis
+pub fn replicated_nrmse(
+    graph: &LabeledGraph,
+    burn_in: usize,
+    target: TargetLabel,
+    f_true: usize,
+    alg: &dyn Algorithm,
+    k: usize,
+    cfg: &SweepConfig,
+    cell_seed: u64,
+) -> f64 {
+    let engine = Engine::new(graph);
+    replicated_nrmse_on(&engine, burn_in, target, f_true, alg, k, cfg, cell_seed)
 }
 
 /// Runs the full algorithms × sizes sweep for one (graph, target) pair —
@@ -106,6 +125,11 @@ pub fn nrmse_sweep(
     algorithms: &[Box<dyn Algorithm>],
     cfg: &SweepConfig,
 ) -> Vec<SweepRow> {
+    // One engine for the whole sweep: the first cell warms the cache and
+    // every later (algorithm, size) cell runs all-hit against it. Cell
+    // results are independent of cache warmth, so this is purely a
+    // backend-traffic optimization.
+    let engine = Engine::new(graph);
     algorithms
         .iter()
         .enumerate()
@@ -119,8 +143,8 @@ pub fn nrmse_sweep(
                         .seed
                         .wrapping_add((ai as u64) << 32)
                         .wrapping_add(si as u64);
-                    replicated_nrmse(
-                        graph,
+                    replicated_nrmse_on(
+                        &engine,
                         burn_in,
                         target,
                         f_true,

@@ -206,6 +206,72 @@ mod tests {
     }
 
     #[test]
+    fn blank_lines_accepted_in_edge_and_label_lists() {
+        // Pass: blank and whitespace-only lines are skipped in both
+        // formats, never parsed as records.
+        let g = read_edge_list(Cursor::new("0 1\n\n   \n\t\n1 2\n\n")).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        let g = read_labels(Cursor::new("\n0 7\n   \n2 8\n\n"), &g).unwrap();
+        assert_eq!(g.labels(NodeId(0)), &[LabelId(7)]);
+        assert_eq!(g.labels(NodeId(2)), &[LabelId(8)]);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse_to_one() {
+        // Pass: duplicates (either orientation, repeated) load as a
+        // single undirected edge — SNAP dumps list both directions.
+        let g = read_edge_list(Cursor::new("0 1\n1 0\n0 1\n0 1\n1 2\n")).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(g.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        assert_eq!(g.degree(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn self_loops_are_dropped() {
+        // Pass-with-cleanup: self-loop lines are accepted but never
+        // become edges (the paper's graphs are simple).
+        let g = read_edge_list(Cursor::new("0 0\n0 1\n1 1\n")).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert!(!g.has_edge(NodeId(0), NodeId(0)));
+        assert!(!g.has_edge(NodeId(1), NodeId(1)));
+        // A file of only self-loops still isolates the ids it names.
+        let g = read_edge_list(Cursor::new("3 3\n")).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn out_of_range_edge_id_rejected() {
+        // Reject: node ids beyond u32 cannot index the CSR — the line is
+        // reported, nothing is silently truncated.
+        let err = read_edge_list(Cursor::new("0 1\n4294967296 2\n")).unwrap_err();
+        match err {
+            IoError::Parse(line, text) => {
+                assert_eq!(line, 2);
+                assert!(text.contains("4294967296"));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        // Negative ids are equally out of range for the unsigned format.
+        assert!(read_edge_list(Cursor::new("-1 2\n")).is_err());
+    }
+
+    #[test]
+    fn out_of_range_label_ids_rejected() {
+        let g = read_edge_list(Cursor::new("0 1\n")).unwrap();
+        // Reject: a label record for a node the graph does not have.
+        let err = read_labels(Cursor::new("0 1\n5 2\n"), &g).unwrap_err();
+        match err {
+            IoError::Parse(line, _) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+        // Reject: a label value beyond u32.
+        assert!(read_labels(Cursor::new("0 4294967296\n"), &g).is_err());
+    }
+
+    #[test]
     fn malformed_edge_reports_line() {
         let err = read_edge_list(Cursor::new("0 1\nnot numbers\n")).unwrap_err();
         match err {

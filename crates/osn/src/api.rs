@@ -1,7 +1,9 @@
-//! The restricted OSN access trait.
+//! The restricted OSN access traits.
 
 use labelcount_graph::{LabelId, NodeId};
 use rand::Rng;
+
+use crate::guard::SliceRef;
 
 /// Access to an online social network restricted to what real OSN APIs
 /// provide (paper §3):
@@ -10,14 +12,24 @@ use rand::Rng;
 /// * read a known user's profile labels ([`OsnApi::labels`]);
 /// * prior knowledge of `|V|` and `|E|` ([`OsnApi::num_nodes`],
 ///   [`OsnApi::num_edges`]) — the paper assumes these are published by the
-///   OSN owner or estimated with existing methods;
-/// * draw a uniformly random user id ([`OsnApi::random_node`]) — used only
-///   to seed random walks (real crawlers use an arbitrary seed user; the
-///   burn-in makes the choice irrelevant).
+///   OSN owner or estimated with existing methods.
 ///
 /// Deliberately absent: edge enumeration, node iteration, global label
-/// statistics. Estimators that only hold an `impl OsnApi` are statically
+/// statistics. Estimators that only hold an `OsnApi` handle are statically
 /// prevented from cheating.
+///
+/// The trait is **object-safe**: every estimator entry point takes
+/// `&dyn OsnApi`, so the same compiled code runs against the direct
+/// [`crate::SimulatedOsn`], a thread-safe [`crate::OsnSession`] over a
+/// [`crate::CachedOsn`], or any future backend. Generic conveniences that
+/// need a sized `Rng` ([`OsnApiExt::random_node`],
+/// [`OsnApiExt::sample_neighbor`]) live on the blanket extension trait
+/// [`OsnApiExt`].
+///
+/// `neighbors`/`labels` return [`SliceRef`] guards rather than plain
+/// borrows so a caching implementation can hand out shared cache entries
+/// without leaking or copying; direct backends return
+/// [`SliceRef::Borrowed`] and pay nothing.
 pub trait OsnApi {
     /// Prior knowledge: the number of users `|V|`.
     fn num_nodes(&self) -> usize;
@@ -27,11 +39,11 @@ pub trait OsnApi {
 
     /// The friend list of `u` (sorted by node id). Each invocation models
     /// one neighbor-list API call.
-    fn neighbors(&self, u: NodeId) -> &[NodeId];
+    fn neighbors(&self, u: NodeId) -> SliceRef<'_, NodeId>;
 
     /// The profile labels of `u` (sorted). Each invocation models one
     /// profile API call.
-    fn labels(&self, u: NodeId) -> &[LabelId];
+    fn labels(&self, u: NodeId) -> SliceRef<'_, LabelId>;
 
     /// Degree of `u`, via its friend list.
     #[inline]
@@ -53,21 +65,36 @@ pub trait OsnApi {
         self.num_nodes().saturating_sub(1)
     }
 
-    /// Draws a uniformly random user id to seed a walk.
-    fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId
-    where
-        Self: Sized,
-    {
+    /// *Logical* API calls issued through this handle so far
+    /// (neighbor-list + profile). This is the currency of the paper's
+    /// evaluation: sample-size budgets are quoted as API calls (a share of
+    /// `|V|`), and every estimator pays per logical call — whether or not
+    /// a cache absorbed the backend fetch. Budget-driven stopping rules
+    /// therefore behave identically with and without a cache.
+    fn api_calls(&self) -> u64;
+
+    /// Whether a hard budget on neighbor-list calls (if any) has been
+    /// exhausted. Handles without budget support always answer `false`.
+    fn budget_exhausted(&self) -> bool {
+        false
+    }
+}
+
+/// Generic conveniences over any [`OsnApi`] (sized or `dyn`): random seed
+/// users and uniform friend draws, the only places estimators need an RNG
+/// against the API itself.
+pub trait OsnApiExt: OsnApi {
+    /// Draws a uniformly random user id to seed a walk — used only to seed
+    /// random walks (real crawlers use an arbitrary seed user; the burn-in
+    /// makes the choice irrelevant). Free of API-call cost.
+    fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
         assert!(self.num_nodes() > 0, "cannot sample from an empty OSN");
         NodeId(rng.gen_range(0..self.num_nodes() as u32))
     }
 
     /// Samples a uniformly random friend of `u`, or `None` if `u` has no
     /// friends. One neighbor-list call.
-    fn sample_neighbor<R: Rng + ?Sized>(&self, u: NodeId, rng: &mut R) -> Option<NodeId>
-    where
-        Self: Sized,
-    {
+    fn sample_neighbor<R: Rng + ?Sized>(&self, u: NodeId, rng: &mut R) -> Option<NodeId> {
         let ns = self.neighbors(u);
         if ns.is_empty() {
             None
@@ -75,4 +102,33 @@ pub trait OsnApi {
             Some(ns[rng.gen_range(0..ns.len())])
         }
     }
+}
+
+impl<A: OsnApi + ?Sized> OsnApiExt for A {}
+
+/// A raw fetch-only backend: what the remote OSN itself answers, with no
+/// accounting and no budget. [`crate::CachedOsn`] wraps one of these and
+/// adds the shared cache plus [`crate::CallStats`] accounting; sessions
+/// ([`crate::OsnSession`]) layer per-query logical-call accounting on top.
+///
+/// Implemented by [`crate::SimulatedOsn`] (fetches are its counted raw
+/// calls, so wrapping a simulation in a cache leaves the simulation
+/// counting exactly the backend traffic) and by [`crate::GraphOsn`] (a
+/// pure, `Sync` graph view with zero interior mutability — the backend
+/// the multi-threaded `labelcount_core::engine::Engine` uses).
+pub trait OsnBackend {
+    /// `|V|`.
+    fn num_nodes(&self) -> usize;
+
+    /// `|E|`.
+    fn num_edges(&self) -> usize;
+
+    /// Upper bound on the maximum degree.
+    fn max_degree_bound(&self) -> usize;
+
+    /// Fetches the sorted friend list of `u`. One backend API call.
+    fn fetch_neighbors(&self, u: NodeId) -> SliceRef<'_, NodeId>;
+
+    /// Fetches the sorted profile labels of `u`. One backend API call.
+    fn fetch_labels(&self, u: NodeId) -> SliceRef<'_, LabelId>;
 }

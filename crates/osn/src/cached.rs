@@ -1,0 +1,769 @@
+//! Thread-safe caching OSN access: [`CachedOsn`] + [`OsnSession`].
+//!
+//! The paper's cost model is API calls, and a walk revisits nodes
+//! constantly — on the smoke perf matrix a large fraction of raw calls are
+//! repeats a real crawler would memoize. This module makes the paper's
+//! "distinct API calls" metric first-class:
+//!
+//! * [`GraphOsn`] — a pure, `Sync` graph view implementing
+//!   [`OsnBackend`]: no interior mutability, so one instance can serve any
+//!   number of threads.
+//! * [`CachedOsn`] — wraps any [`OsnBackend`] with **sharded-lock LRU
+//!   caches** for neighbor lists and label sets, plus [`CallStats`]
+//!   accounting that distinguishes *logical* calls (what estimators issue
+//!   and pay their budgets in) from *misses* (what actually reaches the
+//!   backend). `Sync` whenever the backend is.
+//! * [`OsnSession`] — a lightweight per-query handle implementing
+//!   [`OsnApi`]: it counts its own logical calls and carries its own
+//!   budget (so concurrent queries never corrupt each other's stopping
+//!   rules) while sharing the cache underneath. Sessions are cheap to
+//!   create — one per replicate/query is the intended pattern.
+//!
+//! # Determinism
+//!
+//! Cache hits return exactly the bytes the backend would have returned, so
+//! an estimator run against a session is **bit-identical** (same
+//! estimates, same RNG stream, same logical-call sequence) to a run
+//! against the uncached backend — enforced by the
+//! `proptest_cached_equivalence` suite. Misses are counted under the shard
+//! lock (the backend fetch happens while the lock is held), so with
+//! unbounded capacity the total miss count equals the number of distinct
+//! nodes requested per endpoint, independent of thread interleaving.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use labelcount_graph::{LabelId, LabeledGraph, NodeId};
+
+use crate::api::{OsnApi, OsnBackend};
+use crate::guard::SliceRef;
+
+/// A [`LabeledGraph`] exposed as a raw [`OsnBackend`]: no counters, no
+/// budget, no cells — just borrows. `Sync`, so a [`CachedOsn<GraphOsn>`]
+/// can fan queries across threads.
+///
+/// This type deliberately does **not** implement [`OsnApi`]: handing it
+/// directly to an estimator would break budget accounting. Estimators
+/// reach it through [`OsnSession`]s.
+pub struct GraphOsn<'g> {
+    graph: &'g LabeledGraph,
+    max_degree: usize,
+}
+
+impl<'g> GraphOsn<'g> {
+    /// Wraps a graph as a raw backend.
+    pub fn new(graph: &'g LabeledGraph) -> Self {
+        let max_degree = graph.nodes().map(|u| graph.degree(u)).max().unwrap_or(0);
+        GraphOsn { graph, max_degree }
+    }
+
+    /// Evaluation-side escape hatch: the underlying graph, for
+    /// ground-truth computation. Estimators must not use this.
+    pub fn ground_truth_graph(&self) -> &'g LabeledGraph {
+        self.graph
+    }
+}
+
+impl OsnBackend for GraphOsn<'_> {
+    fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    fn max_degree_bound(&self) -> usize {
+        self.max_degree
+    }
+
+    fn fetch_neighbors(&self, u: NodeId) -> SliceRef<'_, NodeId> {
+        SliceRef::Borrowed(self.graph.neighbors(u))
+    }
+
+    fn fetch_labels(&self, u: NodeId) -> SliceRef<'_, LabelId> {
+        SliceRef::Borrowed(self.graph.labels(u))
+    }
+}
+
+/// Sizing knobs for [`CachedOsn`].
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Target cached entries **per endpoint kind** (neighbor lists and
+    /// label sets each get this many). `None` = unbounded (every distinct
+    /// node is fetched from the backend exactly once). The effective cap
+    /// is rounded **up** to a multiple of the shard count (at least one
+    /// entry per shard), so the cache may hold up to `shards − 1` more
+    /// entries than configured — rounding up rather than down keeps the
+    /// configured value a lower bound and no shard starved.
+    pub capacity: Option<usize>,
+    /// Number of lock shards per endpoint kind (rounded up to a power of
+    /// two, minimum 1). More shards = less contention under parallel
+    /// replication.
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: None,
+            shards: 64,
+        }
+    }
+}
+
+/// Snapshot of a cache's call accounting.
+///
+/// *Logical* calls are what estimators issue (and spend budget on);
+/// *misses* are the subset that reached the backend. The paper's "distinct
+/// API calls" metric is exactly the miss count of an unbounded cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CallStats {
+    /// Logical neighbor-list calls issued through sessions.
+    pub logical_neighbor_calls: u64,
+    /// Logical profile (label) calls issued through sessions.
+    pub logical_label_calls: u64,
+    /// Neighbor-list calls that missed the cache and hit the backend.
+    pub neighbor_misses: u64,
+    /// Profile calls that missed the cache and hit the backend.
+    pub label_misses: u64,
+}
+
+impl CallStats {
+    /// Total logical calls of both kinds.
+    pub fn logical_calls(&self) -> u64 {
+        self.logical_neighbor_calls + self.logical_label_calls
+    }
+
+    /// Total backend (miss) calls of both kinds — what a caching crawler
+    /// actually pays.
+    pub fn misses(&self) -> u64 {
+        self.neighbor_misses + self.label_misses
+    }
+
+    /// Logical calls absorbed by the cache.
+    pub fn hits(&self) -> u64 {
+        self.logical_calls().saturating_sub(self.misses())
+    }
+
+    /// Fraction of logical calls absorbed by the cache (`0.0` when no
+    /// logical call has been issued yet).
+    pub fn hit_rate(&self) -> f64 {
+        let logical = self.logical_calls();
+        if logical == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / logical as f64
+        }
+    }
+}
+
+/// Slot index sentinel for "no entry".
+const NIL: usize = usize::MAX;
+
+/// One LRU shard: a slab of entries chained into a doubly-linked recency
+/// list, with a `HashMap` index. All operations are O(1).
+struct LruShard<T> {
+    map: HashMap<u32, usize>,
+    slots: Vec<LruSlot<T>>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+struct LruSlot<T> {
+    key: u32,
+    value: Arc<[T]>,
+    prev: usize,
+    next: usize,
+}
+
+impl<T> LruShard<T> {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Unlinks slot `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    /// Links slot `i` at the head (most recently used).
+    fn link_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key` without touching recency — the read-lock fast path
+    /// for unbounded shards, where eviction (and hence recency) never
+    /// happens.
+    fn peek(&self, key: u32) -> Option<Arc<[T]>> {
+        self.map
+            .get(&key)
+            .map(|&i| Arc::clone(&self.slots[i].value))
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    fn get(&mut self, key: u32) -> Option<Arc<[T]>> {
+        let i = *self.map.get(&key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.link_front(i);
+        }
+        Some(Arc::clone(&self.slots[i].value))
+    }
+
+    /// Inserts `key → value`, evicting the least recently used entry when
+    /// the shard is full. The caller guarantees `key` is absent.
+    fn insert(&mut self, key: u32, value: Arc<[T]>) {
+        debug_assert!(!self.map.contains_key(&key));
+        let i = if self.slots.len() < self.capacity {
+            self.slots.push(LruSlot {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        } else {
+            // Reuse the LRU slot (capacity >= 1, so tail exists).
+            let i = self.tail;
+            self.unlink(i);
+            self.map.remove(&self.slots[i].key);
+            self.slots[i].key = key;
+            self.slots[i].value = value;
+            i
+        };
+        self.map.insert(key, i);
+        self.link_front(i);
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+/// A thread-safe, call-counting, caching wrapper around an
+/// [`OsnBackend`].
+///
+/// Neighbor lists and label sets get independent sharded-lock LRU caches;
+/// [`CallStats`] separates logical calls from backend misses. Queries run
+/// through [`OsnSession`]s ([`CachedOsn::session`]), which add per-query
+/// logical accounting and budgets on top of the shared cache.
+///
+/// ```
+/// use labelcount_graph::{GraphBuilder, NodeId};
+/// use labelcount_osn::{CachedOsn, GraphOsn, OsnApi};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1));
+/// b.add_edge(NodeId(1), NodeId(2));
+/// let g = b.build();
+///
+/// let cache = CachedOsn::new(GraphOsn::new(&g));
+/// let session = cache.session();
+/// session.neighbors(NodeId(1)); // miss: fetched from the backend
+/// session.neighbors(NodeId(1)); // hit: served from the cache
+/// assert_eq!(session.api_calls(), 2); // budgets are paid in logical calls
+/// drop(session); // logical totals flush into the shared stats
+/// let stats = cache.stats();
+/// assert_eq!(stats.logical_neighbor_calls, 2);
+/// assert_eq!(stats.neighbor_misses, 1);
+/// ```
+pub struct CachedOsn<B> {
+    backend: B,
+    neighbor_shards: Box<[RwLock<LruShard<NodeId>>]>,
+    label_shards: Box<[RwLock<LruShard<LabelId>>]>,
+    shard_mask: usize,
+    unbounded: bool,
+    logical_neighbor: AtomicU64,
+    logical_label: AtomicU64,
+    neighbor_misses: AtomicU64,
+    label_misses: AtomicU64,
+}
+
+impl<B: OsnBackend> CachedOsn<B> {
+    /// Wraps `backend` with an unbounded cache (default shard count).
+    pub fn new(backend: B) -> Self {
+        CachedOsn::with_config(backend, CacheConfig::default())
+    }
+
+    /// Wraps `backend` with explicit capacity/sharding.
+    pub fn with_config(backend: B, cfg: CacheConfig) -> Self {
+        let shards = cfg.shards.max(1).next_power_of_two();
+        let per_shard = match cfg.capacity {
+            // Ceil division: the effective total is the configured value
+            // rounded up to a shard multiple (see `CacheConfig::capacity`).
+            Some(total) => total.max(1).div_ceil(shards),
+            None => usize::MAX,
+        };
+        let make_neighbor = || RwLock::new(LruShard::new(per_shard));
+        let make_label = || RwLock::new(LruShard::new(per_shard));
+        CachedOsn {
+            backend,
+            neighbor_shards: (0..shards).map(|_| make_neighbor()).collect(),
+            label_shards: (0..shards).map(|_| make_label()).collect(),
+            shard_mask: shards - 1,
+            unbounded: cfg.capacity.is_none(),
+            logical_neighbor: AtomicU64::new(0),
+            logical_label: AtomicU64::new(0),
+            neighbor_misses: AtomicU64::new(0),
+            label_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Opens a per-query session (its own logical-call counters and
+    /// budget, shared cache underneath).
+    pub fn session(&self) -> OsnSession<'_, B> {
+        OsnSession {
+            cache: self,
+            neighbor_calls: Cell::new(0),
+            label_calls: Cell::new(0),
+            budget: Cell::new(None),
+        }
+    }
+
+    /// Snapshot of the shared call accounting, aggregated over all
+    /// sessions.
+    pub fn stats(&self) -> CallStats {
+        CallStats {
+            logical_neighbor_calls: self.logical_neighbor.load(Ordering::Relaxed),
+            logical_label_calls: self.logical_label.load(Ordering::Relaxed),
+            neighbor_misses: self.neighbor_misses.load(Ordering::Relaxed),
+            label_misses: self.label_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the call accounting. Cached entries are kept — use
+    /// [`CachedOsn::clear`] to drop them too.
+    pub fn reset_stats(&self) {
+        self.logical_neighbor.store(0, Ordering::Relaxed);
+        self.logical_label.store(0, Ordering::Relaxed);
+        self.neighbor_misses.store(0, Ordering::Relaxed);
+        self.label_misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Drops every cached entry (counters are kept).
+    pub fn clear(&self) {
+        for s in self.neighbor_shards.iter() {
+            s.write().unwrap().clear();
+        }
+        for s in self.label_shards.iter() {
+            s.write().unwrap().clear();
+        }
+    }
+
+    /// Cached entries currently held (neighbor lists, label sets).
+    pub fn cached_entries(&self) -> (usize, usize) {
+        let n = self
+            .neighbor_shards
+            .iter()
+            .map(|s| s.read().unwrap().len())
+            .sum();
+        let l = self
+            .label_shards
+            .iter()
+            .map(|s| s.read().unwrap().len())
+            .sum();
+        (n, l)
+    }
+
+    /// Fibonacci-hash shard index, so clustered node ids spread evenly.
+    #[inline]
+    fn shard_of(&self, u: NodeId) -> usize {
+        (u.0 as usize).wrapping_mul(0x9E37_79B9) >> 7 & self.shard_mask
+    }
+
+    /// Cache-through neighbor fetch.
+    ///
+    /// Unbounded shards never evict, so hits take the shard's **read**
+    /// lock (concurrent hits don't serialize — the parallel-replication
+    /// hot path). Bounded shards need the write lock even on hits to
+    /// refresh LRU recency. Misses fetch from the backend under the write
+    /// lock with a re-check, so concurrent first requests for one node
+    /// produce exactly one miss — miss counts are
+    /// interleaving-independent.
+    fn neighbors_shared(&self, u: NodeId) -> Arc<[NodeId]> {
+        let lock = &self.neighbor_shards[self.shard_of(u)];
+        if self.unbounded {
+            if let Some(hit) = lock.read().unwrap().peek(u.0) {
+                return hit;
+            }
+        }
+        let mut shard = lock.write().unwrap();
+        if let Some(hit) = shard.get(u.0) {
+            return hit;
+        }
+        self.neighbor_misses.fetch_add(1, Ordering::Relaxed);
+        let value: Arc<[NodeId]> = Arc::from(&*self.backend.fetch_neighbors(u));
+        shard.insert(u.0, Arc::clone(&value));
+        value
+    }
+
+    /// Cache-through label fetch (same locking discipline as
+    /// [`CachedOsn::neighbors_shared`]).
+    fn labels_shared(&self, u: NodeId) -> Arc<[LabelId]> {
+        let lock = &self.label_shards[self.shard_of(u)];
+        if self.unbounded {
+            if let Some(hit) = lock.read().unwrap().peek(u.0) {
+                return hit;
+            }
+        }
+        let mut shard = lock.write().unwrap();
+        if let Some(hit) = shard.get(u.0) {
+            return hit;
+        }
+        self.label_misses.fetch_add(1, Ordering::Relaxed);
+        let value: Arc<[LabelId]> = Arc::from(&*self.backend.fetch_labels(u));
+        shard.insert(u.0, Arc::clone(&value));
+        value
+    }
+}
+
+/// One query's view of a [`CachedOsn`]: implements [`OsnApi`] with
+/// per-session logical-call accounting and an optional per-session hard
+/// budget (mirroring [`crate::SimulatedOsn`]'s budget semantics, so
+/// estimators behave identically against either).
+///
+/// Sessions are intentionally not `Sync` (plain `Cell` counters) — create
+/// one per thread/replicate; the shared cache behind them is.
+pub struct OsnSession<'c, B> {
+    cache: &'c CachedOsn<B>,
+    neighbor_calls: Cell<u64>,
+    label_calls: Cell<u64>,
+    budget: Cell<Option<u64>>,
+}
+
+impl<'c, B: OsnBackend> OsnSession<'c, B> {
+    /// The cache this session runs against.
+    pub fn cache(&self) -> &'c CachedOsn<B> {
+        self.cache
+    }
+
+    /// Sets a hard budget on *logical neighbor-list calls* (same contract
+    /// as `SimulatedOsn::set_budget`).
+    pub fn set_budget(&self, calls: u64) {
+        self.budget.set(Some(calls));
+    }
+
+    /// Removes the budget.
+    pub fn clear_budget(&self) {
+        self.budget.set(None);
+    }
+
+    /// Remaining logical neighbor-list calls under the budget, if one is
+    /// set.
+    pub fn budget_remaining(&self) -> Option<u64> {
+        self.budget
+            .get()
+            .map(|b| b.saturating_sub(self.neighbor_calls.get()))
+    }
+}
+
+impl<B: OsnBackend> OsnApi for OsnSession<'_, B> {
+    fn num_nodes(&self) -> usize {
+        self.cache.backend.num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.cache.backend.num_edges()
+    }
+
+    fn neighbors(&self, u: NodeId) -> SliceRef<'_, NodeId> {
+        self.neighbor_calls.set(self.neighbor_calls.get() + 1);
+        SliceRef::Shared(self.cache.neighbors_shared(u))
+    }
+
+    fn labels(&self, u: NodeId) -> SliceRef<'_, LabelId> {
+        self.label_calls.set(self.label_calls.get() + 1);
+        SliceRef::Shared(self.cache.labels_shared(u))
+    }
+
+    fn max_degree_bound(&self) -> usize {
+        self.cache.backend.max_degree_bound()
+    }
+
+    fn api_calls(&self) -> u64 {
+        self.neighbor_calls.get() + self.label_calls.get()
+    }
+
+    fn budget_exhausted(&self) -> bool {
+        match self.budget.get() {
+            Some(b) => self.neighbor_calls.get() >= b,
+            None => false,
+        }
+    }
+}
+
+/// Logical-call totals flush into the shared [`CallStats`] when the
+/// session ends — one pair of atomic adds per query instead of one per
+/// call, so parallel replicates never contend on a shared counter cache
+/// line. ([`CachedOsn::stats`] therefore aggregates *finished* sessions;
+/// a live session's calls are visible through its own
+/// [`OsnApi::api_calls`].)
+impl<B> Drop for OsnSession<'_, B> {
+    fn drop(&mut self) {
+        let n = self.neighbor_calls.get();
+        if n > 0 {
+            self.cache.logical_neighbor.fetch_add(n, Ordering::Relaxed);
+        }
+        let l = self.label_calls.get();
+        if l > 0 {
+            self.cache.logical_label.fetch_add(l, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulated::SimulatedOsn;
+    use labelcount_graph::GraphBuilder;
+
+    fn path4() -> LabeledGraph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(2), NodeId(3));
+        b.set_labels(NodeId(0), &[LabelId(1)]);
+        b.build()
+    }
+
+    fn assert_sync<T: Sync>(_: &T) {}
+
+    #[test]
+    fn cached_graph_backend_is_sync() {
+        let g = path4();
+        let cache = CachedOsn::new(GraphOsn::new(&g));
+        assert_sync(&cache);
+    }
+
+    #[test]
+    fn hits_and_misses_are_separated() {
+        let g = path4();
+        let cache = CachedOsn::new(GraphOsn::new(&g));
+        let s = cache.session();
+        assert_eq!(s.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        assert_eq!(s.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        s.labels(NodeId(0));
+        s.labels(NodeId(0));
+        s.labels(NodeId(1));
+        drop(s); // logical totals flush at session end
+        let st = cache.stats();
+        assert_eq!(st.logical_neighbor_calls, 2);
+        assert_eq!(st.neighbor_misses, 1);
+        assert_eq!(st.logical_label_calls, 3);
+        assert_eq!(st.label_misses, 2);
+        assert_eq!(st.logical_calls(), 5);
+        assert_eq!(st.misses(), 3);
+        assert_eq!(st.hits(), 2);
+        assert!((st.hit_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sessions_account_independently_but_share_the_cache() {
+        let g = path4();
+        let cache = CachedOsn::new(GraphOsn::new(&g));
+        let a = cache.session();
+        let b = cache.session();
+        a.neighbors(NodeId(0));
+        b.neighbors(NodeId(0)); // hit: a already pulled it in
+        assert_eq!(a.api_calls(), 1);
+        assert_eq!(b.api_calls(), 1);
+        drop(a);
+        drop(b);
+        let st = cache.stats();
+        assert_eq!(st.logical_neighbor_calls, 2);
+        assert_eq!(st.neighbor_misses, 1);
+    }
+
+    #[test]
+    fn unbounded_misses_equal_distinct_requests() {
+        let g = path4();
+        let cache = CachedOsn::new(SimulatedOsn::new(&g));
+        let s = cache.session();
+        for _ in 0..5 {
+            for u in 0..4u32 {
+                s.neighbors(NodeId(u));
+                s.labels(NodeId(u));
+            }
+        }
+        drop(s);
+        let st = cache.stats();
+        assert_eq!(st.neighbor_misses, 4);
+        assert_eq!(st.label_misses, 4);
+        // The wrapped simulation saw exactly the miss traffic.
+        let inner = cache.backend().stats();
+        assert_eq!(inner.neighbor_calls, st.neighbor_misses);
+        assert_eq!(inner.label_calls, st.label_misses);
+        assert_eq!(inner.distinct_neighbor_calls, 4);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let g = path4();
+        // capacity 2, one shard: deterministic eviction order.
+        let cache = CachedOsn::with_config(
+            GraphOsn::new(&g),
+            CacheConfig {
+                capacity: Some(2),
+                shards: 1,
+            },
+        );
+        let s = cache.session();
+        s.neighbors(NodeId(0)); // miss {0}
+        s.neighbors(NodeId(1)); // miss {0,1}
+        s.neighbors(NodeId(0)); // hit, refreshes 0 -> LRU is 1
+        s.neighbors(NodeId(2)); // miss, evicts 1 -> {0,2}
+        s.neighbors(NodeId(0)); // hit
+        s.neighbors(NodeId(1)); // miss again (was evicted)
+        drop(s);
+        let st = cache.stats();
+        assert_eq!(st.neighbor_misses, 4);
+        assert_eq!(st.logical_neighbor_calls, 6);
+        assert_eq!(cache.cached_entries().0, 2);
+    }
+
+    #[test]
+    fn bounded_cache_still_returns_correct_data() {
+        let g = path4();
+        let cache = CachedOsn::with_config(
+            GraphOsn::new(&g),
+            CacheConfig {
+                capacity: Some(1),
+                shards: 1,
+            },
+        );
+        let s = cache.session();
+        for round in 0..3 {
+            for u in 0..4u32 {
+                let got = s.neighbors(NodeId(u));
+                assert_eq!(&*got, g.neighbors(NodeId(u)), "round {round} node {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn session_budget_tracks_logical_neighbor_calls() {
+        let g = path4();
+        let cache = CachedOsn::new(GraphOsn::new(&g));
+        let s = cache.session();
+        s.set_budget(2);
+        assert!(!s.budget_exhausted());
+        assert_eq!(s.budget_remaining(), Some(2));
+        s.neighbors(NodeId(0));
+        s.neighbors(NodeId(0)); // a cache hit still costs a logical call
+        assert!(s.budget_exhausted());
+        assert_eq!(s.budget_remaining(), Some(0));
+        s.clear_budget();
+        assert!(!s.budget_exhausted());
+    }
+
+    #[test]
+    fn reset_and_clear_are_independent() {
+        let g = path4();
+        let cache = CachedOsn::new(GraphOsn::new(&g));
+        let s = cache.session();
+        s.neighbors(NodeId(0));
+        cache.reset_stats();
+        assert_eq!(cache.stats(), CallStats::default());
+        assert_eq!(cache.cached_entries().0, 1); // entry survives reset
+        let s2 = cache.session();
+        s2.neighbors(NodeId(0));
+        assert_eq!(cache.stats().neighbor_misses, 0); // still cached
+
+        cache.clear();
+        assert_eq!(cache.cached_entries(), (0, 0));
+        let s3 = cache.session();
+        s3.neighbors(NodeId(0));
+        assert_eq!(cache.stats().neighbor_misses, 1); // refetched
+    }
+
+    #[test]
+    fn parallel_sessions_produce_deterministic_totals() {
+        let g = path4();
+        let cache = CachedOsn::new(GraphOsn::new(&g));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let s = cache.session();
+                    for _ in 0..50 {
+                        for u in 0..4u32 {
+                            s.neighbors(NodeId(u));
+                            s.labels(NodeId(u));
+                        }
+                    }
+                    assert_eq!(s.api_calls(), 400);
+                });
+            }
+        });
+        let st = cache.stats();
+        assert_eq!(st.logical_neighbor_calls, 800);
+        assert_eq!(st.logical_label_calls, 800);
+        // Fetch-under-lock: distinct requests == misses, regardless of
+        // interleaving.
+        assert_eq!(st.neighbor_misses, 4);
+        assert_eq!(st.label_misses, 4);
+    }
+
+    #[test]
+    fn guard_survives_eviction_of_its_entry() {
+        let g = path4();
+        let cache = CachedOsn::with_config(
+            GraphOsn::new(&g),
+            CacheConfig {
+                capacity: Some(1),
+                shards: 1,
+            },
+        );
+        let s = cache.session();
+        let guard = s.neighbors(NodeId(1));
+        s.neighbors(NodeId(2)); // evicts node 1's entry
+        assert_eq!(guard, &[NodeId(0), NodeId(2)]); // still readable
+    }
+
+    #[test]
+    fn max_degree_bound_forwards_to_backend() {
+        let g = path4();
+        let cache = CachedOsn::new(GraphOsn::new(&g));
+        assert_eq!(cache.session().max_degree_bound(), 2);
+        assert_eq!(cache.stats().logical_calls(), 0); // prior knowledge is free
+    }
+}

@@ -1,0 +1,110 @@
+//! Borrow-or-share slice guards: the access abstraction that lets one
+//! `OsnApi` signature serve both zero-copy backends and caching wrappers.
+//!
+//! The original trait returned `&[_]` from `neighbors`/`labels`, which
+//! forced any caching implementation to either leak memory or clone on
+//! every hit (a `Mutex`-guarded cache cannot hand out a plain borrow that
+//! outlives the lock). [`SliceRef`] solves the rigidity: a direct backend
+//! returns [`SliceRef::Borrowed`] (zero cost, exactly the old behavior),
+//! while a cache returns [`SliceRef::Shared`] — an `Arc` clone, one
+//! refcount bump, no data copy, valid for as long as the caller holds it
+//! regardless of later evictions.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A read guard over a slice: either a plain borrow from the backing
+/// store or a shared handle cloned out of a cache.
+///
+/// Dereferences to `[T]`, so call sites iterate, index, and
+/// `binary_search` exactly as they would on `&[T]`.
+#[derive(Clone, Debug)]
+pub enum SliceRef<'a, T> {
+    /// A direct borrow of backend-owned data (e.g.
+    /// [`crate::SimulatedOsn`] borrowing its graph's CSR arrays).
+    Borrowed(&'a [T]),
+    /// A shared handle to cache-owned data; keeps the entry's storage
+    /// alive even if the cache evicts it while the guard is held.
+    Shared(Arc<[T]>),
+}
+
+impl<T> Deref for SliceRef<'_, T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        match self {
+            SliceRef::Borrowed(s) => s,
+            SliceRef::Shared(a) => a,
+        }
+    }
+}
+
+impl<T> AsRef<[T]> for SliceRef<'_, T> {
+    #[inline]
+    fn as_ref(&self) -> &[T] {
+        self
+    }
+}
+
+impl<T: PartialEq> PartialEq for SliceRef<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl<T: PartialEq> PartialEq<[T]> for SliceRef<'_, T> {
+    fn eq(&self, other: &[T]) -> bool {
+        **self == *other
+    }
+}
+
+impl<T: PartialEq> PartialEq<&[T]> for SliceRef<'_, T> {
+    fn eq(&self, other: &&[T]) -> bool {
+        **self == **other
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq<[T; N]> for SliceRef<'_, T> {
+    fn eq(&self, other: &[T; N]) -> bool {
+        **self == *other
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq<&[T; N]> for SliceRef<'_, T> {
+    fn eq(&self, other: &&[T; N]) -> bool {
+        **self == **other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn borrowed_derefs_to_the_slice() {
+        let data = [1, 2, 3];
+        let r = SliceRef::Borrowed(&data[..]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[1], 2);
+        assert_eq!(r, [1, 2, 3]);
+        assert_eq!(r, &[1, 2, 3]);
+        assert!(r.binary_search(&3).is_ok());
+    }
+
+    #[test]
+    fn shared_outlives_its_origin_binding() {
+        let arc: Arc<[u32]> = Arc::from(vec![7u32, 8]);
+        let r = SliceRef::Shared(Arc::clone(&arc));
+        drop(arc); // the guard keeps the data alive
+        assert_eq!(r, [7, 8]);
+    }
+
+    #[test]
+    fn borrowed_and_shared_compare_by_contents() {
+        let data = [4u32, 5];
+        let a = SliceRef::Borrowed(&data[..]);
+        let b: SliceRef<'_, u32> = SliceRef::Shared(Arc::from(vec![4u32, 5]));
+        assert_eq!(a, b);
+    }
+}

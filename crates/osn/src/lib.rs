@@ -8,12 +8,20 @@
 //! prior knowledge of `|V|` and `|E|`. This crate enforces that access
 //! pattern in code:
 //!
-//! * [`OsnApi`] — the trait every estimator works against. There is no way
-//!   to enumerate edges or scan nodes through it.
+//! * [`OsnApi`] — the object-safe trait every estimator works against.
+//!   There is no way to enumerate edges or scan nodes through it; generic
+//!   RNG conveniences live on the blanket [`OsnApiExt`].
 //! * [`SimulatedOsn`] — wraps a [`labelcount_graph::LabeledGraph`] behind
 //!   the API with full call accounting ([`AccessStats`]) and an optional
 //!   call budget, so experiments can report exactly how many API calls an
 //!   estimate consumed (the paper quotes budgets as a percentage of `|V|`).
+//! * [`CachedOsn`] / [`OsnSession`] — the thread-safe caching access
+//!   layer: sharded-lock LRU caches over any [`OsnBackend`] (e.g. the
+//!   pure, `Sync` [`GraphOsn`]), with [`CallStats`] separating *logical*
+//!   calls from backend *misses* — the paper's "distinct API calls" metric
+//!   made first-class. Cached runs are bit-identical to uncached runs.
+//! * [`SliceRef`] — the borrow-or-share guard `neighbors`/`labels` return,
+//!   so caching implementations neither leak nor copy.
 //! * [`linegraph`] — the implicit transformed graph `G'` of §5.1 (one node
 //!   per edge of `G`, adjacency = shared endpoint), through which the five
 //!   baseline algorithms of Li et al. run. `G'` is never materialized; its
@@ -22,9 +30,13 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod cached;
+pub mod guard;
 pub mod linegraph;
 pub mod simulated;
 
-pub use api::OsnApi;
+pub use api::{OsnApi, OsnApiExt, OsnBackend};
+pub use cached::{CacheConfig, CachedOsn, CallStats, GraphOsn, OsnSession};
+pub use guard::SliceRef;
 pub use linegraph::{LineGraphView, LineNode};
 pub use simulated::{AccessStats, SimulatedOsn};

@@ -18,7 +18,7 @@
 use labelcount_graph::{NodeId, TargetLabel};
 use rand::Rng;
 
-use crate::api::OsnApi;
+use crate::api::{OsnApi, OsnApiExt};
 
 /// A node of the line graph `G'`: an undirected edge of `G`, stored
 /// normalized (`u() <= v()`).
@@ -60,11 +60,11 @@ impl std::fmt::Display for LineNode {
 }
 
 /// The implicit line graph `G'` over an [`OsnApi`].
-pub struct LineGraphView<'a, A: OsnApi> {
+pub struct LineGraphView<'a, A: OsnApi + ?Sized> {
     api: &'a A,
 }
 
-impl<'a, A: OsnApi> LineGraphView<'a, A> {
+impl<'a, A: OsnApi + ?Sized> LineGraphView<'a, A> {
     /// Wraps an OSN API handle.
     pub fn new(api: &'a A) -> Self {
         LineGraphView { api }

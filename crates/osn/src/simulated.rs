@@ -4,7 +4,8 @@ use std::cell::{Cell, RefCell};
 
 use labelcount_graph::{LabelId, LabeledGraph, NodeId};
 
-use crate::api::OsnApi;
+use crate::api::{OsnApi, OsnBackend};
+use crate::guard::SliceRef;
 
 /// Counters describing how an estimator used the API.
 ///
@@ -158,34 +159,68 @@ impl OsnApi for SimulatedOsn<'_> {
         self.graph.num_edges()
     }
 
-    fn neighbors(&self, u: NodeId) -> &[NodeId] {
+    fn neighbors(&self, u: NodeId) -> SliceRef<'_, NodeId> {
         self.neighbor_calls.set(self.neighbor_calls.get() + 1);
         let mut seen = self.neighbor_seen.borrow_mut();
         if !seen[u.index()] {
             seen[u.index()] = true;
             self.distinct_neighbor.set(self.distinct_neighbor.get() + 1);
         }
-        self.graph.neighbors(u)
+        SliceRef::Borrowed(self.graph.neighbors(u))
     }
 
-    fn labels(&self, u: NodeId) -> &[LabelId] {
+    fn labels(&self, u: NodeId) -> SliceRef<'_, LabelId> {
         self.label_calls.set(self.label_calls.get() + 1);
         let mut seen = self.label_seen.borrow_mut();
         if !seen[u.index()] {
             seen[u.index()] = true;
             self.distinct_label.set(self.distinct_label.get() + 1);
         }
-        self.graph.labels(u)
+        SliceRef::Borrowed(self.graph.labels(u))
     }
 
     fn max_degree_bound(&self) -> usize {
         self.max_degree
+    }
+
+    fn api_calls(&self) -> u64 {
+        SimulatedOsn::api_calls(self)
+    }
+
+    fn budget_exhausted(&self) -> bool {
+        SimulatedOsn::budget_exhausted(self)
+    }
+}
+
+/// As a cache backend, every fetch is one of the simulation's counted raw
+/// calls — so `SimulatedOsn::stats()` on a cache-wrapped simulation report
+/// exactly the miss (backend) traffic.
+impl OsnBackend for SimulatedOsn<'_> {
+    fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    fn max_degree_bound(&self) -> usize {
+        self.max_degree
+    }
+
+    fn fetch_neighbors(&self, u: NodeId) -> SliceRef<'_, NodeId> {
+        OsnApi::neighbors(self, u)
+    }
+
+    fn fetch_labels(&self, u: NodeId) -> SliceRef<'_, LabelId> {
+        OsnApi::labels(self, u)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::OsnApiExt;
     use labelcount_graph::GraphBuilder;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -257,9 +292,9 @@ mod tests {
     fn prior_knowledge_is_free() {
         let g = path4();
         let osn = SimulatedOsn::new(&g);
-        assert_eq!(osn.num_nodes(), 4);
-        assert_eq!(osn.num_edges(), 3);
-        assert_eq!(osn.max_degree_bound(), 2);
+        assert_eq!(OsnApi::num_nodes(&osn), 4);
+        assert_eq!(OsnApi::num_edges(&osn), 3);
+        assert_eq!(OsnApi::max_degree_bound(&osn), 2);
         assert_eq!(osn.stats().total_calls(), 0);
     }
 

@@ -74,8 +74,14 @@ fn throughput_metrics(r: &Report) -> [(&'static str, f64); 3] {
 }
 
 /// Lower-is-better wall-time metrics of the `measured` section.
-fn walltime_metrics(r: &Report) -> [(&'static str, f64); 1] {
-    [("measured.total_ms", r.measured.total_ms)]
+/// `engine_parallel_ms` is deliberately absent: it scales with the
+/// runner's core count, which calibration (a serial workload) cannot
+/// correct for — it is compared warning-only, with the speedup.
+fn walltime_metrics(r: &Report) -> [(&'static str, f64); 2] {
+    [
+        ("measured.total_ms", r.measured.total_ms),
+        ("measured.engine_serial_ms", r.measured.engine_serial_ms),
+    ]
 }
 
 /// The machine-speed scale factor: multiplying the current run's
@@ -156,10 +162,54 @@ pub fn compare_reports(baseline: &Report, current: &Report, max_regression: f64)
         }
     }
 
+    // The parallel-replication metrics depend on the runner's core count,
+    // which calibration (a serial workload) cannot correct for: a 2-core
+    // runner legitimately takes longer than an 8-core baseline, and a
+    // single-core runner legitimately reports ~1x speedup. Both are
+    // compared warning-only, never fatally.
+    let scale_parallel = |metric: &str, base: f64, cur: f64, regressed: bool, ratio: f64| Finding {
+        scenario: scenario.clone(),
+        metric: metric.to_string(),
+        baseline: base,
+        current: cur,
+        fatal: false,
+        message: format!(
+            "{} {ratio:.2}x (core-count dependent; informational)",
+            if regressed { "regressed" } else { "changed" }
+        ),
+    };
+    let (bp, cp) = (
+        baseline.measured.engine_parallel_ms,
+        current.measured.engine_parallel_ms,
+    );
+    if bp > 0.0 && cp / scale > bp * max_regression {
+        findings.push(scale_parallel(
+            "measured.engine_parallel_ms",
+            bp,
+            cp,
+            true,
+            (cp / scale) / bp,
+        ));
+    }
+    let (bs, cs) = (
+        baseline.measured.engine_parallel_speedup,
+        current.measured.engine_parallel_speedup,
+    );
+    if bs > 0.0 && cs > 0.0 && cs < bs / max_regression {
+        findings.push(scale_parallel(
+            "measured.engine_parallel_speedup",
+            bs,
+            cs,
+            true,
+            bs / cs,
+        ));
+    }
+
     // Counter drift: warn so reviewers notice baselines that need
     // regeneration, but do not fail the gate.
     if baseline.walk != current.walk
         || baseline.algorithms != current.algorithms
+        || baseline.engine != current.engine
         || baseline.ground_truth_f != current.ground_truth_f
     {
         findings.push(Finding {
@@ -254,7 +304,9 @@ pub fn compare_dirs(
 mod tests {
     use super::*;
     use crate::alloc_track::AllocDelta;
-    use crate::report::{AlgoCounters, Measured, ScenarioMeta, WalkCounters, SCHEMA_VERSION};
+    use crate::report::{
+        AlgoCounters, EngineCounters, Measured, ScenarioMeta, WalkCounters, SCHEMA_VERSION,
+    };
 
     fn report(name: &str, per_step: f64, total_ms: f64) -> Report {
         Report {
@@ -283,6 +335,13 @@ mod tests {
                 api_calls: 10,
                 nrmse: Some(0.1),
             }],
+            engine: EngineCounters {
+                replicates: 4,
+                estimates: vec![1.0, 2.0],
+                logical_api_calls: 100,
+                miss_api_calls: 20,
+                hit_rate: 0.8,
+            },
             ground_truth_f: 7,
             measured: Measured {
                 total_ms,
@@ -291,6 +350,9 @@ mod tests {
                 line_steps_per_sec: per_step / 2.0,
                 gt_serial_ms: 1.0,
                 gt_parallel_ms: 0.5,
+                engine_serial_ms: total_ms / 10.0,
+                engine_parallel_ms: total_ms / 30.0,
+                engine_parallel_speedup: 3.0,
                 calibration_ops_per_sec: 1.0e8,
                 alloc: AllocDelta::default(),
             },

@@ -17,7 +17,11 @@ use crate::json::{Json, JsonError};
 
 /// Version of the BENCH_*.json schema. Bump on any breaking change and
 /// regenerate the committed baselines in the same PR.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the `counters.engine` section (shared-cache query engine:
+/// replicated estimates, logical vs miss API calls, hit rate) and the
+/// `measured.engine_*` timings.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Scenario identity and workload parameters.
 #[derive(Clone, Debug, PartialEq)]
@@ -60,6 +64,28 @@ pub struct WalkCounters {
     pub line_api_calls: u64,
 }
 
+/// Deterministic counters of the query-engine phase: one algorithm
+/// replicated through `labelcount_core::Engine`'s shared cache, serial
+/// pass. The parallel pass must be bit-identical (asserted by the
+/// scenario runner), so only one estimate vector is stored.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineCounters {
+    /// Replicates fanned through the engine.
+    pub replicates: u64,
+    /// Per-replicate estimates, replication order (identical for every
+    /// thread count).
+    pub estimates: Vec<f64>,
+    /// Logical API calls issued by all replicates — exactly what the
+    /// uncached baseline pays against the backend.
+    pub logical_api_calls: u64,
+    /// Cache-miss API calls — what actually reached the backend. The
+    /// engine's raison d'être: `miss <= 0.7 * logical` on every committed
+    /// smoke baseline.
+    pub miss_api_calls: u64,
+    /// `1 - miss/logical` (deterministic arithmetic over the two counters).
+    pub hit_rate: f64,
+}
+
 /// One algorithm's deterministic results on a scenario.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AlgoCounters {
@@ -89,6 +115,15 @@ pub struct Measured {
     pub gt_serial_ms: f64,
     /// `GroundTruth::compute_parallel` wall time, milliseconds.
     pub gt_parallel_ms: f64,
+    /// Wall time of the engine's replicated estimation run on one thread,
+    /// milliseconds.
+    pub engine_serial_ms: f64,
+    /// Wall time of the same replicated run fanned across all available
+    /// threads (cold cache for both passes), milliseconds.
+    pub engine_parallel_ms: f64,
+    /// `engine_serial_ms / engine_parallel_ms` — > 1 on multi-core
+    /// runners.
+    pub engine_parallel_speedup: f64,
     /// Machine-speed proxy measured alongside the scenario
     /// ([`crate::scenario::calibration_ops_per_sec`]); the regression gate
     /// normalizes timing metrics by it so baselines transfer across
@@ -111,6 +146,8 @@ pub struct Report {
     /// Deterministic per-algorithm counters, Table 2 order then
     /// extensions.
     pub algorithms: Vec<AlgoCounters>,
+    /// Deterministic query-engine counters (shared-cache access layer).
+    pub engine: EngineCounters,
     /// Exact target-edge count `F`.
     pub ground_truth_f: u64,
     /// Machine-dependent measurements.
@@ -185,6 +222,31 @@ impl Report {
                                 .collect(),
                         ),
                     ),
+                    (
+                        "engine",
+                        Json::obj(vec![
+                            ("replicates", Json::Num(self.engine.replicates as f64)),
+                            (
+                                "estimates",
+                                Json::Arr(
+                                    self.engine
+                                        .estimates
+                                        .iter()
+                                        .map(|&e| Json::Num(e))
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "logical_api_calls",
+                                Json::Num(self.engine.logical_api_calls as f64),
+                            ),
+                            (
+                                "miss_api_calls",
+                                Json::Num(self.engine.miss_api_calls as f64),
+                            ),
+                            ("hit_rate", Json::Num(self.engine.hit_rate)),
+                        ]),
+                    ),
                     ("ground_truth_f", Json::Num(self.ground_truth_f as f64)),
                 ]),
             ),
@@ -200,6 +262,12 @@ impl Report {
                     ("line_steps_per_sec", Json::Num(ms.line_steps_per_sec)),
                     ("gt_serial_ms", Json::Num(ms.gt_serial_ms)),
                     ("gt_parallel_ms", Json::Num(ms.gt_parallel_ms)),
+                    ("engine_serial_ms", Json::Num(ms.engine_serial_ms)),
+                    ("engine_parallel_ms", Json::Num(ms.engine_parallel_ms)),
+                    (
+                        "engine_parallel_speedup",
+                        Json::Num(ms.engine_parallel_speedup),
+                    ),
                     (
                         "calibration_ops_per_sec",
                         Json::Num(ms.calibration_ops_per_sec),
@@ -278,6 +346,22 @@ impl Report {
                 })
             })
             .collect::<Result<Vec<_>, ReportError>>()?;
+        let ej = counters
+            .get("engine")
+            .ok_or_else(|| miss("counters.engine"))?;
+        let engine = EngineCounters {
+            replicates: field_u64(ej, "replicates")?,
+            estimates: ej
+                .get("estimates")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| miss("engine.estimates"))?
+                .iter()
+                .map(|e| e.as_f64().ok_or_else(|| miss("engine.estimates[i]")))
+                .collect::<Result<_, _>>()?,
+            logical_api_calls: field_u64(ej, "logical_api_calls")?,
+            miss_api_calls: field_u64(ej, "miss_api_calls")?,
+            hit_rate: field_f64(ej, "hit_rate")?,
+        };
         let ground_truth_f = field_u64(counters, "ground_truth_f")?;
         let mj = v.get("measured").ok_or_else(|| miss("measured"))?;
         let aj = mj.get("alloc").ok_or_else(|| miss("measured.alloc"))?;
@@ -288,6 +372,9 @@ impl Report {
             line_steps_per_sec: field_f64(mj, "line_steps_per_sec")?,
             gt_serial_ms: field_f64(mj, "gt_serial_ms")?,
             gt_parallel_ms: field_f64(mj, "gt_parallel_ms")?,
+            engine_serial_ms: field_f64(mj, "engine_serial_ms")?,
+            engine_parallel_ms: field_f64(mj, "engine_parallel_ms")?,
+            engine_parallel_speedup: field_f64(mj, "engine_parallel_speedup")?,
             calibration_ops_per_sec: field_f64(mj, "calibration_ops_per_sec")?,
             alloc: AllocDelta {
                 peak_bytes: field_u64(aj, "peak_bytes")?,
@@ -300,6 +387,7 @@ impl Report {
             meta,
             walk,
             algorithms,
+            engine,
             ground_truth_f,
             measured,
         })
@@ -390,6 +478,13 @@ mod tests {
                     nrmse: None,
                 },
             ],
+            engine: EngineCounters {
+                replicates: 64,
+                estimates: vec![6700.0, 6801.5],
+                logical_api_calls: 131_072,
+                miss_api_calls: 4_100,
+                hit_rate: 0.96872,
+            },
             ground_truth_f: 6750,
             measured: Measured {
                 total_ms: 1234.5,
@@ -398,6 +493,9 @@ mod tests {
                 line_steps_per_sec: 4.0e6,
                 gt_serial_ms: 12.0,
                 gt_parallel_ms: 3.5,
+                engine_serial_ms: 9.0,
+                engine_parallel_ms: 2.4,
+                engine_parallel_speedup: 3.75,
                 calibration_ops_per_sec: 1.5e8,
                 alloc: AllocDelta {
                     peak_bytes: 1 << 20,
@@ -423,7 +521,7 @@ mod tests {
         let text = r
             .to_json()
             .to_pretty()
-            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+            .replace("\"schema_version\": 2", "\"schema_version\": 999");
         match Report::from_json_text(&text) {
             Err(ReportError::Schema(msg)) => assert!(msg.contains("999"), "{msg}"),
             other => panic!("expected schema error, got {other:?}"),
@@ -432,7 +530,7 @@ mod tests {
 
     #[test]
     fn missing_fields_are_schema_errors() {
-        let text = "{\"schema_version\": 1}";
+        let text = "{\"schema_version\": 2}";
         assert!(matches!(
             Report::from_json_text(text),
             Err(ReportError::Schema(_))

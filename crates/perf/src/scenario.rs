@@ -10,13 +10,13 @@
 
 use std::time::Instant;
 
-use labelcount_core::{algorithms, motifs, size, RunConfig};
+use labelcount_core::{algorithms, motifs, size, Engine, NsHansenHurwitz, RunConfig};
 use labelcount_graph::components::largest_component;
 use labelcount_graph::gen::{barabasi_albert, erdos_renyi_gnm};
 use labelcount_graph::labels::{assign_binary_labels, with_labels};
 use labelcount_graph::motifs::{count_labeled_triangles, count_labeled_wedges, TargetTriple};
 use labelcount_graph::{GroundTruth, LabeledGraph, NodeId, TargetLabel};
-use labelcount_osn::{LineGraphView, OsnApi, SimulatedOsn};
+use labelcount_osn::{LineGraphView, OsnApiExt, SimulatedOsn};
 use labelcount_stats::{nrmse, replication_seed};
 use labelcount_walk::mixing::default_burn_in;
 use labelcount_walk::{SimpleWalk, Walker};
@@ -24,7 +24,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::alloc_track;
-use crate::report::{AlgoCounters, Measured, Report, ScenarioMeta, WalkCounters, SCHEMA_VERSION};
+use crate::report::{
+    AlgoCounters, EngineCounters, Measured, Report, ScenarioMeta, WalkCounters, SCHEMA_VERSION,
+};
 
 /// Graph family axis of the matrix.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -107,6 +109,17 @@ impl Tier {
         }
     }
 
+    /// Replicates fanned through the query engine's shared cache — sized
+    /// so the serial pass is long enough that the parallel pass's thread
+    /// spawns amortize.
+    pub fn engine_reps(self) -> usize {
+        match self {
+            Tier::Smoke => 64,
+            Tier::Standard => 16,
+            Tier::Stress => 8,
+        }
+    }
+
     /// Steps for the walk-throughput measurement. Sized so the timed
     /// window is tens of milliseconds even in release builds — per-step
     /// costs are ~10ns, and the regression gate needs windows large enough
@@ -145,6 +158,7 @@ mod stream {
     pub const EXT_WEDGES: u64 = 900;
     pub const EXT_TRIANGLES: u64 = 901;
     pub const EXT_SIZE: u64 = 902;
+    pub const ENGINE: u64 = 950;
 }
 
 impl ScenarioSpec {
@@ -296,7 +310,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
 
     let osn = SimulatedOsn::new(&g);
     let mut rng = StdRng::seed_from_u64(walk_seed);
-    let mut w = SimpleWalk::new(OsnApi::random_node(&osn, &mut rng));
+    let mut w = SimpleWalk::new(OsnApiExt::random_node(&osn, &mut rng));
     let t0 = Instant::now();
     let mut per_step_end = Walker::<SimulatedOsn>::current(&w);
     for _ in 0..steps {
@@ -306,7 +320,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
 
     let osn = SimulatedOsn::new(&g);
     let mut rng = StdRng::seed_from_u64(walk_seed);
-    let mut w = SimpleWalk::new(OsnApi::random_node(&osn, &mut rng));
+    let mut w = SimpleWalk::new(OsnApiExt::random_node(&osn, &mut rng));
     let mut buf = vec![NodeId(0); 4_096];
     let t0 = Instant::now();
     let mut batched_end = Walker::<SimulatedOsn>::current(&w);
@@ -426,6 +440,73 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
         },
     ));
 
+    // --- Query engine: the shared-cache access layer under a replicated
+    // load. One serial pass (threads = 1) provides the deterministic
+    // counters — logical calls are what the uncached baseline would pay
+    // the backend, misses are what the cache actually paid — then the same
+    // workload fans across all cores on a second cold-cache engine. The
+    // two estimate vectors must match bit for bit: the cache and the
+    // thread pool may change timings, never results.
+    let engine_reps = spec.tier.engine_reps();
+    let engine_budget = n; // a heavy 100%-|V| query per replicate
+    let engine_seed = replication_seed(spec.seed, stream::ENGINE);
+    let engine_alg = NsHansenHurwitz;
+
+    let engine = Engine::new(&g);
+    let t0 = Instant::now();
+    let serial = engine.estimate_replicated(
+        &engine_alg,
+        target,
+        engine_budget,
+        &cfg,
+        engine_seed,
+        engine_reps,
+        1,
+    );
+    let engine_serial_ms = ms(t0);
+    let engine_stats = engine.stats();
+
+    let engine_cold = Engine::new(&g);
+    let t0 = Instant::now();
+    let parallel = engine_cold.estimate_replicated(
+        &engine_alg,
+        target,
+        engine_budget,
+        &cfg,
+        engine_seed,
+        engine_reps,
+        threads,
+    );
+    let engine_parallel_ms = ms(t0);
+
+    let engine_estimates: Vec<f64> = serial
+        .into_iter()
+        .map(|r| sanitize(r.expect("unbudgeted estimation on a connected component")))
+        .collect();
+    let parallel_estimates: Vec<f64> = parallel
+        .into_iter()
+        .map(|r| sanitize(r.expect("unbudgeted estimation on a connected component")))
+        .collect();
+    assert_eq!(
+        engine_estimates
+            .iter()
+            .map(|e| e.to_bits())
+            .collect::<Vec<_>>(),
+        parallel_estimates
+            .iter()
+            .map(|e| e.to_bits())
+            .collect::<Vec<_>>(),
+        "parallel replication must be bit-identical to the serial loop"
+    );
+
+    let engine = EngineCounters {
+        replicates: engine_reps as u64,
+        estimates: engine_estimates,
+        logical_api_calls: engine_stats.logical_calls(),
+        miss_api_calls: engine_stats.misses(),
+        hit_rate: engine_stats.hit_rate(),
+    };
+
     let alloc = alloc_track::delta(alloc_before, alloc_track::snapshot());
     Report {
         schema_version: SCHEMA_VERSION,
@@ -448,6 +529,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
             line_api_calls,
         },
         algorithms: algo_counters,
+        engine,
         ground_truth_f: gt.f as u64,
         measured: Measured {
             total_ms: ms(scenario_start),
@@ -456,6 +538,13 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
             line_steps_per_sec: rate(line_steps, line_ms),
             gt_serial_ms,
             gt_parallel_ms,
+            engine_serial_ms,
+            engine_parallel_ms,
+            engine_parallel_speedup: if engine_parallel_ms > 0.0 {
+                engine_serial_ms / engine_parallel_ms
+            } else {
+                0.0
+            },
             calibration_ops_per_sec: calibration_ops_per_sec(),
             alloc,
         },

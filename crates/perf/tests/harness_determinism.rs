@@ -24,6 +24,15 @@ fn smoke_counters_are_identical_across_runs_at_the_same_seed() {
     assert_eq!(a.meta, b.meta);
     assert_eq!(a.walk, b.walk);
     assert_eq!(a.ground_truth_f, b.ground_truth_f);
+    // The engine counters are deterministic too: same logical/miss split,
+    // bit-identical replicated estimates.
+    assert_eq!(a.engine.replicates, b.engine.replicates);
+    assert_eq!(a.engine.logical_api_calls, b.engine.logical_api_calls);
+    assert_eq!(a.engine.miss_api_calls, b.engine.miss_api_calls);
+    assert_eq!(a.engine.hit_rate.to_bits(), b.engine.hit_rate.to_bits());
+    let ae: Vec<u64> = a.engine.estimates.iter().map(|e| e.to_bits()).collect();
+    let be: Vec<u64> = b.engine.estimates.iter().map(|e| e.to_bits()).collect();
+    assert_eq!(ae, be);
     assert_eq!(a.algorithms.len(), b.algorithms.len());
     for (x, y) in a.algorithms.iter().zip(&b.algorithms) {
         assert_eq!(x.abbrev, y.abbrev);
@@ -57,6 +66,25 @@ fn smoke_report_round_trips_and_batched_walk_agrees() {
     let parsed = Report::from_json_text(&text).unwrap();
     assert_eq!(parsed, report);
     assert_eq!(parsed.file_name(), "BENCH_er_smoke.json");
+
+    // The v2 engine fields survive the round trip and satisfy the
+    // cached-access-layer contract: a caching crawler pays at least 30%
+    // fewer backend (miss) API calls than the uncached baseline's logical
+    // total, and the replicate count matches the estimate vector.
+    let e = &parsed.engine;
+    assert_eq!(e.replicates as usize, e.estimates.len());
+    assert!(e.miss_api_calls <= e.logical_api_calls);
+    assert!(
+        (e.miss_api_calls as f64) <= 0.7 * e.logical_api_calls as f64,
+        "engine cache saved too little: {} misses / {} logical",
+        e.miss_api_calls,
+        e.logical_api_calls
+    );
+    let expect_rate = (e.logical_api_calls - e.miss_api_calls) as f64 / e.logical_api_calls as f64;
+    assert_eq!(e.hit_rate.to_bits(), expect_rate.to_bits());
+    assert!(parsed.measured.engine_serial_ms > 0.0);
+    assert!(parsed.measured.engine_parallel_ms > 0.0);
+    assert!(parsed.measured.engine_parallel_speedup > 0.0);
 }
 
 /// Different seeds must actually change the estimates (guards against a

@@ -37,7 +37,7 @@ impl<N: Copy> GmdWalk<N> {
     ///
     /// # Panics
     /// Panics if `delta ∉ (0, 1]`.
-    pub fn with_delta<G: WalkableGraph<Node = N>>(g: &G, start: N, delta: f64) -> Self {
+    pub fn with_delta<G: WalkableGraph<Node = N> + ?Sized>(g: &G, start: N, delta: f64) -> Self {
         assert!(
             delta > 0.0 && delta <= 1.0,
             "delta must be in (0, 1], got {delta}"
@@ -58,7 +58,7 @@ impl<N: Copy> GmdWalk<N> {
     }
 }
 
-impl<G: WalkableGraph> Walker<G> for GmdWalk<G::Node> {
+impl<G: WalkableGraph + ?Sized> Walker<G> for GmdWalk<G::Node> {
     fn current(&self) -> G::Node {
         self.current
     }

@@ -21,7 +21,7 @@ pub struct MaxDegreeWalk<N> {
 
 impl<N: Copy> MaxDegreeWalk<N> {
     /// Starts a walk at `start` using the graph's maximum-degree bound.
-    pub fn new<G: WalkableGraph<Node = N>>(g: &G, start: N) -> Self {
+    pub fn new<G: WalkableGraph<Node = N> + ?Sized>(g: &G, start: N) -> Self {
         let dmax = g.max_degree_bound().max(1);
         MaxDegreeWalk {
             current: start,
@@ -55,7 +55,7 @@ impl<N: Copy> MaxDegreeWalk<N> {
     }
 }
 
-impl<G: WalkableGraph> Walker<G> for MaxDegreeWalk<G::Node> {
+impl<G: WalkableGraph + ?Sized> Walker<G> for MaxDegreeWalk<G::Node> {
     fn current(&self) -> G::Node {
         self.current
     }

@@ -40,7 +40,7 @@ impl<N: Copy> MetropolisHastingsWalk<N> {
     }
 }
 
-impl<G: WalkableGraph> Walker<G> for MetropolisHastingsWalk<G::Node> {
+impl<G: WalkableGraph + ?Sized> Walker<G> for MetropolisHastingsWalk<G::Node> {
     fn current(&self) -> G::Node {
         self.current
     }

@@ -41,7 +41,7 @@ impl<N: Copy + Eq> NonBacktrackingWalk<N> {
     }
 }
 
-impl<G: WalkableGraph> Walker<G> for NonBacktrackingWalk<G::Node> {
+impl<G: WalkableGraph + ?Sized> Walker<G> for NonBacktrackingWalk<G::Node> {
     fn current(&self) -> G::Node {
         self.current
     }

@@ -63,7 +63,7 @@ impl<N: Copy> RcmhWalk<N> {
     }
 }
 
-impl<G: WalkableGraph> Walker<G> for RcmhWalk<G::Node> {
+impl<G: WalkableGraph + ?Sized> Walker<G> for RcmhWalk<G::Node> {
     fn current(&self) -> G::Node {
         self.current
     }

@@ -50,7 +50,7 @@ impl<N: Copy> SimpleWalk<N> {
     /// Starts a walk at a random state of `g`.
     pub fn from_random_start<G, R>(g: &G, rng: &mut R) -> Self
     where
-        G: WalkableGraph<Node = N>,
+        G: WalkableGraph<Node = N> + ?Sized,
         R: Rng + ?Sized,
     {
         SimpleWalk::new(g.random_node(rng))
@@ -62,7 +62,7 @@ impl<N: Copy> SimpleWalk<N> {
     }
 }
 
-impl<G: WalkableGraph> Walker<G> for SimpleWalk<G::Node> {
+impl<G: WalkableGraph + ?Sized> Walker<G> for SimpleWalk<G::Node> {
     fn current(&self) -> G::Node {
         self.current
     }

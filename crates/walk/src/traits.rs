@@ -1,7 +1,7 @@
 //! The walkable-state-space abstraction and the walker interface.
 
 use labelcount_graph::NodeId;
-use labelcount_osn::{LineGraphView, LineNode, OsnApi, SimulatedOsn};
+use labelcount_osn::{LineGraphView, LineNode, OsnApi, OsnApiExt, SimulatedOsn};
 use rand::Rng;
 
 /// A state space a random walk can move on through restricted access.
@@ -41,11 +41,38 @@ impl WalkableGraph for SimulatedOsn<'_> {
     }
 
     fn sample_neighbor<R: Rng + ?Sized>(&self, u: NodeId, rng: &mut R) -> Option<NodeId> {
-        OsnApi::sample_neighbor(self, u, rng)
+        OsnApiExt::sample_neighbor(self, u, rng)
     }
 
     fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
-        OsnApi::random_node(self, rng)
+        OsnApiExt::random_node(self, rng)
+    }
+
+    fn max_degree_bound(&self) -> usize {
+        OsnApi::max_degree_bound(self)
+    }
+
+    fn num_states(&self) -> usize {
+        OsnApi::num_nodes(self)
+    }
+}
+
+/// Any `dyn OsnApi` handle is walkable: this is how the estimators (which
+/// take `&dyn OsnApi`) run their walks over the direct simulation and the
+/// cached sessions with one compiled code path.
+impl WalkableGraph for dyn OsnApi + '_ {
+    type Node = NodeId;
+
+    fn degree(&self, u: NodeId) -> usize {
+        OsnApi::degree(self, u)
+    }
+
+    fn sample_neighbor<R: Rng + ?Sized>(&self, u: NodeId, rng: &mut R) -> Option<NodeId> {
+        OsnApiExt::sample_neighbor(self, u, rng)
+    }
+
+    fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        OsnApiExt::random_node(self, rng)
     }
 
     fn max_degree_bound(&self) -> usize {
@@ -57,7 +84,7 @@ impl WalkableGraph for SimulatedOsn<'_> {
     }
 }
 
-impl<A: OsnApi> WalkableGraph for LineGraphView<'_, A> {
+impl<A: OsnApi + ?Sized> WalkableGraph for LineGraphView<'_, A> {
     type Node = LineNode;
 
     fn degree(&self, e: LineNode) -> usize {
@@ -85,7 +112,7 @@ impl<A: OsnApi> WalkableGraph for LineGraphView<'_, A> {
 ///
 /// Walkers hold only their own state (current node, walk-specific memory);
 /// the graph is passed per call so one graph handle can serve many walkers.
-pub trait Walker<G: WalkableGraph> {
+pub trait Walker<G: WalkableGraph + ?Sized> {
     /// The state the walk is currently at.
     fn current(&self) -> G::Node;
 

@@ -1,9 +1,12 @@
 //! Reproducibility across the whole pipeline: identical seeds must yield
 //! identical datasets, sweeps, and estimates, regardless of thread count.
 
-use labelcount::core::{algorithms, Algorithm, NeHansenHurwitz, NsHansenHurwitz, RunConfig};
+use labelcount::core::{
+    algorithms, Algorithm, Engine, NeHansenHurwitz, NsHansenHurwitz, RunConfig,
+};
 use labelcount::graph::GroundTruth;
 use labelcount::osn::SimulatedOsn;
+use labelcount::stats::replication_seed;
 use labelcount_experiments::datasets::{build, DatasetKind};
 use labelcount_experiments::runner::{nrmse_sweep, SweepConfig};
 use rand::rngs::StdRng;
@@ -96,6 +99,64 @@ fn different_data_seeds_give_different_graphs() {
         .nodes()
         .any(|u| a.graph.neighbors(u) != b.graph.neighbors(u));
     assert!(differs, "different seeds must change the graph");
+}
+
+/// `Engine::estimate_replicated` must be bit-identical to the serial
+/// replicate loop for every Table-2 algorithm, at every thread count. The
+/// shared cache and the thread pool may change timings — never results.
+#[test]
+fn engine_replication_is_bit_identical_across_thread_counts() {
+    let d = build(DatasetKind::FacebookLike, 0.05, 41);
+    let target = d.targets[0].label;
+    let cfg = RunConfig {
+        burn_in: 40,
+        ..RunConfig::default()
+    };
+    let budget = d.graph.num_nodes() / 10;
+    let reps = 6;
+    let base_seed = 0xE17;
+
+    for alg in algorithms::all_paper(0.2, 0.5) {
+        let engine = Engine::new(&d.graph);
+        // The reference: an explicit serial loop with the replication
+        // seed schedule, one session per replicate.
+        let serial: Vec<u64> = (0..reps)
+            .map(|i| {
+                engine
+                    .estimate(
+                        alg.as_ref(),
+                        target,
+                        budget,
+                        &cfg,
+                        replication_seed(base_seed, i as u64),
+                    )
+                    .unwrap()
+                    .to_bits()
+            })
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let replicated: Vec<u64> = engine
+                .estimate_replicated(alg.as_ref(), target, budget, &cfg, base_seed, reps, threads)
+                .into_iter()
+                .map(|r| r.unwrap().to_bits())
+                .collect();
+            assert_eq!(
+                serial,
+                replicated,
+                "{} diverged from the serial loop at {threads} threads",
+                alg.abbrev()
+            );
+        }
+        // Replication shares the cache, so the backend paid each distinct
+        // fetch once, not once per replicate.
+        let stats = engine.stats();
+        assert!(stats.misses() <= stats.logical_calls());
+        assert!(
+            stats.neighbor_misses <= d.graph.num_nodes() as u64,
+            "{}: unbounded cache must cap misses at distinct nodes",
+            alg.abbrev()
+        );
+    }
 }
 
 #[test]
