@@ -34,7 +34,11 @@
 //! takes `&dyn labelcount_osn::OsnApi`, so the same compiled code runs
 //! against the direct simulation or the thread-safe cached access layer;
 //! [`engine::Engine`] packages the latter — one graph behind a shared
-//! cache, serving many (optionally parallel-replicated) queries.
+//! cache, serving many (optionally parallel-replicated) queries — and
+//! [`workload`] turns it into a multi-query service: N concurrent
+//! mixed-algorithm queries with seeded arrival order, per-query budgets,
+//! and (optionally) a hostile, fault-injecting API between the estimators
+//! and the graph, deterministic at any worker count.
 
 #![warn(missing_docs)]
 
@@ -47,6 +51,7 @@ pub mod motifs;
 pub mod neighbor_exploration;
 pub mod neighbor_sample;
 pub mod size;
+pub mod workload;
 
 pub use algorithm::{algorithms, Algorithm, RunConfig};
 pub use baselines::{ExGmd, ExMdrw, ExMhrw, ExRcmh, ExRw};
@@ -55,3 +60,7 @@ pub use engine::Engine;
 pub use error::EstimateError;
 pub use neighbor_exploration::{NeHansenHurwitz, NeHorvitzThompson, NeReweighted};
 pub use neighbor_sample::{NsHansenHurwitz, NsHorvitzThompson};
+pub use workload::{
+    run_workload, run_workload_observed, QueryOutcome, QuerySpec, Workload, WorkloadProgress,
+    WorkloadReport,
+};

@@ -1,0 +1,200 @@
+//! The adversarial backend's core contract, property-tested.
+//!
+//! * With a **fault rate of zero** (and no pagination),
+//!   `CachedOsn<AdversarialOsn<SimulatedOsn>>` is a strict pass-through:
+//!   estimates, RNG streams, per-session call accounting, and the shared
+//!   `CallStats` are all bit-identical to the same stack without the
+//!   adversarial layer, for every Table-2 algorithm.
+//! * With a **nonzero fault rate**, faults add cost but never corrupt:
+//!   estimates stay bit-identical, and the session's retry charges equal
+//!   exactly the decorator's extra attempts (`attempts − misses`).
+//! * Retry charges count against the per-query budget, and a budgeted
+//!   query can never be billed more than `budget` plus the worst-case cost
+//!   of the single fetch in flight when the budget ran out.
+
+use labelcount_core::{algorithms, RunConfig};
+use labelcount_graph::gen::barabasi_albert;
+use labelcount_graph::labels::{assign_binary_labels, with_labels};
+use labelcount_graph::{LabeledGraph, TargetLabel};
+use labelcount_osn::{AdversarialOsn, CachedOsn, FaultConfig, OsnApi, RetryPolicy, SimulatedOsn};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+fn arb_labeled_ba() -> impl Strategy<Value = LabeledGraph> {
+    (10usize..60, 1usize..4, any::<u64>()).prop_map(|(n, m, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = barabasi_albert(n.max(m + 1), m, &mut rng);
+        let mut labels = vec![Vec::new(); g.num_nodes()];
+        assign_binary_labels(&mut labels, 0.5, &mut rng);
+        with_labels(&g, &labels)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fault_rate_zero_is_bit_identical_to_the_clean_stack(
+        g in arb_labeled_ba(),
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        budget in 30usize..150,
+    ) {
+        let target = TargetLabel::new(1.into(), 2.into());
+        let cfg = RunConfig { burn_in: 25, ..RunConfig::default() };
+        for (ai, alg) in algorithms::all_paper(0.2, 0.5).iter().enumerate() {
+            let alg_seed = seed.wrapping_add(ai as u64);
+
+            let clean = CachedOsn::new(SimulatedOsn::new(&g));
+            let clean_session = clean.session();
+            let mut rng_c = StdRng::seed_from_u64(alg_seed);
+            let est_c = alg.estimate(&clean_session, target, budget, &cfg, &mut rng_c).unwrap();
+
+            let adv = CachedOsn::new(AdversarialOsn::new(
+                SimulatedOsn::new(&g),
+                FaultConfig::clean(fault_seed),
+                RetryPolicy::default(),
+            ));
+            let adv_session = adv.session();
+            let mut rng_a = StdRng::seed_from_u64(alg_seed);
+            let est_a = alg.estimate(&adv_session, target, budget, &cfg, &mut rng_a).unwrap();
+
+            prop_assert_eq!(
+                est_c.to_bits(), est_a.to_bits(),
+                "{}: adversarial(rate 0) {} vs clean {}", alg.abbrev(), est_a, est_c
+            );
+            // Same draw count in the same order.
+            prop_assert_eq!(rng_c.next_u64(), rng_a.next_u64(), "{}: RNG streams diverged", alg.abbrev());
+            // Per-session accounting identical; a clean fault model never
+            // charges retries.
+            prop_assert_eq!(clean_session.api_calls(), adv_session.api_calls(), "{}", alg.abbrev());
+            prop_assert_eq!(adv_session.retry_charges(), 0u64, "{}", alg.abbrev());
+            drop(clean_session);
+            drop(adv_session);
+
+            // Shared CallStats identical, and the decorator's realized
+            // attempts are exactly the misses (one attempt per fetch).
+            let cs = clean.stats();
+            let as_ = adv.stats();
+            prop_assert_eq!(cs, as_, "{}: CallStats diverged", alg.abbrev());
+            let fs = adv.backend().fault_stats();
+            prop_assert_eq!(fs.attempts, as_.misses(), "{}", alg.abbrev());
+            prop_assert_eq!(fs.retries, 0u64, "{}", alg.abbrev());
+            prop_assert_eq!(fs.latency_ticks, 0u64, "{}", alg.abbrev());
+            // The wrapped simulations saw identical backend traffic.
+            prop_assert_eq!(
+                clean.backend().stats(),
+                adv.backend().inner().stats(),
+                "{}: backend traffic diverged", alg.abbrev()
+            );
+        }
+    }
+
+    #[test]
+    fn faults_never_corrupt_estimates_and_charges_match_attempts(
+        g in arb_labeled_ba(),
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        rate_pct in 1u32..60,
+    ) {
+        let target = TargetLabel::new(1.into(), 2.into());
+        let cfg = RunConfig { burn_in: 25, ..RunConfig::default() };
+        let alg = labelcount_core::NsHansenHurwitz;
+        let budget = 80;
+
+        let clean = SimulatedOsn::new(&g);
+        let mut rng_c = StdRng::seed_from_u64(seed);
+        let est_c = labelcount_core::Algorithm::estimate(
+            &alg, &clean, target, budget, &cfg, &mut rng_c,
+        ).unwrap();
+
+        let adv = CachedOsn::new(AdversarialOsn::new(
+            SimulatedOsn::new(&g),
+            FaultConfig::hostile(fault_seed, rate_pct as f64 / 100.0),
+            RetryPolicy::default(),
+        ));
+        let session = adv.session();
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let est_a = labelcount_core::Algorithm::estimate(
+            &alg, &session, target, budget, &cfg, &mut rng_a,
+        ).unwrap();
+
+        // Faults delay and charge — they never change the bytes, so the
+        // estimate is the uncached clean run's, bit for bit.
+        prop_assert_eq!(est_c.to_bits(), est_a.to_bits());
+
+        // The session was billed exactly the decorator's extra attempts.
+        let fs = adv.backend().fault_stats();
+        let stats_misses = {
+            drop(session);
+            adv.stats().misses()
+        };
+        prop_assert_eq!(fs.attempts - stats_misses, fs.retries + fs.extra_pages);
+
+        // Fault counters are consistent: every retry (and every forced
+        // final success) stems from a counted rejection.
+        prop_assert_eq!(fs.rate_limited + fs.transient_errors, fs.retries + fs.retries_exhausted);
+    }
+
+    #[test]
+    fn retry_charges_respect_the_query_budget(
+        g in arb_labeled_ba(),
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        budget in 20u64..120,
+    ) {
+        // A hostile API with a tight budget: the estimator stops once
+        // charged calls reach the budget, and the bill can overshoot by at
+        // most the cost of the single fetch in flight (all of whose
+        // retries land atomically).
+        let target = TargetLabel::new(1.into(), 2.into());
+        let cfg = RunConfig { burn_in: 10, ..RunConfig::default() };
+        let policy = RetryPolicy::default();
+        let fault = FaultConfig::hostile(fault_seed, 0.5);
+        let page = fault.page_size.unwrap_or(usize::MAX);
+        let max_degree = g.nodes().map(|u| g.degree(u)).max().unwrap_or(0);
+        let worst_fetch =
+            (max_degree.div_ceil(page).max(1) as u64) * policy.max_attempts as u64;
+
+        let adv = CachedOsn::new(AdversarialOsn::new(
+            SimulatedOsn::new(&g),
+            fault,
+            policy,
+        ));
+        let session = adv.session();
+        session.set_budget(budget);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // The run may or may not finish inside the budget; either way the
+        // accounting invariants below must hold.
+        let outcome = labelcount_core::Algorithm::estimate(
+            &labelcount_core::NsHansenHurwitz, &session, target, 10_000, &cfg, &mut rng,
+        );
+
+        let exhausted = session.budget_exhausted();
+        let charges = session.retry_charges();
+        if exhausted {
+            prop_assert_eq!(session.budget_remaining(), Some(0u64));
+            prop_assert!(
+                matches!(outcome, Err(labelcount_core::EstimateError::BudgetExhausted { .. })),
+                "exhausted budget must interrupt the estimator: {outcome:?}"
+            );
+        }
+        drop(session);
+        let billed = adv.stats().logical_neighbor_calls + charges;
+        if exhausted {
+            prop_assert!(billed >= budget, "exhaustion fired early: {billed} < {budget}");
+        }
+        // The estimator polls the budget once per sample; between two
+        // polls it spends the (budget-free-by-contract but hard-budgeted)
+        // burn-in plus a handful of fetches, each of which can cost up to
+        // `worst_fetch` billed attempts against this hostile API. Beyond
+        // that window the budget is a hard wall: retries can never run
+        // away past it.
+        let slack = (cfg.burn_in as u64 + 8) * worst_fetch;
+        prop_assert!(
+            billed <= budget + slack,
+            "billed {billed} beyond budget {budget} + slack {slack}"
+        );
+    }
+}

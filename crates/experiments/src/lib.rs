@@ -15,6 +15,9 @@
 //! * the [`ablations`] module produces measured artifacts for the design
 //!   knobs (HT thinning, EX-RCMH α, EX-GMD δ, burn-in length) plus a
 //!   bias/variance decomposition of the proposed estimators;
+//! * the [`resilience`] module sweeps the adversarial fault rate and
+//!   reports NRMSE and realized API cost of a mixed workload against a
+//!   hostile OSN API;
 //! * the `labelcount-exp` binary exposes all of it on the command line.
 
 #![warn(missing_docs)]
@@ -22,6 +25,7 @@
 pub mod ablations;
 pub mod datasets;
 pub mod report;
+pub mod resilience;
 pub mod runner;
 pub mod tables;
 

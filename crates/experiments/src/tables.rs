@@ -64,6 +64,7 @@ impl Harness {
             "ablation-delta",
             "ablation-burnin",
             "bias-decomposition",
+            "resilience",
         ] {
             ids.push(a.to_string());
         }
@@ -125,6 +126,10 @@ impl Harness {
             "bias-decomposition" => Ok(crate::ablations::bias_decomposition(
                 &self.dataset(DatasetKind::OrkutLike),
                 0,
+                &self.sweep,
+            )),
+            "resilience" => Ok(crate::resilience::resilience_report(
+                &self.dataset(DatasetKind::FacebookLike),
                 &self.sweep,
             )),
             other => Err(format!(
@@ -259,6 +264,12 @@ impl Harness {
     /// CSV form of an experiment id, for the sweep tables (4–17). Returns
     /// `None` for artifacts without a natural CSV layout.
     pub fn run_csv(&self, id: &str) -> Option<String> {
+        if id.eq_ignore_ascii_case("resilience") {
+            return Some(crate::resilience::resilience_csv(
+                &self.dataset(DatasetKind::FacebookLike),
+                &self.sweep,
+            ));
+        }
         let table: usize = id
             .to_ascii_lowercase()
             .strip_prefix("table")?
@@ -498,12 +509,14 @@ mod tests {
     #[test]
     fn experiment_ids_cover_all_paper_artifacts() {
         let ids = Harness::experiment_ids();
-        // Tables 1–26, fig1–2, mixing, 4 ablations, bias decomposition.
-        assert_eq!(ids.len(), 26 + 2 + 1 + 5);
+        // Tables 1–26, fig1–2, mixing, 4 ablations, bias decomposition,
+        // resilience sweep.
+        assert_eq!(ids.len(), 26 + 2 + 1 + 5 + 1);
         assert!(ids.contains(&"table17".to_string()));
         assert!(ids.contains(&"fig2".to_string()));
         assert!(ids.contains(&"ablation-thinning".to_string()));
         assert!(ids.contains(&"bias-decomposition".to_string()));
+        assert!(ids.contains(&"resilience".to_string()));
     }
 
     #[test]

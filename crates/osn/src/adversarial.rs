@@ -1,0 +1,682 @@
+//! Adversarial OSN backend: a deterministic, seeded fault model.
+//!
+//! Every backend the workspace had so far ([`crate::GraphOsn`],
+//! [`crate::SimulatedOsn`]) answers instantly and never fails — a fantasy
+//! no real crawl API grants. [`AdversarialOsn`] decorates any
+//! [`OsnBackend`] with the hostile behaviors of a production OSN API:
+//!
+//! * **rate-limit windows** — a fetch attempt can be rejected with a
+//!   `retry-after` delay, modeling HTTP 429;
+//! * **transient errors** — a fetch attempt can fail outright (HTTP 5xx,
+//!   connection reset), forcing a retry;
+//! * **simulated latency** — every attempt costs latency *ticks* (an
+//!   abstract unit of simulated time), with seeded jitter;
+//! * **paginated neighbor lists** — a friend list larger than the page
+//!   size costs one attempt *per page*, the way real endpoints return at
+//!   most a few hundred friends per call.
+//!
+//! The decorator still implements [`OsnBackend`], so it composes under
+//! [`crate::CachedOsn`]: `CachedOsn<AdversarialOsn<B>>` retries faults on
+//! cache *misses* and serves hits fault-free, exactly like a caching
+//! crawler in front of a flaky API. Retries are driven by a
+//! [`RetryPolicy`] (bounded exponential backoff with jittered-but-seeded
+//! delays), and the realized attempt count propagates to
+//! [`crate::OsnSession`] budgets via
+//! [`OsnBackend::fetch_neighbors_attempts`].
+//!
+//! # Determinism
+//!
+//! Every fault decision is a **pure hash** of `(fault seed, endpoint,
+//! node, page, attempt)` — there is no shared mutable RNG stream. The
+//! fault pattern a node sees is therefore independent of when (or on which
+//! thread) the fetch happens, so a workload over an adversarial backend is
+//! bit-identical at any worker count, matching the engine's determinism
+//! bar. The *data* returned is always bit-identical to the inner backend:
+//! faults delay and charge, they never corrupt. With a fault rate of zero
+//! and pagination disabled the decorator is a strict pass-through —
+//! estimates, RNG streams, and call accounting all match the undecorated
+//! backend bit for bit (enforced by `proptest_adversarial`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use labelcount_graph::{LabelId, NodeId};
+
+use crate::api::OsnBackend;
+use crate::guard::SliceRef;
+
+/// Knobs of the seeded fault model.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// Seed of the fault hash; two backends with the same seed and knobs
+    /// inject identical faults.
+    pub seed: u64,
+    /// Probability that an attempt fails with a transient error.
+    pub transient_rate: f64,
+    /// Probability that an attempt is rejected by the rate limiter.
+    pub rate_limit_rate: f64,
+    /// `retry-after` returned with a rate-limit rejection, in ticks.
+    pub retry_after_ticks: u64,
+    /// Base simulated latency of every attempt, in ticks.
+    pub base_latency_ticks: u64,
+    /// Upper bound on the seeded per-attempt latency jitter, in ticks.
+    pub latency_jitter_ticks: u64,
+    /// Neighbor-list page size: a list of `d` friends costs
+    /// `ceil(d / page_size)` attempts. `None` = unpaginated (one attempt
+    /// returns the whole list, like the in-memory backends).
+    pub page_size: Option<usize>,
+}
+
+impl FaultConfig {
+    /// A fault-free configuration: no errors, no rate limits, no latency,
+    /// no pagination. `AdversarialOsn` under this config is a strict
+    /// pass-through.
+    pub fn clean(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            transient_rate: 0.0,
+            rate_limit_rate: 0.0,
+            retry_after_ticks: 0,
+            base_latency_ticks: 0,
+            latency_jitter_ticks: 0,
+            page_size: None,
+        }
+    }
+
+    /// A representative hostile API: `rate` split evenly between transient
+    /// errors and rate-limit rejections, 1-tick base latency with up to
+    /// 3 ticks of jitter, 25-tick retry-after, 200-friend pages.
+    pub fn hostile(seed: u64, rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "fault rate must be in [0, 1)");
+        FaultConfig {
+            seed,
+            transient_rate: rate / 2.0,
+            rate_limit_rate: rate / 2.0,
+            retry_after_ticks: 25,
+            base_latency_ticks: 1,
+            latency_jitter_ticks: 3,
+            page_size: Some(200),
+        }
+    }
+
+    /// Total per-attempt fault probability.
+    pub fn fault_rate(&self) -> f64 {
+        self.transient_rate + self.rate_limit_rate
+    }
+}
+
+/// Bounded exponential backoff with seeded jitter.
+///
+/// Attempt `a` (0-based) that fails waits
+/// `min(max_delay, base_delay << a) + jitter` ticks before attempt `a+1`,
+/// where `jitter` is a deterministic hash in `[0, delay/2]`; a rate-limit
+/// rejection waits at least its `retry-after`. `max_attempts` bounds the
+/// loop: the final attempt always succeeds (the backend trait is
+/// infallible), and a final attempt that *would* have failed is counted in
+/// [`FaultStats::retries_exhausted`] so callers can see the policy was too
+/// tight for the fault rate.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Maximum attempts per page fetch (`>= 1`).
+    pub max_attempts: u32,
+    /// First-retry backoff delay, ticks.
+    pub base_delay_ticks: u64,
+    /// Backoff ceiling, ticks.
+    pub max_delay_ticks: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_delay_ticks: 2,
+            max_delay_ticks: 64,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff delay (before jitter and retry-after) after failed
+    /// attempt `attempt` (0-based).
+    pub fn backoff_ticks(&self, attempt: u32) -> u64 {
+        if self.base_delay_ticks == 0 {
+            return 0;
+        }
+        // Saturating doubling: once the shift would push significant bits
+        // out of a u64, the ceiling has long since taken over anyway.
+        let doubled = if attempt >= self.base_delay_ticks.leading_zeros() {
+            u64::MAX
+        } else {
+            self.base_delay_ticks << attempt
+        };
+        doubled.min(self.max_delay_ticks)
+    }
+}
+
+/// Aggregate fault accounting of an [`AdversarialOsn`] (atomics, so the
+/// decorator stays `Sync` when its inner backend is).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Total fetch attempts, including first attempts, extra pages, and
+    /// retries — the *realized* API cost a crawler pays.
+    pub attempts: u64,
+    /// Attempts beyond the first per page — what the fault model cost on
+    /// top of the clean backend.
+    pub retries: u64,
+    /// Attempts rejected by the rate limiter.
+    pub rate_limited: u64,
+    /// Attempts that failed with a transient error.
+    pub transient_errors: u64,
+    /// Pages fetched beyond the first per neighbor list.
+    pub extra_pages: u64,
+    /// Page fetches whose final allowed attempt would also have failed
+    /// (the policy forced success; a real crawler would have surfaced an
+    /// error).
+    pub retries_exhausted: u64,
+    /// Total simulated latency, ticks (attempt latencies + backoff +
+    /// retry-after waits).
+    pub latency_ticks: u64,
+}
+
+/// Endpoint discriminants mixed into the fault hash so neighbor-list and
+/// profile fetches of one node fault independently.
+const KIND_NEIGHBORS: u64 = 0x4E45_4947; // "NEIG"
+const KIND_LABELS: u64 = 0x4C41_4245; // "LABE"
+
+/// SplitMix64 finalizer over the packed call coordinates — the same
+/// avalanche construction as `labelcount_stats::replication_seed`, local
+/// so the osn crate keeps its dependency surface.
+fn fault_hash(seed: u64, kind: u64, node: u32, page: u64, attempt: u32, salt: u64) -> u64 {
+    let mut z = seed
+        ^ kind.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (node as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ page.wrapping_mul(0x94D0_49BB_1331_11EB)
+        ^ (attempt as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)
+        ^ salt.wrapping_mul(0xA076_1D64_78BD_642F);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to a uniform `f64` in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// What one attempt did.
+enum Attempt {
+    Ok,
+    Transient,
+    RateLimited,
+}
+
+/// A deterministic fault-injecting decorator over any [`OsnBackend`].
+///
+/// Data is always forwarded bit-identically from the inner backend; the
+/// decorator only adds *cost* (attempts, retries, simulated latency). See
+/// the [module docs](self) for the determinism argument.
+///
+/// ```
+/// use labelcount_graph::{GraphBuilder, NodeId};
+/// use labelcount_osn::{AdversarialOsn, CachedOsn, FaultConfig, GraphOsn, OsnApi, RetryPolicy};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1));
+/// b.add_edge(NodeId(1), NodeId(2));
+/// let g = b.build();
+///
+/// let hostile = AdversarialOsn::new(
+///     GraphOsn::new(&g),
+///     FaultConfig::hostile(7, 0.3),
+///     RetryPolicy::default(),
+/// );
+/// let cache = CachedOsn::new(hostile);
+/// let session = cache.session();
+/// // The data is exactly what the clean backend would return …
+/// assert_eq!(session.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+/// // … but the fetch may have cost retries, charged to the session.
+/// let stats = cache.backend().fault_stats();
+/// assert_eq!(stats.retries, session.retry_charges());
+/// ```
+pub struct AdversarialOsn<B> {
+    inner: B,
+    cfg: FaultConfig,
+    policy: RetryPolicy,
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    rate_limited: AtomicU64,
+    transient_errors: AtomicU64,
+    extra_pages: AtomicU64,
+    retries_exhausted: AtomicU64,
+    latency_ticks: AtomicU64,
+}
+
+impl<B: OsnBackend> AdversarialOsn<B> {
+    /// Decorates `inner` with the fault model `cfg` retried under
+    /// `policy`.
+    pub fn new(inner: B, cfg: FaultConfig, policy: RetryPolicy) -> Self {
+        assert!(policy.max_attempts >= 1, "retry policy needs >= 1 attempt");
+        assert!(
+            cfg.fault_rate() < 1.0 && cfg.transient_rate >= 0.0 && cfg.rate_limit_rate >= 0.0,
+            "per-attempt fault probability must stay in [0, 1)"
+        );
+        AdversarialOsn {
+            inner,
+            cfg,
+            policy,
+            attempts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
+            transient_errors: AtomicU64::new(0),
+            extra_pages: AtomicU64::new(0),
+            retries_exhausted: AtomicU64::new(0),
+            latency_ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// The decorated backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// The fault model in force.
+    pub fn fault_config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// The retry policy in force.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Snapshot of the aggregate fault accounting.
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            attempts: self.attempts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            rate_limited: self.rate_limited.load(Ordering::Relaxed),
+            transient_errors: self.transient_errors.load(Ordering::Relaxed),
+            extra_pages: self.extra_pages.load(Ordering::Relaxed),
+            retries_exhausted: self.retries_exhausted.load(Ordering::Relaxed),
+            latency_ticks: self.latency_ticks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the fault accounting (the fault pattern itself is a pure
+    /// function of the seed and is unaffected).
+    pub fn reset_fault_stats(&self) {
+        self.attempts.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.rate_limited.store(0, Ordering::Relaxed);
+        self.transient_errors.store(0, Ordering::Relaxed);
+        self.extra_pages.store(0, Ordering::Relaxed);
+        self.retries_exhausted.store(0, Ordering::Relaxed);
+        self.latency_ticks.store(0, Ordering::Relaxed);
+    }
+
+    /// The outcome of attempt `attempt` of page `page` of `(kind, node)` —
+    /// a pure function of the coordinates.
+    fn attempt_outcome(&self, kind: u64, node: u32, page: u64, attempt: u32) -> Attempt {
+        let rate = self.cfg.fault_rate();
+        if rate <= 0.0 {
+            return Attempt::Ok;
+        }
+        let x = unit(fault_hash(self.cfg.seed, kind, node, page, attempt, 0));
+        if x < self.cfg.transient_rate {
+            Attempt::Transient
+        } else if x < rate {
+            Attempt::RateLimited
+        } else {
+            Attempt::Ok
+        }
+    }
+
+    /// Seeded per-attempt latency: base plus jitter in
+    /// `[0, latency_jitter_ticks]`.
+    fn attempt_latency(&self, kind: u64, node: u32, page: u64, attempt: u32) -> u64 {
+        let jitter = if self.cfg.latency_jitter_ticks == 0 {
+            0
+        } else {
+            fault_hash(self.cfg.seed, kind, node, page, attempt, 1)
+                % (self.cfg.latency_jitter_ticks + 1)
+        };
+        self.cfg.base_latency_ticks + jitter
+    }
+
+    /// Seeded backoff jitter in `[0, delay/2]` after failed `attempt`.
+    fn backoff_jitter(&self, kind: u64, node: u32, page: u64, attempt: u32, delay: u64) -> u64 {
+        if delay == 0 {
+            0
+        } else {
+            fault_hash(self.cfg.seed, kind, node, page, attempt, 2) % (delay / 2 + 1)
+        }
+    }
+
+    /// Simulates fetching one page: retries under the policy until an
+    /// attempt succeeds (the last allowed attempt is forced to succeed).
+    /// Returns the attempts consumed; latency and fault counters
+    /// accumulate into the shared stats.
+    fn simulate_page(&self, kind: u64, node: u32, page: u64) -> u64 {
+        // The hot path of a clean configuration: one branch, two adds.
+        if self.cfg.fault_rate() <= 0.0 {
+            self.attempts.fetch_add(1, Ordering::Relaxed);
+            let lat = self.attempt_latency(kind, node, page, 0);
+            if lat > 0 {
+                self.latency_ticks.fetch_add(lat, Ordering::Relaxed);
+            }
+            return 1;
+        }
+
+        let mut attempts = 0u64;
+        let mut latency = 0u64;
+        let last = self.policy.max_attempts - 1;
+        for attempt in 0..self.policy.max_attempts {
+            attempts += 1;
+            latency += self.attempt_latency(kind, node, page, attempt);
+            let outcome = self.attempt_outcome(kind, node, page, attempt);
+            let forced = attempt == last;
+            match outcome {
+                Attempt::Ok => break,
+                Attempt::Transient => {
+                    self.transient_errors.fetch_add(1, Ordering::Relaxed);
+                    if forced {
+                        self.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    let delay = self.policy.backoff_ticks(attempt);
+                    latency += delay + self.backoff_jitter(kind, node, page, attempt, delay);
+                }
+                Attempt::RateLimited => {
+                    self.rate_limited.fetch_add(1, Ordering::Relaxed);
+                    if forced {
+                        self.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    let delay = self.policy.backoff_ticks(attempt);
+                    let wait = (delay + self.backoff_jitter(kind, node, page, attempt, delay))
+                        .max(self.cfg.retry_after_ticks);
+                    latency += wait;
+                }
+            }
+        }
+        self.attempts.fetch_add(attempts, Ordering::Relaxed);
+        if attempts > 1 {
+            self.retries.fetch_add(attempts - 1, Ordering::Relaxed);
+        }
+        if latency > 0 {
+            self.latency_ticks.fetch_add(latency, Ordering::Relaxed);
+        }
+        attempts
+    }
+
+    /// Simulates a whole (possibly paginated) fetch of `len` items.
+    fn simulate_fetch(&self, kind: u64, node: u32, len: usize) -> u64 {
+        let pages = match self.cfg.page_size {
+            // An empty list still costs one (empty) page.
+            Some(p) if p > 0 => len.div_ceil(p).max(1) as u64,
+            _ => 1,
+        };
+        if pages > 1 {
+            self.extra_pages.fetch_add(pages - 1, Ordering::Relaxed);
+        }
+        (0..pages)
+            .map(|page| self.simulate_page(kind, node, page))
+            .sum()
+    }
+}
+
+impl<B: OsnBackend> OsnBackend for AdversarialOsn<B> {
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.inner.num_edges()
+    }
+
+    fn max_degree_bound(&self) -> usize {
+        self.inner.max_degree_bound()
+    }
+
+    fn fetch_neighbors(&self, u: NodeId) -> SliceRef<'_, NodeId> {
+        self.fetch_neighbors_attempts(u).0
+    }
+
+    fn fetch_labels(&self, u: NodeId) -> SliceRef<'_, LabelId> {
+        self.fetch_labels_attempts(u).0
+    }
+
+    fn fetch_neighbors_attempts(&self, u: NodeId) -> (SliceRef<'_, NodeId>, u64) {
+        let data = self.inner.fetch_neighbors(u);
+        let attempts = self.simulate_fetch(KIND_NEIGHBORS, u.0, data.len());
+        (data, attempts)
+    }
+
+    fn fetch_labels_attempts(&self, u: NodeId) -> (SliceRef<'_, LabelId>, u64) {
+        let data = self.inner.fetch_labels(u);
+        // Profiles are one document: never paginated.
+        let attempts = self.simulate_page(KIND_LABELS, u.0, 0);
+        (data, attempts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cached::{CachedOsn, GraphOsn};
+    use crate::OsnApi;
+    use labelcount_graph::{GraphBuilder, LabeledGraph};
+
+    fn star(n: u32) -> LabeledGraph {
+        let mut b = GraphBuilder::new(n as usize);
+        for i in 1..n {
+            b.add_edge(NodeId(0), NodeId(i));
+        }
+        b.set_labels(NodeId(0), &[LabelId(1)]);
+        b.build()
+    }
+
+    fn assert_sync<T: Sync>(_: &T) {}
+
+    #[test]
+    fn adversarial_over_sync_backend_is_sync() {
+        let g = star(4);
+        let adv = AdversarialOsn::new(
+            GraphOsn::new(&g),
+            FaultConfig::hostile(1, 0.2),
+            RetryPolicy::default(),
+        );
+        assert_sync(&adv);
+    }
+
+    #[test]
+    fn clean_config_is_a_pass_through() {
+        let g = star(5);
+        let adv = AdversarialOsn::new(
+            GraphOsn::new(&g),
+            FaultConfig::clean(9),
+            RetryPolicy::default(),
+        );
+        let (data, attempts) = adv.fetch_neighbors_attempts(NodeId(0));
+        assert_eq!(&*data, g.neighbors(NodeId(0)));
+        assert_eq!(attempts, 1);
+        let (labels, attempts) = adv.fetch_labels_attempts(NodeId(0));
+        assert_eq!(&*labels, g.labels(NodeId(0)));
+        assert_eq!(attempts, 1);
+        let s = adv.fault_stats();
+        assert_eq!(s.attempts, 2);
+        assert_eq!(s.retries, 0);
+        assert_eq!(s.latency_ticks, 0);
+        assert_eq!(s.retries_exhausted, 0);
+    }
+
+    #[test]
+    fn faults_charge_retries_but_never_corrupt_data() {
+        let g = star(8);
+        let adv = AdversarialOsn::new(
+            GraphOsn::new(&g),
+            FaultConfig::hostile(3, 0.6),
+            RetryPolicy::default(),
+        );
+        let mut total = 0;
+        for u in 0..8u32 {
+            let (data, attempts) = adv.fetch_neighbors_attempts(NodeId(u));
+            assert_eq!(&*data, g.neighbors(NodeId(u)), "node {u}");
+            assert!(attempts >= 1);
+            total += attempts;
+        }
+        let s = adv.fault_stats();
+        assert_eq!(s.attempts, total);
+        assert_eq!(s.retries, s.attempts - 8); // 8 fetches, 1 page each
+        assert!(s.retries > 0, "rate 0.6 over 8 fetches must retry: {s:?}");
+        assert!(s.latency_ticks > 0);
+        assert_eq!(
+            s.rate_limited + s.transient_errors,
+            s.retries + s.retries_exhausted
+        );
+    }
+
+    #[test]
+    fn fault_pattern_is_deterministic_per_seed() {
+        let g = star(16);
+        let run = |seed: u64| {
+            let adv = AdversarialOsn::new(
+                GraphOsn::new(&g),
+                FaultConfig::hostile(seed, 0.4),
+                RetryPolicy::default(),
+            );
+            // Fetch in two different orders: per-node attempts must match.
+            let fwd: Vec<u64> = (0..16u32)
+                .map(|u| adv.fetch_neighbors_attempts(NodeId(u)).1)
+                .collect();
+            (fwd, adv.fault_stats())
+        };
+        let (a, sa) = run(5);
+        let (b, sb) = run(5);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        let (c, _) = run(6);
+        assert_ne!(a, c, "different fault seeds must change the pattern");
+    }
+
+    #[test]
+    fn fault_order_independence() {
+        let g = star(16);
+        let adv = AdversarialOsn::new(
+            GraphOsn::new(&g),
+            FaultConfig::hostile(11, 0.4),
+            RetryPolicy::default(),
+        );
+        let fwd: Vec<u64> = (0..16u32)
+            .map(|u| adv.fetch_neighbors_attempts(NodeId(u)).1)
+            .collect();
+        let rev: Vec<u64> = (0..16u32)
+            .rev()
+            .map(|u| adv.fetch_neighbors_attempts(NodeId(u)).1)
+            .collect();
+        let rev_fwd: Vec<u64> = rev.into_iter().rev().collect();
+        assert_eq!(fwd, rev_fwd, "fault cost must not depend on fetch order");
+    }
+
+    #[test]
+    fn pagination_charges_per_page() {
+        let g = star(401); // hub degree 400
+        let cfg = FaultConfig {
+            page_size: Some(100),
+            ..FaultConfig::clean(1)
+        };
+        let adv = AdversarialOsn::new(GraphOsn::new(&g), cfg, RetryPolicy::default());
+        let (_, attempts) = adv.fetch_neighbors_attempts(NodeId(0)); // 400 friends
+        assert_eq!(attempts, 4);
+        let (_, attempts) = adv.fetch_neighbors_attempts(NodeId(1)); // 1 friend
+        assert_eq!(attempts, 1);
+        assert_eq!(adv.fault_stats().extra_pages, 3);
+        // Labels are never paginated.
+        let (_, attempts) = adv.fetch_labels_attempts(NodeId(0));
+        assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn retries_are_bounded_by_the_policy() {
+        let g = star(64);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let adv = AdversarialOsn::new(
+            GraphOsn::new(&g),
+            FaultConfig::hostile(2, 0.9), // pathological API
+            policy,
+        );
+        for u in 0..64u32 {
+            let (_, attempts) = adv.fetch_neighbors_attempts(NodeId(u));
+            assert!(attempts <= 3, "node {u} took {attempts} attempts");
+        }
+        // At 90% fault rate over 64 fetches capped at 3 attempts, some
+        // final attempts must have been forced.
+        assert!(adv.fault_stats().retries_exhausted > 0);
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_monotone() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_delay_ticks: 2,
+            max_delay_ticks: 64,
+        };
+        assert_eq!(p.backoff_ticks(0), 2);
+        assert_eq!(p.backoff_ticks(1), 4);
+        assert_eq!(p.backoff_ticks(5), 64);
+        assert_eq!(p.backoff_ticks(63), 64); // saturates, no overflow
+        assert_eq!(p.backoff_ticks(200), 64);
+    }
+
+    #[test]
+    fn composes_under_cached_osn_with_retry_charges() {
+        let g = star(32);
+        let adv = AdversarialOsn::new(
+            GraphOsn::new(&g),
+            FaultConfig::hostile(4, 0.5),
+            RetryPolicy::default(),
+        );
+        let cache = CachedOsn::new(adv);
+        let s = cache.session();
+        s.set_budget(1_000);
+        for u in 0..32u32 {
+            s.neighbors(NodeId(u));
+        }
+        // Hits are fault-free: re-reading adds logical calls, no attempts.
+        let attempts_after_cold = cache.backend().fault_stats().attempts;
+        for u in 0..32u32 {
+            s.neighbors(NodeId(u));
+        }
+        assert_eq!(cache.backend().fault_stats().attempts, attempts_after_cold);
+        assert_eq!(s.api_calls(), 64);
+        assert_eq!(s.retry_charges(), cache.backend().fault_stats().retries);
+        assert!(s.charged_calls() > s.api_calls(), "retries must be billed");
+    }
+
+    #[test]
+    fn reference_backend_composes() {
+        // &GraphOsn is itself a backend — the per-query stack the workload
+        // service builds.
+        let g = star(6);
+        let shared = GraphOsn::new(&g);
+        let adv = AdversarialOsn::new(
+            &shared,
+            FaultConfig::hostile(1, 0.2),
+            RetryPolicy::default(),
+        );
+        let cache = CachedOsn::new(adv);
+        let s = cache.session();
+        assert_eq!(s.neighbors(NodeId(2)), &[NodeId(0)]);
+        assert_eq!(s.num_nodes(), 6);
+    }
+
+    #[test]
+    fn unit_interval_is_well_formed() {
+        for h in [0u64, 1, u64::MAX, 0x1234_5678_9ABC_DEF0] {
+            let x = unit(h);
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+}

@@ -131,4 +131,54 @@ pub trait OsnBackend {
 
     /// Fetches the sorted profile labels of `u`. One backend API call.
     fn fetch_labels(&self, u: NodeId) -> SliceRef<'_, LabelId>;
+
+    /// Fetches the friend list of `u` together with the number of billable
+    /// API attempts it took (`>= 1`). Well-behaved backends answer in one
+    /// attempt; adversarial backends ([`crate::AdversarialOsn`]) report the
+    /// pages fetched and the retries their fault model forced, so callers
+    /// can charge the *realized* cost against a query budget.
+    fn fetch_neighbors_attempts(&self, u: NodeId) -> (SliceRef<'_, NodeId>, u64) {
+        (self.fetch_neighbors(u), 1)
+    }
+
+    /// Fetches the profile labels of `u` together with the number of
+    /// billable API attempts it took (`>= 1`). See
+    /// [`OsnBackend::fetch_neighbors_attempts`].
+    fn fetch_labels_attempts(&self, u: NodeId) -> (SliceRef<'_, LabelId>, u64) {
+        (self.fetch_labels(u), 1)
+    }
+}
+
+/// Backends pass through shared references, so one `Sync` backend (e.g. a
+/// [`crate::GraphOsn`] over the served graph) can sit under many
+/// independent decorator stacks — the multi-query workload service builds
+/// one `CachedOsn<AdversarialOsn<&GraphOsn>>` per query this way.
+impl<B: OsnBackend + ?Sized> OsnBackend for &B {
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+
+    fn max_degree_bound(&self) -> usize {
+        (**self).max_degree_bound()
+    }
+
+    fn fetch_neighbors(&self, u: NodeId) -> SliceRef<'_, NodeId> {
+        (**self).fetch_neighbors(u)
+    }
+
+    fn fetch_labels(&self, u: NodeId) -> SliceRef<'_, LabelId> {
+        (**self).fetch_labels(u)
+    }
+
+    fn fetch_neighbors_attempts(&self, u: NodeId) -> (SliceRef<'_, NodeId>, u64) {
+        (**self).fetch_neighbors_attempts(u)
+    }
+
+    fn fetch_labels_attempts(&self, u: NodeId) -> (SliceRef<'_, LabelId>, u64) {
+        (**self).fetch_labels_attempts(u)
+    }
 }

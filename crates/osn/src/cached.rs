@@ -356,6 +356,7 @@ impl<B: OsnBackend> CachedOsn<B> {
             cache: self,
             neighbor_calls: Cell::new(0),
             label_calls: Cell::new(0),
+            retry_charges: Cell::new(0),
             budget: Cell::new(None),
         }
     }
@@ -411,7 +412,11 @@ impl<B: OsnBackend> CachedOsn<B> {
         (u.0 as usize).wrapping_mul(0x9E37_79B9) >> 7 & self.shard_mask
     }
 
-    /// Cache-through neighbor fetch.
+    /// Cache-through neighbor fetch. Returns the data plus the *extra*
+    /// billable attempts beyond the logical call itself (`attempts − 1` of
+    /// the backend fetch on a miss, `0` on a hit) — how an adversarial
+    /// backend's retries and pagination reach the calling session's
+    /// budget.
     ///
     /// Unbounded shards never evict, so hits take the shard's **read**
     /// lock (concurrent hits don't serialize — the parallel-replication
@@ -420,40 +425,42 @@ impl<B: OsnBackend> CachedOsn<B> {
     /// lock with a re-check, so concurrent first requests for one node
     /// produce exactly one miss — miss counts are
     /// interleaving-independent.
-    fn neighbors_shared(&self, u: NodeId) -> Arc<[NodeId]> {
+    fn neighbors_shared(&self, u: NodeId) -> (Arc<[NodeId]>, u64) {
         let lock = &self.neighbor_shards[self.shard_of(u)];
         if self.unbounded {
             if let Some(hit) = lock.read().unwrap().peek(u.0) {
-                return hit;
+                return (hit, 0);
             }
         }
         let mut shard = lock.write().unwrap();
         if let Some(hit) = shard.get(u.0) {
-            return hit;
+            return (hit, 0);
         }
         self.neighbor_misses.fetch_add(1, Ordering::Relaxed);
-        let value: Arc<[NodeId]> = Arc::from(&*self.backend.fetch_neighbors(u));
+        let (fetched, attempts) = self.backend.fetch_neighbors_attempts(u);
+        let value: Arc<[NodeId]> = Arc::from(&*fetched);
         shard.insert(u.0, Arc::clone(&value));
-        value
+        (value, attempts.saturating_sub(1))
     }
 
-    /// Cache-through label fetch (same locking discipline as
-    /// [`CachedOsn::neighbors_shared`]).
-    fn labels_shared(&self, u: NodeId) -> Arc<[LabelId]> {
+    /// Cache-through label fetch (same locking discipline and extra-charge
+    /// contract as [`CachedOsn::neighbors_shared`]).
+    fn labels_shared(&self, u: NodeId) -> (Arc<[LabelId]>, u64) {
         let lock = &self.label_shards[self.shard_of(u)];
         if self.unbounded {
             if let Some(hit) = lock.read().unwrap().peek(u.0) {
-                return hit;
+                return (hit, 0);
             }
         }
         let mut shard = lock.write().unwrap();
         if let Some(hit) = shard.get(u.0) {
-            return hit;
+            return (hit, 0);
         }
         self.label_misses.fetch_add(1, Ordering::Relaxed);
-        let value: Arc<[LabelId]> = Arc::from(&*self.backend.fetch_labels(u));
+        let (fetched, attempts) = self.backend.fetch_labels_attempts(u);
+        let value: Arc<[LabelId]> = Arc::from(&*fetched);
         shard.insert(u.0, Arc::clone(&value));
-        value
+        (value, attempts.saturating_sub(1))
     }
 }
 
@@ -468,6 +475,7 @@ pub struct OsnSession<'c, B> {
     cache: &'c CachedOsn<B>,
     neighbor_calls: Cell<u64>,
     label_calls: Cell<u64>,
+    retry_charges: Cell<u64>,
     budget: Cell<Option<u64>>,
 }
 
@@ -477,8 +485,9 @@ impl<'c, B: OsnBackend> OsnSession<'c, B> {
         self.cache
     }
 
-    /// Sets a hard budget on *logical neighbor-list calls* (same contract
-    /// as `SimulatedOsn::set_budget`).
+    /// Sets a hard budget on *charged neighbor-list calls* (logical calls
+    /// plus retry charges; the same contract as `SimulatedOsn::set_budget`
+    /// against a well-behaved backend, where the two coincide).
     pub fn set_budget(&self, calls: u64) {
         self.budget.set(Some(calls));
     }
@@ -488,12 +497,32 @@ impl<'c, B: OsnBackend> OsnSession<'c, B> {
         self.budget.set(None);
     }
 
-    /// Remaining logical neighbor-list calls under the budget, if one is
+    /// Remaining charged neighbor-list calls under the budget, if one is
     /// set.
     pub fn budget_remaining(&self) -> Option<u64> {
         self.budget
             .get()
-            .map(|b| b.saturating_sub(self.neighbor_calls.get()))
+            .map(|b| b.saturating_sub(self.charged_neighbor_calls()))
+    }
+
+    /// Extra billable attempts this session's misses cost beyond their
+    /// logical calls (0 against a well-behaved backend).
+    pub fn retry_charges(&self) -> u64 {
+        self.retry_charges.get()
+    }
+
+    /// Total charged API calls of both kinds: logical calls plus retry
+    /// charges — the realized cost a billed crawler pays.
+    pub fn charged_calls(&self) -> u64 {
+        self.neighbor_calls.get() + self.label_calls.get() + self.retry_charges.get()
+    }
+
+    /// Logical neighbor-list calls plus retry charges — what the budget is
+    /// checked against. (Charges are not split per endpoint; they all
+    /// weigh on the neighbor-call budget, the currency the paper's
+    /// stopping rules are quoted in.)
+    fn charged_neighbor_calls(&self) -> u64 {
+        self.neighbor_calls.get() + self.retry_charges.get()
     }
 }
 
@@ -508,12 +537,20 @@ impl<B: OsnBackend> OsnApi for OsnSession<'_, B> {
 
     fn neighbors(&self, u: NodeId) -> SliceRef<'_, NodeId> {
         self.neighbor_calls.set(self.neighbor_calls.get() + 1);
-        SliceRef::Shared(self.cache.neighbors_shared(u))
+        let (value, extra) = self.cache.neighbors_shared(u);
+        if extra > 0 {
+            self.retry_charges.set(self.retry_charges.get() + extra);
+        }
+        SliceRef::Shared(value)
     }
 
     fn labels(&self, u: NodeId) -> SliceRef<'_, LabelId> {
         self.label_calls.set(self.label_calls.get() + 1);
-        SliceRef::Shared(self.cache.labels_shared(u))
+        let (value, extra) = self.cache.labels_shared(u);
+        if extra > 0 {
+            self.retry_charges.set(self.retry_charges.get() + extra);
+        }
+        SliceRef::Shared(value)
     }
 
     fn max_degree_bound(&self) -> usize {
@@ -526,7 +563,7 @@ impl<B: OsnBackend> OsnApi for OsnSession<'_, B> {
 
     fn budget_exhausted(&self) -> bool {
         match self.budget.get() {
-            Some(b) => self.neighbor_calls.get() >= b,
+            Some(b) => self.charged_neighbor_calls() >= b,
             None => false,
         }
     }

@@ -20,6 +20,12 @@
 //!   pure, `Sync` [`GraphOsn`]), with [`CallStats`] separating *logical*
 //!   calls from backend *misses* — the paper's "distinct API calls" metric
 //!   made first-class. Cached runs are bit-identical to uncached runs.
+//! * [`AdversarialOsn`] — a deterministic, seeded fault-injecting
+//!   decorator over any [`OsnBackend`] (rate-limit windows with
+//!   retry-after, transient errors, simulated latency ticks, paginated
+//!   neighbor lists), retried under a [`RetryPolicy`]; composes under
+//!   [`CachedOsn`], with the realized attempt cost charged to session
+//!   budgets as [`OsnSession::retry_charges`].
 //! * [`SliceRef`] — the borrow-or-share guard `neighbors`/`labels` return,
 //!   so caching implementations neither leak nor copy.
 //! * [`linegraph`] — the implicit transformed graph `G'` of §5.1 (one node
@@ -29,12 +35,14 @@
 
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod api;
 pub mod cached;
 pub mod guard;
 pub mod linegraph;
 pub mod simulated;
 
+pub use adversarial::{AdversarialOsn, FaultConfig, FaultStats, RetryPolicy};
 pub use api::{OsnApi, OsnApiExt, OsnBackend};
 pub use cached::{CacheConfig, CachedOsn, CallStats, GraphOsn, OsnSession};
 pub use guard::SliceRef;

@@ -74,13 +74,15 @@ fn throughput_metrics(r: &Report) -> [(&'static str, f64); 3] {
 }
 
 /// Lower-is-better wall-time metrics of the `measured` section.
-/// `engine_parallel_ms` is deliberately absent: it scales with the
-/// runner's core count, which calibration (a serial workload) cannot
-/// correct for — it is compared warning-only, with the speedup.
-fn walltime_metrics(r: &Report) -> [(&'static str, f64); 2] {
+/// `engine_parallel_ms`/`workload_parallel_ms` are deliberately absent:
+/// they scale with the runner's core count, which calibration (a serial
+/// workload) cannot correct for — they are compared warning-only, with
+/// the speedup.
+fn walltime_metrics(r: &Report) -> [(&'static str, f64); 3] {
     [
         ("measured.total_ms", r.measured.total_ms),
         ("measured.engine_serial_ms", r.measured.engine_serial_ms),
+        ("measured.workload_serial_ms", r.measured.workload_serial_ms),
     ]
 }
 
@@ -162,35 +164,52 @@ pub fn compare_reports(baseline: &Report, current: &Report, max_regression: f64)
         }
     }
 
-    // The parallel-replication metrics depend on the runner's core count,
-    // which calibration (a serial workload) cannot correct for: a 2-core
-    // runner legitimately takes longer than an 8-core baseline, and a
-    // single-core runner legitimately reports ~1x speedup. Both are
-    // compared warning-only, never fatally.
-    let scale_parallel = |metric: &str, base: f64, cur: f64, regressed: bool, ratio: f64| Finding {
+    // The parallel metrics depend on the runner's core count, which
+    // calibration (a serial workload) cannot correct for: a 2-core runner
+    // legitimately takes longer than an 8-core baseline, and a single-core
+    // runner legitimately reports ~1x speedup. Wall times are compared
+    // warning-only; the *speedup* gates fatally exactly when the baseline
+    // is multi-core and the current runner has at least as many cores
+    // (`scenario.threads`) — there, a collapsing speedup is a real
+    // scalability regression, while a laptop, a 1-core container, or a
+    // core-count downgrade of the CI pool keeps the warning.
+    let speedup_gateable =
+        baseline.meta.threads > 1 && current.meta.threads >= baseline.meta.threads;
+    let scale_parallel = |metric: &str, base: f64, cur: f64, fatal: bool, ratio: f64| Finding {
         scenario: scenario.clone(),
         metric: metric.to_string(),
         baseline: base,
         current: cur,
-        fatal: false,
-        message: format!(
-            "{} {ratio:.2}x (core-count dependent; informational)",
-            if regressed { "regressed" } else { "changed" }
-        ),
+        fatal,
+        message: if fatal {
+            format!(
+                    "parallel speedup regressed {ratio:.2}x with {} baseline / {} current cores (limit {max_regression}x)",
+                    baseline.meta.threads, current.meta.threads
+                )
+        } else {
+            format!("regressed {ratio:.2}x (core-count dependent; informational)")
+        },
     };
-    let (bp, cp) = (
-        baseline.measured.engine_parallel_ms,
-        current.measured.engine_parallel_ms,
-    );
-    if bp > 0.0 && cp / scale > bp * max_regression {
-        findings.push(scale_parallel(
+    for (metric, bp, cp) in [
+        (
             "measured.engine_parallel_ms",
-            bp,
-            cp,
-            true,
-            (cp / scale) / bp,
-        ));
+            baseline.measured.engine_parallel_ms,
+            current.measured.engine_parallel_ms,
+        ),
+        (
+            "measured.workload_parallel_ms",
+            baseline.measured.workload_parallel_ms,
+            current.measured.workload_parallel_ms,
+        ),
+    ] {
+        if bp > 0.0 && cp / scale > bp * max_regression {
+            findings.push(scale_parallel(metric, bp, cp, false, (cp / scale) / bp));
+        }
     }
+    // Workload throughput (queries/sec) is deliberately not compared: it
+    // is exactly `queries / workload_parallel_ms`, so the parallel-ms
+    // warning above already covers any slowdown — a second finding for
+    // the reciprocal would be noise.
     let (bs, cs) = (
         baseline.measured.engine_parallel_speedup,
         current.measured.engine_parallel_speedup,
@@ -200,7 +219,7 @@ pub fn compare_reports(baseline: &Report, current: &Report, max_regression: f64)
             "measured.engine_parallel_speedup",
             bs,
             cs,
-            true,
+            speedup_gateable,
             bs / cs,
         ));
     }
@@ -210,6 +229,7 @@ pub fn compare_reports(baseline: &Report, current: &Report, max_regression: f64)
     if baseline.walk != current.walk
         || baseline.algorithms != current.algorithms
         || baseline.engine != current.engine
+        || baseline.workload != current.workload
         || baseline.ground_truth_f != current.ground_truth_f
     {
         findings.push(Finding {
@@ -257,6 +277,21 @@ pub fn compare_dirs(
     current_dir: &Path,
     max_regression: f64,
 ) -> Result<Comparison, String> {
+    compare_dirs_opts(baseline_dir, current_dir, max_regression, false)
+}
+
+/// [`compare_dirs`] with optional **family fallback**: a current scenario
+/// with no same-name baseline is compared against a same-family baseline
+/// of a different tier, with every finding downgraded to a warning — the
+/// tiers measure different scales, so cross-tier ratios inform but must
+/// not gate. This is how the nightly standard/stress runs compare against
+/// the committed smoke baselines.
+pub fn compare_dirs_opts(
+    baseline_dir: &Path,
+    current_dir: &Path,
+    max_regression: f64,
+    match_family: bool,
+) -> Result<Comparison, String> {
     let baselines = load_reports(baseline_dir)?;
     let currents = load_reports(current_dir)?;
     let mut cmp = Comparison::default();
@@ -268,14 +303,39 @@ pub fn compare_dirs(
                 cmp.findings
                     .extend(compare_reports(base, cur, max_regression));
             }
-            None => cmp.findings.push(Finding {
-                scenario: cur.meta.name.clone(),
-                metric: "presence".into(),
-                baseline: f64::NAN,
-                current: f64::NAN,
-                fatal: false,
-                message: "no committed baseline for this scenario — commit its BENCH_*.json".into(),
-            }),
+            None => match baselines
+                .iter()
+                .find(|b| match_family && b.meta.family == cur.meta.family)
+            {
+                Some(base) => {
+                    cmp.compared += 1;
+                    cmp.findings.push(Finding {
+                        scenario: cur.meta.name.clone(),
+                        metric: "presence".into(),
+                        baseline: f64::NAN,
+                        current: f64::NAN,
+                        fatal: false,
+                        message: format!(
+                            "tier mismatch: comparing against same-family baseline `{}` — all findings downgraded to warnings",
+                            base.meta.name
+                        ),
+                    });
+                    cmp.findings.extend(
+                        compare_reports(base, cur, max_regression)
+                            .into_iter()
+                            .map(|f| Finding { fatal: false, ..f }),
+                    );
+                }
+                None => cmp.findings.push(Finding {
+                    scenario: cur.meta.name.clone(),
+                    metric: "presence".into(),
+                    baseline: f64::NAN,
+                    current: f64::NAN,
+                    fatal: false,
+                    message: "no committed baseline for this scenario — commit its BENCH_*.json"
+                        .into(),
+                }),
+            },
         }
     }
     for base in &baselines {
@@ -305,7 +365,8 @@ mod tests {
     use super::*;
     use crate::alloc_track::AllocDelta;
     use crate::report::{
-        AlgoCounters, EngineCounters, Measured, ScenarioMeta, WalkCounters, SCHEMA_VERSION,
+        AlgoCounters, EngineCounters, Measured, ScenarioMeta, WalkCounters, WorkloadCounters,
+        SCHEMA_VERSION,
     };
 
     fn report(name: &str, per_step: f64, total_ms: f64) -> Report {
@@ -321,6 +382,7 @@ mod tests {
                 budget: 5,
                 burn_in: 2,
                 reps: 1,
+                threads: 1,
             },
             walk: WalkCounters {
                 steps: 100,
@@ -342,6 +404,19 @@ mod tests {
                 miss_api_calls: 20,
                 hit_rate: 0.8,
             },
+            workload: WorkloadCounters {
+                queries: 8,
+                fault_rate: 0.15,
+                estimates: vec![1.0, 2.0],
+                logical_api_calls: 50,
+                backend_attempts: 14,
+                retry_charges: 4,
+                rate_limited: 2,
+                transient_errors: 2,
+                budget_exhausted_queries: 0,
+                latency_ticks_p50: 10.0,
+                latency_ticks_p95: 40.0,
+            },
             ground_truth_f: 7,
             measured: Measured {
                 total_ms,
@@ -353,6 +428,9 @@ mod tests {
                 engine_serial_ms: total_ms / 10.0,
                 engine_parallel_ms: total_ms / 30.0,
                 engine_parallel_speedup: 3.0,
+                workload_serial_ms: total_ms / 5.0,
+                workload_parallel_ms: total_ms / 15.0,
+                workload_queries_per_sec: 120_000.0 / total_ms,
                 calibration_ops_per_sec: 1.0e8,
                 alloc: AllocDelta::default(),
             },
@@ -496,6 +574,92 @@ mod tests {
         std::fs::create_dir_all(tmp.join("a")).unwrap();
         std::fs::create_dir_all(tmp.join("b")).unwrap();
         assert!(compare_dirs(&tmp.join("a"), &tmp.join("b"), 2.5).is_err());
+        std::fs::remove_dir_all(&tmp).unwrap();
+    }
+
+    #[test]
+    fn speedup_gates_fatally_only_when_both_sides_are_multicore() {
+        let mut base = report("ba_smoke", 1.0e6, 100.0);
+        let mut cur = report("ba_smoke", 1.0e6, 100.0);
+        cur.measured.engine_parallel_speedup = 1.0; // 3x collapse vs base's 3.0
+
+        // Single-core baseline (the committed dev-container case): warn.
+        base.meta.threads = 1;
+        cur.meta.threads = 8;
+        let findings = compare_reports(&base, &cur, 2.5);
+        let f = findings
+            .iter()
+            .find(|f| f.metric == "measured.engine_parallel_speedup")
+            .expect("speedup collapse must be reported");
+        assert!(!f.fatal, "1-core baseline must keep the warning: {f:?}");
+
+        // Multi-core baseline, current runner at least as wide: gate.
+        base.meta.threads = 8;
+        let findings = compare_reports(&base, &cur, 2.5);
+        let f = findings
+            .iter()
+            .find(|f| f.metric == "measured.engine_parallel_speedup")
+            .unwrap();
+        assert!(f.fatal, "multi-core speedup collapse must gate: {f:?}");
+
+        // Core-count downgrade (8-core baseline, 2-core runner): the
+        // collapse is explained by the hardware — warn, don't gate.
+        cur.meta.threads = 2;
+        let findings = compare_reports(&base, &cur, 2.5);
+        let f = findings
+            .iter()
+            .find(|f| f.metric == "measured.engine_parallel_speedup")
+            .unwrap();
+        assert!(
+            !f.fatal,
+            "core-count downgrade must keep the warning: {f:?}"
+        );
+        cur.meta.threads = 8;
+
+        // Within threshold: no finding at all.
+        cur.measured.engine_parallel_speedup = 2.0;
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert!(!findings
+            .iter()
+            .any(|f| f.metric == "measured.engine_parallel_speedup"));
+    }
+
+    #[test]
+    fn family_fallback_downgrades_tier_mismatch_to_warnings() {
+        let tmp = std::env::temp_dir().join(format!("lcperf_cmp_family_{}", std::process::id()));
+        let base_dir = tmp.join("base");
+        let cur_dir = tmp.join("cur");
+        std::fs::create_dir_all(&base_dir).unwrap();
+        std::fs::create_dir_all(&cur_dir).unwrap();
+
+        let base = report("ba_smoke", 1.0e6, 100.0);
+        std::fs::write(base_dir.join(base.file_name()), base.to_json().to_pretty()).unwrap();
+        // A standard-tier run with a catastrophic slowdown: would gate
+        // fatally against a same-tier baseline.
+        let mut cur = report("ba_standard", 0.01e6, 10_000.0);
+        cur.meta.tier = "standard".into();
+        std::fs::write(cur_dir.join(cur.file_name()), cur.to_json().to_pretty()).unwrap();
+
+        // Strict mode: no overlap at all -> error (the gate would be
+        // vacuous).
+        assert!(compare_dirs(&base_dir, &cur_dir, 2.5).is_err());
+
+        // Family mode: compared via the smoke baseline, everything
+        // downgraded to warnings, gate passes.
+        let cmp = compare_dirs_opts(&base_dir, &cur_dir, 2.5, true).unwrap();
+        assert_eq!(cmp.compared, 1);
+        assert!(cmp.passed(), "{:?}", cmp.findings);
+        assert!(cmp
+            .findings
+            .iter()
+            .any(|f| f.metric == "presence" && f.message.contains("tier mismatch")));
+        assert!(
+            cmp.findings
+                .iter()
+                .any(|f| f.metric.starts_with("measured.") && !f.fatal),
+            "the cross-tier regression must still be reported (as a warning): {:?}",
+            cmp.findings
+        );
         std::fs::remove_dir_all(&tmp).unwrap();
     }
 }

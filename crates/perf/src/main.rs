@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! labelcount-perf [--tier smoke|standard|stress] [--family ba,er,loaded]
-//!                 [--seed N] [--out DIR]
+//!                 [--seed N] [--fault-rate F] [--out DIR]
 //! labelcount-perf compare --baseline DIR --current DIR [--max-regression X]
+//!                 [--match-family]
 //! ```
 //!
 //! The run mode writes one `BENCH_<family>_<tier>.json` per scenario into
@@ -15,8 +16,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use labelcount_perf::alloc_track::CountingAlloc;
-use labelcount_perf::compare::compare_dirs;
-use labelcount_perf::scenario::{run_scenario, Family, ScenarioSpec, Tier, DEFAULT_SEED};
+use labelcount_perf::compare::compare_dirs_opts;
+use labelcount_perf::scenario::{
+    run_scenario, Family, ScenarioSpec, Tier, DEFAULT_FAULT_RATE, DEFAULT_SEED,
+};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -49,6 +52,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut tier = Tier::Smoke;
     let mut families: Vec<Family> = Family::all().to_vec();
     let mut seed = DEFAULT_SEED;
+    let mut fault_rate = DEFAULT_FAULT_RATE;
     let mut out = PathBuf::from(".");
 
     let mut i = 0usize;
@@ -69,6 +73,13 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
                 let v = take_value(args, &mut i, "--seed")?;
                 seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
             }
+            "--fault-rate" => {
+                let v = take_value(args, &mut i, "--fault-rate")?;
+                fault_rate = v.parse().map_err(|_| format!("bad fault rate `{v}`"))?;
+                if !(0.0..1.0).contains(&fault_rate) {
+                    return Err("--fault-rate must be in [0, 1)".into());
+                }
+            }
             "--out" => out = PathBuf::from(take_value(args, &mut i, "--out")?),
             "--help" | "-h" => {
                 println!("{}", HELP);
@@ -81,7 +92,12 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
 
     std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
     for family in families {
-        let spec = ScenarioSpec { family, tier, seed };
+        let spec = ScenarioSpec {
+            family,
+            tier,
+            seed,
+            fault_rate,
+        };
         eprintln!("running scenario {} ...", spec.name());
         let report = run_scenario(&spec);
         let path = out.join(report.file_name());
@@ -108,6 +124,7 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
     let mut baseline: Option<PathBuf> = None;
     let mut current: Option<PathBuf> = None;
     let mut max_regression = 2.5f64;
+    let mut match_family = false;
 
     let mut i = 0usize;
     while i < args.len() {
@@ -121,6 +138,7 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
                     return Err("--max-regression must be >= 1.0".into());
                 }
             }
+            "--match-family" => match_family = true,
             "--help" | "-h" => {
                 println!("{}", HELP);
                 return Ok(ExitCode::SUCCESS);
@@ -132,7 +150,7 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
     let baseline = baseline.ok_or("compare requires --baseline DIR")?;
     let current = current.ok_or("compare requires --current DIR")?;
 
-    let cmp = compare_dirs(&baseline, &current, max_regression)?;
+    let cmp = compare_dirs_opts(&baseline, &current, max_regression, match_family)?;
     for f in &cmp.findings {
         let tag = if f.fatal { "FAIL" } else { "warn" };
         if f.baseline.is_nan() {
@@ -160,9 +178,15 @@ const HELP: &str = "labelcount-perf — scenario-matrix perf harness
 
 USAGE:
   labelcount-perf [--tier smoke|standard|stress] [--family ba,er,loaded]
-                  [--seed N] [--out DIR]
+                  [--seed N] [--fault-rate F] [--out DIR]
   labelcount-perf compare --baseline DIR --current DIR [--max-regression X]
+                  [--match-family]
 
 Run mode writes one BENCH_<family>_<tier>.json per scenario (default out:
-current directory). Compare mode exits 1 if any measured metric regressed
-more than the threshold (default 2.5x) against the baseline directory.";
+current directory). --fault-rate sets the workload phase's adversarial
+fault probability (default 0.15; non-default rates drift the deterministic
+counters, which the compare gate reports warn-only). Compare mode exits 1
+if any measured metric regressed more than the threshold (default 2.5x)
+against the baseline directory; --match-family additionally compares
+scenarios without a same-name baseline against a same-family baseline of
+another tier, warnings only.";

@@ -21,7 +21,14 @@ use crate::json::{Json, JsonError};
 /// v2 added the `counters.engine` section (shared-cache query engine:
 /// replicated estimates, logical vs miss API calls, hit rate) and the
 /// `measured.engine_*` timings.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3 added `scenario.threads` (detected available parallelism, so the
+/// compare gate can tell multi-core runners from laptops), the
+/// `counters.workload` section (mixed-algorithm workload over the
+/// adversarial fault-injecting backend: estimates, retry charges, realized
+/// backend attempts, budget overruns, latency-tick percentiles) and the
+/// `measured.workload_*` timings/throughput.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Scenario identity and workload parameters.
 #[derive(Clone, Debug, PartialEq)]
@@ -44,6 +51,12 @@ pub struct ScenarioMeta {
     pub burn_in: u64,
     /// Estimator replications per algorithm.
     pub reps: u64,
+    /// Detected available parallelism of the machine that produced the
+    /// report. Machine-dependent (like `measured`) but recorded under
+    /// `scenario` so the compare gate can decide whether parallel-speedup
+    /// regressions are gateable (both sides multi-core) or informational
+    /// (a laptop or CI runner with one core cannot regress a speedup).
+    pub threads: u64,
 }
 
 /// Deterministic walk counters (identical across same-seed runs).
@@ -86,6 +99,40 @@ pub struct EngineCounters {
     pub hit_rate: f64,
 }
 
+/// Deterministic counters of the workload phase: a mixed Table-2 workload
+/// served through the multi-query service over the adversarial
+/// (fault-injecting) backend. The parallel pass must be bit-identical to
+/// the serial pass (asserted by the scenario runner), so one copy of the
+/// counters is stored.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadCounters {
+    /// Queries in the workload.
+    pub queries: u64,
+    /// Per-attempt fault probability of the adversarial backend.
+    pub fault_rate: f64,
+    /// Per-query estimates in query-id order; a query that failed (e.g.
+    /// budget exhausted under fault pressure) stores the non-finite
+    /// sentinel.
+    pub estimates: Vec<f64>,
+    /// Logical API calls across all queries — the clean-world cost.
+    pub logical_api_calls: u64,
+    /// Realized backend attempts (first tries + pages + retries) — what
+    /// the hostile API billed.
+    pub backend_attempts: u64,
+    /// Retry charges billed against query budgets.
+    pub retry_charges: u64,
+    /// Rate-limit rejections absorbed.
+    pub rate_limited: u64,
+    /// Transient errors absorbed.
+    pub transient_errors: u64,
+    /// Queries whose hard budget ran out.
+    pub budget_exhausted_queries: u64,
+    /// Median per-query simulated latency, ticks.
+    pub latency_ticks_p50: f64,
+    /// 95th-percentile per-query simulated latency, ticks.
+    pub latency_ticks_p95: f64,
+}
+
 /// One algorithm's deterministic results on a scenario.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AlgoCounters {
@@ -124,6 +171,13 @@ pub struct Measured {
     /// `engine_serial_ms / engine_parallel_ms` — > 1 on multi-core
     /// runners.
     pub engine_parallel_speedup: f64,
+    /// Wall time of the workload phase on one worker, milliseconds.
+    pub workload_serial_ms: f64,
+    /// Wall time of the same workload fanned across all available
+    /// workers, milliseconds.
+    pub workload_parallel_ms: f64,
+    /// Workload throughput of the parallel pass, queries/second.
+    pub workload_queries_per_sec: f64,
     /// Machine-speed proxy measured alongside the scenario
     /// ([`crate::scenario::calibration_ops_per_sec`]); the regression gate
     /// normalizes timing metrics by it so baselines transfer across
@@ -148,6 +202,9 @@ pub struct Report {
     pub algorithms: Vec<AlgoCounters>,
     /// Deterministic query-engine counters (shared-cache access layer).
     pub engine: EngineCounters,
+    /// Deterministic workload counters (multi-query service over the
+    /// adversarial backend).
+    pub workload: WorkloadCounters,
     /// Exact target-edge count `F`.
     pub ground_truth_f: u64,
     /// Machine-dependent measurements.
@@ -180,6 +237,7 @@ impl Report {
                     ("budget", Json::Num(m.budget as f64)),
                     ("burn_in", Json::Num(m.burn_in as f64)),
                     ("reps", Json::Num(m.reps as f64)),
+                    ("threads", Json::Num(m.threads as f64)),
                 ]),
             ),
             (
@@ -247,6 +305,52 @@ impl Report {
                             ("hit_rate", Json::Num(self.engine.hit_rate)),
                         ]),
                     ),
+                    (
+                        "workload",
+                        Json::obj(vec![
+                            ("queries", Json::Num(self.workload.queries as f64)),
+                            ("fault_rate", Json::Num(self.workload.fault_rate)),
+                            (
+                                "estimates",
+                                Json::Arr(
+                                    self.workload
+                                        .estimates
+                                        .iter()
+                                        .map(|&e| Json::Num(e))
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "logical_api_calls",
+                                Json::Num(self.workload.logical_api_calls as f64),
+                            ),
+                            (
+                                "backend_attempts",
+                                Json::Num(self.workload.backend_attempts as f64),
+                            ),
+                            (
+                                "retry_charges",
+                                Json::Num(self.workload.retry_charges as f64),
+                            ),
+                            ("rate_limited", Json::Num(self.workload.rate_limited as f64)),
+                            (
+                                "transient_errors",
+                                Json::Num(self.workload.transient_errors as f64),
+                            ),
+                            (
+                                "budget_exhausted_queries",
+                                Json::Num(self.workload.budget_exhausted_queries as f64),
+                            ),
+                            (
+                                "latency_ticks_p50",
+                                Json::Num(self.workload.latency_ticks_p50),
+                            ),
+                            (
+                                "latency_ticks_p95",
+                                Json::Num(self.workload.latency_ticks_p95),
+                            ),
+                        ]),
+                    ),
                     ("ground_truth_f", Json::Num(self.ground_truth_f as f64)),
                 ]),
             ),
@@ -267,6 +371,12 @@ impl Report {
                     (
                         "engine_parallel_speedup",
                         Json::Num(ms.engine_parallel_speedup),
+                    ),
+                    ("workload_serial_ms", Json::Num(ms.workload_serial_ms)),
+                    ("workload_parallel_ms", Json::Num(ms.workload_parallel_ms)),
+                    (
+                        "workload_queries_per_sec",
+                        Json::Num(ms.workload_queries_per_sec),
                     ),
                     (
                         "calibration_ops_per_sec",
@@ -305,6 +415,7 @@ impl Report {
             budget: field_u64(sc, "budget")?,
             burn_in: field_u64(sc, "burn_in")?,
             reps: field_u64(sc, "reps")?,
+            threads: field_u64(sc, "threads")?,
         };
         let counters = v.get("counters").ok_or_else(|| miss("counters"))?;
         let wj = counters.get("walk").ok_or_else(|| miss("counters.walk"))?;
@@ -362,6 +473,28 @@ impl Report {
             miss_api_calls: field_u64(ej, "miss_api_calls")?,
             hit_rate: field_f64(ej, "hit_rate")?,
         };
+        let wlj = counters
+            .get("workload")
+            .ok_or_else(|| miss("counters.workload"))?;
+        let workload = WorkloadCounters {
+            queries: field_u64(wlj, "queries")?,
+            fault_rate: field_f64(wlj, "fault_rate")?,
+            estimates: wlj
+                .get("estimates")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| miss("workload.estimates"))?
+                .iter()
+                .map(|e| e.as_f64().ok_or_else(|| miss("workload.estimates[i]")))
+                .collect::<Result<_, _>>()?,
+            logical_api_calls: field_u64(wlj, "logical_api_calls")?,
+            backend_attempts: field_u64(wlj, "backend_attempts")?,
+            retry_charges: field_u64(wlj, "retry_charges")?,
+            rate_limited: field_u64(wlj, "rate_limited")?,
+            transient_errors: field_u64(wlj, "transient_errors")?,
+            budget_exhausted_queries: field_u64(wlj, "budget_exhausted_queries")?,
+            latency_ticks_p50: field_f64(wlj, "latency_ticks_p50")?,
+            latency_ticks_p95: field_f64(wlj, "latency_ticks_p95")?,
+        };
         let ground_truth_f = field_u64(counters, "ground_truth_f")?;
         let mj = v.get("measured").ok_or_else(|| miss("measured"))?;
         let aj = mj.get("alloc").ok_or_else(|| miss("measured.alloc"))?;
@@ -375,6 +508,9 @@ impl Report {
             engine_serial_ms: field_f64(mj, "engine_serial_ms")?,
             engine_parallel_ms: field_f64(mj, "engine_parallel_ms")?,
             engine_parallel_speedup: field_f64(mj, "engine_parallel_speedup")?,
+            workload_serial_ms: field_f64(mj, "workload_serial_ms")?,
+            workload_parallel_ms: field_f64(mj, "workload_parallel_ms")?,
+            workload_queries_per_sec: field_f64(mj, "workload_queries_per_sec")?,
             calibration_ops_per_sec: field_f64(mj, "calibration_ops_per_sec")?,
             alloc: AllocDelta {
                 peak_bytes: field_u64(aj, "peak_bytes")?,
@@ -388,6 +524,7 @@ impl Report {
             walk,
             algorithms,
             engine,
+            workload,
             ground_truth_f,
             measured,
         })
@@ -456,6 +593,7 @@ mod tests {
                 budget: 100,
                 burn_in: 60,
                 reps: 5,
+                threads: 4,
             },
             walk: WalkCounters {
                 steps: 100_000,
@@ -485,6 +623,19 @@ mod tests {
                 miss_api_calls: 4_100,
                 hit_rate: 0.96872,
             },
+            workload: WorkloadCounters {
+                queries: 16,
+                fault_rate: 0.15,
+                estimates: vec![6650.0, -1.0, 6900.25],
+                logical_api_calls: 40_000,
+                backend_attempts: 9_500,
+                retry_charges: 1_200,
+                rate_limited: 420,
+                transient_errors: 390,
+                budget_exhausted_queries: 1,
+                latency_ticks_p50: 310.0,
+                latency_ticks_p95: 2_950.5,
+            },
             ground_truth_f: 6750,
             measured: Measured {
                 total_ms: 1234.5,
@@ -496,6 +647,9 @@ mod tests {
                 engine_serial_ms: 9.0,
                 engine_parallel_ms: 2.4,
                 engine_parallel_speedup: 3.75,
+                workload_serial_ms: 42.0,
+                workload_parallel_ms: 12.5,
+                workload_queries_per_sec: 1_280.0,
                 calibration_ops_per_sec: 1.5e8,
                 alloc: AllocDelta {
                     peak_bytes: 1 << 20,
@@ -521,7 +675,7 @@ mod tests {
         let text = r
             .to_json()
             .to_pretty()
-            .replace("\"schema_version\": 2", "\"schema_version\": 999");
+            .replace("\"schema_version\": 3", "\"schema_version\": 999");
         match Report::from_json_text(&text) {
             Err(ReportError::Schema(msg)) => assert!(msg.contains("999"), "{msg}"),
             other => panic!("expected schema error, got {other:?}"),
@@ -530,7 +684,7 @@ mod tests {
 
     #[test]
     fn missing_fields_are_schema_errors() {
-        let text = "{\"schema_version\": 2}";
+        let text = "{\"schema_version\": 3}";
         assert!(matches!(
             Report::from_json_text(text),
             Err(ReportError::Schema(_))

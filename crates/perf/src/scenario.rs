@@ -10,13 +10,15 @@
 
 use std::time::Instant;
 
-use labelcount_core::{algorithms, motifs, size, Engine, NsHansenHurwitz, RunConfig};
+use labelcount_core::{
+    algorithms, motifs, size, workload::run_workload, Engine, NsHansenHurwitz, RunConfig, Workload,
+};
 use labelcount_graph::components::largest_component;
 use labelcount_graph::gen::{barabasi_albert, erdos_renyi_gnm};
 use labelcount_graph::labels::{assign_binary_labels, with_labels};
 use labelcount_graph::motifs::{count_labeled_triangles, count_labeled_wedges, TargetTriple};
 use labelcount_graph::{GroundTruth, LabeledGraph, NodeId, TargetLabel};
-use labelcount_osn::{LineGraphView, OsnApiExt, SimulatedOsn};
+use labelcount_osn::{FaultConfig, LineGraphView, OsnApiExt, RetryPolicy, SimulatedOsn};
 use labelcount_stats::{nrmse, replication_seed};
 use labelcount_walk::mixing::default_burn_in;
 use labelcount_walk::{SimpleWalk, Walker};
@@ -25,7 +27,8 @@ use rand::SeedableRng;
 
 use crate::alloc_track;
 use crate::report::{
-    AlgoCounters, EngineCounters, Measured, Report, ScenarioMeta, WalkCounters, SCHEMA_VERSION,
+    AlgoCounters, EngineCounters, Measured, Report, ScenarioMeta, WalkCounters, WorkloadCounters,
+    SCHEMA_VERSION,
 };
 
 /// Graph family axis of the matrix.
@@ -120,6 +123,17 @@ impl Tier {
         }
     }
 
+    /// Queries of the mixed workload phase (the multi-query service over
+    /// the adversarial backend). At least one full pass over the Table-2
+    /// roster at every tier.
+    pub fn workload_queries(self) -> usize {
+        match self {
+            Tier::Smoke => 16,
+            Tier::Standard => 12,
+            Tier::Stress => 10,
+        }
+    }
+
     /// Steps for the walk-throughput measurement. Sized so the timed
     /// window is tens of milliseconds even in release builds — per-step
     /// costs are ~10ns, and the regression gate needs windows large enough
@@ -143,10 +157,33 @@ pub struct ScenarioSpec {
     /// Base seed; every internal RNG derives from it via
     /// [`labelcount_stats::replication_seed`].
     pub seed: u64,
+    /// Per-attempt fault probability of the workload phase's adversarial
+    /// backend. Part of the deterministic counters (it changes retry and
+    /// latency counts), so runs at a non-default rate drift from committed
+    /// baselines — by design: the nightly fault-injection matrix compares
+    /// them warn-only.
+    pub fault_rate: f64,
+}
+
+impl ScenarioSpec {
+    /// A spec at the default fault rate.
+    pub fn new(family: Family, tier: Tier, seed: u64) -> ScenarioSpec {
+        ScenarioSpec {
+            family,
+            tier,
+            seed,
+            fault_rate: DEFAULT_FAULT_RATE,
+        }
+    }
 }
 
 /// Default base seed (the paper's year, like the bench fixtures).
 pub const DEFAULT_SEED: u64 = 2018;
+
+/// Default fault rate of the workload phase: hostile enough that retries,
+/// rate limits, and latency ticks are all nonzero in every committed
+/// baseline, mild enough that no query's hard budget dies at smoke scale.
+pub const DEFAULT_FAULT_RATE: f64 = 0.15;
 
 /// Internal stream ids for [`replication_seed`] derivation, so no two
 /// measurement phases share an RNG stream.
@@ -159,6 +196,7 @@ mod stream {
     pub const EXT_TRIANGLES: u64 = 901;
     pub const EXT_SIZE: u64 = 902;
     pub const ENGINE: u64 = 950;
+    pub const WORKLOAD: u64 = 960;
 }
 
 impl ScenarioSpec {
@@ -507,6 +545,65 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
         hit_rate: engine_stats.hit_rate(),
     };
 
+    // --- Workload: the multi-query service under fire. A mixed Table-2
+    // workload runs through per-query adversarial stacks (seeded faults:
+    // rate limits, transient errors, latency ticks, pagination) once on a
+    // single worker (the deterministic counters) and once fanned across
+    // all cores — the reports must match bit for bit, faults included.
+    let wl_queries = spec.tier.workload_queries();
+    let wl_seed = replication_seed(spec.seed, stream::WORKLOAD);
+    let wl = Workload::mixed(wl_queries, target, budget, wl_seed, cfg).with_faults(
+        if spec.fault_rate > 0.0 {
+            FaultConfig::hostile(wl_seed, spec.fault_rate)
+        } else {
+            FaultConfig::clean(wl_seed)
+        },
+        RetryPolicy::default(),
+    );
+    let t0 = Instant::now();
+    let wl_serial = run_workload(&g, &wl, 1);
+    let workload_serial_ms = ms(t0);
+    let t0 = Instant::now();
+    let wl_parallel = run_workload(&g, &wl, threads);
+    let workload_parallel_ms = ms(t0);
+    let serial_bits: Vec<Option<u64>> = wl_serial
+        .outcomes
+        .iter()
+        .map(|o| o.estimate.as_ref().ok().map(|e| e.to_bits()))
+        .collect();
+    let parallel_bits: Vec<Option<u64>> = wl_parallel
+        .outcomes
+        .iter()
+        .map(|o| o.estimate.as_ref().ok().map(|e| e.to_bits()))
+        .collect();
+    assert_eq!(
+        serial_bits, parallel_bits,
+        "parallel workload must be bit-identical to the serial pass"
+    );
+    assert_eq!(
+        wl_serial.total_retry_charges(),
+        wl_parallel.total_retry_charges(),
+        "workload retry charges must be worker-count independent"
+    );
+
+    let workload = WorkloadCounters {
+        queries: wl_queries as u64,
+        fault_rate: spec.fault_rate,
+        estimates: wl_serial
+            .outcomes
+            .iter()
+            .map(|o| sanitize(o.estimate.as_ref().ok().copied().unwrap_or(f64::NAN)))
+            .collect(),
+        logical_api_calls: wl_serial.total_logical_calls(),
+        backend_attempts: wl_serial.total_backend_attempts(),
+        retry_charges: wl_serial.total_retry_charges(),
+        rate_limited: wl_serial.outcomes.iter().map(|o| o.rate_limited).sum(),
+        transient_errors: wl_serial.outcomes.iter().map(|o| o.transient_errors).sum(),
+        budget_exhausted_queries: wl_serial.budget_exhausted_queries(),
+        latency_ticks_p50: wl_serial.latency_ticks_percentile(50.0).unwrap_or(0.0),
+        latency_ticks_p95: wl_serial.latency_ticks_percentile(95.0).unwrap_or(0.0),
+    };
+
     let alloc = alloc_track::delta(alloc_before, alloc_track::snapshot());
     Report {
         schema_version: SCHEMA_VERSION,
@@ -520,6 +617,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
             budget: budget as u64,
             burn_in: burn_in as u64,
             reps: reps as u64,
+            threads: threads as u64,
         },
         walk: WalkCounters {
             steps: steps as u64,
@@ -530,6 +628,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
         },
         algorithms: algo_counters,
         engine,
+        workload,
         ground_truth_f: gt.f as u64,
         measured: Measured {
             total_ms: ms(scenario_start),
@@ -542,6 +641,13 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
             engine_parallel_ms,
             engine_parallel_speedup: if engine_parallel_ms > 0.0 {
                 engine_serial_ms / engine_parallel_ms
+            } else {
+                0.0
+            },
+            workload_serial_ms,
+            workload_parallel_ms,
+            workload_queries_per_sec: if workload_parallel_ms > 0.0 {
+                wl_queries as f64 / (workload_parallel_ms / 1e3)
             } else {
                 0.0
             },
@@ -565,22 +671,14 @@ mod tests {
         }
         assert_eq!(Family::parse("nope"), None);
         assert_eq!(Tier::parse("huge"), None);
-        let spec = ScenarioSpec {
-            family: Family::Er,
-            tier: Tier::Smoke,
-            seed: 1,
-        };
+        let spec = ScenarioSpec::new(Family::Er, Tier::Smoke, 1);
         assert_eq!(spec.name(), "er_smoke");
     }
 
     #[test]
     fn graphs_build_deterministically_per_family() {
         for family in Family::all() {
-            let spec = ScenarioSpec {
-                family,
-                tier: Tier::Smoke,
-                seed: 11,
-            };
+            let spec = ScenarioSpec::new(family, Tier::Smoke, 11);
             let a = build_graph(&spec);
             let b = build_graph(&spec);
             assert_eq!(a.num_nodes(), b.num_nodes(), "{family:?}");

@@ -6,11 +6,7 @@ use labelcount_perf::report::Report;
 use labelcount_perf::scenario::{run_scenario, Family, ScenarioSpec, Tier};
 
 fn smoke_spec(family: Family, seed: u64) -> ScenarioSpec {
-    ScenarioSpec {
-        family,
-        tier: Tier::Smoke,
-        seed,
-    }
+    ScenarioSpec::new(family, Tier::Smoke, seed)
 }
 
 /// Two same-seed runs must agree on every counter. Wall-clock metrics are
@@ -33,6 +29,25 @@ fn smoke_counters_are_identical_across_runs_at_the_same_seed() {
     let ae: Vec<u64> = a.engine.estimates.iter().map(|e| e.to_bits()).collect();
     let be: Vec<u64> = b.engine.estimates.iter().map(|e| e.to_bits()).collect();
     assert_eq!(ae, be);
+    // The workload phase — faults, retries, latency ticks and all — is
+    // deterministic too.
+    assert_eq!(a.workload.queries, b.workload.queries);
+    assert_eq!(a.workload.logical_api_calls, b.workload.logical_api_calls);
+    assert_eq!(a.workload.backend_attempts, b.workload.backend_attempts);
+    assert_eq!(a.workload.retry_charges, b.workload.retry_charges);
+    assert_eq!(a.workload.rate_limited, b.workload.rate_limited);
+    assert_eq!(a.workload.transient_errors, b.workload.transient_errors);
+    assert_eq!(
+        a.workload.budget_exhausted_queries,
+        b.workload.budget_exhausted_queries
+    );
+    assert_eq!(
+        a.workload.latency_ticks_p50.to_bits(),
+        b.workload.latency_ticks_p50.to_bits()
+    );
+    let aw: Vec<u64> = a.workload.estimates.iter().map(|e| e.to_bits()).collect();
+    let bw: Vec<u64> = b.workload.estimates.iter().map(|e| e.to_bits()).collect();
+    assert_eq!(aw, bw);
     assert_eq!(a.algorithms.len(), b.algorithms.len());
     for (x, y) in a.algorithms.iter().zip(&b.algorithms) {
         assert_eq!(x.abbrev, y.abbrev);
@@ -85,6 +100,55 @@ fn smoke_report_round_trips_and_batched_walk_agrees() {
     assert!(parsed.measured.engine_serial_ms > 0.0);
     assert!(parsed.measured.engine_parallel_ms > 0.0);
     assert!(parsed.measured.engine_parallel_speedup > 0.0);
+
+    // The v3 workload section survives the round trip and satisfies the
+    // adversarial-service contract: at the default 0.15 fault rate every
+    // committed baseline has live fault counters, the realized API cost
+    // strictly exceeds the cache's backend misses it wraps, and the
+    // latency percentiles are ordered.
+    let w = &parsed.workload;
+    assert_eq!(w.queries as usize, w.estimates.len());
+    assert!(w.fault_rate > 0.0);
+    assert!(w.retry_charges > 0, "a hostile API must charge retries");
+    assert!(w.rate_limited + w.transient_errors > 0);
+    assert!(w.backend_attempts > 0);
+    // attempts = misses + retries + extra pages; misses are not stored,
+    // but attempts − charges (= misses) must stay within the logical
+    // total the caches absorbed them from.
+    assert!(w.backend_attempts - w.retry_charges <= w.logical_api_calls);
+    assert!(w.latency_ticks_p50 > 0.0);
+    assert!(w.latency_ticks_p50 <= w.latency_ticks_p95);
+    assert!(parsed.meta.threads >= 1);
+    assert!(parsed.measured.workload_serial_ms > 0.0);
+    assert!(parsed.measured.workload_parallel_ms > 0.0);
+    assert!(parsed.measured.workload_queries_per_sec > 0.0);
+}
+
+/// The fault rate is part of the deterministic counters: a different rate
+/// must change the workload's realized cost (and only the workload — the
+/// clean-room phases never see the fault model).
+#[test]
+fn fault_rate_changes_workload_counters_only() {
+    let mut spec = smoke_spec(Family::Ba, 5);
+    spec.fault_rate = 0.05;
+    let mild = run_scenario(&spec);
+    spec.fault_rate = 0.45;
+    let rough = run_scenario(&spec);
+
+    assert!(rough.workload.retry_charges > mild.workload.retry_charges);
+    assert!(rough.workload.backend_attempts > mild.workload.backend_attempts);
+    // Faults never alter a query's call *sequence*, but retry charges
+    // count against hard budgets, so a rough API can only cut queries
+    // short — logical demand never grows with the fault rate.
+    assert!(rough.workload.logical_api_calls <= mild.workload.logical_api_calls);
+    assert!(
+        rough.workload.budget_exhausted_queries >= mild.workload.budget_exhausted_queries,
+        "a rougher API cannot exhaust fewer budgets"
+    );
+    // The clean-room phases never see the fault model.
+    assert_eq!(mild.walk, rough.walk);
+    assert_eq!(mild.engine, rough.engine);
+    assert_eq!(mild.ground_truth_f, rough.ground_truth_f);
 }
 
 /// Different seeds must actually change the estimates (guards against a

@@ -4,13 +4,19 @@
 ///
 /// Numerically stable for long streams (no catastrophic cancellation, in
 /// contrast to the naive `Σx² − (Σx)²/n` form).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct RunningStats {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for RunningStats {
+    fn default() -> Self {
+        RunningStats::new()
+    }
 }
 
 impl RunningStats {
@@ -150,6 +156,18 @@ mod tests {
         assert_eq!(s.count(), 0);
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn default_is_the_empty_accumulator() {
+        // A derived Default would zero min/max and poison the first push;
+        // Default must be `new()` (min = +inf, max = -inf) so pushing into
+        // a defaulted accumulator behaves like a fresh one.
+        let mut d = RunningStats::default();
+        d.push(5.0);
+        assert_eq!(d.min(), 5.0);
+        assert_eq!(d.max(), 5.0);
+        assert_eq!(d.count(), 1);
     }
 
     #[test]

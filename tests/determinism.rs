@@ -159,6 +159,58 @@ fn engine_replication_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// The multi-query workload service over a hostile (fault-injecting) API:
+/// a mixed workload of ≥ 8 Table-2 queries at a nonzero fault rate must
+/// produce bit-identical estimates, retry counts, latency ticks, and
+/// budget verdicts at 1, 2, and 8 workers — the same determinism bar as
+/// replicated estimation, now with faults in the loop.
+#[test]
+fn workload_over_adversarial_osn_is_bit_identical_across_worker_counts() {
+    use labelcount::core::Workload;
+    use labelcount::osn::{FaultConfig, RetryPolicy};
+
+    let d = build(DatasetKind::FacebookLike, 0.05, 41);
+    let target = d.targets[0].label;
+    let cfg = RunConfig {
+        burn_in: 40,
+        ..RunConfig::default()
+    };
+    let workload = Workload::mixed(10, target, d.graph.num_nodes() / 20, 0xADA9, cfg)
+        .with_faults(FaultConfig::hostile(0xFA17, 0.3), RetryPolicy::default());
+    let engine = Engine::new(&d.graph);
+
+    let reference = engine.run_workload(&workload, 1);
+    assert!(
+        reference.total_retry_charges() > 0,
+        "a 0.3 fault rate must charge retries, or this test is vacuous"
+    );
+    for workers in [2usize, 8] {
+        let run = engine.run_workload(&workload, workers);
+        assert_eq!(run.outcomes.len(), reference.outcomes.len());
+        for (a, b) in reference.outcomes.iter().zip(&run.outcomes) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.abbrev, b.abbrev);
+            assert_eq!(
+                a.estimate.as_ref().map(|e| e.to_bits()),
+                b.estimate.as_ref().map(|e| e.to_bits()),
+                "query {} ({}) estimate diverged at {workers} workers",
+                a.id,
+                a.abbrev
+            );
+            assert_eq!(a.retry_charges, b.retry_charges, "query {}", a.id);
+            assert_eq!(a.backend_attempts, b.backend_attempts, "query {}", a.id);
+            assert_eq!(a.latency_ticks, b.latency_ticks, "query {}", a.id);
+            assert_eq!(a.rate_limited, b.rate_limited, "query {}", a.id);
+            assert_eq!(a.budget_exhausted, b.budget_exhausted, "query {}", a.id);
+        }
+        assert_eq!(
+            reference.summary.mean().to_bits(),
+            run.summary.mean().to_bits(),
+            "summary statistics diverged at {workers} workers"
+        );
+    }
+}
+
 #[test]
 fn sweep_results_independent_of_thread_count() {
     let d = build(DatasetKind::FacebookLike, 0.05, 3);
