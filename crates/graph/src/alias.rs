@@ -1,0 +1,246 @@
+//! O(1) weighted sampling via alias tables (Walker 1974, Vose 1991).
+//!
+//! Several hot paths need to draw an index `i` with probability
+//! `w_i / Σ w` millions of times from a *fixed* weight vector: the
+//! degree-proportional start-node draw that puts a simple random walk at
+//! its stationary distribution with zero burn-in, and the padded-proposal
+//! draws of the maximum-degree walk family. The textbook approaches are
+//! O(log n) (binary search over cumulative weights) or unbounded
+//! (rejection); an [`AliasTable`] preprocesses the weights once in O(n)
+//! and then answers every draw in O(1) — one uniform integer, one uniform
+//! float, one table probe.
+//!
+//! Construction uses Vose's numerically robust variant: weights are
+//! scaled to mean 1 and split into "small" and "large" columns; each
+//! column holds at most two outcomes (itself and one alias), so a draw
+//! picks a uniform column and then flips a biased coin between the two.
+//!
+//! ```
+//! use labelcount_graph::alias::AliasTable;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let table = AliasTable::from_weights(&[1.0, 0.0, 3.0]).unwrap();
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let i = table.sample(&mut rng);
+//! assert!(i == 0 || i == 2); // index 1 has weight 0 and is never drawn
+//! ```
+
+use rand::Rng;
+
+use crate::csr::LabeledGraph;
+use crate::ids::NodeId;
+
+/// A preprocessed O(1) sampler over a fixed discrete distribution.
+///
+/// Immutable after construction, `Send + Sync`, and cheap to probe: a
+/// draw costs one `gen_range` plus one `gen::<f64>()` regardless of the
+/// number of outcomes.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    /// `prob[i]`: probability of keeping column `i` (vs deferring to its
+    /// alias) once column `i` has been drawn uniformly.
+    prob: Box<[f64]>,
+    /// `alias[i]`: the outcome a rejected draw in column `i` falls to.
+    alias: Box<[u32]>,
+}
+
+impl AliasTable {
+    /// Builds a table over `weights`. Returns `None` when the vector is
+    /// empty or all weights are zero (there is nothing to sample).
+    ///
+    /// # Panics
+    /// Panics if any weight is negative, NaN, or infinite — those are
+    /// programmer errors, not data conditions.
+    pub fn from_weights(weights: &[f64]) -> Option<AliasTable> {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "alias weights must be finite and non-negative"
+        );
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "alias table outcome count must fit in u32"
+        );
+        let total: f64 = weights.iter().sum();
+        if weights.is_empty() || total <= 0.0 {
+            return None;
+        }
+        let n = weights.len();
+        // Scale to mean 1: columns with scaled weight < 1 need an alias to
+        // fill the remainder, columns > 1 donate their surplus.
+        let scale = n as f64 / total;
+        let mut prob: Box<[f64]> = weights.iter().map(|w| w * scale).collect();
+        let mut alias: Box<[u32]> = vec![0u32; n].into_boxed_slice();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            // The large column donates exactly what the small one lacks.
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Float drift can leave residents in either stack; their true
+        // probability is 1 up to rounding.
+        for i in large.into_iter().chain(small) {
+            prob[i as usize] = 1.0;
+        }
+        Some(AliasTable { prob, alias })
+    }
+
+    /// Builds the degree-proportional node sampler of `g`: node `u` is
+    /// drawn with probability `d(u) / 2|E|` — the stationary distribution
+    /// of the simple random walk. Returns `None` for an edgeless graph.
+    pub fn from_degrees(g: &LabeledGraph) -> Option<AliasTable> {
+        let weights: Vec<f64> = g.nodes().map(|u| g.degree(u) as f64).collect();
+        AliasTable::from_weights(&weights)
+    }
+
+    /// Number of outcomes (including zero-weight ones, which are simply
+    /// never drawn).
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table has no outcomes. (Never true for a table built by
+    /// [`AliasTable::from_weights`], which refuses empty input.)
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index in O(1): a uniform column, then a biased
+    /// coin between the column and its alias. Consumes exactly one
+    /// `gen_range(0..len)` and one `gen::<f64>()` per call.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+
+    /// [`AliasTable::sample`] wrapped as a [`NodeId`] — the common case
+    /// for tables built by [`AliasTable::from_degrees`].
+    #[inline]
+    pub fn sample_node<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        NodeId(self.sample(rng) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frequencies(table: &AliasTable, trials: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; table.len()];
+        for _ in 0..trials {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / trials as f64)
+            .collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let table = AliasTable::from_weights(&[2.0; 8]).unwrap();
+        assert_eq!(table.len(), 8);
+        for f in frequencies(&table, 80_000, 1) {
+            assert!((f - 0.125).abs() < 0.01, "frequency {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_their_distribution() {
+        let weights = [1.0, 4.0, 0.0, 10.0, 5.0];
+        let total: f64 = weights.iter().sum();
+        let table = AliasTable::from_weights(&weights).unwrap();
+        let freq = frequencies(&table, 200_000, 2);
+        for (i, (&w, f)) in weights.iter().zip(&freq).enumerate() {
+            assert!(
+                (f - w / total).abs() < 0.01,
+                "outcome {i}: frequency {f} vs weight share {}",
+                w / total
+            );
+        }
+        assert_eq!(freq[2], 0.0, "zero-weight outcome must never be drawn");
+    }
+
+    #[test]
+    fn empty_or_zero_weights_build_nothing() {
+        assert!(AliasTable::from_weights(&[]).is_none());
+        assert!(AliasTable::from_weights(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_are_rejected() {
+        AliasTable::from_weights(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_seed() {
+        let table = AliasTable::from_weights(&[3.0, 1.0, 2.0]).unwrap();
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..64).map(|_| table.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    fn degree_table_matches_stationary_distribution() {
+        // Path 0-1-2-3 plus chord 1-3: degrees 1, 3, 2, 2.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(2), NodeId(3));
+        b.add_edge(NodeId(1), NodeId(3));
+        let g = b.build();
+        let table = AliasTable::from_degrees(&g).unwrap();
+        let freq = frequencies(&table, 200_000, 3);
+        for u in g.nodes() {
+            let expect = g.degree(u) as f64 / g.degree_sum() as f64;
+            assert!(
+                (freq[u.index()] - expect).abs() < 0.01,
+                "node {u}: {} vs {expect}",
+                freq[u.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_has_no_degree_table() {
+        let g = GraphBuilder::new(3).build();
+        assert!(AliasTable::from_degrees(&g).is_none());
+    }
+
+    #[test]
+    fn sample_node_wraps_sample() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1));
+        let g = b.build();
+        let table = AliasTable::from_degrees(&g).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let u = table.sample_node(&mut rng);
+        assert!(u.index() < 2);
+    }
+}

@@ -10,6 +10,9 @@
 //!   graph whose nodes carry sets of labels (gender, location, degree bucket,
 //!   …), built through [`GraphBuilder`] which removes self-loops and
 //!   multi-edges exactly as the paper's preprocessing does.
+//! * [`alias`] — O(1) weighted sampling via alias tables (Vose), used for
+//!   degree-proportional start nodes (walks started *at* the simple walk's
+//!   stationary distribution) and other fixed-weight hot-path draws.
 //! * [`components`] — connected components and largest-connected-component
 //!   extraction (the paper evaluates on the largest CC of each network).
 //! * [`ground_truth`] — exact target-edge counts `F` and per-node incident
@@ -31,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alias;
 pub mod builder;
 pub mod components;
 pub mod csr;
@@ -43,6 +47,7 @@ pub mod stats;
 
 mod ids;
 
+pub use alias::AliasTable;
 pub use builder::GraphBuilder;
 pub use csr::LabeledGraph;
 pub use ground_truth::{GroundTruth, TargetLabel};

@@ -1,4 +1,5 @@
-//! Thread-safe caching OSN access: [`CachedOsn`] + [`OsnSession`].
+//! Thread-safe caching OSN access: [`CachedOsn`] + [`OsnSession`], a
+//! two-level cache hierarchy.
 //!
 //! The paper's cost model is API calls, and a walk revisits nodes
 //! constantly — on the smoke perf matrix a large fraction of raw calls are
@@ -8,16 +9,38 @@
 //! * [`GraphOsn`] — a pure, `Sync` graph view implementing
 //!   [`OsnBackend`]: no interior mutability, so one instance can serve any
 //!   number of threads.
-//! * [`CachedOsn`] — wraps any [`OsnBackend`] with **sharded-lock LRU
-//!   caches** for neighbor lists and label sets, plus [`CallStats`]
-//!   accounting that distinguishes *logical* calls (what estimators issue
-//!   and pay their budgets in) from *misses* (what actually reaches the
-//!   backend). `Sync` whenever the backend is.
+//! * [`CachedOsn`] — the shared **L2**: wraps any [`OsnBackend`] with
+//!   sharded-lock LRU caches for neighbor lists and label sets, plus
+//!   [`CallStats`] accounting that distinguishes *logical* calls (what
+//!   estimators issue and pay their budgets in) from *misses* (what
+//!   actually reaches the backend). `Sync` whenever the backend is.
 //! * [`OsnSession`] — a lightweight per-query handle implementing
 //!   [`OsnApi`]: it counts its own logical calls and carries its own
 //!   budget (so concurrent queries never corrupt each other's stopping
-//!   rules) while sharing the cache underneath. Sessions are cheap to
-//!   create — one per replicate/query is the intended pattern.
+//!   rules) while sharing the L2 underneath — and front-runs the L2 with
+//!   a private **L1** (below). Sessions are cheap to create — one per
+//!   replicate/query is the intended pattern.
+//!
+//! # The memory hierarchy
+//!
+//! Since the cache absorbs ~97% of logical calls on replicated workloads,
+//! wall-clock cost per logical call is dominated by the *hit* path, and a
+//! shared cache's hit path cannot avoid synchronization (a lock acquire
+//! plus atomic `Arc` refcount traffic). The fix is the same one hardware
+//! uses: put a small private cache in front of the shared one.
+//!
+//! | layer | scope | storage | hit cost |
+//! |-------|-------|---------|----------|
+//! | L1 | one session (one thread) | direct-mapped `Rc` slots | zero locks, zero atomics |
+//! | L2 | all sessions | sharded-lock LRU slabs | `RwLock` read + `Arc` clone |
+//! | backend | — | graph / remote API | the paper's "API call" |
+//!
+//! A session's first lookup of a node goes through the L2 (filling it on
+//! a backend miss), copies the entry into its L1 slot, and every repeat
+//! lookup — the common case for every Table-2 walk, which parks on hubs —
+//! is served from the L1 with plain (non-atomic) reference counting.
+//! `Arc` refcounts are only touched on the first L1 fill; the L2's lock
+//! is only taken on an L1 miss.
 //!
 //! # Determinism
 //!
@@ -25,13 +48,19 @@
 //! an estimator run against a session is **bit-identical** (same
 //! estimates, same RNG stream, same logical-call sequence) to a run
 //! against the uncached backend — enforced by the
-//! `proptest_cached_equivalence` suite. Misses are counted under the shard
-//! lock (the backend fetch happens while the lock is held), so with
-//! unbounded capacity the total miss count equals the number of distinct
-//! nodes requested per endpoint, independent of thread interleaving.
+//! `proptest_cached_equivalence` and `proptest_l1` suites, with the L1
+//! enabled or disabled. Misses are counted under the shard lock (the
+//! backend fetch happens while the lock is held), so with unbounded
+//! capacity the total miss count equals the number of distinct nodes
+//! requested per endpoint, independent of thread interleaving; the L1 is
+//! session-private, so its hit counts are a pure function of the
+//! session's own call sequence and flush into [`CallStats`] on drop —
+//! totals stay interleaving-independent.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -88,6 +117,12 @@ impl OsnBackend for GraphOsn<'_> {
     }
 }
 
+/// Default [`CacheConfig::l1_slots`]: 512 direct-mapped slots per endpoint
+/// kind (8 KiB of slot metadata per session) — enough to hold the working
+/// set of a Table-2 walk at smoke scale while keeping sessions cheap to
+/// create.
+pub const DEFAULT_L1_SLOTS: usize = 512;
+
 /// Sizing knobs for [`CachedOsn`].
 #[derive(Clone, Copy, Debug)]
 pub struct CacheConfig {
@@ -97,12 +132,21 @@ pub struct CacheConfig {
     /// is rounded **up** to a multiple of the shard count (at least one
     /// entry per shard), so the cache may hold up to `shards − 1` more
     /// entries than configured — rounding up rather than down keeps the
-    /// configured value a lower bound and no shard starved.
+    /// configured value a lower bound and no shard starved, even when the
+    /// configured capacity is smaller than the shard count.
     pub capacity: Option<usize>,
     /// Number of lock shards per endpoint kind (rounded up to a power of
     /// two, minimum 1). More shards = less contention under parallel
     /// replication.
     pub shards: usize,
+    /// Direct-mapped **L1 slots per endpoint kind** in every session
+    /// opened on this cache (rounded up to a power of two). `0` disables
+    /// the session L1: every logical call then takes the shared L2 path —
+    /// the configuration the determinism suites compare against. The L1
+    /// only changes *where* bytes come from and what a hit costs; data,
+    /// estimates, RNG streams, and (for unbounded caches) miss counts are
+    /// bit-identical either way.
+    pub l1_slots: usize,
 }
 
 impl Default for CacheConfig {
@@ -110,6 +154,7 @@ impl Default for CacheConfig {
         CacheConfig {
             capacity: None,
             shards: 64,
+            l1_slots: DEFAULT_L1_SLOTS,
         }
     }
 }
@@ -119,6 +164,8 @@ impl Default for CacheConfig {
 /// *Logical* calls are what estimators issue (and spend budget on);
 /// *misses* are the subset that reached the backend. The paper's "distinct
 /// API calls" metric is exactly the miss count of an unbounded cache.
+/// L1 hits are the subset of hits served by a session's private cache
+/// without touching the shared L2 (no lock, no atomics).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CallStats {
     /// Logical neighbor-list calls issued through sessions.
@@ -129,6 +176,10 @@ pub struct CallStats {
     pub neighbor_misses: u64,
     /// Profile calls that missed the cache and hit the backend.
     pub label_misses: u64,
+    /// Neighbor-list calls served by sessions' private L1 caches.
+    pub l1_neighbor_hits: u64,
+    /// Profile calls served by sessions' private L1 caches.
+    pub l1_label_hits: u64,
 }
 
 impl CallStats {
@@ -143,9 +194,15 @@ impl CallStats {
         self.neighbor_misses + self.label_misses
     }
 
-    /// Logical calls absorbed by the cache.
+    /// Logical calls absorbed by the cache hierarchy (L1 + L2).
     pub fn hits(&self) -> u64 {
         self.logical_calls().saturating_sub(self.misses())
+    }
+
+    /// Logical calls absorbed by sessions' private L1 caches — hits that
+    /// paid neither a lock nor an atomic refcount bump.
+    pub fn l1_hits(&self) -> u64 {
+        self.l1_neighbor_hits + self.l1_label_hits
     }
 
     /// Fraction of logical calls absorbed by the cache (`0.0` when no
@@ -160,31 +217,66 @@ impl CallStats {
     }
 }
 
-/// Slot index sentinel for "no entry".
-const NIL: usize = usize::MAX;
+/// A multiply-shift [`Hasher`] for the 4-byte node keys the cache indexes
+/// by. The default `HashMap` hasher (SipHash) costs more than the rest of
+/// the hit path combined; node ids need no DoS resistance, so a Fibonacci
+/// multiply gives full avalanche on the high bits at ~1 cycle.
+#[derive(Default)]
+struct NodeKeyHasher(u64);
 
-/// One LRU shard: a slab of entries chained into a doubly-linked recency
-/// list, with a `HashMap` index. All operations are O(1).
-struct LruShard<T> {
-    map: HashMap<u32, usize>,
-    slots: Vec<LruSlot<T>>,
-    head: usize,
-    tail: usize,
-    capacity: usize,
+impl Hasher for NodeKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by the u32 keys below, but required for
+        // completeness): fold bytes through the same multiply.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, key: u32) {
+        // Fibonacci hashing: multiply by 2^64/φ and keep the high bits,
+        // which HashMap's length-masking then consumes.
+        let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h.rotate_left(32);
+    }
 }
 
-struct LruSlot<T> {
-    key: u32,
-    value: Arc<[T]>,
-    prev: usize,
-    next: usize,
+type NodeKeyMap = HashMap<u32, u32, BuildHasherDefault<NodeKeyHasher>>;
+
+/// Slot index sentinel for "no entry". Slots are `u32` so the recency
+/// links pack twice as densely as pointer-sized ones.
+const NIL: u32 = u32::MAX;
+
+/// One LRU shard in struct-of-arrays layout: parallel slabs for keys,
+/// values, and the doubly-linked recency list, indexed by a
+/// multiply-shift-hashed map. All operations are O(1), and the recency
+/// relink touches only the two dense `u32` link arrays — no per-slot
+/// structs to pointer-chase, no SipHash in the index.
+struct LruShard<T> {
+    index: NodeKeyMap,
+    keys: Vec<u32>,
+    values: Vec<Arc<[T]>>,
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    head: u32,
+    tail: u32,
+    capacity: usize,
 }
 
 impl<T> LruShard<T> {
     fn new(capacity: usize) -> Self {
         LruShard {
-            map: HashMap::new(),
-            slots: Vec::new(),
+            index: NodeKeyMap::default(),
+            keys: Vec::new(),
+            values: Vec::new(),
+            prev: Vec::new(),
+            next: Vec::new(),
             head: NIL,
             tail: NIL,
             capacity: capacity.max(1),
@@ -192,26 +284,26 @@ impl<T> LruShard<T> {
     }
 
     /// Unlinks slot `i` from the recency list.
-    fn unlink(&mut self, i: usize) {
-        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
-        if prev == NIL {
-            self.head = next;
+    fn unlink(&mut self, i: u32) {
+        let (p, n) = (self.prev[i as usize], self.next[i as usize]);
+        if p == NIL {
+            self.head = n;
         } else {
-            self.slots[prev].next = next;
+            self.next[p as usize] = n;
         }
-        if next == NIL {
-            self.tail = prev;
+        if n == NIL {
+            self.tail = p;
         } else {
-            self.slots[next].prev = prev;
+            self.prev[n as usize] = p;
         }
     }
 
     /// Links slot `i` at the head (most recently used).
-    fn link_front(&mut self, i: usize) {
-        self.slots[i].prev = NIL;
-        self.slots[i].next = self.head;
+    fn link_front(&mut self, i: u32) {
+        self.prev[i as usize] = NIL;
+        self.next[i as usize] = self.head;
         if self.head != NIL {
-            self.slots[self.head].prev = i;
+            self.prev[self.head as usize] = i;
         }
         self.head = i;
         if self.tail == NIL {
@@ -223,65 +315,68 @@ impl<T> LruShard<T> {
     /// for unbounded shards, where eviction (and hence recency) never
     /// happens.
     fn peek(&self, key: u32) -> Option<Arc<[T]>> {
-        self.map
+        self.index
             .get(&key)
-            .map(|&i| Arc::clone(&self.slots[i].value))
+            .map(|&i| Arc::clone(&self.values[i as usize]))
     }
 
     /// Looks up `key`, refreshing its recency on a hit.
     fn get(&mut self, key: u32) -> Option<Arc<[T]>> {
-        let i = *self.map.get(&key)?;
+        let i = *self.index.get(&key)?;
         if self.head != i {
             self.unlink(i);
             self.link_front(i);
         }
-        Some(Arc::clone(&self.slots[i].value))
+        Some(Arc::clone(&self.values[i as usize]))
     }
 
     /// Inserts `key → value`, evicting the least recently used entry when
     /// the shard is full. The caller guarantees `key` is absent.
     fn insert(&mut self, key: u32, value: Arc<[T]>) {
-        debug_assert!(!self.map.contains_key(&key));
-        let i = if self.slots.len() < self.capacity {
-            self.slots.push(LruSlot {
-                key,
-                value,
-                prev: NIL,
-                next: NIL,
-            });
-            self.slots.len() - 1
+        debug_assert!(!self.index.contains_key(&key));
+        let i = if self.keys.len() < self.capacity {
+            self.keys.push(key);
+            self.values.push(value);
+            self.prev.push(NIL);
+            self.next.push(NIL);
+            (self.keys.len() - 1) as u32
         } else {
             // Reuse the LRU slot (capacity >= 1, so tail exists).
             let i = self.tail;
             self.unlink(i);
-            self.map.remove(&self.slots[i].key);
-            self.slots[i].key = key;
-            self.slots[i].value = value;
+            self.index.remove(&self.keys[i as usize]);
+            self.keys[i as usize] = key;
+            self.values[i as usize] = value;
             i
         };
-        self.map.insert(key, i);
+        self.index.insert(key, i);
         self.link_front(i);
     }
 
     fn len(&self) -> usize {
-        self.map.len()
+        self.index.len()
     }
 
     fn clear(&mut self) {
-        self.map.clear();
-        self.slots.clear();
+        self.index.clear();
+        self.keys.clear();
+        self.values.clear();
+        self.prev.clear();
+        self.next.clear();
         self.head = NIL;
         self.tail = NIL;
     }
 }
 
 /// A thread-safe, call-counting, caching wrapper around an
-/// [`OsnBackend`].
+/// [`OsnBackend`] — the shared **L2** of the session/shared cache
+/// hierarchy (see the module docs).
 ///
 /// Neighbor lists and label sets get independent sharded-lock LRU caches;
 /// [`CallStats`] separates logical calls from backend misses. Queries run
 /// through [`OsnSession`]s ([`CachedOsn::session`]), which add per-query
-/// logical accounting and budgets on top of the shared cache.
+/// logical accounting, budgets, and a private lock-free L1 on top of the
+/// shared cache.
 ///
 /// ```
 /// use labelcount_graph::{GraphBuilder, NodeId};
@@ -295,12 +390,13 @@ impl<T> LruShard<T> {
 /// let cache = CachedOsn::new(GraphOsn::new(&g));
 /// let session = cache.session();
 /// session.neighbors(NodeId(1)); // miss: fetched from the backend
-/// session.neighbors(NodeId(1)); // hit: served from the cache
+/// session.neighbors(NodeId(1)); // hit: served lock-free from the session L1
 /// assert_eq!(session.api_calls(), 2); // budgets are paid in logical calls
 /// drop(session); // logical totals flush into the shared stats
 /// let stats = cache.stats();
 /// assert_eq!(stats.logical_neighbor_calls, 2);
 /// assert_eq!(stats.neighbor_misses, 1);
+/// assert_eq!(stats.l1_neighbor_hits, 1);
 /// ```
 pub struct CachedOsn<B> {
     backend: B,
@@ -308,24 +404,30 @@ pub struct CachedOsn<B> {
     label_shards: Box<[RwLock<LruShard<LabelId>>]>,
     shard_mask: usize,
     unbounded: bool,
+    l1_slots: usize,
     logical_neighbor: AtomicU64,
     logical_label: AtomicU64,
     neighbor_misses: AtomicU64,
     label_misses: AtomicU64,
+    l1_neighbor_hits: AtomicU64,
+    l1_label_hits: AtomicU64,
 }
 
 impl<B: OsnBackend> CachedOsn<B> {
-    /// Wraps `backend` with an unbounded cache (default shard count).
+    /// Wraps `backend` with an unbounded cache (default shard count and
+    /// session-L1 size).
     pub fn new(backend: B) -> Self {
         CachedOsn::with_config(backend, CacheConfig::default())
     }
 
-    /// Wraps `backend` with explicit capacity/sharding.
+    /// Wraps `backend` with explicit capacity/sharding/L1 sizing.
     pub fn with_config(backend: B, cfg: CacheConfig) -> Self {
         let shards = cfg.shards.max(1).next_power_of_two();
         let per_shard = match cfg.capacity {
             // Ceil division: the effective total is the configured value
-            // rounded up to a shard multiple (see `CacheConfig::capacity`).
+            // rounded up to a shard multiple (see `CacheConfig::capacity`),
+            // so a capacity smaller than the shard count still gives every
+            // shard one live slot instead of rounding down to zero.
             Some(total) => total.max(1).div_ceil(shards),
             None => usize::MAX,
         };
@@ -337,10 +439,17 @@ impl<B: OsnBackend> CachedOsn<B> {
             label_shards: (0..shards).map(|_| make_label()).collect(),
             shard_mask: shards - 1,
             unbounded: cfg.capacity.is_none(),
+            l1_slots: if cfg.l1_slots == 0 {
+                0
+            } else {
+                cfg.l1_slots.next_power_of_two()
+            },
             logical_neighbor: AtomicU64::new(0),
             logical_label: AtomicU64::new(0),
             neighbor_misses: AtomicU64::new(0),
             label_misses: AtomicU64::new(0),
+            l1_neighbor_hits: AtomicU64::new(0),
+            l1_label_hits: AtomicU64::new(0),
         }
     }
 
@@ -349,11 +458,20 @@ impl<B: OsnBackend> CachedOsn<B> {
         &self.backend
     }
 
-    /// Opens a per-query session (its own logical-call counters and
-    /// budget, shared cache underneath).
+    /// Opens a per-query session (its own logical-call counters, budget,
+    /// and private L1 at the configured [`CacheConfig::l1_slots`]; shared
+    /// L2 underneath).
     pub fn session(&self) -> OsnSession<'_, B> {
+        self.session_with_l1(self.l1_slots)
+    }
+
+    /// Opens a session with an explicit L1 size (`0` disables the L1 —
+    /// every logical call then takes the shared L2 path). Data and
+    /// estimates are identical at any size; only the hit cost changes.
+    pub fn session_with_l1(&self, l1_slots: usize) -> OsnSession<'_, B> {
         OsnSession {
             cache: self,
+            l1: (l1_slots > 0).then(|| SessionL1::new(l1_slots.next_power_of_two())),
             neighbor_calls: Cell::new(0),
             label_calls: Cell::new(0),
             retry_charges: Cell::new(0),
@@ -369,6 +487,8 @@ impl<B: OsnBackend> CachedOsn<B> {
             logical_label_calls: self.logical_label.load(Ordering::Relaxed),
             neighbor_misses: self.neighbor_misses.load(Ordering::Relaxed),
             label_misses: self.label_misses.load(Ordering::Relaxed),
+            l1_neighbor_hits: self.l1_neighbor_hits.load(Ordering::Relaxed),
+            l1_label_hits: self.l1_label_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -379,9 +499,12 @@ impl<B: OsnBackend> CachedOsn<B> {
         self.logical_label.store(0, Ordering::Relaxed);
         self.neighbor_misses.store(0, Ordering::Relaxed);
         self.label_misses.store(0, Ordering::Relaxed);
+        self.l1_neighbor_hits.store(0, Ordering::Relaxed);
+        self.l1_label_hits.store(0, Ordering::Relaxed);
     }
 
-    /// Drops every cached entry (counters are kept).
+    /// Drops every cached L2 entry (counters are kept; live sessions keep
+    /// their private L1 contents, which hold the same bytes).
     pub fn clear(&self) {
         for s in self.neighbor_shards.iter() {
             s.write().unwrap().clear();
@@ -391,7 +514,7 @@ impl<B: OsnBackend> CachedOsn<B> {
         }
     }
 
-    /// Cached entries currently held (neighbor lists, label sets).
+    /// Cached L2 entries currently held (neighbor lists, label sets).
     pub fn cached_entries(&self) -> (usize, usize) {
         let n = self
             .neighbor_shards
@@ -464,15 +587,116 @@ impl<B: OsnBackend> CachedOsn<B> {
     }
 }
 
-/// One query's view of a [`CachedOsn`]: implements [`OsnApi`] with
-/// per-session logical-call accounting and an optional per-session hard
-/// budget (mirroring [`crate::SimulatedOsn`]'s budget semantics, so
-/// estimators behave identically against either).
+/// One endpoint kind's direct-mapped session L1: a power-of-two slot
+/// array keyed by node id. A probe is one multiply-shift, one compare,
+/// and (on a hit) one non-atomic `Rc` clone — no locks, no atomics, no
+/// probing loops.
 ///
-/// Sessions are intentionally not `Sync` (plain `Cell` counters) — create
-/// one per thread/replicate; the shared cache behind them is.
+/// Slot conflicts use a **second-chance** policy: entries enter
+/// *protected*, a conflicting miss demotes a protected incumbent (one
+/// boolean write — no allocation, no copy) and only replaces an already
+/// demoted one, and every hit re-protects. Two hot keys ping-ponging on
+/// one slot therefore settle into one L1-resident key (hitting) and one
+/// L2-served key, instead of paying an O(degree) slice copy per lookup;
+/// dead entries still age out after two conflicting misses. Collisions
+/// cost time, never correctness — the displaced key's next lookup falls
+/// back to the L2 and returns identical bytes.
+struct L1Cache<T> {
+    slots: RefCell<Box<[L1Slot<T>]>>,
+    mask: usize,
+    hits: Cell<u64>,
+}
+
+/// One direct-mapped slot.
+type L1Slot<T> = Option<L1Entry<T>>;
+
+/// A resident entry: the key, its second-chance protection bit, and the
+/// session-private copy of the data.
+struct L1Entry<T> {
+    key: u32,
+    protected: bool,
+    value: Rc<[T]>,
+}
+
+impl<T: Clone> L1Cache<T> {
+    /// `slots` must be a power of two.
+    fn new(slots: usize) -> Self {
+        debug_assert!(slots.is_power_of_two());
+        L1Cache {
+            slots: RefCell::new((0..slots).map(|_| None).collect()),
+            mask: slots - 1,
+            hits: Cell::new(0),
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u32) -> usize {
+        (key as usize).wrapping_mul(0x9E37_79B9) >> 7 & self.mask
+    }
+
+    #[inline]
+    fn get(&self, key: u32) -> Option<Rc<[T]>> {
+        let mut slots = self.slots.borrow_mut();
+        match &mut slots[self.slot_of(key)] {
+            Some(e) if e.key == key => {
+                e.protected = true;
+                self.hits.set(self.hits.get() + 1);
+                Some(Rc::clone(&e.value))
+            }
+            _ => None,
+        }
+    }
+
+    /// Offers `value` for the key's slot after an L1 miss. A protected
+    /// incumbent under a different key survives (demoted); otherwise the
+    /// slot takes a fresh protected copy of `value`. The copy de-atomizes
+    /// every later hit: the slot owns a private `Rc` whose refcount is
+    /// plain memory, so repeat lookups never touch the `Arc` the L2
+    /// handed out.
+    fn insert(&self, key: u32, value: &[T]) {
+        let slot = self.slot_of(key);
+        let mut slots = self.slots.borrow_mut();
+        match &mut slots[slot] {
+            Some(e) if e.key != key && e.protected => e.protected = false,
+            e => {
+                *e = Some(L1Entry {
+                    key,
+                    protected: true,
+                    value: Rc::from(value),
+                })
+            }
+        }
+    }
+}
+
+/// The session-private L1: one direct-mapped cache per endpoint kind.
+struct SessionL1 {
+    neighbors: L1Cache<NodeId>,
+    labels: L1Cache<LabelId>,
+}
+
+impl SessionL1 {
+    fn new(slots: usize) -> Self {
+        SessionL1 {
+            neighbors: L1Cache::new(slots),
+            labels: L1Cache::new(slots),
+        }
+    }
+}
+
+/// One query's view of a [`CachedOsn`]: implements [`OsnApi`] with
+/// per-session logical-call accounting, an optional per-session hard
+/// budget (mirroring [`crate::SimulatedOsn`]'s budget semantics, so
+/// estimators behave identically against either), and a private
+/// direct-mapped L1 cache that serves repeat lookups without touching the
+/// shared L2's locks or atomics.
+///
+/// Sessions are intentionally neither `Sync` nor `Send` (plain `Cell`
+/// counters, `Rc`-held L1 entries) — create one per thread/replicate; the
+/// shared cache behind them is thread-safe.
 pub struct OsnSession<'c, B> {
     cache: &'c CachedOsn<B>,
+    l1: Option<SessionL1>,
     neighbor_calls: Cell<u64>,
     label_calls: Cell<u64>,
     retry_charges: Cell<u64>,
@@ -511,6 +735,15 @@ impl<'c, B: OsnBackend> OsnSession<'c, B> {
         self.retry_charges.get()
     }
 
+    /// Logical calls this session served from its private L1 (no lock, no
+    /// atomics). Always `0` when the L1 is disabled.
+    pub fn l1_hits(&self) -> u64 {
+        self.l1
+            .as_ref()
+            .map(|l1| l1.neighbors.hits.get() + l1.labels.hits.get())
+            .unwrap_or(0)
+    }
+
     /// Total charged API calls of both kinds: logical calls plus retry
     /// charges — the realized cost a billed crawler pays.
     pub fn charged_calls(&self) -> u64 {
@@ -537,18 +770,36 @@ impl<B: OsnBackend> OsnApi for OsnSession<'_, B> {
 
     fn neighbors(&self, u: NodeId) -> SliceRef<'_, NodeId> {
         self.neighbor_calls.set(self.neighbor_calls.get() + 1);
+        if let Some(l1) = &self.l1 {
+            // The de-atomized hot path: repeat lookups within this query
+            // resolve here without a lock or an `Arc` refcount bump.
+            if let Some(hit) = l1.neighbors.get(u.0) {
+                return SliceRef::Local(hit);
+            }
+        }
         let (value, extra) = self.cache.neighbors_shared(u);
         if extra > 0 {
             self.retry_charges.set(self.retry_charges.get() + extra);
+        }
+        if let Some(l1) = &self.l1 {
+            l1.neighbors.insert(u.0, &value);
         }
         SliceRef::Shared(value)
     }
 
     fn labels(&self, u: NodeId) -> SliceRef<'_, LabelId> {
         self.label_calls.set(self.label_calls.get() + 1);
+        if let Some(l1) = &self.l1 {
+            if let Some(hit) = l1.labels.get(u.0) {
+                return SliceRef::Local(hit);
+            }
+        }
         let (value, extra) = self.cache.labels_shared(u);
         if extra > 0 {
             self.retry_charges.set(self.retry_charges.get() + extra);
+        }
+        if let Some(l1) = &self.l1 {
+            l1.labels.insert(u.0, &value);
         }
         SliceRef::Shared(value)
     }
@@ -569,12 +820,14 @@ impl<B: OsnBackend> OsnApi for OsnSession<'_, B> {
     }
 }
 
-/// Logical-call totals flush into the shared [`CallStats`] when the
-/// session ends — one pair of atomic adds per query instead of one per
-/// call, so parallel replicates never contend on a shared counter cache
-/// line. ([`CachedOsn::stats`] therefore aggregates *finished* sessions;
-/// a live session's calls are visible through its own
-/// [`OsnApi::api_calls`].)
+/// Logical-call and L1-hit totals flush into the shared [`CallStats`]
+/// when the session ends — a handful of atomic adds per query instead of
+/// one per call, so parallel replicates never contend on a shared counter
+/// cache line. ([`CachedOsn::stats`] therefore aggregates *finished*
+/// sessions; a live session's calls are visible through its own
+/// [`OsnApi::api_calls`] / [`OsnSession::l1_hits`].) The flushed totals
+/// are a pure function of the session's own call sequence, so the shared
+/// stats stay interleaving-independent.
 impl<B> Drop for OsnSession<'_, B> {
     fn drop(&mut self) {
         let n = self.neighbor_calls.get();
@@ -584,6 +837,16 @@ impl<B> Drop for OsnSession<'_, B> {
         let l = self.label_calls.get();
         if l > 0 {
             self.cache.logical_label.fetch_add(l, Ordering::Relaxed);
+        }
+        if let Some(l1) = &self.l1 {
+            let nh = l1.neighbors.hits.get();
+            if nh > 0 {
+                self.cache.l1_neighbor_hits.fetch_add(nh, Ordering::Relaxed);
+            }
+            let lh = l1.labels.hits.get();
+            if lh > 0 {
+                self.cache.l1_label_hits.fetch_add(lh, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -601,6 +864,16 @@ mod tests {
         b.add_edge(NodeId(2), NodeId(3));
         b.set_labels(NodeId(0), &[LabelId(1)]);
         b.build()
+    }
+
+    /// A config with the session L1 disabled — the L2-only layout all the
+    /// pre-hierarchy accounting tests were written against.
+    fn no_l1(capacity: Option<usize>, shards: usize) -> CacheConfig {
+        CacheConfig {
+            capacity,
+            shards,
+            l1_slots: 0,
+        }
     }
 
     fn assert_sync<T: Sync>(_: &T) {}
@@ -631,7 +904,71 @@ mod tests {
         assert_eq!(st.logical_calls(), 5);
         assert_eq!(st.misses(), 3);
         assert_eq!(st.hits(), 2);
+        // Both repeats were absorbed by the session's L1 (the default).
+        assert_eq!(st.l1_neighbor_hits, 1);
+        assert_eq!(st.l1_label_hits, 1);
+        assert_eq!(st.l1_hits(), 2);
         assert!((st.hit_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_disabled_sessions_hit_the_l2_instead() {
+        let g = path4();
+        let cache = CachedOsn::with_config(GraphOsn::new(&g), no_l1(None, 64));
+        let s = cache.session();
+        assert_eq!(s.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        assert_eq!(s.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        assert_eq!(s.l1_hits(), 0);
+        drop(s);
+        let st = cache.stats();
+        // Identical logical/miss accounting, no L1 hits.
+        assert_eq!(st.logical_neighbor_calls, 2);
+        assert_eq!(st.neighbor_misses, 1);
+        assert_eq!(st.l1_hits(), 0);
+        assert_eq!(st.hits(), 1); // the repeat was an L2 hit instead
+    }
+
+    #[test]
+    fn l1_hits_never_touch_the_shared_l2() {
+        let g = path4();
+        let cache = CachedOsn::new(GraphOsn::new(&g));
+        let s = cache.session();
+        s.neighbors(NodeId(1)); // L2 miss, fills both layers
+        cache.clear(); // drop every L2 entry
+                       // The repeat is served from the session's private L1 even though
+                       // the L2 is empty — proof the hot path never takes the shard lock.
+        assert_eq!(s.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        assert_eq!(s.l1_hits(), 1);
+        assert_eq!(cache.cached_entries(), (0, 0));
+    }
+
+    #[test]
+    fn l1_collisions_fall_back_to_l2_with_identical_data() {
+        let g = path4();
+        // A 1-slot L1: every distinct node collides with every other.
+        let cache = CachedOsn::with_config(
+            GraphOsn::new(&g),
+            CacheConfig {
+                l1_slots: 1,
+                ..CacheConfig::default()
+            },
+        );
+        let s = cache.session();
+        for round in 0..3 {
+            for u in 0..4u32 {
+                assert_eq!(
+                    &*s.neighbors(NodeId(u)),
+                    g.neighbors(NodeId(u)),
+                    "round {round} node {u}"
+                );
+            }
+        }
+        drop(s);
+        let st = cache.stats();
+        // The L2 is unbounded: misses still equal distinct nodes no matter
+        // how often the tiny L1 thrashed.
+        assert_eq!(st.neighbor_misses, 4);
+        assert_eq!(st.logical_neighbor_calls, 12);
     }
 
     #[test]
@@ -641,7 +978,7 @@ mod tests {
         let a = cache.session();
         let b = cache.session();
         a.neighbors(NodeId(0));
-        b.neighbors(NodeId(0)); // hit: a already pulled it in
+        b.neighbors(NodeId(0)); // L2 hit: a already pulled it in (L1s are private)
         assert_eq!(a.api_calls(), 1);
         assert_eq!(b.api_calls(), 1);
         drop(a);
@@ -649,6 +986,7 @@ mod tests {
         let st = cache.stats();
         assert_eq!(st.logical_neighbor_calls, 2);
         assert_eq!(st.neighbor_misses, 1);
+        assert_eq!(st.l1_hits(), 0, "first lookups never hit an L1");
     }
 
     #[test]
@@ -666,6 +1004,9 @@ mod tests {
         let st = cache.stats();
         assert_eq!(st.neighbor_misses, 4);
         assert_eq!(st.label_misses, 4);
+        // Every repeat round was absorbed by the session L1.
+        assert_eq!(st.l1_neighbor_hits, 16);
+        assert_eq!(st.l1_label_hits, 16);
         // The wrapped simulation saw exactly the miss traffic.
         let inner = cache.backend().stats();
         assert_eq!(inner.neighbor_calls, st.neighbor_misses);
@@ -676,14 +1017,8 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let g = path4();
-        // capacity 2, one shard: deterministic eviction order.
-        let cache = CachedOsn::with_config(
-            GraphOsn::new(&g),
-            CacheConfig {
-                capacity: Some(2),
-                shards: 1,
-            },
-        );
+        // capacity 2, one shard, no L1: deterministic L2 eviction order.
+        let cache = CachedOsn::with_config(GraphOsn::new(&g), no_l1(Some(2), 1));
         let s = cache.session();
         s.neighbors(NodeId(0)); // miss {0}
         s.neighbors(NodeId(1)); // miss {0,1}
@@ -701,19 +1036,42 @@ mod tests {
     #[test]
     fn bounded_cache_still_returns_correct_data() {
         let g = path4();
-        let cache = CachedOsn::with_config(
-            GraphOsn::new(&g),
-            CacheConfig {
-                capacity: Some(1),
-                shards: 1,
-            },
-        );
+        let cache = CachedOsn::with_config(GraphOsn::new(&g), no_l1(Some(1), 1));
         let s = cache.session();
         for round in 0..3 {
             for u in 0..4u32 {
                 let got = s.neighbors(NodeId(u));
                 assert_eq!(&*got, g.neighbors(NodeId(u)), "round {round} node {u}");
             }
+        }
+    }
+
+    /// Regression test: a bounded capacity *smaller than the shard count*
+    /// must round up to one slot per shard, not down to zero-capacity
+    /// shards — the configured capacity is a lower bound, and a cache that
+    /// silently stored nothing would turn every logical call into a
+    /// backend miss.
+    #[test]
+    fn tiny_capacity_with_many_shards_still_caches() {
+        let g = path4();
+        for capacity in [1usize, 2, 3] {
+            let cache = CachedOsn::with_config(GraphOsn::new(&g), no_l1(Some(capacity), 64));
+            let s = cache.session();
+            for u in 0..4u32 {
+                s.neighbors(NodeId(u));
+            }
+            // Re-visit: with >= 1 slot per shard and 4 nodes spread over 64
+            // shards, every entry must still be resident — zero new misses.
+            for u in 0..4u32 {
+                s.neighbors(NodeId(u));
+            }
+            drop(s);
+            let st = cache.stats();
+            assert_eq!(
+                st.neighbor_misses, 4,
+                "capacity {capacity}: repeats must be hits, not refetches"
+            );
+            assert_eq!(cache.cached_entries().0, 4, "capacity {capacity}");
         }
     }
 
@@ -739,17 +1097,20 @@ mod tests {
         let cache = CachedOsn::new(GraphOsn::new(&g));
         let s = cache.session();
         s.neighbors(NodeId(0));
+        drop(s);
         cache.reset_stats();
         assert_eq!(cache.stats(), CallStats::default());
         assert_eq!(cache.cached_entries().0, 1); // entry survives reset
         let s2 = cache.session();
         s2.neighbors(NodeId(0));
+        drop(s2);
         assert_eq!(cache.stats().neighbor_misses, 0); // still cached
 
         cache.clear();
         assert_eq!(cache.cached_entries(), (0, 0));
         let s3 = cache.session();
         s3.neighbors(NodeId(0));
+        drop(s3);
         assert_eq!(cache.stats().neighbor_misses, 1); // refetched
     }
 
@@ -768,6 +1129,8 @@ mod tests {
                         }
                     }
                     assert_eq!(s.api_calls(), 400);
+                    // 49 repeat rounds per endpoint, all L1-absorbed.
+                    assert_eq!(s.l1_hits(), 2 * 49 * 4);
                 });
             }
         });
@@ -778,22 +1141,65 @@ mod tests {
         // interleaving.
         assert_eq!(st.neighbor_misses, 4);
         assert_eq!(st.label_misses, 4);
+        // L1 hits are per-session functions, so their sum is too.
+        assert_eq!(st.l1_hits(), 4 * 2 * 49 * 4);
     }
 
     #[test]
     fn guard_survives_eviction_of_its_entry() {
         let g = path4();
-        let cache = CachedOsn::with_config(
-            GraphOsn::new(&g),
-            CacheConfig {
-                capacity: Some(1),
-                shards: 1,
-            },
-        );
+        let cache = CachedOsn::with_config(GraphOsn::new(&g), no_l1(Some(1), 1));
         let s = cache.session();
         let guard = s.neighbors(NodeId(1));
         s.neighbors(NodeId(2)); // evicts node 1's entry
         assert_eq!(guard, &[NodeId(0), NodeId(2)]); // still readable
+    }
+
+    #[test]
+    fn l1_guard_survives_slot_replacement() {
+        let g = path4();
+        let cache = CachedOsn::with_config(
+            GraphOsn::new(&g),
+            CacheConfig {
+                l1_slots: 1,
+                ..CacheConfig::default()
+            },
+        );
+        let s = cache.session();
+        s.neighbors(NodeId(1));
+        let guard = s.neighbors(NodeId(1)); // L1 hit: a Local guard
+        s.neighbors(NodeId(2)); // conflicting miss: demotes node 1's entry
+        s.neighbors(NodeId(2)); // second miss: evicts it for node 2
+        assert_eq!(s.l1_hits(), 1, "node 1's entry must be gone by now");
+        assert_eq!(guard, &[NodeId(0), NodeId(2)]); // Rc keeps it alive
+    }
+
+    /// Second-chance regression test: two hot keys ping-ponging on one L1
+    /// slot must settle into one resident (hitting) key instead of
+    /// copy-thrashing — a protected incumbent survives a conflicting miss
+    /// and every hit re-protects it.
+    #[test]
+    fn l1_collision_ping_pong_keeps_one_resident_key() {
+        let g = path4();
+        let cache = CachedOsn::with_config(
+            GraphOsn::new(&g),
+            CacheConfig {
+                l1_slots: 1,
+                ..CacheConfig::default()
+            },
+        );
+        let s = cache.session();
+        let rounds = 10u64;
+        for _ in 0..rounds {
+            s.neighbors(NodeId(0)); // resident: hits from its 2nd visit on
+            s.neighbors(NodeId(1)); // challenger: demote-only, L2-served
+        }
+        assert_eq!(s.l1_hits(), rounds - 1);
+        drop(s);
+        // Both keys stayed correct throughout: unbounded L2, 2 distinct
+        // nodes, 2 misses total.
+        assert_eq!(cache.stats().neighbor_misses, 2);
+        assert_eq!(cache.stats().logical_neighbor_calls, 2 * rounds);
     }
 
     #[test]

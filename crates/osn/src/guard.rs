@@ -8,9 +8,13 @@
 //! returns [`SliceRef::Borrowed`] (zero cost, exactly the old behavior),
 //! while a cache returns [`SliceRef::Shared`] — an `Arc` clone, one
 //! refcount bump, no data copy, valid for as long as the caller holds it
-//! regardless of later evictions.
+//! regardless of later evictions. A *thread-local* cache (the per-session
+//! L1 in front of [`crate::CachedOsn`]) returns [`SliceRef::Local`]
+//! instead: an `Rc` clone, whose refcount bump is a plain increment — the
+//! hit path stays entirely free of atomic operations.
 
 use std::ops::Deref;
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// A read guard over a slice: either a plain borrow from the backing
@@ -26,6 +30,12 @@ pub enum SliceRef<'a, T> {
     /// A shared handle to cache-owned data; keeps the entry's storage
     /// alive even if the cache evicts it while the guard is held.
     Shared(Arc<[T]>),
+    /// A handle to *session-local* (single-threaded) cache data: the same
+    /// keep-alive semantics as [`SliceRef::Shared`], but the refcount is
+    /// non-atomic — cloning and dropping this guard costs two plain
+    /// integer ops. Guards carrying this variant are not `Send`, matching
+    /// the sessions that produce them.
+    Local(Rc<[T]>),
 }
 
 impl<T> Deref for SliceRef<'_, T> {
@@ -36,6 +46,7 @@ impl<T> Deref for SliceRef<'_, T> {
         match self {
             SliceRef::Borrowed(s) => s,
             SliceRef::Shared(a) => a,
+            SliceRef::Local(r) => r,
         }
     }
 }
@@ -106,5 +117,15 @@ mod tests {
         let a = SliceRef::Borrowed(&data[..]);
         let b: SliceRef<'_, u32> = SliceRef::Shared(Arc::from(vec![4u32, 5]));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn local_behaves_like_shared() {
+        let rc: Rc<[u32]> = Rc::from(vec![7u32, 8]);
+        let r: SliceRef<'_, u32> = SliceRef::Local(Rc::clone(&rc));
+        drop(rc); // the guard keeps the data alive
+        assert_eq!(r.len(), 2);
+        assert_eq!(r, [7, 8]);
+        assert!(r.binary_search(&8).is_ok());
     }
 }

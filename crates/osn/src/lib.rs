@@ -15,11 +15,14 @@
 //!   the API with full call accounting ([`AccessStats`]) and an optional
 //!   call budget, so experiments can report exactly how many API calls an
 //!   estimate consumed (the paper quotes budgets as a percentage of `|V|`).
-//! * [`CachedOsn`] / [`OsnSession`] — the thread-safe caching access
-//!   layer: sharded-lock LRU caches over any [`OsnBackend`] (e.g. the
-//!   pure, `Sync` [`GraphOsn`]), with [`CallStats`] separating *logical*
-//!   calls from backend *misses* — the paper's "distinct API calls" metric
-//!   made first-class. Cached runs are bit-identical to uncached runs.
+//! * [`CachedOsn`] / [`OsnSession`] — the thread-safe two-level caching
+//!   access layer: a shared sharded-lock LRU **L2** over any
+//!   [`OsnBackend`] (e.g. the pure, `Sync` [`GraphOsn`]), front-run by a
+//!   private, lock- and atomic-free direct-mapped **L1** inside every
+//!   session, with [`CallStats`] separating *logical* calls from backend
+//!   *misses* (the paper's "distinct API calls" metric made first-class)
+//!   and counting L1 hits. Cached runs are bit-identical to uncached
+//!   runs, with the L1 enabled or disabled.
 //! * [`AdversarialOsn`] — a deterministic, seeded fault-injecting
 //!   decorator over any [`OsnBackend`] (rate-limit windows with
 //!   retry-after, transient errors, simulated latency ticks, paginated
@@ -44,7 +47,7 @@ pub mod simulated;
 
 pub use adversarial::{AdversarialOsn, FaultConfig, FaultStats, RetryPolicy};
 pub use api::{OsnApi, OsnApiExt, OsnBackend};
-pub use cached::{CacheConfig, CachedOsn, CallStats, GraphOsn, OsnSession};
+pub use cached::{CacheConfig, CachedOsn, CallStats, GraphOsn, OsnSession, DEFAULT_L1_SLOTS};
 pub use guard::SliceRef;
 pub use linegraph::{LineGraphView, LineNode};
 pub use simulated::{AccessStats, SimulatedOsn};

@@ -105,22 +105,51 @@ impl<'a, A: OsnApi + ?Sized> LineGraphView<'a, A> {
             nu.binary_search(&e.v).is_ok() && nv.binary_search(&e.u).is_ok(),
             "line node {e} must be an edge of G with symmetric adjacency"
         );
-        let (du, dv) = (nu.len(), nv.len());
-        let total = du + dv - 2;
+        let total = nu.len() + nv.len() - 2;
         if total == 0 {
             return None;
         }
         let idx = rng.gen_range(0..total);
+        Some(Self::nth_adjacent(&nu, &nv, e, idx))
+    }
+
+    /// The `i`-th `G'`-neighbor of `e` in the canonical enumeration of the
+    /// multiset `N(u)\{v} ⊎ N(v)\{u}` (the order
+    /// [`LineGraphView::sample_neighbor`] indexes into), or `None` when
+    /// `i >= d'(e)`. Two neighbor-list calls, O(1) past the fetches — the
+    /// building block of single-draw padded proposals, where one uniform
+    /// index both decides laziness and selects the neighbor.
+    pub fn neighbor_at(&self, e: LineNode, i: usize) -> Option<LineNode> {
+        let nu = self.api.neighbors(e.u);
+        let nv = self.api.neighbors(e.v);
+        debug_assert!(
+            nu.binary_search(&e.v).is_ok() && nv.binary_search(&e.u).is_ok(),
+            "line node {e} must be an edge of G with symmetric adjacency"
+        );
+        if i >= nu.len() + nv.len() - 2 {
+            return None;
+        }
+        Some(Self::nth_adjacent(&nu, &nv, e, i))
+    }
+
+    /// Maps index `idx < d'(e)` to an adjacent edge: the index splits by
+    /// the precomputed endpoint degrees, and the excluded endpoint is
+    /// remapped with the swap-with-last trick (each remaining neighbor
+    /// keeps probability `1/(d(w)−1)` under a uniform index — no position
+    /// scan or binary search).
+    fn nth_adjacent(nu: &[NodeId], nv: &[NodeId], e: LineNode, idx: usize) -> LineNode {
+        let (du, dv) = (nu.len(), nv.len());
+        debug_assert!(idx < du + dv - 2);
         if idx < du - 1 {
             // Pick slot idx of N(u) \ {v}.
             let w = nu[idx];
             let w = if w == e.v { nu[du - 1] } else { w };
-            Some(LineNode::new(e.u, w))
+            LineNode::new(e.u, w)
         } else {
             // Pick slot idx − (d(u)−1) of N(v) \ {u}.
             let w = nv[idx - (du - 1)];
             let w = if w == e.u { nv[dv - 1] } else { w };
-            Some(LineNode::new(e.v, w))
+            LineNode::new(e.v, w)
         }
     }
 
@@ -227,6 +256,30 @@ mod tests {
                 "neighbor {n} frequency {frac}"
             );
             assert_ne!(n, e);
+        }
+    }
+
+    #[test]
+    fn neighbor_at_enumerates_each_adjacent_edge_once() {
+        let g = fixture();
+        let osn = SimulatedOsn::new(&g);
+        let lg = LineGraphView::new(&osn);
+        for (u, v) in g.edges() {
+            let e = LineNode::new(u, v);
+            let d = lg.degree(e);
+            let mut seen: Vec<LineNode> = (0..d).map(|i| lg.neighbor_at(e, i).unwrap()).collect();
+            seen.sort();
+            seen.dedup();
+            assert_eq!(seen.len(), d, "{e}: enumeration must be a bijection");
+            for n in &seen {
+                assert_ne!(*n, e);
+                assert!(g.has_edge(n.u(), n.v()), "{n} is not an edge");
+                assert!(
+                    n.u() == e.u() || n.u() == e.v() || n.v() == e.u() || n.v() == e.v(),
+                    "{n} does not share an endpoint with {e}"
+                );
+            }
+            assert_eq!(lg.neighbor_at(e, d), None, "{e}: out of range must be None");
         }
     }
 

@@ -77,12 +77,15 @@ fn throughput_metrics(r: &Report) -> [(&'static str, f64); 3] {
 /// `engine_parallel_ms`/`workload_parallel_ms` are deliberately absent:
 /// they scale with the runner's core count, which calibration (a serial
 /// workload) cannot correct for — they are compared warning-only, with
-/// the speedup.
-fn walltime_metrics(r: &Report) -> [(&'static str, f64); 3] {
+/// the speedup. `hit_path_ns` (the warm-cache per-call cost) is serial
+/// and machine-normalizable, so it gates like the wall times: a cliff
+/// there means the hot 97% of logical calls got slower.
+fn walltime_metrics(r: &Report) -> [(&'static str, f64); 4] {
     [
         ("measured.total_ms", r.measured.total_ms),
         ("measured.engine_serial_ms", r.measured.engine_serial_ms),
         ("measured.workload_serial_ms", r.measured.workload_serial_ms),
+        ("measured.hit_path_ns", r.measured.hit_path_ns),
     ]
 }
 
@@ -360,6 +363,89 @@ pub fn compare_dirs_opts(
     Ok(cmp)
 }
 
+/// The multi-core **self-gate** on parallel speedup: every current report
+/// produced on a multi-core runner (`scenario.threads > 1`) must show an
+/// engine parallel speedup of at least `min_speedup`, or the finding is
+/// fatal. Single-core runners (dev containers, laptops pinned to one
+/// core) get an informational note instead — they *cannot* exhibit a
+/// speedup, so gating them would only teach people to ignore the gate.
+///
+/// This is deliberately baseline-free: committed baselines regenerated on
+/// a single-core machine record `threads = 1`, which keeps the
+/// baseline-relative speedup comparison warn-only — but CI's multi-core
+/// runners must still prove the parallel path scales *at all*. The
+/// absolute floor closes that gap until a multi-core regeneration is
+/// committed (promote the `bench-smoke-json` artifact of a CI run).
+pub fn min_speedup_findings(current_dir: &Path, min_speedup: f64) -> Result<Vec<Finding>, String> {
+    assert!(min_speedup >= 1.0, "speedup floor must be >= 1");
+    let currents = load_reports(current_dir)?;
+    let mut findings = Vec::new();
+    for r in &currents {
+        let speedup = r.measured.engine_parallel_speedup;
+        if r.meta.threads <= 1 {
+            findings.push(Finding {
+                scenario: r.meta.name.clone(),
+                metric: "measured.engine_parallel_speedup".into(),
+                baseline: min_speedup,
+                current: speedup,
+                fatal: false,
+                message: "single-core runner: speedup floor not applicable".into(),
+            });
+        } else if speedup < min_speedup {
+            findings.push(Finding {
+                scenario: r.meta.name.clone(),
+                metric: "measured.engine_parallel_speedup".into(),
+                baseline: min_speedup,
+                current: speedup,
+                fatal: true,
+                message: format!(
+                    "parallel speedup {speedup:.2}x below the {min_speedup:.2}x floor on a {}-core runner",
+                    r.meta.threads
+                ),
+            });
+        }
+    }
+    Ok(findings)
+}
+
+/// Renders a comparison as a GitHub-flavored markdown verdict table — the
+/// payload the CI perf job appends to `$GITHUB_STEP_SUMMARY` so reviewers
+/// see the gate's reasoning without opening the log.
+pub fn markdown_summary(cmp: &Comparison, max_regression: f64) -> String {
+    let mut out = String::new();
+    out.push_str("## Perf regression gate\n\n");
+    out.push_str(&format!(
+        "**{}** — compared {} scenario(s) at threshold {max_regression}×\n\n",
+        if cmp.passed() { "✅ PASS" } else { "❌ FAIL" },
+        cmp.compared,
+    ));
+    if cmp.findings.is_empty() {
+        out.push_str("No findings: every measured metric is within threshold and all deterministic counters match their baselines.\n");
+        return out;
+    }
+    out.push_str("| verdict | scenario | metric | baseline | current | note |\n");
+    out.push_str("|---|---|---|---:|---:|---|\n");
+    for f in &cmp.findings {
+        let fmt_num = |x: f64| {
+            if x.is_nan() {
+                "—".to_string()
+            } else {
+                format!("{x:.3e}")
+            }
+        };
+        out.push_str(&format!(
+            "| {} | {} | `{}` | {} | {} | {} |\n",
+            if f.fatal { "❌ FAIL" } else { "⚠️ warn" },
+            f.scenario,
+            f.metric,
+            fmt_num(f.baseline),
+            fmt_num(f.current),
+            f.message.replace('|', "\\|"),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +488,7 @@ mod tests {
                 estimates: vec![1.0, 2.0],
                 logical_api_calls: 100,
                 miss_api_calls: 20,
+                l1_hits: 60,
                 hit_rate: 0.8,
             },
             workload: WorkloadCounters {
@@ -428,6 +515,7 @@ mod tests {
                 engine_serial_ms: total_ms / 10.0,
                 engine_parallel_ms: total_ms / 30.0,
                 engine_parallel_speedup: 3.0,
+                hit_path_ns: total_ms / 10.0,
                 workload_serial_ms: total_ms / 5.0,
                 workload_parallel_ms: total_ms / 15.0,
                 workload_queries_per_sec: 120_000.0 / total_ms,
@@ -532,6 +620,68 @@ mod tests {
         cur.measured.alloc.measured = false;
         let findings = compare_reports(&base, &cur, 2.5);
         assert!(findings.iter().all(|f| !f.fatal), "{findings:?}");
+    }
+
+    #[test]
+    fn hit_path_cliff_is_fatal() {
+        let base = report("ba_smoke", 1.0e6, 100.0);
+        let mut cur = report("ba_smoke", 1.0e6, 100.0);
+        cur.measured.hit_path_ns = base.measured.hit_path_ns * 3.0; // 3x slower hits
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert!(findings
+            .iter()
+            .any(|f| f.fatal && f.metric == "measured.hit_path_ns"));
+    }
+
+    #[test]
+    fn speedup_floor_gates_multicore_runners_only() {
+        let tmp = std::env::temp_dir().join(format!("lcperf_floor_{}", std::process::id()));
+        std::fs::create_dir_all(&tmp).unwrap();
+
+        // Multi-core runner, collapsed speedup: fatal.
+        let mut bad = report("ba_smoke", 1.0e6, 100.0);
+        bad.meta.threads = 4;
+        bad.measured.engine_parallel_speedup = 1.02;
+        std::fs::write(tmp.join(bad.file_name()), bad.to_json().to_pretty()).unwrap();
+        let findings = min_speedup_findings(&tmp, 1.2).unwrap();
+        assert!(findings.iter().any(|f| f.fatal), "{findings:?}");
+
+        // Same numbers on a single-core runner: informational only.
+        let mut single = bad.clone();
+        single.meta.threads = 1;
+        std::fs::write(tmp.join(single.file_name()), single.to_json().to_pretty()).unwrap();
+        let findings = min_speedup_findings(&tmp, 1.2).unwrap();
+        assert!(findings.iter().all(|f| !f.fatal), "{findings:?}");
+
+        // Healthy multi-core speedup: no fatal finding.
+        let mut good = bad.clone();
+        good.measured.engine_parallel_speedup = 2.8;
+        std::fs::write(tmp.join(good.file_name()), good.to_json().to_pretty()).unwrap();
+        let findings = min_speedup_findings(&tmp, 1.2).unwrap();
+        assert!(findings.iter().all(|f| !f.fatal), "{findings:?}");
+        std::fs::remove_dir_all(&tmp).unwrap();
+    }
+
+    #[test]
+    fn markdown_summary_renders_verdicts() {
+        let base = report("ba_smoke", 1.0e6, 100.0);
+        let cur = report("ba_smoke", 0.1e6, 100.0); // 10x throughput cliff
+        let cmp = Comparison {
+            findings: compare_reports(&base, &cur, 2.5),
+            compared: 1,
+        };
+        let md = markdown_summary(&cmp, 2.5);
+        assert!(md.contains("❌ FAIL"), "{md}");
+        assert!(md.contains("| verdict | scenario |"), "{md}");
+        assert!(md.contains("per_step_steps_per_sec"), "{md}");
+
+        let clean = Comparison {
+            findings: vec![],
+            compared: 3,
+        };
+        let md = markdown_summary(&clean, 2.5);
+        assert!(md.contains("✅ PASS"), "{md}");
+        assert!(md.contains("No findings"), "{md}");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use labelcount_perf::alloc_track::CountingAlloc;
-use labelcount_perf::compare::compare_dirs_opts;
+use labelcount_perf::compare::{compare_dirs_opts, markdown_summary, min_speedup_findings};
 use labelcount_perf::scenario::{
     run_scenario, Family, ScenarioSpec, Tier, DEFAULT_FAULT_RATE, DEFAULT_SEED,
 };
@@ -125,6 +125,8 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
     let mut current: Option<PathBuf> = None;
     let mut max_regression = 2.5f64;
     let mut match_family = false;
+    let mut min_speedup: Option<f64> = None;
+    let mut summary_path: Option<PathBuf> = None;
 
     let mut i = 0usize;
     while i < args.len() {
@@ -139,6 +141,21 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
                 }
             }
             "--match-family" => match_family = true,
+            "--min-parallel-speedup" => {
+                let v = take_value(args, &mut i, "--min-parallel-speedup")?;
+                let floor: f64 = v.parse().map_err(|_| format!("bad speedup floor `{v}`"))?;
+                if floor < 1.0 {
+                    return Err("--min-parallel-speedup must be >= 1.0".into());
+                }
+                min_speedup = Some(floor);
+            }
+            "--markdown-summary" => {
+                summary_path = Some(PathBuf::from(take_value(
+                    args,
+                    &mut i,
+                    "--markdown-summary",
+                )?))
+            }
             "--help" | "-h" => {
                 println!("{}", HELP);
                 return Ok(ExitCode::SUCCESS);
@@ -150,7 +167,22 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
     let baseline = baseline.ok_or("compare requires --baseline DIR")?;
     let current = current.ok_or("compare requires --current DIR")?;
 
-    let cmp = compare_dirs_opts(&baseline, &current, max_regression, match_family)?;
+    let mut cmp = compare_dirs_opts(&baseline, &current, max_regression, match_family)?;
+    if let Some(floor) = min_speedup {
+        cmp.findings.extend(min_speedup_findings(&current, floor)?);
+    }
+    if let Some(path) = &summary_path {
+        // Append, not truncate: $GITHUB_STEP_SUMMARY accumulates sections
+        // from every step of the job.
+        use std::io::Write;
+        let md = markdown_summary(&cmp, max_regression);
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(md.as_bytes()))
+            .map_err(|e| format!("cannot write summary {}: {e}", path.display()))?;
+    }
     for f in &cmp.findings {
         let tag = if f.fatal { "FAIL" } else { "warn" };
         if f.baseline.is_nan() {
@@ -180,7 +212,8 @@ USAGE:
   labelcount-perf [--tier smoke|standard|stress] [--family ba,er,loaded]
                   [--seed N] [--fault-rate F] [--out DIR]
   labelcount-perf compare --baseline DIR --current DIR [--max-regression X]
-                  [--match-family]
+                  [--match-family] [--min-parallel-speedup X]
+                  [--markdown-summary FILE]
 
 Run mode writes one BENCH_<family>_<tier>.json per scenario (default out:
 current directory). --fault-rate sets the workload phase's adversarial
@@ -189,4 +222,8 @@ counters, which the compare gate reports warn-only). Compare mode exits 1
 if any measured metric regressed more than the threshold (default 2.5x)
 against the baseline directory; --match-family additionally compares
 scenarios without a same-name baseline against a same-family baseline of
-another tier, warnings only.";
+another tier, warnings only. --min-parallel-speedup X fails any *current*
+report produced on a multi-core runner whose engine parallel speedup is
+below X (a baseline-free self-gate: single-core runners are exempt), and
+--markdown-summary FILE appends the verdict table as GitHub-flavored
+markdown (pass $GITHUB_STEP_SUMMARY in CI).";

@@ -28,7 +28,13 @@ use crate::json::{Json, JsonError};
 /// adversarial fault-injecting backend: estimates, retry charges, realized
 /// backend attempts, budget overruns, latency-tick percentiles) and the
 /// `measured.workload_*` timings/throughput.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4 added the cache-hierarchy fields: `counters.engine.l1_hits`
+/// (logical calls served by sessions' private lock-free L1 caches during
+/// the serial engine pass) and `measured.hit_path_ns` (steady-state
+/// wall-clock cost of one warm-cache logical call — the metric the
+/// L1/L2 hierarchy exists to shrink, gated like the other wall times).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Scenario identity and workload parameters.
 #[derive(Clone, Debug, PartialEq)]
@@ -95,6 +101,11 @@ pub struct EngineCounters {
     /// engine's raison d'être: `miss <= 0.7 * logical` on every committed
     /// smoke baseline.
     pub miss_api_calls: u64,
+    /// Logical calls served by sessions' private L1 caches (no lock, no
+    /// atomic refcount traffic) — the subset of hits on the de-atomized
+    /// hot path. Deterministic: each session's L1 hit count is a pure
+    /// function of its own call sequence.
+    pub l1_hits: u64,
     /// `1 - miss/logical` (deterministic arithmetic over the two counters).
     pub hit_rate: f64,
 }
@@ -171,6 +182,11 @@ pub struct Measured {
     /// `engine_serial_ms / engine_parallel_ms` — > 1 on multi-core
     /// runners.
     pub engine_parallel_speedup: f64,
+    /// Steady-state cost of one logical call on a fully warm cache
+    /// (session L1 warmed over the probe set, shared L2 warmed by the
+    /// serial engine pass), nanoseconds. This is the ~97%-of-calls hot
+    /// path the L1 hierarchy optimizes; gated like the other wall times.
+    pub hit_path_ns: f64,
     /// Wall time of the workload phase on one worker, milliseconds.
     pub workload_serial_ms: f64,
     /// Wall time of the same workload fanned across all available
@@ -302,6 +318,7 @@ impl Report {
                                 "miss_api_calls",
                                 Json::Num(self.engine.miss_api_calls as f64),
                             ),
+                            ("l1_hits", Json::Num(self.engine.l1_hits as f64)),
                             ("hit_rate", Json::Num(self.engine.hit_rate)),
                         ]),
                     ),
@@ -372,6 +389,7 @@ impl Report {
                         "engine_parallel_speedup",
                         Json::Num(ms.engine_parallel_speedup),
                     ),
+                    ("hit_path_ns", Json::Num(ms.hit_path_ns)),
                     ("workload_serial_ms", Json::Num(ms.workload_serial_ms)),
                     ("workload_parallel_ms", Json::Num(ms.workload_parallel_ms)),
                     (
@@ -471,6 +489,7 @@ impl Report {
                 .collect::<Result<_, _>>()?,
             logical_api_calls: field_u64(ej, "logical_api_calls")?,
             miss_api_calls: field_u64(ej, "miss_api_calls")?,
+            l1_hits: field_u64(ej, "l1_hits")?,
             hit_rate: field_f64(ej, "hit_rate")?,
         };
         let wlj = counters
@@ -508,6 +527,7 @@ impl Report {
             engine_serial_ms: field_f64(mj, "engine_serial_ms")?,
             engine_parallel_ms: field_f64(mj, "engine_parallel_ms")?,
             engine_parallel_speedup: field_f64(mj, "engine_parallel_speedup")?,
+            hit_path_ns: field_f64(mj, "hit_path_ns")?,
             workload_serial_ms: field_f64(mj, "workload_serial_ms")?,
             workload_parallel_ms: field_f64(mj, "workload_parallel_ms")?,
             workload_queries_per_sec: field_f64(mj, "workload_queries_per_sec")?,
@@ -621,6 +641,7 @@ mod tests {
                 estimates: vec![6700.0, 6801.5],
                 logical_api_calls: 131_072,
                 miss_api_calls: 4_100,
+                l1_hits: 96_000,
                 hit_rate: 0.96872,
             },
             workload: WorkloadCounters {
@@ -647,6 +668,7 @@ mod tests {
                 engine_serial_ms: 9.0,
                 engine_parallel_ms: 2.4,
                 engine_parallel_speedup: 3.75,
+                hit_path_ns: 11.5,
                 workload_serial_ms: 42.0,
                 workload_parallel_ms: 12.5,
                 workload_queries_per_sec: 1_280.0,
@@ -675,7 +697,7 @@ mod tests {
         let text = r
             .to_json()
             .to_pretty()
-            .replace("\"schema_version\": 3", "\"schema_version\": 999");
+            .replace("\"schema_version\": 4", "\"schema_version\": 999");
         match Report::from_json_text(&text) {
             Err(ReportError::Schema(msg)) => assert!(msg.contains("999"), "{msg}"),
             other => panic!("expected schema error, got {other:?}"),
@@ -684,7 +706,7 @@ mod tests {
 
     #[test]
     fn missing_fields_are_schema_errors() {
-        let text = "{\"schema_version\": 3}";
+        let text = "{\"schema_version\": 4}";
         assert!(matches!(
             Report::from_json_text(text),
             Err(ReportError::Schema(_))

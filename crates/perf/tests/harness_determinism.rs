@@ -25,6 +25,9 @@ fn smoke_counters_are_identical_across_runs_at_the_same_seed() {
     assert_eq!(a.engine.replicates, b.engine.replicates);
     assert_eq!(a.engine.logical_api_calls, b.engine.logical_api_calls);
     assert_eq!(a.engine.miss_api_calls, b.engine.miss_api_calls);
+    // L1 hits are per-session functions of per-session call sequences, so
+    // they are as deterministic as the miss counts.
+    assert_eq!(a.engine.l1_hits, b.engine.l1_hits);
     assert_eq!(a.engine.hit_rate.to_bits(), b.engine.hit_rate.to_bits());
     let ae: Vec<u64> = a.engine.estimates.iter().map(|e| e.to_bits()).collect();
     let be: Vec<u64> = b.engine.estimates.iter().map(|e| e.to_bits()).collect();
@@ -97,9 +100,18 @@ fn smoke_report_round_trips_and_batched_walk_agrees() {
     );
     let expect_rate = (e.logical_api_calls - e.miss_api_calls) as f64 / e.logical_api_calls as f64;
     assert_eq!(e.hit_rate.to_bits(), expect_rate.to_bits());
+    // The v4 cache-hierarchy fields: replicated estimation over a shared
+    // graph is repeat-heavy, so the session L1s must absorb a nonzero
+    // share of the hits, bounded by the total hit count.
+    assert!(e.l1_hits > 0, "engine sessions produced zero L1 hits");
+    assert!(e.l1_hits <= e.logical_api_calls - e.miss_api_calls);
     assert!(parsed.measured.engine_serial_ms > 0.0);
     assert!(parsed.measured.engine_parallel_ms > 0.0);
     assert!(parsed.measured.engine_parallel_speedup > 0.0);
+    assert!(
+        parsed.measured.hit_path_ns > 0.0,
+        "warm-cache probe must measure a positive per-call cost"
+    );
 
     // The v3 workload section survives the round trip and satisfies the
     // adversarial-service contract: at the default 0.15 fault rate every

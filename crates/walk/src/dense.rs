@@ -1,0 +1,267 @@
+//! Full-knowledge walkable view of a [`LabeledGraph`] with O(1)
+//! alias-table start sampling — the evaluation-side fast path.
+//!
+//! Estimators must walk through the restricted OSN API, but the
+//! *evaluation machinery* around them (perf harnesses, mixing studies,
+//! ground-truth variance experiments) owns the whole graph and pays the
+//! API simulation's bookkeeping for nothing. [`DenseGraph`] is a
+//! [`WalkableGraph`] straight over the CSR arrays: every operation is a
+//! direct slice index, and because the degree sequence is known up front
+//! it precomputes an [`AliasTable`] so [`WalkableGraph::stationary_start`]
+//! draws a node with probability `d(u)/2|E|` — the simple random walk's
+//! stationary distribution — in O(1). A walk started there needs **zero
+//! burn-in**: every step is immediately a stationary sample.
+//!
+//! RNG-stream compatibility: `random_node`, `sample_neighbor`, and
+//! `neighbor_at` consume draws exactly like the [`SimulatedOsn`]
+//! implementation (same ranges, same order), so a walker replayed on a
+//! `DenseGraph` visits the bit-identical node sequence — enforced by the
+//! tests below and the `proptest_l1` suite. Only `stationary_start`
+//! deliberately diverges (that is its purpose; it is a new entry point,
+//! not a changed one).
+//!
+//! [`SimulatedOsn`]: labelcount_osn::SimulatedOsn
+
+use labelcount_graph::{AliasTable, LabeledGraph, NodeId};
+use rand::Rng;
+
+use crate::traits::WalkableGraph;
+
+/// A full-knowledge, zero-overhead walkable state space over a
+/// [`LabeledGraph`], with a precomputed degree alias table for O(1)
+/// degree-proportional starts.
+///
+/// ```
+/// use labelcount_graph::{GraphBuilder, NodeId};
+/// use labelcount_walk::{DenseGraph, SimpleWalk, WalkableGraph, Walker};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1));
+/// b.add_edge(NodeId(1), NodeId(2));
+/// let g = b.build();
+/// let dense = DenseGraph::new(&g);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// // Started at the stationary distribution: no burn-in needed.
+/// let mut walk = SimpleWalk::new(dense.stationary_start(&mut rng));
+/// walk.step(&dense, &mut rng);
+/// ```
+pub struct DenseGraph<'g> {
+    graph: &'g LabeledGraph,
+    max_degree: usize,
+    /// Degree-proportional start sampler; `None` for an edgeless graph
+    /// (where `stationary_start` falls back to the uniform draw).
+    start_alias: Option<AliasTable>,
+}
+
+impl<'g> DenseGraph<'g> {
+    /// Wraps a graph, precomputing the maximum degree and the degree
+    /// alias table (O(|V|), done once).
+    pub fn new(graph: &'g LabeledGraph) -> Self {
+        let max_degree = graph.nodes().map(|u| graph.degree(u)).max().unwrap_or(0);
+        DenseGraph {
+            graph,
+            max_degree,
+            start_alias: AliasTable::from_degrees(graph),
+        }
+    }
+
+    /// The wrapped graph.
+    pub fn graph(&self) -> &'g LabeledGraph {
+        self.graph
+    }
+
+    /// Whether degree-proportional starts are available (false only for
+    /// edgeless graphs).
+    pub fn has_stationary_start(&self) -> bool {
+        self.start_alias.is_some()
+    }
+}
+
+impl WalkableGraph for DenseGraph<'_> {
+    type Node = NodeId;
+
+    fn degree(&self, u: NodeId) -> usize {
+        self.graph.degree(u)
+    }
+
+    fn sample_neighbor<R: Rng + ?Sized>(&self, u: NodeId, rng: &mut R) -> Option<NodeId> {
+        // Identical draw pattern to `OsnApiExt::sample_neighbor`, so
+        // walkers replay the same node sequence on either space.
+        let ns = self.graph.neighbors(u);
+        if ns.is_empty() {
+            None
+        } else {
+            Some(ns[rng.gen_range(0..ns.len())])
+        }
+    }
+
+    fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        // Identical draw pattern to `OsnApiExt::random_node`.
+        assert!(
+            self.graph.num_nodes() > 0,
+            "cannot sample from an empty graph"
+        );
+        NodeId(rng.gen_range(0..self.graph.num_nodes() as u32))
+    }
+
+    fn neighbor_at(&self, u: NodeId, i: usize) -> Option<NodeId> {
+        self.graph.neighbors(u).get(i).copied()
+    }
+
+    /// O(1) degree-proportional draw from the precomputed alias table:
+    /// one uniform integer, one uniform float, one probe — versus the
+    /// O(log |V|) cumulative-degree binary search it replaces. Falls back
+    /// to the uniform draw on an edgeless graph.
+    fn stationary_start<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        match &self.start_alias {
+            Some(table) => table.sample_node(rng),
+            None => self.random_node(rng),
+        }
+    }
+
+    fn max_degree_bound(&self) -> usize {
+        self.max_degree
+    }
+
+    fn num_states(&self) -> usize {
+        self.graph.num_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::{assert_tv_close, test_graph, visit_frequencies};
+    use crate::{GmdWalk, MaxDegreeWalk, SimpleWalk, Walker};
+    use labelcount_graph::GraphBuilder;
+    use labelcount_osn::SimulatedOsn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walkers_replay_identical_sequences_on_dense_and_simulated() {
+        let g = test_graph(601);
+        let dense = DenseGraph::new(&g);
+        let osn = SimulatedOsn::new(&g);
+        let steps = 2_000;
+
+        // Simple walk, max-degree walk (legacy and single-draw), GMD walk
+        // (legacy and single-draw): all must visit the bit-identical node
+        // sequence on the full-knowledge space and the API simulation.
+        macro_rules! check_pair {
+            ($name:literal, $mk_dense:expr, $mk_osn:expr) => {{
+                let mut rng_a = StdRng::seed_from_u64(61);
+                let mut wa = $mk_dense;
+                let a: Vec<NodeId> = (0..steps).map(|_| wa.step(&dense, &mut rng_a)).collect();
+                let mut rng_b = StdRng::seed_from_u64(61);
+                let mut wb = $mk_osn;
+                let b: Vec<NodeId> = (0..steps).map(|_| wb.step(&osn, &mut rng_b)).collect();
+                assert_eq!(
+                    a, b,
+                    "{} diverged between DenseGraph and SimulatedOsn",
+                    $name
+                );
+            }};
+        }
+
+        check_pair!(
+            "simple",
+            SimpleWalk::new(NodeId(0)),
+            SimpleWalk::new(NodeId(0))
+        );
+        check_pair!(
+            "max-degree legacy",
+            MaxDegreeWalk::new(&dense, NodeId(0)),
+            MaxDegreeWalk::new(&osn, NodeId(0))
+        );
+        check_pair!(
+            "max-degree single-draw",
+            MaxDegreeWalk::new(&dense, NodeId(0)).single_draw(),
+            MaxDegreeWalk::new(&osn, NodeId(0)).single_draw()
+        );
+        check_pair!(
+            "gmd legacy",
+            GmdWalk::new(NodeId(0), 6),
+            GmdWalk::new(NodeId(0), 6)
+        );
+        check_pair!(
+            "gmd single-draw",
+            GmdWalk::new(NodeId(0), 6).single_draw(),
+            GmdWalk::new(NodeId(0), 6).single_draw()
+        );
+    }
+
+    #[test]
+    fn stationary_start_is_degree_proportional() {
+        let g = test_graph(602);
+        let dense = DenseGraph::new(&g);
+        let mut rng = StdRng::seed_from_u64(62);
+        let trials = 200_000;
+        let mut counts = vec![0usize; g.num_nodes()];
+        for _ in 0..trials {
+            counts[dense.stationary_start(&mut rng).index()] += 1;
+        }
+        let freq: Vec<f64> = counts
+            .into_iter()
+            .map(|c| c as f64 / trials as f64)
+            .collect();
+        let expected: Vec<f64> = g
+            .nodes()
+            .map(|u| g.degree(u) as f64 / g.degree_sum() as f64)
+            .collect();
+        assert_tv_close(&freq, &expected, 0.01, "alias stationary start");
+    }
+
+    #[test]
+    fn zero_burn_in_walk_from_stationary_start_is_already_mixed() {
+        // The payoff of the alias start: sample immediately, no burn-in,
+        // and the visit frequencies still match π(u) = d(u)/2|E|.
+        let g = test_graph(603);
+        let dense = DenseGraph::new(&g);
+        let mut rng = StdRng::seed_from_u64(63);
+        let walker = SimpleWalk::new(dense.stationary_start(&mut rng));
+        let freq = visit_frequencies(
+            &dense,
+            walker,
+            400_000,
+            g.num_nodes(),
+            |u| u.index(),
+            &mut rng,
+        );
+        let expected: Vec<f64> = g
+            .nodes()
+            .map(|u| g.degree(u) as f64 / g.degree_sum() as f64)
+            .collect();
+        assert_tv_close(&freq, &expected, 0.02, "zero-burn-in walk");
+    }
+
+    #[test]
+    fn edgeless_graph_falls_back_to_uniform_start() {
+        let g = GraphBuilder::new(3).build();
+        let dense = DenseGraph::new(&g);
+        assert!(!dense.has_stationary_start());
+        let mut legacy = StdRng::seed_from_u64(64);
+        let mut fallback = StdRng::seed_from_u64(64);
+        for _ in 0..16 {
+            assert_eq!(
+                dense.random_node(&mut legacy),
+                dense.stationary_start(&mut fallback)
+            );
+        }
+    }
+
+    #[test]
+    fn accessors_expose_the_graph() {
+        let g = test_graph(604);
+        let dense = DenseGraph::new(&g);
+        assert_eq!(dense.num_states(), g.num_nodes());
+        assert_eq!(dense.graph().num_edges(), g.num_edges());
+        assert!(dense.max_degree_bound() >= 3);
+        assert_eq!(
+            dense.neighbor_at(NodeId(0), 0),
+            g.neighbors(NodeId(0)).first().copied()
+        );
+    }
+}

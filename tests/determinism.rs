@@ -159,6 +159,86 @@ fn engine_replication_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// The session L1 cache changes what a hit costs, never what a query
+/// sees: for every Table-2 algorithm, replicated estimation must be
+/// bit-identical at 1, 2, and 8 threads with the L1 enabled (default)
+/// and disabled — and the shared logical/miss accounting must agree
+/// across all six cells.
+#[test]
+fn engine_replication_is_bit_identical_with_l1_on_and_off() {
+    use labelcount::osn::CacheConfig;
+
+    let d = build(DatasetKind::FacebookLike, 0.05, 41);
+    let target = d.targets[0].label;
+    let cfg = RunConfig {
+        burn_in: 40,
+        ..RunConfig::default()
+    };
+    let budget = d.graph.num_nodes() / 10;
+    let reps = 6;
+    let base_seed = 0x11CA;
+
+    for alg in algorithms::all_paper(0.2, 0.5) {
+        let mut reference: Option<(Vec<u64>, u64, u64)> = None;
+        for l1_slots in [0usize, 512] {
+            let engine = Engine::with_cache_config(
+                &d.graph,
+                CacheConfig {
+                    l1_slots,
+                    ..CacheConfig::default()
+                },
+            );
+            for threads in [1usize, 2, 8] {
+                let estimates: Vec<u64> = engine
+                    .estimate_replicated(
+                        alg.as_ref(),
+                        target,
+                        budget,
+                        &cfg,
+                        base_seed,
+                        reps,
+                        threads,
+                    )
+                    .into_iter()
+                    .map(|r| r.unwrap().to_bits())
+                    .collect();
+                match &reference {
+                    None => {
+                        let stats = engine.stats();
+                        reference = Some((estimates, stats.logical_calls(), stats.misses()));
+                    }
+                    Some((est_ref, _, _)) => assert_eq!(
+                        est_ref,
+                        &estimates,
+                        "{} diverged at l1_slots={l1_slots}, {threads} threads",
+                        alg.abbrev()
+                    ),
+                }
+            }
+            // Logical and miss totals are independent of the L1 and the
+            // thread count (each (l1, threads) cell replayed the same
+            // per-session sequences; the engine accumulated 3 passes).
+            let stats = engine.stats();
+            let (_, logical_one_pass, misses_one_pass) = reference.as_ref().unwrap();
+            assert_eq!(
+                stats.logical_calls(),
+                3 * logical_one_pass,
+                "{} l1_slots={l1_slots}: logical calls drifted",
+                alg.abbrev()
+            );
+            assert_eq!(
+                stats.misses(),
+                *misses_one_pass,
+                "{} l1_slots={l1_slots}: unbounded misses must stay at the distinct floor",
+                alg.abbrev()
+            );
+            if l1_slots == 0 {
+                assert_eq!(stats.l1_hits(), 0, "{}", alg.abbrev());
+            }
+        }
+    }
+}
+
 /// The multi-query workload service over a hostile (fault-injecting) API:
 /// a mixed workload of ≥ 8 Table-2 queries at a nonzero fault rate must
 /// produce bit-identical estimates, retry counts, latency ticks, and
