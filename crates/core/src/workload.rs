@@ -34,7 +34,7 @@
 //! estimate.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use labelcount_graph::{LabeledGraph, TargetLabel};
 use labelcount_osn::{AdversarialOsn, CachedOsn, FaultConfig, GraphOsn, OsnApi, RetryPolicy};
@@ -259,8 +259,16 @@ impl WorkloadProgress {
     }
 
     /// Snapshot of the running estimate statistics.
+    ///
+    /// Poison-tolerant: a worker that panics while holding the lock marks
+    /// the mutex poisoned, but the payload is a `Copy` accumulator that is
+    /// valid at every instant (`RunningStats::push` cannot be observed
+    /// half-applied through the lock), so the progress view recovers the
+    /// inner value instead of cascading the panic into every later read —
+    /// one bad query must not take the anytime path down for the rest of
+    /// a long-lived server's life.
     pub fn partial_estimates(&self) -> RunningStats {
-        *self.partial.lock().unwrap()
+        *self.partial.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn record(&self, estimate: Option<f64>) {
@@ -269,7 +277,12 @@ impl WorkloadProgress {
         // value on a degenerate sample).
         if let Some(e) = estimate {
             if e.is_finite() {
-                self.partial.lock().unwrap().push(e);
+                // Recover from poisoning for the same reason as
+                // `partial_estimates`: the accumulator is always valid.
+                self.partial
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(e);
             }
         }
         self.completed.fetch_add(1, Ordering::Relaxed);
@@ -523,6 +536,33 @@ mod tests {
         assert_eq!(partial.count(), report.summary.count());
         assert_eq!(partial.min().to_bits(), report.summary.min().to_bits());
         assert_eq!(partial.max().to_bits(), report.summary.max().to_bits());
+    }
+
+    #[test]
+    fn poisoned_progress_lock_recovers_instead_of_cascading() {
+        // Regression: `partial.lock().unwrap()` turned one panicked worker
+        // into a cascade — every later progress read re-panicked on the
+        // poisoned mutex, exactly wrong for a long-lived server.
+        let progress = WorkloadProgress::new();
+        progress.record(Some(10.0));
+
+        // A worker dies while holding the progress lock.
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = progress.partial.lock().unwrap();
+            panic!("worker panicked mid-update");
+        }));
+        assert!(poison.is_err());
+        assert!(progress.partial.is_poisoned(), "lock must be poisoned");
+
+        // Reads and writes recover the (always-valid) payload.
+        let snapshot = progress.partial_estimates();
+        assert_eq!(snapshot.count(), 1);
+        assert_eq!(snapshot.min(), 10.0);
+        progress.record(Some(20.0));
+        let snapshot = progress.partial_estimates();
+        assert_eq!(snapshot.count(), 2);
+        assert_eq!(snapshot.max(), 20.0);
+        assert_eq!(progress.completed(), 2);
     }
 
     #[test]

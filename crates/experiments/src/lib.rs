@@ -18,6 +18,9 @@
 //! * the [`resilience`] module sweeps the adversarial fault rate and
 //!   reports NRMSE and realized API cost of a mixed workload against a
 //!   hostile OSN API;
+//! * the [`serving`] module sweeps tenant skew × shard count through the
+//!   sharded multi-graph service and reports the admission split,
+//!   fairness, and shard invariance;
 //! * the `labelcount-exp` binary exposes all of it on the command line.
 
 #![warn(missing_docs)]
@@ -27,6 +30,7 @@ pub mod datasets;
 pub mod report;
 pub mod resilience;
 pub mod runner;
+pub mod serving;
 pub mod tables;
 
 pub use datasets::{Dataset, DatasetKind, TargetSpec};

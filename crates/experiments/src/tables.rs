@@ -65,6 +65,7 @@ impl Harness {
             "ablation-burnin",
             "bias-decomposition",
             "resilience",
+            "serving",
         ] {
             ids.push(a.to_string());
         }
@@ -129,6 +130,10 @@ impl Harness {
                 &self.sweep,
             )),
             "resilience" => Ok(crate::resilience::resilience_report(
+                &self.dataset(DatasetKind::FacebookLike),
+                &self.sweep,
+            )),
+            "serving" => Ok(crate::serving::serving_report(
                 &self.dataset(DatasetKind::FacebookLike),
                 &self.sweep,
             )),
@@ -266,6 +271,12 @@ impl Harness {
     pub fn run_csv(&self, id: &str) -> Option<String> {
         if id.eq_ignore_ascii_case("resilience") {
             return Some(crate::resilience::resilience_csv(
+                &self.dataset(DatasetKind::FacebookLike),
+                &self.sweep,
+            ));
+        }
+        if id.eq_ignore_ascii_case("serving") {
+            return Some(crate::serving::serving_csv(
                 &self.dataset(DatasetKind::FacebookLike),
                 &self.sweep,
             ));
@@ -510,13 +521,14 @@ mod tests {
     fn experiment_ids_cover_all_paper_artifacts() {
         let ids = Harness::experiment_ids();
         // Tables 1–26, fig1–2, mixing, 4 ablations, bias decomposition,
-        // resilience sweep.
-        assert_eq!(ids.len(), 26 + 2 + 1 + 5 + 1);
+        // resilience sweep, serving sweep.
+        assert_eq!(ids.len(), 26 + 2 + 1 + 5 + 1 + 1);
         assert!(ids.contains(&"table17".to_string()));
         assert!(ids.contains(&"fig2".to_string()));
         assert!(ids.contains(&"ablation-thinning".to_string()));
         assert!(ids.contains(&"bias-decomposition".to_string()));
         assert!(ids.contains(&"resilience".to_string()));
+        assert!(ids.contains(&"serving".to_string()));
     }
 
     #[test]

@@ -74,19 +74,42 @@ fn throughput_metrics(r: &Report) -> [(&'static str, f64); 3] {
 }
 
 /// Lower-is-better wall-time metrics of the `measured` section.
-/// `engine_parallel_ms`/`workload_parallel_ms` are deliberately absent:
-/// they scale with the runner's core count, which calibration (a serial
-/// workload) cannot correct for — they are compared warning-only, with
-/// the speedup. `hit_path_ns` (the warm-cache per-call cost) is serial
-/// and machine-normalizable, so it gates like the wall times: a cliff
-/// there means the hot 97% of logical calls got slower.
-fn walltime_metrics(r: &Report) -> [(&'static str, f64); 4] {
+/// `engine_parallel_ms`/`workload_parallel_ms`/`serving_parallel_ms` are
+/// deliberately absent: they scale with the runner's core count, which
+/// calibration (a serial workload) cannot correct for — they are compared
+/// warning-only, with the speedup. `hit_path_ns` (the warm-cache per-call
+/// cost) is serial and machine-normalizable, so it gates like the wall
+/// times: a cliff there means the hot 97% of logical calls got slower.
+fn walltime_metrics(r: &Report) -> [(&'static str, f64); 5] {
     [
         ("measured.total_ms", r.measured.total_ms),
         ("measured.engine_serial_ms", r.measured.engine_serial_ms),
         ("measured.workload_serial_ms", r.measured.workload_serial_ms),
+        ("measured.serving_serial_ms", r.measured.serving_serial_ms),
         ("measured.hit_path_ns", r.measured.hit_path_ns),
     ]
+}
+
+/// The absolute floor below which a metric's value cannot support a ratio
+/// verdict. A baseline of `0.0` (a sub-resolution `hit_path_ns` rounding
+/// to zero, a scenario too small for the millisecond clock) or the
+/// non-finite JSON sentinel (`-1.0`) turns any ratio into noise —
+/// `current / 0` is infinite, and a 0.0004 ms → 0.002 ms "5x regression"
+/// is timer jitter. Ratios are computed over floored values, and a
+/// finding whose baseline or current sits below the floor is downgraded
+/// to a warning.
+fn metric_floor(metric: &str) -> f64 {
+    if metric.ends_with("_ns") {
+        // Sub-nanosecond per-call costs are below timer resolution.
+        0.5
+    } else if metric.ends_with("_ms") {
+        // Sub-microsecond wall times are clock-quantization artifacts.
+        1e-3
+    } else {
+        // Throughputs below 1 op/sec only occur as sentinels or division
+        // blow-ups.
+        1.0
+    }
 }
 
 /// The machine-speed scale factor: multiplying the current run's
@@ -117,17 +140,25 @@ pub fn compare_reports(baseline: &Report, current: &Report, max_regression: f64)
         .zip(throughput_metrics(current))
     {
         let cur_scaled = cur * scale;
-        if base > 0.0 && cur_scaled < base / max_regression {
+        let floor = metric_floor(metric);
+        let degenerate = base < floor || cur_scaled < floor;
+        let ratio = base.max(floor) / cur_scaled.max(floor);
+        if ratio > max_regression {
             findings.push(Finding {
                 scenario: scenario.clone(),
                 metric: metric.to_string(),
                 baseline: base,
                 current: cur,
-                fatal: true,
-                message: format!(
-                    "throughput regressed {:.2}x machine-normalized (scale {scale:.2}, limit {max_regression}x)",
-                    base / cur_scaled.max(f64::MIN_POSITIVE)
-                ),
+                fatal: !degenerate,
+                message: if degenerate {
+                    format!(
+                        "throughput ratio {ratio:.2}x is degenerate (baseline or current below the {floor:.0e} floor) — warning only"
+                    )
+                } else {
+                    format!(
+                        "throughput regressed {ratio:.2}x machine-normalized (scale {scale:.2}, limit {max_regression}x)"
+                    )
+                },
             });
         }
     }
@@ -136,17 +167,25 @@ pub fn compare_reports(baseline: &Report, current: &Report, max_regression: f64)
         .zip(walltime_metrics(current))
     {
         let cur_scaled = cur / scale;
-        if base > 0.0 && cur_scaled > base * max_regression {
+        let floor = metric_floor(metric);
+        let degenerate = base < floor || cur_scaled < floor;
+        let ratio = cur_scaled.max(floor) / base.max(floor);
+        if ratio > max_regression {
             findings.push(Finding {
                 scenario: scenario.clone(),
                 metric: metric.to_string(),
                 baseline: base,
                 current: cur,
-                fatal: true,
-                message: format!(
-                    "wall time regressed {:.2}x machine-normalized (scale {scale:.2}, limit {max_regression}x)",
-                    cur_scaled / base
-                ),
+                fatal: !degenerate,
+                message: if degenerate {
+                    format!(
+                        "wall-time ratio {ratio:.2}x is degenerate (baseline or current below the {floor:.0e} floor) — warning only"
+                    )
+                } else {
+                    format!(
+                        "wall time regressed {ratio:.2}x machine-normalized (scale {scale:.2}, limit {max_regression}x)"
+                    )
+                },
             });
         }
     }
@@ -204,9 +243,16 @@ pub fn compare_reports(baseline: &Report, current: &Report, max_regression: f64)
             baseline.measured.workload_parallel_ms,
             current.measured.workload_parallel_ms,
         ),
+        (
+            "measured.serving_parallel_ms",
+            baseline.measured.serving_parallel_ms,
+            current.measured.serving_parallel_ms,
+        ),
     ] {
-        if bp > 0.0 && cp / scale > bp * max_regression {
-            findings.push(scale_parallel(metric, bp, cp, false, (cp / scale) / bp));
+        let floor = metric_floor(metric);
+        let ratio = (cp / scale).max(floor) / bp.max(floor);
+        if ratio > max_regression {
+            findings.push(scale_parallel(metric, bp, cp, false, ratio));
         }
     }
     // Workload throughput (queries/sec) is deliberately not compared: it
@@ -233,6 +279,7 @@ pub fn compare_reports(baseline: &Report, current: &Report, max_regression: f64)
         || baseline.algorithms != current.algorithms
         || baseline.engine != current.engine
         || baseline.workload != current.workload
+        || baseline.serving != current.serving
         || baseline.ground_truth_f != current.ground_truth_f
     {
         findings.push(Finding {
@@ -451,8 +498,8 @@ mod tests {
     use super::*;
     use crate::alloc_track::AllocDelta;
     use crate::report::{
-        AlgoCounters, EngineCounters, Measured, ScenarioMeta, WalkCounters, WorkloadCounters,
-        SCHEMA_VERSION,
+        AlgoCounters, EngineCounters, Measured, ScenarioMeta, ServingCounters, WalkCounters,
+        WorkloadCounters, SCHEMA_VERSION,
     };
 
     fn report(name: &str, per_step: f64, total_ms: f64) -> Report {
@@ -504,6 +551,15 @@ mod tests {
                 latency_ticks_p50: 10.0,
                 latency_ticks_p95: 40.0,
             },
+            serving: ServingCounters {
+                shards: 4,
+                tenants: 4,
+                requests: 16,
+                admitted: 12,
+                shed: 3,
+                quota_exhausted: 1,
+                tenant_fairness: 2.0,
+            },
             ground_truth_f: 7,
             measured: Measured {
                 total_ms,
@@ -519,6 +575,8 @@ mod tests {
                 workload_serial_ms: total_ms / 5.0,
                 workload_parallel_ms: total_ms / 15.0,
                 workload_queries_per_sec: 120_000.0 / total_ms,
+                serving_serial_ms: total_ms / 4.0,
+                serving_parallel_ms: total_ms / 12.0,
                 calibration_ops_per_sec: 1.0e8,
                 alloc: AllocDelta::default(),
             },
@@ -660,6 +718,93 @@ mod tests {
         let findings = min_speedup_findings(&tmp, 1.2).unwrap();
         assert!(findings.iter().all(|f| !f.fatal), "{findings:?}");
         std::fs::remove_dir_all(&tmp).unwrap();
+    }
+
+    #[test]
+    fn serving_walltime_cliff_is_fatal() {
+        let base = report("ba_smoke", 1.0e6, 100.0);
+        let mut cur = report("ba_smoke", 1.0e6, 100.0);
+        cur.measured.serving_serial_ms = base.measured.serving_serial_ms * 3.0;
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert!(findings
+            .iter()
+            .any(|f| f.fatal && f.metric == "measured.serving_serial_ms"));
+        // The parallel serving time is core-count dependent: warn only.
+        cur.measured.serving_serial_ms = base.measured.serving_serial_ms;
+        cur.measured.serving_parallel_ms = base.measured.serving_parallel_ms * 4.0;
+        let findings = compare_reports(&base, &cur, 2.5);
+        let f = findings
+            .iter()
+            .find(|f| f.metric == "measured.serving_parallel_ms")
+            .expect("parallel serving slowdown must be reported");
+        assert!(!f.fatal, "{f:?}");
+    }
+
+    #[test]
+    fn zero_baseline_walltime_warns_instead_of_gating() {
+        // Regression: a baseline `hit_path_ns` of 0.0 (sub-resolution
+        // timer rounding) made `current / baseline` infinite; the old
+        // `base > 0` guard silently skipped the metric instead, hiding
+        // real cliffs. Now the ratio is computed over floored values and
+        // the degenerate comparison surfaces as a warning.
+        let base0 = report("ba_smoke", 1.0e6, 100.0);
+        let mut base = base0.clone();
+        base.measured.hit_path_ns = 0.0;
+        let mut cur = base0.clone();
+        cur.measured.hit_path_ns = 50.0;
+        let findings = compare_reports(&base, &cur, 2.5);
+        let f = findings
+            .iter()
+            .find(|f| f.metric == "measured.hit_path_ns")
+            .expect("degenerate comparison must still be reported");
+        assert!(!f.fatal, "zero baseline must not gate: {f:?}");
+        assert!(f.message.contains("degenerate"), "{f:?}");
+        // No finding carries a non-finite ratio into the message.
+        for f in &findings {
+            assert!(
+                !f.message.contains("inf") && !f.message.contains("NaN"),
+                "{f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn near_zero_baseline_jitter_is_not_a_regression() {
+        // 0.0004 ms -> 0.002 ms is a 5x raw ratio made entirely of clock
+        // quantization; flooring the baseline at 1e-3 ms shrinks it to 2x,
+        // under the 2.5x threshold, so the gate stays silent.
+        let base0 = report("ba_smoke", 1.0e6, 100.0);
+        let mut base = base0.clone();
+        base.measured.workload_serial_ms = 0.0004;
+        let mut cur = base0.clone();
+        cur.measured.workload_serial_ms = 0.002;
+        cur.measured.total_ms = base.measured.total_ms;
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert!(
+            !findings
+                .iter()
+                .any(|f| f.metric == "measured.workload_serial_ms"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn sentinel_baselines_never_produce_fatal_ratio_findings() {
+        // The JSON sentinel for non-finite measurements is -1.0; a
+        // baseline holding it must never fail the gate with an inf/NaN
+        // verdict.
+        let base0 = report("ba_smoke", 1.0e6, 100.0);
+        let mut base = base0.clone();
+        base.measured.hit_path_ns = -1.0;
+        base.measured.per_step_steps_per_sec = -1.0;
+        let cur = base0.clone();
+        let findings = compare_reports(&base, &cur, 2.5);
+        for f in &findings {
+            assert!(
+                !f.fatal,
+                "sentinel baseline produced a fatal verdict: {f:?}"
+            );
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::process::ExitCode;
 use labelcount_perf::alloc_track::CountingAlloc;
 use labelcount_perf::compare::{compare_dirs_opts, markdown_summary, min_speedup_findings};
 use labelcount_perf::scenario::{
-    run_scenario, Family, ScenarioSpec, Tier, DEFAULT_FAULT_RATE, DEFAULT_SEED,
+    run_scenario, Family, ScenarioSpec, Tier, DEFAULT_FAULT_RATE, DEFAULT_SEED, DEFAULT_TENANT_SKEW,
 };
 
 #[global_allocator]
@@ -53,6 +53,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut families: Vec<Family> = Family::all().to_vec();
     let mut seed = DEFAULT_SEED;
     let mut fault_rate = DEFAULT_FAULT_RATE;
+    let mut tenant_skew = DEFAULT_TENANT_SKEW;
     let mut out = PathBuf::from(".");
 
     let mut i = 0usize;
@@ -80,6 +81,13 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
                     return Err("--fault-rate must be in [0, 1)".into());
                 }
             }
+            "--tenant-skew" => {
+                let v = take_value(args, &mut i, "--tenant-skew")?;
+                tenant_skew = v.parse().map_err(|_| format!("bad tenant skew `{v}`"))?;
+                if !(0.0..=1.0).contains(&tenant_skew) {
+                    return Err("--tenant-skew must be in [0, 1]".into());
+                }
+            }
             "--out" => out = PathBuf::from(take_value(args, &mut i, "--out")?),
             "--help" | "-h" => {
                 println!("{}", HELP);
@@ -97,6 +105,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             tier,
             seed,
             fault_rate,
+            tenant_skew,
         };
         eprintln!("running scenario {} ...", spec.name());
         let report = run_scenario(&spec);
@@ -104,6 +113,12 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         std::fs::write(&path, report.to_json().to_pretty())
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         let m = &report.measured;
+        let s = &report.serving;
+        eprintln!(
+            "  serving: {} requests -> {} admitted / {} shed / {} quota-exhausted ({:.1} ms serial / {:.1} ms parallel)",
+            s.requests, s.admitted, s.shed, s.quota_exhausted,
+            m.serving_serial_ms, m.serving_parallel_ms,
+        );
         eprintln!(
             "  {:>10} nodes {:>10} edges | walk {:>12.0} steps/s per-step, {:>12.0} batched, {:>11.0} line | gt {:.1} ms serial / {:.1} ms parallel | {:.0} ms total -> {}",
             report.meta.nodes,
@@ -210,7 +225,7 @@ const HELP: &str = "labelcount-perf — scenario-matrix perf harness
 
 USAGE:
   labelcount-perf [--tier smoke|standard|stress] [--family ba,er,loaded]
-                  [--seed N] [--fault-rate F] [--out DIR]
+                  [--seed N] [--fault-rate F] [--tenant-skew S] [--out DIR]
   labelcount-perf compare --baseline DIR --current DIR [--max-regression X]
                   [--match-family] [--min-parallel-speedup X]
                   [--markdown-summary FILE]
@@ -218,7 +233,9 @@ USAGE:
 Run mode writes one BENCH_<family>_<tier>.json per scenario (default out:
 current directory). --fault-rate sets the workload phase's adversarial
 fault probability (default 0.15; non-default rates drift the deterministic
-counters, which the compare gate reports warn-only). Compare mode exits 1
+counters, which the compare gate reports warn-only). --tenant-skew sets
+the serving phase's heavy-hitter probability (default 0.6; same warn-only
+drift rule — the nightly serving matrix sweeps it). Compare mode exits 1
 if any measured metric regressed more than the threshold (default 2.5x)
 against the baseline directory; --match-family additionally compares
 scenarios without a same-name baseline against a same-family baseline of

@@ -34,7 +34,12 @@ use crate::json::{Json, JsonError};
 /// the serial engine pass) and `measured.hit_path_ns` (steady-state
 /// wall-clock cost of one warm-cache logical call — the metric the
 /// L1/L2 hierarchy exists to shrink, gated like the other wall times).
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5 added the `counters.serving` section (sharded multi-graph service:
+/// requests admitted / shed / quota-rejected by deterministic admission
+/// control, and the per-tenant fairness ratio) and the
+/// `measured.serving_{serial,parallel}_ms` timings.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Scenario identity and workload parameters.
 #[derive(Clone, Debug, PartialEq)]
@@ -144,6 +149,30 @@ pub struct WorkloadCounters {
     pub latency_ticks_p95: f64,
 }
 
+/// Deterministic counters of the serving phase: a multi-tenant request
+/// stream through `labelcount_serve::ShardedService` — consistent-hash
+/// routing, per-graph modelled admission queues, per-tenant quotas. The
+/// parallel pass must be bit-identical to the serial pass (asserted by
+/// the scenario runner), so one copy of the counters is stored.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServingCounters {
+    /// Shards the service was configured with.
+    pub shards: u64,
+    /// Tenants issuing requests.
+    pub tenants: u64,
+    /// Requests submitted.
+    pub requests: u64,
+    /// Requests admitted and executed.
+    pub admitted: u64,
+    /// Requests shed by the modelled admission queues.
+    pub shed: u64,
+    /// Requests rejected on tenant quota.
+    pub quota_exhausted: u64,
+    /// Per-tenant fairness: max admitted over min admitted (floored at 1)
+    /// across tenants with at least one submission.
+    pub tenant_fairness: f64,
+}
+
 /// One algorithm's deterministic results on a scenario.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AlgoCounters {
@@ -194,6 +223,12 @@ pub struct Measured {
     pub workload_parallel_ms: f64,
     /// Workload throughput of the parallel pass, queries/second.
     pub workload_queries_per_sec: f64,
+    /// Wall time of the serving phase run on one shard with one worker,
+    /// milliseconds.
+    pub serving_serial_ms: f64,
+    /// Wall time of the same serving phase across the full shard fleet
+    /// with all available workers, milliseconds.
+    pub serving_parallel_ms: f64,
     /// Machine-speed proxy measured alongside the scenario
     /// ([`crate::scenario::calibration_ops_per_sec`]); the regression gate
     /// normalizes timing metrics by it so baselines transfer across
@@ -221,6 +256,9 @@ pub struct Report {
     /// Deterministic workload counters (multi-query service over the
     /// adversarial backend).
     pub workload: WorkloadCounters,
+    /// Deterministic serving counters (sharded multi-graph service with
+    /// admission control).
+    pub serving: ServingCounters,
     /// Exact target-edge count `F`.
     pub ground_truth_f: u64,
     /// Machine-dependent measurements.
@@ -368,6 +406,21 @@ impl Report {
                             ),
                         ]),
                     ),
+                    (
+                        "serving",
+                        Json::obj(vec![
+                            ("shards", Json::Num(self.serving.shards as f64)),
+                            ("tenants", Json::Num(self.serving.tenants as f64)),
+                            ("requests", Json::Num(self.serving.requests as f64)),
+                            ("admitted", Json::Num(self.serving.admitted as f64)),
+                            ("shed", Json::Num(self.serving.shed as f64)),
+                            (
+                                "quota_exhausted",
+                                Json::Num(self.serving.quota_exhausted as f64),
+                            ),
+                            ("tenant_fairness", Json::Num(self.serving.tenant_fairness)),
+                        ]),
+                    ),
                     ("ground_truth_f", Json::Num(self.ground_truth_f as f64)),
                 ]),
             ),
@@ -396,6 +449,8 @@ impl Report {
                         "workload_queries_per_sec",
                         Json::Num(ms.workload_queries_per_sec),
                     ),
+                    ("serving_serial_ms", Json::Num(ms.serving_serial_ms)),
+                    ("serving_parallel_ms", Json::Num(ms.serving_parallel_ms)),
                     (
                         "calibration_ops_per_sec",
                         Json::Num(ms.calibration_ops_per_sec),
@@ -514,6 +569,18 @@ impl Report {
             latency_ticks_p50: field_f64(wlj, "latency_ticks_p50")?,
             latency_ticks_p95: field_f64(wlj, "latency_ticks_p95")?,
         };
+        let svj = counters
+            .get("serving")
+            .ok_or_else(|| miss("counters.serving"))?;
+        let serving = ServingCounters {
+            shards: field_u64(svj, "shards")?,
+            tenants: field_u64(svj, "tenants")?,
+            requests: field_u64(svj, "requests")?,
+            admitted: field_u64(svj, "admitted")?,
+            shed: field_u64(svj, "shed")?,
+            quota_exhausted: field_u64(svj, "quota_exhausted")?,
+            tenant_fairness: field_f64(svj, "tenant_fairness")?,
+        };
         let ground_truth_f = field_u64(counters, "ground_truth_f")?;
         let mj = v.get("measured").ok_or_else(|| miss("measured"))?;
         let aj = mj.get("alloc").ok_or_else(|| miss("measured.alloc"))?;
@@ -531,6 +598,8 @@ impl Report {
             workload_serial_ms: field_f64(mj, "workload_serial_ms")?,
             workload_parallel_ms: field_f64(mj, "workload_parallel_ms")?,
             workload_queries_per_sec: field_f64(mj, "workload_queries_per_sec")?,
+            serving_serial_ms: field_f64(mj, "serving_serial_ms")?,
+            serving_parallel_ms: field_f64(mj, "serving_parallel_ms")?,
             calibration_ops_per_sec: field_f64(mj, "calibration_ops_per_sec")?,
             alloc: AllocDelta {
                 peak_bytes: field_u64(aj, "peak_bytes")?,
@@ -545,6 +614,7 @@ impl Report {
             algorithms,
             engine,
             workload,
+            serving,
             ground_truth_f,
             measured,
         })
@@ -657,6 +727,15 @@ mod tests {
                 latency_ticks_p50: 310.0,
                 latency_ticks_p95: 2_950.5,
             },
+            serving: ServingCounters {
+                shards: 4,
+                tenants: 4,
+                requests: 32,
+                admitted: 24,
+                shed: 5,
+                quota_exhausted: 3,
+                tenant_fairness: 2.5,
+            },
             ground_truth_f: 6750,
             measured: Measured {
                 total_ms: 1234.5,
@@ -672,6 +751,8 @@ mod tests {
                 workload_serial_ms: 42.0,
                 workload_parallel_ms: 12.5,
                 workload_queries_per_sec: 1_280.0,
+                serving_serial_ms: 55.0,
+                serving_parallel_ms: 16.0,
                 calibration_ops_per_sec: 1.5e8,
                 alloc: AllocDelta {
                     peak_bytes: 1 << 20,
@@ -697,7 +778,7 @@ mod tests {
         let text = r
             .to_json()
             .to_pretty()
-            .replace("\"schema_version\": 4", "\"schema_version\": 999");
+            .replace("\"schema_version\": 5", "\"schema_version\": 999");
         match Report::from_json_text(&text) {
             Err(ReportError::Schema(msg)) => assert!(msg.contains("999"), "{msg}"),
             other => panic!("expected schema error, got {other:?}"),
@@ -706,7 +787,7 @@ mod tests {
 
     #[test]
     fn missing_fields_are_schema_errors() {
-        let text = "{\"schema_version\": 4}";
+        let text = "{\"schema_version\": 5}";
         assert!(matches!(
             Report::from_json_text(text),
             Err(ReportError::Schema(_))

@@ -19,6 +19,10 @@ use labelcount_graph::labels::{assign_binary_labels, with_labels};
 use labelcount_graph::motifs::{count_labeled_triangles, count_labeled_wedges, TargetTriple};
 use labelcount_graph::{GroundTruth, LabeledGraph, NodeId, TargetLabel};
 use labelcount_osn::{FaultConfig, LineGraphView, OsnApi, OsnApiExt, RetryPolicy, SimulatedOsn};
+use labelcount_serve::{
+    AdmissionConfig, GraphKey, QuotaPolicy, ServiceReport, ServiceStatus, ServiceWorkload,
+    ShardedService,
+};
 use labelcount_stats::{nrmse, replication_seed};
 use labelcount_walk::mixing::default_burn_in;
 use labelcount_walk::{SimpleWalk, Walker};
@@ -27,8 +31,8 @@ use rand::SeedableRng;
 
 use crate::alloc_track;
 use crate::report::{
-    AlgoCounters, EngineCounters, Measured, Report, ScenarioMeta, WalkCounters, WorkloadCounters,
-    SCHEMA_VERSION,
+    AlgoCounters, EngineCounters, Measured, Report, ScenarioMeta, ServingCounters, WalkCounters,
+    WorkloadCounters, SCHEMA_VERSION,
 };
 
 /// Graph family axis of the matrix.
@@ -134,6 +138,19 @@ impl Tier {
         }
     }
 
+    /// Requests of the serving phase (the sharded multi-graph service
+    /// under a skewed multi-tenant stream). Sized so the contested
+    /// admission model provably sheds at every tier: requests round-robin
+    /// over four modelled graph queues, and any queue's third
+    /// quota-passing arrival hard-sheds under the phase's tight config.
+    pub fn serving_requests(self) -> usize {
+        match self {
+            Tier::Smoke => 32,
+            Tier::Standard => 24,
+            Tier::Stress => 16,
+        }
+    }
+
     /// Steps for the walk-throughput measurement. Sized so the timed
     /// window is tens of milliseconds even in release builds — per-step
     /// costs are ~10ns, and the regression gate needs windows large enough
@@ -163,16 +180,22 @@ pub struct ScenarioSpec {
     /// baselines — by design: the nightly fault-injection matrix compares
     /// them warn-only.
     pub fault_rate: f64,
+    /// Probability that a serving-phase request belongs to the
+    /// heavy-hitter tenant (tenant 0). Part of the deterministic serving
+    /// counters — a skewed stream exhausts the hog's quota while lighter
+    /// tenants keep flowing. The nightly serving matrix sweeps it.
+    pub tenant_skew: f64,
 }
 
 impl ScenarioSpec {
-    /// A spec at the default fault rate.
+    /// A spec at the default fault rate and tenant skew.
     pub fn new(family: Family, tier: Tier, seed: u64) -> ScenarioSpec {
         ScenarioSpec {
             family,
             tier,
             seed,
             fault_rate: DEFAULT_FAULT_RATE,
+            tenant_skew: DEFAULT_TENANT_SKEW,
         }
     }
 }
@@ -184,6 +207,11 @@ pub const DEFAULT_SEED: u64 = 2018;
 /// rate limits, and latency ticks are all nonzero in every committed
 /// baseline, mild enough that no query's hard budget dies at smoke scale.
 pub const DEFAULT_FAULT_RATE: f64 = 0.15;
+
+/// Default tenant skew of the serving phase: hot enough that the
+/// heavy-hitter tenant exhausts its quota in every committed baseline,
+/// while the remaining tenants stay admitted.
+pub const DEFAULT_TENANT_SKEW: f64 = 0.6;
 
 /// Internal stream ids for [`replication_seed`] derivation, so no two
 /// measurement phases share an RNG stream.
@@ -197,6 +225,7 @@ mod stream {
     pub const EXT_SIZE: u64 = 902;
     pub const ENGINE: u64 = 950;
     pub const WORKLOAD: u64 = 960;
+    pub const SERVING: u64 = 970;
 }
 
 impl ScenarioSpec {
@@ -629,6 +658,107 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
         latency_ticks_p95: wl_serial.latency_ticks_percentile(95.0).unwrap_or(0.0),
     };
 
+    // --- Serving: the sharded multi-graph service under a skewed
+    // multi-tenant stream. The scenario graph is registered under four
+    // graph keys (a four-dataset fleet sharing one topology), four tenants
+    // submit through a tight modelled admission queue per graph, and the
+    // heavy-hitter tenant carries a quota sized for exactly three
+    // fully-budgeted requests — so every committed baseline has nonzero
+    // admitted, shed, and quota_exhausted counters. The phase runs once on
+    // a single-shard single-worker service (the deterministic reference)
+    // and once on a four-shard fleet across all cores; the two reports
+    // must match bit for bit, which is the serving layer's headline
+    // contract.
+    const SERVING_GRAPHS: u64 = 4;
+    const SERVING_TENANTS: usize = 4;
+    let serving_requests = spec.tier.serving_requests();
+    let serving_seed = replication_seed(spec.seed, stream::SERVING);
+    let serving_keys: Vec<GraphKey> = (0..SERVING_GRAPHS).map(GraphKey).collect();
+    // Per-request hard budget is 6 × (budget + burn_in) charged calls
+    // (mirroring Workload::mixed); admission reserves it in full, so this
+    // quota admits exactly three requests per tenant before exhausting.
+    let serving_quota = 3 * 6 * (budget as u64 + burn_in as u64);
+    let serving_wl = || {
+        ServiceWorkload::mixed_multi_tenant(
+            serving_requests,
+            &serving_keys,
+            SERVING_TENANTS,
+            spec.tenant_skew,
+            target,
+            budget,
+            serving_seed,
+            cfg,
+        )
+        .with_faults(
+            if spec.fault_rate > 0.0 {
+                FaultConfig::hostile(serving_seed, spec.fault_rate)
+            } else {
+                FaultConfig::clean(serving_seed)
+            },
+            RetryPolicy::default(),
+        )
+        // Tight enough that a queue's third quota-passing arrival
+        // hard-sheds: capacity 2, one drain per five arrivals.
+        .with_admission(AdmissionConfig {
+            queue_capacity: 2,
+            drain_every: 5,
+            shed_start: 0.75,
+        })
+        .with_quotas(QuotaPolicy::uniform(serving_quota))
+    };
+    let run_service = |shards: usize, workers: usize| -> (ServiceReport, f64) {
+        let mut svc = ShardedService::new(shards, serving_seed);
+        for &k in &serving_keys {
+            svc.register(k, &g);
+        }
+        let t0 = Instant::now();
+        let report = svc.run(serving_wl(), workers);
+        (report, ms(t0))
+    };
+    let (serving_serial, serving_serial_ms) = run_service(1, 1);
+    let (serving_parallel, serving_parallel_ms) = run_service(SERVING_GRAPHS as usize, threads);
+    let service_bits = |r: &ServiceReport| -> Vec<(u64, Option<u64>)> {
+        r.outcomes
+            .iter()
+            .map(|o| {
+                let bits = match &o.status {
+                    ServiceStatus::Completed(q) => q.estimate.as_ref().ok().map(|e| e.to_bits()),
+                    ServiceStatus::Shed { anytime, .. } => anytime.map(f64::to_bits),
+                    ServiceStatus::QuotaExhausted { anytime } => anytime.map(f64::to_bits),
+                    ServiceStatus::UnknownGraph => None,
+                };
+                (o.id, bits)
+            })
+            .collect()
+    };
+    assert_eq!(
+        service_bits(&serving_serial),
+        service_bits(&serving_parallel),
+        "sharded service must be bit-identical to the single-shard pass"
+    );
+    assert_eq!(
+        (
+            serving_serial.serving.admitted,
+            serving_serial.serving.shed,
+            serving_serial.serving.quota_exhausted,
+        ),
+        (
+            serving_parallel.serving.admitted,
+            serving_parallel.serving.shed,
+            serving_parallel.serving.quota_exhausted,
+        ),
+        "admission decisions must be shard- and worker-count independent"
+    );
+    let serving = ServingCounters {
+        shards: SERVING_GRAPHS,
+        tenants: SERVING_TENANTS as u64,
+        requests: serving_requests as u64,
+        admitted: serving_serial.serving.admitted,
+        shed: serving_serial.serving.shed,
+        quota_exhausted: serving_serial.serving.quota_exhausted,
+        tenant_fairness: serving_serial.serving.tenant_fairness,
+    };
+
     let alloc = alloc_track::delta(alloc_before, alloc_track::snapshot());
     Report {
         schema_version: SCHEMA_VERSION,
@@ -654,6 +784,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
         algorithms: algo_counters,
         engine,
         workload,
+        serving,
         ground_truth_f: gt.f as u64,
         measured: Measured {
             total_ms: ms(scenario_start),
@@ -677,6 +808,8 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
             } else {
                 0.0
             },
+            serving_serial_ms,
+            serving_parallel_ms,
             calibration_ops_per_sec: calibration_ops_per_sec(),
             alloc,
         },

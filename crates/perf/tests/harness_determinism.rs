@@ -51,6 +51,9 @@ fn smoke_counters_are_identical_across_runs_at_the_same_seed() {
     let aw: Vec<u64> = a.workload.estimates.iter().map(|e| e.to_bits()).collect();
     let bw: Vec<u64> = b.workload.estimates.iter().map(|e| e.to_bits()).collect();
     assert_eq!(aw, bw);
+    // The serving phase — sharded admission, quotas, and shedding — is a
+    // deterministic counter set too (fairness compared bit for bit).
+    assert_eq!(a.serving, b.serving);
     assert_eq!(a.algorithms.len(), b.algorithms.len());
     for (x, y) in a.algorithms.iter().zip(&b.algorithms) {
         assert_eq!(x.abbrev, y.abbrev);
@@ -134,6 +137,23 @@ fn smoke_report_round_trips_and_batched_walk_agrees() {
     assert!(parsed.measured.workload_serial_ms > 0.0);
     assert!(parsed.measured.workload_parallel_ms > 0.0);
     assert!(parsed.measured.workload_queries_per_sec > 0.0);
+
+    // The v5 serving section survives the round trip and satisfies the
+    // multi-tenant contract: under the default skew and the phase's tight
+    // admission model, every committed baseline admits, sheds, AND
+    // quota-rejects — all three paths live in every report the compare
+    // gate sees.
+    let s = &parsed.serving;
+    assert_eq!(s.requests, s.admitted + s.shed + s.quota_exhausted);
+    assert!(s.admitted > 0, "serving phase admitted nothing");
+    assert!(s.shed > 0, "serving phase never shed");
+    assert!(s.quota_exhausted > 0, "serving phase never hit a quota");
+    assert!(s.shards >= 1 && s.tenants >= 2);
+    // The heavy hitter is quota-capped while light tenants keep flowing,
+    // so admitted counts per tenant can never be perfectly even.
+    assert!(s.tenant_fairness >= 1.0);
+    assert!(parsed.measured.serving_serial_ms > 0.0);
+    assert!(parsed.measured.serving_parallel_ms > 0.0);
 }
 
 /// The fault rate is part of the deterministic counters: a different rate

@@ -1,0 +1,391 @@
+//! Deterministic admission control: per-tenant quotas and seeded load
+//! shedding against a modelled per-shard queue.
+//!
+//! A real server sheds load based on wall-clock queue depth — which makes
+//! every run irreproducible. This module instead decides admission
+//! **serially, in the seeded arrival order, against a modelled queue**:
+//! each queue's backlog grows by one per arrival routed to it and drains
+//! one item every [`AdmissionConfig::drain_every`] arrivals to that queue.
+//! The model is a deterministic function of (config, seed, arrival
+//! sequence), so the same workload sheds the same requests at any shard
+//! count, worker count, or machine speed. Execution happens *after* the
+//! admission pass; slow machines change latencies, never answers.
+//!
+//! The state is generic over a set of modelled queues. The serving layer
+//! deliberately keeps **one queue per registered graph** — not per shard —
+//! because graph→queue assignment is placement-independent: resizing the
+//! shard fleet moves where admitted work *executes* without changing what
+//! is admitted, which is what keeps [`ServiceReport`](crate::ServiceReport)s
+//! bit-identical across shard counts.
+//!
+//! Three outcomes, checked in order:
+//!
+//! 1. **quota** — the request's tenant has a hard neighbor-call quota
+//!    ([`QuotaPolicy`]); a request whose minimum charge cannot fit is
+//!    rejected with [`AdmissionDecision::QuotaExhausted`], and an admitted
+//!    request *reserves* its budget up front (`min(hard_budget, tenant
+//!    remaining)` becomes the effective session budget);
+//! 2. **hard shed** — backlog at capacity rejects outright;
+//! 3. **probabilistic shed** — above [`AdmissionConfig::shed_start`]
+//!    occupancy, requests are shed with probability `((load − start) /
+//!    (1 − start))²`, decided by a seeded per-request hash so the choice
+//!    is reproducible and unbiased across tenants.
+
+use crate::router::TenantId;
+use labelcount_stats::replication_seed;
+
+/// Hash stream for per-request shed coins.
+const SHED_STREAM: u64 = 0x5ead_0003;
+
+/// Maps `(seed, x)` to a uniform value in `[0, 1)` — the shed coin.
+///
+/// Uses the top 53 bits of the mixed hash so every representable value is
+/// an exact dyadic rational (no rounding between platforms).
+pub(crate) fn unit_hash(seed: u64, x: u64) -> f64 {
+    (replication_seed(seed, x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Tuning for the modelled submission queues.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Backlog at which arrivals are shed unconditionally.
+    pub queue_capacity: usize,
+    /// A modelled queue drains one item every `drain_every` arrivals
+    /// routed to it. `1` keeps pace with arrivals (backlog never grows);
+    /// larger values model overload building at rate `1 − 1/drain_every`
+    /// per arrival.
+    pub drain_every: usize,
+    /// Occupancy fraction (`backlog / queue_capacity`) at which
+    /// probabilistic shedding begins. `1.0` disables the probabilistic
+    /// band, leaving only the hard capacity limit.
+    pub shed_start: f64,
+}
+
+impl Default for AdmissionConfig {
+    /// A forgiving default: a deep queue that keeps pace with arrivals,
+    /// so nothing is shed until a caller opts into tighter limits.
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_capacity: 1024,
+            drain_every: 1,
+            shed_start: 0.75,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    fn validate(&self) {
+        assert!(self.queue_capacity >= 1, "queue_capacity must be >= 1");
+        assert!(self.drain_every >= 1, "drain_every must be >= 1");
+        assert!(
+            (0.0..=1.0).contains(&self.shed_start),
+            "shed_start must be in [0, 1]"
+        );
+    }
+}
+
+/// Per-tenant hard quotas on charged neighbor calls.
+///
+/// A tenant's quota is a budget for the whole service run, charged by the
+/// same accounting the per-session budget uses (logical neighbor calls
+/// plus fault `retry_charges`). `None` means unmetered.
+#[derive(Clone, Debug, Default)]
+pub struct QuotaPolicy {
+    /// Quota applied to tenants without an explicit override.
+    pub default_quota: Option<u64>,
+    /// Per-tenant overrides, looked up before the default.
+    pub overrides: Vec<(TenantId, u64)>,
+}
+
+impl QuotaPolicy {
+    /// Unmetered: every tenant may spend freely.
+    pub fn unmetered() -> QuotaPolicy {
+        QuotaPolicy::default()
+    }
+
+    /// The same quota for every tenant.
+    pub fn uniform(quota: u64) -> QuotaPolicy {
+        QuotaPolicy {
+            default_quota: Some(quota),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Adds (or replaces) a per-tenant override.
+    pub fn with_override(mut self, tenant: TenantId, quota: u64) -> QuotaPolicy {
+        self.overrides.retain(|(t, _)| *t != tenant);
+        self.overrides.push((tenant, quota));
+        self
+    }
+
+    /// The quota applying to `tenant`, if any.
+    pub fn quota_for(&self, tenant: TenantId) -> Option<u64> {
+        self.overrides
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|(_, q)| *q)
+            .or(self.default_quota)
+    }
+}
+
+/// What the admission pass decided for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Run it, with this effective hard budget for its session (`None`
+    /// when neither the query nor its tenant is budget-limited).
+    Admitted {
+        /// Effective per-session hard budget after quota reservation.
+        effective_budget: Option<u64>,
+    },
+    /// Rejected by the modelled queue; `backlog` is the depth seen.
+    Shed {
+        /// Modelled backlog of the target queue at arrival time.
+        backlog: usize,
+    },
+    /// Rejected because the tenant's quota cannot cover the request.
+    QuotaExhausted,
+}
+
+/// Mutable state of the admission pass: modelled per-queue backlogs and
+/// per-tenant remaining quota.
+///
+/// Drive it by calling [`AdmissionState::decide`] once per request **in
+/// the seeded arrival order** — the order is part of the model.
+#[derive(Clone, Debug)]
+pub struct AdmissionState {
+    config: AdmissionConfig,
+    seed: u64,
+    /// Per-queue (backlog, arrivals-since-last-drain).
+    queues: Vec<(usize, usize)>,
+    /// Per-tenant remaining quota, populated lazily from the policy.
+    remaining: Vec<(TenantId, u64)>,
+    policy: QuotaPolicy,
+}
+
+impl AdmissionState {
+    /// Fresh state for `queues` modelled queues.
+    pub fn new(queues: usize, config: AdmissionConfig, policy: QuotaPolicy, seed: u64) -> Self {
+        config.validate();
+        AdmissionState {
+            config,
+            seed,
+            queues: vec![(0, 0); queues],
+            remaining: Vec::new(),
+            policy,
+        }
+    }
+
+    fn remaining_for(&mut self, tenant: TenantId) -> Option<u64> {
+        if let Some((_, r)) = self.remaining.iter().find(|(t, _)| *t == tenant) {
+            return Some(*r);
+        }
+        let quota = self.policy.quota_for(tenant)?;
+        self.remaining.push((tenant, quota));
+        Some(quota)
+    }
+
+    fn charge(&mut self, tenant: TenantId, amount: u64) {
+        if let Some((_, r)) = self.remaining.iter_mut().find(|(t, _)| *t == tenant) {
+            *r = r.saturating_sub(amount);
+        }
+    }
+
+    /// Decides one arrival: `request_id` must be unique per request (it
+    /// salts the shed coin), `queue` is the modelled queue the request
+    /// targets, `hard_budget` the query's own cap (if any).
+    ///
+    /// Quota is checked first — a quota rejection must not depend on queue
+    /// luck — then the modelled queue. Admission reserves the effective
+    /// budget against the tenant's quota immediately.
+    pub fn decide(
+        &mut self,
+        request_id: u64,
+        tenant: TenantId,
+        queue: usize,
+        hard_budget: Option<u64>,
+    ) -> AdmissionDecision {
+        // --- quota ---
+        let effective = match self.remaining_for(tenant) {
+            Some(0) => return AdmissionDecision::QuotaExhausted,
+            Some(remaining) => match hard_budget {
+                // A budgeted query capped to what the tenant can still pay.
+                Some(b) => Some(b.min(remaining)),
+                // An unbudgeted query under a metered tenant inherits the
+                // tenant's remaining allowance as its session budget.
+                None => Some(remaining),
+            },
+            None => hard_budget,
+        };
+
+        // --- modelled queue ---
+        let (backlog, since_drain) = &mut self.queues[queue];
+        *since_drain += 1;
+        if *since_drain >= self.config.drain_every {
+            *since_drain = 0;
+            *backlog = backlog.saturating_sub(1);
+        }
+        let backlog_seen = *backlog;
+        if backlog_seen >= self.config.queue_capacity {
+            return AdmissionDecision::Shed {
+                backlog: backlog_seen,
+            };
+        }
+        let load = backlog_seen as f64 / self.config.queue_capacity as f64;
+        if self.config.shed_start < 1.0 && load >= self.config.shed_start {
+            let over = (load - self.config.shed_start) / (1.0 - self.config.shed_start);
+            let p = over * over;
+            if unit_hash(replication_seed(self.seed, SHED_STREAM), request_id) < p {
+                return AdmissionDecision::Shed {
+                    backlog: backlog_seen,
+                };
+            }
+        }
+
+        // --- admit: enqueue in the model, reserve the quota ---
+        *backlog += 1;
+        if let Some(b) = effective {
+            if self.policy.quota_for(tenant).is_some() {
+                self.charge(tenant, b);
+            }
+        }
+        AdmissionDecision::Admitted {
+            effective_budget: effective,
+        }
+    }
+
+    /// Remaining quota for `tenant` (`None` when unmetered).
+    pub fn quota_remaining(&mut self, tenant: TenantId) -> Option<u64> {
+        self.remaining_for(tenant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: TenantId = TenantId(0);
+    const T1: TenantId = TenantId(1);
+
+    fn tight() -> AdmissionConfig {
+        AdmissionConfig {
+            queue_capacity: 4,
+            drain_every: 4,
+            shed_start: 0.5,
+        }
+    }
+
+    #[test]
+    fn default_config_admits_everything() {
+        let mut st =
+            AdmissionState::new(2, AdmissionConfig::default(), QuotaPolicy::unmetered(), 7);
+        for id in 0..500u64 {
+            let d = st.decide(id, T0, (id % 2) as usize, None);
+            assert_eq!(
+                d,
+                AdmissionDecision::Admitted {
+                    effective_budget: None
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn overload_builds_and_hard_sheds() {
+        // drain_every = 4 on a single shard: net backlog growth 3 per 4
+        // arrivals, so capacity 4 is hit quickly and hard-sheds follow.
+        let mut st = AdmissionState::new(1, tight(), QuotaPolicy::unmetered(), 11);
+        let mut shed = 0;
+        let mut admitted = 0;
+        for id in 0..64u64 {
+            match st.decide(id, T0, 0, None) {
+                AdmissionDecision::Admitted { .. } => admitted += 1,
+                AdmissionDecision::Shed { backlog } => {
+                    assert!(backlog <= 4);
+                    shed += 1;
+                }
+                AdmissionDecision::QuotaExhausted => unreachable!(),
+            }
+        }
+        assert!(shed > 0, "tight queue never shed");
+        assert!(admitted > 0, "tight queue admitted nothing");
+    }
+
+    #[test]
+    fn shedding_is_deterministic() {
+        let run = || {
+            let mut st = AdmissionState::new(2, tight(), QuotaPolicy::unmetered(), 99);
+            (0..128u64)
+                .map(|id| st.decide(id, TenantId(id % 3), (id % 2) as usize, Some(50)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn quota_caps_and_exhausts() {
+        let policy = QuotaPolicy::uniform(100);
+        let mut st = AdmissionState::new(1, AdmissionConfig::default(), policy, 5);
+        // First budgeted query reserves 60 of the 100.
+        assert_eq!(
+            st.decide(0, T0, 0, Some(60)),
+            AdmissionDecision::Admitted {
+                effective_budget: Some(60)
+            }
+        );
+        // Second wants 60 but only 40 remain: capped, not rejected.
+        assert_eq!(
+            st.decide(1, T0, 0, Some(60)),
+            AdmissionDecision::Admitted {
+                effective_budget: Some(40)
+            }
+        );
+        // Quota now zero: rejected outright, independent of queue state.
+        assert_eq!(
+            st.decide(2, T0, 0, Some(1)),
+            AdmissionDecision::QuotaExhausted
+        );
+        assert_eq!(st.decide(3, T0, 0, None), AdmissionDecision::QuotaExhausted);
+        // Another tenant is unaffected.
+        assert_eq!(
+            st.decide(4, T1, 0, Some(10)),
+            AdmissionDecision::Admitted {
+                effective_budget: Some(10)
+            }
+        );
+    }
+
+    #[test]
+    fn unbudgeted_query_inherits_tenant_remaining() {
+        let mut st =
+            AdmissionState::new(1, AdmissionConfig::default(), QuotaPolicy::uniform(25), 5);
+        assert_eq!(
+            st.decide(0, T0, 0, None),
+            AdmissionDecision::Admitted {
+                effective_budget: Some(25)
+            }
+        );
+        assert_eq!(st.decide(1, T0, 0, None), AdmissionDecision::QuotaExhausted);
+    }
+
+    #[test]
+    fn overrides_beat_the_default() {
+        let policy = QuotaPolicy::uniform(10).with_override(T1, 1_000);
+        assert_eq!(policy.quota_for(T0), Some(10));
+        assert_eq!(policy.quota_for(T1), Some(1_000));
+        let unmetered = QuotaPolicy::unmetered().with_override(T1, 7);
+        assert_eq!(unmetered.quota_for(T0), None);
+        assert_eq!(unmetered.quota_for(T1), Some(7));
+    }
+
+    #[test]
+    fn unit_hash_is_uniformish_and_stable() {
+        let a: Vec<f64> = (0..32).map(|x| unit_hash(1, x)).collect();
+        let b: Vec<f64> = (0..32).map(|x| unit_hash(1, x)).collect();
+        assert_eq!(a, b);
+        for &v in &a {
+            assert!((0.0..1.0).contains(&v));
+        }
+        let mean = a.iter().sum::<f64>() / a.len() as f64;
+        assert!((mean - 0.5).abs() < 0.2, "suspicious shed-coin mean {mean}");
+    }
+}

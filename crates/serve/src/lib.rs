@@ -1,0 +1,58 @@
+//! # labelcount-serve
+//!
+//! The sharded multi-graph serving layer — the "millions of users" story
+//! on top of the single-graph engine stack.
+//!
+//! One long-lived `labelcount` process holds **many graphs** (tenant
+//! datasets, or shards of one giant graph) and serves a multi-tenant
+//! stream of estimation queries against them:
+//!
+//! * [`ShardRouter`] places every [`GraphKey`] on a shard by **consistent
+//!   hashing** (a seeded ring of virtual nodes), so placement is
+//!   deterministic and resizing the shard set only remaps the keys of the
+//!   shards that changed;
+//! * [`ShardedService`] owns one [`Engine`](labelcount_core::Engine) —
+//!   and therefore one shared L2 `CachedOsn` — **per registered graph,
+//!   inside its owning shard**. Shards share nothing: a query for shard 3
+//!   never touches a lock, an atomic, or a cache line owned by shard 5;
+//! * [`ServiceWorkload`] is the multi-tenant request stream: every request
+//!   names a tenant, a graph, and a query, and the service runs an
+//!   **admission pass** (in the seeded arrival order) before any query
+//!   executes — per-tenant quotas charged against the same
+//!   budget/`retry_charges` machinery that bills individual sessions, and
+//!   a bounded modelled submission queue per served graph with seeded
+//!   load shedding ([`AdmissionConfig`]);
+//! * shed and quota-rejected queries receive **anytime answers**: the
+//!   deterministic report answers them from the running summary of their
+//!   graph's completed queries, and the live [`ServiceProgress`] view
+//!   exposes the same estimate mid-run for deadline-hit callers.
+//!
+//! # Determinism
+//!
+//! The repo's superpower holds end to end: a [`ServiceReport`] is
+//! **bit-identical at any shard count and any worker count**. Three design
+//! rules make that true:
+//!
+//! 1. admission decisions are made serially in the seeded arrival order
+//!    against a *modelled* queue (arrivals and a fixed drain rate), never
+//!    against wall-clock execution state;
+//! 2. every admitted query runs in its own
+//!    `CachedOsn<AdversarialOsn<&GraphOsn>>` stack with seeds derived from
+//!    (service seed, graph key, query id) — the shard that hosts it only
+//!    decides *where* the work runs;
+//! 3. the report aggregates in query-id order; only the live
+//!    [`ServiceProgress`] view is interleaving-dependent, which is the
+//!    point of an anytime estimate.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod router;
+pub mod service;
+
+pub use admission::{AdmissionConfig, AdmissionDecision, QuotaPolicy};
+pub use router::{GraphKey, ShardRouter, TenantId};
+pub use service::{
+    ServiceOutcome, ServiceProgress, ServiceReport, ServiceRequest, ServiceStatus, ServiceWorkload,
+    ServingCounters, ShardedService,
+};

@@ -1,0 +1,158 @@
+//! Consistent-hash placement of graphs onto shards.
+//!
+//! The router is a classic hash ring: every shard contributes a fixed
+//! number of seeded virtual points, and a key routes to the owner of the
+//! first point at or after the key's own hash (wrapping at the top). Two
+//! properties matter for serving:
+//!
+//! * **determinism** — placement is a pure function of (seed, shard count,
+//!   key); two processes configured alike route identically, forever;
+//! * **consistency** — shard `s`'s points depend only on `(seed, s)`, not
+//!   on the total shard count, so shrinking the fleet from `n` to `n − 1`
+//!   shards remaps *only* the keys that lived on the removed shard.
+
+use labelcount_stats::replication_seed;
+
+/// Stable identifier of a served graph: a tenant dataset, or one shard of
+/// a giant partitioned graph. Routing hashes the raw id, so ids need not
+/// be dense or small.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GraphKey(pub u64);
+
+/// Stable tenant identifier for quota accounting and fairness metrics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u64);
+
+/// Internal hash streams, kept distinct so ring points and key hashes
+/// never collide structurally.
+mod stream {
+    pub const SHARD: u64 = 0x5ead_0001;
+    pub const KEY: u64 = 0x5ead_0002;
+}
+
+/// Default virtual points per shard — enough that expected load imbalance
+/// across shards is modest without making the ring large.
+pub const DEFAULT_REPLICAS: usize = 32;
+
+/// A seeded consistent-hash ring over `shards` shards.
+#[derive(Clone, Debug)]
+pub struct ShardRouter {
+    shards: usize,
+    /// `(ring position, shard)`, sorted by position (positions deduped —
+    /// ties would make ownership depend on sort stability).
+    points: Vec<(u64, u32)>,
+}
+
+impl ShardRouter {
+    /// Builds a ring with [`DEFAULT_REPLICAS`] virtual points per shard.
+    pub fn new(shards: usize, seed: u64) -> ShardRouter {
+        ShardRouter::with_replicas(shards, DEFAULT_REPLICAS, seed)
+    }
+
+    /// Builds a ring with an explicit virtual-point count per shard.
+    pub fn with_replicas(shards: usize, replicas: usize, seed: u64) -> ShardRouter {
+        assert!(shards >= 1, "a router needs at least one shard");
+        assert!(replicas >= 1, "each shard needs at least one ring point");
+        let mut points = Vec::with_capacity(shards * replicas);
+        for s in 0..shards {
+            // A shard's points are a function of (seed, s) only: the ring
+            // for n shards is the ring for n+1 shards minus shard n's
+            // points, which is what makes the hashing *consistent*.
+            let shard_seed = replication_seed(seed, stream::SHARD.wrapping_add(s as u64));
+            for r in 0..replicas {
+                points.push((replication_seed(shard_seed, r as u64), s as u32));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+        ShardRouter { shards, points }
+    }
+
+    /// Number of shards behind the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`: the first ring point at or after the key's
+    /// hash, wrapping to the lowest point past the top of the ring.
+    pub fn route(&self, key: GraphKey) -> usize {
+        let h = replication_seed(key.0, stream::KEY);
+        let i = self.points.partition_point(|p| p.0 < h);
+        let (_, shard) = self.points[i % self.points.len()];
+        shard as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let r = ShardRouter::new(8, 42);
+        for k in 0..1_000u64 {
+            let a = r.route(GraphKey(k));
+            let b = r.route(GraphKey(k));
+            assert_eq!(a, b);
+            assert!(a < 8);
+        }
+        // A fresh identically-configured ring routes identically.
+        let r2 = ShardRouter::new(8, 42);
+        for k in 0..1_000u64 {
+            assert_eq!(r.route(GraphKey(k)), r2.route(GraphKey(k)));
+        }
+    }
+
+    #[test]
+    fn every_shard_owns_some_keys() {
+        let shards = 8;
+        let r = ShardRouter::new(shards, 7);
+        let mut owned = vec![0usize; shards];
+        for k in 0..4_000u64 {
+            owned[r.route(GraphKey(k))] += 1;
+        }
+        for (s, &n) in owned.iter().enumerate() {
+            assert!(n > 0, "shard {s} owns no keys: {owned:?}");
+        }
+    }
+
+    #[test]
+    fn removing_the_last_shard_only_remaps_its_keys() {
+        // The consistency property: the (n-1)-shard ring is the n-shard
+        // ring minus shard n-1's points, so keys that did not live on the
+        // removed shard keep their owner.
+        let big = ShardRouter::new(8, 2018);
+        let small = ShardRouter::new(7, 2018);
+        let mut moved = 0usize;
+        for k in 0..4_000u64 {
+            let key = GraphKey(k);
+            let before = big.route(key);
+            let after = small.route(key);
+            if before == 7 {
+                moved += 1; // must move somewhere; anywhere is legal
+                assert!(after < 7);
+            } else {
+                assert_eq!(before, after, "key {k} moved without cause");
+            }
+        }
+        assert!(moved > 0, "an 8th shard that owns nothing is suspicious");
+    }
+
+    #[test]
+    fn seed_changes_the_placement() {
+        let a = ShardRouter::new(8, 1);
+        let b = ShardRouter::new(8, 2);
+        let diff = (0..1_000u64)
+            .filter(|&k| a.route(GraphKey(k)) != b.route(GraphKey(k)))
+            .count();
+        assert!(diff > 0, "two seeds yielding identical rings");
+    }
+
+    #[test]
+    fn single_shard_ring_routes_everything_to_it() {
+        let r = ShardRouter::new(1, 9);
+        for k in 0..100u64 {
+            assert_eq!(r.route(GraphKey(k)), 0);
+        }
+    }
+}

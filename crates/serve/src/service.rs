@@ -1,0 +1,816 @@
+//! The sharded multi-graph service: registration, routing, admission, and
+//! deterministic multi-tenant workload execution.
+//!
+//! [`ShardedService`] is the long-lived process model: many registered
+//! graphs, each owned by exactly one shard (consistent hashing over the
+//! [`GraphKey`]), one [`Engine`] — and therefore one shared L2 cache —
+//! per graph inside its owning shard. Shards share nothing at run time:
+//! a shard thread only ever touches the engines of its own graphs.
+//!
+//! [`ServiceWorkload`] is the multi-tenant request stream. Running it has
+//! three phases:
+//!
+//! 1. **admission** — serial, in the seeded arrival order, against one
+//!    modelled queue per registered graph plus per-tenant quotas
+//!    ([`crate::admission`]);
+//! 2. **execution** — admitted requests become per-graph
+//!    [`Workload`]s; one thread per shard runs its graphs' workloads over
+//!    the shard's engines (per-graph worker pools inside);
+//! 3. **report** — outcomes re-assembled in request-id order, with
+//!    **anytime answers** for shed / quota-rejected requests taken from
+//!    their graph's deterministic summary.
+
+use std::sync::Mutex;
+
+use labelcount_core::{
+    Engine, QueryOutcome, QuerySpec, RunConfig, Workload, WorkloadProgress, WorkloadReport,
+};
+use labelcount_graph::{LabeledGraph, TargetLabel};
+use labelcount_osn::{FaultConfig, RetryPolicy};
+use labelcount_stats::{replication_seed, RunningStats};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::admission::{
+    unit_hash, AdmissionConfig, AdmissionDecision, AdmissionState, QuotaPolicy,
+};
+use crate::router::{GraphKey, ShardRouter, TenantId};
+
+/// Stream ids for the service's internal seed derivations.
+mod stream {
+    pub const ARRIVAL: u64 = 0x5e11;
+    pub const GRAPH_WL: u64 = 0x5e12;
+    pub const TENANT_COIN: u64 = 0x5e13;
+    pub const TENANT_PICK: u64 = 0x5e14;
+    pub const REQUEST_RNG: u64 = 0x5e15;
+}
+
+/// One request of a multi-tenant service workload: a [`QuerySpec`] plus
+/// the routing coordinates (who asks, against which graph).
+pub struct ServiceRequest {
+    /// Globally unique request id; the report is assembled in id order.
+    pub id: u64,
+    /// The tenant paying for the request (quota accounting, fairness).
+    pub tenant: TenantId,
+    /// The graph the query runs against.
+    pub graph: GraphKey,
+    /// The estimator to run.
+    pub algorithm: Box<dyn labelcount_core::Algorithm>,
+    /// The target edge label.
+    pub target: TargetLabel,
+    /// Sample-size budget (API calls the estimator aims to spend).
+    pub budget: usize,
+    /// Hard cap on charged neighbor calls; admission may tighten it
+    /// further against the tenant's remaining quota.
+    pub hard_budget: Option<u64>,
+    /// RNG seed of the query's estimator.
+    pub seed: u64,
+}
+
+/// A multi-tenant request stream plus the service-level knobs.
+pub struct ServiceWorkload {
+    /// The requests, in strictly increasing id order.
+    pub requests: Vec<ServiceRequest>,
+    /// Base seed: arrival order, shed coins, and per-graph workload seeds
+    /// derive from it.
+    pub seed: u64,
+    /// Shared run parameters (burn-in, thinning).
+    pub run_config: RunConfig,
+    /// Fault model decorating every query's backend stack (seed re-derived
+    /// per query, as in [`Workload`]).
+    pub faults: FaultConfig,
+    /// Retry policy for fault recovery.
+    pub retry: RetryPolicy,
+    /// Modelled submission-queue tuning.
+    pub admission: AdmissionConfig,
+    /// Per-tenant quotas on charged neighbor calls.
+    pub quotas: QuotaPolicy,
+}
+
+impl ServiceWorkload {
+    /// A mixed multi-tenant stream: `n` requests cycling through the
+    /// paper's Table-2 roster, spread round-robin over `graphs` and
+    /// assigned to one of `tenants` tenants by a seeded skewed draw —
+    /// with probability `tenant_skew` the request belongs to tenant 0
+    /// (the heavy hitter), otherwise to a uniformly drawn tenant. Every
+    /// request is hard-budgeted at `6 × (budget + burn-in)` charged calls,
+    /// mirroring [`Workload::mixed`].
+    #[allow(clippy::too_many_arguments)] // mirrors Workload::mixed plus the tenancy axes
+    pub fn mixed_multi_tenant(
+        n: usize,
+        graphs: &[GraphKey],
+        tenants: usize,
+        tenant_skew: f64,
+        target: TargetLabel,
+        budget: usize,
+        seed: u64,
+        run_config: RunConfig,
+    ) -> ServiceWorkload {
+        assert!(!graphs.is_empty(), "a service workload needs graphs");
+        assert!(tenants >= 1, "a service workload needs tenants");
+        assert!(
+            (0.0..=1.0).contains(&tenant_skew),
+            "tenant_skew must be in [0, 1]"
+        );
+        let hard_budget = 6 * (budget as u64 + run_config.burn_in as u64);
+        let coin_seed = replication_seed(seed, stream::TENANT_COIN);
+        let pick_seed = replication_seed(seed, stream::TENANT_PICK);
+        let mut pool: std::collections::VecDeque<Box<dyn labelcount_core::Algorithm>> =
+            std::collections::VecDeque::new();
+        let mut requests = Vec::with_capacity(n);
+        for id in 0..n as u64 {
+            if pool.is_empty() {
+                pool.extend(labelcount_core::algorithms::all_paper(0.2, 0.5));
+            }
+            let tenant = if unit_hash(coin_seed, id) < tenant_skew {
+                TenantId(0)
+            } else {
+                TenantId((unit_hash(pick_seed, id) * tenants as f64) as u64)
+            };
+            requests.push(ServiceRequest {
+                id,
+                tenant,
+                graph: graphs[id as usize % graphs.len()],
+                algorithm: pool.pop_front().expect("roster is non-empty"),
+                target,
+                budget,
+                hard_budget: Some(hard_budget),
+                seed: replication_seed(seed, stream::REQUEST_RNG + (id << 8)),
+            });
+        }
+        ServiceWorkload {
+            requests,
+            seed,
+            run_config,
+            faults: FaultConfig::clean(seed),
+            retry: RetryPolicy::default(),
+            admission: AdmissionConfig::default(),
+            quotas: QuotaPolicy::unmetered(),
+        }
+    }
+
+    /// Replaces the fault model (builder style).
+    pub fn with_faults(mut self, faults: FaultConfig, retry: RetryPolicy) -> ServiceWorkload {
+        self.faults = faults;
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces the admission tuning (builder style).
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> ServiceWorkload {
+        self.admission = admission;
+        self
+    }
+
+    /// Replaces the quota policy (builder style).
+    pub fn with_quotas(mut self, quotas: QuotaPolicy) -> ServiceWorkload {
+        self.quotas = quotas;
+        self
+    }
+
+    /// The seeded arrival order: request indices shuffled under the
+    /// workload seed. Deterministic, independent of shard and worker
+    /// counts.
+    pub fn arrival_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.requests.len()).collect();
+        let mut rng = StdRng::seed_from_u64(replication_seed(self.seed, stream::ARRIVAL));
+        order.shuffle(&mut rng);
+        order
+    }
+}
+
+/// What the service did with one request.
+#[derive(Clone, Debug)]
+pub enum ServiceStatus {
+    /// Admitted and executed; the full per-query outcome.
+    Completed(QueryOutcome),
+    /// Shed by the modelled queue. `anytime` is the deterministic anytime
+    /// answer: the mean over the request's graph's completed estimates
+    /// (`None` when that graph completed nothing).
+    Shed {
+        /// Modelled backlog of the graph's queue at arrival time.
+        backlog: usize,
+        /// Anytime answer from the graph's deterministic summary.
+        anytime: Option<f64>,
+    },
+    /// Rejected because the tenant's quota cannot cover the request; the
+    /// same anytime answer as for shed requests.
+    QuotaExhausted {
+        /// Anytime answer from the graph's deterministic summary.
+        anytime: Option<f64>,
+    },
+    /// The request named a graph the service does not serve.
+    UnknownGraph,
+}
+
+/// One request's routed, decided, and (possibly) executed record.
+#[derive(Clone, Debug)]
+pub struct ServiceOutcome {
+    /// The request's id.
+    pub id: u64,
+    /// The tenant that issued it.
+    pub tenant: TenantId,
+    /// The graph it targeted.
+    pub graph: GraphKey,
+    /// The shard that owns (or would own) that graph.
+    pub shard: usize,
+    /// What happened.
+    pub status: ServiceStatus,
+}
+
+/// Deterministic serving counters, aggregated over one service run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServingCounters {
+    /// Shards the service was configured with (config echo — the one
+    /// field that legitimately varies across shard counts).
+    pub shards: u64,
+    /// Requests submitted (including unknown-graph rejects).
+    pub submitted: u64,
+    /// Requests admitted and executed.
+    pub admitted: u64,
+    /// Requests shed by the modelled queue.
+    pub shed: u64,
+    /// Requests rejected on tenant quota.
+    pub quota_exhausted: u64,
+    /// Per-tenant fairness: max admitted over min admitted (floored at 1)
+    /// across tenants with at least one submission; `1.0` when no tenant
+    /// submitted anything.
+    pub tenant_fairness: f64,
+}
+
+/// The deterministic result of a service run: outcomes in request-id
+/// order, a summary over completed estimates, and serving counters.
+///
+/// Bit-identical at any shard count and any worker count (the `shards`
+/// config echo in [`ServingCounters`] aside).
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Per-request outcomes, in **request-id order**.
+    pub outcomes: Vec<ServiceOutcome>,
+    /// Summary over completed finite estimates, accumulated in id order.
+    pub summary: RunningStats,
+    /// Admission and fairness counters.
+    pub serving: ServingCounters,
+}
+
+impl ServiceReport {
+    /// Outcomes with a completed estimate.
+    pub fn completed(&self) -> impl Iterator<Item = (&ServiceOutcome, &QueryOutcome)> {
+        self.outcomes.iter().filter_map(|o| match &o.status {
+            ServiceStatus::Completed(q) => Some((o, q)),
+            _ => None,
+        })
+    }
+
+    /// Total charged neighbor calls (logical + retry charges) per tenant,
+    /// in ascending tenant order — the bill the quota machinery metered.
+    pub fn charged_calls_by_tenant(&self) -> Vec<(TenantId, u64)> {
+        let mut bill: Vec<(TenantId, u64)> = Vec::new();
+        for (o, q) in self.completed() {
+            match bill.iter_mut().find(|(t, _)| *t == o.tenant) {
+                Some((_, c)) => *c += q.charged_calls(),
+                None => bill.push((o.tenant, q.charged_calls())),
+            }
+        }
+        bill.sort_by_key(|(t, _)| *t);
+        bill
+    }
+}
+
+/// Live, anytime view of a running service: one [`WorkloadProgress`] per
+/// registered graph, in registration order.
+///
+/// Like [`WorkloadProgress`] itself, the per-graph views aggregate in
+/// completion order and are therefore interleaving-dependent; the
+/// [`ServiceReport`] is the deterministic record.
+pub struct ServiceProgress {
+    slots: Vec<(GraphKey, WorkloadProgress)>,
+}
+
+impl ServiceProgress {
+    /// A progress view shaped for `service` (one slot per registered
+    /// graph). [`ShardedService::run_observed`] requires the view to be
+    /// built from the same service.
+    pub fn for_service(service: &ShardedService<'_>) -> ServiceProgress {
+        ServiceProgress {
+            slots: service
+                .graphs
+                .iter()
+                .map(|(key, _, _)| (*key, WorkloadProgress::new()))
+                .collect(),
+        }
+    }
+
+    /// The live progress view of one graph's workload.
+    pub fn graph(&self, key: GraphKey) -> Option<&WorkloadProgress> {
+        self.slots.iter().find(|(k, _)| *k == key).map(|(_, p)| p)
+    }
+
+    /// Total queries completed so far, across every graph.
+    pub fn completed(&self) -> usize {
+        self.slots.iter().map(|(_, p)| p.completed()).sum()
+    }
+
+    /// The live anytime estimate for `key`: the mean of its completed
+    /// estimates so far (`None` before the first completion, or for an
+    /// unknown graph). This is what a deadline-hit caller reads mid-run.
+    pub fn anytime_estimate(&self, key: GraphKey) -> Option<f64> {
+        let stats = self.graph(key)?.partial_estimates();
+        (stats.count() > 0).then(|| stats.mean())
+    }
+}
+
+/// A long-lived multi-graph service: consistent-hash routing to
+/// shared-nothing per-shard engines, with deterministic admission.
+pub struct ShardedService<'g> {
+    router: ShardRouter,
+    seed: u64,
+    /// `(key, owning shard, engine)`, in registration order. The engine —
+    /// and its shared L2 cache — belongs to the owning shard; run-time
+    /// execution never touches another shard's entries.
+    graphs: Vec<(GraphKey, usize, Engine<'g>)>,
+}
+
+impl<'g> ShardedService<'g> {
+    /// An empty service with `shards` shards and a placement seed.
+    pub fn new(shards: usize, seed: u64) -> ShardedService<'g> {
+        ShardedService {
+            router: ShardRouter::new(shards, seed),
+            seed,
+            graphs: Vec::new(),
+        }
+    }
+
+    /// Registers a graph under `key`, returning the shard that owns it.
+    ///
+    /// # Panics
+    /// Panics if `key` is already registered — a served graph has exactly
+    /// one engine.
+    pub fn register(&mut self, key: GraphKey, graph: &'g LabeledGraph) -> usize {
+        assert!(
+            !self.graphs.iter().any(|(k, _, _)| *k == key),
+            "graph key {key:?} registered twice"
+        );
+        let shard = self.router.route(key);
+        self.graphs.push((key, shard, Engine::new(graph)));
+        shard
+    }
+
+    /// The routing seed the service was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.router.shards()
+    }
+
+    /// Number of registered graphs.
+    pub fn num_graphs(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Registered graph keys, in registration order.
+    pub fn graph_keys(&self) -> Vec<GraphKey> {
+        self.graphs.iter().map(|(k, _, _)| *k).collect()
+    }
+
+    /// The shard that owns (or would own) `key`.
+    pub fn shard_of(&self, key: GraphKey) -> usize {
+        self.router.route(key)
+    }
+
+    /// The engine serving `key`, if registered.
+    pub fn engine(&self, key: GraphKey) -> Option<&Engine<'g>> {
+        self.graphs
+            .iter()
+            .find(|(k, _, _)| *k == key)
+            .map(|(_, _, e)| e)
+    }
+
+    fn graph_index(&self, key: GraphKey) -> Option<usize> {
+        self.graphs.iter().position(|(k, _, _)| *k == key)
+    }
+
+    /// Runs a multi-tenant workload: admission in the seeded arrival
+    /// order, then execution with one thread per shard and up to
+    /// `workers` worker threads per graph workload.
+    ///
+    /// The returned [`ServiceReport`] is bit-identical at any shard count
+    /// and any worker count.
+    pub fn run(&self, workload: ServiceWorkload, workers: usize) -> ServiceReport {
+        let progress = ServiceProgress::for_service(self);
+        self.run_observed(workload, workers, &progress)
+    }
+
+    /// [`ShardedService::run`] with a caller-owned [`ServiceProgress`]
+    /// (built by [`ServiceProgress::for_service`] on this service) that
+    /// another thread can poll for live anytime estimates.
+    pub fn run_observed(
+        &self,
+        workload: ServiceWorkload,
+        workers: usize,
+        progress: &ServiceProgress,
+    ) -> ServiceReport {
+        assert_eq!(
+            progress.slots.len(),
+            self.graphs.len(),
+            "progress view was not built for this service"
+        );
+        let n = workload.requests.len();
+        for w in workload.requests.windows(2) {
+            assert!(w[0].id < w[1].id, "request ids must be strictly increasing");
+        }
+
+        // Phase 1 — admission, serially in the seeded arrival order,
+        // against one modelled queue per registered graph. Placement-
+        // independent: the shard only decides where admitted work runs.
+        let order = workload.arrival_order();
+        let mut admission = AdmissionState::new(
+            self.graphs.len(),
+            workload.admission,
+            workload.quotas.clone(),
+            workload.seed,
+        );
+        enum Decided {
+            Known(usize, AdmissionDecision),
+            Unknown,
+        }
+        let mut decisions: Vec<Option<Decided>> = (0..n).map(|_| None).collect();
+        for &ri in &order {
+            let req = &workload.requests[ri];
+            decisions[ri] = Some(match self.graph_index(req.graph) {
+                Some(gi) => Decided::Known(
+                    gi,
+                    admission.decide(req.id, req.tenant, gi, req.hard_budget),
+                ),
+                None => Decided::Unknown,
+            });
+        }
+
+        // Phase 2 — build per-graph workloads from the admitted requests
+        // (in id order) and execute them, one thread per shard. The
+        // per-graph workload seed derives from the graph key alone, so
+        // per-query fault seeds and arrival shuffles are placement-
+        // independent too.
+        let ServiceWorkload {
+            requests,
+            seed,
+            run_config,
+            faults,
+            retry,
+            ..
+        } = workload;
+        let mut graph_queries: Vec<Vec<QuerySpec>> =
+            (0..self.graphs.len()).map(|_| Vec::new()).collect();
+        struct Pending {
+            id: u64,
+            tenant: TenantId,
+            graph: GraphKey,
+            shard: usize,
+            decided: Decided,
+        }
+        let mut pending: Vec<Pending> = Vec::with_capacity(n);
+        for (ri, req) in requests.into_iter().enumerate() {
+            let decided = decisions[ri].take().expect("every request was decided");
+            let shard = self.shard_of(req.graph);
+            if let Decided::Known(gi, AdmissionDecision::Admitted { effective_budget }) = decided {
+                graph_queries[gi].push(QuerySpec {
+                    id: req.id,
+                    algorithm: req.algorithm,
+                    target: req.target,
+                    budget: req.budget,
+                    hard_budget: effective_budget,
+                    seed: req.seed,
+                });
+            }
+            pending.push(Pending {
+                id: req.id,
+                tenant: req.tenant,
+                graph: req.graph,
+                shard,
+                decided,
+            });
+        }
+        let graph_workloads: Vec<Workload> = graph_queries
+            .into_iter()
+            .enumerate()
+            .map(|(gi, queries)| Workload {
+                queries,
+                seed: replication_seed(
+                    replication_seed(seed, stream::GRAPH_WL),
+                    self.graphs[gi].0 .0,
+                ),
+                run_config,
+                faults,
+                retry,
+            })
+            .collect();
+
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.router.shards()];
+        for (gi, wl) in graph_workloads.iter().enumerate() {
+            if !wl.queries.is_empty() {
+                by_shard[self.graphs[gi].1].push(gi);
+            }
+        }
+        let slots: Vec<Mutex<Option<WorkloadReport>>> =
+            (0..self.graphs.len()).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for gis in &by_shard {
+                if gis.is_empty() {
+                    continue;
+                }
+                let graph_workloads = &graph_workloads;
+                let slots = &slots;
+                scope.spawn(move || {
+                    // This thread IS the shard: it serves only its own
+                    // graphs' engines and writes only its own slots.
+                    for &gi in gis {
+                        let report = self.graphs[gi].2.run_workload_observed(
+                            &graph_workloads[gi],
+                            workers,
+                            &progress.slots[gi].1,
+                        );
+                        *slots[gi].lock().unwrap() = Some(report);
+                    }
+                });
+            }
+        });
+        let reports: Vec<Option<WorkloadReport>> =
+            slots.into_iter().map(|s| s.into_inner().unwrap()).collect();
+
+        // Phase 3 — assemble the deterministic report in request-id order.
+        let anytime = |gi: usize| -> Option<f64> {
+            let r = reports[gi].as_ref()?;
+            (r.summary.count() > 0).then(|| r.summary.mean())
+        };
+        let mut outcomes = Vec::with_capacity(n);
+        let mut admitted = 0u64;
+        let mut shed = 0u64;
+        let mut quota_exhausted = 0u64;
+        let mut per_tenant: Vec<(TenantId, u64)> = Vec::new();
+        let mut summary = RunningStats::new();
+        for p in pending {
+            let status = match p.decided {
+                Decided::Unknown => ServiceStatus::UnknownGraph,
+                Decided::Known(gi, AdmissionDecision::Admitted { .. }) => {
+                    admitted += 1;
+                    match per_tenant.iter_mut().find(|(t, _)| *t == p.tenant) {
+                        Some((_, c)) => *c += 1,
+                        None => per_tenant.push((p.tenant, 1)),
+                    }
+                    let report = reports[gi].as_ref().expect("admitted graph ran");
+                    let qi = report
+                        .outcomes
+                        .binary_search_by_key(&p.id, |o| o.id)
+                        .expect("admitted query has an outcome");
+                    let outcome = report.outcomes[qi].clone();
+                    if let Ok(e) = outcome.estimate {
+                        if e.is_finite() {
+                            summary.push(e);
+                        }
+                    }
+                    ServiceStatus::Completed(outcome)
+                }
+                Decided::Known(gi, AdmissionDecision::Shed { backlog }) => {
+                    shed += 1;
+                    if !per_tenant.iter().any(|(t, _)| *t == p.tenant) {
+                        per_tenant.push((p.tenant, 0));
+                    }
+                    ServiceStatus::Shed {
+                        backlog,
+                        anytime: anytime(gi),
+                    }
+                }
+                Decided::Known(gi, AdmissionDecision::QuotaExhausted) => {
+                    quota_exhausted += 1;
+                    if !per_tenant.iter().any(|(t, _)| *t == p.tenant) {
+                        per_tenant.push((p.tenant, 0));
+                    }
+                    ServiceStatus::QuotaExhausted {
+                        anytime: anytime(gi),
+                    }
+                }
+            };
+            outcomes.push(ServiceOutcome {
+                id: p.id,
+                tenant: p.tenant,
+                graph: p.graph,
+                shard: p.shard,
+                status,
+            });
+        }
+        let tenant_fairness = if per_tenant.is_empty() {
+            1.0
+        } else {
+            let max = per_tenant.iter().map(|(_, c)| *c).max().unwrap_or(0);
+            let min = per_tenant.iter().map(|(_, c)| *c).min().unwrap_or(0);
+            max as f64 / min.max(1) as f64
+        };
+        ServiceReport {
+            outcomes,
+            summary,
+            serving: ServingCounters {
+                shards: self.router.shards() as u64,
+                submitted: n as u64,
+                admitted,
+                shed,
+                quota_exhausted,
+                tenant_fairness,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use labelcount_graph::gen::barabasi_albert;
+    use labelcount_graph::labels::{assign_binary_labels, with_labels};
+
+    fn fixture(seed: u64) -> LabeledGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = barabasi_albert(250, 3, &mut rng);
+        let mut labels = vec![Vec::new(); g.num_nodes()];
+        assign_binary_labels(&mut labels, 0.4, &mut rng);
+        with_labels(&g, &labels)
+    }
+
+    fn target() -> TargetLabel {
+        TargetLabel::new(1.into(), 2.into())
+    }
+
+    fn cfg() -> RunConfig {
+        RunConfig {
+            burn_in: 25,
+            thinning_frac: 0.0,
+        }
+    }
+
+    fn keys(n: u64) -> Vec<GraphKey> {
+        (0..n).map(GraphKey).collect()
+    }
+
+    #[test]
+    fn registration_routes_and_rejects_duplicates() {
+        let g = fixture(1);
+        let mut svc = ShardedService::new(4, 7);
+        for k in keys(6) {
+            let shard = svc.register(k, &g);
+            assert_eq!(shard, svc.shard_of(k));
+            assert!(shard < 4);
+            assert!(svc.engine(k).is_some());
+        }
+        assert_eq!(svc.num_graphs(), 6);
+        assert!(svc.engine(GraphKey(99)).is_none());
+        let dup = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            svc.register(GraphKey(0), &g)
+        }));
+        assert!(dup.is_err(), "duplicate registration must panic");
+    }
+
+    #[test]
+    fn friendly_workload_completes_everything_in_id_order() {
+        let g = fixture(2);
+        let mut svc = ShardedService::new(2, 3);
+        let gks = keys(3);
+        for &k in &gks {
+            svc.register(k, &g);
+        }
+        let wl = ServiceWorkload::mixed_multi_tenant(12, &gks, 3, 0.3, target(), 60, 11, cfg());
+        let report = svc.run(wl, 2);
+        assert_eq!(report.outcomes.len(), 12);
+        assert_eq!(report.serving.submitted, 12);
+        assert_eq!(report.serving.admitted, 12);
+        assert_eq!(report.serving.shed, 0);
+        assert_eq!(report.serving.quota_exhausted, 0);
+        assert_eq!(report.serving.shards, 2);
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.id, i as u64);
+            assert_eq!(o.shard, svc.shard_of(o.graph));
+            match &o.status {
+                ServiceStatus::Completed(q) => {
+                    assert_eq!(q.id, o.id);
+                    assert!(q.estimate.is_ok());
+                }
+                other => panic!("request {i} not completed: {other:?}"),
+            }
+        }
+        assert!(report.summary.count() > 0);
+        assert!(!report.charged_calls_by_tenant().is_empty());
+    }
+
+    #[test]
+    fn unknown_graph_is_reported_not_panicked() {
+        let g = fixture(3);
+        let mut svc = ShardedService::new(2, 5);
+        svc.register(GraphKey(0), &g);
+        let mut wl =
+            ServiceWorkload::mixed_multi_tenant(4, &keys(1), 1, 0.0, target(), 40, 13, cfg());
+        wl.requests[2].graph = GraphKey(77); // never registered
+        let report = svc.run(wl, 1);
+        assert!(matches!(
+            report.outcomes[2].status,
+            ServiceStatus::UnknownGraph
+        ));
+        assert_eq!(report.serving.admitted, 3);
+        assert_eq!(report.serving.submitted, 4);
+    }
+
+    #[test]
+    fn tight_admission_sheds_with_anytime_answers() {
+        let g = fixture(4);
+        let mut svc = ShardedService::new(2, 9);
+        let gks = keys(2);
+        for &k in &gks {
+            svc.register(k, &g);
+        }
+        let wl = ServiceWorkload::mixed_multi_tenant(24, &gks, 2, 0.5, target(), 50, 17, cfg())
+            .with_admission(AdmissionConfig {
+                queue_capacity: 3,
+                drain_every: 3,
+                shed_start: 0.4,
+            });
+        let report = svc.run(wl, 2);
+        assert!(report.serving.shed > 0, "tight queue never shed");
+        assert!(report.serving.admitted > 0, "tight queue admitted nothing");
+        for o in &report.outcomes {
+            if let ServiceStatus::Shed { backlog, anytime } = &o.status {
+                assert!(*backlog <= 3);
+                // Both graphs complete work under this config, so every
+                // shed request gets a finite anytime answer.
+                let a = anytime.expect("anytime answer available");
+                assert!(a.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn quotas_exhaust_per_tenant_and_fairness_reflects_it() {
+        let g = fixture(5);
+        let mut svc = ShardedService::new(1, 2);
+        let gks = keys(1);
+        svc.register(gks[0], &g);
+        // Tenant 0 hogs most requests; a tight uniform quota exhausts it
+        // while lighter tenants keep being admitted.
+        let wl = ServiceWorkload::mixed_multi_tenant(20, &gks, 4, 0.7, target(), 50, 19, cfg())
+            .with_quotas(QuotaPolicy::uniform(900));
+        let report = svc.run(wl, 1);
+        assert!(report.serving.quota_exhausted > 0, "quota never exhausted");
+        assert!(report.serving.admitted > 0);
+        assert!(report.serving.tenant_fairness >= 1.0);
+        // Every completed query's charged calls stayed within its
+        // admission-reserved budget.
+        for (_, q) in report.completed() {
+            assert!(q.charged_calls() <= 900);
+        }
+        // The heavy tenant must be among the rejected.
+        let heavy_rejected = report.outcomes.iter().any(|o| {
+            o.tenant == TenantId(0) && matches!(o.status, ServiceStatus::QuotaExhausted { .. })
+        });
+        assert!(heavy_rejected, "the hog tenant was never quota-limited");
+    }
+
+    #[test]
+    fn progress_view_tracks_per_graph_completions() {
+        let g = fixture(6);
+        let mut svc = ShardedService::new(2, 4);
+        let gks = keys(2);
+        for &k in &gks {
+            svc.register(k, &g);
+        }
+        let wl = ServiceWorkload::mixed_multi_tenant(8, &gks, 2, 0.2, target(), 40, 23, cfg());
+        let progress = ServiceProgress::for_service(&svc);
+        let report = svc.run_observed(wl, 2, &progress);
+        assert_eq!(progress.completed() as u64, report.serving.admitted);
+        for &k in &gks {
+            let live = progress.anytime_estimate(k);
+            assert!(live.is_some(), "graph {k:?} completed nothing");
+            assert!(live.unwrap().is_finite());
+        }
+        assert!(progress.anytime_estimate(GraphKey(42)).is_none());
+    }
+
+    #[test]
+    fn report_bits_are_stable_across_reruns() {
+        let g = fixture(7);
+        let build = || {
+            ServiceWorkload::mixed_multi_tenant(10, &keys(2), 3, 0.4, target(), 45, 29, cfg())
+                .with_admission(AdmissionConfig {
+                    queue_capacity: 4,
+                    drain_every: 2,
+                    shed_start: 0.5,
+                })
+        };
+        let mut svc = ShardedService::new(3, 8);
+        for &k in &keys(2) {
+            svc.register(k, &g);
+        }
+        let a = svc.run(build(), 2);
+        let b = svc.run(build(), 4);
+        assert_eq!(a.serving, b.serving);
+        assert_eq!(a.summary.mean().to_bits(), b.summary.mean().to_bits());
+    }
+}

@@ -1,0 +1,314 @@
+//! The serving layer's headline contract, property-tested: a
+//! [`ServiceReport`] is **bit-identical at any shard count and any worker
+//! count** — sharding and parallelism decide *where* and *when* work
+//! runs, never *what* it answers — and admission (shedding + quotas)
+//! decides identically across interleavings because it is a pure function
+//! of the seeded arrival sequence.
+
+use labelcount_core::RunConfig;
+use labelcount_graph::gen::barabasi_albert;
+use labelcount_graph::labels::{assign_binary_labels, with_labels};
+use labelcount_graph::{LabeledGraph, TargetLabel};
+use labelcount_osn::{FaultConfig, RetryPolicy};
+use labelcount_serve::{
+    AdmissionConfig, GraphKey, QuotaPolicy, ServiceReport, ServiceStatus, ServiceWorkload,
+    ShardRouter, ShardedService,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixture(seed: u64) -> LabeledGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = barabasi_albert(200, 3, &mut rng);
+    let mut labels = vec![Vec::new(); g.num_nodes()];
+    assign_binary_labels(&mut labels, 0.4, &mut rng);
+    with_labels(&g, &labels)
+}
+
+fn target() -> TargetLabel {
+    TargetLabel::new(1.into(), 2.into())
+}
+
+fn cfg() -> RunConfig {
+    RunConfig {
+        burn_in: 20,
+        thinning_frac: 0.0,
+    }
+}
+
+fn graph_keys(n: u64) -> Vec<GraphKey> {
+    (0..n).map(GraphKey).collect()
+}
+
+/// A contested workload: hostile faults, a tight modelled queue, and a
+/// uniform tenant quota — every admission path (admit, shed, quota) is
+/// exercised.
+fn contested(seed: u64, n: usize, graphs: &[GraphKey]) -> ServiceWorkload {
+    ServiceWorkload::mixed_multi_tenant(n, graphs, 3, 0.5, target(), 40, seed, cfg())
+        .with_faults(FaultConfig::hostile(seed, 0.2), RetryPolicy::default())
+        .with_admission(AdmissionConfig {
+            queue_capacity: 4,
+            drain_every: 3,
+            shed_start: 0.4,
+        })
+        .with_quotas(QuotaPolicy::uniform(2_000))
+}
+
+/// Asserts two service reports are bit-identical, except for the
+/// `serving.shards` config echo (which names the topology, not the
+/// answer).
+fn assert_reports_identical(a: &ServiceReport, b: &ServiceReport, ctx: &str) {
+    assert_eq!(a.outcomes.len(), b.outcomes.len(), "{ctx}: outcome count");
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.id, y.id, "{ctx}");
+        assert_eq!(x.tenant, y.tenant, "{ctx}: request {}", x.id);
+        assert_eq!(x.graph, y.graph, "{ctx}: request {}", x.id);
+        match (&x.status, &y.status) {
+            (ServiceStatus::Completed(p), ServiceStatus::Completed(q)) => {
+                assert_eq!(
+                    p.estimate.as_ref().map(|e| e.to_bits()).ok(),
+                    q.estimate.as_ref().map(|e| e.to_bits()).ok(),
+                    "{ctx}: request {} estimate bits",
+                    x.id
+                );
+                assert_eq!(p.logical_calls, q.logical_calls, "{ctx}: request {}", x.id);
+                assert_eq!(p.retry_charges, q.retry_charges, "{ctx}: request {}", x.id);
+                assert_eq!(
+                    p.backend_attempts, q.backend_attempts,
+                    "{ctx}: request {}",
+                    x.id
+                );
+                assert_eq!(p.latency_ticks, q.latency_ticks, "{ctx}: request {}", x.id);
+                assert_eq!(
+                    p.budget_exhausted, q.budget_exhausted,
+                    "{ctx}: request {}",
+                    x.id
+                );
+            }
+            (
+                ServiceStatus::Shed {
+                    backlog: bp,
+                    anytime: ap,
+                },
+                ServiceStatus::Shed {
+                    backlog: bq,
+                    anytime: aq,
+                },
+            ) => {
+                assert_eq!(bp, bq, "{ctx}: request {} backlog", x.id);
+                assert_eq!(
+                    ap.map(f64::to_bits),
+                    aq.map(f64::to_bits),
+                    "{ctx}: request {} anytime bits",
+                    x.id
+                );
+            }
+            (
+                ServiceStatus::QuotaExhausted { anytime: ap },
+                ServiceStatus::QuotaExhausted { anytime: aq },
+            ) => {
+                assert_eq!(
+                    ap.map(f64::to_bits),
+                    aq.map(f64::to_bits),
+                    "{ctx}: request {} anytime bits",
+                    x.id
+                );
+            }
+            (ServiceStatus::UnknownGraph, ServiceStatus::UnknownGraph) => {}
+            (p, q) => panic!("{ctx}: request {} status diverged: {p:?} vs {q:?}", x.id),
+        }
+    }
+    assert_eq!(
+        a.summary.mean().to_bits(),
+        b.summary.mean().to_bits(),
+        "{ctx}: summary mean"
+    );
+    assert_eq!(a.summary.count(), b.summary.count(), "{ctx}: summary count");
+    assert_eq!(a.serving.submitted, b.serving.submitted, "{ctx}");
+    assert_eq!(a.serving.admitted, b.serving.admitted, "{ctx}");
+    assert_eq!(a.serving.shed, b.serving.shed, "{ctx}");
+    assert_eq!(
+        a.serving.quota_exhausted, b.serving.quota_exhausted,
+        "{ctx}"
+    );
+    assert_eq!(
+        a.serving.tenant_fairness.to_bits(),
+        b.serving.tenant_fairness.to_bits(),
+        "{ctx}: fairness"
+    );
+}
+
+#[test]
+fn report_is_bit_identical_across_shard_and_worker_counts() {
+    let g0 = fixture(1);
+    let g1 = fixture(2);
+    let g2 = fixture(3);
+    let graphs = [&g0, &g1, &g2];
+    let gks = graph_keys(3);
+
+    let run = |shards: usize, workers: usize| -> ServiceReport {
+        let mut svc = ShardedService::new(shards, 77);
+        for (i, &k) in gks.iter().enumerate() {
+            svc.register(k, graphs[i]);
+        }
+        svc.run(contested(31, 30, &gks), workers)
+    };
+
+    let baseline = run(1, 1);
+    assert!(baseline.serving.shed > 0, "contested workload never shed");
+    assert!(
+        baseline.serving.quota_exhausted > 0,
+        "contested workload never hit quota"
+    );
+    assert!(baseline.serving.admitted > 0);
+    for shards in [1usize, 2, 8] {
+        for workers in [1usize, 8] {
+            let r = run(shards, workers);
+            assert_eq!(r.serving.shards, shards as u64);
+            assert_reports_identical(&baseline, &r, &format!("shards={shards} workers={workers}"));
+        }
+    }
+}
+
+#[test]
+fn quota_exhaustion_sheds_identically_across_interleavings() {
+    // A hog tenant under a tight quota: the set of quota-rejected request
+    // ids must be identical at every shard/worker combination — the
+    // reservation order is the seeded arrival order, not execution order.
+    let g = fixture(4);
+    let gks = graph_keys(2);
+    let build = || {
+        ServiceWorkload::mixed_multi_tenant(24, &gks, 4, 0.7, target(), 50, 41, cfg())
+            .with_quotas(QuotaPolicy::uniform(1_200))
+    };
+    let rejected = |shards: usize, workers: usize| -> Vec<u64> {
+        let mut svc = ShardedService::new(shards, 9);
+        for &k in &gks {
+            svc.register(k, &g);
+        }
+        svc.run(build(), workers)
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o.status, ServiceStatus::QuotaExhausted { .. }))
+            .map(|o| o.id)
+            .collect()
+    };
+    let baseline = rejected(1, 1);
+    assert!(!baseline.is_empty(), "quota never exhausted");
+    for (shards, workers) in [(2, 1), (2, 8), (8, 4)] {
+        assert_eq!(
+            baseline,
+            rejected(shards, workers),
+            "quota rejections diverged at shards={shards} workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn shards_share_nothing_through_workload_runs() {
+    // Workload execution gives every query its own access stack; the
+    // per-graph engines' shared caches stay untouched, so one shard's
+    // traffic is invisible in another shard's accounting.
+    let g0 = fixture(5);
+    let g1 = fixture(6);
+    let gks = graph_keys(2);
+    let mut svc = ShardedService::new(2, 13);
+    svc.register(gks[0], &g0);
+    svc.register(gks[1], &g1);
+    let report = svc.run(
+        ServiceWorkload::mixed_multi_tenant(8, &gks, 2, 0.3, target(), 40, 43, cfg()),
+        4,
+    );
+    assert_eq!(report.serving.admitted, 8);
+    for &k in &gks {
+        let stats = svc.engine(k).unwrap().stats();
+        assert_eq!(
+            stats.logical_calls(),
+            0,
+            "workload runs must not touch engine {k:?}'s shared cache"
+        );
+    }
+    // Direct engine traffic lands only on the targeted graph's engine.
+    let alg = labelcount_core::NsHansenHurwitz;
+    svc.engine(gks[0])
+        .unwrap()
+        .estimate(&alg, target(), 50, &cfg(), 99)
+        .unwrap();
+    assert!(svc.engine(gks[0]).unwrap().stats().logical_calls() > 0);
+    assert_eq!(svc.engine(gks[1]).unwrap().stats().logical_calls(), 0);
+}
+
+#[test]
+fn anytime_answers_equal_the_graph_summary_mean() {
+    let g = fixture(7);
+    let gks = graph_keys(1);
+    let mut svc = ShardedService::new(1, 3);
+    svc.register(gks[0], &g);
+    let report = svc.run(contested(53, 20, &gks), 2);
+    assert!(report.serving.shed + report.serving.quota_exhausted > 0);
+    // One graph: the deterministic summary over completed estimates IS
+    // the anytime answer every rejected request received.
+    let expected = (report.summary.count() > 0).then(|| report.summary.mean());
+    for o in &report.outcomes {
+        let anytime = match &o.status {
+            ServiceStatus::Shed { anytime, .. } => anytime,
+            ServiceStatus::QuotaExhausted { anytime } => anytime,
+            _ => continue,
+        };
+        assert_eq!(
+            anytime.map(f64::to_bits),
+            expected.map(f64::to_bits),
+            "request {} anytime answer diverged from the graph summary",
+            o.id
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn consistent_hashing_only_remaps_removed_shards(
+        seed in any::<u64>(),
+        shards in 2usize..12,
+    ) {
+        // Dropping the highest shard moves only that shard's keys; every
+        // other key keeps its owner. (Consistent hashing's defining
+        // property, for any seed and fleet size.)
+        let big = ShardRouter::new(shards, seed);
+        let small = ShardRouter::new(shards - 1, seed);
+        for k in 0..600u64 {
+            let key = GraphKey(k);
+            let before = big.route(key);
+            if before == shards - 1 {
+                prop_assert!(small.route(key) < shards - 1);
+            } else {
+                prop_assert_eq!(small.route(key), before, "key {} moved without cause", k);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible_for_any_seed(
+        seed in any::<u64>(),
+        shards in 1usize..6,
+        workers in 1usize..5,
+    ) {
+        let g = fixture(8);
+        let gks = graph_keys(2);
+        let run = || {
+            let mut svc = ShardedService::new(shards, seed);
+            for &k in &gks {
+                svc.register(k, &g);
+            }
+            svc.run(contested(seed, 12, &gks), workers)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.summary.mean().to_bits(), b.summary.mean().to_bits());
+        prop_assert_eq!(a.serving.admitted, b.serving.admitted);
+        prop_assert_eq!(a.serving.shed, b.serving.shed);
+        prop_assert_eq!(a.serving.quota_exhausted, b.serving.quota_exhausted);
+    }
+}

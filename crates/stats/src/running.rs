@@ -113,13 +113,21 @@ impl RunningStats {
 /// The `q`-th percentile (`q ∈ [0, 100]`) by linear interpolation on a
 /// *sorted copy* of the data.
 ///
+/// NaNs are tolerated, not rejected: the sort uses [`f64::total_cmp`]'s
+/// total order, under which negative-sign NaNs sort below `-∞` and
+/// positive-sign NaNs above `+∞`. A NaN observation therefore lands at an
+/// extreme of the sorted copy (and propagates through any interpolation
+/// touching it) instead of panicking the whole report — a degenerate
+/// replicate set must never take down a long-lived serving process that
+/// is merely summarizing latencies.
+///
 /// # Panics
 /// Panics if `data` is empty or `q` is out of range.
 pub fn percentile(data: &[f64], q: f64) -> f64 {
     assert!(!data.is_empty(), "percentile of empty data");
     assert!((0.0..=100.0).contains(&q), "q must be in [0, 100]");
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q / 100.0 * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -212,5 +220,28 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn percentile_empty_rejected() {
         percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn percentile_tolerates_nans() {
+        // Regression: the sort used `partial_cmp().expect("no NaNs")`, so
+        // one NaN estimate (possible from a degenerate replicate set)
+        // panicked the whole report. total_cmp places a positive-sign NaN
+        // above +inf: finite quantiles stay finite, only the extreme
+        // touching the NaN reflects it.
+        let data = [2.0, f64::NAN, 1.0, 3.0];
+        assert_eq!(percentile(&data, 0.0), 1.0);
+        assert_eq!(percentile(&data, 100.0 / 3.0), 2.0);
+        assert!(percentile(&data, 100.0).is_nan());
+
+        // A negative-sign NaN sorts below -inf (total order), pushing the
+        // low extreme to NaN instead.
+        let data = [2.0, -f64::NAN, 1.0];
+        assert!(percentile(&data, 0.0).is_nan());
+        assert_eq!(percentile(&data, 100.0), 2.0);
+
+        // All-NaN input is NaN at every quantile, never a panic.
+        let data = [f64::NAN, f64::NAN];
+        assert!(percentile(&data, 50.0).is_nan());
     }
 }

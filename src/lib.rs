@@ -19,6 +19,7 @@
 //! | [`walk`] | `labelcount-walk` | simple/MH/MD/RCMH/GMD/non-backtracking walks, mixing time |
 //! | [`core`] | `labelcount-core` | the paper's estimators, baselines, bounds |
 //! | [`stats`] | `labelcount-stats` | NRMSE, parallel replication |
+//! | [`serve`] | `labelcount-serve` | sharded multi-graph serving, quotas, admission control |
 //!
 //! # Quickstart
 //!
@@ -54,5 +55,6 @@
 pub use labelcount_core as core;
 pub use labelcount_graph as graph;
 pub use labelcount_osn as osn;
+pub use labelcount_serve as serve;
 pub use labelcount_stats as stats;
 pub use labelcount_walk as walk;
