@@ -50,17 +50,19 @@ pub mod error;
 pub mod motifs;
 pub mod neighbor_exploration;
 pub mod neighbor_sample;
+pub mod request;
 pub mod size;
 pub mod workload;
 
 pub use algorithm::{algorithms, Algorithm, RunConfig};
 pub use baselines::{ExGmd, ExMdrw, ExMhrw, ExRcmh, ExRw};
 pub use bounds::ApproxParams;
-pub use engine::Engine;
+pub use engine::{Engine, StepBudget};
 pub use error::EstimateError;
 pub use neighbor_exploration::{NeHansenHurwitz, NeHorvitzThompson, NeReweighted};
 pub use neighbor_sample::{NsHansenHurwitz, NsHorvitzThompson};
+pub use request::{Priority, QueryOutcome, QuerySpec, Schedule};
 pub use workload::{
-    run_workload, run_workload_observed, QueryOutcome, QuerySpec, Workload, WorkloadProgress,
-    WorkloadReport,
+    run_workload, run_workload_observed, ProgressSnapshot, Workload, WorkloadBuilder,
+    WorkloadProgress, WorkloadReport,
 };

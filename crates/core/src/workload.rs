@@ -44,30 +44,14 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::algorithm::{algorithms, Algorithm, RunConfig};
-use crate::error::EstimateError;
+use crate::request::Schedule;
+pub use crate::request::{QueryOutcome, QuerySpec};
 
 /// Stream ids for deriving the workload's internal seeds.
 mod stream {
     pub const ARRIVAL: u64 = 1;
     pub const QUERY_RNG: u64 = 2;
     pub const QUERY_FAULT: u64 = 3;
-}
-
-/// One query of a workload.
-pub struct QuerySpec {
-    /// Stable query id; results are reported in id order.
-    pub id: u64,
-    /// The estimator to run.
-    pub algorithm: Box<dyn Algorithm>,
-    /// The target edge label.
-    pub target: TargetLabel,
-    /// Sample-size budget (API calls the estimator aims to spend).
-    pub budget: usize,
-    /// Hard per-query budget on charged neighbor-list calls (logical calls
-    /// plus retry charges). `None` = unbudgeted.
-    pub hard_budget: Option<u64>,
-    /// RNG seed of this query's estimator.
-    pub seed: u64,
 }
 
 /// A batch of queries plus the service-level knobs.
@@ -124,6 +108,7 @@ impl Workload {
                 budget,
                 hard_budget: Some(hard_budget),
                 seed: replication_seed(seed, stream::QUERY_RNG + (id << 8)),
+                schedule: Schedule::default(),
             });
         }
         Workload {
@@ -136,10 +121,21 @@ impl Workload {
     }
 
     /// Replaces the fault model (builder style).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `WorkloadBuilder::faults` (`Workload::builder().faults(..).build()`); \
+                the ad-hoc `with_*` methods are superseded by the shared builder"
+    )]
     pub fn with_faults(mut self, faults: FaultConfig, retry: RetryPolicy) -> Workload {
         self.faults = faults;
         self.retry = retry;
         self
+    }
+
+    /// Wraps this workload in a [`WorkloadBuilder`] to override the
+    /// service-level knobs (fault model, retry policy) builder-style.
+    pub fn builder(self) -> WorkloadBuilder {
+        WorkloadBuilder { inner: self }
     }
 
     /// The seeded arrival order: query indices shuffled under the
@@ -152,38 +148,41 @@ impl Workload {
     }
 }
 
-/// What one query produced.
-#[derive(Clone, Debug)]
-pub struct QueryOutcome {
-    /// The query's id.
-    pub id: u64,
-    /// Algorithm abbreviation (Table 2).
-    pub abbrev: &'static str,
-    /// The estimate, or why it could not be produced (a hard budget
-    /// exhausted by a hostile API is an expected outcome, not a bug).
-    pub estimate: Result<f64, EstimateError>,
-    /// Logical API calls the query issued (the clean-world cost).
-    pub logical_calls: u64,
-    /// Extra billable attempts its misses cost (retries + extra pages) —
-    /// what the hostile API added on top.
-    pub retry_charges: u64,
-    /// Realized backend attempts (first attempts + pages + retries).
-    pub backend_attempts: u64,
-    /// Rate-limit rejections the query's fetches absorbed.
-    pub rate_limited: u64,
-    /// Transient errors the query's fetches absorbed.
-    pub transient_errors: u64,
-    /// Total simulated latency ticks (attempt latencies + backoff +
-    /// retry-after waits).
-    pub latency_ticks: u64,
-    /// Whether the hard budget ran out.
-    pub budget_exhausted: bool,
+/// Builder over a fully-formed [`Workload`]: every knob starts at the
+/// compile-time-checked default the constructor produced
+/// ([`FaultConfig::clean`], [`RetryPolicy::default`]) and each setter
+/// replaces exactly one of them. The serving layer's
+/// `ServiceWorkloadBuilder` extends the same shape with admission, quota,
+/// and scheduling knobs — one builder idiom across both layers, replacing
+/// the scattered `with_*` methods.
+///
+/// ```
+/// # use labelcount_core::{algorithm::RunConfig, workload::Workload};
+/// # use labelcount_graph::TargetLabel;
+/// # use labelcount_osn::{FaultConfig, RetryPolicy};
+/// let w = Workload::mixed(8, TargetLabel::new(1.into(), 2.into()), 100, 7,
+///                         RunConfig::default())
+///     .builder()
+///     .faults(FaultConfig::hostile(7, 0.2), RetryPolicy::default())
+///     .build();
+/// assert_eq!(w.queries.len(), 8);
+/// ```
+#[must_use = "builders do nothing until `.build()` is called"]
+pub struct WorkloadBuilder {
+    inner: Workload,
 }
 
-impl QueryOutcome {
-    /// Total charged API calls: logical + retry charges.
-    pub fn charged_calls(&self) -> u64 {
-        self.logical_calls + self.retry_charges
+impl WorkloadBuilder {
+    /// Replaces the fault model and retry policy.
+    pub fn faults(mut self, faults: FaultConfig, retry: RetryPolicy) -> WorkloadBuilder {
+        self.inner.faults = faults;
+        self.inner.retry = retry;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Workload {
+        self.inner
     }
 }
 
@@ -234,6 +233,81 @@ impl WorkloadReport {
     }
 }
 
+/// An immutable point-in-time view of partial estimate statistics — what
+/// [`WorkloadProgress::partial_estimates`] hands to pollers.
+///
+/// Previously that method leaked the live [`RunningStats`] accumulator
+/// itself, which invited pollers to `push`/`merge` into their copy (a
+/// mutation the tracker never sees) and coupled the polling API to the
+/// accumulator's full surface. The snapshot exposes only the read side,
+/// plus the derived quantity every anytime consumer wants: a normal-
+/// approximation 95% confidence halfwidth.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProgressSnapshot {
+    count: u64,
+    mean: f64,
+    min: f64,
+    max: f64,
+    sample_variance: f64,
+}
+
+impl From<RunningStats> for ProgressSnapshot {
+    fn from(s: RunningStats) -> ProgressSnapshot {
+        ProgressSnapshot {
+            count: s.count(),
+            mean: s.mean(),
+            min: s.min(),
+            max: s.max(),
+            sample_variance: s.sample_variance(),
+        }
+    }
+}
+
+impl ProgressSnapshot {
+    /// Number of estimates observed when the snapshot was taken.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean of the observed estimates (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest observed estimate (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observed estimate (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sample variance of the observed estimates (0 below two
+    /// observations).
+    pub fn sample_variance(&self) -> f64 {
+        self.sample_variance
+    }
+
+    /// Halfwidth of the normal-approximation 95% confidence interval
+    /// around [`ProgressSnapshot::mean`] (`1.96·√(s²/n)`; 0 below two
+    /// observations). The anytime answer a cancelled query reports is
+    /// `mean ± ci_halfwidth`.
+    pub fn ci_halfwidth(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * (self.sample_variance / self.count as f64).sqrt()
+        }
+    }
+
+    /// Whether no estimates had been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
 /// Live, anytime view of a running workload: completed-query count and a
 /// [`RunningStats`] over the estimates seen so far.
 ///
@@ -267,11 +341,16 @@ impl WorkloadProgress {
     /// inner value instead of cascading the panic into every later read —
     /// one bad query must not take the anytime path down for the rest of
     /// a long-lived server's life.
-    pub fn partial_estimates(&self) -> RunningStats {
-        *self.partial.lock().unwrap_or_else(PoisonError::into_inner)
+    pub fn partial_estimates(&self) -> ProgressSnapshot {
+        ProgressSnapshot::from(*self.partial.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
-    fn record(&self, estimate: Option<f64>) {
+    /// Records one finished query: `Some(estimate)` on success (only
+    /// finite values enter the statistics), `None` for a query that
+    /// finished without an estimate. Called by the runners
+    /// ([`run_workload_observed`] and the serving layer's scheduler);
+    /// pollers only read.
+    pub fn record(&self, estimate: Option<f64>) {
         // Same filter as the deterministic summary: only finite estimates
         // enter the statistics (an HT estimator can return a non-finite
         // value on a degenerate sample).
@@ -384,6 +463,7 @@ pub fn run_workload_observed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::EstimateError;
     use labelcount_graph::gen::barabasi_albert;
     use labelcount_graph::labels::{assign_binary_labels, with_labels};
 
@@ -408,7 +488,25 @@ mod tests {
 
     fn mixed(n: usize, seed: u64, rate: f64) -> Workload {
         Workload::mixed(n, target(), 100, seed, cfg())
-            .with_faults(FaultConfig::hostile(seed, rate), RetryPolicy::default())
+            .builder()
+            .faults(FaultConfig::hostile(seed, rate), RetryPolicy::default())
+            .build()
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_faults_matches_the_builder() {
+        // The deprecated method must keep working (and agree with the
+        // builder) until it is removed.
+        let old = Workload::mixed(4, target(), 50, 9, cfg())
+            .with_faults(FaultConfig::hostile(9, 0.3), RetryPolicy::default());
+        let new = Workload::mixed(4, target(), 50, 9, cfg())
+            .builder()
+            .faults(FaultConfig::hostile(9, 0.3), RetryPolicy::default())
+            .build();
+        assert_eq!(old.faults.transient_rate, new.faults.transient_rate);
+        assert_eq!(old.faults.seed, new.faults.seed);
+        assert_eq!(old.retry.max_attempts, new.retry.max_attempts);
     }
 
     #[test]

@@ -21,12 +21,16 @@
 //! * the [`serving`] module sweeps tenant skew × shard count through the
 //!   sharded multi-graph service and reports the admission split,
 //!   fairness, and shard invariance;
+//! * the [`deadlines`] module sweeps deadline tightness × priority mix
+//!   through the virtual-time scheduler and scores the anytime answers of
+//!   cancelled queries against ground truth;
 //! * the `labelcount-exp` binary exposes all of it on the command line.
 
 #![warn(missing_docs)]
 
 pub mod ablations;
 pub mod datasets;
+pub mod deadlines;
 pub mod report;
 pub mod resilience;
 pub mod runner;

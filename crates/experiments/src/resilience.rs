@@ -88,14 +88,16 @@ pub fn resilience_sweep(
         .iter()
         .map(|&rate| {
             let workload = Workload::mixed(queries, target.label, budget, seed, run_config)
-                .with_faults(
+                .builder()
+                .faults(
                     if rate > 0.0 {
                         FaultConfig::hostile(seed, rate)
                     } else {
                         FaultConfig::clean(seed)
                     },
                     RetryPolicy::default(),
-                );
+                )
+                .build();
             let report = run_workload(&dataset.graph, &workload, workers);
             let estimates: Vec<f64> = report
                 .outcomes

@@ -127,12 +127,15 @@ pub fn serving_sweep(
                     seed,
                     run_config,
                 )
-                .with_admission(AdmissionConfig {
+                .builder()
+                .admission(AdmissionConfig {
                     queue_capacity: 2,
                     drain_every: 5,
                     shed_start: 0.75,
+                    ..AdmissionConfig::default()
                 })
-                .with_quotas(QuotaPolicy::uniform(quota))
+                .quotas(QuotaPolicy::uniform(quota))
+                .build()
             };
             let run = |shards: usize| {
                 let mut svc = ShardedService::new(shards, seed);

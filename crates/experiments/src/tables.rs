@@ -66,6 +66,7 @@ impl Harness {
             "bias-decomposition",
             "resilience",
             "serving",
+            "deadlines",
         ] {
             ids.push(a.to_string());
         }
@@ -134,6 +135,10 @@ impl Harness {
                 &self.sweep,
             )),
             "serving" => Ok(crate::serving::serving_report(
+                &self.dataset(DatasetKind::FacebookLike),
+                &self.sweep,
+            )),
+            "deadlines" => Ok(crate::deadlines::deadlines_report(
                 &self.dataset(DatasetKind::FacebookLike),
                 &self.sweep,
             )),
@@ -277,6 +282,12 @@ impl Harness {
         }
         if id.eq_ignore_ascii_case("serving") {
             return Some(crate::serving::serving_csv(
+                &self.dataset(DatasetKind::FacebookLike),
+                &self.sweep,
+            ));
+        }
+        if id.eq_ignore_ascii_case("deadlines") {
+            return Some(crate::deadlines::deadlines_csv(
                 &self.dataset(DatasetKind::FacebookLike),
                 &self.sweep,
             ));
@@ -521,14 +532,15 @@ mod tests {
     fn experiment_ids_cover_all_paper_artifacts() {
         let ids = Harness::experiment_ids();
         // Tables 1–26, fig1–2, mixing, 4 ablations, bias decomposition,
-        // resilience sweep, serving sweep.
-        assert_eq!(ids.len(), 26 + 2 + 1 + 5 + 1 + 1);
+        // resilience sweep, serving sweep, deadline sweep.
+        assert_eq!(ids.len(), 26 + 2 + 1 + 5 + 1 + 1 + 1);
         assert!(ids.contains(&"table17".to_string()));
         assert!(ids.contains(&"fig2".to_string()));
         assert!(ids.contains(&"ablation-thinning".to_string()));
         assert!(ids.contains(&"bias-decomposition".to_string()));
         assert!(ids.contains(&"resilience".to_string()));
         assert!(ids.contains(&"serving".to_string()));
+        assert!(ids.contains(&"deadlines".to_string()));
     }
 
     #[test]

@@ -41,7 +41,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use labelcount_graph::{LabelId, NodeId};
 
-use crate::api::OsnBackend;
+use crate::api::{FetchCost, OsnBackend};
 use crate::guard::SliceRef;
 
 /// Knobs of the seeded fault model.
@@ -353,9 +353,9 @@ impl<B: OsnBackend> AdversarialOsn<B> {
 
     /// Simulates fetching one page: retries under the policy until an
     /// attempt succeeds (the last allowed attempt is forced to succeed).
-    /// Returns the attempts consumed; latency and fault counters
-    /// accumulate into the shared stats.
-    fn simulate_page(&self, kind: u64, node: u32, page: u64) -> u64 {
+    /// Returns `(attempts consumed, latency ticks spent)`; both also
+    /// accumulate into the shared stats alongside the fault counters.
+    fn simulate_page(&self, kind: u64, node: u32, page: u64) -> (u64, u64) {
         // The hot path of a clean configuration: one branch, two adds.
         if self.cfg.fault_rate() <= 0.0 {
             self.attempts.fetch_add(1, Ordering::Relaxed);
@@ -363,7 +363,7 @@ impl<B: OsnBackend> AdversarialOsn<B> {
             if lat > 0 {
                 self.latency_ticks.fetch_add(lat, Ordering::Relaxed);
             }
-            return 1;
+            return (1, lat);
         }
 
         let mut attempts = 0u64;
@@ -405,11 +405,12 @@ impl<B: OsnBackend> AdversarialOsn<B> {
         if latency > 0 {
             self.latency_ticks.fetch_add(latency, Ordering::Relaxed);
         }
-        attempts
+        (attempts, latency)
     }
 
-    /// Simulates a whole (possibly paginated) fetch of `len` items.
-    fn simulate_fetch(&self, kind: u64, node: u32, len: usize) -> u64 {
+    /// Simulates a whole (possibly paginated) fetch of `len` items,
+    /// returning its realized per-fetch cost.
+    fn simulate_fetch(&self, kind: u64, node: u32, len: usize) -> FetchCost {
         let pages = match self.cfg.page_size {
             // An empty list still costs one (empty) page.
             Some(p) if p > 0 => len.div_ceil(p).max(1) as u64,
@@ -418,9 +419,13 @@ impl<B: OsnBackend> AdversarialOsn<B> {
         if pages > 1 {
             self.extra_pages.fetch_add(pages - 1, Ordering::Relaxed);
         }
-        (0..pages)
-            .map(|page| self.simulate_page(kind, node, page))
-            .sum()
+        let mut cost = FetchCost::default();
+        for page in 0..pages {
+            let (attempts, ticks) = self.simulate_page(kind, node, page);
+            cost.attempts += attempts;
+            cost.ticks += ticks;
+        }
+        cost
     }
 }
 
@@ -446,16 +451,26 @@ impl<B: OsnBackend> OsnBackend for AdversarialOsn<B> {
     }
 
     fn fetch_neighbors_attempts(&self, u: NodeId) -> (SliceRef<'_, NodeId>, u64) {
-        let data = self.inner.fetch_neighbors(u);
-        let attempts = self.simulate_fetch(KIND_NEIGHBORS, u.0, data.len());
-        (data, attempts)
+        let (data, cost) = self.fetch_neighbors_cost(u);
+        (data, cost.attempts)
     }
 
     fn fetch_labels_attempts(&self, u: NodeId) -> (SliceRef<'_, LabelId>, u64) {
+        let (data, cost) = self.fetch_labels_cost(u);
+        (data, cost.attempts)
+    }
+
+    fn fetch_neighbors_cost(&self, u: NodeId) -> (SliceRef<'_, NodeId>, FetchCost) {
+        let data = self.inner.fetch_neighbors(u);
+        let cost = self.simulate_fetch(KIND_NEIGHBORS, u.0, data.len());
+        (data, cost)
+    }
+
+    fn fetch_labels_cost(&self, u: NodeId) -> (SliceRef<'_, LabelId>, FetchCost) {
         let data = self.inner.fetch_labels(u);
         // Profiles are one document: never paginated.
-        let attempts = self.simulate_page(KIND_LABELS, u.0, 0);
-        (data, attempts)
+        let (attempts, ticks) = self.simulate_page(KIND_LABELS, u.0, 0);
+        (data, FetchCost { attempts, ticks })
     }
 }
 
@@ -670,6 +685,31 @@ mod tests {
         let s = cache.session();
         assert_eq!(s.neighbors(NodeId(2)), &[NodeId(0)]);
         assert_eq!(s.num_nodes(), 6);
+    }
+
+    #[test]
+    fn per_fetch_cost_sums_to_aggregate_stats() {
+        let g = star(32);
+        let adv = AdversarialOsn::new(
+            GraphOsn::new(&g),
+            FaultConfig::hostile(9, 0.4),
+            RetryPolicy::default(),
+        );
+        let mut attempts = 0u64;
+        let mut ticks = 0u64;
+        for u in 0..32u32 {
+            let (_, c) = adv.fetch_neighbors_cost(NodeId(u));
+            assert!(c.attempts >= 1);
+            attempts += c.attempts;
+            ticks += c.ticks;
+            let (_, c) = adv.fetch_labels_cost(NodeId(u));
+            attempts += c.attempts;
+            ticks += c.ticks;
+        }
+        let s = adv.fault_stats();
+        assert_eq!(s.attempts, attempts, "per-fetch attempts must sum up");
+        assert_eq!(s.latency_ticks, ticks, "per-fetch ticks must sum up");
+        assert!(ticks > 0, "a hostile API must bill latency");
     }
 
     #[test]

@@ -106,6 +106,39 @@ pub trait OsnApiExt: OsnApi {
 
 impl<A: OsnApi + ?Sized> OsnApiExt for A {}
 
+/// The realized cost of one backend fetch: how many billable API attempts
+/// it took and how many simulated latency ticks it spent (attempt
+/// latencies plus backoff and retry-after waits).
+///
+/// Well-behaved backends answer in one attempt and zero ticks; adversarial
+/// backends ([`crate::AdversarialOsn`]) report the pages, retries, and
+/// waits their fault model forced. Surfacing the cost **per fetch** — not
+/// just in aggregate counters — is what lets a virtual-time scheduler
+/// advance its clock by exactly the ticks each fetch billed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FetchCost {
+    /// Billable API attempts (`>= 1` for a fetch that happened).
+    pub attempts: u64,
+    /// Simulated latency ticks the fetch spent.
+    pub ticks: u64,
+}
+
+impl FetchCost {
+    /// The cost of a clean, unpaginated fetch: one attempt, zero ticks.
+    pub fn clean() -> FetchCost {
+        FetchCost {
+            attempts: 1,
+            ticks: 0,
+        }
+    }
+
+    /// Attempts beyond the first — what a budgeted caller is charged on
+    /// top of the logical call itself.
+    pub fn extra_attempts(&self) -> u64 {
+        self.attempts.saturating_sub(1)
+    }
+}
+
 /// A raw fetch-only backend: what the remote OSN itself answers, with no
 /// accounting and no budget. [`crate::CachedOsn`] wraps one of these and
 /// adds the shared cache plus [`crate::CallStats`] accounting; sessions
@@ -147,6 +180,23 @@ pub trait OsnBackend {
     fn fetch_labels_attempts(&self, u: NodeId) -> (SliceRef<'_, LabelId>, u64) {
         (self.fetch_labels(u), 1)
     }
+
+    /// Fetches the friend list of `u` together with its full realized
+    /// [`FetchCost`] — attempts *and* latency ticks. Well-behaved backends
+    /// answer at [`FetchCost::clean`]; adversarial backends report what
+    /// their fault model billed, per fetch, so callers can advance a
+    /// virtual clock in step with the cost.
+    fn fetch_neighbors_cost(&self, u: NodeId) -> (SliceRef<'_, NodeId>, FetchCost) {
+        let (data, attempts) = self.fetch_neighbors_attempts(u);
+        (data, FetchCost { attempts, ticks: 0 })
+    }
+
+    /// Fetches the profile labels of `u` together with its full realized
+    /// [`FetchCost`]. See [`OsnBackend::fetch_neighbors_cost`].
+    fn fetch_labels_cost(&self, u: NodeId) -> (SliceRef<'_, LabelId>, FetchCost) {
+        let (data, attempts) = self.fetch_labels_attempts(u);
+        (data, FetchCost { attempts, ticks: 0 })
+    }
 }
 
 /// Backends pass through shared references, so one `Sync` backend (e.g. a
@@ -180,5 +230,13 @@ impl<B: OsnBackend + ?Sized> OsnBackend for &B {
 
     fn fetch_labels_attempts(&self, u: NodeId) -> (SliceRef<'_, LabelId>, u64) {
         (**self).fetch_labels_attempts(u)
+    }
+
+    fn fetch_neighbors_cost(&self, u: NodeId) -> (SliceRef<'_, NodeId>, FetchCost) {
+        (**self).fetch_neighbors_cost(u)
+    }
+
+    fn fetch_labels_cost(&self, u: NodeId) -> (SliceRef<'_, LabelId>, FetchCost) {
+        (**self).fetch_labels_cost(u)
     }
 }

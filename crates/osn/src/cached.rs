@@ -66,7 +66,7 @@ use std::sync::{Arc, RwLock};
 
 use labelcount_graph::{LabelId, LabeledGraph, NodeId};
 
-use crate::api::{OsnApi, OsnBackend};
+use crate::api::{FetchCost, OsnApi, OsnBackend};
 use crate::guard::SliceRef;
 
 /// A [`LabeledGraph`] exposed as a raw [`OsnBackend`]: no counters, no
@@ -475,7 +475,9 @@ impl<B: OsnBackend> CachedOsn<B> {
             neighbor_calls: Cell::new(0),
             label_calls: Cell::new(0),
             retry_charges: Cell::new(0),
+            latency_ticks: Cell::new(0),
             budget: Cell::new(None),
+            tick_ceiling: Cell::new(None),
         }
     }
 
@@ -536,10 +538,12 @@ impl<B: OsnBackend> CachedOsn<B> {
     }
 
     /// Cache-through neighbor fetch. Returns the data plus the *extra*
-    /// billable attempts beyond the logical call itself (`attempts − 1` of
-    /// the backend fetch on a miss, `0` on a hit) — how an adversarial
-    /// backend's retries and pagination reach the calling session's
-    /// budget.
+    /// billable cost beyond the logical call itself (`attempts − 1` and
+    /// the latency ticks of the backend fetch on a miss, zero on a hit) —
+    /// how an adversarial backend's retries, pagination, and simulated
+    /// latency reach the calling session's budget and tick accounting.
+    /// Hits are fault-free *and tick-free*: a caching crawler pays the
+    /// remote API's latency only when it actually goes to the network.
     ///
     /// Unbounded shards never evict, so hits take the shard's **read**
     /// lock (concurrent hits don't serialize — the parallel-replication
@@ -548,42 +552,56 @@ impl<B: OsnBackend> CachedOsn<B> {
     /// lock with a re-check, so concurrent first requests for one node
     /// produce exactly one miss — miss counts are
     /// interleaving-independent.
-    fn neighbors_shared(&self, u: NodeId) -> (Arc<[NodeId]>, u64) {
+    fn neighbors_shared(&self, u: NodeId) -> (Arc<[NodeId]>, FetchCost) {
+        let hit_cost = FetchCost::default();
         let lock = &self.neighbor_shards[self.shard_of(u)];
         if self.unbounded {
             if let Some(hit) = lock.read().unwrap().peek(u.0) {
-                return (hit, 0);
+                return (hit, hit_cost);
             }
         }
         let mut shard = lock.write().unwrap();
         if let Some(hit) = shard.get(u.0) {
-            return (hit, 0);
+            return (hit, hit_cost);
         }
         self.neighbor_misses.fetch_add(1, Ordering::Relaxed);
-        let (fetched, attempts) = self.backend.fetch_neighbors_attempts(u);
+        let (fetched, cost) = self.backend.fetch_neighbors_cost(u);
         let value: Arc<[NodeId]> = Arc::from(&*fetched);
         shard.insert(u.0, Arc::clone(&value));
-        (value, attempts.saturating_sub(1))
+        (
+            value,
+            FetchCost {
+                attempts: cost.extra_attempts(),
+                ticks: cost.ticks,
+            },
+        )
     }
 
     /// Cache-through label fetch (same locking discipline and extra-charge
     /// contract as [`CachedOsn::neighbors_shared`]).
-    fn labels_shared(&self, u: NodeId) -> (Arc<[LabelId]>, u64) {
+    fn labels_shared(&self, u: NodeId) -> (Arc<[LabelId]>, FetchCost) {
+        let hit_cost = FetchCost::default();
         let lock = &self.label_shards[self.shard_of(u)];
         if self.unbounded {
             if let Some(hit) = lock.read().unwrap().peek(u.0) {
-                return (hit, 0);
+                return (hit, hit_cost);
             }
         }
         let mut shard = lock.write().unwrap();
         if let Some(hit) = shard.get(u.0) {
-            return (hit, 0);
+            return (hit, hit_cost);
         }
         self.label_misses.fetch_add(1, Ordering::Relaxed);
-        let (fetched, attempts) = self.backend.fetch_labels_attempts(u);
+        let (fetched, cost) = self.backend.fetch_labels_cost(u);
         let value: Arc<[LabelId]> = Arc::from(&*fetched);
         shard.insert(u.0, Arc::clone(&value));
-        (value, attempts.saturating_sub(1))
+        (
+            value,
+            FetchCost {
+                attempts: cost.extra_attempts(),
+                ticks: cost.ticks,
+            },
+        )
     }
 }
 
@@ -700,7 +718,9 @@ pub struct OsnSession<'c, B> {
     neighbor_calls: Cell<u64>,
     label_calls: Cell<u64>,
     retry_charges: Cell<u64>,
+    latency_ticks: Cell<u64>,
     budget: Cell<Option<u64>>,
+    tick_ceiling: Cell<Option<u64>>,
 }
 
 impl<'c, B: OsnBackend> OsnSession<'c, B> {
@@ -733,6 +753,40 @@ impl<'c, B: OsnBackend> OsnSession<'c, B> {
     /// logical calls (0 against a well-behaved backend).
     pub fn retry_charges(&self) -> u64 {
         self.retry_charges.get()
+    }
+
+    /// Simulated latency ticks this session's misses spent (0 against a
+    /// well-behaved backend; cache hits are tick-free). This is the
+    /// session's share of the backend's virtual time — the currency a
+    /// deadline scheduler advances its clock in.
+    pub fn latency_ticks(&self) -> u64 {
+        self.latency_ticks.get()
+    }
+
+    /// Sets a ceiling on this session's simulated latency ticks. Once
+    /// [`OsnSession::latency_ticks`] reaches it, [`OsnApi::budget_exhausted`]
+    /// answers `true` — so every estimator's existing step-boundary budget
+    /// poll doubles as a cooperative *cancellation* yield point: a
+    /// deadline scheduler grants each execution slice `deadline − clock`
+    /// ticks and the estimator stops at the next step boundary after the
+    /// allowance runs out, without any estimator-side changes.
+    pub fn set_tick_ceiling(&self, ticks: u64) {
+        self.tick_ceiling.set(Some(ticks));
+    }
+
+    /// Removes the tick ceiling.
+    pub fn clear_tick_ceiling(&self) {
+        self.tick_ceiling.set(None);
+    }
+
+    /// Whether the tick ceiling (if any) has been reached — distinguishes
+    /// a deadline cut from an ordinary call-budget exhaustion when both
+    /// feed [`OsnApi::budget_exhausted`].
+    pub fn ticks_exceeded(&self) -> bool {
+        match self.tick_ceiling.get() {
+            Some(t) => self.latency_ticks.get() >= t,
+            None => false,
+        }
     }
 
     /// Logical calls this session served from its private L1 (no lock, no
@@ -778,8 +832,13 @@ impl<B: OsnBackend> OsnApi for OsnSession<'_, B> {
             }
         }
         let (value, extra) = self.cache.neighbors_shared(u);
-        if extra > 0 {
-            self.retry_charges.set(self.retry_charges.get() + extra);
+        if extra.attempts > 0 {
+            self.retry_charges
+                .set(self.retry_charges.get() + extra.attempts);
+        }
+        if extra.ticks > 0 {
+            self.latency_ticks
+                .set(self.latency_ticks.get() + extra.ticks);
         }
         if let Some(l1) = &self.l1 {
             l1.neighbors.insert(u.0, &value);
@@ -795,8 +854,13 @@ impl<B: OsnBackend> OsnApi for OsnSession<'_, B> {
             }
         }
         let (value, extra) = self.cache.labels_shared(u);
-        if extra > 0 {
-            self.retry_charges.set(self.retry_charges.get() + extra);
+        if extra.attempts > 0 {
+            self.retry_charges
+                .set(self.retry_charges.get() + extra.attempts);
+        }
+        if extra.ticks > 0 {
+            self.latency_ticks
+                .set(self.latency_ticks.get() + extra.ticks);
         }
         if let Some(l1) = &self.l1 {
             l1.labels.insert(u.0, &value);
@@ -813,10 +877,16 @@ impl<B: OsnBackend> OsnApi for OsnSession<'_, B> {
     }
 
     fn budget_exhausted(&self) -> bool {
-        match self.budget.get() {
-            Some(b) => self.charged_neighbor_calls() >= b,
-            None => false,
+        // Either ceiling stops the estimator at its next step-boundary
+        // poll: the charged-call budget (the paper's stopping currency) or
+        // the latency-tick ceiling (a deadline scheduler's slice
+        // allowance). `ticks_exceeded` disambiguates after the fact.
+        if let Some(b) = self.budget.get() {
+            if self.charged_neighbor_calls() >= b {
+                return true;
+            }
         }
+        self.ticks_exceeded()
     }
 }
 
@@ -1200,6 +1270,55 @@ mod tests {
         // nodes, 2 misses total.
         assert_eq!(cache.stats().neighbor_misses, 2);
         assert_eq!(cache.stats().logical_neighbor_calls, 2 * rounds);
+    }
+
+    #[test]
+    fn session_latency_ticks_bill_misses_only() {
+        use crate::adversarial::{AdversarialOsn, FaultConfig, RetryPolicy};
+        let g = path4();
+        // Latency-only hostility: no faults, but every attempt costs base
+        // latency, so ticks are deterministic (= 1 per miss).
+        let cfg = FaultConfig {
+            base_latency_ticks: 1,
+            ..FaultConfig::clean(5)
+        };
+        let adv = AdversarialOsn::new(GraphOsn::new(&g), cfg, RetryPolicy::default());
+        let cache = CachedOsn::new(adv);
+        let s = cache.session();
+        s.neighbors(NodeId(0)); // miss: 1 tick
+        s.neighbors(NodeId(0)); // L1 hit: tick-free
+        s.neighbors(NodeId(1)); // miss: 1 tick
+        s.labels(NodeId(0)); // miss: 1 tick
+        assert_eq!(s.latency_ticks(), 3);
+        // The backend's aggregate agrees with the session's share (one
+        // session, so they coincide).
+        assert_eq!(cache.backend().fault_stats().latency_ticks, 3);
+    }
+
+    #[test]
+    fn tick_ceiling_feeds_budget_exhausted() {
+        use crate::adversarial::{AdversarialOsn, FaultConfig, RetryPolicy};
+        let g = path4();
+        let cfg = FaultConfig {
+            base_latency_ticks: 2,
+            ..FaultConfig::clean(7)
+        };
+        let adv = AdversarialOsn::new(GraphOsn::new(&g), cfg, RetryPolicy::default());
+        let cache = CachedOsn::new(adv);
+        let s = cache.session();
+        s.set_tick_ceiling(3);
+        assert!(!s.budget_exhausted());
+        s.neighbors(NodeId(0)); // 2 ticks: still under
+        assert!(!s.budget_exhausted());
+        assert!(!s.ticks_exceeded());
+        s.neighbors(NodeId(1)); // 4 ticks: ceiling reached
+        assert!(s.budget_exhausted());
+        assert!(s.ticks_exceeded());
+        // Disambiguation: the call budget is untouched.
+        assert_eq!(s.budget_remaining(), None);
+        s.clear_tick_ceiling();
+        assert!(!s.budget_exhausted());
+        assert!(!s.ticks_exceeded());
     }
 
     #[test]

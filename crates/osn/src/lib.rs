@@ -46,7 +46,7 @@ pub mod linegraph;
 pub mod simulated;
 
 pub use adversarial::{AdversarialOsn, FaultConfig, FaultStats, RetryPolicy};
-pub use api::{OsnApi, OsnApiExt, OsnBackend};
+pub use api::{FetchCost, OsnApi, OsnApiExt, OsnBackend};
 pub use cached::{CacheConfig, CachedOsn, CallStats, GraphOsn, OsnSession, DEFAULT_L1_SLOTS};
 pub use guard::SliceRef;
 pub use linegraph::{LineGraphView, LineNode};

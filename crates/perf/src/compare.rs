@@ -80,12 +80,13 @@ fn throughput_metrics(r: &Report) -> [(&'static str, f64); 3] {
 /// warning-only, with the speedup. `hit_path_ns` (the warm-cache per-call
 /// cost) is serial and machine-normalizable, so it gates like the wall
 /// times: a cliff there means the hot 97% of logical calls got slower.
-fn walltime_metrics(r: &Report) -> [(&'static str, f64); 5] {
+fn walltime_metrics(r: &Report) -> [(&'static str, f64); 6] {
     [
         ("measured.total_ms", r.measured.total_ms),
         ("measured.engine_serial_ms", r.measured.engine_serial_ms),
         ("measured.workload_serial_ms", r.measured.workload_serial_ms),
         ("measured.serving_serial_ms", r.measured.serving_serial_ms),
+        ("measured.scheduler_ms", r.measured.scheduler_ms),
         ("measured.hit_path_ns", r.measured.hit_path_ns),
     ]
 }
@@ -280,6 +281,7 @@ pub fn compare_reports(baseline: &Report, current: &Report, max_regression: f64)
         || baseline.engine != current.engine
         || baseline.workload != current.workload
         || baseline.serving != current.serving
+        || baseline.scheduling != current.scheduling
         || baseline.ground_truth_f != current.ground_truth_f
     {
         findings.push(Finding {
@@ -498,8 +500,8 @@ mod tests {
     use super::*;
     use crate::alloc_track::AllocDelta;
     use crate::report::{
-        AlgoCounters, EngineCounters, Measured, ScenarioMeta, ServingCounters, WalkCounters,
-        WorkloadCounters, SCHEMA_VERSION,
+        AlgoCounters, EngineCounters, Measured, ScenarioMeta, SchedulerCounters, ServingCounters,
+        WalkCounters, WorkloadCounters, SCHEMA_VERSION,
     };
 
     fn report(name: &str, per_step: f64, total_ms: f64) -> Report {
@@ -560,6 +562,12 @@ mod tests {
                 quota_exhausted: 1,
                 tenant_fairness: 2.0,
             },
+            scheduling: SchedulerCounters {
+                deadline_hits: 10,
+                cancellations: 4,
+                mean_slack_ticks: 12.0,
+                priority_inversions: 1,
+            },
             ground_truth_f: 7,
             measured: Measured {
                 total_ms,
@@ -577,6 +585,7 @@ mod tests {
                 workload_queries_per_sec: 120_000.0 / total_ms,
                 serving_serial_ms: total_ms / 4.0,
                 serving_parallel_ms: total_ms / 12.0,
+                scheduler_ms: total_ms / 6.0,
                 calibration_ops_per_sec: 1.0e8,
                 alloc: AllocDelta::default(),
             },
@@ -738,6 +747,25 @@ mod tests {
             .find(|f| f.metric == "measured.serving_parallel_ms")
             .expect("parallel serving slowdown must be reported");
         assert!(!f.fatal, "{f:?}");
+    }
+
+    #[test]
+    fn scheduler_walltime_cliff_is_fatal_and_counter_drift_warns() {
+        let base = report("ba_smoke", 1.0e6, 100.0);
+        let mut cur = report("ba_smoke", 1.0e6, 100.0);
+        cur.measured.scheduler_ms = base.measured.scheduler_ms * 3.0;
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert!(findings
+            .iter()
+            .any(|f| f.fatal && f.metric == "measured.scheduler_ms"));
+        // Scheduling-counter drift (e.g. a different deadline tightness)
+        // warns like every other deterministic counter.
+        cur.measured.scheduler_ms = base.measured.scheduler_ms;
+        cur.scheduling.cancellations += 1;
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].fatal);
+        assert_eq!(findings[0].metric, "counters");
     }
 
     #[test]

@@ -18,7 +18,8 @@ use std::process::ExitCode;
 use labelcount_perf::alloc_track::CountingAlloc;
 use labelcount_perf::compare::{compare_dirs_opts, markdown_summary, min_speedup_findings};
 use labelcount_perf::scenario::{
-    run_scenario, Family, ScenarioSpec, Tier, DEFAULT_FAULT_RATE, DEFAULT_SEED, DEFAULT_TENANT_SKEW,
+    run_scenario, DeadlineTightness, Family, ScenarioSpec, Tier, DEFAULT_DEADLINE,
+    DEFAULT_FAULT_RATE, DEFAULT_SEED, DEFAULT_TENANT_SKEW,
 };
 
 #[global_allocator]
@@ -54,6 +55,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut seed = DEFAULT_SEED;
     let mut fault_rate = DEFAULT_FAULT_RATE;
     let mut tenant_skew = DEFAULT_TENANT_SKEW;
+    let mut deadline = DEFAULT_DEADLINE;
     let mut out = PathBuf::from(".");
 
     let mut i = 0usize;
@@ -88,6 +90,11 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
                     return Err("--tenant-skew must be in [0, 1]".into());
                 }
             }
+            "--deadline" => {
+                let v = take_value(args, &mut i, "--deadline")?;
+                deadline = DeadlineTightness::parse(&v)
+                    .ok_or_else(|| format!("unknown deadline tightness `{v}` (inf|p95|p50)"))?;
+            }
             "--out" => out = PathBuf::from(take_value(args, &mut i, "--out")?),
             "--help" | "-h" => {
                 println!("{}", HELP);
@@ -106,6 +113,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             seed,
             fault_rate,
             tenant_skew,
+            deadline,
         };
         eprintln!("running scenario {} ...", spec.name());
         let report = run_scenario(&spec);
@@ -118,6 +126,12 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             "  serving: {} requests -> {} admitted / {} shed / {} quota-exhausted ({:.1} ms serial / {:.1} ms parallel)",
             s.requests, s.admitted, s.shed, s.quota_exhausted,
             m.serving_serial_ms, m.serving_parallel_ms,
+        );
+        let sc = &report.scheduling;
+        eprintln!(
+            "  scheduler ({}): {} deadline hits / {} cancellations, mean slack {:.1} ticks, {} inversions ({:.1} ms)",
+            deadline.name(), sc.deadline_hits, sc.cancellations, sc.mean_slack_ticks,
+            sc.priority_inversions, m.scheduler_ms,
         );
         eprintln!(
             "  {:>10} nodes {:>10} edges | walk {:>12.0} steps/s per-step, {:>12.0} batched, {:>11.0} line | gt {:.1} ms serial / {:.1} ms parallel | {:.0} ms total -> {}",
@@ -225,7 +239,8 @@ const HELP: &str = "labelcount-perf — scenario-matrix perf harness
 
 USAGE:
   labelcount-perf [--tier smoke|standard|stress] [--family ba,er,loaded]
-                  [--seed N] [--fault-rate F] [--tenant-skew S] [--out DIR]
+                  [--seed N] [--fault-rate F] [--tenant-skew S]
+                  [--deadline inf|p95|p50] [--out DIR]
   labelcount-perf compare --baseline DIR --current DIR [--max-regression X]
                   [--match-family] [--min-parallel-speedup X]
                   [--markdown-summary FILE]
@@ -235,7 +250,10 @@ current directory). --fault-rate sets the workload phase's adversarial
 fault probability (default 0.15; non-default rates drift the deterministic
 counters, which the compare gate reports warn-only). --tenant-skew sets
 the serving phase's heavy-hitter probability (default 0.6; same warn-only
-drift rule — the nightly serving matrix sweeps it). Compare mode exits 1
+drift rule — the nightly serving matrix sweeps it). --deadline sets the
+scheduler phase's deadline tightness as a percentile of the unconstrained
+run's own tick bills (default p95; same warn-only drift rule — the
+nightly deadline matrix sweeps it). Compare mode exits 1
 if any measured metric regressed more than the threshold (default 2.5x)
 against the baseline directory; --match-family additionally compares
 scenarios without a same-name baseline against a same-family baseline of

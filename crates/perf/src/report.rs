@@ -39,7 +39,13 @@ use crate::json::{Json, JsonError};
 /// requests admitted / shed / quota-rejected by deterministic admission
 /// control, and the per-tenant fairness ratio) and the
 /// `measured.serving_{serial,parallel}_ms` timings.
-pub const SCHEMA_VERSION: u64 = 5;
+///
+/// v6 added the `counters.scheduling` section (deadline-aware scheduled
+/// serving through the virtual-time event loop: deadline hits,
+/// cancellations into anytime answers, mean slack over the hits, and
+/// priority inversions charged by the non-preemptive loop) and the
+/// `measured.scheduler_ms` timing.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Scenario identity and workload parameters.
 #[derive(Clone, Debug, PartialEq)]
@@ -173,6 +179,25 @@ pub struct ServingCounters {
     pub tenant_fairness: f64,
 }
 
+/// Deterministic counters of the scheduler phase: the same request stream
+/// replayed through the virtual-time event loop under the scenario's
+/// deadline tightness. The sharded parallel pass must be bit-identical to
+/// the single-shard serial pass (asserted by the scenario runner), so one
+/// copy of the counters is stored.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchedulerCounters {
+    /// Deadline-carrying requests that completed at or before their
+    /// deadline.
+    pub deadline_hits: u64,
+    /// Requests cancelled into anytime answers when their deadline passed.
+    pub cancellations: u64,
+    /// Mean slack over the deadline hits, virtual ticks.
+    pub mean_slack_ticks: f64,
+    /// Priority inversions charged by the non-preemptive loop (a
+    /// higher-priority arrival while a lower-priority slice ran).
+    pub priority_inversions: u64,
+}
+
 /// One algorithm's deterministic results on a scenario.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AlgoCounters {
@@ -229,6 +254,9 @@ pub struct Measured {
     /// Wall time of the same serving phase across the full shard fleet
     /// with all available workers, milliseconds.
     pub serving_parallel_ms: f64,
+    /// Wall time of the scheduler phase (the deadline-constrained
+    /// scheduled run) on one shard with one worker, milliseconds.
+    pub scheduler_ms: f64,
     /// Machine-speed proxy measured alongside the scenario
     /// ([`crate::scenario::calibration_ops_per_sec`]); the regression gate
     /// normalizes timing metrics by it so baselines transfer across
@@ -259,6 +287,9 @@ pub struct Report {
     /// Deterministic serving counters (sharded multi-graph service with
     /// admission control).
     pub serving: ServingCounters,
+    /// Deterministic scheduler counters (deadline-aware scheduled serving
+    /// through the virtual-time event loop).
+    pub scheduling: SchedulerCounters,
     /// Exact target-edge count `F`.
     pub ground_truth_f: u64,
     /// Machine-dependent measurements.
@@ -421,6 +452,27 @@ impl Report {
                             ("tenant_fairness", Json::Num(self.serving.tenant_fairness)),
                         ]),
                     ),
+                    (
+                        "scheduling",
+                        Json::obj(vec![
+                            (
+                                "deadline_hits",
+                                Json::Num(self.scheduling.deadline_hits as f64),
+                            ),
+                            (
+                                "cancellations",
+                                Json::Num(self.scheduling.cancellations as f64),
+                            ),
+                            (
+                                "mean_slack_ticks",
+                                Json::Num(self.scheduling.mean_slack_ticks),
+                            ),
+                            (
+                                "priority_inversions",
+                                Json::Num(self.scheduling.priority_inversions as f64),
+                            ),
+                        ]),
+                    ),
                     ("ground_truth_f", Json::Num(self.ground_truth_f as f64)),
                 ]),
             ),
@@ -451,6 +503,7 @@ impl Report {
                     ),
                     ("serving_serial_ms", Json::Num(ms.serving_serial_ms)),
                     ("serving_parallel_ms", Json::Num(ms.serving_parallel_ms)),
+                    ("scheduler_ms", Json::Num(ms.scheduler_ms)),
                     (
                         "calibration_ops_per_sec",
                         Json::Num(ms.calibration_ops_per_sec),
@@ -581,6 +634,15 @@ impl Report {
             quota_exhausted: field_u64(svj, "quota_exhausted")?,
             tenant_fairness: field_f64(svj, "tenant_fairness")?,
         };
+        let scj = counters
+            .get("scheduling")
+            .ok_or_else(|| miss("counters.scheduling"))?;
+        let scheduling = SchedulerCounters {
+            deadline_hits: field_u64(scj, "deadline_hits")?,
+            cancellations: field_u64(scj, "cancellations")?,
+            mean_slack_ticks: field_f64(scj, "mean_slack_ticks")?,
+            priority_inversions: field_u64(scj, "priority_inversions")?,
+        };
         let ground_truth_f = field_u64(counters, "ground_truth_f")?;
         let mj = v.get("measured").ok_or_else(|| miss("measured"))?;
         let aj = mj.get("alloc").ok_or_else(|| miss("measured.alloc"))?;
@@ -600,6 +662,7 @@ impl Report {
             workload_queries_per_sec: field_f64(mj, "workload_queries_per_sec")?,
             serving_serial_ms: field_f64(mj, "serving_serial_ms")?,
             serving_parallel_ms: field_f64(mj, "serving_parallel_ms")?,
+            scheduler_ms: field_f64(mj, "scheduler_ms")?,
             calibration_ops_per_sec: field_f64(mj, "calibration_ops_per_sec")?,
             alloc: AllocDelta {
                 peak_bytes: field_u64(aj, "peak_bytes")?,
@@ -615,6 +678,7 @@ impl Report {
             engine,
             workload,
             serving,
+            scheduling,
             ground_truth_f,
             measured,
         })
@@ -736,6 +800,12 @@ mod tests {
                 quota_exhausted: 3,
                 tenant_fairness: 2.5,
             },
+            scheduling: SchedulerCounters {
+                deadline_hits: 18,
+                cancellations: 6,
+                mean_slack_ticks: 42.5,
+                priority_inversions: 3,
+            },
             ground_truth_f: 6750,
             measured: Measured {
                 total_ms: 1234.5,
@@ -753,6 +823,7 @@ mod tests {
                 workload_queries_per_sec: 1_280.0,
                 serving_serial_ms: 55.0,
                 serving_parallel_ms: 16.0,
+                scheduler_ms: 38.0,
                 calibration_ops_per_sec: 1.5e8,
                 alloc: AllocDelta {
                     peak_bytes: 1 << 20,
@@ -778,7 +849,7 @@ mod tests {
         let text = r
             .to_json()
             .to_pretty()
-            .replace("\"schema_version\": 5", "\"schema_version\": 999");
+            .replace("\"schema_version\": 6", "\"schema_version\": 999");
         match Report::from_json_text(&text) {
             Err(ReportError::Schema(msg)) => assert!(msg.contains("999"), "{msg}"),
             other => panic!("expected schema error, got {other:?}"),
@@ -787,7 +858,7 @@ mod tests {
 
     #[test]
     fn missing_fields_are_schema_errors() {
-        let text = "{\"schema_version\": 5}";
+        let text = "{\"schema_version\": 6}";
         assert!(matches!(
             Report::from_json_text(text),
             Err(ReportError::Schema(_))

@@ -20,10 +20,10 @@ use labelcount_graph::motifs::{count_labeled_triangles, count_labeled_wedges, Ta
 use labelcount_graph::{GroundTruth, LabeledGraph, NodeId, TargetLabel};
 use labelcount_osn::{FaultConfig, LineGraphView, OsnApi, OsnApiExt, RetryPolicy, SimulatedOsn};
 use labelcount_serve::{
-    AdmissionConfig, GraphKey, QuotaPolicy, ServiceReport, ServiceStatus, ServiceWorkload,
-    ShardedService,
+    AdmissionConfig, GraphKey, QuotaPolicy, SchedulePolicy, ServiceReport, ServiceStatus,
+    ServiceWorkload, ShardedService,
 };
-use labelcount_stats::{nrmse, replication_seed};
+use labelcount_stats::{nrmse, percentile, replication_seed};
 use labelcount_walk::mixing::default_burn_in;
 use labelcount_walk::{SimpleWalk, Walker};
 use rand::rngs::StdRng;
@@ -31,8 +31,8 @@ use rand::SeedableRng;
 
 use crate::alloc_track;
 use crate::report::{
-    AlgoCounters, EngineCounters, Measured, Report, ScenarioMeta, ServingCounters, WalkCounters,
-    WorkloadCounters, SCHEMA_VERSION,
+    AlgoCounters, EngineCounters, Measured, Report, ScenarioMeta, SchedulerCounters,
+    ServingCounters, WalkCounters, WorkloadCounters, SCHEMA_VERSION,
 };
 
 /// Graph family axis of the matrix.
@@ -164,6 +164,48 @@ impl Tier {
     }
 }
 
+/// Deadline tightness of the scheduler phase: how the scheduled run's
+/// relative deadline is derived from the *unconstrained* run's own
+/// per-query tick bills. Calibrating from the workload's own latency
+/// distribution keeps the axis meaningful at every tier — a fixed tick
+/// count would be trivially loose at smoke scale and impossible at stress
+/// scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeadlineTightness {
+    /// No deadline: every request runs to completion (zero cancellations).
+    Inf,
+    /// Deadline at the p95 of the unconstrained completed tick bills —
+    /// cancels the tail while most requests still complete. The default,
+    /// so every committed baseline exercises both completion and
+    /// cancellation.
+    P95,
+    /// Deadline at the p50 — cancels roughly half the stream into anytime
+    /// answers.
+    P50,
+}
+
+impl DeadlineTightness {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeadlineTightness::Inf => "inf",
+            DeadlineTightness::P95 => "p95",
+            DeadlineTightness::P50 => "p50",
+        }
+    }
+
+    /// Parses a tightness name.
+    pub fn parse(s: &str) -> Option<DeadlineTightness> {
+        [
+            DeadlineTightness::Inf,
+            DeadlineTightness::P95,
+            DeadlineTightness::P50,
+        ]
+        .into_iter()
+        .find(|d| d.name() == s)
+    }
+}
+
 /// One cell of the matrix plus its run parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct ScenarioSpec {
@@ -185,10 +227,15 @@ pub struct ScenarioSpec {
     /// counters — a skewed stream exhausts the hog's quota while lighter
     /// tenants keep flowing. The nightly serving matrix sweeps it.
     pub tenant_skew: f64,
+    /// Deadline tightness of the scheduler phase. Part of the
+    /// deterministic scheduling counters (it changes which requests cancel
+    /// into anytime answers). The nightly deadline matrix sweeps it.
+    pub deadline: DeadlineTightness,
 }
 
 impl ScenarioSpec {
-    /// A spec at the default fault rate and tenant skew.
+    /// A spec at the default fault rate, tenant skew, and deadline
+    /// tightness.
     pub fn new(family: Family, tier: Tier, seed: u64) -> ScenarioSpec {
         ScenarioSpec {
             family,
@@ -196,6 +243,7 @@ impl ScenarioSpec {
             seed,
             fault_rate: DEFAULT_FAULT_RATE,
             tenant_skew: DEFAULT_TENANT_SKEW,
+            deadline: DEFAULT_DEADLINE,
         }
     }
 }
@@ -213,6 +261,11 @@ pub const DEFAULT_FAULT_RATE: f64 = 0.15;
 /// while the remaining tenants stay admitted.
 pub const DEFAULT_TENANT_SKEW: f64 = 0.6;
 
+/// Default deadline tightness of the scheduler phase: tight enough that
+/// the tail of the stream cancels into anytime answers in every committed
+/// baseline, loose enough that most requests complete.
+pub const DEFAULT_DEADLINE: DeadlineTightness = DeadlineTightness::P95;
+
 /// Internal stream ids for [`replication_seed`] derivation, so no two
 /// measurement phases share an RNG stream.
 mod stream {
@@ -226,6 +279,7 @@ mod stream {
     pub const ENGINE: u64 = 950;
     pub const WORKLOAD: u64 = 960;
     pub const SERVING: u64 = 970;
+    pub const SCHEDULER: u64 = 980;
 }
 
 impl ScenarioSpec {
@@ -606,14 +660,17 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
     // all cores — the reports must match bit for bit, faults included.
     let wl_queries = spec.tier.workload_queries();
     let wl_seed = replication_seed(spec.seed, stream::WORKLOAD);
-    let wl = Workload::mixed(wl_queries, target, budget, wl_seed, cfg).with_faults(
-        if spec.fault_rate > 0.0 {
-            FaultConfig::hostile(wl_seed, spec.fault_rate)
-        } else {
-            FaultConfig::clean(wl_seed)
-        },
-        RetryPolicy::default(),
-    );
+    let wl = Workload::mixed(wl_queries, target, budget, wl_seed, cfg)
+        .builder()
+        .faults(
+            if spec.fault_rate > 0.0 {
+                FaultConfig::hostile(wl_seed, spec.fault_rate)
+            } else {
+                FaultConfig::clean(wl_seed)
+            },
+            RetryPolicy::default(),
+        )
+        .build();
     let t0 = Instant::now();
     let wl_serial = run_workload(&g, &wl, 1);
     let workload_serial_ms = ms(t0);
@@ -689,7 +746,8 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
             serving_seed,
             cfg,
         )
-        .with_faults(
+        .builder()
+        .faults(
             if spec.fault_rate > 0.0 {
                 FaultConfig::hostile(serving_seed, spec.fault_rate)
             } else {
@@ -699,12 +757,14 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
         )
         // Tight enough that a queue's third quota-passing arrival
         // hard-sheds: capacity 2, one drain per five arrivals.
-        .with_admission(AdmissionConfig {
+        .admission(AdmissionConfig {
             queue_capacity: 2,
             drain_every: 5,
             shed_start: 0.75,
+            ..AdmissionConfig::default()
         })
-        .with_quotas(QuotaPolicy::uniform(serving_quota))
+        .quotas(QuotaPolicy::uniform(serving_quota))
+        .build()
     };
     let run_service = |shards: usize, workers: usize| -> (ServiceReport, f64) {
         let mut svc = ShardedService::new(shards, serving_seed);
@@ -723,6 +783,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
             .map(|o| {
                 let bits = match &o.status {
                     ServiceStatus::Completed(q) => q.estimate.as_ref().ok().map(|e| e.to_bits()),
+                    ServiceStatus::DeadlineAnytime { anytime, .. } => anytime.map(f64::to_bits),
                     ServiceStatus::Shed { anytime, .. } => anytime.map(f64::to_bits),
                     ServiceStatus::QuotaExhausted { anytime } => anytime.map(f64::to_bits),
                     ServiceStatus::UnknownGraph => None,
@@ -759,6 +820,98 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
         tenant_fairness: serving_serial.serving.tenant_fairness,
     };
 
+    // --- Scheduler: the same multi-tenant stream replayed through the
+    // virtual-time event loop under a calibrated deadline. The fault model
+    // is latency-only (seeded ticks, no errors), so the virtual clock
+    // advances and any quality loss is attributable to cancellation alone.
+    // An unconstrained run calibrates the deadline from its own completed
+    // tick bills (spec.deadline picks the percentile); the constrained run
+    // then executes once on a single-shard single-worker service (timed —
+    // the deterministic reference) and once across the shard fleet with
+    // all cores, and the two reports must match bit for bit, anytime
+    // answers and scheduling counters included.
+    let scheduler_seed = replication_seed(spec.seed, stream::SCHEDULER);
+    let scheduler_policy = SchedulePolicy::default()
+        .with_interarrival(6)
+        .with_priorities(0.25, 0.25);
+    let scheduler_wl = |policy: SchedulePolicy| {
+        ServiceWorkload::mixed_multi_tenant(
+            serving_requests,
+            &serving_keys,
+            SERVING_TENANTS,
+            spec.tenant_skew,
+            target,
+            budget,
+            scheduler_seed,
+            cfg,
+        )
+        .builder()
+        .faults(
+            FaultConfig {
+                base_latency_ticks: 1,
+                latency_jitter_ticks: 3,
+                ..FaultConfig::clean(scheduler_seed)
+            },
+            RetryPolicy::default(),
+        )
+        .schedule(policy)
+        .build()
+    };
+    let run_scheduled = |shards: usize, workers: usize, policy: SchedulePolicy| {
+        let mut svc = ShardedService::new(shards, scheduler_seed);
+        for &k in &serving_keys {
+            svc.register(k, &g);
+        }
+        svc.run_scheduled(scheduler_wl(policy), workers)
+    };
+    let t0 = Instant::now();
+    let free = run_scheduled(1, 1, scheduler_policy.clone());
+    let free_ms = ms(t0);
+    let bills: Vec<f64> = free
+        .completed()
+        .map(|(_, q)| q.latency_ticks as f64)
+        .collect();
+    assert!(
+        !bills.is_empty(),
+        "unconstrained scheduled run completed nothing — latency-only faults cannot error"
+    );
+    let deadline_ticks = match spec.deadline {
+        DeadlineTightness::Inf => None,
+        DeadlineTightness::P95 => Some(percentile(&bills, 95.0).ceil() as u64),
+        DeadlineTightness::P50 => Some(percentile(&bills, 50.0).ceil() as u64),
+    };
+    let (scheduler_serial, scheduler_ms) = match deadline_ticks {
+        None => (free, free_ms),
+        Some(d) => {
+            let t0 = Instant::now();
+            let r = run_scheduled(1, 1, scheduler_policy.clone().with_deadline(d));
+            (r, ms(t0))
+        }
+    };
+    let final_policy = match deadline_ticks {
+        None => scheduler_policy,
+        Some(d) => scheduler_policy.with_deadline(d),
+    };
+    let scheduler_parallel = run_scheduled(SERVING_GRAPHS as usize, threads, final_policy);
+    assert_eq!(
+        service_bits(&scheduler_serial),
+        service_bits(&scheduler_parallel),
+        "scheduled fleet run must be bit-identical to the single-shard pass"
+    );
+    assert_eq!(
+        scheduler_serial.scheduling, scheduler_parallel.scheduling,
+        "scheduling counters must be shard- and worker-count independent"
+    );
+    let sched = scheduler_serial
+        .scheduling
+        .expect("scheduled runs report scheduling counters");
+    let scheduling = SchedulerCounters {
+        deadline_hits: sched.deadline_hits,
+        cancellations: sched.cancellations,
+        mean_slack_ticks: sched.mean_slack_ticks,
+        priority_inversions: sched.priority_inversions,
+    };
+
     let alloc = alloc_track::delta(alloc_before, alloc_track::snapshot());
     Report {
         schema_version: SCHEMA_VERSION,
@@ -785,6 +938,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
         engine,
         workload,
         serving,
+        scheduling,
         ground_truth_f: gt.f as u64,
         measured: Measured {
             total_ms: ms(scenario_start),
@@ -810,6 +964,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
             },
             serving_serial_ms,
             serving_parallel_ms,
+            scheduler_ms,
             calibration_ops_per_sec: calibration_ops_per_sec(),
             alloc,
         },
@@ -830,8 +985,17 @@ mod tests {
         }
         assert_eq!(Family::parse("nope"), None);
         assert_eq!(Tier::parse("huge"), None);
+        for d in [
+            DeadlineTightness::Inf,
+            DeadlineTightness::P95,
+            DeadlineTightness::P50,
+        ] {
+            assert_eq!(DeadlineTightness::parse(d.name()), Some(d));
+        }
+        assert_eq!(DeadlineTightness::parse("p99"), None);
         let spec = ScenarioSpec::new(Family::Er, Tier::Smoke, 1);
         assert_eq!(spec.name(), "er_smoke");
+        assert_eq!(spec.deadline, DEFAULT_DEADLINE);
     }
 
     #[test]

@@ -54,6 +54,9 @@ fn smoke_counters_are_identical_across_runs_at_the_same_seed() {
     // The serving phase — sharded admission, quotas, and shedding — is a
     // deterministic counter set too (fairness compared bit for bit).
     assert_eq!(a.serving, b.serving);
+    // And the scheduler phase: the virtual clock, the calibrated deadline,
+    // and every cancellation decision are pure functions of the seed.
+    assert_eq!(a.scheduling, b.scheduling);
     assert_eq!(a.algorithms.len(), b.algorithms.len());
     for (x, y) in a.algorithms.iter().zip(&b.algorithms) {
         assert_eq!(x.abbrev, y.abbrev);
@@ -154,6 +157,19 @@ fn smoke_report_round_trips_and_batched_walk_agrees() {
     assert!(s.tenant_fairness >= 1.0);
     assert!(parsed.measured.serving_serial_ms > 0.0);
     assert!(parsed.measured.serving_parallel_ms > 0.0);
+
+    // The v6 scheduling section survives the round trip and satisfies the
+    // deadline contract: at the default p95 tightness most requests hit
+    // their deadline while the tail cancels into anytime answers — both
+    // paths live in every report the compare gate sees.
+    let sc = &parsed.scheduling;
+    assert!(sc.deadline_hits > 0, "scheduler phase hit no deadlines");
+    assert!(
+        sc.cancellations > 0,
+        "a p95 deadline must cancel the tail of the stream"
+    );
+    assert!(sc.mean_slack_ticks >= 0.0);
+    assert!(parsed.measured.scheduler_ms > 0.0);
 }
 
 /// The fault rate is part of the deterministic counters: a different rate

@@ -53,12 +53,26 @@ pub struct AdmissionConfig {
     /// A modelled queue drains one item every `drain_every` arrivals
     /// routed to it. `1` keeps pace with arrivals (backlog never grows);
     /// larger values model overload building at rate `1 − 1/drain_every`
-    /// per arrival.
+    /// per arrival. Used by the arrival-count model
+    /// ([`AdmissionState::decide`]); the virtual-time model ignores it
+    /// when [`AdmissionConfig::service_ticks_per_item`] is set.
     pub drain_every: usize,
     /// Occupancy fraction (`backlog / queue_capacity`) at which
     /// probabilistic shedding begins. `1.0` disables the probabilistic
     /// band, leaving only the hard capacity limit.
     pub shed_start: f64,
+    /// Virtual-time service rate for scheduled runs: the modelled queue
+    /// drains one item per this many latency ticks
+    /// ([`AdmissionState::decide_scheduled`]). `0` (the default) keeps the
+    /// arrival-count drain model even on the scheduled path, preserving
+    /// pre-scheduler behavior.
+    pub service_ticks_per_item: u64,
+    /// Maximum modelled queue **wait** (in latency ticks) an arrival will
+    /// tolerate: a request whose modelled wait
+    /// (`backlog × service_ticks_per_item`) exceeds this is shed — the
+    /// admission layer seeing wait *time*, not just queue *depth*. `None`
+    /// (the default) disables wait-based shedding.
+    pub max_wait_ticks: Option<u64>,
 }
 
 impl Default for AdmissionConfig {
@@ -69,6 +83,8 @@ impl Default for AdmissionConfig {
             queue_capacity: 1024,
             drain_every: 1,
             shed_start: 0.75,
+            service_ticks_per_item: 0,
+            max_wait_ticks: None,
         }
     }
 }
@@ -155,11 +171,22 @@ pub enum AdmissionDecision {
 pub struct AdmissionState {
     config: AdmissionConfig,
     seed: u64,
-    /// Per-queue (backlog, arrivals-since-last-drain).
-    queues: Vec<(usize, usize)>,
+    queues: Vec<QueueModel>,
     /// Per-tenant remaining quota, populated lazily from the policy.
     remaining: Vec<(TenantId, u64)>,
     policy: QuotaPolicy,
+}
+
+/// One modelled submission queue.
+#[derive(Clone, Copy, Debug, Default)]
+struct QueueModel {
+    backlog: usize,
+    /// Arrivals since the last drain (arrival-count model).
+    since_drain: usize,
+    /// Virtual tick up to which the queue has been drained (virtual-time
+    /// model; advances in whole service intervals so the fractional
+    /// remainder carries over).
+    drained_to_tick: u64,
 }
 
 impl AdmissionState {
@@ -169,7 +196,7 @@ impl AdmissionState {
         AdmissionState {
             config,
             seed,
-            queues: vec![(0, 0); queues],
+            queues: vec![QueueModel::default(); queues],
             remaining: Vec::new(),
             policy,
         }
@@ -205,44 +232,148 @@ impl AdmissionState {
         hard_budget: Option<u64>,
     ) -> AdmissionDecision {
         // --- quota ---
-        let effective = match self.remaining_for(tenant) {
-            Some(0) => return AdmissionDecision::QuotaExhausted,
-            Some(remaining) => match hard_budget {
-                // A budgeted query capped to what the tenant can still pay.
-                Some(b) => Some(b.min(remaining)),
-                // An unbudgeted query under a metered tenant inherits the
-                // tenant's remaining allowance as its session budget.
-                None => Some(remaining),
-            },
-            None => hard_budget,
+        let effective = match self.quota_effective(tenant, hard_budget) {
+            Ok(e) => e,
+            Err(rejected) => return rejected,
         };
 
-        // --- modelled queue ---
-        let (backlog, since_drain) = &mut self.queues[queue];
-        *since_drain += 1;
-        if *since_drain >= self.config.drain_every {
-            *since_drain = 0;
-            *backlog = backlog.saturating_sub(1);
+        // --- modelled queue (arrival-count drain) ---
+        let q = &mut self.queues[queue];
+        q.since_drain += 1;
+        if q.since_drain >= self.config.drain_every {
+            q.since_drain = 0;
+            q.backlog = q.backlog.saturating_sub(1);
         }
-        let backlog_seen = *backlog;
+        if let Some(rejected) = self.queue_shed(request_id, queue, None) {
+            return rejected;
+        }
+        self.admit(tenant, queue, effective)
+    }
+
+    /// [`AdmissionState::decide`] for the **virtual-time** model of
+    /// scheduled runs: drive it once per request in ascending
+    /// `(arrival_tick, request_id)` order.
+    ///
+    /// Differences from the arrival-count model:
+    ///
+    /// * when [`AdmissionConfig::service_ticks_per_item`] is positive, the
+    ///   queue drains one item per that many elapsed virtual ticks instead
+    ///   of one per [`AdmissionConfig::drain_every`] arrivals — backlog is
+    ///   a function of *time*, not arrival cadence;
+    /// * when [`AdmissionConfig::max_wait_ticks`] is set, an arrival whose
+    ///   modelled wait (`backlog × service_ticks_per_item`) exceeds it is
+    ///   shed: the queue is deep enough that the request would blow its
+    ///   useful lifetime just waiting.
+    ///
+    /// Everything is a pure function of (config, seed, ordered arrival
+    /// sequence) — no wall clock — so scheduled admission is bit-identical
+    /// across shard and worker counts like everything else in this module.
+    pub fn decide_scheduled(
+        &mut self,
+        request_id: u64,
+        tenant: TenantId,
+        queue: usize,
+        hard_budget: Option<u64>,
+        arrival_tick: u64,
+    ) -> AdmissionDecision {
+        let effective = match self.quota_effective(tenant, hard_budget) {
+            Ok(e) => e,
+            Err(rejected) => return rejected,
+        };
+
+        let ticks_per_item = self.config.service_ticks_per_item;
+        let q = &mut self.queues[queue];
+        // `> 0` selects the drain *model* (zero = arrival-count), it is
+        // not a division guard, so `checked_div` would misstate intent.
+        #[allow(clippy::manual_checked_ops)]
+        if ticks_per_item > 0 {
+            // Virtual-time drain, carrying the sub-interval remainder.
+            let elapsed = arrival_tick.saturating_sub(q.drained_to_tick);
+            let drained = elapsed / ticks_per_item;
+            q.backlog = q.backlog.saturating_sub(drained as usize);
+            q.drained_to_tick += drained * ticks_per_item;
+            if q.backlog == 0 {
+                // An empty queue has nothing left to drain: realign so idle
+                // periods are not banked as future drain credit.
+                q.drained_to_tick = arrival_tick;
+            }
+        } else {
+            // No service-rate model: keep the arrival-count drain.
+            q.since_drain += 1;
+            if q.since_drain >= self.config.drain_every {
+                q.since_drain = 0;
+                q.backlog = q.backlog.saturating_sub(1);
+            }
+        }
+        let wait = q.backlog as u64 * ticks_per_item;
+        if let Some(rejected) = self.queue_shed(request_id, queue, Some(wait)) {
+            return rejected;
+        }
+        self.admit(tenant, queue, effective)
+    }
+
+    /// The quota gate: the effective session budget on success, the
+    /// rejection on failure.
+    fn quota_effective(
+        &mut self,
+        tenant: TenantId,
+        hard_budget: Option<u64>,
+    ) -> Result<Option<u64>, AdmissionDecision> {
+        match self.remaining_for(tenant) {
+            Some(0) => Err(AdmissionDecision::QuotaExhausted),
+            Some(remaining) => match hard_budget {
+                // A budgeted query capped to what the tenant can still pay.
+                Some(b) => Ok(Some(b.min(remaining))),
+                // An unbudgeted query under a metered tenant inherits the
+                // tenant's remaining allowance as its session budget.
+                None => Ok(Some(remaining)),
+            },
+            None => Ok(hard_budget),
+        }
+    }
+
+    /// The shedding gates against an already-drained queue: modelled wait
+    /// (if provided), hard capacity, then the probabilistic band.
+    fn queue_shed(
+        &mut self,
+        request_id: u64,
+        queue: usize,
+        wait_ticks: Option<u64>,
+    ) -> Option<AdmissionDecision> {
+        let backlog_seen = self.queues[queue].backlog;
+        if let (Some(wait), Some(max)) = (wait_ticks, self.config.max_wait_ticks) {
+            if wait > max {
+                return Some(AdmissionDecision::Shed {
+                    backlog: backlog_seen,
+                });
+            }
+        }
         if backlog_seen >= self.config.queue_capacity {
-            return AdmissionDecision::Shed {
+            return Some(AdmissionDecision::Shed {
                 backlog: backlog_seen,
-            };
+            });
         }
         let load = backlog_seen as f64 / self.config.queue_capacity as f64;
         if self.config.shed_start < 1.0 && load >= self.config.shed_start {
             let over = (load - self.config.shed_start) / (1.0 - self.config.shed_start);
             let p = over * over;
             if unit_hash(replication_seed(self.seed, SHED_STREAM), request_id) < p {
-                return AdmissionDecision::Shed {
+                return Some(AdmissionDecision::Shed {
                     backlog: backlog_seen,
-                };
+                });
             }
         }
+        None
+    }
 
-        // --- admit: enqueue in the model, reserve the quota ---
-        *backlog += 1;
+    /// Enqueues in the model and reserves the quota.
+    fn admit(
+        &mut self,
+        tenant: TenantId,
+        queue: usize,
+        effective: Option<u64>,
+    ) -> AdmissionDecision {
+        self.queues[queue].backlog += 1;
         if let Some(b) = effective {
             if self.policy.quota_for(tenant).is_some() {
                 self.charge(tenant, b);
@@ -271,6 +402,7 @@ mod tests {
             queue_capacity: 4,
             drain_every: 4,
             shed_start: 0.5,
+            ..AdmissionConfig::default()
         }
     }
 
@@ -375,6 +507,112 @@ mod tests {
         let unmetered = QuotaPolicy::unmetered().with_override(T1, 7);
         assert_eq!(unmetered.quota_for(T0), None);
         assert_eq!(unmetered.quota_for(T1), Some(7));
+    }
+
+    #[test]
+    fn scheduled_with_zero_service_rate_matches_the_count_model() {
+        // service_ticks_per_item = 0 keeps the arrival-count drain, so the
+        // scheduled entry point decides exactly like `decide` whatever the
+        // arrival ticks say.
+        let mut count = AdmissionState::new(1, tight(), QuotaPolicy::unmetered(), 21);
+        let mut sched = AdmissionState::new(1, tight(), QuotaPolicy::unmetered(), 21);
+        for id in 0..64u64 {
+            let a = count.decide(id, T0, 0, Some(40));
+            let b = sched.decide_scheduled(id, T0, 0, Some(40), id * 17);
+            assert_eq!(a, b, "request {id} diverged");
+        }
+    }
+
+    #[test]
+    fn virtual_time_drain_tracks_elapsed_ticks() {
+        // One item drains per 10 ticks. Back-to-back arrivals build
+        // backlog; a long gap drains it.
+        let cfg = AdmissionConfig {
+            queue_capacity: 8,
+            shed_start: 1.0,
+            service_ticks_per_item: 10,
+            ..AdmissionConfig::default()
+        };
+        let mut st = AdmissionState::new(1, cfg, QuotaPolicy::unmetered(), 3);
+        for id in 0..4u64 {
+            // All at tick 0: no time passes, nothing drains.
+            assert!(matches!(
+                st.decide_scheduled(id, T0, 0, None, 0),
+                AdmissionDecision::Admitted { .. }
+            ));
+        }
+        assert_eq!(st.queues[0].backlog, 4);
+        // 25 ticks later: two full service intervals have elapsed.
+        assert!(matches!(
+            st.decide_scheduled(4, T0, 0, None, 25),
+            AdmissionDecision::Admitted { .. }
+        ));
+        assert_eq!(st.queues[0].backlog, 3, "25 ticks drain 2 of 4, +1 arrival");
+        // The 5-tick remainder carries: 5 more ticks complete interval 3.
+        assert!(matches!(
+            st.decide_scheduled(5, T0, 0, None, 30),
+            AdmissionDecision::Admitted { .. }
+        ));
+        assert_eq!(st.queues[0].backlog, 3, "remainder carried across calls");
+    }
+
+    #[test]
+    fn max_wait_sheds_on_modelled_wait_not_depth() {
+        // Deep queue (capacity 100, no probabilistic band) but arrivals
+        // tolerate at most 25 ticks of modelled wait = 2 queued items at
+        // 10 ticks each.
+        let cfg = AdmissionConfig {
+            queue_capacity: 100,
+            shed_start: 1.0,
+            service_ticks_per_item: 10,
+            max_wait_ticks: Some(25),
+            ..AdmissionConfig::default()
+        };
+        let mut st = AdmissionState::new(1, cfg, QuotaPolicy::unmetered(), 9);
+        for id in 0..3u64 {
+            assert!(
+                matches!(
+                    st.decide_scheduled(id, T0, 0, None, 0),
+                    AdmissionDecision::Admitted { .. }
+                ),
+                "request {id} within wait tolerance"
+            );
+        }
+        // Fourth simultaneous arrival would wait 30 ticks behind 3 items.
+        assert!(matches!(
+            st.decide_scheduled(3, T0, 0, None, 0),
+            AdmissionDecision::Shed { backlog: 3 }
+        ));
+        // After 30 idle ticks the queue drained to zero wait again.
+        assert!(matches!(
+            st.decide_scheduled(4, T0, 0, None, 30),
+            AdmissionDecision::Admitted { .. }
+        ));
+    }
+
+    #[test]
+    fn idle_periods_bank_no_drain_credit() {
+        let cfg = AdmissionConfig {
+            queue_capacity: 8,
+            shed_start: 1.0,
+            service_ticks_per_item: 10,
+            ..AdmissionConfig::default()
+        };
+        let mut st = AdmissionState::new(1, cfg, QuotaPolicy::unmetered(), 4);
+        // Long idle stretch before the first arrival must not pre-pay for
+        // draining work that does not exist yet.
+        assert!(matches!(
+            st.decide_scheduled(0, T0, 0, None, 1_000),
+            AdmissionDecision::Admitted { .. }
+        ));
+        assert!(matches!(
+            st.decide_scheduled(1, T0, 0, None, 1_005),
+            AdmissionDecision::Admitted { .. }
+        ));
+        assert_eq!(
+            st.queues[0].backlog, 2,
+            "5 ticks after a fresh enqueue drains nothing"
+        );
     }
 
     #[test]

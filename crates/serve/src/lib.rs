@@ -48,11 +48,13 @@
 
 pub mod admission;
 pub mod router;
+pub mod scheduler;
 pub mod service;
 
 pub use admission::{AdmissionConfig, AdmissionDecision, QuotaPolicy};
 pub use router::{GraphKey, ShardRouter, TenantId};
+pub use scheduler::{SchedulePolicy, SchedulingCounters};
 pub use service::{
     ServiceOutcome, ServiceProgress, ServiceReport, ServiceRequest, ServiceStatus, ServiceWorkload,
-    ServingCounters, ShardedService,
+    ServiceWorkloadBuilder, ServingCounters, ShardedService,
 };

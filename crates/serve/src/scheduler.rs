@@ -1,0 +1,880 @@
+//! Deadline-aware scheduled serving: a deterministic discrete-event loop
+//! over **virtual latency ticks**, with cancellation, priorities, and
+//! anytime answers.
+//!
+//! The plain service path ([`ShardedService::run`]) executes every
+//! admitted request to completion — a deadline can only be observed, never
+//! enforced. This module adds the enforcing path,
+//! [`ShardedService::run_scheduled`]:
+//!
+//! * every request carries a [`Schedule`] — an `arrival_tick`, an optional
+//!   relative deadline, and a [`Priority`] — stamped by a seeded
+//!   [`SchedulePolicy`] through the workload builder;
+//! * each registered graph runs a **serial discrete-event loop**: a
+//!   virtual clock advances by exactly the latency ticks the adversarial
+//!   backend bills each execution slice ([`labelcount_osn::FetchCost`]),
+//!   never by wall time;
+//! * an admitted query executes as [`SchedulePolicy::replicates`]
+//!   replicate slices; before each slice the scheduler sets the session's
+//!   **tick ceiling** to `deadline − clock`, so the estimator's existing
+//!   step-boundary budget poll doubles as the cancellation yield point —
+//!   no estimator changes, no preemption;
+//! * when a deadline passes, the query is cancelled into an **anytime
+//!   answer** ([`ServiceStatus::DeadlineAnytime`]): the running mean ± a
+//!   95% CI over the replicates that finished, falling back to the graph's
+//!   live partial estimate when none did.
+//!
+//! # Determinism
+//!
+//! The event order inside a graph loop is a pure function of `(workload
+//! seed, the tasks, their tick costs)`; tick costs are pure hashes
+//! ([`labelcount_osn::AdversarialOsn`]); graph loops share no state and
+//! derive their seeds from the graph key alone. The [`ServiceReport`] —
+//! statuses, anytime answers, and [`SchedulingCounters`] — is therefore
+//! **bit-identical at any shard count and any worker count**; shards and
+//! workers only decide which OS thread hosts which graph's loop.
+
+use std::sync::Mutex;
+
+use labelcount_core::{
+    EstimateError, Priority, ProgressSnapshot, QueryOutcome, QuerySpec, Schedule, WorkloadProgress,
+};
+use labelcount_osn::{AdversarialOsn, CachedOsn, FaultConfig, GraphOsn, OsnApi, RetryPolicy};
+use labelcount_stats::{replication_seed, RunningStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::admission::{unit_hash, AdmissionDecision, AdmissionState};
+use crate::router::{GraphKey, TenantId};
+use crate::service::{
+    ServiceOutcome, ServiceProgress, ServiceReport, ServiceRequest, ServiceStatus, ServiceWorkload,
+    ServingCounters, ShardedService,
+};
+
+/// Stream ids for the scheduler's internal seed derivations.
+mod stream {
+    pub const GRAPH_FAULT: u64 = 0x5c1d_0001;
+    pub const ARRIVAL_GAP: u64 = 0x5c1d_0002;
+    pub const PRIORITY: u64 = 0x5c1d_0003;
+}
+
+/// A seeded policy that stamps a [`Schedule`] onto every request of a
+/// [`ServiceWorkload`] and configures the scheduled run.
+///
+/// The default policy is the degenerate schedule: everything arrives at
+/// tick 0, no deadlines, all-normal priority, four replicates per query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchedulePolicy {
+    /// Mean virtual-tick gap between consecutive arrivals (in id order).
+    /// `0` makes every request arrive at tick 0; a positive mean draws
+    /// each gap uniformly from `[1, 2·mean − 1]` under a seeded hash.
+    pub mean_interarrival_ticks: u64,
+    /// Relative deadline stamped on every request (`None` = no
+    /// deadlines). `Some(0)` is the degenerate ask-only-what-you-know
+    /// request: cancelled into an anytime answer the moment it arrives.
+    pub deadline_ticks: Option<u64>,
+    /// Fraction of requests stamped [`Priority::High`].
+    pub high_frac: f64,
+    /// Fraction of requests stamped [`Priority::Low`].
+    pub low_frac: f64,
+    /// Replicate slices an admitted query executes; its completed
+    /// estimate is the mean over them, and a cancelled query's anytime
+    /// answer is the running mean over those that finished.
+    pub replicates: usize,
+}
+
+impl Default for SchedulePolicy {
+    fn default() -> Self {
+        SchedulePolicy {
+            mean_interarrival_ticks: 0,
+            deadline_ticks: None,
+            high_frac: 0.0,
+            low_frac: 0.0,
+            replicates: 4,
+        }
+    }
+}
+
+impl SchedulePolicy {
+    /// Sets the mean interarrival gap.
+    #[must_use = "returns the modified policy"]
+    pub fn with_interarrival(mut self, mean_ticks: u64) -> SchedulePolicy {
+        self.mean_interarrival_ticks = mean_ticks;
+        self
+    }
+
+    /// Stamps this relative deadline on every request.
+    #[must_use = "returns the modified policy"]
+    pub fn with_deadline(mut self, deadline_ticks: u64) -> SchedulePolicy {
+        self.deadline_ticks = Some(deadline_ticks);
+        self
+    }
+
+    /// Sets the priority mix: a seeded `high_frac` of requests run High,
+    /// `low_frac` run Low, the rest Normal.
+    #[must_use = "returns the modified policy"]
+    pub fn with_priorities(mut self, high_frac: f64, low_frac: f64) -> SchedulePolicy {
+        self.high_frac = high_frac;
+        self.low_frac = low_frac;
+        self
+    }
+
+    /// Sets the replicate-slice count per admitted query.
+    #[must_use = "returns the modified policy"]
+    pub fn with_replicates(mut self, replicates: usize) -> SchedulePolicy {
+        self.replicates = replicates;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.replicates >= 1, "replicates must be >= 1");
+        assert!(
+            (0.0..=1.0).contains(&self.high_frac)
+                && (0.0..=1.0).contains(&self.low_frac)
+                && self.high_frac + self.low_frac <= 1.0,
+            "priority fractions must be in [0, 1] and sum to at most 1"
+        );
+    }
+
+    /// Stamps every request's [`Schedule`] deterministically under the
+    /// workload seed: arrival ticks accumulate seeded interarrival gaps in
+    /// id order, priorities are a seeded per-request draw, and the
+    /// deadline is uniform. Invoked by
+    /// [`crate::ServiceWorkloadBuilder::schedule`].
+    pub fn stamp(&self, workload: &mut ServiceWorkload) {
+        self.validate();
+        let gap_seed = replication_seed(workload.seed, stream::ARRIVAL_GAP);
+        let prio_seed = replication_seed(workload.seed, stream::PRIORITY);
+        let mut clock = 0u64;
+        for req in &mut workload.requests {
+            let id = req.query.id;
+            if self.mean_interarrival_ticks > 0 {
+                let span = 2 * self.mean_interarrival_ticks - 1;
+                clock += 1 + (unit_hash(gap_seed, id) * span as f64) as u64;
+            }
+            let u = unit_hash(prio_seed, id);
+            let priority = if u < self.high_frac {
+                Priority::High
+            } else if u >= 1.0 - self.low_frac {
+                Priority::Low
+            } else {
+                Priority::Normal
+            };
+            req.query.schedule = Schedule {
+                arrival_tick: clock,
+                deadline_ticks: self.deadline_ticks,
+                priority,
+            };
+        }
+    }
+}
+
+/// Deterministic counters of one scheduled run, merged over every graph's
+/// event loop in registration order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SchedulingCounters {
+    /// Deadline-carrying queries that completed at or before their
+    /// deadline.
+    pub deadline_hits: u64,
+    /// Queries cancelled into anytime answers when their deadline passed.
+    pub cancellations: u64,
+    /// Mean slack (deadline tick − completion tick) over the deadline
+    /// hits; 0 when nothing hit.
+    pub mean_slack_ticks: f64,
+    /// Priority inversions: arrivals of higher-priority work that landed
+    /// while a lower-priority slice held a graph's loop (non-preemptive
+    /// scheduling makes them wait out the slice).
+    pub priority_inversions: u64,
+}
+
+/// Per-loop counter accumulator (slack kept as a sum until the final
+/// merge).
+#[derive(Clone, Copy, Debug, Default)]
+struct LoopCounters {
+    deadline_hits: u64,
+    cancellations: u64,
+    slack_sum: u64,
+    priority_inversions: u64,
+}
+
+impl LoopCounters {
+    fn absorb(&mut self, other: &LoopCounters) {
+        self.deadline_hits += other.deadline_hits;
+        self.cancellations += other.cancellations;
+        self.slack_sum += other.slack_sum;
+        self.priority_inversions += other.priority_inversions;
+    }
+
+    fn finish(self) -> SchedulingCounters {
+        SchedulingCounters {
+            deadline_hits: self.deadline_hits,
+            cancellations: self.cancellations,
+            mean_slack_ticks: if self.deadline_hits == 0 {
+                0.0
+            } else {
+                self.slack_sum as f64 / self.deadline_hits as f64
+            },
+            priority_inversions: self.priority_inversions,
+        }
+    }
+}
+
+/// What one graph's event loop decided for one admitted query.
+enum TaskStatus {
+    Done(QueryOutcome),
+    Cancelled {
+        completed_replicates: u64,
+        anytime: Option<f64>,
+        ci_halfwidth: f64,
+        cancelled_at_tick: u64,
+    },
+}
+
+/// The result of one graph's event loop.
+struct GraphLoopResult {
+    /// `(query id, status)`, in query-id order.
+    results: Vec<(u64, TaskStatus)>,
+    /// Summary over completed finite estimates, accumulated in id order —
+    /// the graph-level anytime answer for shed / quota-rejected requests.
+    summary: RunningStats,
+    counters: LoopCounters,
+}
+
+impl GraphLoopResult {
+    fn status_of(&self, id: u64) -> &TaskStatus {
+        let i = self
+            .results
+            .binary_search_by_key(&id, |(rid, _)| *rid)
+            .expect("admitted query has a scheduled outcome");
+        &self.results[i].1
+    }
+}
+
+/// Live execution state of one admitted query inside a graph loop.
+struct TaskState {
+    spec: QuerySpec,
+    next_rep: u64,
+    stats: RunningStats,
+    last_err: Option<EstimateError>,
+    logical_calls: u64,
+    retry_charges: u64,
+    backend_attempts: u64,
+    rate_limited: u64,
+    transient_errors: u64,
+    latency_ticks: u64,
+    budget_exhausted: bool,
+    finished: Option<TaskStatus>,
+}
+
+impl TaskState {
+    fn new(spec: QuerySpec) -> TaskState {
+        TaskState {
+            spec,
+            next_rep: 0,
+            stats: RunningStats::new(),
+            last_err: None,
+            logical_calls: 0,
+            retry_charges: 0,
+            backend_attempts: 0,
+            rate_limited: 0,
+            transient_errors: 0,
+            latency_ticks: 0,
+            budget_exhausted: false,
+            finished: None,
+        }
+    }
+
+    fn arrival(&self) -> u64 {
+        self.spec.schedule.arrival_tick
+    }
+
+    fn deadline(&self) -> Option<u64> {
+        self.spec.schedule.deadline_tick()
+    }
+
+    fn rank(&self) -> u8 {
+        self.spec.schedule.priority.rank()
+    }
+}
+
+/// Runs one graph's discrete-event loop to completion. Strictly serial:
+/// the loop IS the graph's single virtual timeline, which is what makes
+/// the per-graph progress fallback (and everything else) deterministic.
+fn run_graph_loop(
+    shared: &GraphOsn<'_>,
+    tasks: Vec<QuerySpec>,
+    workload: &WorkloadKnobs,
+    fault_base: u64,
+    replicates: u64,
+    progress: &WorkloadProgress,
+) -> GraphLoopResult {
+    let mut tasks: Vec<TaskState> = tasks.into_iter().map(TaskState::new).collect();
+    let mut counters = LoopCounters::default();
+    let mut clock = 0u64;
+
+    loop {
+        // Cancellation sweep: any unfinished task whose absolute deadline
+        // the clock has reached can no longer produce a timely answer —
+        // convert it to an anytime answer NOW, at the deadline tick it
+        // missed, before any further slice runs.
+        for t in tasks.iter_mut().filter(|t| t.finished.is_none()) {
+            if let Some(d) = t.deadline() {
+                if clock >= d {
+                    counters.cancellations += 1;
+                    let own = ProgressSnapshot::from(t.stats);
+                    let (anytime, ci) = if !own.is_empty() {
+                        (Some(own.mean()), own.ci_halfwidth())
+                    } else {
+                        let graph = progress.partial_estimates();
+                        ((!graph.is_empty()).then(|| graph.mean()), 0.0)
+                    };
+                    t.finished = Some(TaskStatus::Cancelled {
+                        completed_replicates: t.next_rep,
+                        anytime,
+                        ci_halfwidth: ci,
+                        cancelled_at_tick: d,
+                    });
+                    progress.record(None);
+                }
+            }
+        }
+
+        // Pick the runnable task: arrived, unfinished, best
+        // (priority rank, arrival tick, id) — FIFO within a class,
+        // non-preemptive.
+        let running = tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.finished.is_none() && t.arrival() <= clock)
+            .min_by_key(|(_, t)| (t.rank(), t.arrival(), t.spec.id))
+            .map(|(i, _)| i);
+        let ti = match running {
+            Some(ti) => ti,
+            None => {
+                // Idle: jump the clock to the next arrival, or stop when
+                // every task is finished.
+                match tasks
+                    .iter()
+                    .filter(|t| t.finished.is_none())
+                    .map(|t| t.arrival())
+                    .min()
+                {
+                    Some(next) => {
+                        debug_assert!(next > clock, "unfinished arrival in the past");
+                        clock = next;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+        };
+
+        // One replicate slice. The slice's tick allowance is whatever
+        // remains until the deadline; the session's tick ceiling turns the
+        // estimator's step-boundary budget poll into the cancellation
+        // yield point. The sweep above guarantees `clock < deadline` here.
+        let (slice_ticks, ticks_cut) = {
+            let t = &mut tasks[ti];
+            let fault_cfg = FaultConfig {
+                seed: replication_seed(replication_seed(fault_base, t.spec.id), t.next_rep),
+                ..workload.faults
+            };
+            let backend = AdversarialOsn::new(shared, fault_cfg, workload.retry);
+            let cache = CachedOsn::new(backend);
+            let session = cache.session();
+            if let Some(b) = t.spec.hard_budget {
+                session.set_budget(b);
+            }
+            if let Some(d) = t.deadline() {
+                // Allowance is slack + 1: `ticks_exceeded` is `>=`, and a
+                // slice that bills *exactly* the remaining slack ends ON
+                // the deadline — a hit with zero slack, not a miss. Only
+                // going strictly past the deadline cuts the slice.
+                session.set_tick_ceiling(d - clock + 1);
+            }
+            let mut rng = StdRng::seed_from_u64(replication_seed(t.spec.seed, t.next_rep));
+            let estimate = t.spec.algorithm.estimate(
+                &session,
+                t.spec.target,
+                t.spec.budget,
+                &workload.run_config,
+                &mut rng,
+            );
+            let slice_ticks = session.latency_ticks();
+            let ticks_cut = session.ticks_exceeded() && estimate.is_err();
+            let calls_out = session.budget_remaining() == Some(0);
+            t.logical_calls += session.api_calls();
+            t.retry_charges += session.retry_charges();
+            drop(session);
+            let faults = cache.backend().fault_stats();
+            t.backend_attempts += faults.attempts;
+            t.rate_limited += faults.rate_limited;
+            t.transient_errors += faults.transient_errors;
+            t.latency_ticks += slice_ticks;
+
+            match estimate {
+                Ok(e) => {
+                    if e.is_finite() {
+                        t.stats.push(e);
+                    }
+                    t.next_rep += 1;
+                }
+                Err(err) if !ticks_cut => {
+                    // An ordinary failure (e.g. the call budget ran out):
+                    // the replicate is spent, the query keeps its slot.
+                    t.budget_exhausted |= calls_out;
+                    t.last_err = Some(err);
+                    t.next_rep += 1;
+                }
+                Err(_) => {
+                    // The deadline fired mid-slice; the sweep at the top
+                    // of the next iteration converts the task, after the
+                    // clock has advanced past its deadline below.
+                }
+            }
+            (slice_ticks, ticks_cut)
+        };
+
+        // Advance virtual time by exactly what the slice billed, and
+        // charge priority inversions: higher-priority arrivals that landed
+        // while this (lower-priority) slice held the loop.
+        let before = clock;
+        clock += slice_ticks;
+        let running_rank = tasks[ti].rank();
+        counters.priority_inversions += tasks
+            .iter()
+            .enumerate()
+            .filter(|&(i, t)| {
+                i != ti
+                    && t.finished.is_none()
+                    && t.rank() < running_rank
+                    && t.arrival() > before
+                    && t.arrival() <= clock
+            })
+            .count() as u64;
+
+        // A deadline cut consumes the slice but can complete nothing; make
+        // sure the clock reached the deadline so the sweep fires (the
+        // ceiling guarantees the billed ticks already did).
+        if ticks_cut {
+            debug_assert!(
+                tasks[ti].deadline().is_some_and(|d| clock >= d),
+                "tick ceiling fired before the deadline"
+            );
+            continue;
+        }
+
+        // Completion check.
+        let t = &mut tasks[ti];
+        if t.finished.is_none() && t.next_rep >= replicates {
+            if let Some(d) = t.deadline() {
+                if clock <= d {
+                    counters.deadline_hits += 1;
+                    counters.slack_sum += d - clock;
+                }
+            }
+            let estimate = if t.stats.count() > 0 {
+                Ok(t.stats.mean())
+            } else {
+                Err(t
+                    .last_err
+                    .clone()
+                    .expect("a no-estimate query recorded an error"))
+            };
+            progress.record(estimate.as_ref().ok().copied());
+            t.finished = Some(TaskStatus::Done(QueryOutcome {
+                id: t.spec.id,
+                abbrev: t.spec.algorithm.abbrev(),
+                estimate,
+                logical_calls: t.logical_calls,
+                retry_charges: t.retry_charges,
+                backend_attempts: t.backend_attempts,
+                rate_limited: t.rate_limited,
+                transient_errors: t.transient_errors,
+                latency_ticks: t.latency_ticks,
+                budget_exhausted: t.budget_exhausted,
+            }));
+        }
+    }
+
+    // Assemble in id order; the deterministic graph summary over completed
+    // finite estimates is the anytime answer for shed requests.
+    let mut results: Vec<(u64, TaskStatus)> = tasks
+        .into_iter()
+        .map(|t| {
+            let id = t.spec.id;
+            (id, t.finished.expect("event loop finished every task"))
+        })
+        .collect();
+    results.sort_by_key(|(id, _)| *id);
+    let mut summary = RunningStats::new();
+    for (_, st) in &results {
+        if let TaskStatus::Done(q) = st {
+            if let Ok(e) = q.estimate {
+                if e.is_finite() {
+                    summary.push(e);
+                }
+            }
+        }
+    }
+    GraphLoopResult {
+        results,
+        summary,
+        counters,
+    }
+}
+
+/// The service-level knobs a graph loop needs (borrowed out of the
+/// [`ServiceWorkload`] once, so loops never touch the request list).
+struct WorkloadKnobs {
+    faults: FaultConfig,
+    retry: RetryPolicy,
+    run_config: labelcount_core::RunConfig,
+}
+
+impl<'g> ShardedService<'g> {
+    /// Runs a **deadline-aware scheduled** workload: virtual-time
+    /// admission in `(arrival_tick, id)` order, then one serial
+    /// discrete-event loop per graph (distributed over shard threads and
+    /// up to `workers` threads per shard), then assembly in request-id
+    /// order with [`SchedulingCounters`] attached.
+    ///
+    /// Requests carry their [`Schedule`]s; stamp them with
+    /// [`crate::ServiceWorkloadBuilder::schedule`]. The returned
+    /// [`ServiceReport`] is bit-identical at any shard count and any
+    /// worker count.
+    pub fn run_scheduled(&self, workload: ServiceWorkload, workers: usize) -> ServiceReport {
+        let progress = ServiceProgress::for_service(self);
+        self.run_scheduled_observed(workload, workers, &progress)
+    }
+
+    /// [`ShardedService::run_scheduled`] with a caller-owned
+    /// [`ServiceProgress`] that another thread can poll for live anytime
+    /// estimates — the same estimates a cancelled query's
+    /// [`ServiceStatus::DeadlineAnytime`] falls back to.
+    pub fn run_scheduled_observed(
+        &self,
+        workload: ServiceWorkload,
+        workers: usize,
+        progress: &ServiceProgress,
+    ) -> ServiceReport {
+        assert_eq!(
+            progress.slots.len(),
+            self.graphs.len(),
+            "progress view was not built for this service"
+        );
+        let n = workload.requests.len();
+        for w in workload.requests.windows(2) {
+            assert!(
+                w[0].id() < w[1].id(),
+                "request ids must be strictly increasing"
+            );
+        }
+        let policy = workload.scheduling.clone().unwrap_or_default();
+        policy.validate();
+
+        // Phase 1 — virtual-time admission, serially in ascending
+        // (arrival_tick, id) order against the modelled per-graph queues.
+        let order = workload.scheduled_arrival_order();
+        let mut admission = AdmissionState::new(
+            self.graphs.len(),
+            workload.admission,
+            workload.quotas.clone(),
+            workload.seed,
+        );
+        enum Decided {
+            Known(usize, AdmissionDecision),
+            Unknown,
+        }
+        let mut decisions: Vec<Option<Decided>> = (0..n).map(|_| None).collect();
+        for &ri in &order {
+            let req = &workload.requests[ri];
+            decisions[ri] = Some(match self.graph_index(req.graph) {
+                Some(gi) => Decided::Known(
+                    gi,
+                    admission.decide_scheduled(
+                        req.id(),
+                        req.tenant,
+                        gi,
+                        req.query.hard_budget,
+                        req.query.schedule.arrival_tick,
+                    ),
+                ),
+                None => Decided::Unknown,
+            });
+        }
+
+        // Phase 2 — per-graph task lists (id order) and one event loop per
+        // graph, distributed over the shard fleet.
+        let ServiceWorkload {
+            requests,
+            seed,
+            run_config,
+            faults,
+            retry,
+            ..
+        } = workload;
+        let knobs = WorkloadKnobs {
+            faults,
+            retry,
+            run_config,
+        };
+        let mut graph_tasks: Vec<Vec<QuerySpec>> =
+            (0..self.graphs.len()).map(|_| Vec::new()).collect();
+        struct Pending {
+            id: u64,
+            tenant: TenantId,
+            graph: GraphKey,
+            shard: usize,
+            decided: Decided,
+        }
+        let mut pending: Vec<Pending> = Vec::with_capacity(n);
+        for (ri, req) in requests.into_iter().enumerate() {
+            let decided = decisions[ri].take().expect("every request was decided");
+            let shard = self.shard_of(req.graph);
+            let id = req.id();
+            let ServiceRequest {
+                tenant,
+                graph,
+                query,
+            } = req;
+            if let Decided::Known(gi, AdmissionDecision::Admitted { effective_budget }) = decided {
+                graph_tasks[gi].push(QuerySpec {
+                    hard_budget: effective_budget,
+                    ..query
+                });
+            }
+            pending.push(Pending {
+                id,
+                tenant,
+                graph,
+                shard,
+                decided,
+            });
+        }
+
+        // Distribute loops: a shard owns its graphs; within a shard, up to
+        // `workers` threads split the graph loops round-robin. Any split
+        // yields the same report — loops share nothing.
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.router.shards()];
+        for (gi, tasks) in graph_tasks.iter().enumerate() {
+            if !tasks.is_empty() {
+                by_shard[self.graphs[gi].1].push(gi);
+            }
+        }
+        let fault_root = replication_seed(seed, stream::GRAPH_FAULT);
+        let replicates = policy.replicates as u64;
+        let task_slots: Vec<Mutex<Option<Vec<QuerySpec>>>> = graph_tasks
+            .into_iter()
+            .map(|t| Mutex::new(Some(t)))
+            .collect();
+        let slots: Vec<Mutex<Option<GraphLoopResult>>> =
+            (0..self.graphs.len()).map(|_| Mutex::new(None)).collect();
+        let workers = workers.max(1);
+        std::thread::scope(|scope| {
+            for gis in &by_shard {
+                if gis.is_empty() {
+                    continue;
+                }
+                // Round-robin the shard's graph loops over its workers.
+                let buckets = workers.min(gis.len());
+                for b in 0..buckets {
+                    let mine: Vec<usize> = gis.iter().copied().skip(b).step_by(buckets).collect();
+                    let slots = &slots;
+                    let task_slots = &task_slots;
+                    let knobs = &knobs;
+                    scope.spawn(move || {
+                        for gi in mine {
+                            let tasks = task_slots[gi]
+                                .lock()
+                                .unwrap()
+                                .take()
+                                .expect("each graph's tasks are taken once");
+                            let shared = GraphOsn::new(self.graphs[gi].2.graph());
+                            let fault_base = replication_seed(fault_root, self.graphs[gi].0 .0);
+                            let result = run_graph_loop(
+                                &shared,
+                                tasks,
+                                knobs,
+                                fault_base,
+                                replicates,
+                                &progress.slots[gi].1,
+                            );
+                            *slots[gi].lock().unwrap() = Some(result);
+                        }
+                    });
+                }
+            }
+        });
+        let reports: Vec<Option<GraphLoopResult>> =
+            slots.into_iter().map(|s| s.into_inner().unwrap()).collect();
+
+        // Phase 3 — assemble in request-id order, merging loop counters in
+        // registration order.
+        let mut merged = LoopCounters::default();
+        for r in reports.iter().flatten() {
+            merged.absorb(&r.counters);
+        }
+        let anytime = |gi: usize| -> Option<f64> {
+            let r = reports[gi].as_ref()?;
+            (r.summary.count() > 0).then(|| r.summary.mean())
+        };
+        let mut outcomes = Vec::with_capacity(n);
+        let mut admitted = 0u64;
+        let mut shed = 0u64;
+        let mut quota_exhausted = 0u64;
+        let mut per_tenant: Vec<(TenantId, u64)> = Vec::new();
+        let mut summary = RunningStats::new();
+        for p in pending {
+            let status = match p.decided {
+                Decided::Unknown => ServiceStatus::UnknownGraph,
+                Decided::Known(gi, AdmissionDecision::Admitted { .. }) => {
+                    admitted += 1;
+                    match per_tenant.iter_mut().find(|(t, _)| *t == p.tenant) {
+                        Some((_, c)) => *c += 1,
+                        None => per_tenant.push((p.tenant, 1)),
+                    }
+                    let report = reports[gi].as_ref().expect("admitted graph ran");
+                    match report.status_of(p.id) {
+                        TaskStatus::Done(q) => {
+                            if let Ok(e) = q.estimate {
+                                if e.is_finite() {
+                                    summary.push(e);
+                                }
+                            }
+                            ServiceStatus::Completed(q.clone())
+                        }
+                        TaskStatus::Cancelled {
+                            completed_replicates,
+                            anytime,
+                            ci_halfwidth,
+                            cancelled_at_tick,
+                        } => ServiceStatus::DeadlineAnytime {
+                            completed_replicates: *completed_replicates,
+                            anytime: *anytime,
+                            ci_halfwidth: *ci_halfwidth,
+                            cancelled_at_tick: *cancelled_at_tick,
+                        },
+                    }
+                }
+                Decided::Known(gi, AdmissionDecision::Shed { backlog }) => {
+                    shed += 1;
+                    if !per_tenant.iter().any(|(t, _)| *t == p.tenant) {
+                        per_tenant.push((p.tenant, 0));
+                    }
+                    ServiceStatus::Shed {
+                        backlog,
+                        anytime: anytime(gi),
+                    }
+                }
+                Decided::Known(gi, AdmissionDecision::QuotaExhausted) => {
+                    quota_exhausted += 1;
+                    if !per_tenant.iter().any(|(t, _)| *t == p.tenant) {
+                        per_tenant.push((p.tenant, 0));
+                    }
+                    ServiceStatus::QuotaExhausted {
+                        anytime: anytime(gi),
+                    }
+                }
+            };
+            outcomes.push(ServiceOutcome {
+                id: p.id,
+                tenant: p.tenant,
+                graph: p.graph,
+                shard: p.shard,
+                status,
+            });
+        }
+        let tenant_fairness = if per_tenant.is_empty() {
+            1.0
+        } else {
+            let max = per_tenant.iter().map(|(_, c)| *c).max().unwrap_or(0);
+            let min = per_tenant.iter().map(|(_, c)| *c).min().unwrap_or(0);
+            max as f64 / min.max(1) as f64
+        };
+        ServiceReport {
+            outcomes,
+            summary,
+            serving: ServingCounters {
+                shards: self.router.shards() as u64,
+                submitted: n as u64,
+                admitted,
+                shed,
+                quota_exhausted,
+                tenant_fairness,
+            },
+            scheduling: Some(merged.finish()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use labelcount_core::RunConfig;
+    use labelcount_graph::TargetLabel;
+
+    fn stamped(policy: SchedulePolicy) -> ServiceWorkload {
+        ServiceWorkload::mixed_multi_tenant(
+            20,
+            &[GraphKey(0), GraphKey(1)],
+            2,
+            0.3,
+            TargetLabel::new(1.into(), 2.into()),
+            40,
+            7,
+            RunConfig::default(),
+        )
+        .builder()
+        .schedule(policy)
+        .build()
+    }
+
+    #[test]
+    fn stamp_is_deterministic_and_monotone_in_id_order() {
+        let p = SchedulePolicy::default()
+            .with_interarrival(10)
+            .with_deadline(50)
+            .with_priorities(0.3, 0.3);
+        let a = stamped(p.clone());
+        let b = stamped(p);
+        let mut last = 0u64;
+        for (x, y) in a.requests.iter().zip(&b.requests) {
+            assert_eq!(x.query.schedule, y.query.schedule, "stamp not reproducible");
+            assert!(
+                x.query.schedule.arrival_tick > last || x.query.id == 0,
+                "arrivals must be strictly increasing under a positive gap"
+            );
+            last = x.query.schedule.arrival_tick;
+            assert_eq!(x.query.schedule.deadline_ticks, Some(50));
+        }
+    }
+
+    #[test]
+    fn zero_interarrival_floods_tick_zero_and_mix_covers_all_priorities() {
+        let wl = stamped(SchedulePolicy::default().with_priorities(0.4, 0.4));
+        let mut seen = [false; 3];
+        for r in &wl.requests {
+            assert_eq!(r.query.schedule.arrival_tick, 0);
+            seen[r.query.schedule.priority.rank() as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "a 40/20/40 mix over 20 requests should hit every class"
+        );
+    }
+
+    #[test]
+    fn invalid_policies_are_rejected() {
+        for bad in [
+            SchedulePolicy::default().with_replicates(0),
+            SchedulePolicy::default().with_priorities(0.8, 0.8),
+            SchedulePolicy::default().with_priorities(-0.1, 0.0),
+        ] {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                bad.stamp(&mut stamped(SchedulePolicy::default()))
+            }));
+            assert!(caught.is_err(), "policy {bad:?} must be rejected");
+        }
+    }
+}

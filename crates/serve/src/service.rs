@@ -23,7 +23,8 @@
 use std::sync::Mutex;
 
 use labelcount_core::{
-    Engine, QueryOutcome, QuerySpec, RunConfig, Workload, WorkloadProgress, WorkloadReport,
+    Engine, QueryOutcome, QuerySpec, RunConfig, Schedule, Workload, WorkloadProgress,
+    WorkloadReport,
 };
 use labelcount_graph::{LabeledGraph, TargetLabel};
 use labelcount_osn::{FaultConfig, RetryPolicy};
@@ -36,6 +37,7 @@ use crate::admission::{
     unit_hash, AdmissionConfig, AdmissionDecision, AdmissionState, QuotaPolicy,
 };
 use crate::router::{GraphKey, ShardRouter, TenantId};
+use crate::scheduler::{SchedulePolicy, SchedulingCounters};
 
 /// Stream ids for the service's internal seed derivations.
 mod stream {
@@ -46,26 +48,51 @@ mod stream {
     pub const REQUEST_RNG: u64 = 0x5e15;
 }
 
-/// One request of a multi-tenant service workload: a [`QuerySpec`] plus
-/// the routing coordinates (who asks, against which graph).
+/// One request of a multi-tenant service workload: an embedded
+/// [`QuerySpec`] — the *same* type the single-graph workload runner
+/// consumes, scheduling fields included — plus the two routing coordinates
+/// only the serving layer knows about (who asks, against which graph).
+///
+/// The request's id is its query's id ([`ServiceRequest::id`]); `From`
+/// impls convert both ways: stripping a request to its query drops the
+/// routing coordinates, and lifting a bare query makes a single-tenant
+/// request against [`GraphKey`]`(0)`.
 pub struct ServiceRequest {
-    /// Globally unique request id; the report is assembled in id order.
-    pub id: u64,
     /// The tenant paying for the request (quota accounting, fairness).
     pub tenant: TenantId,
     /// The graph the query runs against.
     pub graph: GraphKey,
-    /// The estimator to run.
-    pub algorithm: Box<dyn labelcount_core::Algorithm>,
-    /// The target edge label.
-    pub target: TargetLabel,
-    /// Sample-size budget (API calls the estimator aims to spend).
-    pub budget: usize,
-    /// Hard cap on charged neighbor calls; admission may tighten it
-    /// further against the tenant's remaining quota.
-    pub hard_budget: Option<u64>,
-    /// RNG seed of the query's estimator.
-    pub seed: u64,
+    /// The query itself: estimator, target, budgets, seed, and — for
+    /// scheduled runs — its arrival tick, deadline, and priority.
+    pub query: QuerySpec,
+}
+
+impl ServiceRequest {
+    /// Globally unique request id (the embedded query's id); the report is
+    /// assembled in id order.
+    pub fn id(&self) -> u64 {
+        self.query.id
+    }
+}
+
+/// Lifts a bare query into a single-tenant request: tenant 0 against
+/// [`GraphKey`]`(0)` — the convenience for services serving one graph to
+/// one caller.
+impl From<QuerySpec> for ServiceRequest {
+    fn from(query: QuerySpec) -> ServiceRequest {
+        ServiceRequest {
+            tenant: TenantId(0),
+            graph: GraphKey(0),
+            query,
+        }
+    }
+}
+
+/// Strips a request to its query, dropping the routing coordinates.
+impl From<ServiceRequest> for QuerySpec {
+    fn from(req: ServiceRequest) -> QuerySpec {
+        req.query
+    }
 }
 
 /// A multi-tenant request stream plus the service-level knobs.
@@ -86,6 +113,10 @@ pub struct ServiceWorkload {
     pub admission: AdmissionConfig,
     /// Per-tenant quotas on charged neighbor calls.
     pub quotas: QuotaPolicy,
+    /// Scheduling policy for deadline-aware runs
+    /// ([`ShardedService::run_scheduled`]); `None` until
+    /// [`ServiceWorkloadBuilder::schedule`] stamps one.
+    pub scheduling: Option<SchedulePolicy>,
 }
 
 impl ServiceWorkload {
@@ -129,14 +160,17 @@ impl ServiceWorkload {
                 TenantId((unit_hash(pick_seed, id) * tenants as f64) as u64)
             };
             requests.push(ServiceRequest {
-                id,
                 tenant,
                 graph: graphs[id as usize % graphs.len()],
-                algorithm: pool.pop_front().expect("roster is non-empty"),
-                target,
-                budget,
-                hard_budget: Some(hard_budget),
-                seed: replication_seed(seed, stream::REQUEST_RNG + (id << 8)),
+                query: QuerySpec {
+                    id,
+                    algorithm: pool.pop_front().expect("roster is non-empty"),
+                    target,
+                    budget,
+                    hard_budget: Some(hard_budget),
+                    seed: replication_seed(seed, stream::REQUEST_RNG + (id << 8)),
+                    schedule: Schedule::default(),
+                },
             });
         }
         ServiceWorkload {
@@ -147,10 +181,17 @@ impl ServiceWorkload {
             retry: RetryPolicy::default(),
             admission: AdmissionConfig::default(),
             quotas: QuotaPolicy::unmetered(),
+            scheduling: None,
         }
     }
 
     /// Replaces the fault model (builder style).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ServiceWorkloadBuilder::faults` \
+                (`workload.builder().faults(..).build()`); the ad-hoc \
+                `with_*` methods are superseded by the shared builder"
+    )]
     pub fn with_faults(mut self, faults: FaultConfig, retry: RetryPolicy) -> ServiceWorkload {
         self.faults = faults;
         self.retry = retry;
@@ -158,15 +199,33 @@ impl ServiceWorkload {
     }
 
     /// Replaces the admission tuning (builder style).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ServiceWorkloadBuilder::admission` \
+                (`workload.builder().admission(..).build()`)"
+    )]
     pub fn with_admission(mut self, admission: AdmissionConfig) -> ServiceWorkload {
         self.admission = admission;
         self
     }
 
     /// Replaces the quota policy (builder style).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ServiceWorkloadBuilder::quotas` \
+                (`workload.builder().quotas(..).build()`)"
+    )]
     pub fn with_quotas(mut self, quotas: QuotaPolicy) -> ServiceWorkload {
         self.quotas = quotas;
         self
+    }
+
+    /// Wraps this workload in a [`ServiceWorkloadBuilder`] to override the
+    /// service-level knobs builder-style. Mirrors
+    /// [`labelcount_core::WorkloadBuilder`]: every knob starts at the
+    /// constructor's checked default; each setter replaces exactly one.
+    pub fn builder(self) -> ServiceWorkloadBuilder {
+        ServiceWorkloadBuilder { inner: self }
     }
 
     /// The seeded arrival order: request indices shuffled under the
@@ -177,6 +236,63 @@ impl ServiceWorkload {
         let mut rng = StdRng::seed_from_u64(replication_seed(self.seed, stream::ARRIVAL));
         order.shuffle(&mut rng);
         order
+    }
+
+    /// The virtual-time arrival order for scheduled runs: request indices
+    /// sorted by `(arrival_tick, id)`. With unstamped schedules (all
+    /// arrivals at tick 0) this degenerates to id order.
+    pub fn scheduled_arrival_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.requests.len()).collect();
+        order.sort_by_key(|&i| {
+            let q = &self.requests[i].query;
+            (q.schedule.arrival_tick, q.id)
+        });
+        order
+    }
+}
+
+/// Builder over a fully-formed [`ServiceWorkload`] — the serving-layer
+/// sibling of [`labelcount_core::WorkloadBuilder`]. Every knob starts at
+/// the compile-time-checked default the constructor produced; each setter
+/// replaces exactly one. Supersedes the deprecated `with_*` methods.
+#[must_use = "builders do nothing until `.build()` is called"]
+pub struct ServiceWorkloadBuilder {
+    inner: ServiceWorkload,
+}
+
+impl ServiceWorkloadBuilder {
+    /// Replaces the fault model and retry policy.
+    pub fn faults(mut self, faults: FaultConfig, retry: RetryPolicy) -> ServiceWorkloadBuilder {
+        self.inner.faults = faults;
+        self.inner.retry = retry;
+        self
+    }
+
+    /// Replaces the admission tuning.
+    pub fn admission(mut self, admission: AdmissionConfig) -> ServiceWorkloadBuilder {
+        self.inner.admission = admission;
+        self
+    }
+
+    /// Replaces the quota policy.
+    pub fn quotas(mut self, quotas: QuotaPolicy) -> ServiceWorkloadBuilder {
+        self.inner.quotas = quotas;
+        self
+    }
+
+    /// Stamps a deadline-aware schedule onto every request (seeded
+    /// interarrival gaps, priorities, and deadlines — see
+    /// [`SchedulePolicy::stamp`]) and stores the policy for
+    /// [`ShardedService::run_scheduled`].
+    pub fn schedule(mut self, policy: SchedulePolicy) -> ServiceWorkloadBuilder {
+        policy.stamp(&mut self.inner);
+        self.inner.scheduling = Some(policy);
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> ServiceWorkload {
+        self.inner
     }
 }
 
@@ -199,6 +315,24 @@ pub enum ServiceStatus {
     QuotaExhausted {
         /// Anytime answer from the graph's deterministic summary.
         anytime: Option<f64>,
+    },
+    /// Admitted to a scheduled run but cancelled when its deadline passed
+    /// on the virtual clock; the service converts the cancellation into an
+    /// **anytime answer** — the running estimate (± confidence) from the
+    /// replicates that did finish, falling back to the graph's live
+    /// partial estimate when none did.
+    DeadlineAnytime {
+        /// Replicate slices that ran to an outcome before cancellation.
+        completed_replicates: u64,
+        /// The anytime answer: mean over this query's completed replicate
+        /// estimates, else the graph's partial estimate at cancellation
+        /// time, else `None`.
+        anytime: Option<f64>,
+        /// Halfwidth of the 95% confidence interval around `anytime` when
+        /// it came from this query's own replicates (0 otherwise).
+        ci_halfwidth: f64,
+        /// Virtual tick the deadline fired at.
+        cancelled_at_tick: u64,
     },
     /// The request named a graph the service does not serve.
     UnknownGraph,
@@ -252,6 +386,9 @@ pub struct ServiceReport {
     pub summary: RunningStats,
     /// Admission and fairness counters.
     pub serving: ServingCounters,
+    /// Deadline-scheduler counters; `Some` only for
+    /// [`ShardedService::run_scheduled`] runs.
+    pub scheduling: Option<SchedulingCounters>,
 }
 
 impl ServiceReport {
@@ -285,7 +422,7 @@ impl ServiceReport {
 /// completion order and are therefore interleaving-dependent; the
 /// [`ServiceReport`] is the deterministic record.
 pub struct ServiceProgress {
-    slots: Vec<(GraphKey, WorkloadProgress)>,
+    pub(crate) slots: Vec<(GraphKey, WorkloadProgress)>,
 }
 
 impl ServiceProgress {
@@ -324,12 +461,12 @@ impl ServiceProgress {
 /// A long-lived multi-graph service: consistent-hash routing to
 /// shared-nothing per-shard engines, with deterministic admission.
 pub struct ShardedService<'g> {
-    router: ShardRouter,
+    pub(crate) router: ShardRouter,
     seed: u64,
     /// `(key, owning shard, engine)`, in registration order. The engine —
     /// and its shared L2 cache — belongs to the owning shard; run-time
     /// execution never touches another shard's entries.
-    graphs: Vec<(GraphKey, usize, Engine<'g>)>,
+    pub(crate) graphs: Vec<(GraphKey, usize, Engine<'g>)>,
 }
 
 impl<'g> ShardedService<'g> {
@@ -390,7 +527,7 @@ impl<'g> ShardedService<'g> {
             .map(|(_, _, e)| e)
     }
 
-    fn graph_index(&self, key: GraphKey) -> Option<usize> {
+    pub(crate) fn graph_index(&self, key: GraphKey) -> Option<usize> {
         self.graphs.iter().position(|(k, _, _)| *k == key)
     }
 
@@ -421,7 +558,10 @@ impl<'g> ShardedService<'g> {
         );
         let n = workload.requests.len();
         for w in workload.requests.windows(2) {
-            assert!(w[0].id < w[1].id, "request ids must be strictly increasing");
+            assert!(
+                w[0].id() < w[1].id(),
+                "request ids must be strictly increasing"
+            );
         }
 
         // Phase 1 — admission, serially in the seeded arrival order,
@@ -444,7 +584,7 @@ impl<'g> ShardedService<'g> {
             decisions[ri] = Some(match self.graph_index(req.graph) {
                 Some(gi) => Decided::Known(
                     gi,
-                    admission.decide(req.id, req.tenant, gi, req.hard_budget),
+                    admission.decide(req.id(), req.tenant, gi, req.query.hard_budget),
                 ),
                 None => Decided::Unknown,
             });
@@ -476,20 +616,22 @@ impl<'g> ShardedService<'g> {
         for (ri, req) in requests.into_iter().enumerate() {
             let decided = decisions[ri].take().expect("every request was decided");
             let shard = self.shard_of(req.graph);
+            let id = req.id();
+            let ServiceRequest {
+                tenant,
+                graph,
+                query,
+            } = req;
             if let Decided::Known(gi, AdmissionDecision::Admitted { effective_budget }) = decided {
                 graph_queries[gi].push(QuerySpec {
-                    id: req.id,
-                    algorithm: req.algorithm,
-                    target: req.target,
-                    budget: req.budget,
                     hard_budget: effective_budget,
-                    seed: req.seed,
+                    ..query
                 });
             }
             pending.push(Pending {
-                id: req.id,
-                tenant: req.tenant,
-                graph: req.graph,
+                id,
+                tenant,
+                graph,
                 shard,
                 decided,
             });
@@ -620,6 +762,7 @@ impl<'g> ShardedService<'g> {
                 quota_exhausted,
                 tenant_fairness,
             },
+            scheduling: None,
         }
     }
 }
@@ -728,11 +871,14 @@ mod tests {
             svc.register(k, &g);
         }
         let wl = ServiceWorkload::mixed_multi_tenant(24, &gks, 2, 0.5, target(), 50, 17, cfg())
-            .with_admission(AdmissionConfig {
+            .builder()
+            .admission(AdmissionConfig {
                 queue_capacity: 3,
                 drain_every: 3,
                 shed_start: 0.4,
-            });
+                ..AdmissionConfig::default()
+            })
+            .build();
         let report = svc.run(wl, 2);
         assert!(report.serving.shed > 0, "tight queue never shed");
         assert!(report.serving.admitted > 0, "tight queue admitted nothing");
@@ -756,7 +902,9 @@ mod tests {
         // Tenant 0 hogs most requests; a tight uniform quota exhausts it
         // while lighter tenants keep being admitted.
         let wl = ServiceWorkload::mixed_multi_tenant(20, &gks, 4, 0.7, target(), 50, 19, cfg())
-            .with_quotas(QuotaPolicy::uniform(900));
+            .builder()
+            .quotas(QuotaPolicy::uniform(900))
+            .build();
         let report = svc.run(wl, 1);
         assert!(report.serving.quota_exhausted > 0, "quota never exhausted");
         assert!(report.serving.admitted > 0);
@@ -798,11 +946,14 @@ mod tests {
         let g = fixture(7);
         let build = || {
             ServiceWorkload::mixed_multi_tenant(10, &keys(2), 3, 0.4, target(), 45, 29, cfg())
-                .with_admission(AdmissionConfig {
+                .builder()
+                .admission(AdmissionConfig {
                     queue_capacity: 4,
                     drain_every: 2,
                     shed_start: 0.5,
+                    ..AdmissionConfig::default()
                 })
+                .build()
         };
         let mut svc = ShardedService::new(3, 8);
         for &k in &keys(2) {

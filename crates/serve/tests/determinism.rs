@@ -5,14 +5,14 @@
 //! decides identically across interleavings because it is a pure function
 //! of the seeded arrival sequence.
 
-use labelcount_core::RunConfig;
+use labelcount_core::{Priority, RunConfig};
 use labelcount_graph::gen::barabasi_albert;
 use labelcount_graph::labels::{assign_binary_labels, with_labels};
 use labelcount_graph::{LabeledGraph, TargetLabel};
 use labelcount_osn::{FaultConfig, RetryPolicy};
 use labelcount_serve::{
-    AdmissionConfig, GraphKey, QuotaPolicy, ServiceReport, ServiceStatus, ServiceWorkload,
-    ShardRouter, ShardedService,
+    AdmissionConfig, GraphKey, QuotaPolicy, SchedulePolicy, ServiceReport, ServiceStatus,
+    ServiceWorkload, ShardRouter, ShardedService,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -46,13 +46,33 @@ fn graph_keys(n: u64) -> Vec<GraphKey> {
 /// exercised.
 fn contested(seed: u64, n: usize, graphs: &[GraphKey]) -> ServiceWorkload {
     ServiceWorkload::mixed_multi_tenant(n, graphs, 3, 0.5, target(), 40, seed, cfg())
-        .with_faults(FaultConfig::hostile(seed, 0.2), RetryPolicy::default())
-        .with_admission(AdmissionConfig {
+        .builder()
+        .faults(FaultConfig::hostile(seed, 0.2), RetryPolicy::default())
+        .admission(AdmissionConfig {
             queue_capacity: 4,
             drain_every: 3,
             shed_start: 0.4,
+            ..AdmissionConfig::default()
         })
-        .with_quotas(QuotaPolicy::uniform(2_000))
+        .quotas(QuotaPolicy::uniform(2_000))
+        .build()
+}
+
+/// A deadline-scheduled workload over a latency-only fault model (ticks
+/// flow, estimates never error), stamped by `policy`.
+fn scheduled(seed: u64, n: usize, graphs: &[GraphKey], policy: SchedulePolicy) -> ServiceWorkload {
+    ServiceWorkload::mixed_multi_tenant(n, graphs, 3, 0.5, target(), 40, seed, cfg())
+        .builder()
+        .faults(
+            FaultConfig {
+                base_latency_ticks: 1,
+                latency_jitter_ticks: 3,
+                ..FaultConfig::clean(seed)
+            },
+            RetryPolicy::default(),
+        )
+        .schedule(policy)
+        .build()
 }
 
 /// Asserts two service reports are bit-identical, except for the
@@ -115,6 +135,35 @@ fn assert_reports_identical(a: &ServiceReport, b: &ServiceReport, ctx: &str) {
                     x.id
                 );
             }
+            (
+                ServiceStatus::DeadlineAnytime {
+                    completed_replicates: rp,
+                    anytime: ap,
+                    ci_halfwidth: cp,
+                    cancelled_at_tick: tp,
+                },
+                ServiceStatus::DeadlineAnytime {
+                    completed_replicates: rq,
+                    anytime: aq,
+                    ci_halfwidth: cq,
+                    cancelled_at_tick: tq,
+                },
+            ) => {
+                assert_eq!(rp, rq, "{ctx}: request {} replicates", x.id);
+                assert_eq!(
+                    ap.map(f64::to_bits),
+                    aq.map(f64::to_bits),
+                    "{ctx}: request {} anytime bits",
+                    x.id
+                );
+                assert_eq!(
+                    cp.to_bits(),
+                    cq.to_bits(),
+                    "{ctx}: request {} ci bits",
+                    x.id
+                );
+                assert_eq!(tp, tq, "{ctx}: request {} cancellation tick", x.id);
+            }
             (ServiceStatus::UnknownGraph, ServiceStatus::UnknownGraph) => {}
             (p, q) => panic!("{ctx}: request {} status diverged: {p:?} vs {q:?}", x.id),
         }
@@ -137,6 +186,23 @@ fn assert_reports_identical(a: &ServiceReport, b: &ServiceReport, ctx: &str) {
         b.serving.tenant_fairness.to_bits(),
         "{ctx}: fairness"
     );
+    match (&a.scheduling, &b.scheduling) {
+        (None, None) => {}
+        (Some(p), Some(q)) => {
+            assert_eq!(p.deadline_hits, q.deadline_hits, "{ctx}: deadline hits");
+            assert_eq!(p.cancellations, q.cancellations, "{ctx}: cancellations");
+            assert_eq!(
+                p.mean_slack_ticks.to_bits(),
+                q.mean_slack_ticks.to_bits(),
+                "{ctx}: slack bits"
+            );
+            assert_eq!(
+                p.priority_inversions, q.priority_inversions,
+                "{ctx}: inversions"
+            );
+        }
+        (p, q) => panic!("{ctx}: scheduling counters diverged: {p:?} vs {q:?}"),
+    }
 }
 
 #[test]
@@ -180,7 +246,9 @@ fn quota_exhaustion_sheds_identically_across_interleavings() {
     let gks = graph_keys(2);
     let build = || {
         ServiceWorkload::mixed_multi_tenant(24, &gks, 4, 0.7, target(), 50, 41, cfg())
-            .with_quotas(QuotaPolicy::uniform(1_200))
+            .builder()
+            .quotas(QuotaPolicy::uniform(1_200))
+            .build()
     };
     let rejected = |shards: usize, workers: usize| -> Vec<u64> {
         let mut svc = ShardedService::new(shards, 9);
@@ -265,6 +333,226 @@ fn anytime_answers_equal_the_graph_summary_mean() {
     }
 }
 
+#[test]
+fn scheduled_report_is_bit_identical_across_shard_and_worker_counts() {
+    let g0 = fixture(11);
+    let g1 = fixture(12);
+    let g2 = fixture(13);
+    let graphs = [&g0, &g1, &g2];
+    let gks = graph_keys(3);
+    let policy = SchedulePolicy::default()
+        .with_interarrival(8)
+        .with_deadline(400)
+        .with_priorities(0.25, 0.25);
+
+    let run = |shards: usize, workers: usize| -> ServiceReport {
+        let mut svc = ShardedService::new(shards, 77);
+        for (i, &k) in gks.iter().enumerate() {
+            svc.register(k, graphs[i]);
+        }
+        svc.run_scheduled(scheduled(31, 24, &gks, policy.clone()), workers)
+    };
+
+    let baseline = run(1, 1);
+    let sched = baseline
+        .scheduling
+        .expect("scheduled runs report scheduling counters");
+    assert!(sched.cancellations > 0, "no deadline ever fired");
+    let completed = baseline
+        .outcomes
+        .iter()
+        .filter(|o| matches!(o.status, ServiceStatus::Completed(_)))
+        .count();
+    assert!(completed > 0, "every query was cancelled");
+    for shards in [1usize, 2, 8] {
+        for workers in [1usize, 8] {
+            let r = run(shards, workers);
+            assert_eq!(r.serving.shards, shards as u64);
+            assert_reports_identical(
+                &baseline,
+                &r,
+                &format!("scheduled shards={shards} workers={workers}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn deadline_zero_cancels_at_arrival_into_an_immediate_anytime_answer() {
+    let g = fixture(14);
+    let gks = graph_keys(1);
+    let mut svc = ShardedService::new(1, 5);
+    svc.register(gks[0], &g);
+    let policy = SchedulePolicy::default()
+        .with_interarrival(4)
+        .with_deadline(0);
+    let report = svc.run_scheduled(scheduled(61, 6, &gks, policy.clone()), 2);
+    let sched = report.scheduling.unwrap();
+    assert_eq!(sched.cancellations, report.serving.admitted);
+    assert_eq!(sched.deadline_hits, 0);
+    assert_eq!(report.serving.admitted, 6);
+    // The stamped arrival ticks are reproducible: rebuild the workload to
+    // know where each request's zero-width deadline sat.
+    let arrivals: Vec<u64> = scheduled(61, 6, &gks, policy)
+        .requests
+        .iter()
+        .map(|r| r.query.schedule.arrival_tick)
+        .collect();
+    for o in &report.outcomes {
+        match &o.status {
+            ServiceStatus::DeadlineAnytime {
+                completed_replicates,
+                anytime,
+                ci_halfwidth,
+                cancelled_at_tick,
+            } => {
+                assert_eq!(*completed_replicates, 0, "request {} ran a slice", o.id);
+                assert!(anytime.is_none(), "request {} conjured an estimate", o.id);
+                assert_eq!(*ci_halfwidth, 0.0);
+                assert_eq!(*cancelled_at_tick, arrivals[o.id as usize]);
+            }
+            other => panic!("request {} not cancelled: {other:?}", o.id),
+        }
+    }
+}
+
+#[test]
+fn deadline_on_the_final_replicate_boundary_completes_with_zero_slack() {
+    let g = fixture(15);
+    let gks = graph_keys(1);
+    let mut svc = ShardedService::new(1, 7);
+    svc.register(gks[0], &g);
+    // First run unconstrained to learn the query's exact total tick bill...
+    let free = svc.run_scheduled(scheduled(67, 1, &gks, SchedulePolicy::default()), 1);
+    let total = match &free.outcomes[0].status {
+        ServiceStatus::Completed(q) => {
+            assert!(q.estimate.is_ok());
+            q.latency_ticks
+        }
+        other => panic!("unconstrained run did not complete: {other:?}"),
+    };
+    assert!(total > 0, "latency model billed nothing");
+    // ...then set the deadline to exactly that bill: the final replicate
+    // finishes exactly as the clock reaches the deadline — a hit with zero
+    // slack, not a cancellation.
+    let exact = svc.run_scheduled(
+        scheduled(67, 1, &gks, SchedulePolicy::default().with_deadline(total)),
+        1,
+    );
+    match &exact.outcomes[0].status {
+        ServiceStatus::Completed(q) => assert_eq!(q.latency_ticks, total),
+        other => panic!("exact-boundary deadline did not complete: {other:?}"),
+    }
+    let sched = exact.scheduling.unwrap();
+    assert_eq!(sched.deadline_hits, 1);
+    assert_eq!(sched.cancellations, 0);
+    assert_eq!(sched.mean_slack_ticks, 0.0);
+}
+
+#[test]
+fn all_cancelled_reports_are_bit_identical_across_worker_counts() {
+    let g0 = fixture(16);
+    let g1 = fixture(17);
+    let gks = graph_keys(2);
+    let run = |workers: usize| -> ServiceReport {
+        let mut svc = ShardedService::new(2, 9);
+        svc.register(gks[0], &g0);
+        svc.register(gks[1], &g1);
+        svc.run_scheduled(
+            scheduled(71, 12, &gks, SchedulePolicy::default().with_deadline(1)),
+            workers,
+        )
+    };
+    let baseline = run(1);
+    let sched = baseline.scheduling.unwrap();
+    assert!(baseline.serving.admitted > 0);
+    assert_eq!(
+        sched.cancellations, baseline.serving.admitted,
+        "a 1-tick deadline must cancel everything admitted"
+    );
+    assert!(baseline
+        .outcomes
+        .iter()
+        .all(|o| !matches!(o.status, ServiceStatus::Completed(_))));
+    assert_reports_identical(&baseline, &run(8), "all-cancelled workers=8");
+}
+
+/// Priorities are not decorative: at every slice boundary the loop picks
+/// the best (priority, arrival, id) task, so hand-stamping one starved
+/// task High must let it jump the FIFO queue — running strictly more
+/// replicates before its deadline — and must charge a priority inversion
+/// for arriving while a lower-priority slice held the loop.
+#[test]
+fn high_priority_jumps_the_fifo_queue() {
+    let g = fixture(23);
+    let gks = graph_keys(1);
+    let mut svc = ShardedService::new(1, 5);
+    svc.register(gks[0], &g);
+
+    // Calibrate a deadline every task could meet in isolation: queueing,
+    // not its own bill, is what starves the tail.
+    let free = svc.run_scheduled(
+        scheduled(91, 8, &gks, SchedulePolicy::default().with_interarrival(4)),
+        1,
+    );
+    let max_bill = free
+        .completed()
+        .map(|(_, q)| q.latency_ticks)
+        .max()
+        .expect("latency-only faults complete everything");
+    let policy = SchedulePolicy::default()
+        .with_interarrival(4)
+        .with_deadline(max_bill + 1);
+
+    let reps_of = |report: &ServiceReport, id: u64| -> Option<u64> {
+        report
+            .outcomes
+            .iter()
+            .find(|o| o.id == id)
+            .map(|o| match &o.status {
+                ServiceStatus::Completed(_) => u64::MAX, // finished every replicate
+                ServiceStatus::DeadlineAnytime {
+                    completed_replicates,
+                    ..
+                } => *completed_replicates,
+                other => panic!("unexpected status under a latency-only schedule: {other:?}"),
+            })
+    };
+
+    let baseline = svc.run_scheduled(scheduled(91, 8, &gks, policy.clone()), 1);
+    // The victim: the earliest-arriving cancelled task (ids are stamped
+    // in arrival order). All-Normal FIFO starved it.
+    let victim = baseline
+        .outcomes
+        .iter()
+        .filter(|o| matches!(o.status, ServiceStatus::DeadlineAnytime { .. }))
+        .map(|o| o.id)
+        .min()
+        .expect("a deadline of max bill + 1 must starve the queued tail");
+    let victim_reps = reps_of(&baseline, victim).unwrap();
+
+    let mut boosted_wl = scheduled(91, 8, &gks, policy);
+    for r in &mut boosted_wl.requests {
+        if r.query.id == victim {
+            r.query.schedule.priority = Priority::High;
+        }
+    }
+    let boosted = svc.run_scheduled(boosted_wl, 1);
+    assert!(
+        reps_of(&boosted, victim).unwrap() > victim_reps,
+        "a High stamp must buy the starved task strictly more replicates"
+    );
+    assert!(
+        boosted.scheduling.unwrap().priority_inversions > 0,
+        "the High arrival landed mid-slice and must charge an inversion"
+    );
+    assert_eq!(
+        baseline.scheduling.unwrap().priority_inversions,
+        0,
+        "an all-Normal stream has no inversions to charge"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -310,5 +598,31 @@ proptest! {
         prop_assert_eq!(a.serving.admitted, b.serving.admitted);
         prop_assert_eq!(a.serving.shed, b.serving.shed);
         prop_assert_eq!(a.serving.quota_exhausted, b.serving.quota_exhausted);
+    }
+
+    #[test]
+    fn scheduled_runs_are_reproducible_for_any_seed(
+        seed in any::<u64>(),
+        shards in 1usize..6,
+        workers in 1usize..5,
+    ) {
+        let g = fixture(9);
+        let gks = graph_keys(2);
+        let policy = SchedulePolicy::default()
+            .with_interarrival(6)
+            .with_deadline(80)
+            .with_priorities(0.3, 0.3);
+        let run = || {
+            let mut svc = ShardedService::new(shards, seed);
+            for &k in &gks {
+                svc.register(k, &g);
+            }
+            svc.run_scheduled(scheduled(seed, 8, &gks, policy.clone()), workers)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.summary.mean().to_bits(), b.summary.mean().to_bits());
+        prop_assert_eq!(a.serving.admitted, b.serving.admitted);
+        prop_assert_eq!(a.scheduling, b.scheduling);
     }
 }

@@ -256,7 +256,9 @@ fn workload_over_adversarial_osn_is_bit_identical_across_worker_counts() {
         ..RunConfig::default()
     };
     let workload = Workload::mixed(10, target, d.graph.num_nodes() / 20, 0xADA9, cfg)
-        .with_faults(FaultConfig::hostile(0xFA17, 0.3), RetryPolicy::default());
+        .builder()
+        .faults(FaultConfig::hostile(0xFA17, 0.3), RetryPolicy::default())
+        .build();
     let engine = Engine::new(&d.graph);
 
     let reference = engine.run_workload(&workload, 1);
