@@ -15,8 +15,10 @@
 //! the cache only changes *where* bytes come from, never *which* bytes a
 //! query sees.
 
+use std::marker::PhantomData;
+
 use labelcount_graph::{LabeledGraph, TargetLabel};
-use labelcount_osn::{CacheConfig, CachedOsn, CallStats, GraphOsn, OsnSession};
+use labelcount_osn::{CacheConfig, CachedOsn, CallStats, GraphOsn, OsnBackend, OsnSession};
 use labelcount_stats::replicate;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -108,35 +110,63 @@ impl StepBudget {
 /// assert_eq!(est.len(), 8);
 /// assert!(engine.stats().misses() <= engine.stats().logical_calls());
 /// ```
-pub struct Engine<'g> {
-    cache: CachedOsn<GraphOsn<'g>>,
+/// The backend defaults to the in-RAM [`GraphOsn`] view — `Engine<'g>`
+/// reads exactly as before — but any `Sync` [`OsnBackend`] slots in via
+/// [`Engine::on_backend`]: the out-of-core `labelcount_osn::PagedGraphOsn`
+/// runs the same query stack with residency bounded by its buffer pool.
+pub struct Engine<'g, B: OsnBackend + Sync = GraphOsn<'g>> {
+    cache: CachedOsn<B>,
+    /// The default backend borrows the graph for `'g`; non-default
+    /// backends own their storage and leave the lifetime vestigial.
+    _graph: PhantomData<&'g ()>,
 }
 
 impl<'g> Engine<'g> {
     /// Builds an engine with an unbounded cache — every distinct neighbor
     /// list and label set is fetched from the graph exactly once.
     pub fn new(graph: &'g LabeledGraph) -> Self {
-        Engine {
-            cache: CachedOsn::new(GraphOsn::new(graph)),
-        }
+        Engine::on_backend(GraphOsn::new(graph))
     }
 
     /// Builds an engine with explicit cache sizing (bounded deployments
     /// trade hit rate for memory).
     pub fn with_cache_config(graph: &'g LabeledGraph, cfg: CacheConfig) -> Self {
-        Engine {
-            cache: CachedOsn::with_config(GraphOsn::new(graph), cfg),
-        }
+        Engine::on_backend_with_config(GraphOsn::new(graph), cfg)
     }
 
     /// The graph being served.
     pub fn graph(&self) -> &'g LabeledGraph {
         self.cache.backend().ground_truth_graph()
     }
+}
+
+impl<'g, B: OsnBackend + Sync> Engine<'g, B> {
+    /// Builds an engine over an arbitrary backend with an unbounded cache.
+    pub fn on_backend(backend: B) -> Self {
+        Engine {
+            cache: CachedOsn::new(backend),
+            _graph: PhantomData,
+        }
+    }
+
+    /// Builds an engine over an arbitrary backend with explicit cache
+    /// sizing. An out-of-core backend typically pairs with a *bounded*
+    /// cache, so total residency (pool frames + L2 entries) stays capped.
+    pub fn on_backend_with_config(backend: B, cfg: CacheConfig) -> Self {
+        Engine {
+            cache: CachedOsn::with_config(backend, cfg),
+            _graph: PhantomData,
+        }
+    }
+
+    /// The backend under the shared cache.
+    pub fn backend(&self) -> &B {
+        self.cache.backend()
+    }
 
     /// Opens a raw query session against the shared cache (for callers
     /// that drive an [`Algorithm`] — or a walk — manually).
-    pub fn session(&self) -> OsnSession<'_, GraphOsn<'g>> {
+    pub fn session(&self) -> OsnSession<'_, B> {
         self.cache.session()
     }
 
@@ -226,7 +256,7 @@ impl<'g> Engine<'g> {
         workload: &crate::Workload,
         workers: usize,
     ) -> crate::WorkloadReport {
-        crate::workload::run_workload(self.graph(), workload, workers)
+        crate::workload::run_workload_on(self.backend(), workload, workers)
     }
 
     /// [`Engine::run_workload`] with a caller-owned progress tracker for
@@ -237,7 +267,7 @@ impl<'g> Engine<'g> {
         workers: usize,
         progress: &crate::WorkloadProgress,
     ) -> crate::WorkloadReport {
-        crate::workload::run_workload_observed(self.graph(), workload, workers, progress)
+        crate::workload::run_workload_observed_on(self.backend(), workload, workers, progress)
     }
 
     /// Shared-cache call accounting aggregated over every query served so

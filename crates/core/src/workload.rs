@@ -37,7 +37,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 use labelcount_graph::{LabeledGraph, TargetLabel};
-use labelcount_osn::{AdversarialOsn, CachedOsn, FaultConfig, GraphOsn, OsnApi, RetryPolicy};
+use labelcount_osn::{
+    AdversarialOsn, CachedOsn, FaultConfig, GraphOsn, OsnApi, OsnBackend, RetryPolicy,
+};
 use labelcount_stats::{replication_seed, RunningStats};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -118,18 +120,6 @@ impl Workload {
             faults: FaultConfig::clean(seed),
             retry: RetryPolicy::default(),
         }
-    }
-
-    /// Replaces the fault model (builder style).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `WorkloadBuilder::faults` (`Workload::builder().faults(..).build()`); \
-                the ad-hoc `with_*` methods are superseded by the shared builder"
-    )]
-    pub fn with_faults(mut self, faults: FaultConfig, retry: RetryPolicy) -> Workload {
-        self.faults = faults;
-        self.retry = retry;
-        self
     }
 
     /// Wraps this workload in a [`WorkloadBuilder`] to override the
@@ -382,7 +372,31 @@ pub fn run_workload_observed(
     workers: usize,
     progress: &WorkloadProgress,
 ) -> WorkloadReport {
-    let shared = GraphOsn::new(graph);
+    run_workload_observed_on(&GraphOsn::new(graph), workload, workers, progress)
+}
+
+/// Runs `workload` over any shared [`OsnBackend`] — the in-RAM
+/// [`GraphOsn`] or the out-of-core `labelcount_osn::PagedGraphOsn` — on up
+/// to `workers` threads.
+///
+/// Per-query access stacks (`CachedOsn<AdversarialOsn<&B>>`) are built over
+/// `backend` exactly as [`run_workload`] builds them over its `GraphOsn`,
+/// so a backend that serves identical bytes yields a bit-identical report.
+pub fn run_workload_on<B: OsnBackend + Sync>(
+    backend: &B,
+    workload: &Workload,
+    workers: usize,
+) -> WorkloadReport {
+    run_workload_observed_on(backend, workload, workers, &WorkloadProgress::new())
+}
+
+/// [`run_workload_on`] with a caller-owned [`WorkloadProgress`].
+pub fn run_workload_observed_on<B: OsnBackend + Sync>(
+    shared: &B,
+    workload: &Workload,
+    workers: usize,
+    progress: &WorkloadProgress,
+) -> WorkloadReport {
     let order = workload.arrival_order();
     let n = order.len();
     let workers = workers.max(1).min(n.max(1));
@@ -393,7 +407,7 @@ pub fn run_workload_observed(
             seed: replication_seed(replication_seed(workload.seed, stream::QUERY_FAULT), q.id),
             ..workload.faults
         };
-        let backend = AdversarialOsn::new(&shared, fault_cfg, workload.retry);
+        let backend = AdversarialOsn::new(shared, fault_cfg, workload.retry);
         let cache = CachedOsn::new(backend);
         let session = cache.session();
         if let Some(b) = q.hard_budget {
@@ -494,19 +508,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_with_faults_matches_the_builder() {
-        // The deprecated method must keep working (and agree with the
-        // builder) until it is removed.
-        let old = Workload::mixed(4, target(), 50, 9, cfg())
-            .with_faults(FaultConfig::hostile(9, 0.3), RetryPolicy::default());
-        let new = Workload::mixed(4, target(), 50, 9, cfg())
+    fn builder_replaces_the_fault_knobs() {
+        // The builder is the only fault-configuration path now that the
+        // deprecated `with_faults` has completed its one-release grace
+        // period and is gone.
+        let w = Workload::mixed(4, target(), 50, 9, cfg())
             .builder()
             .faults(FaultConfig::hostile(9, 0.3), RetryPolicy::default())
             .build();
-        assert_eq!(old.faults.transient_rate, new.faults.transient_rate);
-        assert_eq!(old.faults.seed, new.faults.seed);
-        assert_eq!(old.retry.max_attempts, new.retry.max_attempts);
+        assert_eq!(w.faults.seed, 9);
+        assert!(w.faults.transient_rate > 0.0);
+        assert_eq!(w.retry.max_attempts, RetryPolicy::default().max_attempts);
     }
 
     #[test]

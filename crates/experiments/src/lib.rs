@@ -21,6 +21,9 @@
 //! * the [`serving`] module sweeps tenant skew × shard count through the
 //!   sharded multi-graph service and reports the admission split,
 //!   fairness, and shard invariance;
+//! * the [`eviction`] module sweeps replacement policy × frame budget
+//!   through the out-of-core paged-CSR backend's buffer pool and reports
+//!   paging counters plus bit-identity against the in-RAM reference;
 //! * the [`deadlines`] module sweeps deadline tightness × priority mix
 //!   through the virtual-time scheduler and scores the anytime answers of
 //!   cancelled queries against ground truth;
@@ -31,6 +34,7 @@
 pub mod ablations;
 pub mod datasets;
 pub mod deadlines;
+pub mod eviction;
 pub mod report;
 pub mod resilience;
 pub mod runner;

@@ -67,6 +67,7 @@ impl Harness {
             "resilience",
             "serving",
             "deadlines",
+            "eviction",
         ] {
             ids.push(a.to_string());
         }
@@ -139,6 +140,10 @@ impl Harness {
                 &self.sweep,
             )),
             "deadlines" => Ok(crate::deadlines::deadlines_report(
+                &self.dataset(DatasetKind::FacebookLike),
+                &self.sweep,
+            )),
+            "eviction" => Ok(crate::eviction::eviction_report(
                 &self.dataset(DatasetKind::FacebookLike),
                 &self.sweep,
             )),
@@ -288,6 +293,12 @@ impl Harness {
         }
         if id.eq_ignore_ascii_case("deadlines") {
             return Some(crate::deadlines::deadlines_csv(
+                &self.dataset(DatasetKind::FacebookLike),
+                &self.sweep,
+            ));
+        }
+        if id.eq_ignore_ascii_case("eviction") {
+            return Some(crate::eviction::eviction_csv(
                 &self.dataset(DatasetKind::FacebookLike),
                 &self.sweep,
             ));
@@ -532,8 +543,8 @@ mod tests {
     fn experiment_ids_cover_all_paper_artifacts() {
         let ids = Harness::experiment_ids();
         // Tables 1–26, fig1–2, mixing, 4 ablations, bias decomposition,
-        // resilience sweep, serving sweep, deadline sweep.
-        assert_eq!(ids.len(), 26 + 2 + 1 + 5 + 1 + 1 + 1);
+        // resilience sweep, serving sweep, deadline sweep, eviction sweep.
+        assert_eq!(ids.len(), 26 + 2 + 1 + 5 + 1 + 1 + 1 + 1);
         assert!(ids.contains(&"table17".to_string()));
         assert!(ids.contains(&"fig2".to_string()));
         assert!(ids.contains(&"ablation-thinning".to_string()));
@@ -541,6 +552,7 @@ mod tests {
         assert!(ids.contains(&"resilience".to_string()));
         assert!(ids.contains(&"serving".to_string()));
         assert!(ids.contains(&"deadlines".to_string()));
+        assert!(ids.contains(&"eviction".to_string()));
     }
 
     #[test]

@@ -133,8 +133,18 @@ impl LabeledGraph {
     }
 
     /// Iterator over all node ids `0..num_nodes`.
+    ///
+    /// # Panics
+    /// Panics if the node count exceeds the `u32` id space — a bare
+    /// `num_nodes as u32` here would silently truncate the iteration on
+    /// ≥ 2^32-node graphs, visiting only `n mod 2^32` nodes.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.num_nodes() as u32).map(NodeId)
+        let n = self.num_nodes();
+        assert!(
+            n <= (u32::MAX as usize) + 1,
+            "node count {n} exceeds the u32 id space"
+        );
+        (0..n as u64).map(|i| NodeId(i as u32))
     }
 
     /// Iterator over each undirected edge exactly once, as `(u, v)` with
@@ -161,6 +171,9 @@ impl LabeledGraph {
     pub fn validate(&self) -> Result<(), String> {
         if self.offsets.is_empty() {
             return Err("offsets must have at least one entry".into());
+        }
+        if self.offsets.len() - 1 > (u32::MAX as usize) + 1 {
+            return Err("node count exceeds the u32 id space".into());
         }
         if *self.offsets.last().unwrap() != self.adjacency.len() {
             return Err("last offset must equal adjacency length".into());

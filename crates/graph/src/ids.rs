@@ -20,11 +20,19 @@ impl NodeId {
     /// Builds a node id from a `usize` index.
     ///
     /// # Panics
-    /// Panics if `i` does not fit in `u32`.
+    /// Panics if `i` does not fit in `u32`. The check is unconditional (not
+    /// `debug_assert!`): release builds on ≥ 2^32-node inputs must fail
+    /// loudly rather than silently wrap the id.
     #[inline]
     pub fn from_index(i: usize) -> Self {
-        debug_assert!(i <= u32::MAX as usize, "node index overflows u32");
-        NodeId(i as u32)
+        Self::try_from_index(i).unwrap_or_else(|| panic!("node index {i} overflows u32"))
+    }
+
+    /// Builds a node id from a `usize` index, returning `None` instead of
+    /// panicking when `i` does not fit in `u32`.
+    #[inline]
+    pub fn try_from_index(i: usize) -> Option<Self> {
+        u32::try_from(i).ok().map(NodeId)
     }
 }
 
@@ -78,6 +86,28 @@ mod tests {
         assert_eq!(n.index(), 42);
         assert_eq!(n, NodeId(42));
         assert_eq!(format!("{n}"), "v42");
+    }
+
+    #[test]
+    fn from_index_accepts_the_u32_boundary() {
+        let n = NodeId::from_index(u32::MAX as usize);
+        assert_eq!(n, NodeId(u32::MAX));
+        assert_eq!(
+            NodeId::try_from_index(u32::MAX as usize),
+            Some(NodeId(u32::MAX))
+        );
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn from_index_rejects_past_the_u32_boundary() {
+        assert_eq!(NodeId::try_from_index(1usize << 32), None);
+        assert_eq!(NodeId::try_from_index((u32::MAX as usize) + 1), None);
+        let caught = std::panic::catch_unwind(|| NodeId::from_index(1usize << 32));
+        assert!(
+            caught.is_err(),
+            "from_index must panic past u32::MAX even in release"
+        );
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //! * [`labels`] — label-assignment models (binary gender-like, Zipf
 //!   location-like with homophily, degree buckets).
 //! * [`io`] — plain-text edge-list / label-list readers and writers.
+//! * [`paged`] — out-of-core graphs: a fixed-size-page on-disk CSR format
+//!   ([`PagedCsrWriter`]) read back through a pinned-page [`BufferPool`]
+//!   with pluggable eviction ([`EvictionPolicy`]), so residency is bounded
+//!   by a frame budget instead of `|E|`.
 //! * [`motifs`] — exact counts of label-refined wedges and triangles, the
 //!   ground truth for the paper's future-work extension (§6).
 //!
@@ -43,6 +47,7 @@ pub mod ground_truth;
 pub mod io;
 pub mod labels;
 pub mod motifs;
+pub mod paged;
 pub mod stats;
 
 mod ids;
@@ -52,3 +57,6 @@ pub use builder::GraphBuilder;
 pub use csr::LabeledGraph;
 pub use ground_truth::{GroundTruth, TargetLabel};
 pub use ids::{LabelId, NodeId};
+pub use paged::{
+    BufferPool, EvictionPolicy, PagedCsrWriter, PagedError, PagedGraph, PagingStats, PoolConfig,
+};

@@ -1,0 +1,1072 @@
+//! Out-of-core graphs: a fixed-size-page on-disk CSR layout plus the
+//! pinned-page buffer pool that serves it.
+//!
+//! Every graph in the workspace so far lives fully in RAM. This module is
+//! the out-of-core escape hatch: [`PagedCsrWriter`] serializes any
+//! [`LabeledGraph`] into a page-aligned binary CSR file, and
+//! [`PagedGraph`] reads it back **page at a time** through a classic
+//! database-style [`BufferPool`] — pin, copy, unpin — so residency is
+//! bounded by the configured frame budget, not by `|E|`.
+//!
+//! # File layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! page 0            header: magic "LCPGCSR\0", version, page size,
+//!                   counts (nodes, adjacency entries, labels, label
+//!                   entries, max degree), and the first page of each
+//!                   section below
+//! pages 1..         neighbor offsets   (num_nodes + 1) × u64
+//! pages ..          adjacency          adjacency_len   × u32  (NodeId)
+//! pages ..          label offsets      (num_nodes + 1) × u64
+//! pages ..          label data         label_data_len  × u32  (LabelId)
+//! ```
+//!
+//! Each section starts on a page boundary and is zero-padded to one; an
+//! individual neighbor (or label) list may straddle any number of pages.
+//!
+//! # Determinism
+//!
+//! The pool only changes *where* bytes come from, never which bytes a
+//! reader sees: at any frame budget — even one forcing an eviction per
+//! fetch — [`PagedGraph::neighbors`] and [`PagedGraph::labels`] return
+//! exactly the in-RAM graph's lists. Under strictly serial access the
+//! paging counters ([`PagingStats`]) are a pure function of the request
+//! sequence and the pool configuration.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::{LabelId, LabeledGraph, NodeId};
+
+/// Versioned magic: the file type tag; the format version rides beside it.
+pub const PAGED_MAGIC: [u8; 8] = *b"LCPGCSR\0";
+
+/// Current on-disk format version.
+pub const PAGED_FORMAT_VERSION: u32 = 1;
+
+/// Default page size: 4 KiB, the common filesystem block size.
+pub const DEFAULT_PAGE_SIZE: u32 = 4096;
+
+/// Smallest allowed page size (the header needs [`HEADER_BYTES`] bytes).
+pub const MIN_PAGE_SIZE: u32 = 128;
+
+/// Bytes the header actually uses inside page 0.
+pub const HEADER_BYTES: usize = 96;
+
+/// Errors produced when opening or validating a paged CSR file.
+#[derive(Debug)]
+pub enum PagedError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a valid paged CSR (bad magic, version, or layout).
+    Format(String),
+}
+
+impl std::fmt::Display for PagedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PagedError::Io(e) => write!(f, "I/O error: {e}"),
+            PagedError::Format(msg) => write!(f, "invalid paged CSR: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PagedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PagedError::Io(e) => Some(e),
+            PagedError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for PagedError {
+    fn from(e: io::Error) -> Self {
+        PagedError::Io(e)
+    }
+}
+
+/// Summary of a file [`PagedCsrWriter::write`] produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PagedFileMeta {
+    /// Page size the file was written with.
+    pub page_size: u32,
+    /// Total pages, header included.
+    pub total_pages: u64,
+    /// Total file size in bytes (`total_pages × page_size`).
+    pub file_bytes: u64,
+}
+
+/// Writes a [`LabeledGraph`] into the paged on-disk CSR layout.
+///
+/// ```no_run
+/// # use labelcount_graph::{GraphBuilder, NodeId};
+/// # use labelcount_graph::paged::PagedCsrWriter;
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1));
+/// let g = b.build();
+/// let meta = PagedCsrWriter::new()
+///     .write(&g, std::path::Path::new("/tmp/g.lcp"))
+///     .unwrap();
+/// assert!(meta.total_pages >= 1);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PagedCsrWriter {
+    page_size: u32,
+}
+
+impl Default for PagedCsrWriter {
+    fn default() -> Self {
+        PagedCsrWriter::new()
+    }
+}
+
+impl PagedCsrWriter {
+    /// A writer at [`DEFAULT_PAGE_SIZE`].
+    pub fn new() -> PagedCsrWriter {
+        PagedCsrWriter {
+            page_size: DEFAULT_PAGE_SIZE,
+        }
+    }
+
+    /// A writer with an explicit page size.
+    ///
+    /// # Panics
+    /// Panics unless `page_size` is a power of two at least
+    /// [`MIN_PAGE_SIZE`].
+    pub fn with_page_size(page_size: u32) -> PagedCsrWriter {
+        assert!(
+            page_size.is_power_of_two() && page_size >= MIN_PAGE_SIZE,
+            "page size must be a power of two >= {MIN_PAGE_SIZE}, got {page_size}"
+        );
+        PagedCsrWriter { page_size }
+    }
+
+    /// Serializes `g` to `path`, replacing any existing file.
+    pub fn write(&self, g: &LabeledGraph, path: &Path) -> io::Result<PagedFileMeta> {
+        let ps = self.page_size as u64;
+        let n = g.num_nodes() as u64;
+        // The id space is u32; anything wider would already have broken
+        // the in-RAM CSR, but the on-disk format checks explicitly so a
+        // corrupted graph can never silently truncate into the file.
+        u32::try_from(n.saturating_sub(1))
+            .map_err(|_| io::Error::other("node count exceeds the u32 id space"))?;
+        let adjacency_len = g.degree_sum() as u64;
+        let label_data_len: u64 = g.nodes().map(|u| g.labels(u).len() as u64).sum();
+        let max_degree = g.nodes().map(|u| g.degree(u) as u64).max().unwrap_or(0);
+
+        let pages_of = |bytes: u64| bytes.div_ceil(ps).max(1);
+        let offsets_pages = pages_of((n + 1) * 8);
+        let adjacency_pages = pages_of(adjacency_len * 4);
+        let label_offsets_pages = pages_of((n + 1) * 8);
+        let label_data_pages = pages_of(label_data_len * 4);
+
+        let neighbor_offsets_page = 1u64;
+        let adjacency_page = neighbor_offsets_page + offsets_pages;
+        let label_offsets_page = adjacency_page + adjacency_pages;
+        let label_data_page = label_offsets_page + label_offsets_pages;
+        let total_pages = label_data_page + label_data_pages;
+
+        let mut w = BufWriter::new(File::create(path)?);
+
+        // Header page.
+        let mut header = vec![0u8; self.page_size as usize];
+        header[0..8].copy_from_slice(&PAGED_MAGIC);
+        header[8..12].copy_from_slice(&PAGED_FORMAT_VERSION.to_le_bytes());
+        header[12..16].copy_from_slice(&self.page_size.to_le_bytes());
+        header[16..24].copy_from_slice(&n.to_le_bytes());
+        header[24..32].copy_from_slice(&adjacency_len.to_le_bytes());
+        header[32..40].copy_from_slice(&(g.num_labels() as u64).to_le_bytes());
+        header[40..48].copy_from_slice(&label_data_len.to_le_bytes());
+        header[48..56].copy_from_slice(&max_degree.to_le_bytes());
+        header[56..64].copy_from_slice(&neighbor_offsets_page.to_le_bytes());
+        header[64..72].copy_from_slice(&adjacency_page.to_le_bytes());
+        header[72..80].copy_from_slice(&label_offsets_page.to_le_bytes());
+        header[80..88].copy_from_slice(&label_data_page.to_le_bytes());
+        header[88..96].copy_from_slice(&total_pages.to_le_bytes());
+        w.write_all(&header)?;
+
+        // Neighbor offsets (cumulative degrees), zero-padded to a page.
+        let mut section = SectionWriter::new(&mut w, ps);
+        let mut off = 0u64;
+        section.put_u64(off)?;
+        for u in g.nodes() {
+            off += g.degree(u) as u64;
+            section.put_u64(off)?;
+        }
+        section.finish()?;
+
+        // Adjacency.
+        let mut section = SectionWriter::new(&mut w, ps);
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                section.put_u32(v.0)?;
+            }
+        }
+        section.finish()?;
+
+        // Label offsets.
+        let mut section = SectionWriter::new(&mut w, ps);
+        let mut off = 0u64;
+        section.put_u64(off)?;
+        for u in g.nodes() {
+            off += g.labels(u).len() as u64;
+            section.put_u64(off)?;
+        }
+        section.finish()?;
+
+        // Label data.
+        let mut section = SectionWriter::new(&mut w, ps);
+        for u in g.nodes() {
+            for &l in g.labels(u) {
+                section.put_u32(l.0)?;
+            }
+        }
+        section.finish()?;
+
+        w.flush()?;
+        Ok(PagedFileMeta {
+            page_size: self.page_size,
+            total_pages,
+            file_bytes: total_pages * ps,
+        })
+    }
+}
+
+/// Streams one section, tracking bytes written so `finish` can zero-pad
+/// to the next page boundary (an empty section still occupies one page —
+/// every section start in the header is a real page).
+struct SectionWriter<'w, W: Write> {
+    w: &'w mut W,
+    page_size: u64,
+    written: u64,
+}
+
+impl<'w, W: Write> SectionWriter<'w, W> {
+    fn new(w: &'w mut W, page_size: u64) -> Self {
+        SectionWriter {
+            w,
+            page_size,
+            written: 0,
+        }
+    }
+
+    fn put_u64(&mut self, v: u64) -> io::Result<()> {
+        self.written += 8;
+        self.w.write_all(&v.to_le_bytes())
+    }
+
+    fn put_u32(&mut self, v: u32) -> io::Result<()> {
+        self.written += 4;
+        self.w.write_all(&v.to_le_bytes())
+    }
+
+    fn finish(self) -> io::Result<()> {
+        let pad = (self.written.div_ceil(self.page_size).max(1) * self.page_size) - self.written;
+        if pad > 0 {
+            self.w.write_all(&vec![0u8; pad as usize])?;
+        }
+        Ok(())
+    }
+}
+
+/// Frame-replacement policy of the [`BufferPool`] — the same three
+/// classics the session L1 weighs (its slots use second-chance), made
+/// pluggable here so the `eviction` experiment can sweep them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict the least recently *used* unpinned frame.
+    #[default]
+    Lru,
+    /// FIFO with a reference bit: a referenced victim is granted a second
+    /// chance (re-queued at the back, bit cleared) before eviction.
+    SecondChance,
+    /// CLOCK: a fixed circular hand over the frame table, clearing
+    /// reference bits until it finds an unreferenced unpinned frame.
+    Clock,
+}
+
+impl EvictionPolicy {
+    /// All policies, in sweep order.
+    pub fn all() -> [EvictionPolicy; 3] {
+        [
+            EvictionPolicy::Lru,
+            EvictionPolicy::SecondChance,
+            EvictionPolicy::Clock,
+        ]
+    }
+
+    /// Stable lowercase name (CLI / CSV).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::SecondChance => "second-chance",
+            EvictionPolicy::Clock => "clock",
+        }
+    }
+
+    /// Parses [`EvictionPolicy::name`] back.
+    pub fn parse(s: &str) -> Option<EvictionPolicy> {
+        EvictionPolicy::all().into_iter().find(|p| p.name() == s)
+    }
+}
+
+/// Sizing and policy knobs for a [`BufferPool`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolConfig {
+    /// Frame budget: the target number of resident pages. `None` is
+    /// unbounded (no eviction ever). The budget is a *target*, not a hard
+    /// cap: when every frame is pinned mid-fetch the pool overcommits by
+    /// allocating extra frames rather than deadlocking — visible in
+    /// [`PagingStats::pinned_peak`].
+    pub frames: Option<usize>,
+    /// Replacement policy for unpinned frames.
+    pub policy: EvictionPolicy,
+}
+
+impl PoolConfig {
+    /// An unbounded pool (every page read once, never evicted).
+    pub fn unbounded() -> PoolConfig {
+        PoolConfig::default()
+    }
+
+    /// A bounded pool of `frames` frames under `policy`.
+    pub fn bounded(frames: usize, policy: EvictionPolicy) -> PoolConfig {
+        PoolConfig {
+            frames: Some(frames.max(1)),
+            policy,
+        }
+    }
+}
+
+/// Deterministic paging counters of one [`BufferPool`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PagingStats {
+    /// Pages read from disk (pool misses).
+    pub page_reads: u64,
+    /// Pin requests served from a resident frame.
+    pub pool_hits: u64,
+    /// Frames whose page was replaced to make room.
+    pub evictions: u64,
+    /// High-water mark of simultaneously pinned frames.
+    pub pinned_peak: u64,
+}
+
+impl PagingStats {
+    /// Fraction of pin requests served without a disk read (`0.0` before
+    /// the first request).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.page_reads + self.pool_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One resident page frame.
+struct Frame {
+    page_no: u64,
+    data: Arc<[u8]>,
+    pins: u32,
+    /// Reference bit (second-chance / CLOCK).
+    referenced: bool,
+    /// Monotone use stamp: recency for LRU, queue position for
+    /// second-chance.
+    stamp: u64,
+}
+
+/// Mutable pool state behind the one pool lock.
+struct PoolInner {
+    frames: Vec<Frame>,
+    map: HashMap<u64, usize>,
+    hand: usize,
+    tick: u64,
+    pinned_now: u64,
+    stats: PagingStats,
+}
+
+/// A pinned-page buffer pool over one paged CSR file: read-only (there is
+/// no dirty path — the file is immutable once written), with pin/unpin
+/// reference counting and a pluggable [`EvictionPolicy`].
+///
+/// All state lives behind one mutex; fetches are short (hash probe, or
+/// one `pread` on a miss). Pinned frames are never evicted, so a
+/// [`PinnedPage`]'s bytes stay valid for its whole lifetime; when every
+/// frame is pinned the pool overcommits past the budget instead of
+/// blocking (see [`PoolConfig::frames`]).
+pub struct BufferPool {
+    file: File,
+    page_size: usize,
+    num_pages: u64,
+    budget: Option<usize>,
+    policy: EvictionPolicy,
+    inner: Mutex<PoolInner>,
+}
+
+impl BufferPool {
+    /// A pool over `file`, which must be exactly `num_pages` pages of
+    /// `page_size` bytes.
+    pub fn new(file: File, page_size: usize, num_pages: u64, cfg: PoolConfig) -> BufferPool {
+        BufferPool {
+            file,
+            page_size,
+            num_pages,
+            budget: cfg.frames.map(|f| f.max(1)),
+            policy: cfg.policy,
+            inner: Mutex::new(PoolInner {
+                frames: Vec::new(),
+                map: HashMap::new(),
+                hand: 0,
+                tick: 0,
+                pinned_now: 0,
+                stats: PagingStats::default(),
+            }),
+        }
+    }
+
+    /// The pool's page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Pages in the underlying file.
+    pub fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    /// Snapshot of the paging counters.
+    pub fn stats(&self) -> PagingStats {
+        self.lock().stats
+    }
+
+    /// Resets the paging counters (resident frames are kept).
+    pub fn reset_stats(&self) {
+        self.lock().stats = PagingStats::default();
+    }
+
+    /// Poison-tolerant lock: pool state is valid at every instant (counters
+    /// and maps are updated atomically under the lock), so a panicking
+    /// reader never invalidates it for others — same recovery discipline
+    /// as the L2 shard locks.
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Pins `page_no`, reading it from disk if not resident, and returns
+    /// the guard. The frame cannot be evicted until the guard drops.
+    pub fn pin(&self, page_no: u64) -> io::Result<PinnedPage<'_>> {
+        assert!(
+            page_no < self.num_pages,
+            "page {page_no} out of range (file has {} pages)",
+            self.num_pages
+        );
+        let mut inner = self.lock();
+        if let Some(&slot) = inner.map.get(&page_no) {
+            inner.stats.pool_hits += 1;
+            inner.tick += 1;
+            let tick = inner.tick;
+            let f = &mut inner.frames[slot];
+            f.referenced = true;
+            f.stamp = tick;
+            f.pins += 1;
+            let data = Arc::clone(&f.data);
+            inner.pinned_now += 1;
+            inner.stats.pinned_peak = inner.stats.pinned_peak.max(inner.pinned_now);
+            return Ok(PinnedPage {
+                pool: self,
+                slot,
+                data,
+            });
+        }
+
+        // Miss: read the page, then place it in a frame.
+        inner.stats.page_reads += 1;
+        let mut buf = vec![0u8; self.page_size];
+        self.file
+            .read_exact_at(&mut buf, page_no * self.page_size as u64)?;
+        let data: Arc<[u8]> = Arc::from(buf);
+
+        let slot = match self.budget {
+            Some(budget) if inner.frames.len() >= budget => match self.pick_victim(&mut inner) {
+                Some(victim) => {
+                    inner.stats.evictions += 1;
+                    let old = inner.frames[victim].page_no;
+                    inner.map.remove(&old);
+                    victim
+                }
+                // Every frame is pinned: overcommit rather than deadlock.
+                None => push_frame(&mut inner),
+            },
+            _ => push_frame(&mut inner),
+        };
+
+        inner.tick += 1;
+        let tick = inner.tick;
+        let f = &mut inner.frames[slot];
+        f.page_no = page_no;
+        f.data = Arc::clone(&data);
+        f.pins = 1;
+        f.referenced = true;
+        f.stamp = tick;
+        inner.map.insert(page_no, slot);
+        inner.pinned_now += 1;
+        inner.stats.pinned_peak = inner.stats.pinned_peak.max(inner.pinned_now);
+        Ok(PinnedPage {
+            pool: self,
+            slot,
+            data,
+        })
+    }
+
+    /// Picks an unpinned victim frame per the configured policy, or `None`
+    /// when every frame is pinned.
+    fn pick_victim(&self, inner: &mut PoolInner) -> Option<usize> {
+        if !inner.frames.iter().any(|f| f.pins == 0) {
+            return None;
+        }
+        match self.policy {
+            EvictionPolicy::Lru => inner
+                .frames
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.pins == 0)
+                .min_by_key(|(_, f)| f.stamp)
+                .map(|(i, _)| i),
+            EvictionPolicy::SecondChance => {
+                // FIFO by stamp; a referenced head is re-queued (stamp
+                // bumped, bit cleared). Each pass clears one bit, so at
+                // most 2 × frames iterations reach an unreferenced frame.
+                loop {
+                    let head = inner
+                        .frames
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, f)| f.pins == 0)
+                        .min_by_key(|(_, f)| f.stamp)
+                        .map(|(i, _)| i)
+                        .expect("an unpinned frame exists");
+                    if inner.frames[head].referenced {
+                        inner.frames[head].referenced = false;
+                        inner.tick += 1;
+                        inner.frames[head].stamp = inner.tick;
+                    } else {
+                        return Some(head);
+                    }
+                }
+            }
+            EvictionPolicy::Clock => {
+                // After one full sweep every unpinned frame's bit is
+                // clear, so the second sweep must stop.
+                let len = inner.frames.len();
+                loop {
+                    let i = inner.hand % len;
+                    inner.hand = (inner.hand + 1) % len;
+                    let f = &mut inner.frames[i];
+                    if f.pins > 0 {
+                        continue;
+                    }
+                    if f.referenced {
+                        f.referenced = false;
+                    } else {
+                        return Some(i);
+                    }
+                }
+            }
+        }
+    }
+
+    fn unpin(&self, slot: usize) {
+        let mut inner = self.lock();
+        let f = &mut inner.frames[slot];
+        debug_assert!(f.pins > 0, "unpin without a pin");
+        f.pins -= 1;
+        inner.pinned_now -= 1;
+    }
+}
+
+/// Appends an empty frame slot and returns its index.
+fn push_frame(inner: &mut PoolInner) -> usize {
+    inner.frames.push(Frame {
+        page_no: u64::MAX,
+        data: Arc::from(Vec::new()),
+        pins: 0,
+        referenced: false,
+        stamp: 0,
+    });
+    inner.frames.len() - 1
+}
+
+/// A pinned page: the frame stays resident (never evicted) until this
+/// guard drops. Dereferences to the page's bytes.
+pub struct PinnedPage<'p> {
+    pool: &'p BufferPool,
+    slot: usize,
+    data: Arc<[u8]>,
+}
+
+impl std::ops::Deref for PinnedPage<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Drop for PinnedPage<'_> {
+    fn drop(&mut self) {
+        self.pool.unpin(self.slot);
+    }
+}
+
+/// Validated header of an open paged CSR file.
+#[derive(Clone, Copy, Debug)]
+struct Header {
+    page_size: u64,
+    num_nodes: u64,
+    adjacency_len: u64,
+    num_labels: u64,
+    label_data_len: u64,
+    max_degree: u64,
+    neighbor_offsets_page: u64,
+    adjacency_page: u64,
+    label_offsets_page: u64,
+    label_data_page: u64,
+    total_pages: u64,
+}
+
+/// A read-only out-of-core [`LabeledGraph`] view: the paged CSR file
+/// behind a [`BufferPool`]. Lists are assembled by pinning the page(s)
+/// they span, copying, and unpinning — memory residency is bounded by the
+/// pool's frame budget, not by graph size.
+///
+/// `Sync`: all mutability is inside the pool's lock, so one `PagedGraph`
+/// can sit under many concurrent reader stacks. I/O errors after a
+/// successful `open` indicate a truncated or vanished file and panic —
+/// the read path mirrors the in-RAM graph's infallible accessors.
+pub struct PagedGraph {
+    pool: BufferPool,
+    header: Header,
+}
+
+impl PagedGraph {
+    /// Opens and validates a file written by [`PagedCsrWriter`].
+    pub fn open(path: &Path, cfg: PoolConfig) -> Result<PagedGraph, PagedError> {
+        let file = File::open(path)?;
+        let mut head = [0u8; HEADER_BYTES];
+        file.read_exact_at(&mut head, 0)?;
+        let u32_at = |i: usize| u32::from_le_bytes(head[i..i + 4].try_into().expect("4 bytes"));
+        let u64_at = |i: usize| u64::from_le_bytes(head[i..i + 8].try_into().expect("8 bytes"));
+        if head[0..8] != PAGED_MAGIC {
+            return Err(PagedError::Format("bad magic".into()));
+        }
+        let version = u32_at(8);
+        if version != PAGED_FORMAT_VERSION {
+            return Err(PagedError::Format(format!(
+                "unsupported format version {version} (expected {PAGED_FORMAT_VERSION})"
+            )));
+        }
+        let page_size = u32_at(12);
+        if !page_size.is_power_of_two() || page_size < MIN_PAGE_SIZE {
+            return Err(PagedError::Format(format!("bad page size {page_size}")));
+        }
+        let header = Header {
+            page_size: page_size as u64,
+            num_nodes: u64_at(16),
+            adjacency_len: u64_at(24),
+            num_labels: u64_at(32),
+            label_data_len: u64_at(40),
+            max_degree: u64_at(48),
+            neighbor_offsets_page: u64_at(56),
+            adjacency_page: u64_at(64),
+            label_offsets_page: u64_at(72),
+            label_data_page: u64_at(80),
+            total_pages: u64_at(88),
+        };
+        if header.num_nodes > 0 && u32::try_from(header.num_nodes - 1).is_err() {
+            return Err(PagedError::Format("node count exceeds u32 id space".into()));
+        }
+        let actual = file.metadata()?.len();
+        let expect = header.total_pages * header.page_size;
+        if actual != expect {
+            return Err(PagedError::Format(format!(
+                "file is {actual} bytes, header declares {expect}"
+            )));
+        }
+        let pages_of = |bytes: u64| bytes.div_ceil(header.page_size).max(1);
+        let want_adj = header.neighbor_offsets_page + pages_of((header.num_nodes + 1) * 8);
+        if header.neighbor_offsets_page != 1
+            || header.adjacency_page != want_adj
+            || header.label_offsets_page
+                != header.adjacency_page + pages_of(header.adjacency_len * 4)
+            || header.label_data_page
+                != header.label_offsets_page + pages_of((header.num_nodes + 1) * 8)
+            || header.total_pages != header.label_data_page + pages_of(header.label_data_len * 4)
+        {
+            return Err(PagedError::Format("inconsistent section layout".into()));
+        }
+        let pool = BufferPool::new(file, page_size as usize, header.total_pages, cfg);
+        Ok(PagedGraph { pool, header })
+    }
+
+    /// Number of nodes `|V|`.
+    pub fn num_nodes(&self) -> usize {
+        self.header.num_nodes as usize
+    }
+
+    /// Number of undirected edges `|E|`.
+    pub fn num_edges(&self) -> usize {
+        (self.header.adjacency_len / 2) as usize
+    }
+
+    /// Number of distinct label ids (`max id + 1`).
+    pub fn num_labels(&self) -> usize {
+        self.header.num_labels as usize
+    }
+
+    /// The exact maximum degree, recorded at write time.
+    pub fn max_degree(&self) -> usize {
+        self.header.max_degree as usize
+    }
+
+    /// The file's page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.header.page_size as usize
+    }
+
+    /// Snapshot of the pool's paging counters.
+    pub fn paging_stats(&self) -> PagingStats {
+        self.pool.stats()
+    }
+
+    /// Resets the pool's paging counters.
+    pub fn reset_paging_stats(&self) {
+        self.pool.reset_stats()
+    }
+
+    /// The underlying buffer pool (for probes and tests).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Degree `d(u)` — two offset-entry reads, no list assembly.
+    pub fn degree(&self, u: NodeId) -> usize {
+        let (start, end) = self.offset_pair(self.header.neighbor_offsets_page, u);
+        (end - start) as usize
+    }
+
+    /// The sorted neighbor list of `u`, assembled from the page(s) it
+    /// spans.
+    pub fn neighbors(&self, u: NodeId) -> Arc<[NodeId]> {
+        let (start, end) = self.offset_pair(self.header.neighbor_offsets_page, u);
+        let bytes = self.read_span(
+            self.header.adjacency_page,
+            start * 4,
+            ((end - start) * 4) as usize,
+        );
+        decode_u32s(&bytes, NodeId)
+    }
+
+    /// The sorted label list of `u`.
+    pub fn labels(&self, u: NodeId) -> Arc<[LabelId]> {
+        let (start, end) = self.offset_pair(self.header.label_offsets_page, u);
+        let bytes = self.read_span(
+            self.header.label_data_page,
+            start * 4,
+            ((end - start) * 4) as usize,
+        );
+        decode_u32s(&bytes, LabelId)
+    }
+
+    /// Reads the `(offsets[u], offsets[u+1])` pair from an offsets
+    /// section — 16 contiguous bytes, at most two pages.
+    fn offset_pair(&self, section_page: u64, u: NodeId) -> (u64, u64) {
+        assert!(
+            (u.index() as u64) < self.header.num_nodes,
+            "node {u} out of range"
+        );
+        let bytes = self.read_span(section_page, u.index() as u64 * 8, 16);
+        let lo = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
+        let hi = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        (lo, hi)
+    }
+
+    /// Copies `len` bytes starting `start_byte` bytes into the section
+    /// that begins at `section_page`. Pins every spanned page for the
+    /// whole copy (the fetch's working set), then releases them.
+    fn read_span(&self, section_page: u64, start_byte: u64, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        if len == 0 {
+            return out;
+        }
+        let ps = self.header.page_size;
+        let abs = section_page * ps + start_byte;
+        let first_page = abs / ps;
+        let last_page = (abs + len as u64 - 1) / ps;
+        let pins: Vec<PinnedPage<'_>> = (first_page..=last_page)
+            .map(|p| self.pool.pin(p).expect("paged CSR read failed"))
+            .collect();
+        let mut copied = 0usize;
+        let mut pos = abs;
+        for pin in &pins {
+            let in_page = (pos % ps) as usize;
+            let take = (self.page_size() - in_page).min(len - copied);
+            out[copied..copied + take].copy_from_slice(&pin[in_page..in_page + take]);
+            copied += take;
+            pos += take as u64;
+        }
+        debug_assert_eq!(copied, len);
+        out
+    }
+}
+
+/// Decodes little-endian `u32`s into ids.
+fn decode_u32s<T>(bytes: &[u8], wrap: impl Fn(u32) -> T) -> Arc<[T]> {
+    let v: Vec<T> = bytes
+        .chunks_exact(4)
+        .map(|c| wrap(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
+        .collect();
+    Arc::from(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_file(tag: &str) -> PathBuf {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join("labelcount_paged_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!(
+            "{tag}_{}_{}.lcp",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn fixture() -> LabeledGraph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(2), NodeId(0));
+        b.add_edge(NodeId(2), NodeId(3));
+        b.set_labels(NodeId(0), &[LabelId(1)]);
+        b.set_labels(NodeId(1), &[LabelId(2)]);
+        b.set_labels(NodeId(2), &[LabelId(1), LabelId(2)]);
+        // Node 4 is isolated and unlabeled.
+        b.build()
+    }
+
+    fn roundtrip(g: &LabeledGraph, page_size: u32, cfg: PoolConfig, tag: &str) -> PagedGraph {
+        let path = temp_file(tag);
+        PagedCsrWriter::with_page_size(page_size)
+            .write(g, &path)
+            .unwrap();
+        PagedGraph::open(&path, cfg).unwrap()
+    }
+
+    fn assert_matches(g: &LabeledGraph, p: &PagedGraph) {
+        assert_eq!(p.num_nodes(), g.num_nodes());
+        assert_eq!(p.num_edges(), g.num_edges());
+        assert_eq!(p.num_labels(), g.num_labels());
+        for u in g.nodes() {
+            assert_eq!(p.degree(u), g.degree(u), "degree of {u}");
+            assert_eq!(&*p.neighbors(u), g.neighbors(u), "neighbors of {u}");
+            assert_eq!(&*p.labels(u), g.labels(u), "labels of {u}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_matches_in_ram_graph() {
+        let g = fixture();
+        let p = roundtrip(&g, 128, PoolConfig::unbounded(), "roundtrip");
+        assert_matches(&g, &p);
+        assert_eq!(p.max_degree(), 3);
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = GraphBuilder::new(0).build();
+        let p = roundtrip(&g, 128, PoolConfig::unbounded(), "empty");
+        assert_eq!(p.num_nodes(), 0);
+        assert_eq!(p.num_edges(), 0);
+        assert_eq!(p.max_degree(), 0);
+    }
+
+    #[test]
+    fn adjacency_straddles_page_boundaries() {
+        // A 128-byte page holds 32 adjacency entries; a 100-neighbor star
+        // center spans four pages.
+        let n = 101;
+        let mut b = GraphBuilder::new(n);
+        for v in 1..n as u32 {
+            b.add_edge(NodeId(0), NodeId(v));
+        }
+        let g = b.build();
+        for cfg in [
+            PoolConfig::unbounded(),
+            PoolConfig::bounded(1, EvictionPolicy::Lru),
+            PoolConfig::bounded(2, EvictionPolicy::SecondChance),
+            PoolConfig::bounded(3, EvictionPolicy::Clock),
+        ] {
+            let p = roundtrip(&g, 128, cfg, "straddle");
+            assert_matches(&g, &p);
+            // The 100-entry center list spans multiple pinned pages at
+            // once; the pool must have recorded that working set.
+            assert!(p.paging_stats().pinned_peak >= 2, "cfg {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn every_policy_returns_identical_bytes_at_every_budget() {
+        let g = fixture();
+        for policy in EvictionPolicy::all() {
+            for frames in [1usize, 2, 7] {
+                let p = roundtrip(
+                    &g,
+                    128,
+                    PoolConfig::bounded(frames, policy),
+                    "policy_budget",
+                );
+                assert_matches(&g, &p);
+            }
+        }
+    }
+
+    #[test]
+    fn tight_pool_evicts_and_unbounded_never_does() {
+        let g = fixture();
+        let tight = roundtrip(
+            &g,
+            128,
+            PoolConfig::bounded(1, EvictionPolicy::Lru),
+            "tight",
+        );
+        assert_matches(&g, &tight);
+        let s = tight.paging_stats();
+        assert!(s.evictions > 0, "a 1-frame pool must evict: {s:?}");
+        assert!(
+            s.page_reads > tight.pool.num_pages(),
+            "pages re-read: {s:?}"
+        );
+
+        let unbounded = roundtrip(&g, 128, PoolConfig::unbounded(), "unbounded");
+        assert_matches(&g, &unbounded);
+        let s = unbounded.paging_stats();
+        assert_eq!(s.evictions, 0);
+        // Every touched page read exactly once.
+        assert!(s.page_reads <= unbounded.pool.num_pages());
+        assert!(s.pool_hits > 0);
+    }
+
+    #[test]
+    fn paging_counters_are_deterministic_under_serial_access() {
+        let g = fixture();
+        let run = || {
+            let p = roundtrip(
+                &g,
+                128,
+                PoolConfig::bounded(2, EvictionPolicy::Clock),
+                "det",
+            );
+            for u in g.nodes() {
+                let _ = p.neighbors(u);
+                let _ = p.labels(u);
+            }
+            p.paging_stats()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reset_stats_clears_counters_but_keeps_frames() {
+        let g = fixture();
+        let p = roundtrip(&g, 128, PoolConfig::unbounded(), "reset");
+        let _ = p.neighbors(NodeId(0));
+        assert!(p.paging_stats().page_reads > 0);
+        p.reset_paging_stats();
+        assert_eq!(p.paging_stats(), PagingStats::default());
+        let _ = p.neighbors(NodeId(0));
+        // Frames survived the reset: the re-read is a pure hit.
+        assert_eq!(p.paging_stats().page_reads, 0);
+        assert!(p.paging_stats().pool_hits > 0);
+    }
+
+    #[test]
+    fn open_rejects_corrupt_files() {
+        let g = fixture();
+        let path = temp_file("corrupt");
+        PagedCsrWriter::with_page_size(128)
+            .write(&g, &path)
+            .unwrap();
+
+        // Bad magic.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        let bad = temp_file("bad_magic");
+        std::fs::write(&bad, &bytes).unwrap();
+        assert!(matches!(
+            PagedGraph::open(&bad, PoolConfig::unbounded()),
+            Err(PagedError::Format(_))
+        ));
+
+        // Bad version.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = 99;
+        let bad = temp_file("bad_version");
+        std::fs::write(&bad, &bytes).unwrap();
+        assert!(matches!(
+            PagedGraph::open(&bad, PoolConfig::unbounded()),
+            Err(PagedError::Format(_))
+        ));
+
+        // Truncated file.
+        let bytes = std::fs::read(&path).unwrap();
+        let bad = temp_file("truncated");
+        std::fs::write(&bad, &bytes[..bytes.len() - 64]).unwrap();
+        assert!(matches!(
+            PagedGraph::open(&bad, PoolConfig::unbounded()),
+            Err(PagedError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn writer_rejects_bad_page_sizes() {
+        for bad in [0u32, 64, 100, 129] {
+            let caught = std::panic::catch_unwind(|| PagedCsrWriter::with_page_size(bad));
+            assert!(caught.is_err(), "page size {bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn eviction_policy_names_roundtrip() {
+        for p in EvictionPolicy::all() {
+            assert_eq!(EvictionPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(EvictionPolicy::parse("fifo"), None);
+    }
+
+    #[test]
+    fn meta_reports_the_real_file_size() {
+        let g = fixture();
+        let path = temp_file("meta");
+        let meta = PagedCsrWriter::with_page_size(256)
+            .write(&g, &path)
+            .unwrap();
+        assert_eq!(meta.page_size, 256);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            meta.file_bytes,
+            "writer meta must match the bytes on disk"
+        );
+        assert_eq!(meta.file_bytes, meta.total_pages * 256);
+    }
+}

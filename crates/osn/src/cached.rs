@@ -62,7 +62,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 use labelcount_graph::{LabelId, LabeledGraph, NodeId};
 
@@ -507,12 +507,16 @@ impl<B: OsnBackend> CachedOsn<B> {
 
     /// Drops every cached L2 entry (counters are kept; live sessions keep
     /// their private L1 contents, which hold the same bytes).
+    ///
+    /// Shard locks recover from poisoning (like the shared fetch paths):
+    /// a panicking estimator on another thread must not take maintenance
+    /// down with it.
     pub fn clear(&self) {
         for s in self.neighbor_shards.iter() {
-            s.write().unwrap().clear();
+            s.write().unwrap_or_else(PoisonError::into_inner).clear();
         }
         for s in self.label_shards.iter() {
-            s.write().unwrap().clear();
+            s.write().unwrap_or_else(PoisonError::into_inner).clear();
         }
     }
 
@@ -521,12 +525,12 @@ impl<B: OsnBackend> CachedOsn<B> {
         let n = self
             .neighbor_shards
             .iter()
-            .map(|s| s.read().unwrap().len())
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
             .sum();
         let l = self
             .label_shards
             .iter()
-            .map(|s| s.read().unwrap().len())
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
             .sum();
         (n, l)
     }
@@ -552,15 +556,27 @@ impl<B: OsnBackend> CachedOsn<B> {
     /// lock with a re-check, so concurrent first requests for one node
     /// produce exactly one miss — miss counts are
     /// interleaving-independent.
+    ///
+    /// Because the miss path calls the backend *under the write lock*, a
+    /// panicking backend (or an estimator unwinding through a fetch)
+    /// poisons the shard. The shard's own state is consistent at every
+    /// panic point — the map is only mutated after a successful fetch —
+    /// so poisoning is recovered with [`PoisonError::into_inner`] rather
+    /// than cascading the panic to every other query on the shard (the
+    /// same discipline `WorkloadProgress` uses).
     fn neighbors_shared(&self, u: NodeId) -> (Arc<[NodeId]>, FetchCost) {
         let hit_cost = FetchCost::default();
         let lock = &self.neighbor_shards[self.shard_of(u)];
         if self.unbounded {
-            if let Some(hit) = lock.read().unwrap().peek(u.0) {
+            if let Some(hit) = lock
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .peek(u.0)
+            {
                 return (hit, hit_cost);
             }
         }
-        let mut shard = lock.write().unwrap();
+        let mut shard = lock.write().unwrap_or_else(PoisonError::into_inner);
         if let Some(hit) = shard.get(u.0) {
             return (hit, hit_cost);
         }
@@ -583,11 +599,15 @@ impl<B: OsnBackend> CachedOsn<B> {
         let hit_cost = FetchCost::default();
         let lock = &self.label_shards[self.shard_of(u)];
         if self.unbounded {
-            if let Some(hit) = lock.read().unwrap().peek(u.0) {
+            if let Some(hit) = lock
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .peek(u.0)
+            {
                 return (hit, hit_cost);
             }
         }
-        let mut shard = lock.write().unwrap();
+        let mut shard = lock.write().unwrap_or_else(PoisonError::into_inner);
         if let Some(hit) = shard.get(u.0) {
             return (hit, hit_cost);
         }
@@ -1327,5 +1347,67 @@ mod tests {
         let cache = CachedOsn::new(GraphOsn::new(&g));
         assert_eq!(cache.session().max_degree_bound(), 2);
         assert_eq!(cache.stats().logical_calls(), 0); // prior knowledge is free
+    }
+
+    /// A backend whose first neighbor fetch panics — the estimator-blows-up
+    /// scenario. The unwind happens while `neighbors_shared` holds the
+    /// shard's write lock, poisoning it.
+    struct PanickyBackend<'g> {
+        inner: GraphOsn<'g>,
+        armed: std::sync::atomic::AtomicBool,
+    }
+
+    impl OsnBackend for PanickyBackend<'_> {
+        fn num_nodes(&self) -> usize {
+            self.inner.num_nodes()
+        }
+
+        fn num_edges(&self) -> usize {
+            self.inner.num_edges()
+        }
+
+        fn max_degree_bound(&self) -> usize {
+            self.inner.max_degree_bound()
+        }
+
+        fn fetch_neighbors(&self, u: NodeId) -> SliceRef<'_, NodeId> {
+            if self.armed.swap(false, Ordering::SeqCst) {
+                panic!("injected backend panic");
+            }
+            self.inner.fetch_neighbors(u)
+        }
+
+        fn fetch_labels(&self, u: NodeId) -> SliceRef<'_, LabelId> {
+            self.inner.fetch_labels(u)
+        }
+    }
+
+    #[test]
+    fn poisoned_shard_locks_recover_instead_of_cascading() {
+        let g = path4();
+        let cache = CachedOsn::with_config(
+            PanickyBackend {
+                inner: GraphOsn::new(&g),
+                armed: std::sync::atomic::AtomicBool::new(true),
+            },
+            no_l1(None, 1), // one shard: the poisoned lock is the only lock
+        );
+
+        // First fetch panics under the shard's write lock.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.session().neighbors(NodeId(1));
+        }));
+        assert!(caught.is_err(), "the injected panic must propagate");
+
+        // The shard lock is now poisoned; every path over it must recover
+        // rather than cascade the panic.
+        let s = cache.session();
+        assert_eq!(s.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        assert_eq!(s.labels(NodeId(0)), &[LabelId(1)]);
+        drop(s);
+        let (n, l) = cache.cached_entries();
+        assert_eq!((n, l), (1, 1));
+        cache.clear();
+        assert_eq!(cache.cached_entries(), (0, 0));
     }
 }

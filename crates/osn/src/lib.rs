@@ -29,6 +29,10 @@
 //!   neighbor lists), retried under a [`RetryPolicy`]; composes under
 //!   [`CachedOsn`], with the realized attempt cost charged to session
 //!   budgets as [`OsnSession::retry_charges`].
+//! * [`PagedGraphOsn`] — the out-of-core sibling of [`GraphOsn`]: an
+//!   [`OsnBackend`] over an on-disk paged CSR file served through a
+//!   pinned-page buffer pool (`labelcount_graph::paged`), bit-identical
+//!   to the in-RAM backend at any frame budget.
 //! * [`SliceRef`] — the borrow-or-share guard `neighbors`/`labels` return,
 //!   so caching implementations neither leak nor copy.
 //! * [`linegraph`] — the implicit transformed graph `G'` of §5.1 (one node
@@ -43,6 +47,7 @@ pub mod api;
 pub mod cached;
 pub mod guard;
 pub mod linegraph;
+pub mod paged;
 pub mod simulated;
 
 pub use adversarial::{AdversarialOsn, FaultConfig, FaultStats, RetryPolicy};
@@ -50,4 +55,5 @@ pub use api::{FetchCost, OsnApi, OsnApiExt, OsnBackend};
 pub use cached::{CacheConfig, CachedOsn, CallStats, GraphOsn, OsnSession, DEFAULT_L1_SLOTS};
 pub use guard::SliceRef;
 pub use linegraph::{LineGraphView, LineNode};
+pub use paged::PagedGraphOsn;
 pub use simulated::{AccessStats, SimulatedOsn};

@@ -90,6 +90,19 @@ pub struct AllocSnapshot {
     pub installed: bool,
 }
 
+/// Opens a measurement window: resets the peak high-water mark to the
+/// bytes currently live, then reads the counters. Scenario runs call this
+/// instead of [`snapshot`] at window start so each scenario's
+/// `peak_bytes` reflects *its own* high-water mark rather than the
+/// process-wide maximum of every scenario that ran before it — without
+/// the reset, a memory-frugal scenario sequenced after a hungry one
+/// would inherit the hungry one's peak and the comparison between them
+/// (e.g. `loaded-paged` vs `loaded`) would be vacuous.
+pub fn begin_window() -> AllocSnapshot {
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+    snapshot()
+}
+
 /// Reads the counters.
 pub fn snapshot() -> AllocSnapshot {
     AllocSnapshot {
@@ -103,9 +116,11 @@ pub fn snapshot() -> AllocSnapshot {
 /// Allocation traffic between two snapshots, for one scenario.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AllocDelta {
-    /// Peak live bytes observed over the window (process-wide high-water
-    /// mark at window end; scenarios run sequentially so this is the
-    /// scenario's own peak once it exceeds earlier scenarios').
+    /// Peak live bytes observed over the window. When the window was
+    /// opened with [`begin_window`] this is the window's own high-water
+    /// mark (the peak is reset to the live count at window start);
+    /// windows opened with a plain [`snapshot`] report the process-wide
+    /// high-water mark at window end instead.
     pub peak_bytes: u64,
     /// Allocations performed during the window.
     pub allocs: u64,
@@ -155,6 +170,13 @@ mod tests {
         );
         assert_eq!(d.allocs, 2);
         assert_eq!(d.peak_bytes, 300);
+        // begin_window resets the peak to the live count, so a later
+        // window's peak is its own, not the earlier window's residue.
+        let w = begin_window();
+        assert_eq!(w.peak_bytes, w.live_bytes);
+        on_alloc(10);
+        on_dealloc(10);
+        assert_eq!(snapshot().peak_bytes, w.live_bytes + 10);
         // Clean up so other tests in this process see consistent numbers.
         on_dealloc(250);
     }

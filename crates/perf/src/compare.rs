@@ -80,7 +80,10 @@ fn throughput_metrics(r: &Report) -> [(&'static str, f64); 3] {
 /// warning-only, with the speedup. `hit_path_ns` (the warm-cache per-call
 /// cost) is serial and machine-normalizable, so it gates like the wall
 /// times: a cliff there means the hot 97% of logical calls got slower.
-fn walltime_metrics(r: &Report) -> [(&'static str, f64); 6] {
+/// `page_fault_ns` (the paged scenario's cold-pool fault cost) gates the
+/// same way for the out-of-core miss path; in-RAM scenarios report it as
+/// `0.0`, which sits below the `_ns` floor and therefore never gates.
+fn walltime_metrics(r: &Report) -> [(&'static str, f64); 7] {
     [
         ("measured.total_ms", r.measured.total_ms),
         ("measured.engine_serial_ms", r.measured.engine_serial_ms),
@@ -88,6 +91,7 @@ fn walltime_metrics(r: &Report) -> [(&'static str, f64); 6] {
         ("measured.serving_serial_ms", r.measured.serving_serial_ms),
         ("measured.scheduler_ms", r.measured.scheduler_ms),
         ("measured.hit_path_ns", r.measured.hit_path_ns),
+        ("measured.page_fault_ns", r.measured.page_fault_ns),
     ]
 }
 
@@ -282,6 +286,7 @@ pub fn compare_reports(baseline: &Report, current: &Report, max_regression: f64)
         || baseline.workload != current.workload
         || baseline.serving != current.serving
         || baseline.scheduling != current.scheduling
+        || baseline.paging != current.paging
         || baseline.ground_truth_f != current.ground_truth_f
     {
         findings.push(Finding {
@@ -500,8 +505,8 @@ mod tests {
     use super::*;
     use crate::alloc_track::AllocDelta;
     use crate::report::{
-        AlgoCounters, EngineCounters, Measured, ScenarioMeta, SchedulerCounters, ServingCounters,
-        WalkCounters, WorkloadCounters, SCHEMA_VERSION,
+        AlgoCounters, EngineCounters, Measured, PagingCounters, ScenarioMeta, SchedulerCounters,
+        ServingCounters, WalkCounters, WorkloadCounters, SCHEMA_VERSION,
     };
 
     fn report(name: &str, per_step: f64, total_ms: f64) -> Report {
@@ -568,6 +573,12 @@ mod tests {
                 mean_slack_ticks: 12.0,
                 priority_inversions: 1,
             },
+            paging: PagingCounters {
+                page_reads: 64,
+                pool_hits: 900,
+                evictions: 48,
+                pinned_peak: 3,
+            },
             ground_truth_f: 7,
             measured: Measured {
                 total_ms,
@@ -586,6 +597,7 @@ mod tests {
                 serving_serial_ms: total_ms / 4.0,
                 serving_parallel_ms: total_ms / 12.0,
                 scheduler_ms: total_ms / 6.0,
+                page_fault_ns: total_ms / 20.0,
                 calibration_ops_per_sec: 1.0e8,
                 alloc: AllocDelta::default(),
             },
@@ -698,6 +710,42 @@ mod tests {
         assert!(findings
             .iter()
             .any(|f| f.fatal && f.metric == "measured.hit_path_ns"));
+    }
+
+    #[test]
+    fn page_fault_cliff_is_fatal_and_zero_is_exempt() {
+        let base = report("loaded-paged_smoke", 1.0e6, 100.0);
+        let mut cur = report("loaded-paged_smoke", 1.0e6, 100.0);
+        cur.measured.page_fault_ns = base.measured.page_fault_ns * 3.0; // 3x slower faults
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert!(findings
+            .iter()
+            .any(|f| f.fatal && f.metric == "measured.page_fault_ns"));
+
+        // In-RAM scenarios report 0.0 on both sides: below the _ns floor,
+        // so no finding at all.
+        let mut base = report("ba_smoke", 1.0e6, 100.0);
+        let mut cur = report("ba_smoke", 1.0e6, 100.0);
+        base.measured.page_fault_ns = 0.0;
+        cur.measured.page_fault_ns = 0.0;
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert!(
+            !findings
+                .iter()
+                .any(|f| f.metric == "measured.page_fault_ns"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn paging_counter_drift_warns_but_does_not_fail() {
+        let base = report("loaded-paged_smoke", 1.0e6, 100.0);
+        let mut cur = report("loaded-paged_smoke", 1.0e6, 100.0);
+        cur.paging.evictions += 7; // e.g. a different frame budget
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].fatal);
+        assert_eq!(findings[0].metric, "counters");
     }
 
     #[test]

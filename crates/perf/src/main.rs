@@ -1,8 +1,9 @@
 //! `labelcount-perf` — the scenario-matrix perf harness CLI.
 //!
 //! ```text
-//! labelcount-perf [--tier smoke|standard|stress] [--family ba,er,loaded]
-//!                 [--seed N] [--fault-rate F] [--out DIR]
+//! labelcount-perf [--tier smoke|standard|stress]
+//!                 [--family ba,er,loaded,loaded-paged] [--seed N]
+//!                 [--fault-rate F] [--pool-frames B] [--out DIR]
 //! labelcount-perf compare --baseline DIR --current DIR [--max-regression X]
 //!                 [--match-family]
 //! ```
@@ -18,8 +19,8 @@ use std::process::ExitCode;
 use labelcount_perf::alloc_track::CountingAlloc;
 use labelcount_perf::compare::{compare_dirs_opts, markdown_summary, min_speedup_findings};
 use labelcount_perf::scenario::{
-    run_scenario, DeadlineTightness, Family, ScenarioSpec, Tier, DEFAULT_DEADLINE,
-    DEFAULT_FAULT_RATE, DEFAULT_SEED, DEFAULT_TENANT_SKEW,
+    run_scenario, DeadlineTightness, Family, PoolFrames, ScenarioSpec, Tier, DEFAULT_DEADLINE,
+    DEFAULT_FAULT_RATE, DEFAULT_POOL_FRAMES, DEFAULT_SEED, DEFAULT_TENANT_SKEW,
 };
 
 #[global_allocator]
@@ -56,6 +57,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut fault_rate = DEFAULT_FAULT_RATE;
     let mut tenant_skew = DEFAULT_TENANT_SKEW;
     let mut deadline = DEFAULT_DEADLINE;
+    let mut pool_frames = DEFAULT_POOL_FRAMES;
     let mut out = PathBuf::from(".");
 
     let mut i = 0usize;
@@ -95,6 +97,12 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
                 deadline = DeadlineTightness::parse(&v)
                     .ok_or_else(|| format!("unknown deadline tightness `{v}` (inf|p95|p50)"))?;
             }
+            "--pool-frames" => {
+                let v = take_value(args, &mut i, "--pool-frames")?;
+                pool_frames = PoolFrames::parse(&v).ok_or_else(|| {
+                    format!("unknown pool budget `{v}` (tight|comfortable|unbounded|N)")
+                })?;
+            }
             "--out" => out = PathBuf::from(take_value(args, &mut i, "--out")?),
             "--help" | "-h" => {
                 println!("{}", HELP);
@@ -114,6 +122,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             fault_rate,
             tenant_skew,
             deadline,
+            pool_frames,
         };
         eprintln!("running scenario {} ...", spec.name());
         let report = run_scenario(&spec);
@@ -127,6 +136,15 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             s.requests, s.admitted, s.shed, s.quota_exhausted,
             m.serving_serial_ms, m.serving_parallel_ms,
         );
+        let p = &report.paging;
+        if p.page_reads > 0 {
+            eprintln!(
+                "  paging ({} frames): {} page reads / {} pool hits ({:.1}% hit rate), {} evictions, pinned peak {} ({:.0} ns/fault)",
+                pool_frames.label(), p.page_reads, p.pool_hits,
+                100.0 * p.pool_hits as f64 / (p.pool_hits + p.page_reads).max(1) as f64,
+                p.evictions, p.pinned_peak, m.page_fault_ns,
+            );
+        }
         let sc = &report.scheduling;
         eprintln!(
             "  scheduler ({}): {} deadline hits / {} cancellations, mean slack {:.1} ticks, {} inversions ({:.1} ms)",
@@ -238,9 +256,11 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
 const HELP: &str = "labelcount-perf — scenario-matrix perf harness
 
 USAGE:
-  labelcount-perf [--tier smoke|standard|stress] [--family ba,er,loaded]
+  labelcount-perf [--tier smoke|standard|stress]
+                  [--family ba,er,loaded,loaded-paged]
                   [--seed N] [--fault-rate F] [--tenant-skew S]
-                  [--deadline inf|p95|p50] [--out DIR]
+                  [--deadline inf|p95|p50]
+                  [--pool-frames tight|comfortable|unbounded|N] [--out DIR]
   labelcount-perf compare --baseline DIR --current DIR [--max-regression X]
                   [--match-family] [--min-parallel-speedup X]
                   [--markdown-summary FILE]
@@ -253,7 +273,10 @@ the serving phase's heavy-hitter probability (default 0.6; same warn-only
 drift rule — the nightly serving matrix sweeps it). --deadline sets the
 scheduler phase's deadline tightness as a percentile of the unconstrained
 run's own tick bills (default p95; same warn-only drift rule — the
-nightly deadline matrix sweeps it). Compare mode exits 1
+nightly deadline matrix sweeps it). --pool-frames sets the loaded-paged
+scenario's buffer-pool frame budget (default tight = 16 frames; the
+budget moves only counters.paging — estimates stay bit-identical at any
+budget — and the nightly matrix sweeps it). Compare mode exits 1
 if any measured metric regressed more than the threshold (default 2.5x)
 against the baseline directory; --match-family additionally compares
 scenarios without a same-name baseline against a same-family baseline of

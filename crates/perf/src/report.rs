@@ -45,7 +45,13 @@ use crate::json::{Json, JsonError};
 /// cancellations into anytime answers, mean slack over the hits, and
 /// priority inversions charged by the non-preemptive loop) and the
 /// `measured.scheduler_ms` timing.
-pub const SCHEMA_VERSION: u64 = 6;
+///
+/// v7 added the `counters.paging` section (out-of-core paged-CSR buffer
+/// pool: page reads, pool hits, evictions, pinned-frame peak — all zero
+/// for in-RAM families) and the `measured.page_fault_ns` probe (steady
+/// cost of one pool miss on a tight frame budget, gated like the other
+/// wall times in the `loaded-paged` family).
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Scenario identity and workload parameters.
 #[derive(Clone, Debug, PartialEq)]
@@ -198,6 +204,22 @@ pub struct SchedulerCounters {
     pub priority_inversions: u64,
 }
 
+/// Deterministic counters of the out-of-core buffer pool, aggregated over
+/// the scenario's *serial* paged passes (parallel passes share the pool
+/// and would make the counts interleaving-dependent). All-zero for the
+/// in-RAM families, which never touch a pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PagingCounters {
+    /// Pages read from disk (pool misses).
+    pub page_reads: u64,
+    /// Pin requests served from resident frames.
+    pub pool_hits: u64,
+    /// Frames replaced to make room.
+    pub evictions: u64,
+    /// High-water mark of simultaneously pinned frames.
+    pub pinned_peak: u64,
+}
+
 /// One algorithm's deterministic results on a scenario.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AlgoCounters {
@@ -257,6 +279,11 @@ pub struct Measured {
     /// Wall time of the scheduler phase (the deadline-constrained
     /// scheduled run) on one shard with one worker, milliseconds.
     pub scheduler_ms: f64,
+    /// Steady cost of one buffer-pool page fault (miss + pread + frame
+    /// replacement) measured on a fresh tight-budget pool, nanoseconds.
+    /// Zero for in-RAM families, where the floor keeps the gate ratio
+    /// degenerate and the metric informational.
+    pub page_fault_ns: f64,
     /// Machine-speed proxy measured alongside the scenario
     /// ([`crate::scenario::calibration_ops_per_sec`]); the regression gate
     /// normalizes timing metrics by it so baselines transfer across
@@ -290,6 +317,9 @@ pub struct Report {
     /// Deterministic scheduler counters (deadline-aware scheduled serving
     /// through the virtual-time event loop).
     pub scheduling: SchedulerCounters,
+    /// Deterministic buffer-pool counters (out-of-core paged CSR; all
+    /// zero for in-RAM families).
+    pub paging: PagingCounters,
     /// Exact target-edge count `F`.
     pub ground_truth_f: u64,
     /// Machine-dependent measurements.
@@ -473,6 +503,15 @@ impl Report {
                             ),
                         ]),
                     ),
+                    (
+                        "paging",
+                        Json::obj(vec![
+                            ("page_reads", Json::Num(self.paging.page_reads as f64)),
+                            ("pool_hits", Json::Num(self.paging.pool_hits as f64)),
+                            ("evictions", Json::Num(self.paging.evictions as f64)),
+                            ("pinned_peak", Json::Num(self.paging.pinned_peak as f64)),
+                        ]),
+                    ),
                     ("ground_truth_f", Json::Num(self.ground_truth_f as f64)),
                 ]),
             ),
@@ -504,6 +543,7 @@ impl Report {
                     ("serving_serial_ms", Json::Num(ms.serving_serial_ms)),
                     ("serving_parallel_ms", Json::Num(ms.serving_parallel_ms)),
                     ("scheduler_ms", Json::Num(ms.scheduler_ms)),
+                    ("page_fault_ns", Json::Num(ms.page_fault_ns)),
                     (
                         "calibration_ops_per_sec",
                         Json::Num(ms.calibration_ops_per_sec),
@@ -643,6 +683,15 @@ impl Report {
             mean_slack_ticks: field_f64(scj, "mean_slack_ticks")?,
             priority_inversions: field_u64(scj, "priority_inversions")?,
         };
+        let pgj = counters
+            .get("paging")
+            .ok_or_else(|| miss("counters.paging"))?;
+        let paging = PagingCounters {
+            page_reads: field_u64(pgj, "page_reads")?,
+            pool_hits: field_u64(pgj, "pool_hits")?,
+            evictions: field_u64(pgj, "evictions")?,
+            pinned_peak: field_u64(pgj, "pinned_peak")?,
+        };
         let ground_truth_f = field_u64(counters, "ground_truth_f")?;
         let mj = v.get("measured").ok_or_else(|| miss("measured"))?;
         let aj = mj.get("alloc").ok_or_else(|| miss("measured.alloc"))?;
@@ -663,6 +712,7 @@ impl Report {
             serving_serial_ms: field_f64(mj, "serving_serial_ms")?,
             serving_parallel_ms: field_f64(mj, "serving_parallel_ms")?,
             scheduler_ms: field_f64(mj, "scheduler_ms")?,
+            page_fault_ns: field_f64(mj, "page_fault_ns")?,
             calibration_ops_per_sec: field_f64(mj, "calibration_ops_per_sec")?,
             alloc: AllocDelta {
                 peak_bytes: field_u64(aj, "peak_bytes")?,
@@ -679,6 +729,7 @@ impl Report {
             workload,
             serving,
             scheduling,
+            paging,
             ground_truth_f,
             measured,
         })
@@ -806,6 +857,12 @@ mod tests {
                 mean_slack_ticks: 42.5,
                 priority_inversions: 3,
             },
+            paging: PagingCounters {
+                page_reads: 512,
+                pool_hits: 14_200,
+                evictions: 496,
+                pinned_peak: 3,
+            },
             ground_truth_f: 6750,
             measured: Measured {
                 total_ms: 1234.5,
@@ -824,6 +881,7 @@ mod tests {
                 serving_serial_ms: 55.0,
                 serving_parallel_ms: 16.0,
                 scheduler_ms: 38.0,
+                page_fault_ns: 2_150.0,
                 calibration_ops_per_sec: 1.5e8,
                 alloc: AllocDelta {
                     peak_bytes: 1 << 20,
@@ -849,7 +907,7 @@ mod tests {
         let text = r
             .to_json()
             .to_pretty()
-            .replace("\"schema_version\": 6", "\"schema_version\": 999");
+            .replace("\"schema_version\": 7", "\"schema_version\": 999");
         match Report::from_json_text(&text) {
             Err(ReportError::Schema(msg)) => assert!(msg.contains("999"), "{msg}"),
             other => panic!("expected schema error, got {other:?}"),
@@ -858,7 +916,7 @@ mod tests {
 
     #[test]
     fn missing_fields_are_schema_errors() {
-        let text = "{\"schema_version\": 6}";
+        let text = "{\"schema_version\": 7}";
         assert!(matches!(
             Report::from_json_text(text),
             Err(ReportError::Schema(_))

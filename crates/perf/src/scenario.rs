@@ -11,14 +11,20 @@
 use std::time::Instant;
 
 use labelcount_core::{
-    algorithms, motifs, size, workload::run_workload, Engine, NsHansenHurwitz, RunConfig, Workload,
+    algorithms, motifs, size,
+    workload::{run_workload, run_workload_on},
+    Engine, NsHansenHurwitz, RunConfig, Workload,
 };
 use labelcount_graph::components::largest_component;
 use labelcount_graph::gen::{barabasi_albert, erdos_renyi_gnm};
 use labelcount_graph::labels::{assign_binary_labels, with_labels};
 use labelcount_graph::motifs::{count_labeled_triangles, count_labeled_wedges, TargetTriple};
+use labelcount_graph::paged::{EvictionPolicy, PagedCsrWriter, PagingStats, PoolConfig};
 use labelcount_graph::{GroundTruth, LabeledGraph, NodeId, TargetLabel};
-use labelcount_osn::{FaultConfig, LineGraphView, OsnApi, OsnApiExt, RetryPolicy, SimulatedOsn};
+use labelcount_osn::{
+    CacheConfig, FaultConfig, LineGraphView, OsnApi, OsnApiExt, PagedGraphOsn, RetryPolicy,
+    SimulatedOsn,
+};
 use labelcount_serve::{
     AdmissionConfig, GraphKey, QuotaPolicy, SchedulePolicy, ServiceReport, ServiceStatus,
     ServiceWorkload, ShardedService,
@@ -31,8 +37,8 @@ use rand::SeedableRng;
 
 use crate::alloc_track;
 use crate::report::{
-    AlgoCounters, EngineCounters, Measured, Report, ScenarioMeta, SchedulerCounters,
-    ServingCounters, WalkCounters, WorkloadCounters, SCHEMA_VERSION,
+    AlgoCounters, EngineCounters, Measured, PagingCounters, Report, ScenarioMeta,
+    SchedulerCounters, ServingCounters, WalkCounters, WorkloadCounters, SCHEMA_VERSION,
 };
 
 /// Graph family axis of the matrix.
@@ -47,12 +53,19 @@ pub enum Family {
     /// back through `labelcount_graph::io` (exercises the loader path real
     /// snapshots would take).
     Loaded,
+    /// The same generated graph persisted as a **paged CSR file** and
+    /// served out-of-core through a pinned-page buffer pool
+    /// (`labelcount_osn::PagedGraphOsn`). The engine, workload, serving,
+    /// and scheduler phases re-run their serial passes over the paged
+    /// backend and assert bit-identity against the in-RAM results; the
+    /// pool's paging counters land in `counters.paging`.
+    LoadedPaged,
 }
 
 impl Family {
     /// All families, matrix order.
-    pub fn all() -> [Family; 3] {
-        [Family::Ba, Family::Er, Family::Loaded]
+    pub fn all() -> [Family; 4] {
+        [Family::Ba, Family::Er, Family::Loaded, Family::LoadedPaged]
     }
 
     /// Stable lowercase name (file-name stem component).
@@ -61,6 +74,7 @@ impl Family {
             Family::Ba => "ba",
             Family::Er => "er",
             Family::Loaded => "loaded",
+            Family::LoadedPaged => "loaded-paged",
         }
     }
 
@@ -206,6 +220,59 @@ impl DeadlineTightness {
     }
 }
 
+/// Frame budget of the paged scenario's buffer pool — the
+/// [`Family::LoadedPaged`] axis the nightly matrix sweeps. The budget only
+/// changes *where* bytes come from (disk vs resident frames) and the
+/// paging counters; estimates, RNG streams, and every other deterministic
+/// counter are bit-identical at any budget (the pool overcommits rather
+/// than deadlock when every frame is pinned, so even `tight` is always
+/// sufficient).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolFrames {
+    /// 16 frames (64 KiB at the default 4 KiB page size) — a working set
+    /// far smaller than any tier's graph, so eviction runs hot. The
+    /// default, so every committed baseline exercises the eviction path.
+    Tight,
+    /// 1024 frames (4 MiB) — most smoke-scale pages stay resident.
+    Comfortable,
+    /// No budget: frames are appended and never evicted.
+    Unbounded,
+    /// An explicit frame count (`--pool-frames N`).
+    Fixed(usize),
+}
+
+impl PoolFrames {
+    /// The pool's frame budget; `None` = unbounded.
+    pub fn frames(self) -> Option<usize> {
+        match self {
+            PoolFrames::Tight => Some(16),
+            PoolFrames::Comfortable => Some(1024),
+            PoolFrames::Unbounded => None,
+            PoolFrames::Fixed(n) => Some(n.max(1)),
+        }
+    }
+
+    /// Display label (`tight`, `comfortable`, `unbounded`, or the count).
+    pub fn label(self) -> String {
+        match self {
+            PoolFrames::Tight => "tight".to_string(),
+            PoolFrames::Comfortable => "comfortable".to_string(),
+            PoolFrames::Unbounded => "unbounded".to_string(),
+            PoolFrames::Fixed(n) => n.to_string(),
+        }
+    }
+
+    /// Parses `tight`, `comfortable`, `unbounded`, or an explicit count.
+    pub fn parse(s: &str) -> Option<PoolFrames> {
+        match s {
+            "tight" => Some(PoolFrames::Tight),
+            "comfortable" => Some(PoolFrames::Comfortable),
+            "unbounded" => Some(PoolFrames::Unbounded),
+            other => other.parse::<usize>().ok().map(PoolFrames::Fixed),
+        }
+    }
+}
+
 /// One cell of the matrix plus its run parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct ScenarioSpec {
@@ -231,11 +298,17 @@ pub struct ScenarioSpec {
     /// deterministic scheduling counters (it changes which requests cancel
     /// into anytime answers). The nightly deadline matrix sweeps it.
     pub deadline: DeadlineTightness,
+    /// Buffer-pool frame budget of the [`Family::LoadedPaged`] scenario
+    /// (ignored by the in-RAM families). Part of the deterministic
+    /// `counters.paging` section — a different budget changes page reads,
+    /// hits, and evictions (warn-only drift) but never estimates. The
+    /// nightly matrix sweeps it.
+    pub pool_frames: PoolFrames,
 }
 
 impl ScenarioSpec {
-    /// A spec at the default fault rate, tenant skew, and deadline
-    /// tightness.
+    /// A spec at the default fault rate, tenant skew, deadline tightness,
+    /// and pool frame budget.
     pub fn new(family: Family, tier: Tier, seed: u64) -> ScenarioSpec {
         ScenarioSpec {
             family,
@@ -244,6 +317,7 @@ impl ScenarioSpec {
             fault_rate: DEFAULT_FAULT_RATE,
             tenant_skew: DEFAULT_TENANT_SKEW,
             deadline: DEFAULT_DEADLINE,
+            pool_frames: DEFAULT_POOL_FRAMES,
         }
     }
 }
@@ -265,6 +339,11 @@ pub const DEFAULT_TENANT_SKEW: f64 = 0.6;
 /// the tail of the stream cancels into anytime answers in every committed
 /// baseline, loose enough that most requests complete.
 pub const DEFAULT_DEADLINE: DeadlineTightness = DeadlineTightness::P95;
+
+/// Default buffer-pool frame budget of the paged scenario: tight, so every
+/// committed baseline exercises eviction and keeps the out-of-core
+/// residency far below the in-RAM families'.
+pub const DEFAULT_POOL_FRAMES: PoolFrames = PoolFrames::Tight;
 
 /// Internal stream ids for [`replication_seed`] derivation, so no two
 /// measurement phases share an RNG stream.
@@ -299,7 +378,11 @@ pub fn build_graph(spec: &ScenarioSpec) -> LabeledGraph {
         // Same average degree as the BA cell so throughput numbers compare
         // across families.
         Family::Er => erdos_renyi_gnm(n, 4 * n, &mut rng),
-        Family::Loaded => barabasi_albert(n, 6, &mut rng),
+        // Same generator and degree for both loaded families, so the
+        // in-RAM `loaded` cell and the out-of-core `loaded-paged` cell
+        // measure the identical graph and their residency peaks compare
+        // one to one.
+        Family::Loaded | Family::LoadedPaged => barabasi_albert(n, 6, &mut rng),
     };
     let mut labels = vec![Vec::new(); g.num_nodes()];
     assign_binary_labels(&mut labels, 0.45, &mut rng);
@@ -401,7 +484,7 @@ fn finite_nrmse(estimates: &[f64], truth: f64) -> Option<f64> {
 /// Runs one scenario end to end and assembles its [`Report`].
 pub fn run_scenario(spec: &ScenarioSpec) -> Report {
     let scenario_start = Instant::now();
-    let alloc_before = alloc_track::snapshot();
+    let alloc_before = alloc_track::begin_window();
 
     let g = build_graph(spec);
     let n = g.num_nodes();
@@ -610,6 +693,11 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
     let hit_path_ns =
         t0.elapsed().as_nanos() as f64 / (probe_rounds as u64 * probe_nodes as u64) as f64;
     drop(probe);
+    // The serial engine's warm L2 holds every fetched list — graph-scale
+    // state that would otherwise stay live (the `EngineCounters` binding
+    // below shadows this `Engine` without dropping it) and inflate the
+    // alloc window of every later phase.
+    drop(engine);
 
     let engine_cold = Engine::new(&g);
     let t0 = Instant::now();
@@ -643,6 +731,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
             .collect::<Vec<_>>(),
         "parallel replication must be bit-identical to the serial loop"
     );
+    drop(engine_cold);
 
     let engine = EngineCounters {
         replicates: engine_reps as u64,
@@ -892,7 +981,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
         None => scheduler_policy,
         Some(d) => scheduler_policy.with_deadline(d),
     };
-    let scheduler_parallel = run_scheduled(SERVING_GRAPHS as usize, threads, final_policy);
+    let scheduler_parallel = run_scheduled(SERVING_GRAPHS as usize, threads, final_policy.clone());
     assert_eq!(
         service_bits(&scheduler_serial),
         service_bits(&scheduler_parallel),
@@ -910,6 +999,174 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
         cancellations: sched.cancellations,
         mean_slack_ticks: sched.mean_slack_ticks,
         priority_inversions: sched.priority_inversions,
+    };
+
+    // --- Out-of-core: the paged-CSR backend behind the buffer pool. The
+    // scenario graph is written to a paged CSR file once, then every
+    // layer's *serial* pass re-runs over `PagedGraphOsn` instances opened
+    // at the spec's frame budget — engine replication, the adversarial
+    // workload, the sharded service, and the deadline scheduler — and
+    // each is asserted bit-identical to the in-RAM pass above. That is
+    // the out-of-core determinism contract: the pool changes where bytes
+    // live, never which bytes a fetch returns. Paging counters aggregate
+    // over exactly these serial passes (single-threaded access order is
+    // deterministic, so they are too); the parallel passes are not
+    // repeated — thread interleaving would make pool stats
+    // non-deterministic without proving anything the in-RAM parallel
+    // asserts haven't.
+    let (paging, page_fault_ns) = if spec.family == Family::LoadedPaged {
+        let pool_cfg = match spec.pool_frames.frames() {
+            None => PoolConfig::unbounded(),
+            Some(k) => PoolConfig::bounded(k, EvictionPolicy::Lru),
+        };
+        // A paged backend pairs with a *bounded* L2: an unbounded cache
+        // would quietly re-materialize the whole graph in RAM and the
+        // residency comparison against the in-RAM `loaded` cell would
+        // measure nothing.
+        let paged_cache = CacheConfig {
+            capacity: Some(512),
+            ..CacheConfig::default()
+        };
+        let path = std::env::temp_dir().join(format!(
+            "labelcount_perf_{}_{}_{}.paged",
+            spec.name(),
+            spec.seed,
+            std::process::id()
+        ));
+        PagedCsrWriter::new()
+            .write(&g, &path)
+            .expect("write paged CSR file");
+        let open = |cfg: PoolConfig| {
+            PagedGraphOsn::open(&path, cfg).expect("reopen the paged CSR file just written")
+        };
+
+        let mut paging = PagingCounters::default();
+        let mut absorb = |s: PagingStats| {
+            paging.page_reads += s.page_reads;
+            paging.pool_hits += s.pool_hits;
+            paging.evictions += s.evictions;
+            paging.pinned_peak = paging.pinned_peak.max(s.pinned_peak);
+        };
+
+        // Engine replication, serial.
+        let engine_paged: Engine<'_, PagedGraphOsn> =
+            Engine::on_backend_with_config(open(pool_cfg), paged_cache);
+        let paged_estimates: Vec<f64> = engine_paged
+            .estimate_replicated(
+                &engine_alg,
+                target,
+                engine_budget,
+                &cfg,
+                engine_seed,
+                engine_reps,
+                1,
+            )
+            .into_iter()
+            .map(|r| sanitize(r.expect("unbudgeted estimation on a connected component")))
+            .collect();
+        assert_eq!(
+            engine
+                .estimates
+                .iter()
+                .map(|e| e.to_bits())
+                .collect::<Vec<_>>(),
+            paged_estimates
+                .iter()
+                .map(|e| e.to_bits())
+                .collect::<Vec<_>>(),
+            "paged engine replication must be bit-identical to the in-RAM pass"
+        );
+        absorb(engine_paged.backend().paging_stats());
+        drop(engine_paged);
+        drop(paged_estimates);
+
+        // Adversarial workload, serial.
+        let wl_backend = open(pool_cfg);
+        let wl_paged = run_workload_on(&wl_backend, &wl, 1);
+        let paged_bits: Vec<Option<u64>> = wl_paged
+            .outcomes
+            .iter()
+            .map(|o| o.estimate.as_ref().ok().map(|e| e.to_bits()))
+            .collect();
+        assert_eq!(
+            serial_bits, paged_bits,
+            "paged workload must be bit-identical to the in-RAM pass, faults included"
+        );
+        absorb(wl_backend.paging_stats());
+        drop(wl_paged);
+        drop(wl_backend);
+
+        // Sharded service and deadline scheduler, serial (each graph key
+        // gets its own pool over the same file — a four-dataset fleet
+        // sharing one on-disk snapshot).
+        let mut svc = ShardedService::new(1, serving_seed);
+        for &k in &serving_keys {
+            svc.register_paged(k, open(pool_cfg), paged_cache);
+        }
+        let serving_paged = svc.run(serving_wl(), 1);
+        assert_eq!(
+            service_bits(&serving_serial),
+            service_bits(&serving_paged),
+            "paged serving must be bit-identical to the in-RAM pass"
+        );
+        for &k in &serving_keys {
+            absorb(
+                svc.paged_engine(k)
+                    .expect("key was registered paged")
+                    .backend()
+                    .paging_stats(),
+            );
+        }
+        // Each pass's pools, caches, and outcomes are released before the
+        // next begins, so the paged block's high-water mark is one pass's
+        // working state, not the sum of all four.
+        drop(serving_paged);
+        drop(svc);
+
+        let mut svc = ShardedService::new(1, scheduler_seed);
+        for &k in &serving_keys {
+            svc.register_paged(k, open(pool_cfg), paged_cache);
+        }
+        let scheduler_paged = svc.run_scheduled(scheduler_wl(final_policy), 1);
+        assert_eq!(
+            service_bits(&scheduler_serial),
+            service_bits(&scheduler_paged),
+            "paged scheduled run must be bit-identical to the in-RAM pass"
+        );
+        for &k in &serving_keys {
+            absorb(
+                svc.paged_engine(k)
+                    .expect("key was registered paged")
+                    .backend()
+                    .paging_stats(),
+            );
+        }
+        drop(scheduler_paged);
+        drop(svc);
+
+        // Page-fault latency probe: a fresh single-frame pool makes every
+        // distinct page touch a miss, so elapsed / page_reads is the cost
+        // of one fault (read + decode + frame bookkeeping). A fixed node
+        // stride walks the adjacency section end to end deterministically.
+        let probe = open(PoolConfig::bounded(1, EvictionPolicy::Lru));
+        let stride = (n / 256).max(1);
+        let t0 = Instant::now();
+        for u in (0..n).step_by(stride) {
+            std::hint::black_box(probe.graph().neighbors(NodeId(u as u32)).len());
+        }
+        let probe_ns = t0.elapsed().as_nanos() as f64;
+        let reads = probe.paging_stats().page_reads;
+        let page_fault_ns = if reads > 0 {
+            probe_ns / reads as f64
+        } else {
+            0.0
+        };
+        drop(probe);
+
+        let _ = std::fs::remove_file(&path);
+        (paging, page_fault_ns)
+    } else {
+        (PagingCounters::default(), 0.0)
     };
 
     let alloc = alloc_track::delta(alloc_before, alloc_track::snapshot());
@@ -939,6 +1196,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
         workload,
         serving,
         scheduling,
+        paging,
         ground_truth_f: gt.f as u64,
         measured: Measured {
             total_ms: ms(scenario_start),
@@ -965,6 +1223,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
             serving_serial_ms,
             serving_parallel_ms,
             scheduler_ms,
+            page_fault_ns,
             calibration_ops_per_sec: calibration_ops_per_sec(),
             alloc,
         },
@@ -993,9 +1252,23 @@ mod tests {
             assert_eq!(DeadlineTightness::parse(d.name()), Some(d));
         }
         assert_eq!(DeadlineTightness::parse("p99"), None);
+        assert_eq!(Family::parse("loaded-paged"), Some(Family::LoadedPaged));
+        assert_eq!(PoolFrames::parse("tight"), Some(PoolFrames::Tight));
+        assert_eq!(
+            PoolFrames::parse("comfortable"),
+            Some(PoolFrames::Comfortable)
+        );
+        assert_eq!(PoolFrames::parse("unbounded"), Some(PoolFrames::Unbounded));
+        assert_eq!(PoolFrames::parse("48"), Some(PoolFrames::Fixed(48)));
+        assert_eq!(PoolFrames::parse("lots"), None);
+        assert_eq!(PoolFrames::Tight.frames(), Some(16));
+        assert_eq!(PoolFrames::Unbounded.frames(), None);
+        assert_eq!(PoolFrames::Fixed(0).frames(), Some(1));
+        assert_eq!(PoolFrames::Fixed(48).label(), "48");
         let spec = ScenarioSpec::new(Family::Er, Tier::Smoke, 1);
         assert_eq!(spec.name(), "er_smoke");
         assert_eq!(spec.deadline, DEFAULT_DEADLINE);
+        assert_eq!(spec.pool_frames, DEFAULT_POOL_FRAMES);
     }
 
     #[test]

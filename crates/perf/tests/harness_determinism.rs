@@ -2,8 +2,8 @@
 //! deterministic counters (steps, API calls, estimates), end to end
 //! through JSON serialization.
 
-use labelcount_perf::report::Report;
-use labelcount_perf::scenario::{run_scenario, Family, ScenarioSpec, Tier};
+use labelcount_perf::report::{PagingCounters, Report};
+use labelcount_perf::scenario::{run_scenario, Family, PoolFrames, ScenarioSpec, Tier};
 
 fn smoke_spec(family: Family, seed: u64) -> ScenarioSpec {
     ScenarioSpec::new(family, Tier::Smoke, seed)
@@ -170,6 +170,48 @@ fn smoke_report_round_trips_and_batched_walk_agrees() {
     );
     assert!(sc.mean_slack_ticks >= 0.0);
     assert!(parsed.measured.scheduler_ms > 0.0);
+
+    // The v7 paging section: in-RAM families never touch the pool, so
+    // their counters are all-zero and the fault probe reports 0.0.
+    assert_eq!(parsed.paging, PagingCounters::default());
+    assert_eq!(parsed.measured.page_fault_ns, 0.0);
+}
+
+/// The v7 out-of-core scenario. Bit-identity of every paged serial pass
+/// against its in-RAM twin is asserted *inside* `run_scenario` (the run
+/// panics on any divergence), so this test focuses on the paging section:
+/// the counters are live at the default tight budget, deterministic
+/// across runs, and a roomier budget moves *only* them.
+#[test]
+fn loaded_paged_scenario_reports_live_deterministic_paging_counters() {
+    let spec = smoke_spec(Family::LoadedPaged, 3);
+    let a = run_scenario(&spec);
+    let b = run_scenario(&spec);
+    assert!(a.paging.page_reads > 0, "paged phases read no pages");
+    assert!(a.paging.pool_hits > 0, "paged phases never hit the pool");
+    assert!(a.paging.evictions > 0, "a tight budget must evict");
+    assert!(a.paging.pinned_peak >= 1);
+    assert_eq!(a.paging, b.paging, "paging counters must be deterministic");
+    assert!(
+        a.measured.page_fault_ns > 0.0,
+        "cold-pool probe must measure a positive per-fault cost"
+    );
+
+    // An unbounded pool never evicts and re-reads nothing, yet every
+    // other deterministic counter — estimates, faults, admission,
+    // scheduling — is untouched by the budget.
+    let mut roomy_spec = spec;
+    roomy_spec.pool_frames = PoolFrames::Unbounded;
+    let roomy = run_scenario(&roomy_spec);
+    assert_eq!(roomy.paging.evictions, 0);
+    assert!(roomy.paging.page_reads <= a.paging.page_reads);
+    assert!(roomy.paging.pool_hits >= a.paging.pool_hits);
+    assert_eq!(a.walk, roomy.walk);
+    assert_eq!(a.engine, roomy.engine);
+    assert_eq!(a.workload, roomy.workload);
+    assert_eq!(a.serving, roomy.serving);
+    assert_eq!(a.scheduling, roomy.scheduling);
+    assert_eq!(a.ground_truth_f, roomy.ground_truth_f);
 }
 
 /// The fault rate is part of the deterministic counters: a different rate

@@ -39,7 +39,9 @@ use std::sync::Mutex;
 use labelcount_core::{
     EstimateError, Priority, ProgressSnapshot, QueryOutcome, QuerySpec, Schedule, WorkloadProgress,
 };
-use labelcount_osn::{AdversarialOsn, CachedOsn, FaultConfig, GraphOsn, OsnApi, RetryPolicy};
+use labelcount_osn::{
+    AdversarialOsn, CachedOsn, FaultConfig, GraphOsn, OsnApi, OsnBackend, RetryPolicy,
+};
 use labelcount_stats::{replication_seed, RunningStats};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,8 +49,8 @@ use rand::SeedableRng;
 use crate::admission::{unit_hash, AdmissionDecision, AdmissionState};
 use crate::router::{GraphKey, TenantId};
 use crate::service::{
-    ServiceOutcome, ServiceProgress, ServiceReport, ServiceRequest, ServiceStatus, ServiceWorkload,
-    ServingCounters, ShardedService,
+    AnyEngine, ServiceOutcome, ServiceProgress, ServiceReport, ServiceRequest, ServiceStatus,
+    ServiceWorkload, ServingCounters, ShardedService,
 };
 
 /// Stream ids for the scheduler's internal seed derivations.
@@ -300,8 +302,13 @@ impl TaskState {
 /// Runs one graph's discrete-event loop to completion. Strictly serial:
 /// the loop IS the graph's single virtual timeline, which is what makes
 /// the per-graph progress fallback (and everything else) deterministic.
-fn run_graph_loop(
-    shared: &GraphOsn<'_>,
+///
+/// Generic over the backend: the in-RAM [`GraphOsn`] and the out-of-core
+/// `labelcount_osn::PagedGraphOsn` both serve identical bytes, so the
+/// loop's virtual timeline — and every counter derived from it — is
+/// backend-independent.
+fn run_graph_loop<B: OsnBackend>(
+    shared: &B,
     tasks: Vec<QuerySpec>,
     workload: &WorkloadKnobs,
     fault_base: u64,
@@ -690,16 +697,25 @@ impl<'g> ShardedService<'g> {
                                 .unwrap()
                                 .take()
                                 .expect("each graph's tasks are taken once");
-                            let shared = GraphOsn::new(self.graphs[gi].2.graph());
                             let fault_base = replication_seed(fault_root, self.graphs[gi].0 .0);
-                            let result = run_graph_loop(
-                                &shared,
-                                tasks,
-                                knobs,
-                                fault_base,
-                                replicates,
-                                &progress.slots[gi].1,
-                            );
+                            let result = match &self.graphs[gi].2 {
+                                AnyEngine::Ram(e) => run_graph_loop(
+                                    &GraphOsn::new(e.graph()),
+                                    tasks,
+                                    knobs,
+                                    fault_base,
+                                    replicates,
+                                    &progress.slots[gi].1,
+                                ),
+                                AnyEngine::Paged(e) => run_graph_loop(
+                                    e.backend(),
+                                    tasks,
+                                    knobs,
+                                    fault_base,
+                                    replicates,
+                                    &progress.slots[gi].1,
+                                ),
+                            };
                             *slots[gi].lock().unwrap() = Some(result);
                         }
                     });

@@ -27,7 +27,7 @@ use labelcount_core::{
     WorkloadReport,
 };
 use labelcount_graph::{LabeledGraph, TargetLabel};
-use labelcount_osn::{FaultConfig, RetryPolicy};
+use labelcount_osn::{CacheConfig, FaultConfig, PagedGraphOsn, RetryPolicy};
 use labelcount_stats::{replication_seed, RunningStats};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -183,41 +183,6 @@ impl ServiceWorkload {
             quotas: QuotaPolicy::unmetered(),
             scheduling: None,
         }
-    }
-
-    /// Replaces the fault model (builder style).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ServiceWorkloadBuilder::faults` \
-                (`workload.builder().faults(..).build()`); the ad-hoc \
-                `with_*` methods are superseded by the shared builder"
-    )]
-    pub fn with_faults(mut self, faults: FaultConfig, retry: RetryPolicy) -> ServiceWorkload {
-        self.faults = faults;
-        self.retry = retry;
-        self
-    }
-
-    /// Replaces the admission tuning (builder style).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ServiceWorkloadBuilder::admission` \
-                (`workload.builder().admission(..).build()`)"
-    )]
-    pub fn with_admission(mut self, admission: AdmissionConfig) -> ServiceWorkload {
-        self.admission = admission;
-        self
-    }
-
-    /// Replaces the quota policy (builder style).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ServiceWorkloadBuilder::quotas` \
-                (`workload.builder().quotas(..).build()`)"
-    )]
-    pub fn with_quotas(mut self, quotas: QuotaPolicy) -> ServiceWorkload {
-        self.quotas = quotas;
-        self
     }
 
     /// Wraps this workload in a [`ServiceWorkloadBuilder`] to override the
@@ -458,6 +423,34 @@ impl ServiceProgress {
     }
 }
 
+/// One registered graph's engine: in-RAM (borrowing the caller's
+/// [`LabeledGraph`]) or out-of-core (owning a [`PagedGraphOsn`] whose
+/// residency the buffer pool bounds). Both run the identical query stack;
+/// the serving layer only dispatches on the variant where it must hand
+/// the scheduler a concrete backend.
+pub(crate) enum AnyEngine<'g> {
+    /// In-RAM backend over a borrowed graph.
+    Ram(Engine<'g>),
+    /// Out-of-core backend over a paged CSR file. Boxed: the paged
+    /// engine embeds the pool handle and is ~3x the in-RAM variant's
+    /// size, and `graphs` holds one entry per registered graph.
+    Paged(Box<Engine<'g, PagedGraphOsn>>),
+}
+
+impl AnyEngine<'_> {
+    fn run_workload_observed(
+        &self,
+        workload: &Workload,
+        workers: usize,
+        progress: &WorkloadProgress,
+    ) -> WorkloadReport {
+        match self {
+            AnyEngine::Ram(e) => e.run_workload_observed(workload, workers, progress),
+            AnyEngine::Paged(e) => e.run_workload_observed(workload, workers, progress),
+        }
+    }
+}
+
 /// A long-lived multi-graph service: consistent-hash routing to
 /// shared-nothing per-shard engines, with deterministic admission.
 pub struct ShardedService<'g> {
@@ -466,7 +459,7 @@ pub struct ShardedService<'g> {
     /// `(key, owning shard, engine)`, in registration order. The engine —
     /// and its shared L2 cache — belongs to the owning shard; run-time
     /// execution never touches another shard's entries.
-    pub(crate) graphs: Vec<(GraphKey, usize, Engine<'g>)>,
+    pub(crate) graphs: Vec<(GraphKey, usize, AnyEngine<'g>)>,
 }
 
 impl<'g> ShardedService<'g> {
@@ -490,7 +483,35 @@ impl<'g> ShardedService<'g> {
             "graph key {key:?} registered twice"
         );
         let shard = self.router.route(key);
-        self.graphs.push((key, shard, Engine::new(graph)));
+        self.graphs
+            .push((key, shard, AnyEngine::Ram(Engine::new(graph))));
+        shard
+    }
+
+    /// Registers an out-of-core graph under `key`, returning the shard
+    /// that owns it. The engine's shared L2 is sized by `cache` — pair a
+    /// paged backend with a *bounded* cache so total residency (pool
+    /// frames + L2 entries) stays capped; an unbounded L2 would slowly
+    /// re-materialize the graph in RAM.
+    ///
+    /// # Panics
+    /// Panics if `key` is already registered.
+    pub fn register_paged(
+        &mut self,
+        key: GraphKey,
+        backend: PagedGraphOsn,
+        cache: CacheConfig,
+    ) -> usize {
+        assert!(
+            !self.graphs.iter().any(|(k, _, _)| *k == key),
+            "graph key {key:?} registered twice"
+        );
+        let shard = self.router.route(key);
+        self.graphs.push((
+            key,
+            shard,
+            AnyEngine::Paged(Box::new(Engine::on_backend_with_config(backend, cache))),
+        ));
         shard
     }
 
@@ -519,12 +540,29 @@ impl<'g> ShardedService<'g> {
         self.router.route(key)
     }
 
-    /// The engine serving `key`, if registered.
+    /// The in-RAM engine serving `key`, if registered via
+    /// [`ShardedService::register`]. Paged registrations answer `None`
+    /// here — reach them through [`ShardedService::paged_engine`].
     pub fn engine(&self, key: GraphKey) -> Option<&Engine<'g>> {
         self.graphs
             .iter()
             .find(|(k, _, _)| *k == key)
-            .map(|(_, _, e)| e)
+            .and_then(|(_, _, e)| match e {
+                AnyEngine::Ram(e) => Some(e),
+                AnyEngine::Paged(_) => None,
+            })
+    }
+
+    /// The out-of-core engine serving `key`, if registered via
+    /// [`ShardedService::register_paged`].
+    pub fn paged_engine(&self, key: GraphKey) -> Option<&Engine<'g, PagedGraphOsn>> {
+        self.graphs
+            .iter()
+            .find(|(k, _, _)| *k == key)
+            .and_then(|(_, _, e)| match e {
+                AnyEngine::Ram(_) => None,
+                AnyEngine::Paged(e) => Some(e.as_ref()),
+            })
     }
 
     pub(crate) fn graph_index(&self, key: GraphKey) -> Option<usize> {
