@@ -63,13 +63,8 @@ fn bench_hit_path(c: &mut Criterion) {
     group.bench_function("l2_hit", |b| {
         // L1 disabled: every repeat lookup takes the shared path (read
         // lock + index probe + atomic Arc refcount round trip).
-        let cache = CachedOsn::with_config(
-            GraphOsn::new(g),
-            CacheConfig {
-                l1_slots: 0,
-                ..CacheConfig::default()
-            },
-        );
+        let cache =
+            CachedOsn::with_config(GraphOsn::new(g), CacheConfig::builder().l1_slots(0).build());
         let session = cache.session();
         probe_loop(&session, probe_nodes); // warm the L2
         b.iter(|| black_box(probe_loop(&session, probe_nodes)))

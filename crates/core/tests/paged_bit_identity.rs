@@ -64,10 +64,7 @@ fn all_ten_algorithms_are_bit_identical_out_of_core() {
         ("unbounded", PoolConfig::unbounded()),
     ];
     // A bounded L2 so cache hits cannot hide the pool from the walk.
-    let cache = CacheConfig {
-        capacity: Some(64),
-        ..CacheConfig::default()
-    };
+    let cache = CacheConfig::builder().capacity(64).build();
 
     let ram = Engine::new(&g);
     for (label, pool) in budgets {

@@ -101,7 +101,7 @@ proptest! {
 
         let cache = CachedOsn::with_config(
             SimulatedOsn::new(&g),
-            CacheConfig { capacity: Some(capacity), shards: 4, ..CacheConfig::default() },
+            CacheConfig::builder().capacity(capacity).shards(4).build(),
         );
         let session = cache.session();
         let mut rng_c = StdRng::seed_from_u64(seed);

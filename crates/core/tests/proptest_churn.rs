@@ -1,0 +1,132 @@
+//! The dynamic-graph determinism contract, property-tested: a churn rate
+//! of **zero** is not "approximately static" — it is **bit-identical** to
+//! the static stack, for every one of the paper's ten Table-2 algorithms,
+//! through every cache depth the repo ships:
+//!
+//! * a [`ChurnOsn`] with `events_per_batch == 0` behind the full
+//!   L1 + L2 session stack vs the plain `GraphOsn` stack;
+//! * the same backend behind a *bounded* L2 (eviction pressure) and with
+//!   the L1 disabled;
+//! * the paged out-of-core backend as cross-reference (its own
+//!   bit-identity suite pins it to RAM).
+//!
+//! Zero churn also means zero invalidation: every stale-eviction counter
+//! must read 0, and the backend must never report a non-`STATIC` epoch.
+
+use labelcount_core::{algorithms, RunConfig};
+use labelcount_graph::churn::ChurnConfig;
+use labelcount_graph::gen::barabasi_albert;
+use labelcount_graph::labels::{assign_binary_labels, with_labels};
+use labelcount_graph::{LabeledGraph, TargetLabel};
+use labelcount_osn::{CacheConfig, CachedOsn, ChurnOsn, GraphOsn};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+fn arb_labeled_ba() -> impl Strategy<Value = LabeledGraph> {
+    (10usize..60, 1usize..4, any::<u64>()).prop_map(|(n, m, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = barabasi_albert(n.max(m + 1), m, &mut rng);
+        let mut labels = vec![Vec::new(); g.num_nodes()];
+        assign_binary_labels(&mut labels, 0.5, &mut rng);
+        with_labels(&g, &labels)
+    })
+}
+
+/// Cache depths to sweep: the default L1+L2, L1 disabled, and a tiny
+/// bounded L2 under constant eviction pressure.
+fn cache_configs() -> [CacheConfig; 3] {
+    [
+        CacheConfig::builder().build(),
+        CacheConfig::builder().l1_slots(0).build(),
+        CacheConfig::builder().capacity(8).l1_slots(1).build(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn zero_churn_is_bit_identical_to_the_static_stack_for_every_algorithm(
+        g in arb_labeled_ba(),
+        seed in any::<u64>(),
+        budget in 30usize..120,
+        churn_seed in any::<u64>(),
+    ) {
+        let target = TargetLabel::new(1.into(), 2.into());
+        let cfg = RunConfig { burn_in: 25, ..RunConfig::default() };
+        for (ai, alg) in algorithms::all_paper(0.2, 0.5).iter().enumerate() {
+            let alg_seed = seed.wrapping_add(ai as u64);
+
+            // Reference: the static graph behind the default cache stack.
+            let static_cache = CachedOsn::new(GraphOsn::new(&g));
+            let session = static_cache.session();
+            let mut rng_s = StdRng::seed_from_u64(alg_seed);
+            let est_s = alg.estimate(&session, target, budget, &cfg, &mut rng_s).unwrap();
+            let next_s = rng_s.next_u64();
+            drop(session);
+
+            for (ci, cache_cfg) in cache_configs().into_iter().enumerate() {
+                // Zero events per batch: the schedule ticks, the graph
+                // never changes, and neither may a single bit of output.
+                let churn = ChurnOsn::new(&g, ChurnConfig {
+                    seed: churn_seed,
+                    events_per_batch: 0,
+                    batch_interval_ticks: 5,
+                    region_shift: 2,
+                });
+                churn.advance_to(1_000); // tick the schedule anyway
+                let cache = CachedOsn::with_config(churn, cache_cfg);
+                let session = cache.session();
+                let mut rng_c = StdRng::seed_from_u64(alg_seed);
+                let est_c = alg.estimate(&session, target, budget, &cfg, &mut rng_c).unwrap();
+
+                prop_assert_eq!(
+                    est_s.to_bits(), est_c.to_bits(),
+                    "{} (cache {}): zero churn diverged from static", alg.abbrev(), ci
+                );
+                prop_assert_eq!(
+                    next_s, rng_c.next_u64(),
+                    "{} (cache {}): RNG streams diverged", alg.abbrev(), ci
+                );
+                prop_assert_eq!(session.l1_stale_evictions(), 0);
+                drop(session);
+                let stats = cache.stats();
+                prop_assert_eq!(
+                    stats.stale_evictions(), 0,
+                    "{} (cache {}): zero churn must invalidate nothing", alg.abbrev(), ci
+                );
+            }
+        }
+    }
+
+    /// Nonzero churn between sessions invalidates *only* what churned:
+    /// the estimate may legitimately move, but re-running the same session
+    /// twice with no churn in between is still bit-reproducible.
+    #[test]
+    fn runs_between_unadvanced_ticks_are_reproducible_under_live_churn(
+        g in arb_labeled_ba(),
+        seed in any::<u64>(),
+    ) {
+        let target = TargetLabel::new(1.into(), 2.into());
+        let cfg = RunConfig { burn_in: 25, ..RunConfig::default() };
+        let alg = labelcount_core::NsHansenHurwitz;
+        let churn = ChurnOsn::new(&g, ChurnConfig {
+            seed,
+            events_per_batch: 6,
+            batch_interval_ticks: 1,
+            region_shift: 0,
+        });
+        churn.advance_to(3); // mutate, then hold still
+        let cache = CachedOsn::new(churn);
+        let run = || {
+            let session = cache.session();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xA5);
+            let est = labelcount_core::Algorithm::estimate(
+                &alg, &session, target, 60, &cfg, &mut rng,
+            ).unwrap();
+            est.to_bits()
+        };
+        prop_assert_eq!(run(), run(), "no churn between runs, yet bits moved");
+    }
+}

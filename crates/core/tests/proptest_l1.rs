@@ -68,7 +68,7 @@ proptest! {
             for l1_slots in L1_SIZES {
                 let cache = CachedOsn::with_config(
                     SimulatedOsn::new(&g),
-                    CacheConfig { l1_slots, ..CacheConfig::default() },
+                    CacheConfig::builder().l1_slots(l1_slots).build(),
                 );
                 let session = cache.session();
                 let mut rng = StdRng::seed_from_u64(alg_seed);

@@ -93,10 +93,7 @@ pub fn eviction_sweep(
     // A bounded L2 keeps traffic flowing to the pool (an unbounded cache
     // would absorb every repeat fetch and starve the sweep's subject) and
     // caps out-of-core residency the way production pairings should.
-    let cache = CacheConfig {
-        capacity: Some(256),
-        ..CacheConfig::default()
-    };
+    let cache = CacheConfig::builder().capacity(256).build();
 
     let reference: Vec<Option<u64>> = Engine::new(&dataset.graph)
         .estimate_replicated(&alg, target, budget, &run_config, seed, replicates, 1)

@@ -27,6 +27,12 @@
 //! * the [`deadlines`] module sweeps deadline tightness × priority mix
 //!   through the virtual-time scheduler and scores the anytime answers of
 //!   cancelled queries against ground truth;
+//! * the [`staleness`] module sweeps churn rate × cache depth through the
+//!   dynamic-graph backend and prices epoch-stamped invalidation against
+//!   serving stale cache entries;
+//! * the [`registry`] module holds every experiment as an
+//!   [`registry::ExperimentSpec`] — the single list the CLI's dispatch,
+//!   id expansion, and `--list` are generated from;
 //! * the `labelcount-exp` binary exposes all of it on the command line.
 
 #![warn(missing_docs)]
@@ -35,11 +41,14 @@ pub mod ablations;
 pub mod datasets;
 pub mod deadlines;
 pub mod eviction;
+pub mod registry;
 pub mod report;
 pub mod resilience;
 pub mod runner;
 pub mod serving;
+pub mod staleness;
 pub mod tables;
 
 pub use datasets::{Dataset, DatasetKind, TargetSpec};
+pub use registry::{ExperimentSpec, Registry};
 pub use runner::{nrmse_sweep, SweepConfig, SweepRow};

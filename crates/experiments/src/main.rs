@@ -17,6 +17,7 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use labelcount_experiments::registry::Registry;
 use labelcount_experiments::runner::SweepConfig;
 use labelcount_experiments::tables::Harness;
 
@@ -58,8 +59,9 @@ fn parse_args() -> Result<Cli, String> {
             "--out" => cli.out = Some(PathBuf::from(grab("--out")?)),
             "--csv" => cli.csv = true,
             "--list" => {
-                for id in Harness::experiment_ids() {
-                    println!("{id}");
+                // Generated from the registry: id + one-line description.
+                for exp in Registry::paper().iter() {
+                    println!("{:<20} {}", exp.id(), exp.description());
                 }
                 std::process::exit(0);
             }

@@ -10,6 +10,7 @@ use labelcount_core::{algorithms, Algorithm};
 use labelcount_graph::ground_truth::all_pair_counts;
 
 use crate::datasets::{build, closest_pairs, Dataset, DatasetKind};
+use crate::registry::Registry;
 use crate::report::{format_bound, format_plain_table, format_sweep_table};
 use crate::runner::{nrmse_sweep, paper_size_headers, paper_sizes, SweepConfig};
 
@@ -47,109 +48,20 @@ impl Harness {
         d
     }
 
-    /// All experiment ids `run` accepts, in paper order.
+    /// All experiment ids `run` accepts, in paper order — generated from
+    /// the [`Registry`].
     pub fn experiment_ids() -> Vec<String> {
-        let mut ids = vec![
-            "table1".to_string(),
-            "table2".to_string(),
-            "table3".to_string(),
-        ];
-        ids.extend((4..=26).map(|i| format!("table{i}")));
-        ids.push("fig1".to_string());
-        ids.push("fig2".to_string());
-        ids.push("mixing".to_string());
-        for a in [
-            "ablation-thinning",
-            "ablation-alpha",
-            "ablation-delta",
-            "ablation-burnin",
-            "bias-decomposition",
-            "resilience",
-            "serving",
-            "deadlines",
-            "eviction",
-        ] {
-            ids.push(a.to_string());
-        }
-        ids
+        Registry::paper().ids()
     }
 
-    /// Dispatches an experiment id to its generator.
+    /// Dispatches an experiment id to its registered generator.
     pub fn run(&self, id: &str) -> Result<String, String> {
-        match id.to_ascii_lowercase().as_str() {
-            "table1" => Ok(self.table1()),
-            "table2" => Ok(self.table2()),
-            "table3" => Ok(self.table3()),
-            "table4" => Ok(self.nrmse_table(DatasetKind::FacebookLike, 0, 4)),
-            "table5" => Ok(self.nrmse_table(DatasetKind::GooglePlusLike, 0, 5)),
-            "table6" => Ok(self.nrmse_table(DatasetKind::PokecLike, 0, 6)),
-            "table7" => Ok(self.nrmse_table(DatasetKind::PokecLike, 1, 7)),
-            "table8" => Ok(self.nrmse_table(DatasetKind::PokecLike, 2, 8)),
-            "table9" => Ok(self.nrmse_table(DatasetKind::PokecLike, 3, 9)),
-            "table10" => Ok(self.nrmse_table(DatasetKind::OrkutLike, 0, 10)),
-            "table11" => Ok(self.nrmse_table(DatasetKind::OrkutLike, 1, 11)),
-            "table12" => Ok(self.nrmse_table(DatasetKind::OrkutLike, 2, 12)),
-            "table13" => Ok(self.nrmse_table(DatasetKind::OrkutLike, 3, 13)),
-            "table14" => Ok(self.nrmse_table(DatasetKind::LiveJournalLike, 0, 14)),
-            "table15" => Ok(self.nrmse_table(DatasetKind::LiveJournalLike, 1, 15)),
-            "table16" => Ok(self.nrmse_table(DatasetKind::LiveJournalLike, 2, 16)),
-            "table17" => Ok(self.nrmse_table(DatasetKind::LiveJournalLike, 3, 17)),
-            "table18" => Ok(self.bounds_table(DatasetKind::FacebookLike, 18)),
-            "table19" => Ok(self.bounds_table(DatasetKind::GooglePlusLike, 19)),
-            "table20" => Ok(self.bounds_table(DatasetKind::PokecLike, 20)),
-            "table21" => Ok(self.bounds_table(DatasetKind::OrkutLike, 21)),
-            "table22" => Ok(self.bounds_table(DatasetKind::LiveJournalLike, 22)),
-            "table23" => Ok(self.best_table(
-                &[DatasetKind::FacebookLike, DatasetKind::GooglePlusLike],
-                23,
-            )),
-            "table24" => Ok(self.best_table(&[DatasetKind::PokecLike], 24)),
-            "table25" => Ok(self.best_table(&[DatasetKind::OrkutLike], 25)),
-            "table26" => Ok(self.best_table(&[DatasetKind::LiveJournalLike], 26)),
-            "fig1" => Ok(self.figure(DatasetKind::OrkutLike, 1)),
-            "fig2" => Ok(self.figure(DatasetKind::LiveJournalLike, 2)),
-            "mixing" => Ok(self.mixing()),
-            "ablation-thinning" => Ok(crate::ablations::ablation_thinning(
-                &self.dataset(DatasetKind::GooglePlusLike),
-                &self.dataset(DatasetKind::PokecLike),
-                &self.sweep,
-            )),
-            "ablation-alpha" => Ok(crate::ablations::ablation_alpha(
-                &self.dataset(DatasetKind::PokecLike),
-                &self.sweep,
-            )),
-            "ablation-delta" => Ok(crate::ablations::ablation_delta(
-                &self.dataset(DatasetKind::PokecLike),
-                &self.sweep,
-            )),
-            "ablation-burnin" => Ok(crate::ablations::ablation_burnin(
-                &self.dataset(DatasetKind::FacebookLike),
-                &self.sweep,
-            )),
-            "bias-decomposition" => Ok(crate::ablations::bias_decomposition(
-                &self.dataset(DatasetKind::OrkutLike),
-                0,
-                &self.sweep,
-            )),
-            "resilience" => Ok(crate::resilience::resilience_report(
-                &self.dataset(DatasetKind::FacebookLike),
-                &self.sweep,
-            )),
-            "serving" => Ok(crate::serving::serving_report(
-                &self.dataset(DatasetKind::FacebookLike),
-                &self.sweep,
-            )),
-            "deadlines" => Ok(crate::deadlines::deadlines_report(
-                &self.dataset(DatasetKind::FacebookLike),
-                &self.sweep,
-            )),
-            "eviction" => Ok(crate::eviction::eviction_report(
-                &self.dataset(DatasetKind::FacebookLike),
-                &self.sweep,
-            )),
-            other => Err(format!(
-                "unknown experiment id {other:?}; known ids: {}",
-                Self::experiment_ids().join(", ")
+        let registry = Registry::paper();
+        match registry.find(id) {
+            Some(exp) => Ok(exp.run(self)),
+            None => Err(format!(
+                "unknown experiment id {id:?}; known ids: {}",
+                registry.ids().join(", ")
             )),
         }
     }
@@ -276,47 +188,11 @@ impl Harness {
         crate::report::format_sweep_csv(&paper_size_headers(), &rows)
     }
 
-    /// CSV form of an experiment id, for the sweep tables (4–17). Returns
-    /// `None` for artifacts without a natural CSV layout.
+    /// CSV form of an experiment id. Returns `None` for unknown ids and
+    /// for artifacts without a natural CSV layout — both delegated to the
+    /// registered [`crate::registry::ExperimentSpec::csv`].
     pub fn run_csv(&self, id: &str) -> Option<String> {
-        if id.eq_ignore_ascii_case("resilience") {
-            return Some(crate::resilience::resilience_csv(
-                &self.dataset(DatasetKind::FacebookLike),
-                &self.sweep,
-            ));
-        }
-        if id.eq_ignore_ascii_case("serving") {
-            return Some(crate::serving::serving_csv(
-                &self.dataset(DatasetKind::FacebookLike),
-                &self.sweep,
-            ));
-        }
-        if id.eq_ignore_ascii_case("deadlines") {
-            return Some(crate::deadlines::deadlines_csv(
-                &self.dataset(DatasetKind::FacebookLike),
-                &self.sweep,
-            ));
-        }
-        if id.eq_ignore_ascii_case("eviction") {
-            return Some(crate::eviction::eviction_csv(
-                &self.dataset(DatasetKind::FacebookLike),
-                &self.sweep,
-            ));
-        }
-        let table: usize = id
-            .to_ascii_lowercase()
-            .strip_prefix("table")?
-            .parse()
-            .ok()?;
-        let (kind, idx) = match table {
-            4 => (DatasetKind::FacebookLike, 0),
-            5 => (DatasetKind::GooglePlusLike, 0),
-            6..=9 => (DatasetKind::PokecLike, table - 6),
-            10..=13 => (DatasetKind::OrkutLike, table - 10),
-            14..=17 => (DatasetKind::LiveJournalLike, table - 14),
-            _ => return None,
-        };
-        Some(self.nrmse_table_csv(kind, idx))
+        Registry::paper().find(id)?.csv(self)
     }
 
     /// Tables 4–17: NRMSE of all ten algorithms vs sample size.
@@ -543,8 +419,8 @@ mod tests {
     fn experiment_ids_cover_all_paper_artifacts() {
         let ids = Harness::experiment_ids();
         // Tables 1–26, fig1–2, mixing, 4 ablations, bias decomposition,
-        // resilience sweep, serving sweep, deadline sweep, eviction sweep.
-        assert_eq!(ids.len(), 26 + 2 + 1 + 5 + 1 + 1 + 1 + 1);
+        // resilience, serving, deadlines, eviction, staleness sweeps.
+        assert_eq!(ids.len(), 26 + 2 + 1 + 5 + 1 + 1 + 1 + 1 + 1);
         assert!(ids.contains(&"table17".to_string()));
         assert!(ids.contains(&"fig2".to_string()));
         assert!(ids.contains(&"ablation-thinning".to_string()));
@@ -553,6 +429,7 @@ mod tests {
         assert!(ids.contains(&"serving".to_string()));
         assert!(ids.contains(&"deadlines".to_string()));
         assert!(ids.contains(&"eviction".to_string()));
+        assert!(ids.contains(&"staleness".to_string()));
     }
 
     #[test]

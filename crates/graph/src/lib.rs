@@ -30,6 +30,10 @@
 //!   by a frame budget instead of `|E|`.
 //! * [`motifs`] — exact counts of label-refined wedges and triangles, the
 //!   ground truth for the paper's future-work extension (§6).
+//! * [`churn`] — dynamic graphs: a seeded, deterministic stream of edge
+//!   and label mutations over a copy-on-write [`MutableGraph`], with
+//!   per-node-region [`Epoch`] stamps that downstream caches use to
+//!   invalidate stale entries.
 //!
 //! The graph is deliberately *not* exposed to the estimator crates directly;
 //! they access it through the restricted-API simulation in `labelcount-osn`,
@@ -40,6 +44,7 @@
 
 pub mod alias;
 pub mod builder;
+pub mod churn;
 pub mod components;
 pub mod csr;
 pub mod gen;
@@ -54,6 +59,7 @@ mod ids;
 
 pub use alias::AliasTable;
 pub use builder::GraphBuilder;
+pub use churn::{ChurnConfig, ChurnEvent, ChurnSchedule, ChurnStats, Epoch, MutableGraph};
 pub use csr::LabeledGraph;
 pub use ground_truth::{GroundTruth, TargetLabel};
 pub use ids::{LabelId, NodeId};

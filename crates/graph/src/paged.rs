@@ -316,6 +316,12 @@ impl EvictionPolicy {
 }
 
 /// Sizing and policy knobs for a [`BufferPool`].
+///
+/// Construct through [`PoolConfig::builder`] (or the
+/// [`PoolConfig::unbounded`] / [`PoolConfig::bounded`] shorthands, which
+/// delegate to it) and read through the accessor methods. Direct field
+/// access is **deprecated for one release** — the fields become private
+/// next release.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PoolConfig {
     /// Frame budget: the target number of resident pages. `None` is
@@ -323,23 +329,86 @@ pub struct PoolConfig {
     /// cap: when every frame is pinned mid-fetch the pool overcommits by
     /// allocating extra frames rather than deadlocking — visible in
     /// [`PagingStats::pinned_peak`].
+    #[deprecated(since = "0.1.0", note = "construct via PoolConfig::builder()")]
     pub frames: Option<usize>,
     /// Replacement policy for unpinned frames.
+    #[deprecated(since = "0.1.0", note = "construct via PoolConfig::builder()")]
     pub policy: EvictionPolicy,
 }
 
+#[allow(deprecated)]
 impl PoolConfig {
+    /// Starts a builder at the defaults (unbounded, LRU).
+    pub fn builder() -> PoolConfigBuilder {
+        PoolConfigBuilder {
+            cfg: PoolConfig::default(),
+        }
+    }
+
     /// An unbounded pool (every page read once, never evicted).
     pub fn unbounded() -> PoolConfig {
-        PoolConfig::default()
+        PoolConfig::builder().build()
     }
 
     /// A bounded pool of `frames` frames under `policy`.
     pub fn bounded(frames: usize, policy: EvictionPolicy) -> PoolConfig {
-        PoolConfig {
-            frames: Some(frames.max(1)),
-            policy,
-        }
+        PoolConfig::builder().frames(frames).policy(policy).build()
+    }
+
+    /// The frame budget (`None` = unbounded).
+    pub fn frames(&self) -> Option<usize> {
+        self.frames
+    }
+
+    /// The replacement policy in force.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+}
+
+/// Builder for [`PoolConfig`] — the one supported construction path
+/// (mirrors `Workload::builder()` and `CacheConfig::builder()`).
+///
+/// ```
+/// use labelcount_graph::paged::{EvictionPolicy, PoolConfig};
+///
+/// let cfg = PoolConfig::builder()
+///     .frames(64)
+///     .policy(EvictionPolicy::Clock)
+///     .build();
+/// assert_eq!(cfg.frames(), Some(64));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfigBuilder {
+    cfg: PoolConfig,
+}
+
+#[allow(deprecated)]
+impl PoolConfigBuilder {
+    /// Bounds the pool at `frames` resident pages (clamped to `>= 1`).
+    #[must_use = "returns the modified builder"]
+    pub fn frames(mut self, frames: usize) -> PoolConfigBuilder {
+        self.cfg.frames = Some(frames.max(1));
+        self
+    }
+
+    /// Removes the frame budget (the default).
+    #[must_use = "returns the modified builder"]
+    pub fn unbounded(mut self) -> PoolConfigBuilder {
+        self.cfg.frames = None;
+        self
+    }
+
+    /// Sets the replacement policy for unpinned frames.
+    #[must_use = "returns the modified builder"]
+    pub fn policy(mut self, policy: EvictionPolicy) -> PoolConfigBuilder {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> PoolConfig {
+        self.cfg
     }
 }
 
@@ -417,8 +486,8 @@ impl BufferPool {
             file,
             page_size,
             num_pages,
-            budget: cfg.frames.map(|f| f.max(1)),
-            policy: cfg.policy,
+            budget: cfg.frames().map(|f| f.max(1)),
+            policy: cfg.policy(),
             inner: Mutex::new(PoolInner {
                 frames: Vec::new(),
                 map: HashMap::new(),

@@ -39,7 +39,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use labelcount_graph::{LabelId, NodeId};
+use labelcount_graph::{Epoch, LabelId, NodeId};
 
 use crate::api::{FetchCost, OsnBackend};
 use crate::guard::SliceRef;
@@ -64,6 +64,16 @@ pub struct FaultConfig {
     /// `ceil(d / page_size)` attempts. `None` = unpaginated (one attempt
     /// returns the whole list, like the in-memory backends).
     pub page_size: Option<usize>,
+    /// Profile-endpoint override of [`FaultConfig::transient_rate`].
+    /// `None` (the default everywhere) keeps both endpoints at the shared
+    /// rate, reproducing every pre-split seed bit-identically; `Some`
+    /// lets a calibrated model make the profile endpoint flakier or
+    /// steadier than the friend-list endpoint.
+    pub label_transient_rate: Option<f64>,
+    /// Profile-endpoint override of [`FaultConfig::rate_limit_rate`]
+    /// (same `None` = shared-rate default as
+    /// [`FaultConfig::label_transient_rate`]).
+    pub label_rate_limit_rate: Option<f64>,
 }
 
 impl FaultConfig {
@@ -79,6 +89,8 @@ impl FaultConfig {
             base_latency_ticks: 0,
             latency_jitter_ticks: 0,
             page_size: None,
+            label_transient_rate: None,
+            label_rate_limit_rate: None,
         }
     }
 
@@ -95,12 +107,43 @@ impl FaultConfig {
             base_latency_ticks: 1,
             latency_jitter_ticks: 3,
             page_size: Some(200),
+            label_transient_rate: None,
+            label_rate_limit_rate: None,
         }
     }
 
-    /// Total per-attempt fault probability.
+    /// Overrides the profile endpoint's fault rates, leaving the
+    /// friend-list endpoint at the shared rates.
+    #[must_use = "returns the modified config"]
+    pub fn with_label_rates(mut self, transient: f64, rate_limit: f64) -> Self {
+        self.label_transient_rate = Some(transient);
+        self.label_rate_limit_rate = Some(rate_limit);
+        self
+    }
+
+    /// Total per-attempt fault probability of the friend-list endpoint
+    /// (the shared rates).
     pub fn fault_rate(&self) -> f64 {
         self.transient_rate + self.rate_limit_rate
+    }
+
+    /// The `(transient, rate-limit)` rates in force for `kind` — the
+    /// shared rates, unless the profile endpoint carries an override.
+    fn rates_for(&self, kind: u64) -> (f64, f64) {
+        if kind == KIND_LABELS {
+            (
+                self.label_transient_rate.unwrap_or(self.transient_rate),
+                self.label_rate_limit_rate.unwrap_or(self.rate_limit_rate),
+            )
+        } else {
+            (self.transient_rate, self.rate_limit_rate)
+        }
+    }
+
+    /// Total per-attempt fault probability of endpoint `kind`.
+    fn fault_rate_for(&self, kind: u64) -> f64 {
+        let (t, r) = self.rates_for(kind);
+        t + r
     }
 }
 
@@ -255,10 +298,13 @@ impl<B: OsnBackend> AdversarialOsn<B> {
     /// `policy`.
     pub fn new(inner: B, cfg: FaultConfig, policy: RetryPolicy) -> Self {
         assert!(policy.max_attempts >= 1, "retry policy needs >= 1 attempt");
-        assert!(
-            cfg.fault_rate() < 1.0 && cfg.transient_rate >= 0.0 && cfg.rate_limit_rate >= 0.0,
-            "per-attempt fault probability must stay in [0, 1)"
-        );
+        for kind in [KIND_NEIGHBORS, KIND_LABELS] {
+            let (t, r) = cfg.rates_for(kind);
+            assert!(
+                t + r < 1.0 && t >= 0.0 && r >= 0.0,
+                "per-attempt fault probability must stay in [0, 1) for every endpoint"
+            );
+        }
         AdversarialOsn {
             inner,
             cfg,
@@ -316,12 +362,13 @@ impl<B: OsnBackend> AdversarialOsn<B> {
     /// The outcome of attempt `attempt` of page `page` of `(kind, node)` —
     /// a pure function of the coordinates.
     fn attempt_outcome(&self, kind: u64, node: u32, page: u64, attempt: u32) -> Attempt {
-        let rate = self.cfg.fault_rate();
+        let (transient, rate_limit) = self.cfg.rates_for(kind);
+        let rate = transient + rate_limit;
         if rate <= 0.0 {
             return Attempt::Ok;
         }
         let x = unit(fault_hash(self.cfg.seed, kind, node, page, attempt, 0));
-        if x < self.cfg.transient_rate {
+        if x < transient {
             Attempt::Transient
         } else if x < rate {
             Attempt::RateLimited
@@ -356,8 +403,8 @@ impl<B: OsnBackend> AdversarialOsn<B> {
     /// Returns `(attempts consumed, latency ticks spent)`; both also
     /// accumulate into the shared stats alongside the fault counters.
     fn simulate_page(&self, kind: u64, node: u32, page: u64) -> (u64, u64) {
-        // The hot path of a clean configuration: one branch, two adds.
-        if self.cfg.fault_rate() <= 0.0 {
+        // The hot path of a clean endpoint: one branch, two adds.
+        if self.cfg.fault_rate_for(kind) <= 0.0 {
             self.attempts.fetch_add(1, Ordering::Relaxed);
             let lat = self.attempt_latency(kind, node, page, 0);
             if lat > 0 {
@@ -471,6 +518,12 @@ impl<B: OsnBackend> OsnBackend for AdversarialOsn<B> {
         // Profiles are one document: never paginated.
         let (attempts, ticks) = self.simulate_page(KIND_LABELS, u.0, 0);
         (data, FetchCost { attempts, ticks })
+    }
+
+    fn epoch_of(&self, u: NodeId) -> Epoch {
+        // Faults delay and charge; they never change what generation of
+        // the data the inner backend serves.
+        self.inner.epoch_of(u)
     }
 }
 
@@ -710,6 +763,68 @@ mod tests {
         assert_eq!(s.attempts, attempts, "per-fetch attempts must sum up");
         assert_eq!(s.latency_ticks, ticks, "per-fetch ticks must sum up");
         assert!(ticks > 0, "a hostile API must bill latency");
+    }
+
+    #[test]
+    fn per_endpoint_rates_default_to_the_shared_rate() {
+        let g = star(24);
+        let base = FaultConfig::hostile(13, 0.5);
+        // Explicitly pinning the label rates to the shared values must be
+        // byte-for-byte the same fault pattern as the None default.
+        let pinned = base.with_label_rates(base.transient_rate, base.rate_limit_rate);
+        let run = |cfg: FaultConfig| {
+            let adv = AdversarialOsn::new(GraphOsn::new(&g), cfg, RetryPolicy::default());
+            let costs: Vec<(u64, u64, u64, u64)> = (0..24u32)
+                .map(|u| {
+                    let (_, n) = adv.fetch_neighbors_cost(NodeId(u));
+                    let (_, l) = adv.fetch_labels_cost(NodeId(u));
+                    (n.attempts, n.ticks, l.attempts, l.ticks)
+                })
+                .collect();
+            (costs, adv.fault_stats())
+        };
+        let (a, sa) = run(base);
+        let (b, sb) = run(pinned);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn label_rate_override_leaves_neighbor_costs_untouched() {
+        let g = star(24);
+        let base = FaultConfig::hostile(17, 0.4);
+        let split = base.with_label_rates(0.0, 0.0); // clean profiles only
+        let neighbor_costs = |cfg: FaultConfig| -> Vec<u64> {
+            let adv = AdversarialOsn::new(GraphOsn::new(&g), cfg, RetryPolicy::default());
+            (0..24u32)
+                .map(|u| adv.fetch_neighbors_cost(NodeId(u)).1.attempts)
+                .collect()
+        };
+        assert_eq!(neighbor_costs(base), neighbor_costs(split));
+        // And the clean-profile endpoint really is clean: one attempt each.
+        let adv = AdversarialOsn::new(GraphOsn::new(&g), split, RetryPolicy::default());
+        for u in 0..24u32 {
+            assert_eq!(adv.fetch_labels_cost(NodeId(u)).1.attempts, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "every endpoint")]
+    fn label_rate_override_is_validated() {
+        let g = star(3);
+        let cfg = FaultConfig::clean(1).with_label_rates(0.7, 0.5); // sums past 1
+        let _ = AdversarialOsn::new(GraphOsn::new(&g), cfg, RetryPolicy::default());
+    }
+
+    #[test]
+    fn epoch_passes_through_the_fault_layer() {
+        let g = star(4);
+        let adv = AdversarialOsn::new(
+            GraphOsn::new(&g),
+            FaultConfig::hostile(5, 0.3),
+            RetryPolicy::default(),
+        );
+        assert_eq!(adv.epoch_of(NodeId(2)), Epoch::STATIC);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The restricted OSN access traits.
 
-use labelcount_graph::{LabelId, NodeId};
+use labelcount_graph::{Epoch, LabelId, NodeId};
 use rand::Rng;
 
 use crate::guard::SliceRef;
@@ -197,6 +197,19 @@ pub trait OsnBackend {
         let (data, attempts) = self.fetch_labels_attempts(u);
         (data, FetchCost { attempts, ticks: 0 })
     }
+
+    /// The current [`Epoch`] of `u`'s node region — the generation stamp
+    /// cache layers compare against the stamp stored on an entry to decide
+    /// staleness (`stored != current` means stale).
+    ///
+    /// Static backends (every pre-churn backend in the workspace) keep the
+    /// default: a constant [`Epoch::STATIC`], under which no entry is ever
+    /// stale and cache behavior is bit-identical to a world without
+    /// epochs. Dynamic backends (`crate::ChurnOsn`) report the live
+    /// per-region stamp of `labelcount_graph::MutableGraph`.
+    fn epoch_of(&self, _u: NodeId) -> Epoch {
+        Epoch::STATIC
+    }
 }
 
 /// Backends pass through shared references, so one `Sync` backend (e.g. a
@@ -238,5 +251,9 @@ impl<B: OsnBackend + ?Sized> OsnBackend for &B {
 
     fn fetch_labels_cost(&self, u: NodeId) -> (SliceRef<'_, LabelId>, FetchCost) {
         (**self).fetch_labels_cost(u)
+    }
+
+    fn epoch_of(&self, u: NodeId) -> Epoch {
+        (**self).epoch_of(u)
     }
 }

@@ -64,7 +64,7 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
-use labelcount_graph::{LabelId, LabeledGraph, NodeId};
+use labelcount_graph::{Epoch, LabelId, LabeledGraph, NodeId};
 
 use crate::api::{FetchCost, OsnApi, OsnBackend};
 use crate::guard::SliceRef;
@@ -124,6 +124,11 @@ impl OsnBackend for GraphOsn<'_> {
 pub const DEFAULT_L1_SLOTS: usize = 512;
 
 /// Sizing knobs for [`CachedOsn`].
+///
+/// Construct through [`CacheConfig::builder`] (the same `#[must_use]`
+/// builder idiom as `Workload::builder()`); read through the accessor
+/// methods. Direct field access is **deprecated for one release** — the
+/// fields become private next release.
 #[derive(Clone, Copy, Debug)]
 pub struct CacheConfig {
     /// Target cached entries **per endpoint kind** (neighbor lists and
@@ -134,10 +139,12 @@ pub struct CacheConfig {
     /// entries than configured — rounding up rather than down keeps the
     /// configured value a lower bound and no shard starved, even when the
     /// configured capacity is smaller than the shard count.
+    #[deprecated(since = "0.1.0", note = "construct via CacheConfig::builder()")]
     pub capacity: Option<usize>,
     /// Number of lock shards per endpoint kind (rounded up to a power of
     /// two, minimum 1). More shards = less contention under parallel
     /// replication.
+    #[deprecated(since = "0.1.0", note = "construct via CacheConfig::builder()")]
     pub shards: usize,
     /// Direct-mapped **L1 slots per endpoint kind** in every session
     /// opened on this cache (rounded up to a power of two). `0` disables
@@ -146,9 +153,11 @@ pub struct CacheConfig {
     /// only changes *where* bytes come from and what a hit costs; data,
     /// estimates, RNG streams, and (for unbounded caches) miss counts are
     /// bit-identical either way.
+    #[deprecated(since = "0.1.0", note = "construct via CacheConfig::builder()")]
     pub l1_slots: usize,
 }
 
+#[allow(deprecated)]
 impl Default for CacheConfig {
     fn default() -> Self {
         CacheConfig {
@@ -156,6 +165,83 @@ impl Default for CacheConfig {
             shards: 64,
             l1_slots: DEFAULT_L1_SLOTS,
         }
+    }
+}
+
+#[allow(deprecated)]
+impl CacheConfig {
+    /// Starts a builder at the defaults (unbounded, 64 shards,
+    /// [`DEFAULT_L1_SLOTS`] L1 slots).
+    pub fn builder() -> CacheConfigBuilder {
+        CacheConfigBuilder {
+            cfg: CacheConfig::default(),
+        }
+    }
+
+    /// Target cached entries per endpoint kind (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Lock shards per endpoint kind.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Session L1 slots per endpoint kind (`0` = L1 disabled).
+    pub fn l1_slots(&self) -> usize {
+        self.l1_slots
+    }
+}
+
+/// Builder for [`CacheConfig`] — the one supported construction path
+/// (mirrors `Workload::builder()`).
+///
+/// ```
+/// use labelcount_osn::CacheConfig;
+///
+/// let cfg = CacheConfig::builder().capacity(512).l1_slots(0).build();
+/// assert_eq!(cfg.capacity(), Some(512));
+/// assert_eq!(cfg.l1_slots(), 0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfigBuilder {
+    cfg: CacheConfig,
+}
+
+#[allow(deprecated)]
+impl CacheConfigBuilder {
+    /// Bounds the cache at `capacity` entries per endpoint kind.
+    #[must_use = "returns the modified builder"]
+    pub fn capacity(mut self, capacity: usize) -> CacheConfigBuilder {
+        self.cfg.capacity = Some(capacity);
+        self
+    }
+
+    /// Removes the entry bound (the default).
+    #[must_use = "returns the modified builder"]
+    pub fn unbounded(mut self) -> CacheConfigBuilder {
+        self.cfg.capacity = None;
+        self
+    }
+
+    /// Sets the lock-shard count per endpoint kind.
+    #[must_use = "returns the modified builder"]
+    pub fn shards(mut self, shards: usize) -> CacheConfigBuilder {
+        self.cfg.shards = shards;
+        self
+    }
+
+    /// Sets the session L1 size (`0` disables the L1).
+    #[must_use = "returns the modified builder"]
+    pub fn l1_slots(mut self, slots: usize) -> CacheConfigBuilder {
+        self.cfg.l1_slots = slots;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> CacheConfig {
+        self.cfg
     }
 }
 
@@ -180,6 +266,16 @@ pub struct CallStats {
     pub l1_neighbor_hits: u64,
     /// Profile calls served by sessions' private L1 caches.
     pub l1_label_hits: u64,
+    /// L1 entries whose fill-time [`Epoch`] no longer matched the
+    /// backend's current stamp when probed — each counted once, at the
+    /// probe that discovered it, and served as a miss instead of a hit.
+    /// Always `0` against static backends.
+    pub l1_stale_evictions: u64,
+    /// L2 entries discovered stale (fill-time epoch ≠ current epoch) and
+    /// refetched under the shard write lock. Counted under the lock, so
+    /// the total is interleaving-independent. Always `0` against static
+    /// backends.
+    pub l2_stale_evictions: u64,
 }
 
 impl CallStats {
@@ -203,6 +299,12 @@ impl CallStats {
     /// paid neither a lock nor an atomic refcount bump.
     pub fn l1_hits(&self) -> u64 {
         self.l1_neighbor_hits + self.l1_label_hits
+    }
+
+    /// Entries of either layer discovered stale and refilled — the
+    /// invalidation traffic a churning backend induces.
+    pub fn stale_evictions(&self) -> u64 {
+        self.l1_stale_evictions + self.l2_stale_evictions
     }
 
     /// Fraction of logical calls absorbed by the cache (`0.0` when no
@@ -262,11 +364,24 @@ struct LruShard<T> {
     index: NodeKeyMap,
     keys: Vec<u32>,
     values: Vec<Arc<[T]>>,
+    /// Fill-time epoch stamp per slot, parallel to `values`. An entry
+    /// whose stamp differs from the backend's current epoch is stale and
+    /// must be served as a miss (see [`Lookup::Stale`]).
+    epochs: Vec<Epoch>,
     prev: Vec<u32>,
     next: Vec<u32>,
     head: u32,
     tail: u32,
     capacity: usize,
+}
+
+/// Outcome of an epoch-checked shard lookup. `Stale` and `Absent` both
+/// fall through to the backend; they are separated only so the caller can
+/// count stale evictions.
+enum Lookup<T> {
+    Hit(Arc<[T]>),
+    Stale,
+    Absent,
 }
 
 impl<T> LruShard<T> {
@@ -275,6 +390,7 @@ impl<T> LruShard<T> {
             index: NodeKeyMap::default(),
             keys: Vec::new(),
             values: Vec::new(),
+            epochs: Vec::new(),
             prev: Vec::new(),
             next: Vec::new(),
             head: NIL,
@@ -313,30 +429,49 @@ impl<T> LruShard<T> {
 
     /// Looks up `key` without touching recency — the read-lock fast path
     /// for unbounded shards, where eviction (and hence recency) never
-    /// happens.
-    fn peek(&self, key: u32) -> Option<Arc<[T]>> {
-        self.index
-            .get(&key)
-            .map(|&i| Arc::clone(&self.values[i as usize]))
+    /// happens. A stale entry answers `None` (the caller falls through to
+    /// the write path, which counts and refills it).
+    fn peek(&self, key: u32, current: Epoch) -> Option<Arc<[T]>> {
+        self.index.get(&key).and_then(|&i| {
+            (self.epochs[i as usize] == current).then(|| Arc::clone(&self.values[i as usize]))
+        })
     }
 
-    /// Looks up `key`, refreshing its recency on a hit.
-    fn get(&mut self, key: u32) -> Option<Arc<[T]>> {
-        let i = *self.index.get(&key)?;
+    /// Looks up `key`, refreshing its recency on a fresh hit. A resident
+    /// entry stamped with a different epoch answers [`Lookup::Stale`]; the
+    /// caller refetches and [`LruShard::insert`] refills the slot in
+    /// place.
+    fn get(&mut self, key: u32, current: Epoch) -> Lookup<T> {
+        let Some(&i) = self.index.get(&key) else {
+            return Lookup::Absent;
+        };
+        if self.epochs[i as usize].is_stale_vs(current) {
+            return Lookup::Stale;
+        }
         if self.head != i {
             self.unlink(i);
             self.link_front(i);
         }
-        Some(Arc::clone(&self.values[i as usize]))
+        Lookup::Hit(Arc::clone(&self.values[i as usize]))
     }
 
-    /// Inserts `key → value`, evicting the least recently used entry when
-    /// the shard is full. The caller guarantees `key` is absent.
-    fn insert(&mut self, key: u32, value: Arc<[T]>) {
-        debug_assert!(!self.index.contains_key(&key));
-        let i = if self.keys.len() < self.capacity {
+    /// Inserts `key → value` stamped at `epoch`, evicting the least
+    /// recently used entry when the shard is full. A resident (stale)
+    /// entry under the same key is refilled in place.
+    fn insert(&mut self, key: u32, value: Arc<[T]>, epoch: Epoch) {
+        let i = if let Some(&i) = self.index.get(&key) {
+            // Stale refill: reuse the slot, no index churn.
+            self.values[i as usize] = value;
+            self.epochs[i as usize] = epoch;
+            if self.head != i {
+                self.unlink(i);
+                self.link_front(i);
+            }
+            return;
+        } else if self.keys.len() < self.capacity {
             self.keys.push(key);
             self.values.push(value);
+            self.epochs.push(epoch);
             self.prev.push(NIL);
             self.next.push(NIL);
             (self.keys.len() - 1) as u32
@@ -347,6 +482,7 @@ impl<T> LruShard<T> {
             self.index.remove(&self.keys[i as usize]);
             self.keys[i as usize] = key;
             self.values[i as usize] = value;
+            self.epochs[i as usize] = epoch;
             i
         };
         self.index.insert(key, i);
@@ -361,6 +497,7 @@ impl<T> LruShard<T> {
         self.index.clear();
         self.keys.clear();
         self.values.clear();
+        self.epochs.clear();
         self.prev.clear();
         self.next.clear();
         self.head = NIL;
@@ -411,6 +548,8 @@ pub struct CachedOsn<B> {
     label_misses: AtomicU64,
     l1_neighbor_hits: AtomicU64,
     l1_label_hits: AtomicU64,
+    l1_stale_evictions: AtomicU64,
+    l2_stale_evictions: AtomicU64,
 }
 
 impl<B: OsnBackend> CachedOsn<B> {
@@ -422,8 +561,8 @@ impl<B: OsnBackend> CachedOsn<B> {
 
     /// Wraps `backend` with explicit capacity/sharding/L1 sizing.
     pub fn with_config(backend: B, cfg: CacheConfig) -> Self {
-        let shards = cfg.shards.max(1).next_power_of_two();
-        let per_shard = match cfg.capacity {
+        let shards = cfg.shards().max(1).next_power_of_two();
+        let per_shard = match cfg.capacity() {
             // Ceil division: the effective total is the configured value
             // rounded up to a shard multiple (see `CacheConfig::capacity`),
             // so a capacity smaller than the shard count still gives every
@@ -438,11 +577,11 @@ impl<B: OsnBackend> CachedOsn<B> {
             neighbor_shards: (0..shards).map(|_| make_neighbor()).collect(),
             label_shards: (0..shards).map(|_| make_label()).collect(),
             shard_mask: shards - 1,
-            unbounded: cfg.capacity.is_none(),
-            l1_slots: if cfg.l1_slots == 0 {
+            unbounded: cfg.capacity().is_none(),
+            l1_slots: if cfg.l1_slots() == 0 {
                 0
             } else {
-                cfg.l1_slots.next_power_of_two()
+                cfg.l1_slots().next_power_of_two()
             },
             logical_neighbor: AtomicU64::new(0),
             logical_label: AtomicU64::new(0),
@@ -450,6 +589,8 @@ impl<B: OsnBackend> CachedOsn<B> {
             label_misses: AtomicU64::new(0),
             l1_neighbor_hits: AtomicU64::new(0),
             l1_label_hits: AtomicU64::new(0),
+            l1_stale_evictions: AtomicU64::new(0),
+            l2_stale_evictions: AtomicU64::new(0),
         }
     }
 
@@ -491,6 +632,8 @@ impl<B: OsnBackend> CachedOsn<B> {
             label_misses: self.label_misses.load(Ordering::Relaxed),
             l1_neighbor_hits: self.l1_neighbor_hits.load(Ordering::Relaxed),
             l1_label_hits: self.l1_label_hits.load(Ordering::Relaxed),
+            l1_stale_evictions: self.l1_stale_evictions.load(Ordering::Relaxed),
+            l2_stale_evictions: self.l2_stale_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -503,6 +646,8 @@ impl<B: OsnBackend> CachedOsn<B> {
         self.label_misses.store(0, Ordering::Relaxed);
         self.l1_neighbor_hits.store(0, Ordering::Relaxed);
         self.l1_label_hits.store(0, Ordering::Relaxed);
+        self.l1_stale_evictions.store(0, Ordering::Relaxed);
+        self.l2_stale_evictions.store(0, Ordering::Relaxed);
     }
 
     /// Drops every cached L2 entry (counters are kept; live sessions keep
@@ -564,26 +709,36 @@ impl<B: OsnBackend> CachedOsn<B> {
     /// so poisoning is recovered with [`PoisonError::into_inner`] rather
     /// than cascading the panic to every other query on the shard (the
     /// same discipline `WorkloadProgress` uses).
-    fn neighbors_shared(&self, u: NodeId) -> (Arc<[NodeId]>, FetchCost) {
+    /// Entries are compared and re-stamped against `current`, the
+    /// backend's epoch for `u` as observed by the calling session at the
+    /// top of the logical call — a stamp mismatch is served as a miss and
+    /// counted as an L2 stale eviction (under the write lock, so the
+    /// count is interleaving-independent: of N concurrent probes of one
+    /// stale entry, exactly the first discovers it stale).
+    fn neighbors_shared(&self, u: NodeId, current: Epoch) -> (Arc<[NodeId]>, FetchCost) {
         let hit_cost = FetchCost::default();
         let lock = &self.neighbor_shards[self.shard_of(u)];
         if self.unbounded {
             if let Some(hit) = lock
                 .read()
                 .unwrap_or_else(PoisonError::into_inner)
-                .peek(u.0)
+                .peek(u.0, current)
             {
                 return (hit, hit_cost);
             }
         }
         let mut shard = lock.write().unwrap_or_else(PoisonError::into_inner);
-        if let Some(hit) = shard.get(u.0) {
-            return (hit, hit_cost);
+        match shard.get(u.0, current) {
+            Lookup::Hit(hit) => return (hit, hit_cost),
+            Lookup::Stale => {
+                self.l2_stale_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            Lookup::Absent => {}
         }
         self.neighbor_misses.fetch_add(1, Ordering::Relaxed);
         let (fetched, cost) = self.backend.fetch_neighbors_cost(u);
         let value: Arc<[NodeId]> = Arc::from(&*fetched);
-        shard.insert(u.0, Arc::clone(&value));
+        shard.insert(u.0, Arc::clone(&value), current);
         (
             value,
             FetchCost {
@@ -593,28 +748,32 @@ impl<B: OsnBackend> CachedOsn<B> {
         )
     }
 
-    /// Cache-through label fetch (same locking discipline and extra-charge
-    /// contract as [`CachedOsn::neighbors_shared`]).
-    fn labels_shared(&self, u: NodeId) -> (Arc<[LabelId]>, FetchCost) {
+    /// Cache-through label fetch (same locking discipline, staleness, and
+    /// extra-charge contract as [`CachedOsn::neighbors_shared`]).
+    fn labels_shared(&self, u: NodeId, current: Epoch) -> (Arc<[LabelId]>, FetchCost) {
         let hit_cost = FetchCost::default();
         let lock = &self.label_shards[self.shard_of(u)];
         if self.unbounded {
             if let Some(hit) = lock
                 .read()
                 .unwrap_or_else(PoisonError::into_inner)
-                .peek(u.0)
+                .peek(u.0, current)
             {
                 return (hit, hit_cost);
             }
         }
         let mut shard = lock.write().unwrap_or_else(PoisonError::into_inner);
-        if let Some(hit) = shard.get(u.0) {
-            return (hit, hit_cost);
+        match shard.get(u.0, current) {
+            Lookup::Hit(hit) => return (hit, hit_cost),
+            Lookup::Stale => {
+                self.l2_stale_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            Lookup::Absent => {}
         }
         self.label_misses.fetch_add(1, Ordering::Relaxed);
         let (fetched, cost) = self.backend.fetch_labels_cost(u);
         let value: Arc<[LabelId]> = Arc::from(&*fetched);
-        shard.insert(u.0, Arc::clone(&value));
+        shard.insert(u.0, Arc::clone(&value), current);
         (
             value,
             FetchCost {
@@ -643,16 +802,18 @@ struct L1Cache<T> {
     slots: RefCell<Box<[L1Slot<T>]>>,
     mask: usize,
     hits: Cell<u64>,
+    stale: Cell<u64>,
 }
 
 /// One direct-mapped slot.
 type L1Slot<T> = Option<L1Entry<T>>;
 
-/// A resident entry: the key, its second-chance protection bit, and the
-/// session-private copy of the data.
+/// A resident entry: the key, its second-chance protection bit, the
+/// fill-time [`Epoch`] stamp, and the session-private copy of the data.
 struct L1Entry<T> {
     key: u32,
     protected: bool,
+    epoch: Epoch,
     value: Rc<[T]>,
 }
 
@@ -664,6 +825,7 @@ impl<T: Clone> L1Cache<T> {
             slots: RefCell::new((0..slots).map(|_| None).collect()),
             mask: slots - 1,
             hits: Cell::new(0),
+            stale: Cell::new(0),
         }
     }
 
@@ -672,11 +834,21 @@ impl<T: Clone> L1Cache<T> {
         (key as usize).wrapping_mul(0x9E37_79B9) >> 7 & self.mask
     }
 
+    /// Epoch-checked probe: a resident key stamped with a different epoch
+    /// is evicted on the spot (counted once) and answers as a miss — the
+    /// caller falls through to the L2, whose refill re-populates this
+    /// slot via [`L1Cache::insert`].
     #[inline]
-    fn get(&self, key: u32) -> Option<Rc<[T]>> {
+    fn get(&self, key: u32, current: Epoch) -> Option<Rc<[T]>> {
         let mut slots = self.slots.borrow_mut();
-        match &mut slots[self.slot_of(key)] {
+        let slot = &mut slots[self.slot_of(key)];
+        match slot {
             Some(e) if e.key == key => {
+                if e.epoch.is_stale_vs(current) {
+                    *slot = None;
+                    self.stale.set(self.stale.get() + 1);
+                    return None;
+                }
                 e.protected = true;
                 self.hits.set(self.hits.get() + 1);
                 Some(Rc::clone(&e.value))
@@ -685,13 +857,13 @@ impl<T: Clone> L1Cache<T> {
         }
     }
 
-    /// Offers `value` for the key's slot after an L1 miss. A protected
-    /// incumbent under a different key survives (demoted); otherwise the
-    /// slot takes a fresh protected copy of `value`. The copy de-atomizes
-    /// every later hit: the slot owns a private `Rc` whose refcount is
-    /// plain memory, so repeat lookups never touch the `Arc` the L2
-    /// handed out.
-    fn insert(&self, key: u32, value: &[T]) {
+    /// Offers `value` for the key's slot after an L1 miss, stamped with
+    /// the epoch it was fetched under. A protected incumbent under a
+    /// different key survives (demoted); otherwise the slot takes a fresh
+    /// protected copy of `value`. The copy de-atomizes every later hit:
+    /// the slot owns a private `Rc` whose refcount is plain memory, so
+    /// repeat lookups never touch the `Arc` the L2 handed out.
+    fn insert(&self, key: u32, value: &[T], epoch: Epoch) {
         let slot = self.slot_of(key);
         let mut slots = self.slots.borrow_mut();
         match &mut slots[slot] {
@@ -700,6 +872,7 @@ impl<T: Clone> L1Cache<T> {
                 *e = Some(L1Entry {
                     key,
                     protected: true,
+                    epoch,
                     value: Rc::from(value),
                 })
             }
@@ -818,6 +991,16 @@ impl<'c, B: OsnBackend> OsnSession<'c, B> {
             .unwrap_or(0)
     }
 
+    /// L1 entries this session discovered stale (fill-time epoch ≠
+    /// current) and evicted. Always `0` when the L1 is disabled or the
+    /// backend is static.
+    pub fn l1_stale_evictions(&self) -> u64 {
+        self.l1
+            .as_ref()
+            .map(|l1| l1.neighbors.stale.get() + l1.labels.stale.get())
+            .unwrap_or(0)
+    }
+
     /// Total charged API calls of both kinds: logical calls plus retry
     /// charges — the realized cost a billed crawler pays.
     pub fn charged_calls(&self) -> u64 {
@@ -844,14 +1027,21 @@ impl<B: OsnBackend> OsnApi for OsnSession<'_, B> {
 
     fn neighbors(&self, u: NodeId) -> SliceRef<'_, NodeId> {
         self.neighbor_calls.set(self.neighbor_calls.get() + 1);
+        // One epoch read per logical call, shared by both cache layers —
+        // a constant for every static backend, a lock-free region stamp
+        // for churning ones. Reading it before the lookup (not after)
+        // means an entry can only be judged against an epoch at least as
+        // old as itself — stale verdicts may be conservative, never
+        // falsely fresh.
+        let current = self.cache.backend.epoch_of(u);
         if let Some(l1) = &self.l1 {
             // The de-atomized hot path: repeat lookups within this query
             // resolve here without a lock or an `Arc` refcount bump.
-            if let Some(hit) = l1.neighbors.get(u.0) {
+            if let Some(hit) = l1.neighbors.get(u.0, current) {
                 return SliceRef::Local(hit);
             }
         }
-        let (value, extra) = self.cache.neighbors_shared(u);
+        let (value, extra) = self.cache.neighbors_shared(u, current);
         if extra.attempts > 0 {
             self.retry_charges
                 .set(self.retry_charges.get() + extra.attempts);
@@ -861,19 +1051,20 @@ impl<B: OsnBackend> OsnApi for OsnSession<'_, B> {
                 .set(self.latency_ticks.get() + extra.ticks);
         }
         if let Some(l1) = &self.l1 {
-            l1.neighbors.insert(u.0, &value);
+            l1.neighbors.insert(u.0, &value, current);
         }
         SliceRef::Shared(value)
     }
 
     fn labels(&self, u: NodeId) -> SliceRef<'_, LabelId> {
         self.label_calls.set(self.label_calls.get() + 1);
+        let current = self.cache.backend.epoch_of(u);
         if let Some(l1) = &self.l1 {
-            if let Some(hit) = l1.labels.get(u.0) {
+            if let Some(hit) = l1.labels.get(u.0, current) {
                 return SliceRef::Local(hit);
             }
         }
-        let (value, extra) = self.cache.labels_shared(u);
+        let (value, extra) = self.cache.labels_shared(u, current);
         if extra.attempts > 0 {
             self.retry_charges
                 .set(self.retry_charges.get() + extra.attempts);
@@ -883,7 +1074,7 @@ impl<B: OsnBackend> OsnApi for OsnSession<'_, B> {
                 .set(self.latency_ticks.get() + extra.ticks);
         }
         if let Some(l1) = &self.l1 {
-            l1.labels.insert(u.0, &value);
+            l1.labels.insert(u.0, &value, current);
         }
         SliceRef::Shared(value)
     }
@@ -937,6 +1128,12 @@ impl<B> Drop for OsnSession<'_, B> {
             if lh > 0 {
                 self.cache.l1_label_hits.fetch_add(lh, Ordering::Relaxed);
             }
+            let st = l1.neighbors.stale.get() + l1.labels.stale.get();
+            if st > 0 {
+                self.cache
+                    .l1_stale_evictions
+                    .fetch_add(st, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -959,11 +1156,12 @@ mod tests {
     /// A config with the session L1 disabled — the L2-only layout all the
     /// pre-hierarchy accounting tests were written against.
     fn no_l1(capacity: Option<usize>, shards: usize) -> CacheConfig {
-        CacheConfig {
-            capacity,
-            shards,
-            l1_slots: 0,
+        let b = CacheConfig::builder().shards(shards).l1_slots(0);
+        match capacity {
+            Some(c) => b.capacity(c),
+            None => b.unbounded(),
         }
+        .build()
     }
 
     fn assert_sync<T: Sync>(_: &T) {}
@@ -1038,10 +1236,7 @@ mod tests {
         // A 1-slot L1: every distinct node collides with every other.
         let cache = CachedOsn::with_config(
             GraphOsn::new(&g),
-            CacheConfig {
-                l1_slots: 1,
-                ..CacheConfig::default()
-            },
+            CacheConfig::builder().l1_slots(1).build(),
         );
         let s = cache.session();
         for round in 0..3 {
@@ -1250,10 +1445,7 @@ mod tests {
         let g = path4();
         let cache = CachedOsn::with_config(
             GraphOsn::new(&g),
-            CacheConfig {
-                l1_slots: 1,
-                ..CacheConfig::default()
-            },
+            CacheConfig::builder().l1_slots(1).build(),
         );
         let s = cache.session();
         s.neighbors(NodeId(1));
@@ -1273,10 +1465,7 @@ mod tests {
         let g = path4();
         let cache = CachedOsn::with_config(
             GraphOsn::new(&g),
-            CacheConfig {
-                l1_slots: 1,
-                ..CacheConfig::default()
-            },
+            CacheConfig::builder().l1_slots(1).build(),
         );
         let s = cache.session();
         let rounds = 10u64;
@@ -1409,5 +1598,174 @@ mod tests {
         assert_eq!((n, l), (1, 1));
         cache.clear();
         assert_eq!(cache.cached_entries(), (0, 0));
+    }
+
+    /// A static graph backend whose reported epoch is externally settable —
+    /// the minimal churn stand-in for exercising the stale-miss paths.
+    struct EpochBackend<'g> {
+        inner: GraphOsn<'g>,
+        epoch: std::sync::atomic::AtomicU32,
+    }
+
+    impl<'g> EpochBackend<'g> {
+        fn new(g: &'g LabeledGraph, epoch: u32) -> Self {
+            EpochBackend {
+                inner: GraphOsn::new(g),
+                epoch: std::sync::atomic::AtomicU32::new(epoch),
+            }
+        }
+
+        fn set_epoch(&self, e: u32) {
+            self.epoch.store(e, Ordering::SeqCst);
+        }
+    }
+
+    impl OsnBackend for EpochBackend<'_> {
+        fn num_nodes(&self) -> usize {
+            self.inner.num_nodes()
+        }
+
+        fn num_edges(&self) -> usize {
+            self.inner.num_edges()
+        }
+
+        fn max_degree_bound(&self) -> usize {
+            self.inner.max_degree_bound()
+        }
+
+        fn fetch_neighbors(&self, u: NodeId) -> SliceRef<'_, NodeId> {
+            self.inner.fetch_neighbors(u)
+        }
+
+        fn fetch_labels(&self, u: NodeId) -> SliceRef<'_, LabelId> {
+            self.inner.fetch_labels(u)
+        }
+
+        fn epoch_of(&self, _u: NodeId) -> Epoch {
+            Epoch(self.epoch.load(Ordering::SeqCst))
+        }
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_both_layers() {
+        let g = path4();
+        let backend = EpochBackend::new(&g, 0);
+        let cache = CachedOsn::new(backend);
+        let s = cache.session();
+        s.neighbors(NodeId(1)); // miss: fills L2 + L1 at epoch 0
+        s.neighbors(NodeId(1)); // L1 hit
+        assert_eq!(s.l1_hits(), 1);
+        assert_eq!(s.l1_stale_evictions(), 0);
+
+        cache.backend().set_epoch(1);
+        // The L1 entry is stamped 0: stale, evicted, falls to the L2 —
+        // whose entry is also stamped 0: stale too, refetched.
+        s.neighbors(NodeId(1));
+        assert_eq!(s.l1_stale_evictions(), 1);
+        assert_eq!(s.l1_hits(), 1, "a stale probe is not a hit");
+        // Refilled at epoch 1: hits again.
+        s.neighbors(NodeId(1));
+        assert_eq!(s.l1_hits(), 2);
+        drop(s);
+        let st = cache.stats();
+        assert_eq!(st.neighbor_misses, 2, "one cold miss, one stale refetch");
+        assert_eq!(st.l1_stale_evictions, 1);
+        assert_eq!(st.l2_stale_evictions, 1);
+        assert_eq!(st.stale_evictions(), 2);
+    }
+
+    #[test]
+    fn l2_only_stale_path_counts_and_refetches() {
+        let g = path4();
+        let backend = EpochBackend::new(&g, 0);
+        let cache = CachedOsn::with_config(backend, no_l1(None, 1));
+        let s = cache.session();
+        s.labels(NodeId(0));
+        s.labels(NodeId(0)); // L2 hit (read-lock peek path: unbounded)
+        cache.backend().set_epoch(7);
+        s.labels(NodeId(0)); // stale: refetch
+        s.labels(NodeId(0)); // fresh again
+        drop(s);
+        let st = cache.stats();
+        assert_eq!(st.label_misses, 2);
+        assert_eq!(st.l2_stale_evictions, 1);
+        assert_eq!(st.l1_stale_evictions, 0);
+        // Entry was refilled in place, not duplicated.
+        assert_eq!(cache.cached_entries().1, 1);
+    }
+
+    #[test]
+    fn bounded_shard_stale_path_refills_in_place() {
+        let g = path4();
+        let backend = EpochBackend::new(&g, 3);
+        // Bounded single shard: the write-lock `get` path does the check.
+        let cache = CachedOsn::with_config(backend, no_l1(Some(2), 1));
+        let s = cache.session();
+        s.neighbors(NodeId(0));
+        s.neighbors(NodeId(1));
+        cache.backend().set_epoch(4);
+        s.neighbors(NodeId(0)); // stale: refilled in place
+        s.neighbors(NodeId(1)); // stale: refilled in place
+        s.neighbors(NodeId(0)); // fresh hit
+        drop(s);
+        let st = cache.stats();
+        assert_eq!(st.neighbor_misses, 4);
+        assert_eq!(st.l2_stale_evictions, 2);
+        assert_eq!(cache.cached_entries().0, 2, "no growth past capacity");
+    }
+
+    /// Epoch wraparound: a stamp of `u32::MAX` versus a current epoch that
+    /// wrapped to 0 must read as stale — staleness is inequality, not
+    /// ordering, so wraparound can never manufacture a false hit.
+    #[test]
+    fn epoch_wraparound_is_stale_never_a_false_hit() {
+        let g = path4();
+        let backend = EpochBackend::new(&g, u32::MAX);
+        let cache = CachedOsn::new(backend);
+        let s = cache.session();
+        s.neighbors(NodeId(2)); // fills both layers at MAX
+        cache.backend().set_epoch(Epoch(u32::MAX).next().0); // wraps to 0
+        assert_eq!(Epoch(u32::MAX).next(), Epoch(0));
+        s.neighbors(NodeId(2));
+        assert_eq!(s.l1_stale_evictions(), 1);
+        drop(s);
+        let st = cache.stats();
+        assert_eq!(st.neighbor_misses, 2, "wrapped epoch must refetch");
+        assert_eq!(st.l2_stale_evictions, 1);
+    }
+
+    #[test]
+    fn static_backends_never_report_stale() {
+        let g = path4();
+        let cache = CachedOsn::new(GraphOsn::new(&g));
+        let s = cache.session();
+        for _ in 0..3 {
+            for u in 0..4u32 {
+                s.neighbors(NodeId(u));
+                s.labels(NodeId(u));
+            }
+        }
+        assert_eq!(s.l1_stale_evictions(), 0);
+        drop(s);
+        let st = cache.stats();
+        assert_eq!(st.stale_evictions(), 0);
+    }
+
+    #[test]
+    fn cache_config_builder_matches_field_construction() {
+        let built = CacheConfig::builder()
+            .capacity(128)
+            .shards(8)
+            .l1_slots(16)
+            .build();
+        assert_eq!(built.capacity(), Some(128));
+        assert_eq!(built.shards(), 8);
+        assert_eq!(built.l1_slots(), 16);
+        let unbounded = CacheConfig::builder().capacity(9).unbounded().build();
+        assert_eq!(unbounded.capacity(), None);
+        let defaults = CacheConfig::builder().build();
+        assert_eq!(defaults.capacity(), None);
+        assert_eq!(defaults.shards(), 64);
+        assert_eq!(defaults.l1_slots(), DEFAULT_L1_SLOTS);
     }
 }

@@ -1,0 +1,380 @@
+//! A dynamic (churning) OSN backend: [`ChurnOsn`].
+//!
+//! Every other backend in the crate serves a frozen graph — the paper's
+//! standing assumption. [`ChurnOsn`] drops that assumption: it owns a
+//! [`MutableGraph`] plus a seeded [`ChurnSchedule`] and mutates the served
+//! graph whenever its virtual clock is advanced ([`ChurnOsn::advance_to`]),
+//! bumping per-region [`Epoch`] stamps as it goes. Downstream caches
+//! ([`crate::CachedOsn`] L2 entries, [`crate::OsnSession`] L1 slots) store
+//! the epoch they were filled at and treat a changed stamp as a miss, so
+//! invalidation rides the existing read path — no callbacks, no
+//! subscription machinery, just generation stamps (the same protocol
+//! hardware caches and MVCC storage engines use).
+//!
+//! # Determinism
+//!
+//! Churn advances on **virtual ticks only** — `advance_to` is the one
+//! mutation entry point, and callers invoke it at serial control points
+//! (between scheduler slices, between experiment phases). Between two
+//! `advance_to` calls the backend is effectively immutable, so concurrent
+//! readers at any thread count observe one well-defined snapshot and every
+//! derived number is bit-identical across thread/shard/worker counts. With
+//! `events_per_batch == 0` (churn rate 0) the schedule never fires and the
+//! backend behaves exactly like a static [`crate::GraphOsn`] over the seed
+//! graph.
+//!
+//! # Stale-read mode
+//!
+//! [`ChurnOsn::set_report_epochs`]`(false)` keeps the churn but hides the
+//! stamps: `epoch_of` answers [`Epoch::STATIC`] forever, so caches keep
+//! serving filled entries however stale they get. That is the *control
+//! arm* of the `staleness` experiment — the measured gap between the
+//! invalidating and stale-read runs is exactly what epoch invalidation
+//! buys.
+
+use std::sync::{PoisonError, RwLock};
+
+use labelcount_graph::{
+    ChurnConfig, ChurnSchedule, ChurnStats, Epoch, LabelId, LabeledGraph, MutableGraph, NodeId,
+};
+
+use crate::api::OsnBackend;
+use crate::guard::SliceRef;
+
+/// The mutable state: one lock covers graph, schedule, and counters so a
+/// batch application is atomic with respect to readers.
+struct Inner {
+    graph: MutableGraph,
+    schedule: ChurnSchedule,
+    stats: ChurnStats,
+}
+
+/// An [`OsnBackend`] over a churning graph (see the [module docs](self)).
+///
+/// `Sync`: readers take the inner `RwLock` in read mode and clone the
+/// per-node `Arc` lists out, so fetches from many threads proceed in
+/// parallel; only [`ChurnOsn::advance_to`] takes the write lock.
+pub struct ChurnOsn {
+    inner: RwLock<Inner>,
+    report_epochs: bool,
+}
+
+impl ChurnOsn {
+    /// Wraps a snapshot of `graph` with the churn stream described by
+    /// `cfg` (the graph itself is copied into a [`MutableGraph`]; the
+    /// original is not touched).
+    pub fn new(graph: &LabeledGraph, cfg: ChurnConfig) -> ChurnOsn {
+        ChurnOsn {
+            inner: RwLock::new(Inner {
+                graph: MutableGraph::new(graph, cfg.region_shift),
+                schedule: ChurnSchedule::new(cfg),
+                stats: ChurnStats::default(),
+            }),
+            report_epochs: true,
+        }
+    }
+
+    /// Toggles epoch reporting. `true` (the default) reports live region
+    /// stamps, so epoch-aware caches invalidate; `false` pins
+    /// [`OsnBackend::epoch_of`] at [`Epoch::STATIC`], so caches serve
+    /// stale entries forever — the control arm of the staleness
+    /// experiment.
+    #[must_use = "returns the modified backend"]
+    pub fn set_report_epochs(mut self, report: bool) -> ChurnOsn {
+        self.report_epochs = report;
+        self
+    }
+
+    /// Whether live epochs are reported (see
+    /// [`ChurnOsn::set_report_epochs`]).
+    pub fn reports_epochs(&self) -> bool {
+        self.report_epochs
+    }
+
+    /// Applies every churn batch due at or before virtual `tick`. Call at
+    /// serial control points only (between scheduler slices, between
+    /// experiment phases); ticks are the scheduler's virtual time, never
+    /// wall time, which is what keeps churned runs bit-identical across
+    /// thread counts.
+    pub fn advance_to(&self, tick: u64) {
+        let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        let Inner {
+            graph,
+            schedule,
+            stats,
+        } = &mut *inner;
+        schedule.advance_to(graph, tick, stats);
+    }
+
+    /// The next virtual tick at which a batch is due, or `None` when the
+    /// stream is empty (churn rate 0).
+    pub fn next_due_tick(&self) -> Option<u64> {
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .schedule
+            .next_due_tick()
+    }
+
+    /// Snapshot of the churn accounting so far.
+    pub fn churn_stats(&self) -> ChurnStats {
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats
+    }
+
+    /// The churn configuration in force.
+    pub fn churn_config(&self) -> ChurnConfig {
+        *self
+            .inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .schedule
+            .config()
+    }
+
+    /// Materializes the current snapshot as an immutable
+    /// [`LabeledGraph`] — evaluation-side only, for computing *fresh*
+    /// ground truth against the churned graph. Estimators must not use
+    /// this.
+    pub fn ground_truth_snapshot(&self) -> LabeledGraph {
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .graph
+            .to_labeled_graph()
+    }
+}
+
+impl OsnBackend for ChurnOsn {
+    fn num_nodes(&self) -> usize {
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .graph
+            .num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        // Prior knowledge tracks the live graph: the OSN owner republishes
+        // |E| as it drifts.
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .graph
+            .num_edges()
+    }
+
+    fn max_degree_bound(&self) -> usize {
+        // Monotone: raised by inserts, never lowered, so a bound handed to
+        // a running estimator stays valid across batches.
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .graph
+            .max_degree_bound()
+    }
+
+    fn fetch_neighbors(&self, u: NodeId) -> SliceRef<'_, NodeId> {
+        SliceRef::Shared(
+            self.inner
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .graph
+                .neighbors(u)
+                .clone(),
+        )
+    }
+
+    fn fetch_labels(&self, u: NodeId) -> SliceRef<'_, LabelId> {
+        SliceRef::Shared(
+            self.inner
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .graph
+                .labels(u)
+                .clone(),
+        )
+    }
+
+    fn epoch_of(&self, u: NodeId) -> Epoch {
+        if !self.report_epochs {
+            return Epoch::STATIC;
+        }
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .graph
+            .epoch_of(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cached::{CachedOsn, GraphOsn};
+    use crate::OsnApi;
+    use labelcount_graph::GraphBuilder;
+
+    fn ring(n: u32) -> LabeledGraph {
+        let mut b = GraphBuilder::new(n as usize);
+        for i in 0..n {
+            b.add_edge(NodeId(i), NodeId((i + 1) % n));
+        }
+        for i in 0..n {
+            b.set_labels(NodeId(i), &[LabelId(1 + (i % 2))]);
+        }
+        b.build()
+    }
+
+    fn cfg(seed: u64, events: usize, interval: u64) -> ChurnConfig {
+        ChurnConfig {
+            seed,
+            events_per_batch: events,
+            batch_interval_ticks: interval,
+            region_shift: 0,
+        }
+    }
+
+    fn assert_sync<T: Sync>(_: &T) {}
+
+    #[test]
+    fn churn_osn_is_sync() {
+        let g = ring(8);
+        let osn = ChurnOsn::new(&g, cfg(1, 2, 10));
+        assert_sync(&osn);
+    }
+
+    #[test]
+    fn zero_rate_matches_static_backend() {
+        let g = ring(16);
+        let churn = ChurnOsn::new(&g, cfg(1, 0, 10));
+        let staticb = GraphOsn::new(&g);
+        churn.advance_to(1_000_000);
+        assert_eq!(churn.num_edges(), staticb.num_edges());
+        assert_eq!(churn.next_due_tick(), None);
+        for u in (0..16u32).map(NodeId) {
+            assert_eq!(&*churn.fetch_neighbors(u), &*staticb.fetch_neighbors(u));
+            assert_eq!(&*churn.fetch_labels(u), &*staticb.fetch_labels(u));
+            assert_eq!(churn.epoch_of(u), Epoch::STATIC);
+        }
+        assert_eq!(churn.churn_stats().events_drawn, 0);
+    }
+
+    #[test]
+    fn advance_is_idempotent_and_monotone() {
+        let g = ring(16);
+        let osn = ChurnOsn::new(&g, cfg(7, 3, 5));
+        osn.advance_to(20); // batches at 5, 10, 15, 20
+        let s1 = osn.churn_stats();
+        assert_eq!(s1.batches, 4);
+        osn.advance_to(20); // nothing new due
+        osn.advance_to(12); // going "back" is a no-op, not a rewind
+        assert_eq!(osn.churn_stats(), s1);
+        osn.advance_to(25);
+        assert_eq!(osn.churn_stats().batches, 5);
+    }
+
+    #[test]
+    fn epochs_drive_cache_invalidation_end_to_end() {
+        let g = ring(32);
+        let osn = ChurnOsn::new(&g, cfg(11, 20, 10));
+        let cache = CachedOsn::new(osn);
+        let s = cache.session();
+        // Warm every node at epoch 0.
+        for u in (0..32u32).map(NodeId) {
+            s.neighbors(u);
+            s.labels(u);
+        }
+        drop(s);
+        assert_eq!(cache.stats().misses(), 64);
+
+        cache.backend().advance_to(10); // one batch of 20 events
+        let st = cache.backend().churn_stats();
+        assert!(st.events_applied() > 0, "20 draws on a ring must land some");
+
+        let s = cache.session();
+        for u in (0..32u32).map(NodeId) {
+            s.neighbors(u);
+            s.labels(u);
+        }
+        drop(s);
+        let cs = cache.stats();
+        // Every touched region was refetched (L2 stale evictions); the
+        // rest were honest hits.
+        assert!(cs.l2_stale_evictions > 0, "churn must invalidate something");
+        assert_eq!(
+            cs.misses(),
+            64 + cs.l2_stale_evictions,
+            "refetches must equal stale discoveries exactly"
+        );
+    }
+
+    #[test]
+    fn stale_read_mode_hides_churn_from_caches() {
+        let g = ring(32);
+        let osn = ChurnOsn::new(&g, cfg(11, 20, 10)).set_report_epochs(false);
+        assert!(!osn.reports_epochs());
+        let cache = CachedOsn::new(osn);
+        let s = cache.session();
+        for u in (0..32u32).map(NodeId) {
+            s.neighbors(u);
+        }
+        drop(s);
+        cache.backend().advance_to(10);
+        assert!(cache.backend().churn_stats().events_applied() > 0);
+        let s = cache.session();
+        for u in (0..32u32).map(NodeId) {
+            s.neighbors(u); // stale L2 hits: the control arm
+        }
+        drop(s);
+        let cs = cache.stats();
+        assert_eq!(cs.misses(), 32, "no refetches in stale-read mode");
+        assert_eq!(cs.stale_evictions(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_reader_thread_counts() {
+        let g = ring(64);
+        let run = |threads: usize| -> (Vec<Vec<NodeId>>, ChurnStats) {
+            let osn = ChurnOsn::new(&g, cfg(3, 10, 5));
+            osn.advance_to(25); // 5 batches at a serial control point
+            let cache = CachedOsn::new(&osn);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| {
+                        let s = cache.session();
+                        for u in (0..64u32).map(NodeId) {
+                            s.neighbors(u);
+                        }
+                    });
+                }
+            });
+            let snapshot = (0..64u32)
+                .map(|u| osn.fetch_neighbors(NodeId(u)).to_vec())
+                .collect();
+            (snapshot, osn.churn_stats())
+        };
+        let (g1, s1) = run(1);
+        let (g8, s8) = run(8);
+        assert_eq!(g1, g8, "churned data must not depend on reader threads");
+        assert_eq!(s1, s8);
+    }
+
+    #[test]
+    fn ground_truth_snapshot_tracks_the_live_graph() {
+        let g = ring(16);
+        let osn = ChurnOsn::new(&g, cfg(9, 8, 10));
+        let before = osn.ground_truth_snapshot();
+        assert_eq!(before.num_edges(), g.num_edges());
+        osn.advance_to(50);
+        let after = osn.ground_truth_snapshot();
+        assert_eq!(after.num_edges(), osn.num_edges());
+        let st = osn.churn_stats();
+        assert_eq!(
+            after.num_edges() as i64 - g.num_edges() as i64,
+            st.edges_inserted as i64 - st.edges_deleted as i64
+        );
+    }
+}

@@ -33,6 +33,11 @@
 //!   [`OsnBackend`] over an on-disk paged CSR file served through a
 //!   pinned-page buffer pool (`labelcount_graph::paged`), bit-identical
 //!   to the in-RAM backend at any frame budget.
+//! * [`ChurnOsn`] — a *dynamic* backend: a seeded, deterministic churn
+//!   stream mutates the served graph on virtual ticks
+//!   ([`ChurnOsn::advance_to`]), bumping per-region
+//!   [`labelcount_graph::Epoch`] stamps that the cache layers compare via
+//!   [`OsnBackend::epoch_of`] to invalidate stale L1/L2 entries.
 //! * [`SliceRef`] — the borrow-or-share guard `neighbors`/`labels` return,
 //!   so caching implementations neither leak nor copy.
 //! * [`linegraph`] — the implicit transformed graph `G'` of §5.1 (one node
@@ -45,6 +50,7 @@
 pub mod adversarial;
 pub mod api;
 pub mod cached;
+pub mod churn;
 pub mod guard;
 pub mod linegraph;
 pub mod paged;
@@ -52,7 +58,10 @@ pub mod simulated;
 
 pub use adversarial::{AdversarialOsn, FaultConfig, FaultStats, RetryPolicy};
 pub use api::{FetchCost, OsnApi, OsnApiExt, OsnBackend};
-pub use cached::{CacheConfig, CachedOsn, CallStats, GraphOsn, OsnSession, DEFAULT_L1_SLOTS};
+pub use cached::{
+    CacheConfig, CacheConfigBuilder, CachedOsn, CallStats, GraphOsn, OsnSession, DEFAULT_L1_SLOTS,
+};
+pub use churn::ChurnOsn;
 pub use guard::SliceRef;
 pub use linegraph::{LineGraphView, LineNode};
 pub use paged::PagedGraphOsn;

@@ -287,6 +287,7 @@ pub fn compare_reports(baseline: &Report, current: &Report, max_regression: f64)
         || baseline.serving != current.serving
         || baseline.scheduling != current.scheduling
         || baseline.paging != current.paging
+        || baseline.invalidation != current.invalidation
         || baseline.ground_truth_f != current.ground_truth_f
     {
         findings.push(Finding {
@@ -505,8 +506,8 @@ mod tests {
     use super::*;
     use crate::alloc_track::AllocDelta;
     use crate::report::{
-        AlgoCounters, EngineCounters, Measured, PagingCounters, ScenarioMeta, SchedulerCounters,
-        ServingCounters, WalkCounters, WorkloadCounters, SCHEMA_VERSION,
+        AlgoCounters, EngineCounters, InvalidationCounters, Measured, PagingCounters, ScenarioMeta,
+        SchedulerCounters, ServingCounters, WalkCounters, WorkloadCounters, SCHEMA_VERSION,
     };
 
     fn report(name: &str, per_step: f64, total_ms: f64) -> Report {
@@ -578,6 +579,12 @@ mod tests {
                 pool_hits: 900,
                 evictions: 48,
                 pinned_peak: 3,
+            },
+            invalidation: InvalidationCounters {
+                churn_batches: 8,
+                churn_events: 40,
+                l1_stale_evictions: 12,
+                l2_stale_evictions: 90,
             },
             ground_truth_f: 7,
             measured: Measured {
@@ -742,6 +749,17 @@ mod tests {
         let base = report("loaded-paged_smoke", 1.0e6, 100.0);
         let mut cur = report("loaded-paged_smoke", 1.0e6, 100.0);
         cur.paging.evictions += 7; // e.g. a different frame budget
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].fatal);
+        assert_eq!(findings[0].metric, "counters");
+    }
+
+    #[test]
+    fn invalidation_counter_drift_warns_but_does_not_fail() {
+        let base = report("ba_smoke", 1.0e6, 100.0);
+        let mut cur = report("ba_smoke", 1.0e6, 100.0);
+        cur.invalidation.l2_stale_evictions += 5; // e.g. a different churn rate
         let findings = compare_reports(&base, &cur, 2.5);
         assert_eq!(findings.len(), 1);
         assert!(!findings[0].fatal);

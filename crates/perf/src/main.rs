@@ -19,8 +19,8 @@ use std::process::ExitCode;
 use labelcount_perf::alloc_track::CountingAlloc;
 use labelcount_perf::compare::{compare_dirs_opts, markdown_summary, min_speedup_findings};
 use labelcount_perf::scenario::{
-    run_scenario, DeadlineTightness, Family, PoolFrames, ScenarioSpec, Tier, DEFAULT_DEADLINE,
-    DEFAULT_FAULT_RATE, DEFAULT_POOL_FRAMES, DEFAULT_SEED, DEFAULT_TENANT_SKEW,
+    run_scenario, DeadlineTightness, Family, PoolFrames, ScenarioSpec, Tier, DEFAULT_CHURN_RATE,
+    DEFAULT_DEADLINE, DEFAULT_FAULT_RATE, DEFAULT_POOL_FRAMES, DEFAULT_SEED, DEFAULT_TENANT_SKEW,
 };
 
 #[global_allocator]
@@ -58,6 +58,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut tenant_skew = DEFAULT_TENANT_SKEW;
     let mut deadline = DEFAULT_DEADLINE;
     let mut pool_frames = DEFAULT_POOL_FRAMES;
+    let mut churn_rate = DEFAULT_CHURN_RATE;
     let mut out = PathBuf::from(".");
 
     let mut i = 0usize;
@@ -103,6 +104,13 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
                     format!("unknown pool budget `{v}` (tight|comfortable|unbounded|N)")
                 })?;
             }
+            "--churn-rate" => {
+                let v = take_value(args, &mut i, "--churn-rate")?;
+                churn_rate = v.parse().map_err(|_| format!("bad churn rate `{v}`"))?;
+                if !(0.0..=1.0).contains(&churn_rate) {
+                    return Err("--churn-rate must be in [0, 1]".into());
+                }
+            }
             "--out" => out = PathBuf::from(take_value(args, &mut i, "--out")?),
             "--help" | "-h" => {
                 println!("{}", HELP);
@@ -123,6 +131,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             tenant_skew,
             deadline,
             pool_frames,
+            churn_rate,
         };
         eprintln!("running scenario {} ...", spec.name());
         let report = run_scenario(&spec);
@@ -150,6 +159,11 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             "  scheduler ({}): {} deadline hits / {} cancellations, mean slack {:.1} ticks, {} inversions ({:.1} ms)",
             deadline.name(), sc.deadline_hits, sc.cancellations, sc.mean_slack_ticks,
             sc.priority_inversions, m.scheduler_ms,
+        );
+        let iv = &report.invalidation;
+        eprintln!(
+            "  churn (rate {churn_rate}): {} batches / {} events -> {} L1 + {} L2 stale evictions",
+            iv.churn_batches, iv.churn_events, iv.l1_stale_evictions, iv.l2_stale_evictions,
         );
         eprintln!(
             "  {:>10} nodes {:>10} edges | walk {:>12.0} steps/s per-step, {:>12.0} batched, {:>11.0} line | gt {:.1} ms serial / {:.1} ms parallel | {:.0} ms total -> {}",
@@ -260,7 +274,8 @@ USAGE:
                   [--family ba,er,loaded,loaded-paged]
                   [--seed N] [--fault-rate F] [--tenant-skew S]
                   [--deadline inf|p95|p50]
-                  [--pool-frames tight|comfortable|unbounded|N] [--out DIR]
+                  [--pool-frames tight|comfortable|unbounded|N]
+                  [--churn-rate R] [--out DIR]
   labelcount-perf compare --baseline DIR --current DIR [--max-regression X]
                   [--match-family] [--min-parallel-speedup X]
                   [--markdown-summary FILE]
@@ -276,7 +291,11 @@ run's own tick bills (default p95; same warn-only drift rule — the
 nightly deadline matrix sweeps it). --pool-frames sets the loaded-paged
 scenario's buffer-pool frame budget (default tight = 16 frames; the
 budget moves only counters.paging — estimates stay bit-identical at any
-budget — and the nightly matrix sweeps it). Compare mode exits 1
+budget — and the nightly matrix sweeps it). --churn-rate sets the
+dynamic-graph phase's seeded churn rate (default 0.05; the rate moves
+only counters.invalidation — at 0 the churned stack is asserted
+bit-identical to the static engine pass — and the nightly matrix sweeps
+it). Compare mode exits 1
 if any measured metric regressed more than the threshold (default 2.5x)
 against the baseline directory; --match-family additionally compares
 scenarios without a same-name baseline against a same-family baseline of

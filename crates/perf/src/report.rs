@@ -51,7 +51,12 @@ use crate::json::{Json, JsonError};
 /// for in-RAM families) and the `measured.page_fault_ns` probe (steady
 /// cost of one pool miss on a tight frame budget, gated like the other
 /// wall times in the `loaded-paged` family).
-pub const SCHEMA_VERSION: u64 = 7;
+///
+/// v8 added the `counters.invalidation` section (dynamic graphs: churn
+/// batches and events applied by the seeded churn schedule, and L1/L2
+/// cache entries evicted as stale by epoch-stamp mismatch — all zero at
+/// churn rate 0, where the stack is bit-identical to the static one).
+pub const SCHEMA_VERSION: u64 = 8;
 
 /// Scenario identity and workload parameters.
 #[derive(Clone, Debug, PartialEq)]
@@ -220,6 +225,27 @@ pub struct PagingCounters {
     pub pinned_peak: u64,
 }
 
+/// Deterministic counters of the dynamic-graph churn phase: a replicated
+/// estimation run over a [`labelcount_osn::ChurnOsn`] whose seeded churn
+/// schedule is advanced between serial control points, with every cache
+/// layer invalidating on epoch-stamp mismatch. All zero at churn rate 0
+/// (the scenario's `--churn-rate 0` run must be bit-identical to the
+/// static stack).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct InvalidationCounters {
+    /// Churn batches applied by the schedule over the phase.
+    pub churn_batches: u64,
+    /// Individual churn events (edge inserts/deletes, label flips)
+    /// applied across those batches.
+    pub churn_events: u64,
+    /// Session-private L1 slots discarded because their fill-time epoch
+    /// went stale.
+    pub l1_stale_evictions: u64,
+    /// Shared L2 entries discarded because their fill-time epoch went
+    /// stale (counted once, by the first prober, under the shard lock).
+    pub l2_stale_evictions: u64,
+}
+
 /// One algorithm's deterministic results on a scenario.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AlgoCounters {
@@ -320,6 +346,9 @@ pub struct Report {
     /// Deterministic buffer-pool counters (out-of-core paged CSR; all
     /// zero for in-RAM families).
     pub paging: PagingCounters,
+    /// Deterministic churn/invalidation counters (dynamic graphs; all
+    /// zero at churn rate 0).
+    pub invalidation: InvalidationCounters,
     /// Exact target-edge count `F`.
     pub ground_truth_f: u64,
     /// Machine-dependent measurements.
@@ -512,6 +541,27 @@ impl Report {
                             ("pinned_peak", Json::Num(self.paging.pinned_peak as f64)),
                         ]),
                     ),
+                    (
+                        "invalidation",
+                        Json::obj(vec![
+                            (
+                                "churn_batches",
+                                Json::Num(self.invalidation.churn_batches as f64),
+                            ),
+                            (
+                                "churn_events",
+                                Json::Num(self.invalidation.churn_events as f64),
+                            ),
+                            (
+                                "l1_stale_evictions",
+                                Json::Num(self.invalidation.l1_stale_evictions as f64),
+                            ),
+                            (
+                                "l2_stale_evictions",
+                                Json::Num(self.invalidation.l2_stale_evictions as f64),
+                            ),
+                        ]),
+                    ),
                     ("ground_truth_f", Json::Num(self.ground_truth_f as f64)),
                 ]),
             ),
@@ -692,6 +742,15 @@ impl Report {
             evictions: field_u64(pgj, "evictions")?,
             pinned_peak: field_u64(pgj, "pinned_peak")?,
         };
+        let ivj = counters
+            .get("invalidation")
+            .ok_or_else(|| miss("counters.invalidation"))?;
+        let invalidation = InvalidationCounters {
+            churn_batches: field_u64(ivj, "churn_batches")?,
+            churn_events: field_u64(ivj, "churn_events")?,
+            l1_stale_evictions: field_u64(ivj, "l1_stale_evictions")?,
+            l2_stale_evictions: field_u64(ivj, "l2_stale_evictions")?,
+        };
         let ground_truth_f = field_u64(counters, "ground_truth_f")?;
         let mj = v.get("measured").ok_or_else(|| miss("measured"))?;
         let aj = mj.get("alloc").ok_or_else(|| miss("measured.alloc"))?;
@@ -730,6 +789,7 @@ impl Report {
             serving,
             scheduling,
             paging,
+            invalidation,
             ground_truth_f,
             measured,
         })
@@ -863,6 +923,12 @@ mod tests {
                 evictions: 496,
                 pinned_peak: 3,
             },
+            invalidation: InvalidationCounters {
+                churn_batches: 12,
+                churn_events: 96,
+                l1_stale_evictions: 40,
+                l2_stale_evictions: 310,
+            },
             ground_truth_f: 6750,
             measured: Measured {
                 total_ms: 1234.5,
@@ -907,7 +973,7 @@ mod tests {
         let text = r
             .to_json()
             .to_pretty()
-            .replace("\"schema_version\": 7", "\"schema_version\": 999");
+            .replace("\"schema_version\": 8", "\"schema_version\": 999");
         match Report::from_json_text(&text) {
             Err(ReportError::Schema(msg)) => assert!(msg.contains("999"), "{msg}"),
             other => panic!("expected schema error, got {other:?}"),
@@ -916,7 +982,7 @@ mod tests {
 
     #[test]
     fn missing_fields_are_schema_errors() {
-        let text = "{\"schema_version\": 7}";
+        let text = "{\"schema_version\": 8}";
         assert!(matches!(
             Report::from_json_text(text),
             Err(ReportError::Schema(_))

@@ -15,6 +15,7 @@ use labelcount_core::{
     workload::{run_workload, run_workload_on},
     Engine, NsHansenHurwitz, RunConfig, Workload,
 };
+use labelcount_graph::churn::ChurnConfig;
 use labelcount_graph::components::largest_component;
 use labelcount_graph::gen::{barabasi_albert, erdos_renyi_gnm};
 use labelcount_graph::labels::{assign_binary_labels, with_labels};
@@ -22,8 +23,8 @@ use labelcount_graph::motifs::{count_labeled_triangles, count_labeled_wedges, Ta
 use labelcount_graph::paged::{EvictionPolicy, PagedCsrWriter, PagingStats, PoolConfig};
 use labelcount_graph::{GroundTruth, LabeledGraph, NodeId, TargetLabel};
 use labelcount_osn::{
-    CacheConfig, FaultConfig, LineGraphView, OsnApi, OsnApiExt, PagedGraphOsn, RetryPolicy,
-    SimulatedOsn,
+    CacheConfig, ChurnOsn, FaultConfig, LineGraphView, OsnApi, OsnApiExt, PagedGraphOsn,
+    RetryPolicy, SimulatedOsn,
 };
 use labelcount_serve::{
     AdmissionConfig, GraphKey, QuotaPolicy, SchedulePolicy, ServiceReport, ServiceStatus,
@@ -37,8 +38,9 @@ use rand::SeedableRng;
 
 use crate::alloc_track;
 use crate::report::{
-    AlgoCounters, EngineCounters, Measured, PagingCounters, Report, ScenarioMeta,
-    SchedulerCounters, ServingCounters, WalkCounters, WorkloadCounters, SCHEMA_VERSION,
+    AlgoCounters, EngineCounters, InvalidationCounters, Measured, PagingCounters, Report,
+    ScenarioMeta, SchedulerCounters, ServingCounters, WalkCounters, WorkloadCounters,
+    SCHEMA_VERSION,
 };
 
 /// Graph family axis of the matrix.
@@ -304,6 +306,13 @@ pub struct ScenarioSpec {
     /// hits, and evictions (warn-only drift) but never estimates. The
     /// nightly matrix sweeps it.
     pub pool_frames: PoolFrames,
+    /// Churn rate of the dynamic-graph phase: the fraction of nodes whose
+    /// neighborhood one seeded churn batch perturbs. Part of the
+    /// deterministic `counters.invalidation` section (a different rate
+    /// changes batches, events, and stale evictions — warn-only drift). At
+    /// `0.0` the churned stack must be bit-identical to the static engine
+    /// pass, which the runner asserts. The nightly matrix sweeps it.
+    pub churn_rate: f64,
 }
 
 impl ScenarioSpec {
@@ -318,6 +327,7 @@ impl ScenarioSpec {
             tenant_skew: DEFAULT_TENANT_SKEW,
             deadline: DEFAULT_DEADLINE,
             pool_frames: DEFAULT_POOL_FRAMES,
+            churn_rate: DEFAULT_CHURN_RATE,
         }
     }
 }
@@ -345,6 +355,12 @@ pub const DEFAULT_DEADLINE: DeadlineTightness = DeadlineTightness::P95;
 /// residency far below the in-RAM families'.
 pub const DEFAULT_POOL_FRAMES: PoolFrames = PoolFrames::Tight;
 
+/// Default churn rate of the dynamic-graph phase: high enough that every
+/// committed baseline applies churn batches and evicts stale L1 and L2
+/// entries, low enough that the perturbed graph stays connected in
+/// practice at smoke scale.
+pub const DEFAULT_CHURN_RATE: f64 = 0.05;
+
 /// Internal stream ids for [`replication_seed`] derivation, so no two
 /// measurement phases share an RNG stream.
 mod stream {
@@ -359,6 +375,7 @@ mod stream {
     pub const WORKLOAD: u64 = 960;
     pub const SERVING: u64 = 970;
     pub const SCHEDULER: u64 = 980;
+    pub const CHURN: u64 = 990;
 }
 
 impl ScenarioSpec {
@@ -1023,10 +1040,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
         // would quietly re-materialize the whole graph in RAM and the
         // residency comparison against the in-RAM `loaded` cell would
         // measure nothing.
-        let paged_cache = CacheConfig {
-            capacity: Some(512),
-            ..CacheConfig::default()
-        };
+        let paged_cache = CacheConfig::builder().capacity(512).build();
         let path = std::env::temp_dir().join(format!(
             "labelcount_perf_{}_{}_{}.paged",
             spec.name(),
@@ -1169,6 +1183,90 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
         (PagingCounters::default(), 0.0)
     };
 
+    // --- Dynamic graphs: the engine's replicated load re-run over a
+    // churned backend whose seeded schedule is advanced at serial control
+    // points, with every cache layer invalidating on epoch-stamp mismatch.
+    // A warm pass fills both cache levels; at churn rate 0 it must be
+    // bit-identical to the static engine pass above (asserted — the same
+    // contract the core proptests pin for all ten algorithms). An L1 probe
+    // session then straddles an epoch bump (fresh per-replicate sessions
+    // start empty, so only a session living across a bump can observe L1
+    // staleness), and a second replicated pass over the bumped epochs
+    // counts the L2 entries evicted as stale. All counters are
+    // single-threaded and therefore deterministic.
+    let invalidation = {
+        let churn_seed = replication_seed(spec.seed, stream::CHURN);
+        let churn_cfg = ChurnConfig::from_rate(churn_seed, spec.churn_rate, n, 1);
+        let engine_churn: Engine<'_, ChurnOsn> =
+            Engine::on_backend_with_config(ChurnOsn::new(&g, churn_cfg), CacheConfig::default());
+        let warm: Vec<f64> = engine_churn
+            .estimate_replicated(
+                &engine_alg,
+                target,
+                engine_budget,
+                &cfg,
+                engine_seed,
+                engine_reps,
+                1,
+            )
+            .into_iter()
+            .map(|r| sanitize(r.expect("unbudgeted estimation on a connected component")))
+            .collect();
+        if spec.churn_rate == 0.0 {
+            assert_eq!(
+                engine
+                    .estimates
+                    .iter()
+                    .map(|e| e.to_bits())
+                    .collect::<Vec<_>>(),
+                warm.iter().map(|e| e.to_bits()).collect::<Vec<_>>(),
+                "churn rate 0 must be bit-identical to the static engine pass"
+            );
+        }
+        drop(warm);
+
+        let probe = engine_churn.session();
+        let probe_nodes = n.min(256) as u32;
+        for u in 0..probe_nodes {
+            std::hint::black_box(probe.neighbors(NodeId(u)).len());
+        }
+        engine_churn.backend().advance_to(4);
+        for u in 0..probe_nodes {
+            std::hint::black_box(probe.neighbors(NodeId(u)).len());
+        }
+        drop(probe); // flushes the session's L1 stale count into stats
+
+        engine_churn.backend().advance_to(8);
+        for r in engine_churn.estimate_replicated(
+            &engine_alg,
+            target,
+            engine_budget,
+            &cfg,
+            engine_seed,
+            engine_reps,
+            1,
+        ) {
+            let _ = r.expect("unbudgeted estimation on a connected component");
+        }
+
+        let stats = engine_churn.stats();
+        let churn = engine_churn.backend().churn_stats();
+        let invalidation = InvalidationCounters {
+            churn_batches: churn.batches,
+            churn_events: churn.events_applied(),
+            l1_stale_evictions: stats.l1_stale_evictions,
+            l2_stale_evictions: stats.l2_stale_evictions,
+        };
+        if spec.churn_rate == 0.0 {
+            assert_eq!(
+                invalidation,
+                InvalidationCounters::default(),
+                "churn rate 0 must apply no batches and evict nothing"
+            );
+        }
+        invalidation
+    };
+
     let alloc = alloc_track::delta(alloc_before, alloc_track::snapshot());
     Report {
         schema_version: SCHEMA_VERSION,
@@ -1197,6 +1295,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
         serving,
         scheduling,
         paging,
+        invalidation,
         ground_truth_f: gt.f as u64,
         measured: Measured {
             total_ms: ms(scenario_start),

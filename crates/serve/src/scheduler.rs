@@ -40,7 +40,7 @@ use labelcount_core::{
     EstimateError, Priority, ProgressSnapshot, QueryOutcome, QuerySpec, Schedule, WorkloadProgress,
 };
 use labelcount_osn::{
-    AdversarialOsn, CachedOsn, FaultConfig, GraphOsn, OsnApi, OsnBackend, RetryPolicy,
+    AdversarialOsn, CachedOsn, ChurnOsn, FaultConfig, GraphOsn, OsnApi, OsnBackend, RetryPolicy,
 };
 use labelcount_stats::{replication_seed, RunningStats};
 use rand::rngs::StdRng;
@@ -307,8 +307,16 @@ impl TaskState {
 /// `labelcount_osn::PagedGraphOsn` both serve identical bytes, so the
 /// loop's virtual timeline — and every counter derived from it — is
 /// backend-independent.
+///
+/// For dynamic graphs, `churn` hands the loop the churn schedule behind
+/// `shared`: every iteration applies the batches due by the current
+/// virtual tick *before* any slice reads the graph. The loop is the
+/// graph's single serial timeline, so batches land at deterministic
+/// points — between slices, never mid-slice — and the report stays
+/// bit-identical at any shard or worker count.
 fn run_graph_loop<B: OsnBackend>(
     shared: &B,
+    churn: Option<&ChurnOsn>,
     tasks: Vec<QuerySpec>,
     workload: &WorkloadKnobs,
     fault_base: u64,
@@ -320,6 +328,13 @@ fn run_graph_loop<B: OsnBackend>(
     let mut clock = 0u64;
 
     loop {
+        // Dynamic graphs: drain the churn schedule up to the current
+        // virtual tick. A batch due exactly at a slice boundary is applied
+        // before that slice reads a byte.
+        if let Some(c) = churn {
+            c.advance_to(clock);
+        }
+
         // Cancellation sweep: any unfinished task whose absolute deadline
         // the clock has reached can no longer produce a timely answer —
         // convert it to an anytime answer NOW, at the deadline tick it
@@ -701,6 +716,7 @@ impl<'g> ShardedService<'g> {
                             let result = match &self.graphs[gi].2 {
                                 AnyEngine::Ram(e) => run_graph_loop(
                                     &GraphOsn::new(e.graph()),
+                                    None,
                                     tasks,
                                     knobs,
                                     fault_base,
@@ -709,6 +725,16 @@ impl<'g> ShardedService<'g> {
                                 ),
                                 AnyEngine::Paged(e) => run_graph_loop(
                                     e.backend(),
+                                    None,
+                                    tasks,
+                                    knobs,
+                                    fault_base,
+                                    replicates,
+                                    &progress.slots[gi].1,
+                                ),
+                                AnyEngine::Churn(e) => run_graph_loop(
+                                    e.backend(),
+                                    Some(e.backend()),
                                     tasks,
                                     knobs,
                                     fault_base,

@@ -27,7 +27,7 @@ use labelcount_core::{
     WorkloadReport,
 };
 use labelcount_graph::{LabeledGraph, TargetLabel};
-use labelcount_osn::{CacheConfig, FaultConfig, PagedGraphOsn, RetryPolicy};
+use labelcount_osn::{CacheConfig, ChurnOsn, FaultConfig, PagedGraphOsn, RetryPolicy};
 use labelcount_stats::{replication_seed, RunningStats};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -435,6 +435,11 @@ pub(crate) enum AnyEngine<'g> {
     /// engine embeds the pool handle and is ~3x the in-RAM variant's
     /// size, and `graphs` holds one entry per registered graph.
     Paged(Box<Engine<'g, PagedGraphOsn>>),
+    /// Dynamic backend over a churned snapshot: the [`ChurnOsn`] owns its
+    /// mutable graph and epoch stamps; the scheduler advances its churn
+    /// schedule on the virtual clock between slices. Boxed for the same
+    /// size reason as `Paged`.
+    Churn(Box<Engine<'g, ChurnOsn>>),
 }
 
 impl AnyEngine<'_> {
@@ -447,6 +452,7 @@ impl AnyEngine<'_> {
         match self {
             AnyEngine::Ram(e) => e.run_workload_observed(workload, workers, progress),
             AnyEngine::Paged(e) => e.run_workload_observed(workload, workers, progress),
+            AnyEngine::Churn(e) => e.run_workload_observed(workload, workers, progress),
         }
     }
 }
@@ -515,6 +521,33 @@ impl<'g> ShardedService<'g> {
         shard
     }
 
+    /// Registers a dynamic (churned) graph under `key`, returning the
+    /// shard that owns it. The [`ChurnOsn`] owns its mutable snapshot; the
+    /// scheduler's virtual-time loop advances its churn schedule between
+    /// slices, and the engine's epoch-stamped caches invalidate entries
+    /// whose node region churned since the fill.
+    ///
+    /// # Panics
+    /// Panics if `key` is already registered.
+    pub fn register_churn(
+        &mut self,
+        key: GraphKey,
+        backend: ChurnOsn,
+        cache: CacheConfig,
+    ) -> usize {
+        assert!(
+            !self.graphs.iter().any(|(k, _, _)| *k == key),
+            "graph key {key:?} registered twice"
+        );
+        let shard = self.router.route(key);
+        self.graphs.push((
+            key,
+            shard,
+            AnyEngine::Churn(Box::new(Engine::on_backend_with_config(backend, cache))),
+        ));
+        shard
+    }
+
     /// The routing seed the service was built with.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -549,7 +582,7 @@ impl<'g> ShardedService<'g> {
             .find(|(k, _, _)| *k == key)
             .and_then(|(_, _, e)| match e {
                 AnyEngine::Ram(e) => Some(e),
-                AnyEngine::Paged(_) => None,
+                _ => None,
             })
     }
 
@@ -560,8 +593,20 @@ impl<'g> ShardedService<'g> {
             .iter()
             .find(|(k, _, _)| *k == key)
             .and_then(|(_, _, e)| match e {
-                AnyEngine::Ram(_) => None,
                 AnyEngine::Paged(e) => Some(e.as_ref()),
+                _ => None,
+            })
+    }
+
+    /// The dynamic-graph engine serving `key`, if registered via
+    /// [`ShardedService::register_churn`].
+    pub fn churn_engine(&self, key: GraphKey) -> Option<&Engine<'g, ChurnOsn>> {
+        self.graphs
+            .iter()
+            .find(|(k, _, _)| *k == key)
+            .and_then(|(_, _, e)| match e {
+                AnyEngine::Churn(e) => Some(e.as_ref()),
+                _ => None,
             })
     }
 

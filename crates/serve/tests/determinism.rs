@@ -6,10 +6,11 @@
 //! of the seeded arrival sequence.
 
 use labelcount_core::{Priority, RunConfig};
+use labelcount_graph::churn::{ChurnConfig, ChurnSchedule, ChurnStats, MutableGraph};
 use labelcount_graph::gen::barabasi_albert;
 use labelcount_graph::labels::{assign_binary_labels, with_labels};
 use labelcount_graph::{LabeledGraph, TargetLabel};
-use labelcount_osn::{FaultConfig, RetryPolicy};
+use labelcount_osn::{CacheConfig, ChurnOsn, FaultConfig, RetryPolicy};
 use labelcount_serve::{
     AdmissionConfig, GraphKey, QuotaPolicy, SchedulePolicy, ServiceReport, ServiceStatus,
     ServiceWorkload, ShardRouter, ShardedService,
@@ -550,6 +551,183 @@ fn high_priority_jumps_the_fifo_queue() {
         baseline.scheduling.unwrap().priority_inversions,
         0,
         "an all-Normal stream has no inversions to charge"
+    );
+}
+
+#[test]
+fn churned_scheduled_report_is_bit_identical_across_shard_and_worker_counts() {
+    // Dynamic graphs under the scheduler: churn batches land at
+    // deterministic virtual ticks inside each graph's serial loop, so the
+    // report stays bit-identical no matter which OS thread hosts which
+    // loop. Every run gets a fresh ChurnOsn from the same seed — the
+    // churned trajectory is part of the workload, not shared state.
+    let g0 = fixture(18);
+    let g1 = fixture(19);
+    let graphs = [&g0, &g1];
+    let gks = graph_keys(2);
+    let policy = SchedulePolicy::default()
+        .with_interarrival(8)
+        .with_deadline(400);
+    let run = |shards: usize, workers: usize| -> ServiceReport {
+        let mut svc = ShardedService::new(shards, 77);
+        for (i, &k) in gks.iter().enumerate() {
+            let churn = ChurnConfig {
+                seed: 100 + i as u64,
+                events_per_batch: 8,
+                batch_interval_ticks: 25,
+                region_shift: 2,
+            };
+            svc.register_churn(
+                k,
+                ChurnOsn::new(graphs[i], churn),
+                CacheConfig::builder().capacity(128).build(),
+            );
+        }
+        svc.run_scheduled(scheduled(31, 16, &gks, policy.clone()), workers)
+    };
+    let baseline = run(1, 1);
+    assert!(baseline.serving.admitted > 0);
+    for shards in [1usize, 2, 8] {
+        for workers in [1usize, 8] {
+            assert_reports_identical(
+                &baseline,
+                &run(shards, workers),
+                &format!("churned shards={shards} workers={workers}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_churn_scheduled_report_matches_the_static_backend() {
+    // A zero-event churn schedule is the static graph: the churn
+    // registration path must be bit-identical to the plain in-RAM one.
+    let g = fixture(20);
+    let gks = graph_keys(1);
+    let policy = SchedulePolicy::default()
+        .with_interarrival(6)
+        .with_deadline(300);
+
+    let mut svc_ram = ShardedService::new(1, 7);
+    svc_ram.register(gks[0], &g);
+    let want = svc_ram.run_scheduled(scheduled(43, 8, &gks, policy.clone()), 2);
+
+    let churn = ChurnConfig {
+        seed: 9,
+        events_per_batch: 0,
+        batch_interval_ticks: 10,
+        region_shift: 4,
+    };
+    let mut svc_churn = ShardedService::new(1, 7);
+    svc_churn.register_churn(
+        gks[0],
+        ChurnOsn::new(&g, churn),
+        CacheConfig::builder().build(),
+    );
+    let got = svc_churn.run_scheduled(scheduled(43, 8, &gks, policy), 2);
+    assert_reports_identical(&want, &got, "zero churn vs static");
+    let stats = svc_churn
+        .churn_engine(gks[0])
+        .expect("registered as a churn graph")
+        .backend()
+        .churn_stats();
+    assert_eq!(
+        stats.events_applied(),
+        0,
+        "zero-event schedule mutated the graph"
+    );
+}
+
+#[test]
+fn churn_batch_on_a_slice_boundary_lands_before_the_slice() {
+    // The boundary contract: a batch falling due at exactly the virtual
+    // tick a slice starts on is applied *before* that slice reads a byte.
+    // One query arrives at tick 100; the first (and only) batch falls due
+    // at tick 100. The scheduled run over the live ChurnOsn must be
+    // bit-identical to a run over an identical ChurnOsn hand-advanced to
+    // tick 100 *before* serving — i.e. the loop's own advance at the
+    // boundary is indistinguishable from churning first and reading after.
+    // (A materialized static snapshot is NOT a valid reference here: its
+    // max-degree is recomputed exactly, while the live backend's bound is
+    // deliberately monotone under deletes.)
+    let g = fixture(21);
+    let gks = graph_keys(1);
+    let churn = ChurnConfig {
+        seed: 13,
+        events_per_batch: 30,
+        batch_interval_ticks: 100,
+        region_shift: 0,
+    };
+    let mk_wl = || {
+        let mut wl = scheduled(83, 1, &gks, SchedulePolicy::default());
+        wl.requests[0].query.schedule.arrival_tick = 100;
+        wl
+    };
+
+    // The event stream due at tick 100 genuinely mutates the graph.
+    let mut m = MutableGraph::new(&g, churn.region_shift);
+    let mut sched = ChurnSchedule::new(churn);
+    let mut st = ChurnStats::default();
+    sched.advance_to(&mut m, 100, &mut st);
+    assert_eq!(
+        st.batches, 1,
+        "exactly the boundary batch is due at tick 100"
+    );
+    assert!(st.events_applied() > 0, "the boundary batch was all no-ops");
+
+    // Reference: an identical ChurnOsn, churned by hand before serving.
+    let pre_advanced = ChurnOsn::new(&g, churn);
+    pre_advanced.advance_to(100);
+    assert_eq!(
+        pre_advanced.churn_stats(),
+        st,
+        "hand advance applied a different stream"
+    );
+    let mut svc_ref = ShardedService::new(1, 7);
+    svc_ref.register_churn(gks[0], pre_advanced, CacheConfig::builder().build());
+    let want = svc_ref.run_scheduled(mk_wl(), 1);
+
+    // Live: the loop idles to tick 100, drains the batch due exactly
+    // there, then runs the slice against the churned bytes.
+    let mut svc = ShardedService::new(1, 7);
+    svc.register_churn(
+        gks[0],
+        ChurnOsn::new(&g, churn),
+        CacheConfig::builder().build(),
+    );
+    let got = svc.run_scheduled(mk_wl(), 1);
+    assert_reports_identical(&want, &got, "slice-boundary churn");
+    // Later replicate slices push the clock past later due ticks, so more
+    // batches may land between slices — but both loops must have applied
+    // the identical batch sequence at the identical virtual ticks.
+    let stats = svc.churn_engine(gks[0]).unwrap().backend().churn_stats();
+    assert!(stats.batches >= 1, "the boundary batch never landed");
+    assert_eq!(
+        stats,
+        svc_ref
+            .churn_engine(gks[0])
+            .unwrap()
+            .backend()
+            .churn_stats(),
+        "live and pre-advanced loops churned differently"
+    );
+
+    // And the batch genuinely changed what the slice read: the same query
+    // against the pre-churn graph answers differently.
+    let mut svc_pre = ShardedService::new(1, 7);
+    svc_pre.register(gks[0], &g);
+    let pre = svc_pre.run_scheduled(mk_wl(), 1);
+    let observed = |r: &ServiceReport| match &r.outcomes[0].status {
+        ServiceStatus::Completed(q) => (
+            q.estimate.as_ref().map(|e| e.to_bits()).ok(),
+            q.latency_ticks,
+        ),
+        other => panic!("latency-only faults must complete the query: {other:?}"),
+    };
+    assert_ne!(
+        observed(&pre),
+        observed(&got),
+        "the boundary batch left the slice's reads untouched"
     );
 }
 

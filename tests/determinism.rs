@@ -183,10 +183,7 @@ fn engine_replication_is_bit_identical_with_l1_on_and_off() {
         for l1_slots in [0usize, 512] {
             let engine = Engine::with_cache_config(
                 &d.graph,
-                CacheConfig {
-                    l1_slots,
-                    ..CacheConfig::default()
-                },
+                CacheConfig::builder().l1_slots(l1_slots).build(),
             );
             for threads in [1usize, 2, 8] {
                 let estimates: Vec<u64> = engine
