@@ -180,6 +180,12 @@ pub struct QueryOutcome {
     pub latency_ticks: u64,
     /// Whether the hard budget ran out.
     pub budget_exhausted: bool,
+    /// Outage-burst windows the query's fetches ran into.
+    pub bursts: u64,
+    /// Circuit-breaker trips (closed → open) on the query's stack.
+    pub breaker_opens: u64,
+    /// Stale cache entries served to the query during degraded windows.
+    pub stale_served: u64,
 }
 
 impl QueryOutcome {

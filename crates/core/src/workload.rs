@@ -38,7 +38,8 @@ use std::sync::{Mutex, PoisonError};
 
 use labelcount_graph::{LabeledGraph, TargetLabel};
 use labelcount_osn::{
-    AdversarialOsn, CachedOsn, FaultConfig, GraphOsn, OsnApi, OsnBackend, RetryPolicy,
+    AdversarialOsn, CacheConfig, CachedOsn, FaultConfig, GraphOsn, OsnApi, OsnBackend,
+    ResilienceConfig, RetryPolicy,
 };
 use labelcount_stats::{replication_seed, RunningStats};
 use rand::rngs::StdRng;
@@ -70,6 +71,10 @@ pub struct Workload {
     pub faults: FaultConfig,
     /// Retry policy for fault recovery.
     pub retry: RetryPolicy,
+    /// Reactive resilience knobs (circuit breaker, retry budget, stale
+    /// serving) decorating every query's stack. The all-off default
+    /// reproduces pre-resilience runs bit-identically.
+    pub resilience: ResilienceConfig,
 }
 
 impl Workload {
@@ -119,6 +124,7 @@ impl Workload {
             run_config,
             faults: FaultConfig::clean(seed),
             retry: RetryPolicy::default(),
+            resilience: ResilienceConfig::default(),
         }
     }
 
@@ -167,6 +173,13 @@ impl WorkloadBuilder {
     pub fn faults(mut self, faults: FaultConfig, retry: RetryPolicy) -> WorkloadBuilder {
         self.inner.faults = faults;
         self.inner.retry = retry;
+        self
+    }
+
+    /// Replaces the reactive resilience knobs (breaker, retry budget,
+    /// stale serving).
+    pub fn resilience(mut self, resilience: ResilienceConfig) -> WorkloadBuilder {
+        self.inner.resilience = resilience;
         self
     }
 
@@ -407,8 +420,14 @@ pub fn run_workload_observed_on<B: OsnBackend + Sync>(
             seed: replication_seed(replication_seed(workload.seed, stream::QUERY_FAULT), q.id),
             ..workload.faults
         };
-        let backend = AdversarialOsn::new(shared, fault_cfg, workload.retry);
-        let cache = CachedOsn::new(backend);
+        let backend =
+            AdversarialOsn::with_resilience(shared, fault_cfg, workload.retry, workload.resilience);
+        let cache = CachedOsn::with_config(
+            backend,
+            CacheConfig::builder()
+                .serve_stale(workload.resilience.serve_stale)
+                .build(),
+        );
         let session = cache.session();
         if let Some(b) = q.hard_budget {
             session.set_budget(b);
@@ -420,6 +439,7 @@ pub fn run_workload_observed_on<B: OsnBackend + Sync>(
         let budget_exhausted = session.budget_exhausted();
         let logical_calls = session.api_calls();
         let retry_charges = session.retry_charges();
+        let stale_served = session.stale_served();
         drop(session);
         let faults = cache.backend().fault_stats();
         progress.record(estimate.as_ref().ok().copied());
@@ -434,6 +454,9 @@ pub fn run_workload_observed_on<B: OsnBackend + Sync>(
             transient_errors: faults.transient_errors,
             latency_ticks: faults.latency_ticks,
             budget_exhausted,
+            bursts: faults.bursts,
+            breaker_opens: faults.breaker_opens,
+            stale_served,
         }
     };
 

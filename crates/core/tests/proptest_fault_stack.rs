@@ -1,0 +1,143 @@
+//! The resilience stack's "off is free" structural contract,
+//! property-tested end to end.
+//!
+//! The full fault stack of this codebase is
+//! `CachedOsn<AdversarialOsn<PagedGraphOsn<FaultyStorage>>>`: correlated
+//! outage bursts and a circuit breaker at the OSN layer, seeded read
+//! errors and torn pages at the storage layer. This suite pins the
+//! contract that makes the stack safe to keep wired in permanently: with
+//! every fault source off — a burst process at start rate 0, the breaker
+//! absent, the retry budget unlimited, storage fault rates 0 — the whole
+//! tower is **bit-identical** to today's plain in-RAM stack
+//! (`CachedOsn<SimulatedOsn>`) for every Table-2 algorithm: estimates,
+//! RNG streams, per-session billing, and shared cache statistics. The
+//! machinery itself must be free; only injected faults may cost.
+
+use std::path::PathBuf;
+
+use labelcount_core::{algorithms, RunConfig};
+use labelcount_graph::gen::barabasi_albert;
+use labelcount_graph::labels::{assign_binary_labels, with_labels};
+use labelcount_graph::paged::{EvictionPolicy, PagedCsrWriter, PoolConfig, StorageFaultConfig};
+use labelcount_graph::{LabeledGraph, TargetLabel};
+use labelcount_osn::{
+    AdversarialOsn, BurstConfig, CachedOsn, FaultConfig, OsnApi, PagedGraphOsn, ResilienceConfig,
+    RetryPolicy, SimulatedOsn,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+fn arb_labeled_ba() -> impl Strategy<Value = LabeledGraph> {
+    (10usize..60, 1usize..4, any::<u64>()).prop_map(|(n, m, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = barabasi_albert(n.max(m + 1), m, &mut rng);
+        let mut labels = vec![Vec::new(); g.num_nodes()];
+        assign_binary_labels(&mut labels, 0.5, &mut rng);
+        with_labels(&g, &labels)
+    })
+}
+
+/// A burst process that is fully configured yet can never fire: the
+/// per-window start rate is 0, so no window is ever inside an outage —
+/// the "rate 0" half of the structural contract, with the process'
+/// bookkeeping still in the call path.
+fn zero_rate_burst() -> BurstConfig {
+    BurstConfig {
+        window_ticks: 32,
+        start_rate: 0.0,
+        mean_burst_windows: 2.0,
+        max_burst_windows: 4,
+        outage_fault_rate: 1.0,
+    }
+}
+
+fn temp_paged(tag: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "labelcount_fault_stack_{}_{tag}.paged",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn fault_stack_off_is_bit_identical_for_all_ten_algorithms(
+        g in arb_labeled_ba(),
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        budget in 30usize..120,
+    ) {
+        let target = TargetLabel::new(1.into(), 2.into());
+        let cfg = RunConfig { burn_in: 25, ..RunConfig::default() };
+        let path = temp_paged(fault_seed);
+        PagedCsrWriter::new().write(&g, &path).expect("write paged CSR file");
+
+        for (ai, alg) in algorithms::all_paper(0.2, 0.5).iter().enumerate() {
+            let alg_seed = seed.wrapping_add(ai as u64);
+
+            // Today's stack: the plain in-RAM cached simulation.
+            let clean = CachedOsn::new(SimulatedOsn::new(&g));
+            let clean_session = clean.session();
+            let mut rng_c = StdRng::seed_from_u64(alg_seed);
+            let est_c = alg
+                .estimate(&clean_session, target, budget, &cfg, &mut rng_c)
+                .unwrap();
+
+            // The full fault tower with every fault source off: clean
+            // storage faults under the paged backend, a zero-rate burst
+            // process, no breaker, no retry budget, no stale serving.
+            let paged = PagedGraphOsn::open_with_faults(
+                &path,
+                PoolConfig::bounded(8, EvictionPolicy::Lru),
+                StorageFaultConfig::clean(fault_seed),
+            )
+            .expect("reopen the paged CSR file");
+            let stack = CachedOsn::new(AdversarialOsn::with_resilience(
+                paged,
+                FaultConfig::clean(fault_seed).with_burst(zero_rate_burst()),
+                RetryPolicy::default(),
+                ResilienceConfig::default(),
+            ));
+            let stack_session = stack.session();
+            let mut rng_s = StdRng::seed_from_u64(alg_seed);
+            let est_s = alg
+                .estimate(&stack_session, target, budget, &cfg, &mut rng_s)
+                .unwrap();
+
+            prop_assert_eq!(
+                est_c.to_bits(), est_s.to_bits(),
+                "{}: fault stack (all off) {} vs clean {}", alg.abbrev(), est_s, est_c
+            );
+            prop_assert_eq!(
+                rng_c.next_u64(), rng_s.next_u64(),
+                "{}: RNG streams diverged", alg.abbrev()
+            );
+            prop_assert_eq!(
+                clean_session.api_calls(), stack_session.api_calls(),
+                "{}", alg.abbrev()
+            );
+            prop_assert_eq!(stack_session.retry_charges(), 0u64, "{}", alg.abbrev());
+            prop_assert_eq!(stack_session.stale_served(), 0u64, "{}", alg.abbrev());
+            drop(clean_session);
+            drop(stack_session);
+            prop_assert_eq!(clean.stats(), stack.stats(), "{}: CallStats diverged", alg.abbrev());
+
+            // The dormant machinery observed nothing: no bursts, no
+            // breaker activity, no retries at either layer.
+            let fs = stack.backend().fault_stats();
+            prop_assert_eq!(fs.bursts, 0u64, "{}", alg.abbrev());
+            prop_assert_eq!(fs.breaker_opens, 0u64, "{}", alg.abbrev());
+            prop_assert_eq!(fs.breaker_fast_fails, 0u64, "{}", alg.abbrev());
+            prop_assert_eq!(fs.retries, 0u64, "{}", alg.abbrev());
+            prop_assert_eq!(fs.retries_exhausted, 0u64, "{}", alg.abbrev());
+            let ps = stack.backend().inner().paging_stats();
+            prop_assert_eq!(ps.storage_retries, 0u64, "{}", alg.abbrev());
+            prop_assert_eq!(ps.checksum_failures, 0u64, "{}", alg.abbrev());
+            prop_assert_eq!(ps.quarantined_pages, 0u64, "{}", alg.abbrev());
+        }
+
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -90,6 +90,7 @@ fn answers(report: &ServiceReport) -> Vec<f64> {
             ServiceStatus::DeadlineAnytime { anytime, .. } => anytime.unwrap_or(0.0),
             ServiceStatus::Shed { anytime, .. } => anytime.unwrap_or(0.0),
             ServiceStatus::QuotaExhausted { anytime } => anytime.unwrap_or(0.0),
+            ServiceStatus::Throttled { anytime } => anytime.unwrap_or(0.0),
             ServiceStatus::UnknownGraph => 0.0,
         })
         .collect()

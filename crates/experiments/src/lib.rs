@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod chaos;
 pub mod datasets;
 pub mod deadlines;
 pub mod eviction;

@@ -304,6 +304,12 @@ impl Registry {
             csv: Some(|h| crate::eviction::eviction_csv(&facebook(h), &h.sweep)),
         }));
         entries.push(Box::new(Fixed {
+            id: "chaos",
+            description: "outage-burst length x resilience arm: availability, quality, cost",
+            run: |h| crate::chaos::chaos_report(&facebook(h), &h.sweep),
+            csv: Some(|h| crate::chaos::chaos_csv(&facebook(h), &h.sweep)),
+        }));
+        entries.push(Box::new(Fixed {
             id: "staleness",
             description: "churn rate x cache depth: invalidation vs stale reads",
             run: |h| crate::staleness::staleness_report(&facebook(h), &h.sweep),

@@ -419,8 +419,10 @@ mod tests {
     fn experiment_ids_cover_all_paper_artifacts() {
         let ids = Harness::experiment_ids();
         // Tables 1–26, fig1–2, mixing, 4 ablations, bias decomposition,
-        // resilience, serving, deadlines, eviction, staleness sweeps.
-        assert_eq!(ids.len(), 26 + 2 + 1 + 5 + 1 + 1 + 1 + 1 + 1);
+        // resilience, serving, deadlines, eviction, chaos, staleness
+        // sweeps.
+        assert_eq!(ids.len(), 26 + 2 + 1 + 5 + 1 + 1 + 1 + 1 + 1 + 1);
+        assert!(ids.contains(&"chaos".to_string()));
         assert!(ids.contains(&"table17".to_string()));
         assert!(ids.contains(&"fig2".to_string()));
         assert!(ids.contains(&"ablation-thinning".to_string()));

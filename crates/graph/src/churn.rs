@@ -92,14 +92,22 @@ pub enum ChurnEvent {
 pub struct MutableGraph {
     adj: Vec<Arc<[NodeId]>>,
     labels: Vec<Arc<[LabelId]>>,
-    /// One epoch per node region (`node_id >> region_shift`).
-    epochs: Vec<Epoch>,
+    /// Per-endpoint epochs, one per node region (`node_id >>
+    /// region_shift`): edge events bump `edge_epochs`, label flips bump
+    /// `label_epochs`. The split keeps a label-only flip from
+    /// invalidating cached *neighbor lists* of the whole region (and vice
+    /// versa) — see [`MutableGraph::avoided_neighbor_invalidations`].
+    edge_epochs: Vec<Epoch>,
+    label_epochs: Vec<Epoch>,
     region_shift: u32,
     num_edges: usize,
     /// Monotone upper bound on the maximum degree: raised by inserts,
     /// deliberately not lowered by deletes (a bound must only stay valid).
     max_degree_bound: usize,
     num_labels: usize,
+    /// Label flips applied — each one a region whose neighbor-list stamp
+    /// survived where a shared epoch would have evicted it.
+    avoided_neighbor_invalidations: u64,
 }
 
 impl MutableGraph {
@@ -117,11 +125,13 @@ impl MutableGraph {
                 .map(|u| Arc::from(graph.neighbors(u)))
                 .collect(),
             labels: graph.nodes().map(|u| Arc::from(graph.labels(u))).collect(),
-            epochs: vec![Epoch::STATIC; regions.max(1)],
+            edge_epochs: vec![Epoch::STATIC; regions.max(1)],
+            label_epochs: vec![Epoch::STATIC; regions.max(1)],
             region_shift,
             num_edges: graph.num_edges(),
             max_degree_bound: graph.nodes().map(|u| graph.degree(u)).max().unwrap_or(0),
             num_labels: graph.num_labels(),
+            avoided_neighbor_invalidations: 0,
         }
     }
 
@@ -167,23 +177,46 @@ impl MutableGraph {
         (u.0 >> self.region_shift) as usize
     }
 
-    /// The current epoch of `u`'s region.
+    /// The current *edge* (neighbor-list) epoch of `u`'s region — what
+    /// neighbor-list cache entries are stamped and compared with.
     pub fn epoch_of(&self, u: NodeId) -> Epoch {
-        self.epochs[self.region(u)]
+        self.edge_epochs[self.region(u)]
     }
 
-    /// Bumps the epoch of `u`'s region (wrapping).
-    fn bump(&mut self, u: NodeId) {
+    /// The current *label* epoch of `u`'s region — what label-set cache
+    /// entries are stamped and compared with. Bumped only by label flips,
+    /// so edge churn never invalidates cached label sets.
+    pub fn label_epoch_of(&self, u: NodeId) -> Epoch {
+        self.label_epochs[self.region(u)]
+    }
+
+    /// Neighbor-list invalidations the epoch split avoided: one per
+    /// applied label flip, whose region's edge epoch stayed intact where
+    /// the old shared stamp would have evicted every cached neighbor list
+    /// in the region.
+    pub fn avoided_neighbor_invalidations(&self) -> u64 {
+        self.avoided_neighbor_invalidations
+    }
+
+    /// Bumps the edge epoch of `u`'s region (wrapping).
+    fn bump_edges(&mut self, u: NodeId) {
         let r = self.region(u);
-        self.epochs[r] = self.epochs[r].next();
+        self.edge_epochs[r] = self.edge_epochs[r].next();
     }
 
-    /// Overrides the epoch of `u`'s region — a test hook for exercising
+    /// Bumps the label epoch of `u`'s region (wrapping).
+    fn bump_labels(&mut self, u: NodeId) {
+        let r = self.region(u);
+        self.label_epochs[r] = self.label_epochs[r].next();
+    }
+
+    /// Overrides both epochs of `u`'s region — a test hook for exercising
     /// wraparound without 2³² bumps.
     #[doc(hidden)]
     pub fn set_region_epoch(&mut self, u: NodeId, epoch: Epoch) {
         let r = self.region(u);
-        self.epochs[r] = epoch;
+        self.edge_epochs[r] = epoch;
+        self.label_epochs[r] = epoch;
     }
 
     /// Whether the current snapshot contains the edge `{u, v}`.
@@ -248,8 +281,8 @@ impl MutableGraph {
                     .max_degree_bound
                     .max(self.degree(u))
                     .max(self.degree(v));
-                self.bump(u);
-                self.bump(v);
+                self.bump_edges(u);
+                self.bump_edges(v);
                 true
             }
             ChurnEvent::DeleteEdge(u, v) => {
@@ -265,8 +298,8 @@ impl MutableGraph {
                 self.adj[u.index()] = Self::with_removed(&self.adj[u.index()], iu);
                 self.adj[v.index()] = Self::with_removed(&self.adj[v.index()], iv);
                 self.num_edges -= 1;
-                self.bump(u);
-                self.bump(v);
+                self.bump_edges(u);
+                self.bump_edges(v);
                 true
             }
             ChurnEvent::FlipLabel(u, t) => {
@@ -281,7 +314,11 @@ impl MutableGraph {
                         self.labels[u.index()] = Self::with_inserted(&self.labels[u.index()], t, at)
                     }
                 }
-                self.bump(u);
+                // Label-only: the region's edge epoch is left alone, so
+                // cached neighbor lists survive — that's the invalidation
+                // the split buys, made countable.
+                self.bump_labels(u);
+                self.avoided_neighbor_invalidations += 1;
                 true
             }
         }
@@ -469,12 +506,15 @@ impl ChurnSchedule {
 
 #[cfg(test)]
 impl MutableGraph {
-    /// Test fingerprint: every adjacency/label list plus epochs.
-    fn nodes_fingerprint(&self) -> (Vec<Vec<NodeId>>, Vec<Vec<LabelId>>, Vec<Epoch>) {
+    /// Test fingerprint: every adjacency/label list plus both epoch
+    /// arrays.
+    #[allow(clippy::type_complexity)]
+    fn nodes_fingerprint(&self) -> (Vec<Vec<NodeId>>, Vec<Vec<LabelId>>, Vec<Epoch>, Vec<Epoch>) {
         (
             self.adj.iter().map(|a| a.to_vec()).collect(),
             self.labels.iter().map(|l| l.to_vec()).collect(),
-            self.epochs.clone(),
+            self.edge_epochs.clone(),
+            self.label_epochs.clone(),
         )
     }
 }
@@ -505,7 +545,9 @@ mod tests {
             assert_eq!(&m.neighbors(u)[..], g.neighbors(u));
             assert_eq!(&m.labels(u)[..], g.labels(u));
             assert_eq!(m.epoch_of(u), Epoch::STATIC);
+            assert_eq!(m.label_epoch_of(u), Epoch::STATIC);
         }
+        assert_eq!(m.avoided_neighbor_invalidations(), 0);
     }
 
     #[test]
@@ -517,6 +559,9 @@ mod tests {
         assert_eq!(m.epoch_of(NodeId(0)), Epoch(1));
         assert_eq!(m.epoch_of(NodeId(5)), Epoch(1));
         assert_eq!(m.epoch_of(NodeId(3)), Epoch(0));
+        // Edge events leave label epochs alone: cached label sets survive.
+        assert_eq!(m.label_epoch_of(NodeId(0)), Epoch(0));
+        assert_eq!(m.label_epoch_of(NodeId(5)), Epoch(0));
         assert!(m.neighbors(NodeId(0)).windows(2).all(|w| w[0] < w[1]));
         // Duplicate insert and self-loop are epoch-preserving no-ops.
         assert!(!m.apply(ChurnEvent::InsertEdge(NodeId(0), NodeId(5))));
@@ -533,10 +578,16 @@ mod tests {
         assert!(!m.apply(ChurnEvent::DeleteEdge(NodeId(0), NodeId(1))));
         assert!(m.apply(ChurnEvent::FlipLabel(NodeId(4), LabelId(2))));
         assert!(m.apply(ChurnEvent::FlipLabel(NodeId(4), LabelId(2))));
-        // Two flips restore the label set but not the epoch — the cache
-        // must refetch to *learn* nothing changed.
+        // Two flips restore the label set but not the label epoch — the
+        // cache must refetch to *learn* nothing changed. The *edge* epoch
+        // of the flipped region stays put: each flip is a neighbor-list
+        // invalidation avoided.
         assert_eq!(&m.labels(NodeId(4))[..], g.labels(NodeId(4)));
-        assert_eq!(m.epoch_of(NodeId(4)), Epoch(2));
+        assert_eq!(m.label_epoch_of(NodeId(4)), Epoch(2));
+        assert_eq!(m.epoch_of(NodeId(4)), Epoch(0));
+        assert_eq!(m.avoided_neighbor_invalidations(), 2);
+        // And the delete left the label epoch of its endpoints alone.
+        assert_eq!(m.label_epoch_of(NodeId(0)), Epoch(0));
     }
 
     #[test]
@@ -559,7 +610,10 @@ mod tests {
         let mut m = MutableGraph::new(&g, 0);
         m.set_region_epoch(NodeId(0), Epoch(u32::MAX));
         m.apply(ChurnEvent::FlipLabel(NodeId(0), LabelId(2)));
-        assert_eq!(m.epoch_of(NodeId(0)), Epoch(0), "bump must wrap");
+        assert_eq!(m.label_epoch_of(NodeId(0)), Epoch(0), "bump must wrap");
+        // The flip never touched the edge epoch, so the override value
+        // is still there.
+        assert_eq!(m.epoch_of(NodeId(0)), Epoch(u32::MAX));
     }
 
     #[test]
@@ -568,9 +622,11 @@ mod tests {
         let mut m = MutableGraph::new(&g, 2);
         m.apply(ChurnEvent::FlipLabel(NodeId(1), LabelId(2)));
         // Nodes 0..4 share region 0 under shift 2; nodes 4.. are region 1.
-        assert_eq!(m.epoch_of(NodeId(0)), Epoch(1));
-        assert_eq!(m.epoch_of(NodeId(3)), Epoch(1));
-        assert_eq!(m.epoch_of(NodeId(4)), Epoch(0));
+        assert_eq!(m.label_epoch_of(NodeId(0)), Epoch(1));
+        assert_eq!(m.label_epoch_of(NodeId(3)), Epoch(1));
+        assert_eq!(m.label_epoch_of(NodeId(4)), Epoch(0));
+        // Neighbor-list stamps of the shared region are untouched.
+        assert_eq!(m.epoch_of(NodeId(0)), Epoch(0));
     }
 
     #[test]

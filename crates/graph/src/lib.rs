@@ -64,5 +64,6 @@ pub use csr::LabeledGraph;
 pub use ground_truth::{GroundTruth, TargetLabel};
 pub use ids::{LabelId, NodeId};
 pub use paged::{
-    BufferPool, EvictionPolicy, PagedCsrWriter, PagedError, PagedGraph, PagingStats, PoolConfig,
+    BufferPool, EvictionPolicy, FaultyStorage, PageStore, PagedCsrWriter, PagedError, PagedGraph,
+    PagingStats, PoolConfig, StorageFaultConfig,
 };

@@ -8,21 +8,32 @@
 //! database-style [`BufferPool`] — pin, copy, unpin — so residency is
 //! bounded by the configured frame budget, not by `|E|`.
 //!
-//! # File layout (version 1, all integers little-endian)
+//! # File layout (version 2, all integers little-endian)
 //!
 //! ```text
 //! page 0            header: magic "LCPGCSR\0", version, page size,
 //!                   counts (nodes, adjacency entries, labels, label
-//!                   entries, max degree), and the first page of each
-//!                   section below
+//!                   entries, max degree), the first page of each
+//!                   section below, and (v2) the checksum-table page
 //! pages 1..         neighbor offsets   (num_nodes + 1) × u64
 //! pages ..          adjacency          adjacency_len   × u32  (NodeId)
 //! pages ..          label offsets      (num_nodes + 1) × u64
 //! pages ..          label data         label_data_len  × u32  (LabelId)
+//! pages ..          checksum table     data_pages × u64 FNV-1a  (v2 only)
 //! ```
 //!
 //! Each section starts on a page boundary and is zero-padded to one; an
 //! individual neighbor (or label) list may straddle any number of pages.
+//!
+//! Version 2 appends a **checksum table**: one FNV-1a-64 per *data* page
+//! (header page included, the table's own pages excluded), loaded whole at
+//! open time. The pool verifies every page read against it, which is what
+//! lets a faulty store ([`FaultyStorage`]) be survived: a failed or torn
+//! read is retried up to [`PageStore::max_retries`] times, and a page
+//! whose retries are exhausted is recovered through the store's
+//! fault-free path and **quarantined** (counted once per page in
+//! [`PagingStats`]). Version-1 files still open — with no table, the
+//! verification layer is simply inert.
 //!
 //! # Determinism
 //!
@@ -31,9 +42,11 @@
 //! fetch — [`PagedGraph::neighbors`] and [`PagedGraph::labels`] return
 //! exactly the in-RAM graph's lists. Under strictly serial access the
 //! paging counters ([`PagingStats`]) are a pure function of the request
-//! sequence and the pool configuration.
+//! sequence and the pool configuration. Storage faults keep that
+//! contract: injection is a pure hash of `(seed, page, attempt)`, so a
+//! faulty run is reproducible byte for byte.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::os::unix::fs::FileExt;
@@ -45,8 +58,9 @@ use crate::{LabelId, LabeledGraph, NodeId};
 /// Versioned magic: the file type tag; the format version rides beside it.
 pub const PAGED_MAGIC: [u8; 8] = *b"LCPGCSR\0";
 
-/// Current on-disk format version.
-pub const PAGED_FORMAT_VERSION: u32 = 1;
+/// Current on-disk format version (v2 = per-page checksum table; v1
+/// files, without one, still open).
+pub const PAGED_FORMAT_VERSION: u32 = 2;
 
 /// Default page size: 4 KiB, the common filesystem block size.
 pub const DEFAULT_PAGE_SIZE: u32 = 4096;
@@ -54,8 +68,21 @@ pub const DEFAULT_PAGE_SIZE: u32 = 4096;
 /// Smallest allowed page size (the header needs [`HEADER_BYTES`] bytes).
 pub const MIN_PAGE_SIZE: u32 = 128;
 
-/// Bytes the header actually uses inside page 0.
-pub const HEADER_BYTES: usize = 96;
+/// Bytes the header actually uses inside page 0 (v1 used the first 96;
+/// v2 appends the checksum-table page pointer).
+pub const HEADER_BYTES: usize = 104;
+
+/// FNV-1a 64-bit over a whole page — the v2 per-page checksum. Chosen for
+/// being dependency-free and byte-order independent; this guards against
+/// torn and misdirected reads, not adversarial tampering.
+pub fn page_checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
 
 /// Errors produced when opening or validating a paged CSR file.
 #[derive(Debug)]
@@ -169,9 +196,15 @@ impl PagedCsrWriter {
         let adjacency_page = neighbor_offsets_page + offsets_pages;
         let label_offsets_page = adjacency_page + adjacency_pages;
         let label_data_page = label_offsets_page + label_offsets_pages;
-        let total_pages = label_data_page + label_data_pages;
+        // v2: the checksum table starts right after the data pages and is
+        // itself excluded from checksumming (a torn table read surfaces as
+        // a mismatch on the data page it vouches for).
+        let checksum_page = label_data_page + label_data_pages;
+        let total_pages = checksum_page + pages_of(checksum_page * 8);
 
-        let mut w = BufWriter::new(File::create(path)?);
+        // Every data page streams through the checksum folder on its way
+        // to disk, so the table costs no second pass over the file.
+        let mut w = ChecksumWriter::new(BufWriter::new(File::create(path)?), ps);
 
         // Header page.
         let mut header = vec![0u8; self.page_size as usize];
@@ -188,6 +221,7 @@ impl PagedCsrWriter {
         header[72..80].copy_from_slice(&label_offsets_page.to_le_bytes());
         header[80..88].copy_from_slice(&label_data_page.to_le_bytes());
         header[88..96].copy_from_slice(&total_pages.to_le_bytes());
+        header[96..104].copy_from_slice(&checksum_page.to_le_bytes());
         w.write_all(&header)?;
 
         // Neighbor offsets (cumulative degrees), zero-padded to a page.
@@ -228,12 +262,74 @@ impl PagedCsrWriter {
         }
         section.finish()?;
 
+        // Checksum table — written to the *inner* writer so the table's
+        // own pages are not folded into it.
+        let (mut w, sums) = w.finish();
+        debug_assert_eq!(sums.len() as u64, checksum_page, "one sum per data page");
+        let mut section = SectionWriter::new(&mut w, ps);
+        for s in sums {
+            section.put_u64(s)?;
+        }
+        section.finish()?;
+
         w.flush()?;
         Ok(PagedFileMeta {
             page_size: self.page_size,
             total_pages,
             file_bytes: total_pages * ps,
         })
+    }
+}
+
+/// Folds every byte passing through into per-page FNV-1a sums — how the
+/// writer produces the v2 checksum table in one streaming pass. The
+/// wrapped writer sees exactly the same bytes.
+struct ChecksumWriter<W: Write> {
+    w: W,
+    page_size: u64,
+    in_page: u64,
+    cur: u64,
+    sums: Vec<u64>,
+}
+
+impl<W: Write> ChecksumWriter<W> {
+    fn new(w: W, page_size: u64) -> Self {
+        ChecksumWriter {
+            w,
+            page_size,
+            in_page: 0,
+            cur: 0xcbf2_9ce4_8422_2325,
+            sums: Vec::new(),
+        }
+    }
+
+    /// Hands back the inner writer and the per-page sums. Callers must be
+    /// page-aligned (every section zero-pads), so there is no partial sum
+    /// to lose.
+    fn finish(self) -> (W, Vec<u64>) {
+        debug_assert_eq!(self.in_page, 0, "checksummed writes must be page-aligned");
+        (self.w, self.sums)
+    }
+}
+
+impl<W: Write> Write for ChecksumWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.w.write(buf)?;
+        for &b in &buf[..n] {
+            self.cur ^= b as u64;
+            self.cur = self.cur.wrapping_mul(0x0000_0100_0000_01B3);
+            self.in_page += 1;
+            if self.in_page == self.page_size {
+                self.sums.push(self.cur);
+                self.cur = 0xcbf2_9ce4_8422_2325;
+                self.in_page = 0;
+            }
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.w.flush()
     }
 }
 
@@ -271,6 +367,154 @@ impl<'w, W: Write> SectionWriter<'w, W> {
             self.w.write_all(&vec![0u8; pad as usize])?;
         }
         Ok(())
+    }
+}
+
+/// The storage a [`BufferPool`] reads pages from — a seam between the
+/// pool and the disk, so fault injection wraps the file instead of
+/// patching the pool.
+///
+/// The pool drives the fault protocol: on a miss it calls
+/// [`PageStore::read_page`] with attempt 0, verifies the bytes against
+/// the checksum table (when the file carries one), and on failure retries
+/// with increasing attempt numbers up to [`PageStore::max_retries`];
+/// exhausted pages are recovered through [`PageStore::read_page_clean`]
+/// and quarantined.
+pub trait PageStore: Send + Sync {
+    /// Reads page `page_no` into `buf` (exactly one page). `attempt`
+    /// distinguishes retries, so deterministic injection can fail the
+    /// first read and let a retry through.
+    fn read_page(&self, page_no: u64, buf: &mut [u8], attempt: u32) -> io::Result<()>;
+
+    /// Bounded retries the pool may spend on one faulty page read.
+    fn max_retries(&self) -> u32 {
+        0
+    }
+
+    /// Fault-free recovery read for a page whose retries are exhausted.
+    /// Real stores read identically to [`PageStore::read_page`]; only an
+    /// actual I/O failure escapes this path.
+    fn read_page_clean(&self, page_no: u64, buf: &mut [u8]) -> io::Result<()>;
+}
+
+impl PageStore for File {
+    fn read_page(&self, page_no: u64, buf: &mut [u8], _attempt: u32) -> io::Result<()> {
+        self.read_exact_at(buf, page_no * buf.len() as u64)
+    }
+
+    fn read_page_clean(&self, page_no: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.read_exact_at(buf, page_no * buf.len() as u64)
+    }
+}
+
+/// Seeded storage-fault knobs for [`FaultyStorage`]. Every injection
+/// decision is a pure hash of `(seed, page, attempt)` — no interior
+/// state — so faulty runs replay exactly and are placement-independent.
+#[derive(Clone, Copy, Debug)]
+pub struct StorageFaultConfig {
+    /// Fault-stream seed.
+    pub seed: u64,
+    /// Probability a page read fails outright with an I/O error.
+    pub read_error_rate: f64,
+    /// Probability a page read succeeds but returns **torn** bytes: the
+    /// page's tail from a seeded cut point reads as zeros (with the cut
+    /// byte itself flipped, so the tear is always checksum-visible).
+    pub torn_page_rate: f64,
+    /// Retries the pool may spend per faulty read before recovering the
+    /// page through the clean path and quarantining it.
+    pub max_retries: u32,
+}
+
+impl StorageFaultConfig {
+    /// A fault-free configuration (both rates 0) with a small retry
+    /// budget — the baseline every faulty variant perturbs.
+    pub fn clean(seed: u64) -> StorageFaultConfig {
+        StorageFaultConfig {
+            seed,
+            read_error_rate: 0.0,
+            torn_page_rate: 0.0,
+            max_retries: 2,
+        }
+    }
+}
+
+/// SplitMix64 over `(seed, page, attempt, salt)` — the storage twin of
+/// the OSN layer's fault hash (independent salt space).
+fn storage_hash(seed: u64, page: u64, attempt: u32, salt: u64) -> u64 {
+    let mut z = seed
+        ^ page.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ ((attempt as u64) << 24)
+        ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to a unit-interval draw (53-bit mantissa).
+fn storage_unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+const SALT_READ_ERROR: u64 = 1;
+const SALT_TORN: u64 = 2;
+const SALT_TORN_CUT: u64 = 3;
+
+/// A [`PageStore`] over a real file that injects seeded read errors and
+/// torn pages — the storage half of the fault model (the OSN half lives
+/// in `labelcount-osn`'s `AdversarialOsn`). With both rates 0 it is
+/// byte- and counter-identical to reading the [`File`] directly.
+pub struct FaultyStorage {
+    file: File,
+    cfg: StorageFaultConfig,
+}
+
+impl FaultyStorage {
+    /// Wraps `file` with the given fault configuration.
+    ///
+    /// # Panics
+    /// Panics if either rate is outside `[0, 1]` or not finite.
+    pub fn new(file: File, cfg: StorageFaultConfig) -> FaultyStorage {
+        for (name, r) in [
+            ("read_error_rate", cfg.read_error_rate),
+            ("torn_page_rate", cfg.torn_page_rate),
+        ] {
+            assert!(
+                r.is_finite() && (0.0..=1.0).contains(&r),
+                "{name} must be in [0, 1], got {r}"
+            );
+        }
+        FaultyStorage { file, cfg }
+    }
+}
+
+impl PageStore for FaultyStorage {
+    fn read_page(&self, page_no: u64, buf: &mut [u8], attempt: u32) -> io::Result<()> {
+        let err = storage_hash(self.cfg.seed, page_no, attempt, SALT_READ_ERROR);
+        if storage_unit(err) < self.cfg.read_error_rate {
+            return Err(io::Error::other(format!(
+                "injected storage read error (page {page_no}, attempt {attempt})"
+            )));
+        }
+        self.file.read_exact_at(buf, page_no * buf.len() as u64)?;
+        let torn = storage_hash(self.cfg.seed, page_no, attempt, SALT_TORN);
+        if storage_unit(torn) < self.cfg.torn_page_rate && !buf.is_empty() {
+            let cut = (storage_hash(self.cfg.seed, page_no, attempt, SALT_TORN_CUT)
+                % buf.len() as u64) as usize;
+            buf[cut] ^= 0xFF;
+            for b in &mut buf[cut + 1..] {
+                *b = 0;
+            }
+        }
+        Ok(())
+    }
+
+    fn max_retries(&self) -> u32 {
+        self.cfg.max_retries
+    }
+
+    fn read_page_clean(&self, page_no: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.file.read_exact_at(buf, page_no * buf.len() as u64)
     }
 }
 
@@ -423,6 +667,16 @@ pub struct PagingStats {
     pub evictions: u64,
     /// High-water mark of simultaneously pinned frames.
     pub pinned_peak: u64,
+    /// Page reads re-issued after an injected error or checksum mismatch
+    /// (bounded per read by [`PageStore::max_retries`]).
+    pub storage_retries: u64,
+    /// Page reads whose bytes failed checksum verification (torn pages a
+    /// v2 file's table caught; always 0 for v1 files).
+    pub checksum_failures: u64,
+    /// Distinct pages whose retries were exhausted and that were
+    /// recovered through the store's clean path — each counted once, on
+    /// first quarantine.
+    pub quarantined_pages: u64,
 }
 
 impl PagingStats {
@@ -458,6 +712,9 @@ struct PoolInner {
     tick: u64,
     pinned_now: u64,
     stats: PagingStats,
+    /// Pages that exhausted their read retries and were recovered through
+    /// the clean path — membership keeps the once-per-page count honest.
+    quarantined: HashSet<u64>,
 }
 
 /// A pinned-page buffer pool over one paged CSR file: read-only (there is
@@ -470,11 +727,14 @@ struct PoolInner {
 /// frame is pinned the pool overcommits past the budget instead of
 /// blocking (see [`PoolConfig::frames`]).
 pub struct BufferPool {
-    file: File,
+    store: Box<dyn PageStore>,
     page_size: usize,
     num_pages: u64,
     budget: Option<usize>,
     policy: EvictionPolicy,
+    /// v2 checksum table (one FNV-1a per data page); `None` for v1 files
+    /// disables verification entirely.
+    checksums: Option<Arc<[u64]>>,
     inner: Mutex<PoolInner>,
 }
 
@@ -482,12 +742,25 @@ impl BufferPool {
     /// A pool over `file`, which must be exactly `num_pages` pages of
     /// `page_size` bytes.
     pub fn new(file: File, page_size: usize, num_pages: u64, cfg: PoolConfig) -> BufferPool {
+        BufferPool::with_store(Box::new(file), page_size, num_pages, cfg, None)
+    }
+
+    /// A pool over an arbitrary [`PageStore`], optionally verifying every
+    /// read against a per-page checksum table.
+    pub fn with_store(
+        store: Box<dyn PageStore>,
+        page_size: usize,
+        num_pages: u64,
+        cfg: PoolConfig,
+        checksums: Option<Arc<[u64]>>,
+    ) -> BufferPool {
         BufferPool {
-            file,
+            store,
             page_size,
             num_pages,
             budget: cfg.frames().map(|f| f.max(1)),
             policy: cfg.policy(),
+            checksums,
             inner: Mutex::new(PoolInner {
                 frames: Vec::new(),
                 map: HashMap::new(),
@@ -495,7 +768,25 @@ impl BufferPool {
                 tick: 0,
                 pinned_now: 0,
                 stats: PagingStats::default(),
+                quarantined: HashSet::new(),
             }),
+        }
+    }
+
+    /// Whether reads are verified against a v2 checksum table.
+    pub fn verifies_checksums(&self) -> bool {
+        self.checksums.is_some()
+    }
+
+    /// Verifies one page's bytes against the table (vacuously true
+    /// without one, or for the table's own pages, which sit past its
+    /// coverage).
+    fn page_ok(&self, page_no: u64, buf: &[u8]) -> bool {
+        match &self.checksums {
+            Some(t) => t
+                .get(page_no as usize)
+                .is_none_or(|&want| page_checksum(buf) == want),
+            None => true,
         }
     }
 
@@ -554,11 +845,39 @@ impl BufferPool {
             });
         }
 
-        // Miss: read the page, then place it in a frame.
+        // Miss: read the page (verified and retried against a faulty
+        // store), then place it in a frame.
         inner.stats.page_reads += 1;
         let mut buf = vec![0u8; self.page_size];
-        self.file
-            .read_exact_at(&mut buf, page_no * self.page_size as u64)?;
+        let max_retries = self.store.max_retries();
+        let mut attempt = 0u32;
+        loop {
+            let ok = match self.store.read_page(page_no, &mut buf, attempt) {
+                Ok(()) => {
+                    let good = self.page_ok(page_no, &buf);
+                    if !good {
+                        inner.stats.checksum_failures += 1;
+                    }
+                    good
+                }
+                Err(_) => false,
+            };
+            if ok {
+                break;
+            }
+            if attempt >= max_retries {
+                // Retries exhausted: recover through the store's
+                // fault-free path and quarantine the page (counted once).
+                // Only a real I/O failure still escapes to the caller.
+                self.store.read_page_clean(page_no, &mut buf)?;
+                if inner.quarantined.insert(page_no) {
+                    inner.stats.quarantined_pages += 1;
+                }
+                break;
+            }
+            attempt += 1;
+            inner.stats.storage_retries += 1;
+        }
         let data: Arc<[u8]> = Arc::from(buf);
 
         let slot = match self.budget {
@@ -707,6 +1026,9 @@ struct Header {
     label_offsets_page: u64,
     label_data_page: u64,
     total_pages: u64,
+    /// First page of the v2 checksum table (0 for v1 files, which have
+    /// none — page 0 is always the header, so 0 is unambiguous).
+    checksum_page: u64,
 }
 
 /// A read-only out-of-core [`LabeledGraph`] view: the paged CSR file
@@ -724,8 +1046,33 @@ pub struct PagedGraph {
 }
 
 impl PagedGraph {
-    /// Opens and validates a file written by [`PagedCsrWriter`].
+    /// Opens and validates a file written by [`PagedCsrWriter`] (current
+    /// or version-1 format; v1 files carry no checksum table, so read
+    /// verification is inert for them).
     pub fn open(path: &Path, cfg: PoolConfig) -> Result<PagedGraph, PagedError> {
+        PagedGraph::open_inner(path, cfg, None)
+    }
+
+    /// Opens like [`PagedGraph::open`], but serves page reads through a
+    /// [`FaultyStorage`] injecting the configured seeded faults. Against
+    /// a v2 file the checksum table catches torn reads; read errors and
+    /// mismatches are retried and, past the retry budget, recovered
+    /// through the clean path and quarantined — so the *returned bytes*
+    /// are identical to a fault-free open, with the damage visible only
+    /// in [`PagingStats`].
+    pub fn open_with_faults(
+        path: &Path,
+        cfg: PoolConfig,
+        faults: StorageFaultConfig,
+    ) -> Result<PagedGraph, PagedError> {
+        PagedGraph::open_inner(path, cfg, Some(faults))
+    }
+
+    fn open_inner(
+        path: &Path,
+        cfg: PoolConfig,
+        faults: Option<StorageFaultConfig>,
+    ) -> Result<PagedGraph, PagedError> {
         let file = File::open(path)?;
         let mut head = [0u8; HEADER_BYTES];
         file.read_exact_at(&mut head, 0)?;
@@ -735,9 +1082,9 @@ impl PagedGraph {
             return Err(PagedError::Format("bad magic".into()));
         }
         let version = u32_at(8);
-        if version != PAGED_FORMAT_VERSION {
+        if version != 1 && version != PAGED_FORMAT_VERSION {
             return Err(PagedError::Format(format!(
-                "unsupported format version {version} (expected {PAGED_FORMAT_VERSION})"
+                "unsupported format version {version} (expected 1 or {PAGED_FORMAT_VERSION})"
             )));
         }
         let page_size = u32_at(12);
@@ -756,6 +1103,7 @@ impl PagedGraph {
             label_offsets_page: u64_at(72),
             label_data_page: u64_at(80),
             total_pages: u64_at(88),
+            checksum_page: if version >= 2 { u64_at(96) } else { 0 },
         };
         if header.num_nodes > 0 && u32::try_from(header.num_nodes - 1).is_err() {
             return Err(PagedError::Format("node count exceeds u32 id space".into()));
@@ -769,17 +1117,47 @@ impl PagedGraph {
         }
         let pages_of = |bytes: u64| bytes.div_ceil(header.page_size).max(1);
         let want_adj = header.neighbor_offsets_page + pages_of((header.num_nodes + 1) * 8);
-        if header.neighbor_offsets_page != 1
-            || header.adjacency_page != want_adj
-            || header.label_offsets_page
-                != header.adjacency_page + pages_of(header.adjacency_len * 4)
-            || header.label_data_page
-                != header.label_offsets_page + pages_of((header.num_nodes + 1) * 8)
-            || header.total_pages != header.label_data_page + pages_of(header.label_data_len * 4)
-        {
+        let data_pages = header.label_data_page + pages_of(header.label_data_len * 4);
+        let layout_ok = header.neighbor_offsets_page == 1
+            && header.adjacency_page == want_adj
+            && header.label_offsets_page
+                == header.adjacency_page + pages_of(header.adjacency_len * 4)
+            && header.label_data_page
+                == header.label_offsets_page + pages_of((header.num_nodes + 1) * 8)
+            && if version >= 2 {
+                header.checksum_page == data_pages
+                    && header.total_pages == data_pages + pages_of(data_pages * 8)
+            } else {
+                header.total_pages == data_pages
+            };
+        if !layout_ok {
             return Err(PagedError::Format("inconsistent section layout".into()));
         }
-        let pool = BufferPool::new(file, page_size as usize, header.total_pages, cfg);
+        // v2: load the whole checksum table up front (8 bytes per data
+        // page — a 0.2% overhead at the default page size) through plain
+        // reads, outside any fault injection.
+        let checksums: Option<Arc<[u64]>> = if version >= 2 {
+            let mut raw = vec![0u8; (header.checksum_page * 8) as usize];
+            file.read_exact_at(&mut raw, header.checksum_page * header.page_size)?;
+            Some(
+                raw.chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let store: Box<dyn PageStore> = match faults {
+            Some(f) => Box::new(FaultyStorage::new(file, f)),
+            None => Box::new(file),
+        };
+        let pool = BufferPool::with_store(
+            store,
+            page_size as usize,
+            header.total_pages,
+            cfg,
+            checksums,
+        );
         Ok(PagedGraph { pool, header })
     }
 
@@ -1121,6 +1499,211 @@ mod tests {
             assert_eq!(EvictionPolicy::parse(p.name()), Some(p));
         }
         assert_eq!(EvictionPolicy::parse("fifo"), None);
+    }
+
+    /// Rewrites a v2 file as its v1 equivalent: drop the checksum table,
+    /// stamp version 1, and shrink `total_pages` back to the data pages —
+    /// exactly what a file written before the format bump looks like.
+    fn downgrade_to_v1(path: &PathBuf, tag: &str) -> PathBuf {
+        let mut bytes = std::fs::read(path).unwrap();
+        let page_size = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as u64;
+        let checksum_page = u64::from_le_bytes(bytes[96..104].try_into().unwrap());
+        bytes.truncate((checksum_page * page_size) as usize);
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        bytes[88..96].copy_from_slice(&checksum_page.to_le_bytes());
+        bytes[96..104].fill(0);
+        let out = temp_file(tag);
+        std::fs::write(&out, &bytes).unwrap();
+        out
+    }
+
+    #[test]
+    fn v1_files_without_checksums_still_open_and_match() {
+        let g = fixture();
+        let path = temp_file("v1_src");
+        PagedCsrWriter::with_page_size(128)
+            .write(&g, &path)
+            .unwrap();
+        let v1 = downgrade_to_v1(&path, "v1");
+        let p = PagedGraph::open(&v1, PoolConfig::unbounded()).unwrap();
+        assert!(!p.pool().verifies_checksums());
+        assert_matches(&g, &p);
+        // And the faulty opener still works (retries fire on read errors
+        // even without a table; torn pages are simply invisible).
+        let p = PagedGraph::open_with_faults(
+            &v1,
+            PoolConfig::unbounded(),
+            StorageFaultConfig::clean(7),
+        )
+        .unwrap();
+        assert_matches(&g, &p);
+    }
+
+    #[test]
+    fn v2_files_carry_a_checksum_per_data_page() {
+        let g = fixture();
+        let path = temp_file("v2_sums");
+        let meta = PagedCsrWriter::with_page_size(128)
+            .write(&g, &path)
+            .unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let checksum_page = u64::from_le_bytes(bytes[96..104].try_into().unwrap());
+        assert!(checksum_page > 0 && checksum_page < meta.total_pages);
+        for page in 0..checksum_page {
+            let start = (page * 128) as usize;
+            let want = u64::from_le_bytes(
+                bytes[(checksum_page * 128) as usize + page as usize * 8..][..8]
+                    .try_into()
+                    .unwrap(),
+            );
+            assert_eq!(
+                page_checksum(&bytes[start..start + 128]),
+                want,
+                "checksum of page {page}"
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_storage_returns_clean_bytes_and_counts_the_damage() {
+        let g = fixture();
+        let path = temp_file("faulty");
+        PagedCsrWriter::with_page_size(128)
+            .write(&g, &path)
+            .unwrap();
+        let p = PagedGraph::open_with_faults(
+            &path,
+            PoolConfig::unbounded(),
+            StorageFaultConfig {
+                seed: 42,
+                read_error_rate: 0.3,
+                torn_page_rate: 0.3,
+                max_retries: 3,
+            },
+        )
+        .unwrap();
+        // Despite errors and torn reads, every list matches the source —
+        // verification + retry + quarantine absorb all injected damage.
+        assert_matches(&g, &p);
+        let s = p.paging_stats();
+        assert!(
+            s.storage_retries > 0,
+            "faults at 0.3 must trigger retries: {s:?}"
+        );
+        assert!(s.checksum_failures > 0, "torn pages must be caught: {s:?}");
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_once_per_page() {
+        let g = fixture();
+        let path = temp_file("quarantine");
+        PagedCsrWriter::with_page_size(128)
+            .write(&g, &path)
+            .unwrap();
+        // Every read attempt fails ⇒ every touched page exhausts its
+        // budget and lands in quarantine, exactly once.
+        let p = PagedGraph::open_with_faults(
+            &path,
+            PoolConfig::bounded(1, EvictionPolicy::Lru),
+            StorageFaultConfig {
+                seed: 9,
+                read_error_rate: 1.0,
+                torn_page_rate: 0.0,
+                max_retries: 1,
+            },
+        )
+        .unwrap();
+        assert_matches(&g, &p);
+        let s = p.paging_stats();
+        assert!(s.quarantined_pages > 0);
+        assert!(
+            s.quarantined_pages <= p.pool().num_pages(),
+            "quarantine is once per page even when a 1-frame pool re-reads: {s:?}"
+        );
+        assert_eq!(
+            s.storage_retries, s.page_reads,
+            "one retry per read at budget 1"
+        );
+    }
+
+    #[test]
+    fn clean_faulty_storage_is_identical_to_plain_file() {
+        let g = fixture();
+        let path = temp_file("clean_ident");
+        PagedCsrWriter::with_page_size(128)
+            .write(&g, &path)
+            .unwrap();
+        let walk = |p: &PagedGraph| {
+            for u in g.nodes() {
+                let _ = p.neighbors(u);
+                let _ = p.labels(u);
+            }
+            p.paging_stats()
+        };
+        let plain = PagedGraph::open(&path, PoolConfig::bounded(2, EvictionPolicy::Clock)).unwrap();
+        let faulty = PagedGraph::open_with_faults(
+            &path,
+            PoolConfig::bounded(2, EvictionPolicy::Clock),
+            StorageFaultConfig::clean(123),
+        )
+        .unwrap();
+        assert_eq!(walk(&plain), walk(&faulty), "rate-0 faults must be free");
+        assert_eq!(plain.paging_stats().storage_retries, 0);
+        assert_eq!(plain.paging_stats().quarantined_pages, 0);
+    }
+
+    /// A store that panics once mid-read *while the pool lock is held* —
+    /// the regression test for the pool's `PoisonError::into_inner`
+    /// recovery: one panicking reader must not take the pool down for
+    /// every later pin.
+    struct PanickyStore {
+        file: File,
+        panic_once: std::sync::atomic::AtomicBool,
+    }
+
+    impl PageStore for PanickyStore {
+        fn read_page(&self, page_no: u64, buf: &mut [u8], attempt: u32) -> io::Result<()> {
+            if self.panic_once.swap(false, Ordering::SeqCst) {
+                panic!("injected panic inside a page read");
+            }
+            self.file.read_page(page_no, buf, attempt)
+        }
+
+        fn read_page_clean(&self, page_no: u64, buf: &mut [u8]) -> io::Result<()> {
+            self.file.read_exact_at(buf, page_no * buf.len() as u64)
+        }
+    }
+
+    #[test]
+    fn pool_lock_recovers_after_a_panicking_read() {
+        let g = fixture();
+        let path = temp_file("poison");
+        let meta = PagedCsrWriter::with_page_size(128)
+            .write(&g, &path)
+            .unwrap();
+        let pool = BufferPool::with_store(
+            Box::new(PanickyStore {
+                file: File::open(&path).unwrap(),
+                panic_once: std::sync::atomic::AtomicBool::new(true),
+            }),
+            128,
+            meta.total_pages,
+            PoolConfig::unbounded(),
+            None,
+        );
+        // The panic unwinds out of pin() while the pool mutex is held,
+        // poisoning it.
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.pin(1)));
+        assert!(unwound.is_err(), "the injected panic must escape pin()");
+        // Recovery: the next pin takes the poisoned lock, reads the page,
+        // and the counters are coherent (the panicked read was counted
+        // before the panic; no pin leaked).
+        let pin = pool.pin(1).expect("pool must survive a poisoned lock");
+        assert_eq!(pin.len(), 128);
+        drop(pin);
+        let s = pool.stats();
+        assert_eq!(s.page_reads, 2);
+        assert_eq!(pool.stats().pinned_peak, 1, "the unwound pin must not leak");
     }
 
     #[test]

@@ -41,8 +41,112 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use labelcount_graph::{Epoch, LabelId, NodeId};
 
-use crate::api::{FetchCost, OsnBackend};
+use crate::api::{EndpointKind, FetchCost, OsnBackend};
 use crate::guard::SliceRef;
+
+/// A seeded two-state (healthy / outage) correlated burst process for one
+/// endpoint, advanced on the virtual tick clock.
+///
+/// Time is cut into fixed windows of [`BurstConfig::window_ticks`]. Each
+/// window may *start* a burst (probability [`BurstConfig::start_rate`]),
+/// whose length in windows is geometrically distributed around
+/// [`BurstConfig::mean_burst_windows`] and capped at
+/// [`BurstConfig::max_burst_windows`]. A window is in outage iff some
+/// burst started at most `max_burst_windows − 1` windows ago and still
+/// covers it — so deciding "is window `w` down?" is a pure hash of
+/// `(seed, endpoint, window)` over a bounded lookback, with no mutable
+/// chain state. The fault pattern therefore stays placement-independent:
+/// it depends on where the fetch lands on the virtual clock, never on
+/// which thread issued it.
+///
+/// During an outage window every attempt additionally fails with
+/// probability [`BurstConfig::outage_fault_rate`]; `1.0` is allowed and
+/// models a hard outage (every attempt fails until the retry policy forces
+/// the final one).
+#[derive(Clone, Copy, Debug)]
+pub struct BurstConfig {
+    /// Width of one outage-process window, in ticks (`>= 1`).
+    pub window_ticks: u64,
+    /// Per-window probability that a new burst starts.
+    pub start_rate: f64,
+    /// Mean burst length, in windows (`>= 1`).
+    pub mean_burst_windows: f64,
+    /// Hard cap on burst length, in windows (`>= 1`); also bounds the
+    /// lookback of the pure-hash outage test.
+    pub max_burst_windows: u32,
+    /// Per-attempt failure probability *during* an outage window, in
+    /// `[0, 1]`; `1.0` = hard outage.
+    pub outage_fault_rate: f64,
+}
+
+impl BurstConfig {
+    /// Short, frequent outages: bursts of ~2 windows starting in 8% of
+    /// windows, hard failures while down.
+    pub fn short() -> Self {
+        BurstConfig {
+            window_ticks: 32,
+            start_rate: 0.08,
+            mean_burst_windows: 2.0,
+            max_burst_windows: 4,
+            outage_fault_rate: 1.0,
+        }
+    }
+
+    /// Long, rarer outages: bursts of ~8 windows starting in 3% of
+    /// windows, hard failures while down.
+    pub fn long() -> Self {
+        BurstConfig {
+            window_ticks: 32,
+            start_rate: 0.03,
+            mean_burst_windows: 8.0,
+            max_burst_windows: 16,
+            outage_fault_rate: 1.0,
+        }
+    }
+}
+
+/// Circuit-breaker knobs of one endpoint (closed / open / half-open on
+/// the virtual clock).
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive retry-exhausted page fetches that trip the breaker
+    /// (`>= 1`).
+    pub failure_threshold: u32,
+    /// How long a tripped breaker stays open, in ticks.
+    pub open_ticks: u64,
+    /// Successful probe fetches required to close again from half-open
+    /// (`>= 1`).
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_ticks: 256,
+            half_open_probes: 2,
+        }
+    }
+}
+
+/// The reactive resilience knobs of an [`AdversarialOsn`] stack. The
+/// default is everything **off**, under which the decorator behaves
+/// bit-identically to a stack without this struct.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResilienceConfig {
+    /// Per-endpoint circuit breaker; `None` = never trip.
+    pub breaker: Option<BreakerConfig>,
+    /// Session-wide retry budget: the total number of retry attempts all
+    /// fetches through this decorator may spend, so retry storms cannot
+    /// amplify an outage burst. `None` = unlimited (the per-page
+    /// [`RetryPolicy`] still bounds each fetch).
+    pub retry_budget: Option<u64>,
+    /// Whether cache layers over this backend may serve stale-epoch
+    /// entries while an endpoint's breaker is open (graceful
+    /// degradation). The flag lives here so one config travels with the
+    /// stack; [`crate::CacheConfig::serve_stale`] must also opt in.
+    pub serve_stale: bool,
+}
 
 /// Knobs of the seeded fault model.
 #[derive(Clone, Copy, Debug)]
@@ -74,6 +178,10 @@ pub struct FaultConfig {
     /// (same `None` = shared-rate default as
     /// [`FaultConfig::label_transient_rate`]).
     pub label_rate_limit_rate: Option<f64>,
+    /// Correlated outage bursts layered on top of the per-call rates.
+    /// `None` (the default everywhere) disables the process entirely,
+    /// reproducing every pre-burst seed bit-identically.
+    pub burst: Option<BurstConfig>,
 }
 
 impl FaultConfig {
@@ -91,6 +199,7 @@ impl FaultConfig {
             page_size: None,
             label_transient_rate: None,
             label_rate_limit_rate: None,
+            burst: None,
         }
     }
 
@@ -109,7 +218,16 @@ impl FaultConfig {
             page_size: Some(200),
             label_transient_rate: None,
             label_rate_limit_rate: None,
+            burst: None,
         }
+    }
+
+    /// Layers a correlated outage burst process on top of the per-call
+    /// rates.
+    #[must_use = "returns the modified config"]
+    pub fn with_burst(mut self, burst: BurstConfig) -> Self {
+        self.burst = Some(burst);
+        self
     }
 
     /// Overrides the profile endpoint's fault rates, leaving the
@@ -218,12 +336,69 @@ pub struct FaultStats {
     /// Total simulated latency, ticks (attempt latencies + backoff +
     /// retry-after waits).
     pub latency_ticks: u64,
+    /// Distinct outage bursts this stack observed (a pure function of the
+    /// seed and of where its fetches landed on the virtual clock).
+    pub bursts: u64,
+    /// Times a circuit breaker tripped open (including re-opens from a
+    /// failed half-open probe).
+    pub breaker_opens: u64,
+    /// Page fetches answered fail-fast under an open breaker: one forced
+    /// attempt, no retry loop. A real client would surface an error here;
+    /// the infallible backend trait degrades to forced data instead, and
+    /// stale-serving caches avoid even reaching this path.
+    pub breaker_fast_fails: u64,
 }
 
 /// Endpoint discriminants mixed into the fault hash so neighbor-list and
 /// profile fetches of one node fault independently.
 const KIND_NEIGHBORS: u64 = 0x4E45_4947; // "NEIG"
 const KIND_LABELS: u64 = 0x4C41_4245; // "LABE"
+
+/// Salts of the per-coordinate hash draws. 0–2 predate the burst process
+/// and must keep their values so old seeds reproduce bit-identically.
+const SALT_OUTCOME: u64 = 0;
+const SALT_LATENCY: u64 = 1;
+const SALT_BACKOFF: u64 = 2;
+const SALT_BURST_START: u64 = 16;
+const SALT_BURST_LEN: u64 = 17;
+const SALT_OUTAGE: u64 = 18;
+
+/// Dense index of an endpoint kind into per-endpoint state arrays.
+fn kind_index(kind: u64) -> usize {
+    usize::from(kind == KIND_LABELS)
+}
+
+/// Circuit-breaker states, stored in an atomic per endpoint so the
+/// decorator stays `Sync`.
+const BREAKER_CLOSED: u64 = 0;
+const BREAKER_OPEN: u64 = 1;
+const BREAKER_HALF_OPEN: u64 = 2;
+
+/// Per-endpoint breaker cell: the state machine flattened into atomics.
+struct BreakerCell {
+    state: AtomicU64,
+    consec_failures: AtomicU64,
+    open_until: AtomicU64,
+    probes_left: AtomicU64,
+}
+
+impl BreakerCell {
+    fn new() -> Self {
+        BreakerCell {
+            state: AtomicU64::new(BREAKER_CLOSED),
+            consec_failures: AtomicU64::new(0),
+            open_until: AtomicU64::new(0),
+            probes_left: AtomicU64::new(0),
+        }
+    }
+}
+
+/// What the breaker lets the current page fetch do.
+enum BreakerMode {
+    Closed,
+    Open,
+    HalfOpen,
+}
 
 /// SplitMix64 finalizer over the packed call coordinates — the same
 /// avalanche construction as `labelcount_stats::replication_seed`, local
@@ -284,6 +459,7 @@ pub struct AdversarialOsn<B> {
     inner: B,
     cfg: FaultConfig,
     policy: RetryPolicy,
+    resilience: ResilienceConfig,
     attempts: AtomicU64,
     retries: AtomicU64,
     rate_limited: AtomicU64,
@@ -291,12 +467,37 @@ pub struct AdversarialOsn<B> {
     extra_pages: AtomicU64,
     retries_exhausted: AtomicU64,
     latency_ticks: AtomicU64,
+    /// Offset added to the accumulated latency when reading the virtual
+    /// clock — a scheduler driving this stack in slices aligns the burst
+    /// process with its own loop clock via [`AdversarialOsn::set_clock_base`].
+    clock_base: AtomicU64,
+    /// Remaining session retry budget (`u64::MAX` when unlimited).
+    retry_budget: AtomicU64,
+    bursts: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_fast_fails: AtomicU64,
+    /// Start window of the last counted burst per endpoint, for
+    /// deduplicated burst counting (`u64::MAX` = none yet).
+    last_burst: [AtomicU64; 2],
+    breakers: [BreakerCell; 2],
 }
 
 impl<B: OsnBackend> AdversarialOsn<B> {
     /// Decorates `inner` with the fault model `cfg` retried under
-    /// `policy`.
+    /// `policy`, with every reactive resilience knob off.
     pub fn new(inner: B, cfg: FaultConfig, policy: RetryPolicy) -> Self {
+        Self::with_resilience(inner, cfg, policy, ResilienceConfig::default())
+    }
+
+    /// Decorates `inner` with the fault model `cfg` retried under
+    /// `policy`, reacting per `resilience`. With the default (all-off)
+    /// resilience config this is exactly [`AdversarialOsn::new`].
+    pub fn with_resilience(
+        inner: B,
+        cfg: FaultConfig,
+        policy: RetryPolicy,
+        resilience: ResilienceConfig,
+    ) -> Self {
         assert!(policy.max_attempts >= 1, "retry policy needs >= 1 attempt");
         for kind in [KIND_NEIGHBORS, KIND_LABELS] {
             let (t, r) = cfg.rates_for(kind);
@@ -305,10 +506,31 @@ impl<B: OsnBackend> AdversarialOsn<B> {
                 "per-attempt fault probability must stay in [0, 1) for every endpoint"
             );
         }
+        if let Some(b) = cfg.burst {
+            assert!(b.window_ticks >= 1, "burst windows need >= 1 tick");
+            assert!(
+                (0.0..=1.0).contains(&b.start_rate),
+                "burst start rate must be in [0, 1]"
+            );
+            assert!(
+                b.mean_burst_windows >= 1.0,
+                "mean burst length must be >= 1 window"
+            );
+            assert!(b.max_burst_windows >= 1, "burst cap must be >= 1 window");
+            assert!(
+                (0.0..=1.0).contains(&b.outage_fault_rate),
+                "outage fault rate must be in [0, 1]"
+            );
+        }
+        if let Some(bc) = resilience.breaker {
+            assert!(bc.failure_threshold >= 1, "breaker threshold must be >= 1");
+            assert!(bc.half_open_probes >= 1, "breaker needs >= 1 probe");
+        }
         AdversarialOsn {
             inner,
             cfg,
             policy,
+            resilience,
             attempts: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             rate_limited: AtomicU64::new(0),
@@ -316,7 +538,34 @@ impl<B: OsnBackend> AdversarialOsn<B> {
             extra_pages: AtomicU64::new(0),
             retries_exhausted: AtomicU64::new(0),
             latency_ticks: AtomicU64::new(0),
+            clock_base: AtomicU64::new(0),
+            retry_budget: AtomicU64::new(resilience.retry_budget.unwrap_or(u64::MAX)),
+            bursts: AtomicU64::new(0),
+            breaker_opens: AtomicU64::new(0),
+            breaker_fast_fails: AtomicU64::new(0),
+            last_burst: [AtomicU64::new(u64::MAX), AtomicU64::new(u64::MAX)],
+            breakers: [BreakerCell::new(), BreakerCell::new()],
         }
+    }
+
+    /// Aligns the virtual clock this stack reads (burst windows, breaker
+    /// open-until deadlines) with an external loop clock: subsequent
+    /// fetches see `base + accumulated latency ticks`.
+    pub fn set_clock_base(&self, base: u64) {
+        self.clock_base.store(base, Ordering::Relaxed);
+    }
+
+    /// The resilience knobs in force.
+    pub fn resilience_config(&self) -> &ResilienceConfig {
+        &self.resilience
+    }
+
+    /// The virtual tick clock the burst process and breaker deadlines
+    /// read: the clock base plus all latency this stack has billed.
+    fn clock(&self) -> u64 {
+        self.clock_base
+            .load(Ordering::Relaxed)
+            .saturating_add(self.latency_ticks.load(Ordering::Relaxed))
     }
 
     /// The decorated backend.
@@ -344,6 +593,9 @@ impl<B: OsnBackend> AdversarialOsn<B> {
             extra_pages: self.extra_pages.load(Ordering::Relaxed),
             retries_exhausted: self.retries_exhausted.load(Ordering::Relaxed),
             latency_ticks: self.latency_ticks.load(Ordering::Relaxed),
+            bursts: self.bursts.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
         }
     }
 
@@ -357,17 +609,177 @@ impl<B: OsnBackend> AdversarialOsn<B> {
         self.extra_pages.store(0, Ordering::Relaxed);
         self.retries_exhausted.store(0, Ordering::Relaxed);
         self.latency_ticks.store(0, Ordering::Relaxed);
+        self.bursts.store(0, Ordering::Relaxed);
+        self.breaker_opens.store(0, Ordering::Relaxed);
+        self.breaker_fast_fails.store(0, Ordering::Relaxed);
     }
 
-    /// The outcome of attempt `attempt` of page `page` of `(kind, node)` —
-    /// a pure function of the coordinates.
-    fn attempt_outcome(&self, kind: u64, node: u32, page: u64, attempt: u32) -> Attempt {
+    /// Whether a burst starts in window `window` of endpoint `kind` — a
+    /// pure hash of the coordinates.
+    fn burst_starts(&self, b: &BurstConfig, kind: u64, window: u64) -> bool {
+        unit(fault_hash(
+            self.cfg.seed,
+            kind,
+            0,
+            window,
+            0,
+            SALT_BURST_START,
+        )) < b.start_rate
+    }
+
+    /// Length in windows of the burst starting at `window` (geometric
+    /// around the mean, capped) — a pure hash of the coordinates.
+    fn burst_len(&self, b: &BurstConfig, kind: u64, window: u64) -> u64 {
+        let cap = b.max_burst_windows as u64;
+        if b.mean_burst_windows <= 1.0 {
+            return 1;
+        }
+        let q = 1.0 - 1.0 / b.mean_burst_windows; // continue probability
+        let u = unit(fault_hash(
+            self.cfg.seed,
+            kind,
+            0,
+            window,
+            0,
+            SALT_BURST_LEN,
+        ));
+        // Inverse-CDF geometric draw; `u < 1` keeps the logs finite.
+        let len = 1 + ((1.0 - u).ln() / q.ln()).floor() as u64;
+        len.min(cap)
+    }
+
+    /// If window `window` of endpoint `kind` is in outage, the start
+    /// window of the (most recent) covering burst. Bounded lookback of
+    /// `max_burst_windows` windows keeps this O(cap) with no chain state.
+    fn burst_covering(&self, b: &BurstConfig, kind: u64, window: u64) -> Option<u64> {
+        let cap = b.max_burst_windows as u64;
+        let lo = window.saturating_sub(cap.saturating_sub(1));
+        (lo..=window).rev().find(|&s| {
+            self.burst_starts(b, kind, s) && s.saturating_add(self.burst_len(b, kind, s)) > window
+        })
+    }
+
+    /// The outage state of endpoint `kind` at the current virtual clock:
+    /// `(config, current window, covering burst's start window)` when
+    /// down. Also counts newly observed bursts (deduplicated per start
+    /// window).
+    fn outage_state(&self, kind: u64) -> Option<(BurstConfig, u64, u64)> {
+        let b = self.cfg.burst?;
+        let window = self.clock() / b.window_ticks;
+        let start = self.burst_covering(&b, kind, window)?;
+        if self.last_burst[kind_index(kind)].swap(start, Ordering::Relaxed) != start {
+            self.bursts.fetch_add(1, Ordering::Relaxed);
+        }
+        Some((b, window, start))
+    }
+
+    /// Spends one token of the session retry budget; `false` means the
+    /// budget is dry and the fetch must stop retrying.
+    fn take_retry_token(&self) -> bool {
+        if self.resilience.retry_budget.is_none() {
+            return true;
+        }
+        self.retry_budget
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Reads (and, on open-window expiry, advances) the breaker state of
+    /// endpoint `kidx`.
+    fn breaker_mode(&self, kidx: usize, bc: &BreakerConfig) -> BreakerMode {
+        let cell = &self.breakers[kidx];
+        match cell.state.load(Ordering::Relaxed) {
+            BREAKER_OPEN => {
+                if self.clock() >= cell.open_until.load(Ordering::Relaxed) {
+                    cell.state.store(BREAKER_HALF_OPEN, Ordering::Relaxed);
+                    cell.probes_left
+                        .store(bc.half_open_probes as u64, Ordering::Relaxed);
+                    BreakerMode::HalfOpen
+                } else {
+                    BreakerMode::Open
+                }
+            }
+            BREAKER_HALF_OPEN => BreakerMode::HalfOpen,
+            _ => BreakerMode::Closed,
+        }
+    }
+
+    /// Feeds one finished page fetch (`failed` = its retries were
+    /// exhausted) back into the breaker of endpoint `kidx`.
+    fn record_breaker_result(&self, kidx: usize, bc: &BreakerConfig, failed: bool) {
+        let cell = &self.breakers[kidx];
+        let state = cell.state.load(Ordering::Relaxed);
+        if failed {
+            let trip = match state {
+                BREAKER_HALF_OPEN => true, // a failed probe re-opens immediately
+                BREAKER_CLOSED => {
+                    cell.consec_failures.fetch_add(1, Ordering::Relaxed) + 1
+                        >= bc.failure_threshold as u64
+                }
+                _ => false,
+            };
+            if trip {
+                cell.state.store(BREAKER_OPEN, Ordering::Relaxed);
+                cell.consec_failures.store(0, Ordering::Relaxed);
+                cell.open_until.store(
+                    self.clock().saturating_add(bc.open_ticks),
+                    Ordering::Relaxed,
+                );
+                self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            match state {
+                BREAKER_HALF_OPEN => {
+                    let left = cell.probes_left.load(Ordering::Relaxed);
+                    if left <= 1 {
+                        cell.state.store(BREAKER_CLOSED, Ordering::Relaxed);
+                        cell.consec_failures.store(0, Ordering::Relaxed);
+                    } else {
+                        cell.probes_left.store(left - 1, Ordering::Relaxed);
+                    }
+                }
+                _ => cell.consec_failures.store(0, Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// The outcome of attempt `attempt` of page `page` of `(kind, node)`,
+    /// under outage state `outage` — a pure function of the coordinates
+    /// and the burst window.
+    fn attempt_outcome(
+        &self,
+        kind: u64,
+        node: u32,
+        page: u64,
+        attempt: u32,
+        outage: Option<&(BurstConfig, u64, u64)>,
+    ) -> Attempt {
+        if let Some((b, window, _)) = outage {
+            // The outage dominates: its failure draw is keyed on the
+            // window too, so the pattern shifts with the burst, not the
+            // call site.
+            let down = b.outage_fault_rate >= 1.0 || {
+                let salt = SALT_OUTAGE ^ window.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                unit(fault_hash(self.cfg.seed, kind, node, page, attempt, salt))
+                    < b.outage_fault_rate
+            };
+            if down {
+                return Attempt::Transient;
+            }
+        }
         let (transient, rate_limit) = self.cfg.rates_for(kind);
         let rate = transient + rate_limit;
         if rate <= 0.0 {
             return Attempt::Ok;
         }
-        let x = unit(fault_hash(self.cfg.seed, kind, node, page, attempt, 0));
+        let x = unit(fault_hash(
+            self.cfg.seed,
+            kind,
+            node,
+            page,
+            attempt,
+            SALT_OUTCOME,
+        ));
         if x < transient {
             Attempt::Transient
         } else if x < rate {
@@ -383,10 +795,13 @@ impl<B: OsnBackend> AdversarialOsn<B> {
         let jitter = if self.cfg.latency_jitter_ticks == 0 {
             0
         } else {
-            fault_hash(self.cfg.seed, kind, node, page, attempt, 1)
-                % (self.cfg.latency_jitter_ticks + 1)
+            let h = fault_hash(self.cfg.seed, kind, node, page, attempt, SALT_LATENCY);
+            match self.cfg.latency_jitter_ticks.checked_add(1) {
+                Some(m) => h % m,
+                None => h, // jitter bound is u64::MAX: the hash already fits
+            }
         };
-        self.cfg.base_latency_ticks + jitter
+        self.cfg.base_latency_ticks.saturating_add(jitter)
     }
 
     /// Seeded backoff jitter in `[0, delay/2]` after failed `attempt`.
@@ -394,7 +809,7 @@ impl<B: OsnBackend> AdversarialOsn<B> {
         if delay == 0 {
             0
         } else {
-            fault_hash(self.cfg.seed, kind, node, page, attempt, 2) % (delay / 2 + 1)
+            fault_hash(self.cfg.seed, kind, node, page, attempt, SALT_BACKOFF) % (delay / 2 + 1)
         }
     }
 
@@ -403,8 +818,15 @@ impl<B: OsnBackend> AdversarialOsn<B> {
     /// Returns `(attempts consumed, latency ticks spent)`; both also
     /// accumulate into the shared stats alongside the fault counters.
     fn simulate_page(&self, kind: u64, node: u32, page: u64) -> (u64, u64) {
-        // The hot path of a clean endpoint: one branch, two adds.
-        if self.cfg.fault_rate_for(kind) <= 0.0 {
+        let outage = self.outage_state(kind);
+
+        // The hot path of a clean endpoint: one branch, two adds. Only
+        // valid when neither the burst process nor the breaker can
+        // interfere.
+        if self.cfg.fault_rate_for(kind) <= 0.0
+            && outage.is_none()
+            && self.resilience.breaker.is_none()
+        {
             self.attempts.fetch_add(1, Ordering::Relaxed);
             let lat = self.attempt_latency(kind, node, page, 0);
             if lat > 0 {
@@ -413,35 +835,57 @@ impl<B: OsnBackend> AdversarialOsn<B> {
             return (1, lat);
         }
 
+        let kidx = kind_index(kind);
+        if let Some(bc) = &self.resilience.breaker {
+            if let BreakerMode::Open = self.breaker_mode(kidx, bc) {
+                // Fail fast under an open breaker: one forced attempt, no
+                // fault draws, no retry loop — retry storms cannot feed
+                // an outage the breaker already diagnosed.
+                self.breaker_fast_fails.fetch_add(1, Ordering::Relaxed);
+                self.attempts.fetch_add(1, Ordering::Relaxed);
+                let lat = self.attempt_latency(kind, node, page, 0);
+                if lat > 0 {
+                    self.latency_ticks.fetch_add(lat, Ordering::Relaxed);
+                }
+                return (1, lat);
+            }
+        }
+
         let mut attempts = 0u64;
         let mut latency = 0u64;
+        let mut exhausted = false;
         let last = self.policy.max_attempts - 1;
         for attempt in 0..self.policy.max_attempts {
             attempts += 1;
-            latency += self.attempt_latency(kind, node, page, attempt);
-            let outcome = self.attempt_outcome(kind, node, page, attempt);
+            latency = latency.saturating_add(self.attempt_latency(kind, node, page, attempt));
+            let outcome = self.attempt_outcome(kind, node, page, attempt, outage.as_ref());
             let forced = attempt == last;
             match outcome {
                 Attempt::Ok => break,
                 Attempt::Transient => {
                     self.transient_errors.fetch_add(1, Ordering::Relaxed);
-                    if forced {
+                    if forced || !self.take_retry_token() {
                         self.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+                        exhausted = true;
                         break;
                     }
                     let delay = self.policy.backoff_ticks(attempt);
-                    latency += delay + self.backoff_jitter(kind, node, page, attempt, delay);
+                    latency = latency
+                        .saturating_add(delay)
+                        .saturating_add(self.backoff_jitter(kind, node, page, attempt, delay));
                 }
                 Attempt::RateLimited => {
                     self.rate_limited.fetch_add(1, Ordering::Relaxed);
-                    if forced {
+                    if forced || !self.take_retry_token() {
                         self.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+                        exhausted = true;
                         break;
                     }
                     let delay = self.policy.backoff_ticks(attempt);
-                    let wait = (delay + self.backoff_jitter(kind, node, page, attempt, delay))
+                    let wait = delay
+                        .saturating_add(self.backoff_jitter(kind, node, page, attempt, delay))
                         .max(self.cfg.retry_after_ticks);
-                    latency += wait;
+                    latency = latency.saturating_add(wait);
                 }
             }
         }
@@ -451,6 +895,11 @@ impl<B: OsnBackend> AdversarialOsn<B> {
         }
         if latency > 0 {
             self.latency_ticks.fetch_add(latency, Ordering::Relaxed);
+        }
+        if let Some(bc) = &self.resilience.breaker {
+            // Recorded after the latency lands, so an open window starts
+            // at the clock the caller observes after this fetch.
+            self.record_breaker_result(kidx, bc, exhausted);
         }
         (attempts, latency)
     }
@@ -470,7 +919,7 @@ impl<B: OsnBackend> AdversarialOsn<B> {
         for page in 0..pages {
             let (attempts, ticks) = self.simulate_page(kind, node, page);
             cost.attempts += attempts;
-            cost.ticks += ticks;
+            cost.ticks = cost.ticks.saturating_add(ticks);
         }
         cost
     }
@@ -524,6 +973,23 @@ impl<B: OsnBackend> OsnBackend for AdversarialOsn<B> {
         // Faults delay and charge; they never change what generation of
         // the data the inner backend serves.
         self.inner.epoch_of(u)
+    }
+
+    fn label_epoch_of(&self, u: NodeId) -> Epoch {
+        self.inner.label_epoch_of(u)
+    }
+
+    fn endpoint_degraded(&self, kind: EndpointKind) -> bool {
+        if self.resilience.breaker.is_none() {
+            return false;
+        }
+        let kidx = match kind {
+            EndpointKind::Neighbors => 0,
+            EndpointKind::Labels => 1,
+        };
+        let cell = &self.breakers[kidx];
+        cell.state.load(Ordering::Relaxed) == BREAKER_OPEN
+            && self.clock() < cell.open_until.load(Ordering::Relaxed)
     }
 }
 
@@ -833,5 +1299,242 @@ mod tests {
             let x = unit(h);
             assert!((0.0..1.0).contains(&x), "{x}");
         }
+    }
+
+    /// A burst config that keeps the stack inside window 0 forever, with
+    /// window 0 in hard outage: every attempt fails until the policy (or
+    /// breaker) steps in.
+    fn permanent_outage() -> BurstConfig {
+        BurstConfig {
+            window_ticks: 1 << 40,
+            start_rate: 1.0,
+            mean_burst_windows: 1.0,
+            max_burst_windows: 1,
+            outage_fault_rate: 1.0,
+        }
+    }
+
+    #[test]
+    fn default_resilience_with_no_burst_matches_new() {
+        let g = star(16);
+        let run = |resilient: bool| {
+            let cfg = FaultConfig::hostile(21, 0.4);
+            let adv = if resilient {
+                AdversarialOsn::with_resilience(
+                    GraphOsn::new(&g),
+                    cfg,
+                    RetryPolicy::default(),
+                    ResilienceConfig::default(),
+                )
+            } else {
+                AdversarialOsn::new(GraphOsn::new(&g), cfg, RetryPolicy::default())
+            };
+            let costs: Vec<(u64, u64)> = (0..16u32)
+                .map(|u| {
+                    let (_, c) = adv.fetch_neighbors_cost(NodeId(u));
+                    (c.attempts, c.ticks)
+                })
+                .collect();
+            (costs, adv.fault_stats())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn hard_outage_fails_every_attempt_and_counts_one_burst() {
+        let g = star(8);
+        let cfg = FaultConfig {
+            burst: Some(permanent_outage()),
+            ..FaultConfig::clean(3)
+        };
+        let adv = AdversarialOsn::new(GraphOsn::new(&g), cfg, RetryPolicy::default());
+        for u in 0..8u32 {
+            let (_, c) = adv.fetch_neighbors_cost(NodeId(u));
+            assert_eq!(c.attempts, 6, "hard outage must exhaust the policy");
+        }
+        let s = adv.fault_stats();
+        assert_eq!(s.retries_exhausted, 8);
+        assert_eq!(s.bursts, 1, "one covering burst, counted once");
+        assert_eq!(s.transient_errors, s.retries + s.retries_exhausted);
+    }
+
+    #[test]
+    fn burst_pattern_is_deterministic_and_seed_sensitive() {
+        let g = star(32);
+        let run = |seed: u64| {
+            let cfg = FaultConfig::hostile(seed, 0.2).with_burst(BurstConfig::short());
+            let adv = AdversarialOsn::new(GraphOsn::new(&g), cfg, RetryPolicy::default());
+            let costs: Vec<u64> = (0..32u32)
+                .map(|u| adv.fetch_neighbors_cost(NodeId(u)).1.ticks)
+                .collect();
+            (costs, adv.fault_stats())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0);
+    }
+
+    #[test]
+    fn breaker_trips_fast_fails_and_reopens_on_failed_probe() {
+        let g = star(16);
+        let cfg = FaultConfig {
+            burst: Some(permanent_outage()),
+            ..FaultConfig::clean(5)
+        };
+        let resilience = ResilienceConfig {
+            breaker: Some(BreakerConfig {
+                failure_threshold: 2,
+                open_ticks: 1 << 30,
+                half_open_probes: 1,
+            }),
+            ..ResilienceConfig::default()
+        };
+        let adv = AdversarialOsn::with_resilience(
+            GraphOsn::new(&g),
+            cfg,
+            RetryPolicy::default(),
+            resilience,
+        );
+        assert!(!adv.endpoint_degraded(EndpointKind::Neighbors));
+        // Two exhausted fetches trip the breaker …
+        assert_eq!(adv.fetch_neighbors_cost(NodeId(1)).1.attempts, 6);
+        assert_eq!(adv.fetch_neighbors_cost(NodeId(2)).1.attempts, 6);
+        assert!(adv.endpoint_degraded(EndpointKind::Neighbors));
+        assert!(!adv.endpoint_degraded(EndpointKind::Labels));
+        assert_eq!(adv.fault_stats().breaker_opens, 1);
+        // … after which fetches fail fast: one attempt, no retry loop.
+        assert_eq!(adv.fetch_neighbors_cost(NodeId(3)).1.attempts, 1);
+        assert_eq!(adv.fault_stats().breaker_fast_fails, 1);
+        // Clock past the open window: the half-open probe runs a real
+        // fetch, still fails (hard outage), and re-opens the breaker.
+        adv.set_clock_base(1 << 31);
+        assert_eq!(adv.fetch_neighbors_cost(NodeId(4)).1.attempts, 6);
+        assert_eq!(adv.fault_stats().breaker_opens, 2);
+    }
+
+    #[test]
+    fn breaker_closes_again_after_successful_probes() {
+        let g = star(8);
+        // Zero-latency stack (no backoff, no attempt latency): the clock
+        // is exactly the clock base, so the test can place fetches in
+        // chosen burst windows.
+        let cfg = FaultConfig {
+            burst: Some(BurstConfig {
+                window_ticks: 64,
+                start_rate: 0.5,
+                mean_burst_windows: 1.0,
+                max_burst_windows: 1,
+                outage_fault_rate: 1.0,
+            }),
+            ..FaultConfig::clean(9)
+        };
+        let flat = RetryPolicy {
+            max_attempts: 6,
+            base_delay_ticks: 0,
+            max_delay_ticks: 0,
+        };
+        // Map the seeded outage pattern with a breaker-less scout.
+        let scout = AdversarialOsn::new(GraphOsn::new(&g), cfg, flat);
+        let is_down = |w: u64| {
+            let before = scout.fault_stats().retries_exhausted;
+            scout.set_clock_base(w * 64);
+            scout.fetch_neighbors_cost(NodeId(1));
+            scout.fault_stats().retries_exhausted > before
+        };
+        let down = (0..64).find(|&w| is_down(w)).expect("some window is down");
+        let clean = (down + 4..down + 64)
+            .find(|&w| !is_down(w))
+            .expect("some later window is clean");
+
+        let resilience = ResilienceConfig {
+            breaker: Some(BreakerConfig {
+                failure_threshold: 1,
+                open_ticks: 100,
+                half_open_probes: 2,
+            }),
+            ..ResilienceConfig::default()
+        };
+        let adv = AdversarialOsn::with_resilience(GraphOsn::new(&g), cfg, flat, resilience);
+        adv.set_clock_base(down * 64);
+        adv.fetch_neighbors_cost(NodeId(1)); // exhausts → trips
+        assert_eq!(adv.fault_stats().breaker_opens, 1);
+        assert!(adv.endpoint_degraded(EndpointKind::Neighbors));
+        // A clean window past the open deadline: two successful probes
+        // close the breaker; later fetches run normally.
+        adv.set_clock_base(clean * 64);
+        assert!(!adv.endpoint_degraded(EndpointKind::Neighbors));
+        for _ in 0..3 {
+            assert_eq!(adv.fetch_neighbors_cost(NodeId(2)).1.attempts, 1);
+        }
+        let s = adv.fault_stats();
+        assert_eq!(s.breaker_opens, 1, "clean probes must not re-open");
+        assert_eq!(s.breaker_fast_fails, 0, "no fetch ran against open state");
+    }
+
+    #[test]
+    fn retry_budget_caps_total_retries() {
+        let g = star(64);
+        let resilience = ResilienceConfig {
+            retry_budget: Some(5),
+            ..ResilienceConfig::default()
+        };
+        let adv = AdversarialOsn::with_resilience(
+            GraphOsn::new(&g),
+            FaultConfig::hostile(2, 0.9),
+            RetryPolicy::default(),
+            resilience,
+        );
+        for u in 0..64u32 {
+            adv.fetch_neighbors_cost(NodeId(u));
+        }
+        let s = adv.fault_stats();
+        assert!(s.retries <= 5, "budget of 5 but {} retries", s.retries);
+        assert!(
+            s.retries_exhausted > 0,
+            "a dry budget must cut fetches short"
+        );
+        // The accounting identity survives budget cuts.
+        assert_eq!(
+            s.rate_limited + s.transient_errors,
+            s.retries + s.retries_exhausted
+        );
+    }
+
+    #[test]
+    fn extreme_delay_knobs_saturate_instead_of_overflowing() {
+        // Regression: `delay + jitter` and the latency accumulator used
+        // to overflow u64 when the policy ceiling sits near u64::MAX.
+        let g = star(4);
+        let cfg = FaultConfig {
+            transient_rate: 0.9,
+            retry_after_ticks: u64::MAX,
+            base_latency_ticks: u64::MAX,
+            latency_jitter_ticks: u64::MAX,
+            ..FaultConfig::clean(1)
+        };
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_delay_ticks: u64::MAX,
+            max_delay_ticks: u64::MAX,
+        };
+        let adv = AdversarialOsn::new(GraphOsn::new(&g), cfg, policy);
+        let (_, cost) = adv.fetch_neighbors_cost(NodeId(0));
+        assert_eq!(cost.ticks, u64::MAX, "latency must saturate, not wrap");
+        assert!(cost.attempts >= 1);
+    }
+
+    #[test]
+    fn burst_config_is_validated() {
+        let g = star(3);
+        let cfg = FaultConfig {
+            burst: Some(BurstConfig {
+                window_ticks: 0,
+                ..BurstConfig::short()
+            }),
+            ..FaultConfig::clean(1)
+        };
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            AdversarialOsn::new(GraphOsn::new(&g), cfg, RetryPolicy::default())
+        }));
+        assert!(r.is_err(), "zero-tick burst windows must be rejected");
     }
 }

@@ -139,6 +139,18 @@ impl FetchCost {
     }
 }
 
+/// The two API endpoints a restricted OSN crawl exercises. Fault and
+/// resilience machinery ([`crate::AdversarialOsn`]'s outage bursts and
+/// circuit breakers) is keyed per endpoint: a friend-list outage does not
+/// imply a profile outage, matching how real OSN APIs degrade.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EndpointKind {
+    /// The friend-list (neighbor) endpoint.
+    Neighbors,
+    /// The profile-label endpoint.
+    Labels,
+}
+
 /// A raw fetch-only backend: what the remote OSN itself answers, with no
 /// accounting and no budget. [`crate::CachedOsn`] wraps one of these and
 /// adds the shared cache plus [`crate::CallStats`] accounting; sessions
@@ -210,6 +222,26 @@ pub trait OsnBackend {
     fn epoch_of(&self, _u: NodeId) -> Epoch {
         Epoch::STATIC
     }
+
+    /// The current label [`Epoch`] of `u`'s node region — the stamp cache
+    /// layers compare for *profile* entries. Splitting label stamps from
+    /// neighbor-list stamps lets a label-only flip invalidate profiles
+    /// without touching cached friend lists.
+    ///
+    /// Defaults to [`OsnBackend::epoch_of`], so backends with a single
+    /// shared stamp (and every static backend) behave exactly as before.
+    fn label_epoch_of(&self, u: NodeId) -> Epoch {
+        self.epoch_of(u)
+    }
+
+    /// Whether `kind` is currently degraded — an open circuit-breaker
+    /// window, during which cache layers may opt into serving stale-epoch
+    /// entries instead of refetching. Backends without a breaker (every
+    /// non-adversarial backend) always answer `false`, which keeps the
+    /// degradation path dead code for them.
+    fn endpoint_degraded(&self, _kind: EndpointKind) -> bool {
+        false
+    }
 }
 
 /// Backends pass through shared references, so one `Sync` backend (e.g. a
@@ -255,5 +287,13 @@ impl<B: OsnBackend + ?Sized> OsnBackend for &B {
 
     fn epoch_of(&self, u: NodeId) -> Epoch {
         (**self).epoch_of(u)
+    }
+
+    fn label_epoch_of(&self, u: NodeId) -> Epoch {
+        (**self).label_epoch_of(u)
+    }
+
+    fn endpoint_degraded(&self, kind: EndpointKind) -> bool {
+        (**self).endpoint_degraded(kind)
     }
 }

@@ -66,7 +66,7 @@ use std::sync::{Arc, PoisonError, RwLock};
 
 use labelcount_graph::{Epoch, LabelId, LabeledGraph, NodeId};
 
-use crate::api::{FetchCost, OsnApi, OsnBackend};
+use crate::api::{EndpointKind, FetchCost, OsnApi, OsnBackend};
 use crate::guard::SliceRef;
 
 /// A [`LabeledGraph`] exposed as a raw [`OsnBackend`]: no counters, no
@@ -155,6 +155,14 @@ pub struct CacheConfig {
     /// bit-identical either way.
     #[deprecated(since = "0.1.0", note = "construct via CacheConfig::builder()")]
     pub l1_slots: usize,
+    /// Graceful-degradation opt-in: while the backend reports an endpoint
+    /// degraded ([`OsnBackend::endpoint_degraded`], e.g. an open circuit
+    /// breaker), L1 and L2 may serve **stale-epoch** entries instead of
+    /// refetching, each counted in [`CallStats::stale_served`]. Off by
+    /// default; with it off (or against backends that are never degraded)
+    /// behavior is bit-identical to a world without this knob.
+    #[deprecated(since = "0.1.0", note = "construct via CacheConfig::builder()")]
+    pub serve_stale: bool,
 }
 
 #[allow(deprecated)]
@@ -164,6 +172,7 @@ impl Default for CacheConfig {
             capacity: None,
             shards: 64,
             l1_slots: DEFAULT_L1_SLOTS,
+            serve_stale: false,
         }
     }
 }
@@ -191,6 +200,11 @@ impl CacheConfig {
     /// Session L1 slots per endpoint kind (`0` = L1 disabled).
     pub fn l1_slots(&self) -> usize {
         self.l1_slots
+    }
+
+    /// Whether stale entries may be served while an endpoint is degraded.
+    pub fn serve_stale(&self) -> bool {
+        self.serve_stale
     }
 }
 
@@ -239,6 +253,14 @@ impl CacheConfigBuilder {
         self
     }
 
+    /// Opts into serving stale entries while an endpoint is degraded (see
+    /// [`CacheConfig::serve_stale`]).
+    #[must_use = "returns the modified builder"]
+    pub fn serve_stale(mut self, serve_stale: bool) -> CacheConfigBuilder {
+        self.cfg.serve_stale = serve_stale;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> CacheConfig {
         self.cfg
@@ -276,6 +298,10 @@ pub struct CallStats {
     /// the total is interleaving-independent. Always `0` against static
     /// backends.
     pub l2_stale_evictions: u64,
+    /// Stale-epoch entries (either layer) served *as answers* during a
+    /// degraded-endpoint window under [`CacheConfig::serve_stale`] —
+    /// graceful degradation made visible. Always `0` with the knob off.
+    pub stale_served: u64,
 }
 
 impl CallStats {
@@ -376,11 +402,13 @@ struct LruShard<T> {
 }
 
 /// Outcome of an epoch-checked shard lookup. `Stale` and `Absent` both
-/// fall through to the backend; they are separated only so the caller can
-/// count stale evictions.
+/// normally fall through to the backend; they are separated so the caller
+/// can count stale evictions — and, under serve-stale degradation, answer
+/// from the stale value instead of refetching (which is why `Stale`
+/// carries it).
 enum Lookup<T> {
     Hit(Arc<[T]>),
-    Stale,
+    Stale(Arc<[T]>),
     Absent,
 }
 
@@ -437,6 +465,18 @@ impl<T> LruShard<T> {
         })
     }
 
+    /// Epoch-*ignoring* peek for degraded (serve-stale) reads: answers the
+    /// resident entry regardless of its stamp, plus whether it is stale vs
+    /// `current`. Like [`LruShard::peek`], never touches recency.
+    fn peek_any(&self, key: u32, current: Epoch) -> Option<(Arc<[T]>, bool)> {
+        self.index.get(&key).map(|&i| {
+            (
+                Arc::clone(&self.values[i as usize]),
+                self.epochs[i as usize].is_stale_vs(current),
+            )
+        })
+    }
+
     /// Looks up `key`, refreshing its recency on a fresh hit. A resident
     /// entry stamped with a different epoch answers [`Lookup::Stale`]; the
     /// caller refetches and [`LruShard::insert`] refills the slot in
@@ -446,7 +486,7 @@ impl<T> LruShard<T> {
             return Lookup::Absent;
         };
         if self.epochs[i as usize].is_stale_vs(current) {
-            return Lookup::Stale;
+            return Lookup::Stale(Arc::clone(&self.values[i as usize]));
         }
         if self.head != i {
             self.unlink(i);
@@ -542,6 +582,7 @@ pub struct CachedOsn<B> {
     shard_mask: usize,
     unbounded: bool,
     l1_slots: usize,
+    serve_stale: bool,
     logical_neighbor: AtomicU64,
     logical_label: AtomicU64,
     neighbor_misses: AtomicU64,
@@ -550,6 +591,7 @@ pub struct CachedOsn<B> {
     l1_label_hits: AtomicU64,
     l1_stale_evictions: AtomicU64,
     l2_stale_evictions: AtomicU64,
+    stale_served: AtomicU64,
 }
 
 impl<B: OsnBackend> CachedOsn<B> {
@@ -583,6 +625,7 @@ impl<B: OsnBackend> CachedOsn<B> {
             } else {
                 cfg.l1_slots().next_power_of_two()
             },
+            serve_stale: cfg.serve_stale(),
             logical_neighbor: AtomicU64::new(0),
             logical_label: AtomicU64::new(0),
             neighbor_misses: AtomicU64::new(0),
@@ -591,6 +634,7 @@ impl<B: OsnBackend> CachedOsn<B> {
             l1_label_hits: AtomicU64::new(0),
             l1_stale_evictions: AtomicU64::new(0),
             l2_stale_evictions: AtomicU64::new(0),
+            stale_served: AtomicU64::new(0),
         }
     }
 
@@ -617,6 +661,7 @@ impl<B: OsnBackend> CachedOsn<B> {
             label_calls: Cell::new(0),
             retry_charges: Cell::new(0),
             latency_ticks: Cell::new(0),
+            l2_stale_served: Cell::new(0),
             budget: Cell::new(None),
             tick_ceiling: Cell::new(None),
         }
@@ -634,6 +679,7 @@ impl<B: OsnBackend> CachedOsn<B> {
             l1_label_hits: self.l1_label_hits.load(Ordering::Relaxed),
             l1_stale_evictions: self.l1_stale_evictions.load(Ordering::Relaxed),
             l2_stale_evictions: self.l2_stale_evictions.load(Ordering::Relaxed),
+            stale_served: self.stale_served.load(Ordering::Relaxed),
         }
     }
 
@@ -648,6 +694,7 @@ impl<B: OsnBackend> CachedOsn<B> {
         self.l1_label_hits.store(0, Ordering::Relaxed);
         self.l1_stale_evictions.store(0, Ordering::Relaxed);
         self.l2_stale_evictions.store(0, Ordering::Relaxed);
+        self.stale_served.store(0, Ordering::Relaxed);
     }
 
     /// Drops every cached L2 entry (counters are kept; live sessions keep
@@ -715,22 +762,38 @@ impl<B: OsnBackend> CachedOsn<B> {
     /// counted as an L2 stale eviction (under the write lock, so the
     /// count is interleaving-independent: of N concurrent probes of one
     /// stale entry, exactly the first discovers it stale).
-    fn neighbors_shared(&self, u: NodeId, current: Epoch) -> (Arc<[NodeId]>, FetchCost) {
+    ///
+    /// With `degraded` set (serve-stale opted in *and* the endpoint
+    /// currently degraded), a resident stale entry is *answered* instead
+    /// of refetched — returned with the third element `true` so the
+    /// session can count it and skip re-stamping its L1. The entry keeps
+    /// its old stamp: the next probe after recovery still sees it stale
+    /// and refetches.
+    fn neighbors_shared(
+        &self,
+        u: NodeId,
+        current: Epoch,
+        degraded: bool,
+    ) -> (Arc<[NodeId]>, FetchCost, bool) {
         let hit_cost = FetchCost::default();
         let lock = &self.neighbor_shards[self.shard_of(u)];
         if self.unbounded {
-            if let Some(hit) = lock
-                .read()
-                .unwrap_or_else(PoisonError::into_inner)
-                .peek(u.0, current)
-            {
-                return (hit, hit_cost);
+            let shard = lock.read().unwrap_or_else(PoisonError::into_inner);
+            if degraded {
+                if let Some((hit, stale)) = shard.peek_any(u.0, current) {
+                    return (hit, hit_cost, stale);
+                }
+            } else if let Some(hit) = shard.peek(u.0, current) {
+                return (hit, hit_cost, false);
             }
         }
         let mut shard = lock.write().unwrap_or_else(PoisonError::into_inner);
         match shard.get(u.0, current) {
-            Lookup::Hit(hit) => return (hit, hit_cost),
-            Lookup::Stale => {
+            Lookup::Hit(hit) => return (hit, hit_cost, false),
+            Lookup::Stale(v) => {
+                if degraded {
+                    return (v, hit_cost, true);
+                }
                 self.l2_stale_evictions.fetch_add(1, Ordering::Relaxed);
             }
             Lookup::Absent => {}
@@ -745,27 +808,38 @@ impl<B: OsnBackend> CachedOsn<B> {
                 attempts: cost.extra_attempts(),
                 ticks: cost.ticks,
             },
+            false,
         )
     }
 
-    /// Cache-through label fetch (same locking discipline, staleness, and
-    /// extra-charge contract as [`CachedOsn::neighbors_shared`]).
-    fn labels_shared(&self, u: NodeId, current: Epoch) -> (Arc<[LabelId]>, FetchCost) {
+    /// Cache-through label fetch (same locking discipline, staleness,
+    /// degradation, and extra-charge contract as
+    /// [`CachedOsn::neighbors_shared`]).
+    fn labels_shared(
+        &self,
+        u: NodeId,
+        current: Epoch,
+        degraded: bool,
+    ) -> (Arc<[LabelId]>, FetchCost, bool) {
         let hit_cost = FetchCost::default();
         let lock = &self.label_shards[self.shard_of(u)];
         if self.unbounded {
-            if let Some(hit) = lock
-                .read()
-                .unwrap_or_else(PoisonError::into_inner)
-                .peek(u.0, current)
-            {
-                return (hit, hit_cost);
+            let shard = lock.read().unwrap_or_else(PoisonError::into_inner);
+            if degraded {
+                if let Some((hit, stale)) = shard.peek_any(u.0, current) {
+                    return (hit, hit_cost, stale);
+                }
+            } else if let Some(hit) = shard.peek(u.0, current) {
+                return (hit, hit_cost, false);
             }
         }
         let mut shard = lock.write().unwrap_or_else(PoisonError::into_inner);
         match shard.get(u.0, current) {
-            Lookup::Hit(hit) => return (hit, hit_cost),
-            Lookup::Stale => {
+            Lookup::Hit(hit) => return (hit, hit_cost, false),
+            Lookup::Stale(v) => {
+                if degraded {
+                    return (v, hit_cost, true);
+                }
                 self.l2_stale_evictions.fetch_add(1, Ordering::Relaxed);
             }
             Lookup::Absent => {}
@@ -780,6 +854,7 @@ impl<B: OsnBackend> CachedOsn<B> {
                 attempts: cost.extra_attempts(),
                 ticks: cost.ticks,
             },
+            false,
         )
     }
 }
@@ -803,6 +878,7 @@ struct L1Cache<T> {
     mask: usize,
     hits: Cell<u64>,
     stale: Cell<u64>,
+    served_stale: Cell<u64>,
 }
 
 /// One direct-mapped slot.
@@ -826,6 +902,7 @@ impl<T: Clone> L1Cache<T> {
             mask: slots - 1,
             hits: Cell::new(0),
             stale: Cell::new(0),
+            served_stale: Cell::new(0),
         }
     }
 
@@ -838,13 +915,22 @@ impl<T: Clone> L1Cache<T> {
     /// is evicted on the spot (counted once) and answers as a miss — the
     /// caller falls through to the L2, whose refill re-populates this
     /// slot via [`L1Cache::insert`].
+    ///
+    /// With `accept_stale` (serve-stale degradation in effect), a stale
+    /// entry is *served* instead — counted separately, kept resident with
+    /// its old stamp (not re-protected, not re-stamped), so the first
+    /// probe after the endpoint recovers evicts it normally.
     #[inline]
-    fn get(&self, key: u32, current: Epoch) -> Option<Rc<[T]>> {
+    fn get(&self, key: u32, current: Epoch, accept_stale: bool) -> Option<Rc<[T]>> {
         let mut slots = self.slots.borrow_mut();
         let slot = &mut slots[self.slot_of(key)];
         match slot {
             Some(e) if e.key == key => {
                 if e.epoch.is_stale_vs(current) {
+                    if accept_stale {
+                        self.served_stale.set(self.served_stale.get() + 1);
+                        return Some(Rc::clone(&e.value));
+                    }
                     *slot = None;
                     self.stale.set(self.stale.get() + 1);
                     return None;
@@ -912,6 +998,7 @@ pub struct OsnSession<'c, B> {
     label_calls: Cell<u64>,
     retry_charges: Cell<u64>,
     latency_ticks: Cell<u64>,
+    l2_stale_served: Cell<u64>,
     budget: Cell<Option<u64>>,
     tick_ceiling: Cell<Option<u64>>,
 }
@@ -1001,6 +1088,19 @@ impl<'c, B: OsnBackend> OsnSession<'c, B> {
             .unwrap_or(0)
     }
 
+    /// Stale-epoch entries this session served as answers (either cache
+    /// layer) during degraded-endpoint windows under
+    /// [`CacheConfig::serve_stale`]. Always `0` with the knob off or
+    /// against never-degraded backends.
+    pub fn stale_served(&self) -> u64 {
+        self.l2_stale_served.get()
+            + self
+                .l1
+                .as_ref()
+                .map(|l1| l1.neighbors.served_stale.get() + l1.labels.served_stale.get())
+                .unwrap_or(0)
+    }
+
     /// Total charged API calls of both kinds: logical calls plus retry
     /// charges — the realized cost a billed crawler pays.
     pub fn charged_calls(&self) -> u64 {
@@ -1034,14 +1134,23 @@ impl<B: OsnBackend> OsnApi for OsnSession<'_, B> {
         // old as itself — stale verdicts may be conservative, never
         // falsely fresh.
         let current = self.cache.backend.epoch_of(u);
+        // Graceful degradation: with serve-stale opted in and the backend
+        // reporting this endpoint degraded (e.g. an open circuit breaker),
+        // both cache layers may answer from stale-epoch entries instead of
+        // refetching into the outage.
+        let degraded = self.cache.serve_stale
+            && self
+                .cache
+                .backend
+                .endpoint_degraded(EndpointKind::Neighbors);
         if let Some(l1) = &self.l1 {
             // The de-atomized hot path: repeat lookups within this query
             // resolve here without a lock or an `Arc` refcount bump.
-            if let Some(hit) = l1.neighbors.get(u.0, current) {
+            if let Some(hit) = l1.neighbors.get(u.0, current, degraded) {
                 return SliceRef::Local(hit);
             }
         }
-        let (value, extra) = self.cache.neighbors_shared(u, current);
+        let (value, extra, served_stale) = self.cache.neighbors_shared(u, current, degraded);
         if extra.attempts > 0 {
             self.retry_charges
                 .set(self.retry_charges.get() + extra.attempts);
@@ -1049,6 +1158,12 @@ impl<B: OsnBackend> OsnApi for OsnSession<'_, B> {
         if extra.ticks > 0 {
             self.latency_ticks
                 .set(self.latency_ticks.get() + extra.ticks);
+        }
+        if served_stale {
+            // Not refilled into the L1: stamping the stale bytes with
+            // `current` would launder them into fresh ones after recovery.
+            self.l2_stale_served.set(self.l2_stale_served.get() + 1);
+            return SliceRef::Shared(value);
         }
         if let Some(l1) = &self.l1 {
             l1.neighbors.insert(u.0, &value, current);
@@ -1058,13 +1173,18 @@ impl<B: OsnBackend> OsnApi for OsnSession<'_, B> {
 
     fn labels(&self, u: NodeId) -> SliceRef<'_, LabelId> {
         self.label_calls.set(self.label_calls.get() + 1);
-        let current = self.cache.backend.epoch_of(u);
+        // Label reads compare against the *label* epoch, so backends that
+        // split per-endpoint epochs (label-only churn) don't needlessly
+        // invalidate this session's neighbor entries — and vice versa.
+        let current = self.cache.backend.label_epoch_of(u);
+        let degraded =
+            self.cache.serve_stale && self.cache.backend.endpoint_degraded(EndpointKind::Labels);
         if let Some(l1) = &self.l1 {
-            if let Some(hit) = l1.labels.get(u.0, current) {
+            if let Some(hit) = l1.labels.get(u.0, current, degraded) {
                 return SliceRef::Local(hit);
             }
         }
-        let (value, extra) = self.cache.labels_shared(u, current);
+        let (value, extra, served_stale) = self.cache.labels_shared(u, current, degraded);
         if extra.attempts > 0 {
             self.retry_charges
                 .set(self.retry_charges.get() + extra.attempts);
@@ -1072,6 +1192,10 @@ impl<B: OsnBackend> OsnApi for OsnSession<'_, B> {
         if extra.ticks > 0 {
             self.latency_ticks
                 .set(self.latency_ticks.get() + extra.ticks);
+        }
+        if served_stale {
+            self.l2_stale_served.set(self.l2_stale_served.get() + 1);
+            return SliceRef::Shared(value);
         }
         if let Some(l1) = &self.l1 {
             l1.labels.insert(u.0, &value, current);
@@ -1134,6 +1258,15 @@ impl<B> Drop for OsnSession<'_, B> {
                     .l1_stale_evictions
                     .fetch_add(st, Ordering::Relaxed);
             }
+        }
+        let served = self.l2_stale_served.get()
+            + self
+                .l1
+                .as_ref()
+                .map(|l1| l1.neighbors.served_stale.get() + l1.labels.served_stale.get())
+                .unwrap_or(0);
+        if served > 0 {
+            self.cache.stale_served.fetch_add(served, Ordering::Relaxed);
         }
     }
 }
@@ -1605,6 +1738,9 @@ mod tests {
     struct EpochBackend<'g> {
         inner: GraphOsn<'g>,
         epoch: std::sync::atomic::AtomicU32,
+        /// Per-endpoint degradation flags (bit 0 = neighbors, bit 1 =
+        /// labels) for exercising the serve-stale paths.
+        degraded: std::sync::atomic::AtomicU8,
     }
 
     impl<'g> EpochBackend<'g> {
@@ -1612,11 +1748,21 @@ mod tests {
             EpochBackend {
                 inner: GraphOsn::new(g),
                 epoch: std::sync::atomic::AtomicU32::new(epoch),
+                degraded: std::sync::atomic::AtomicU8::new(0),
             }
         }
 
         fn set_epoch(&self, e: u32) {
             self.epoch.store(e, Ordering::SeqCst);
+        }
+
+        fn set_degraded(&self, kind: EndpointKind, on: bool) {
+            let bit = 1u8 << (kind as u8);
+            if on {
+                self.degraded.fetch_or(bit, Ordering::SeqCst);
+            } else {
+                self.degraded.fetch_and(!bit, Ordering::SeqCst);
+            }
         }
     }
 
@@ -1643,6 +1789,10 @@ mod tests {
 
         fn epoch_of(&self, _u: NodeId) -> Epoch {
             Epoch(self.epoch.load(Ordering::SeqCst))
+        }
+
+        fn endpoint_degraded(&self, kind: EndpointKind) -> bool {
+            self.degraded.load(Ordering::SeqCst) & (1 << kind as u8) != 0
         }
     }
 
@@ -1767,5 +1917,114 @@ mod tests {
         assert_eq!(defaults.capacity(), None);
         assert_eq!(defaults.shards(), 64);
         assert_eq!(defaults.l1_slots(), DEFAULT_L1_SLOTS);
+        assert!(!defaults.serve_stale());
+        let degradable = CacheConfig::builder().serve_stale(true).build();
+        assert!(degradable.serve_stale());
+    }
+
+    /// Serve-stale degradation: with the knob on and the backend reporting
+    /// the endpoint degraded, stale entries answer from both layers
+    /// (counted, no refetch) — and the first probe after recovery evicts
+    /// and refetches exactly as without the knob.
+    #[test]
+    fn degraded_endpoint_serves_stale_then_recovers() {
+        let g = path4();
+        let backend = EpochBackend::new(&g, 0);
+        let cfg = CacheConfig::builder().serve_stale(true).build();
+        let cache = CachedOsn::with_config(backend, cfg);
+        let s = cache.session();
+        let fresh: Vec<NodeId> = s.neighbors(NodeId(1)).to_vec();
+        assert_eq!(s.stale_served(), 0);
+
+        cache.backend().set_epoch(1);
+        cache.backend().set_degraded(EndpointKind::Neighbors, true);
+        // L1 entry is stamped 0 (stale) but the endpoint is degraded:
+        // served as-is, twice, kept resident.
+        assert_eq!(&*s.neighbors(NodeId(1)), &fresh[..]);
+        assert_eq!(&*s.neighbors(NodeId(1)), &fresh[..]);
+        assert_eq!(s.stale_served(), 2);
+        assert_eq!(s.l1_stale_evictions(), 0, "served, not evicted");
+        // A node never cached still fetches (degradation only widens what
+        // a cache hit means; absent entries go to the backend as usual).
+        s.neighbors(NodeId(3));
+
+        cache.backend().set_degraded(EndpointKind::Neighbors, false);
+        s.neighbors(NodeId(1)); // recovery: stale evicted + refetched
+        assert_eq!(s.l1_stale_evictions(), 1);
+        drop(s);
+        let st = cache.stats();
+        assert_eq!(st.stale_served, 2);
+        assert_eq!(st.neighbor_misses, 3, "cold, uncached node, recovery");
+        assert_eq!(st.l2_stale_evictions, 1);
+    }
+
+    /// The L2-only degraded paths: the unbounded read-lock `peek_any` and
+    /// the bounded write-lock `Lookup::Stale` serve, with per-endpoint
+    /// degradation respected (labels degraded ≠ neighbors degraded).
+    #[test]
+    fn l2_serves_stale_per_endpoint_without_l1() {
+        let g = path4();
+        let backend = EpochBackend::new(&g, 0);
+        let cfg = CacheConfig::builder()
+            .unbounded()
+            .shards(1)
+            .l1_slots(0)
+            .serve_stale(true)
+            .build();
+        let cache = CachedOsn::with_config(backend, cfg);
+        let s = cache.session();
+        s.labels(NodeId(0));
+        s.neighbors(NodeId(0));
+        cache.backend().set_epoch(5);
+        cache.backend().set_degraded(EndpointKind::Labels, true);
+        s.labels(NodeId(0)); // unbounded peek_any: served stale
+        s.neighbors(NodeId(0)); // neighbors NOT degraded: stale refetch
+        assert_eq!(s.stale_served(), 1);
+        drop(s);
+        let st = cache.stats();
+        assert_eq!(st.stale_served, 1);
+        assert_eq!(st.label_misses, 1, "no refetch while degraded");
+        assert_eq!(st.neighbor_misses, 2, "non-degraded endpoint refetches");
+        assert_eq!(st.l2_stale_evictions, 1);
+
+        // Bounded shards take the write-lock `get` path instead.
+        let backend2 = EpochBackend::new(&g, 0);
+        let cfg2 = CacheConfig::builder()
+            .capacity(8)
+            .shards(1)
+            .l1_slots(0)
+            .serve_stale(true)
+            .build();
+        let cache2 = CachedOsn::with_config(backend2, cfg2);
+        let s2 = cache2.session();
+        s2.labels(NodeId(2));
+        cache2.backend().set_epoch(9);
+        cache2.backend().set_degraded(EndpointKind::Labels, true);
+        s2.labels(NodeId(2));
+        drop(s2);
+        assert_eq!(cache2.stats().stale_served, 1);
+        assert_eq!(cache2.stats().label_misses, 1);
+    }
+
+    /// With the knob off, a degraded backend changes nothing: stale
+    /// entries still evict and refetch, and `stale_served` stays 0 —
+    /// the bit-identity half of the degradation contract.
+    #[test]
+    fn serve_stale_off_ignores_degradation() {
+        let g = path4();
+        let backend = EpochBackend::new(&g, 0);
+        let cache = CachedOsn::new(backend);
+        let s = cache.session();
+        s.neighbors(NodeId(1));
+        cache.backend().set_epoch(1);
+        cache.backend().set_degraded(EndpointKind::Neighbors, true);
+        s.neighbors(NodeId(1));
+        assert_eq!(s.stale_served(), 0);
+        assert_eq!(s.l1_stale_evictions(), 1);
+        drop(s);
+        let st = cache.stats();
+        assert_eq!(st.stale_served, 0);
+        assert_eq!(st.neighbor_misses, 2);
+        assert_eq!(st.l2_stale_evictions, 1);
     }
 }

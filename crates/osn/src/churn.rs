@@ -134,6 +134,17 @@ impl ChurnOsn {
             .config()
     }
 
+    /// Neighbor-list invalidations the per-endpoint epoch split avoided
+    /// so far (one per applied label flip — see
+    /// [`MutableGraph::avoided_neighbor_invalidations`]).
+    pub fn avoided_neighbor_invalidations(&self) -> u64 {
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .graph
+            .avoided_neighbor_invalidations()
+    }
+
     /// Materializes the current snapshot as an immutable
     /// [`LabeledGraph`] — evaluation-side only, for computing *fresh*
     /// ground truth against the churned graph. Estimators must not use
@@ -208,6 +219,17 @@ impl OsnBackend for ChurnOsn {
             .graph
             .epoch_of(u)
     }
+
+    fn label_epoch_of(&self, u: NodeId) -> Epoch {
+        if !self.report_epochs {
+            return Epoch::STATIC;
+        }
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .graph
+            .label_epoch_of(u)
+    }
 }
 
 #[cfg(test)]
@@ -215,7 +237,7 @@ mod tests {
     use super::*;
     use crate::cached::{CachedOsn, GraphOsn};
     use crate::OsnApi;
-    use labelcount_graph::GraphBuilder;
+    use labelcount_graph::{ChurnEvent, GraphBuilder};
 
     fn ring(n: u32) -> LabeledGraph {
         let mut b = GraphBuilder::new(n as usize);
@@ -309,6 +331,42 @@ mod tests {
             64 + cs.l2_stale_evictions,
             "refetches must equal stale discoveries exactly"
         );
+    }
+
+    #[test]
+    fn label_flips_leave_cached_neighbor_lists_alone() {
+        let g = ring(8);
+        // A schedule that never fires: we drive flips by hand through the
+        // backend's own clock-free surface to isolate the epoch split.
+        let osn = ChurnOsn::new(&g, cfg(1, 0, 10));
+        let cache = CachedOsn::new(osn);
+        let s = cache.session();
+        for u in (0..8u32).map(NodeId) {
+            s.neighbors(u);
+            s.labels(u);
+        }
+        drop(s);
+        assert_eq!(cache.stats().misses(), 16);
+
+        // Flip a label on every node — under the old shared epoch this
+        // invalidated every cached neighbor list too.
+        {
+            let mut inner = cache.backend().inner.write().unwrap();
+            for u in (0..8u32).map(NodeId) {
+                assert!(inner.graph.apply(ChurnEvent::FlipLabel(u, LabelId(1))));
+            }
+        }
+        assert_eq!(cache.backend().avoided_neighbor_invalidations(), 8);
+
+        let s = cache.session();
+        for u in (0..8u32).map(NodeId) {
+            s.neighbors(u); // all honest hits: edge epochs untouched
+            s.labels(u); // all stale: label epochs bumped
+        }
+        drop(s);
+        let cs = cache.stats();
+        assert_eq!(cs.l2_stale_evictions, 8, "only label entries invalidate");
+        assert_eq!(cs.misses(), 16 + 8);
     }
 
     #[test]

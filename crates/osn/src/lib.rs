@@ -56,8 +56,11 @@ pub mod linegraph;
 pub mod paged;
 pub mod simulated;
 
-pub use adversarial::{AdversarialOsn, FaultConfig, FaultStats, RetryPolicy};
-pub use api::{FetchCost, OsnApi, OsnApiExt, OsnBackend};
+pub use adversarial::{
+    AdversarialOsn, BreakerConfig, BurstConfig, FaultConfig, FaultStats, ResilienceConfig,
+    RetryPolicy,
+};
+pub use api::{EndpointKind, FetchCost, OsnApi, OsnApiExt, OsnBackend};
 pub use cached::{
     CacheConfig, CacheConfigBuilder, CachedOsn, CallStats, GraphOsn, OsnSession, DEFAULT_L1_SLOTS,
 };

@@ -14,7 +14,9 @@
 
 use std::path::Path;
 
-use labelcount_graph::paged::{PagedError, PagedGraph, PagingStats, PoolConfig};
+use labelcount_graph::paged::{
+    PagedError, PagedGraph, PagingStats, PoolConfig, StorageFaultConfig,
+};
 use labelcount_graph::{LabelId, NodeId};
 
 use crate::api::OsnBackend;
@@ -41,6 +43,21 @@ impl PagedGraphOsn {
     /// configuration.
     pub fn open(path: &Path, cfg: PoolConfig) -> Result<PagedGraphOsn, PagedError> {
         Ok(PagedGraphOsn::new(PagedGraph::open(path, cfg)?))
+    }
+
+    /// Opens like [`PagedGraphOsn::open`], with seeded storage faults
+    /// injected under the page reads (see
+    /// [`labelcount_graph::paged::FaultyStorage`]). Checksums, retries,
+    /// and quarantine keep the *served bytes* identical to a fault-free
+    /// open; the damage shows up only in [`PagingStats`].
+    pub fn open_with_faults(
+        path: &Path,
+        cfg: PoolConfig,
+        faults: StorageFaultConfig,
+    ) -> Result<PagedGraphOsn, PagedError> {
+        Ok(PagedGraphOsn::new(PagedGraph::open_with_faults(
+            path, cfg, faults,
+        )?))
     }
 
     /// The underlying paged graph (pool access, probes).

@@ -288,6 +288,7 @@ pub fn compare_reports(baseline: &Report, current: &Report, max_regression: f64)
         || baseline.scheduling != current.scheduling
         || baseline.paging != current.paging
         || baseline.invalidation != current.invalidation
+        || baseline.faults != current.faults
         || baseline.ground_truth_f != current.ground_truth_f
     {
         findings.push(Finding {
@@ -506,8 +507,9 @@ mod tests {
     use super::*;
     use crate::alloc_track::AllocDelta;
     use crate::report::{
-        AlgoCounters, EngineCounters, InvalidationCounters, Measured, PagingCounters, ScenarioMeta,
-        SchedulerCounters, ServingCounters, WalkCounters, WorkloadCounters, SCHEMA_VERSION,
+        AlgoCounters, EngineCounters, FaultCounters, InvalidationCounters, Measured,
+        PagingCounters, ScenarioMeta, SchedulerCounters, ServingCounters, WalkCounters,
+        WorkloadCounters, SCHEMA_VERSION,
     };
 
     fn report(name: &str, per_step: f64, total_ms: f64) -> Report {
@@ -585,6 +587,14 @@ mod tests {
                 churn_events: 40,
                 l1_stale_evictions: 12,
                 l2_stale_evictions: 90,
+                avoided_invalidations: 6,
+            },
+            faults: FaultCounters {
+                bursts: 5,
+                breaker_opens: 1,
+                stale_served: 3,
+                storage_retries: 0,
+                quota_throttled: 2,
             },
             ground_truth_f: 7,
             measured: Measured {
@@ -760,6 +770,17 @@ mod tests {
         let base = report("ba_smoke", 1.0e6, 100.0);
         let mut cur = report("ba_smoke", 1.0e6, 100.0);
         cur.invalidation.l2_stale_evictions += 5; // e.g. a different churn rate
+        let findings = compare_reports(&base, &cur, 2.5);
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].fatal);
+        assert_eq!(findings[0].metric, "counters");
+    }
+
+    #[test]
+    fn fault_counter_drift_warns_but_does_not_fail() {
+        let base = report("ba_smoke", 1.0e6, 100.0);
+        let mut cur = report("ba_smoke", 1.0e6, 100.0);
+        cur.faults.breaker_opens += 2; // e.g. a different burst level
         let findings = compare_reports(&base, &cur, 2.5);
         assert_eq!(findings.len(), 1);
         assert!(!findings[0].fatal);

@@ -19,8 +19,9 @@ use std::process::ExitCode;
 use labelcount_perf::alloc_track::CountingAlloc;
 use labelcount_perf::compare::{compare_dirs_opts, markdown_summary, min_speedup_findings};
 use labelcount_perf::scenario::{
-    run_scenario, DeadlineTightness, Family, PoolFrames, ScenarioSpec, Tier, DEFAULT_CHURN_RATE,
-    DEFAULT_DEADLINE, DEFAULT_FAULT_RATE, DEFAULT_POOL_FRAMES, DEFAULT_SEED, DEFAULT_TENANT_SKEW,
+    run_scenario, BurstLevel, DeadlineTightness, Family, PoolFrames, ScenarioSpec, Tier,
+    DEFAULT_BURST, DEFAULT_CHURN_RATE, DEFAULT_DEADLINE, DEFAULT_FAULT_RATE, DEFAULT_POOL_FRAMES,
+    DEFAULT_SEED, DEFAULT_TENANT_SKEW,
 };
 
 #[global_allocator]
@@ -59,6 +60,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut deadline = DEFAULT_DEADLINE;
     let mut pool_frames = DEFAULT_POOL_FRAMES;
     let mut churn_rate = DEFAULT_CHURN_RATE;
+    let mut burst = DEFAULT_BURST;
     let mut out = PathBuf::from(".");
 
     let mut i = 0usize;
@@ -111,6 +113,11 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
                     return Err("--churn-rate must be in [0, 1]".into());
                 }
             }
+            "--burst" => {
+                let v = take_value(args, &mut i, "--burst")?;
+                burst = BurstLevel::parse(&v)
+                    .ok_or_else(|| format!("unknown burst level `{v}` (off|short|long)"))?;
+            }
             "--out" => out = PathBuf::from(take_value(args, &mut i, "--out")?),
             "--help" | "-h" => {
                 println!("{}", HELP);
@@ -132,6 +139,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             deadline,
             pool_frames,
             churn_rate,
+            burst,
         };
         eprintln!("running scenario {} ...", spec.name());
         let report = run_scenario(&spec);
@@ -162,8 +170,15 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         );
         let iv = &report.invalidation;
         eprintln!(
-            "  churn (rate {churn_rate}): {} batches / {} events -> {} L1 + {} L2 stale evictions",
+            "  churn (rate {churn_rate}): {} batches / {} events -> {} L1 + {} L2 stale evictions, {} avoided",
             iv.churn_batches, iv.churn_events, iv.l1_stale_evictions, iv.l2_stale_evictions,
+            iv.avoided_invalidations,
+        );
+        let ft = &report.faults;
+        eprintln!(
+            "  faults (burst {}): {} bursts -> {} breaker opens, {} stale served, {} storage retries, {} throttled",
+            burst.name(), ft.bursts, ft.breaker_opens, ft.stale_served, ft.storage_retries,
+            ft.quota_throttled,
         );
         eprintln!(
             "  {:>10} nodes {:>10} edges | walk {:>12.0} steps/s per-step, {:>12.0} batched, {:>11.0} line | gt {:.1} ms serial / {:.1} ms parallel | {:.0} ms total -> {}",
@@ -275,7 +290,7 @@ USAGE:
                   [--seed N] [--fault-rate F] [--tenant-skew S]
                   [--deadline inf|p95|p50]
                   [--pool-frames tight|comfortable|unbounded|N]
-                  [--churn-rate R] [--out DIR]
+                  [--churn-rate R] [--burst off|short|long] [--out DIR]
   labelcount-perf compare --baseline DIR --current DIR [--max-regression X]
                   [--match-family] [--min-parallel-speedup X]
                   [--markdown-summary FILE]
@@ -295,7 +310,9 @@ budget — and the nightly matrix sweeps it). --churn-rate sets the
 dynamic-graph phase's seeded churn rate (default 0.05; the rate moves
 only counters.invalidation — at 0 the churned stack is asserted
 bit-identical to the static engine pass — and the nightly matrix sweeps
-it). Compare mode exits 1
+it). --burst sets the faults phase's outage-burst level (default short;
+the level moves only counters.faults — `off` skips the phase and zeroes
+the section — and the nightly matrix sweeps it). Compare mode exits 1
 if any measured metric regressed more than the threshold (default 2.5x)
 against the baseline directory; --match-family additionally compares
 scenarios without a same-name baseline against a same-family baseline of

@@ -56,7 +56,16 @@ use crate::json::{Json, JsonError};
 /// batches and events applied by the seeded churn schedule, and L1/L2
 /// cache entries evicted as stale by epoch-stamp mismatch — all zero at
 /// churn rate 0, where the stack is bit-identical to the static one).
-pub const SCHEMA_VERSION: u64 = 8;
+///
+/// v9 added the `counters.faults` section (correlated outage bursts and
+/// the resilience layer: burst windows observed, circuit-breaker trips,
+/// stale entries served during degraded windows, storage read retries in
+/// the paged buffer pool, and requests throttled on the shared tenant
+/// rate limit — all zero with the burst knob off, where the stack is
+/// bit-identical to the fault-free one) and
+/// `counters.invalidation.avoided_invalidations` (neighbor-list
+/// invalidations the split edge/label epochs avoided on label flips).
+pub const SCHEMA_VERSION: u64 = 9;
 
 /// Scenario identity and workload parameters.
 #[derive(Clone, Debug, PartialEq)]
@@ -244,6 +253,29 @@ pub struct InvalidationCounters {
     /// Shared L2 entries discarded because their fill-time epoch went
     /// stale (counted once, by the first prober, under the shard lock).
     pub l2_stale_evictions: u64,
+    /// Neighbor-list invalidations avoided by the split edge/label
+    /// epochs: label flips that bumped only the label epoch, leaving
+    /// cached neighbor lists warm.
+    pub avoided_invalidations: u64,
+}
+
+/// Deterministic counters of the fault/resilience phase: the scenario's
+/// workload replayed under the configured outage-burst process with the
+/// reactive resilience layer on. All zero with the burst knob off, where
+/// the scenario must be bit-identical to the fault-free stack.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultCounters {
+    /// Distinct outage bursts the queries' fetches ran into.
+    pub bursts: u64,
+    /// Circuit-breaker trips (closed → open, including re-opens).
+    pub breaker_opens: u64,
+    /// Stale cache entries served during degraded windows.
+    pub stale_served: u64,
+    /// Storage read attempts retried by the paged buffer pool (in-RAM
+    /// families never read pages, so this stays zero there).
+    pub storage_retries: u64,
+    /// Requests throttled on the shared per-tenant rate limit.
+    pub quota_throttled: u64,
 }
 
 /// One algorithm's deterministic results on a scenario.
@@ -349,6 +381,9 @@ pub struct Report {
     /// Deterministic churn/invalidation counters (dynamic graphs; all
     /// zero at churn rate 0).
     pub invalidation: InvalidationCounters,
+    /// Deterministic fault/resilience counters (outage bursts, breaker,
+    /// degradation; all zero with the burst knob off).
+    pub faults: FaultCounters,
     /// Exact target-edge count `F`.
     pub ground_truth_f: u64,
     /// Machine-dependent measurements.
@@ -560,6 +595,26 @@ impl Report {
                                 "l2_stale_evictions",
                                 Json::Num(self.invalidation.l2_stale_evictions as f64),
                             ),
+                            (
+                                "avoided_invalidations",
+                                Json::Num(self.invalidation.avoided_invalidations as f64),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "faults",
+                        Json::obj(vec![
+                            ("bursts", Json::Num(self.faults.bursts as f64)),
+                            ("breaker_opens", Json::Num(self.faults.breaker_opens as f64)),
+                            ("stale_served", Json::Num(self.faults.stale_served as f64)),
+                            (
+                                "storage_retries",
+                                Json::Num(self.faults.storage_retries as f64),
+                            ),
+                            (
+                                "quota_throttled",
+                                Json::Num(self.faults.quota_throttled as f64),
+                            ),
                         ]),
                     ),
                     ("ground_truth_f", Json::Num(self.ground_truth_f as f64)),
@@ -750,6 +805,17 @@ impl Report {
             churn_events: field_u64(ivj, "churn_events")?,
             l1_stale_evictions: field_u64(ivj, "l1_stale_evictions")?,
             l2_stale_evictions: field_u64(ivj, "l2_stale_evictions")?,
+            avoided_invalidations: field_u64(ivj, "avoided_invalidations")?,
+        };
+        let ftj = counters
+            .get("faults")
+            .ok_or_else(|| miss("counters.faults"))?;
+        let faults = FaultCounters {
+            bursts: field_u64(ftj, "bursts")?,
+            breaker_opens: field_u64(ftj, "breaker_opens")?,
+            stale_served: field_u64(ftj, "stale_served")?,
+            storage_retries: field_u64(ftj, "storage_retries")?,
+            quota_throttled: field_u64(ftj, "quota_throttled")?,
         };
         let ground_truth_f = field_u64(counters, "ground_truth_f")?;
         let mj = v.get("measured").ok_or_else(|| miss("measured"))?;
@@ -790,6 +856,7 @@ impl Report {
             scheduling,
             paging,
             invalidation,
+            faults,
             ground_truth_f,
             measured,
         })
@@ -928,6 +995,14 @@ mod tests {
                 churn_events: 96,
                 l1_stale_evictions: 40,
                 l2_stale_evictions: 310,
+                avoided_invalidations: 22,
+            },
+            faults: FaultCounters {
+                bursts: 14,
+                breaker_opens: 3,
+                stale_served: 9,
+                storage_retries: 2,
+                quota_throttled: 5,
             },
             ground_truth_f: 6750,
             measured: Measured {
@@ -973,7 +1048,7 @@ mod tests {
         let text = r
             .to_json()
             .to_pretty()
-            .replace("\"schema_version\": 8", "\"schema_version\": 999");
+            .replace("\"schema_version\": 9", "\"schema_version\": 999");
         match Report::from_json_text(&text) {
             Err(ReportError::Schema(msg)) => assert!(msg.contains("999"), "{msg}"),
             other => panic!("expected schema error, got {other:?}"),
@@ -982,7 +1057,7 @@ mod tests {
 
     #[test]
     fn missing_fields_are_schema_errors() {
-        let text = "{\"schema_version\": 8}";
+        let text = "{\"schema_version\": 9}";
         assert!(matches!(
             Report::from_json_text(text),
             Err(ReportError::Schema(_))

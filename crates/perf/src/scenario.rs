@@ -20,15 +20,17 @@ use labelcount_graph::components::largest_component;
 use labelcount_graph::gen::{barabasi_albert, erdos_renyi_gnm};
 use labelcount_graph::labels::{assign_binary_labels, with_labels};
 use labelcount_graph::motifs::{count_labeled_triangles, count_labeled_wedges, TargetTriple};
-use labelcount_graph::paged::{EvictionPolicy, PagedCsrWriter, PagingStats, PoolConfig};
+use labelcount_graph::paged::{
+    EvictionPolicy, PagedCsrWriter, PagingStats, PoolConfig, StorageFaultConfig,
+};
 use labelcount_graph::{GroundTruth, LabeledGraph, NodeId, TargetLabel};
 use labelcount_osn::{
-    CacheConfig, ChurnOsn, FaultConfig, LineGraphView, OsnApi, OsnApiExt, PagedGraphOsn,
-    RetryPolicy, SimulatedOsn,
+    AdversarialOsn, BreakerConfig, BurstConfig, CacheConfig, CachedOsn, ChurnOsn, FaultConfig,
+    LineGraphView, OsnApi, OsnApiExt, PagedGraphOsn, ResilienceConfig, RetryPolicy, SimulatedOsn,
 };
 use labelcount_serve::{
-    AdmissionConfig, GraphKey, QuotaPolicy, SchedulePolicy, ServiceReport, ServiceStatus,
-    ServiceWorkload, ShardedService,
+    AdmissionConfig, GraphKey, QuotaPolicy, RateLimit, RateLimitPolicy, SchedulePolicy,
+    ServiceReport, ServiceStatus, ServiceWorkload, ShardedService,
 };
 use labelcount_stats::{nrmse, percentile, replication_seed};
 use labelcount_walk::mixing::default_burn_in;
@@ -38,8 +40,8 @@ use rand::SeedableRng;
 
 use crate::alloc_track;
 use crate::report::{
-    AlgoCounters, EngineCounters, InvalidationCounters, Measured, PagingCounters, Report,
-    ScenarioMeta, SchedulerCounters, ServingCounters, WalkCounters, WorkloadCounters,
+    AlgoCounters, EngineCounters, FaultCounters, InvalidationCounters, Measured, PagingCounters,
+    Report, ScenarioMeta, SchedulerCounters, ServingCounters, WalkCounters, WorkloadCounters,
     SCHEMA_VERSION,
 };
 
@@ -275,6 +277,50 @@ impl PoolFrames {
     }
 }
 
+/// Outage-burst level of the faults phase — the `--burst` axis the
+/// nightly matrix sweeps. `off` disables the phase entirely (every
+/// `counters.faults` field is zero and the scenario is bit-identical to a
+/// stack without the burst process); `short`/`long` pick the
+/// [`BurstConfig`] presets of the adversarial backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BurstLevel {
+    /// No burst process; the faults phase is skipped.
+    Off,
+    /// Short, frequent outages ([`BurstConfig::short`]). The default, so
+    /// every committed baseline exercises the breaker and degradation
+    /// paths.
+    Short,
+    /// Long, rarer outages ([`BurstConfig::long`]).
+    Long,
+}
+
+impl BurstLevel {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BurstLevel::Off => "off",
+            BurstLevel::Short => "short",
+            BurstLevel::Long => "long",
+        }
+    }
+
+    /// Parses a burst level name.
+    pub fn parse(s: &str) -> Option<BurstLevel> {
+        [BurstLevel::Off, BurstLevel::Short, BurstLevel::Long]
+            .into_iter()
+            .find(|b| b.name() == s)
+    }
+
+    /// The burst process this level injects; `None` = off.
+    pub fn config(self) -> Option<BurstConfig> {
+        match self {
+            BurstLevel::Off => None,
+            BurstLevel::Short => Some(BurstConfig::short()),
+            BurstLevel::Long => Some(BurstConfig::long()),
+        }
+    }
+}
+
 /// One cell of the matrix plus its run parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct ScenarioSpec {
@@ -313,6 +359,12 @@ pub struct ScenarioSpec {
     /// `0.0` the churned stack must be bit-identical to the static engine
     /// pass, which the runner asserts. The nightly matrix sweeps it.
     pub churn_rate: f64,
+    /// Outage-burst level of the faults phase. Part of the deterministic
+    /// `counters.faults` section (a different level changes burst,
+    /// breaker, and degradation counts — warn-only drift). At
+    /// [`BurstLevel::Off`] the phase is skipped and every faults counter
+    /// is zero. The nightly matrix sweeps it.
+    pub burst: BurstLevel,
 }
 
 impl ScenarioSpec {
@@ -328,6 +380,7 @@ impl ScenarioSpec {
             deadline: DEFAULT_DEADLINE,
             pool_frames: DEFAULT_POOL_FRAMES,
             churn_rate: DEFAULT_CHURN_RATE,
+            burst: DEFAULT_BURST,
         }
     }
 }
@@ -361,6 +414,13 @@ pub const DEFAULT_POOL_FRAMES: PoolFrames = PoolFrames::Tight;
 /// practice at smoke scale.
 pub const DEFAULT_CHURN_RATE: f64 = 0.05;
 
+/// Default outage-burst level of the faults phase: short bursts, hostile
+/// enough that every committed baseline observes bursts, trips the
+/// breaker, serves stale entries, and throttles the shared tenant rate
+/// limit — while surviving queries stay bit-identical across shard and
+/// worker counts.
+pub const DEFAULT_BURST: BurstLevel = BurstLevel::Short;
+
 /// Internal stream ids for [`replication_seed`] derivation, so no two
 /// measurement phases share an RNG stream.
 mod stream {
@@ -376,6 +436,7 @@ mod stream {
     pub const SERVING: u64 = 970;
     pub const SCHEDULER: u64 = 980;
     pub const CHURN: u64 = 990;
+    pub const FAULTS: u64 = 995;
 }
 
 impl ScenarioSpec {
@@ -892,6 +953,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
                     ServiceStatus::DeadlineAnytime { anytime, .. } => anytime.map(f64::to_bits),
                     ServiceStatus::Shed { anytime, .. } => anytime.map(f64::to_bits),
                     ServiceStatus::QuotaExhausted { anytime } => anytime.map(f64::to_bits),
+                    ServiceStatus::Throttled { anytime } => anytime.map(f64::to_bits),
                     ServiceStatus::UnknownGraph => None,
                 };
                 (o.id, bits)
@@ -1031,7 +1093,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
     // repeated — thread interleaving would make pool stats
     // non-deterministic without proving anything the in-RAM parallel
     // asserts haven't.
-    let (paging, page_fault_ns) = if spec.family == Family::LoadedPaged {
+    let (paging, page_fault_ns, storage_retries) = if spec.family == Family::LoadedPaged {
         let pool_cfg = match spec.pool_frames.frames() {
             None => PoolConfig::unbounded(),
             Some(k) => PoolConfig::bounded(k, EvictionPolicy::Lru),
@@ -1177,10 +1239,42 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
         };
         drop(probe);
 
+        // Storage-fault probe (burst knob on): the same stride walk over a
+        // store injecting seeded read errors and torn pages. The pool's
+        // bounded retry + checksum recovery must hand back the identical
+        // bytes — only `storage_retries` records that the reads fought for
+        // them.
+        let storage_retries = if spec.burst.config().is_some() {
+            let faulty = PagedGraphOsn::open_with_faults(
+                &path,
+                PoolConfig::bounded(1, EvictionPolicy::Lru),
+                StorageFaultConfig {
+                    read_error_rate: 0.25,
+                    torn_page_rate: 0.05,
+                    ..StorageFaultConfig::clean(replication_seed(spec.seed, stream::FAULTS))
+                },
+            )
+            .expect("reopen the paged CSR file with storage faults");
+            let stride = (n / 256).max(1);
+            let mut faulty_degrees = 0u64;
+            let mut ram_degrees = 0u64;
+            for u in (0..n).step_by(stride) {
+                faulty_degrees += faulty.graph().neighbors(NodeId(u as u32)).len() as u64;
+                ram_degrees += g.neighbors(NodeId(u as u32)).len() as u64;
+            }
+            assert_eq!(
+                faulty_degrees, ram_degrees,
+                "storage faults may cost retries, never change bytes"
+            );
+            faulty.paging_stats().storage_retries
+        } else {
+            0
+        };
+
         let _ = std::fs::remove_file(&path);
-        (paging, page_fault_ns)
+        (paging, page_fault_ns, storage_retries)
     } else {
-        (PagingCounters::default(), 0.0)
+        (PagingCounters::default(), 0.0, 0)
     };
 
     // --- Dynamic graphs: the engine's replicated load re-run over a
@@ -1256,6 +1350,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
             churn_events: churn.events_applied(),
             l1_stale_evictions: stats.l1_stale_evictions,
             l2_stale_evictions: stats.l2_stale_evictions,
+            avoided_invalidations: engine_churn.backend().avoided_neighbor_invalidations(),
         };
         if spec.churn_rate == 0.0 {
             assert_eq!(
@@ -1265,6 +1360,134 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
             );
         }
         invalidation
+    };
+
+    // --- Faults: the resilience layer under correlated outage bursts.
+    // The multi-tenant stream replays through the virtual-time scheduler
+    // with the burst process raging (hard outages on the loop's shared
+    // clock), the circuit breaker + retry budget + stale-degradation
+    // reactive stack on, and a shared per-tenant token-bucket rate limit
+    // drained by every query of a tenant. One single-shard single-worker
+    // pass provides the deterministic counters; a shard-fleet pass across
+    // all cores must match it bit for bit — outages move *when* queries
+    // pay, never what surviving queries answer. A separate degradation
+    // probe (a session whose warm entries go stale across an epoch bump,
+    // re-probed under a breaker-opening storm) pins `stale_served`
+    // structurally rather than hoping the stream aligns bursts with churn.
+    let faults = match spec.burst.config() {
+        None => FaultCounters::default(),
+        Some(burst) => {
+            let faults_seed = replication_seed(spec.seed, stream::FAULTS);
+            let resilience = ResilienceConfig {
+                breaker: Some(BreakerConfig::default()),
+                retry_budget: Some(256),
+                serve_stale: true,
+            };
+            // Capacity covers two fully-budgeted requests per tenant
+            // (mirroring `mixed_multi_tenant`'s hard budget); the refill
+            // interval outlasts the stream, so a tenant's third
+            // concurrent request throttles on the shared bucket.
+            let burst_rate_limit = RateLimit {
+                capacity: 2 * 6 * (budget as u64 + burn_in as u64),
+                refill_interval_ticks: 1_000_000,
+            };
+            let burst_wl = || {
+                ServiceWorkload::mixed_multi_tenant(
+                    serving_requests,
+                    &serving_keys,
+                    SERVING_TENANTS,
+                    spec.tenant_skew,
+                    target,
+                    budget,
+                    faults_seed,
+                    cfg,
+                )
+                .builder()
+                .faults(
+                    FaultConfig {
+                        base_latency_ticks: 1,
+                        latency_jitter_ticks: 3,
+                        ..FaultConfig::clean(faults_seed)
+                    }
+                    .with_burst(burst),
+                    RetryPolicy::default(),
+                )
+                .rate_limits(RateLimitPolicy::uniform(burst_rate_limit))
+                .resilience(resilience)
+                .schedule(SchedulePolicy::default().with_interarrival(6))
+                .build()
+            };
+            let run_burst = |shards: usize, workers: usize| {
+                let mut svc = ShardedService::new(shards, faults_seed);
+                for &k in &serving_keys {
+                    svc.register(k, &g);
+                }
+                svc.run_scheduled(burst_wl(), workers)
+            };
+            let burst_serial = run_burst(1, 1);
+            let burst_fleet = run_burst(SERVING_GRAPHS as usize, threads);
+            assert_eq!(
+                service_bits(&burst_serial),
+                service_bits(&burst_fleet),
+                "burst-time fleet run must be bit-identical to the single-shard pass"
+            );
+            let mut bursts = 0u64;
+            let mut breaker_opens = 0u64;
+            let mut stale_served = 0u64;
+            for (_, q) in burst_serial.completed() {
+                bursts += q.bursts;
+                breaker_opens += q.breaker_opens;
+                stale_served += q.stale_served;
+            }
+            let quota_throttled = burst_serial.serving.quota_throttled;
+
+            // Degradation probe: warm a session, bump the churn epochs,
+            // then re-probe under a permanent storm (every window down)
+            // so the breaker opens and stays open — stale entries must
+            // answer from the cache instead of refetching.
+            let storm = BurstConfig {
+                window_ticks: 32,
+                start_rate: 1.0,
+                mean_burst_windows: 8.0,
+                max_burst_windows: 16,
+                outage_fault_rate: 1.0,
+            };
+            let churned = ChurnOsn::new(&g, ChurnConfig::from_rate(faults_seed, 0.5, n, 1));
+            let adv = AdversarialOsn::with_resilience(
+                &churned,
+                FaultConfig {
+                    base_latency_ticks: 1,
+                    ..FaultConfig::clean(faults_seed)
+                }
+                .with_burst(storm),
+                RetryPolicy::default(),
+                resilience,
+            );
+            let cache =
+                CachedOsn::with_config(adv, CacheConfig::builder().serve_stale(true).build());
+            let session = cache.session();
+            let probe_nodes = n.min(256) as u32;
+            for u in 0..probe_nodes {
+                std::hint::black_box(session.neighbors(NodeId(u)).len());
+            }
+            churned.advance_to(1);
+            for u in 0..probe_nodes {
+                std::hint::black_box(session.neighbors(NodeId(u)).len());
+            }
+            stale_served += session.stale_served();
+            drop(session);
+            let storm_stats = cache.backend().fault_stats();
+            bursts += storm_stats.bursts;
+            breaker_opens += storm_stats.breaker_opens;
+
+            FaultCounters {
+                bursts,
+                breaker_opens,
+                stale_served,
+                storage_retries,
+                quota_throttled,
+            }
+        }
     };
 
     let alloc = alloc_track::delta(alloc_before, alloc_track::snapshot());
@@ -1296,6 +1519,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Report {
         scheduling,
         paging,
         invalidation,
+        faults,
         ground_truth_f: gt.f as u64,
         measured: Measured {
             total_ms: ms(scenario_start),
@@ -1368,6 +1592,13 @@ mod tests {
         assert_eq!(spec.name(), "er_smoke");
         assert_eq!(spec.deadline, DEFAULT_DEADLINE);
         assert_eq!(spec.pool_frames, DEFAULT_POOL_FRAMES);
+        for b in [BurstLevel::Off, BurstLevel::Short, BurstLevel::Long] {
+            assert_eq!(BurstLevel::parse(b.name()), Some(b));
+        }
+        assert_eq!(BurstLevel::parse("storm"), None);
+        assert!(BurstLevel::Off.config().is_none());
+        assert!(BurstLevel::Short.config().is_some());
+        assert_eq!(spec.burst, DEFAULT_BURST);
     }
 
     #[test]

@@ -144,6 +144,70 @@ impl QuotaPolicy {
     }
 }
 
+/// A shared per-tenant token bucket limiting the *rate* of charged
+/// neighbor calls.
+///
+/// Where [`QuotaPolicy`] is a hard budget for the whole run, a rate limit
+/// is renewable: the bucket holds up to `capacity` call-tokens, refills
+/// one token per [`RateLimit::refill_interval_ticks`] elapsed *virtual*
+/// ticks, and is drained by the same reservation the quota machinery
+/// charges — every concurrent query of a tenant drinks from the one
+/// bucket. An arrival finding the bucket empty is rejected with
+/// [`AdmissionDecision::Throttled`]; a non-empty bucket additionally caps
+/// the effective session budget at the tokens available.
+///
+/// Refill is driven by the arrival ticks handed to
+/// [`AdmissionState::decide_scheduled`]; the arrival-count model
+/// ([`AdmissionState::decide`]) has no clock, so there the bucket never
+/// refills and acts as a plain shared cap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Maximum tokens the bucket holds (and its initial fill).
+    pub capacity: u64,
+    /// Virtual ticks per regained token. `0` disables refill.
+    pub refill_interval_ticks: u64,
+}
+
+/// Per-tenant [`RateLimit`]s, mirroring [`QuotaPolicy`]'s shape.
+#[derive(Clone, Debug, Default)]
+pub struct RateLimitPolicy {
+    /// Limit applied to tenants without an explicit override.
+    pub default_limit: Option<RateLimit>,
+    /// Per-tenant overrides, looked up before the default.
+    pub overrides: Vec<(TenantId, RateLimit)>,
+}
+
+impl RateLimitPolicy {
+    /// No rate limiting for any tenant.
+    pub fn unlimited() -> RateLimitPolicy {
+        RateLimitPolicy::default()
+    }
+
+    /// The same limit for every tenant.
+    pub fn uniform(limit: RateLimit) -> RateLimitPolicy {
+        RateLimitPolicy {
+            default_limit: Some(limit),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Adds (or replaces) a per-tenant override.
+    pub fn with_override(mut self, tenant: TenantId, limit: RateLimit) -> RateLimitPolicy {
+        self.overrides.retain(|(t, _)| *t != tenant);
+        self.overrides.push((tenant, limit));
+        self
+    }
+
+    /// The limit applying to `tenant`, if any.
+    pub fn limit_for(&self, tenant: TenantId) -> Option<RateLimit> {
+        self.overrides
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|(_, l)| *l)
+            .or(self.default_limit)
+    }
+}
+
 /// What the admission pass decided for one request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AdmissionDecision {
@@ -160,6 +224,10 @@ pub enum AdmissionDecision {
     },
     /// Rejected because the tenant's quota cannot cover the request.
     QuotaExhausted,
+    /// Rejected because the tenant's shared token bucket is empty right
+    /// now — unlike [`AdmissionDecision::QuotaExhausted`] this is
+    /// transient: the bucket refills with virtual time.
+    Throttled,
 }
 
 /// Mutable state of the admission pass: modelled per-queue backlogs and
@@ -175,6 +243,18 @@ pub struct AdmissionState {
     /// Per-tenant remaining quota, populated lazily from the policy.
     remaining: Vec<(TenantId, u64)>,
     policy: QuotaPolicy,
+    /// Per-tenant token buckets, populated lazily from the rate policy.
+    buckets: Vec<(TenantId, TokenBucket)>,
+    rate_policy: RateLimitPolicy,
+}
+
+/// Live state of one tenant's token bucket.
+#[derive(Clone, Copy, Debug)]
+struct TokenBucket {
+    tokens: u64,
+    /// Virtual tick up to which refill has been credited; advances in
+    /// whole intervals so the fractional remainder carries over.
+    refilled_to_tick: u64,
 }
 
 /// One modelled submission queue.
@@ -192,6 +272,18 @@ struct QueueModel {
 impl AdmissionState {
     /// Fresh state for `queues` modelled queues.
     pub fn new(queues: usize, config: AdmissionConfig, policy: QuotaPolicy, seed: u64) -> Self {
+        Self::with_rate_limits(queues, config, policy, RateLimitPolicy::unlimited(), seed)
+    }
+
+    /// [`AdmissionState::new`] with per-tenant [`RateLimitPolicy`] on top
+    /// of the quota policy.
+    pub fn with_rate_limits(
+        queues: usize,
+        config: AdmissionConfig,
+        policy: QuotaPolicy,
+        rate_policy: RateLimitPolicy,
+        seed: u64,
+    ) -> Self {
         config.validate();
         AdmissionState {
             config,
@@ -199,6 +291,8 @@ impl AdmissionState {
             queues: vec![QueueModel::default(); queues],
             remaining: Vec::new(),
             policy,
+            buckets: Vec::new(),
+            rate_policy,
         }
     }
 
@@ -231,8 +325,11 @@ impl AdmissionState {
         queue: usize,
         hard_budget: Option<u64>,
     ) -> AdmissionDecision {
-        // --- quota ---
-        let effective = match self.quota_effective(tenant, hard_budget) {
+        // --- quota, then token bucket (no clock here: tick 0) ---
+        let effective = match self
+            .quota_effective(tenant, hard_budget)
+            .and_then(|e| self.rate_effective(tenant, e, 0))
+        {
             Ok(e) => e,
             Err(rejected) => return rejected,
         };
@@ -276,7 +373,10 @@ impl AdmissionState {
         hard_budget: Option<u64>,
         arrival_tick: u64,
     ) -> AdmissionDecision {
-        let effective = match self.quota_effective(tenant, hard_budget) {
+        let effective = match self
+            .quota_effective(tenant, hard_budget)
+            .and_then(|e| self.rate_effective(tenant, e, arrival_tick))
+        {
             Ok(e) => e,
             Err(rejected) => return rejected,
         };
@@ -332,6 +432,53 @@ impl AdmissionState {
         }
     }
 
+    /// The token-bucket gate, applied after the quota gate: refills the
+    /// tenant's bucket to `now_tick`, rejects on empty, and otherwise caps
+    /// the effective budget at the tokens available (so the reservation in
+    /// [`AdmissionState::admit`] can never overdraw the bucket).
+    fn rate_effective(
+        &mut self,
+        tenant: TenantId,
+        effective: Option<u64>,
+        now_tick: u64,
+    ) -> Result<Option<u64>, AdmissionDecision> {
+        let Some(limit) = self.rate_policy.limit_for(tenant) else {
+            return Ok(effective);
+        };
+        let bucket = match self.buckets.iter_mut().find(|(t, _)| *t == tenant) {
+            Some((_, b)) => b,
+            None => {
+                // First sighting: a full bucket, refill clock aligned to
+                // now so pre-arrival idleness banks nothing.
+                self.buckets.push((
+                    tenant,
+                    TokenBucket {
+                        tokens: limit.capacity,
+                        refilled_to_tick: now_tick,
+                    },
+                ));
+                &mut self.buckets.last_mut().expect("just pushed").1
+            }
+        };
+        let elapsed = now_tick.saturating_sub(bucket.refilled_to_tick);
+        if let Some(gained) = elapsed.checked_div(limit.refill_interval_ticks) {
+            bucket.tokens = bucket.tokens.saturating_add(gained).min(limit.capacity);
+            bucket.refilled_to_tick = bucket
+                .refilled_to_tick
+                .saturating_add(gained.saturating_mul(limit.refill_interval_ticks));
+            if bucket.tokens == limit.capacity {
+                // A full bucket has nothing left to refill: realign so
+                // idle periods are not banked as future tokens.
+                bucket.refilled_to_tick = now_tick;
+            }
+        }
+        if bucket.tokens == 0 {
+            return Err(AdmissionDecision::Throttled);
+        }
+        let tokens = bucket.tokens;
+        Ok(Some(effective.map_or(tokens, |e| e.min(tokens))))
+    }
+
     /// The shedding gates against an already-drained queue: modelled wait
     /// (if provided), hard capacity, then the probabilistic band.
     fn queue_shed(
@@ -378,10 +525,27 @@ impl AdmissionState {
             if self.policy.quota_for(tenant).is_some() {
                 self.charge(tenant, b);
             }
+            if self.rate_policy.limit_for(tenant).is_some() {
+                if let Some((_, bucket)) = self.buckets.iter_mut().find(|(t, _)| *t == tenant) {
+                    bucket.tokens = bucket.tokens.saturating_sub(b);
+                }
+            }
         }
         AdmissionDecision::Admitted {
             effective_budget: effective,
         }
+    }
+
+    /// Tokens currently in `tenant`'s bucket (`None` when unlimited;
+    /// before the first arrival the bucket reads full).
+    pub fn rate_tokens_remaining(&self, tenant: TenantId) -> Option<u64> {
+        let limit = self.rate_policy.limit_for(tenant)?;
+        Some(
+            self.buckets
+                .iter()
+                .find(|(t, _)| *t == tenant)
+                .map_or(limit.capacity, |(_, b)| b.tokens),
+        )
     }
 
     /// Remaining quota for `tenant` (`None` when unmetered).
@@ -435,7 +599,7 @@ mod tests {
                     assert!(backlog <= 4);
                     shed += 1;
                 }
-                AdmissionDecision::QuotaExhausted => unreachable!(),
+                AdmissionDecision::QuotaExhausted | AdmissionDecision::Throttled => unreachable!(),
             }
         }
         assert!(shed > 0, "tight queue never shed");
@@ -613,6 +777,118 @@ mod tests {
             st.queues[0].backlog, 2,
             "5 ticks after a fresh enqueue drains nothing"
         );
+    }
+
+    #[test]
+    fn token_bucket_throttles_and_refills_on_virtual_time() {
+        // 10-call bucket, one token back per 5 ticks.
+        let limit = RateLimit {
+            capacity: 10,
+            refill_interval_ticks: 5,
+        };
+        let mut st = AdmissionState::with_rate_limits(
+            1,
+            AdmissionConfig::default(),
+            QuotaPolicy::unmetered(),
+            RateLimitPolicy::uniform(limit),
+            7,
+        );
+        // A budgeted query reserves 6 of the 10 tokens.
+        assert_eq!(
+            st.decide_scheduled(0, T0, 0, Some(6), 0),
+            AdmissionDecision::Admitted {
+                effective_budget: Some(6)
+            }
+        );
+        assert_eq!(st.rate_tokens_remaining(T0), Some(4));
+        // The next wants 6 but only 4 remain: capped, not rejected —
+        // concurrent queries of a tenant share the one bucket.
+        assert_eq!(
+            st.decide_scheduled(1, T0, 0, Some(6), 0),
+            AdmissionDecision::Admitted {
+                effective_budget: Some(4)
+            }
+        );
+        // Empty bucket, no time elapsed: throttled (transiently).
+        assert_eq!(
+            st.decide_scheduled(2, T0, 0, Some(1), 0),
+            AdmissionDecision::Throttled
+        );
+        // Another tenant has its own bucket.
+        assert_eq!(
+            st.decide_scheduled(3, T1, 0, Some(2), 0),
+            AdmissionDecision::Admitted {
+                effective_budget: Some(2)
+            }
+        );
+        // 12 ticks later two tokens are back; the unbudgeted query
+        // inherits exactly those two.
+        assert_eq!(
+            st.decide_scheduled(4, T0, 0, None, 12),
+            AdmissionDecision::Admitted {
+                effective_budget: Some(2)
+            }
+        );
+        // The 2-tick remainder carried: 3 more ticks complete interval 3.
+        assert_eq!(
+            st.decide_scheduled(5, T0, 0, Some(1), 15),
+            AdmissionDecision::Admitted {
+                effective_budget: Some(1)
+            }
+        );
+    }
+
+    #[test]
+    fn token_bucket_composes_with_quota_and_banks_no_idle_credit() {
+        let limit = RateLimit {
+            capacity: 100,
+            refill_interval_ticks: 1,
+        };
+        let mut st = AdmissionState::with_rate_limits(
+            1,
+            AdmissionConfig::default(),
+            QuotaPolicy::uniform(30),
+            RateLimitPolicy::uniform(limit),
+            7,
+        );
+        // Quota (30) binds below the bucket (100).
+        assert_eq!(
+            st.decide_scheduled(0, T0, 0, None, 1_000),
+            AdmissionDecision::Admitted {
+                effective_budget: Some(30)
+            }
+        );
+        // Pre-arrival idleness banked nothing: the bucket was initialized
+        // full at tick 1000, not overfull.
+        assert_eq!(st.rate_tokens_remaining(T0), Some(70));
+        // Quota exhaustion still wins over a healthy bucket.
+        assert_eq!(
+            st.decide_scheduled(1, T0, 0, Some(1), 1_001),
+            AdmissionDecision::QuotaExhausted
+        );
+    }
+
+    #[test]
+    fn unlimited_rate_policy_changes_nothing() {
+        let run = |rate: RateLimitPolicy| {
+            let mut st =
+                AdmissionState::with_rate_limits(2, tight(), QuotaPolicy::uniform(200), rate, 99);
+            (0..128u64)
+                .map(|id| {
+                    st.decide_scheduled(id, TenantId(id % 3), (id % 2) as usize, Some(50), id)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            run(RateLimitPolicy::unlimited()),
+            run(RateLimitPolicy::default())
+        );
+        // And a bucket too large to bind is also invisible.
+        let huge = RateLimitPolicy::uniform(RateLimit {
+            capacity: u64::MAX,
+            refill_interval_ticks: 1,
+        });
+        assert_eq!(run(RateLimitPolicy::unlimited()), run(huge));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod router;
 pub mod scheduler;
 pub mod service;
 
-pub use admission::{AdmissionConfig, AdmissionDecision, QuotaPolicy};
+pub use admission::{AdmissionConfig, AdmissionDecision, QuotaPolicy, RateLimit, RateLimitPolicy};
 pub use router::{GraphKey, ShardRouter, TenantId};
 pub use scheduler::{SchedulePolicy, SchedulingCounters};
 pub use service::{

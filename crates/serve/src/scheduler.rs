@@ -40,7 +40,8 @@ use labelcount_core::{
     EstimateError, Priority, ProgressSnapshot, QueryOutcome, QuerySpec, Schedule, WorkloadProgress,
 };
 use labelcount_osn::{
-    AdversarialOsn, CachedOsn, ChurnOsn, FaultConfig, GraphOsn, OsnApi, OsnBackend, RetryPolicy,
+    AdversarialOsn, CacheConfig, CachedOsn, ChurnOsn, FaultConfig, GraphOsn, OsnApi, OsnBackend,
+    ResilienceConfig, RetryPolicy,
 };
 use labelcount_stats::{replication_seed, RunningStats};
 use rand::rngs::StdRng;
@@ -265,6 +266,9 @@ struct TaskState {
     transient_errors: u64,
     latency_ticks: u64,
     budget_exhausted: bool,
+    bursts: u64,
+    breaker_opens: u64,
+    stale_served: u64,
     finished: Option<TaskStatus>,
 }
 
@@ -282,6 +286,9 @@ impl TaskState {
             transient_errors: 0,
             latency_ticks: 0,
             budget_exhausted: false,
+            bursts: 0,
+            breaker_opens: 0,
+            stale_served: 0,
             finished: None,
         }
     }
@@ -401,8 +408,22 @@ fn run_graph_loop<B: OsnBackend>(
                 seed: replication_seed(replication_seed(fault_base, t.spec.id), t.next_rep),
                 ..workload.faults
             };
-            let backend = AdversarialOsn::new(shared, fault_cfg, workload.retry);
-            let cache = CachedOsn::new(backend);
+            let backend = AdversarialOsn::with_resilience(
+                shared,
+                fault_cfg,
+                workload.retry,
+                workload.resilience,
+            );
+            // The burst process and breaker run on the loop's virtual
+            // clock, not each slice's private tick 0: a burst raging at
+            // tick 10_000 must hit the slice that runs there.
+            backend.set_clock_base(clock);
+            let cache = CachedOsn::with_config(
+                backend,
+                CacheConfig::builder()
+                    .serve_stale(workload.resilience.serve_stale)
+                    .build(),
+            );
             let session = cache.session();
             if let Some(b) = t.spec.hard_budget {
                 session.set_budget(b);
@@ -427,12 +448,16 @@ fn run_graph_loop<B: OsnBackend>(
             let calls_out = session.budget_remaining() == Some(0);
             t.logical_calls += session.api_calls();
             t.retry_charges += session.retry_charges();
+            let stale_served = session.stale_served();
             drop(session);
             let faults = cache.backend().fault_stats();
             t.backend_attempts += faults.attempts;
             t.rate_limited += faults.rate_limited;
             t.transient_errors += faults.transient_errors;
             t.latency_ticks += slice_ticks;
+            t.bursts += faults.bursts;
+            t.breaker_opens += faults.breaker_opens;
+            t.stale_served += stale_served;
 
             match estimate {
                 Ok(e) => {
@@ -515,6 +540,9 @@ fn run_graph_loop<B: OsnBackend>(
                 transient_errors: t.transient_errors,
                 latency_ticks: t.latency_ticks,
                 budget_exhausted: t.budget_exhausted,
+                bursts: t.bursts,
+                breaker_opens: t.breaker_opens,
+                stale_served: t.stale_served,
             }));
         }
     }
@@ -551,6 +579,7 @@ fn run_graph_loop<B: OsnBackend>(
 struct WorkloadKnobs {
     faults: FaultConfig,
     retry: RetryPolicy,
+    resilience: ResilienceConfig,
     run_config: labelcount_core::RunConfig,
 }
 
@@ -598,10 +627,11 @@ impl<'g> ShardedService<'g> {
         // Phase 1 — virtual-time admission, serially in ascending
         // (arrival_tick, id) order against the modelled per-graph queues.
         let order = workload.scheduled_arrival_order();
-        let mut admission = AdmissionState::new(
+        let mut admission = AdmissionState::with_rate_limits(
             self.graphs.len(),
             workload.admission,
             workload.quotas.clone(),
+            workload.rate_limits.clone(),
             workload.seed,
         );
         enum Decided {
@@ -634,11 +664,13 @@ impl<'g> ShardedService<'g> {
             run_config,
             faults,
             retry,
+            resilience,
             ..
         } = workload;
         let knobs = WorkloadKnobs {
             faults,
             retry,
+            resilience,
             run_config,
         };
         let mut graph_tasks: Vec<Vec<QuerySpec>> =
@@ -765,6 +797,7 @@ impl<'g> ShardedService<'g> {
         let mut admitted = 0u64;
         let mut shed = 0u64;
         let mut quota_exhausted = 0u64;
+        let mut quota_throttled = 0u64;
         let mut per_tenant: Vec<(TenantId, u64)> = Vec::new();
         let mut summary = RunningStats::new();
         for p in pending {
@@ -818,6 +851,15 @@ impl<'g> ShardedService<'g> {
                         anytime: anytime(gi),
                     }
                 }
+                Decided::Known(gi, AdmissionDecision::Throttled) => {
+                    quota_throttled += 1;
+                    if !per_tenant.iter().any(|(t, _)| *t == p.tenant) {
+                        per_tenant.push((p.tenant, 0));
+                    }
+                    ServiceStatus::Throttled {
+                        anytime: anytime(gi),
+                    }
+                }
             };
             outcomes.push(ServiceOutcome {
                 id: p.id,
@@ -843,6 +885,7 @@ impl<'g> ShardedService<'g> {
                 admitted,
                 shed,
                 quota_exhausted,
+                quota_throttled,
                 tenant_fairness,
             },
             scheduling: Some(merged.finish()),

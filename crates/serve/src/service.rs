@@ -27,14 +27,16 @@ use labelcount_core::{
     WorkloadReport,
 };
 use labelcount_graph::{LabeledGraph, TargetLabel};
-use labelcount_osn::{CacheConfig, ChurnOsn, FaultConfig, PagedGraphOsn, RetryPolicy};
+use labelcount_osn::{
+    CacheConfig, ChurnOsn, FaultConfig, PagedGraphOsn, ResilienceConfig, RetryPolicy,
+};
 use labelcount_stats::{replication_seed, RunningStats};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::admission::{
-    unit_hash, AdmissionConfig, AdmissionDecision, AdmissionState, QuotaPolicy,
+    unit_hash, AdmissionConfig, AdmissionDecision, AdmissionState, QuotaPolicy, RateLimitPolicy,
 };
 use crate::router::{GraphKey, ShardRouter, TenantId};
 use crate::scheduler::{SchedulePolicy, SchedulingCounters};
@@ -113,6 +115,12 @@ pub struct ServiceWorkload {
     pub admission: AdmissionConfig,
     /// Per-tenant quotas on charged neighbor calls.
     pub quotas: QuotaPolicy,
+    /// Per-tenant token-bucket rate limits shared by all concurrent
+    /// queries of a tenant.
+    pub rate_limits: RateLimitPolicy,
+    /// Reactive resilience knobs (circuit breaker, retry budget, stale
+    /// serving) decorating every admitted query's stack.
+    pub resilience: ResilienceConfig,
     /// Scheduling policy for deadline-aware runs
     /// ([`ShardedService::run_scheduled`]); `None` until
     /// [`ServiceWorkloadBuilder::schedule`] stamps one.
@@ -181,6 +189,8 @@ impl ServiceWorkload {
             retry: RetryPolicy::default(),
             admission: AdmissionConfig::default(),
             quotas: QuotaPolicy::unmetered(),
+            rate_limits: RateLimitPolicy::unlimited(),
+            resilience: ResilienceConfig::default(),
             scheduling: None,
         }
     }
@@ -245,6 +255,19 @@ impl ServiceWorkloadBuilder {
         self
     }
 
+    /// Replaces the per-tenant rate-limit policy.
+    pub fn rate_limits(mut self, rate_limits: RateLimitPolicy) -> ServiceWorkloadBuilder {
+        self.inner.rate_limits = rate_limits;
+        self
+    }
+
+    /// Replaces the reactive resilience knobs (breaker, retry budget,
+    /// stale serving).
+    pub fn resilience(mut self, resilience: ResilienceConfig) -> ServiceWorkloadBuilder {
+        self.inner.resilience = resilience;
+        self
+    }
+
     /// Stamps a deadline-aware schedule onto every request (seeded
     /// interarrival gaps, priorities, and deadlines — see
     /// [`SchedulePolicy::stamp`]) and stores the policy for
@@ -278,6 +301,13 @@ pub enum ServiceStatus {
     /// Rejected because the tenant's quota cannot cover the request; the
     /// same anytime answer as for shed requests.
     QuotaExhausted {
+        /// Anytime answer from the graph's deterministic summary.
+        anytime: Option<f64>,
+    },
+    /// Rejected because the tenant's shared token bucket was empty at
+    /// arrival (transient, unlike quota exhaustion); the same anytime
+    /// answer as for shed requests.
+    Throttled {
         /// Anytime answer from the graph's deterministic summary.
         anytime: Option<f64>,
     },
@@ -332,6 +362,8 @@ pub struct ServingCounters {
     pub shed: u64,
     /// Requests rejected on tenant quota.
     pub quota_exhausted: u64,
+    /// Requests rejected on an empty tenant token bucket.
+    pub quota_throttled: u64,
     /// Per-tenant fairness: max admitted over min admitted (floored at 1)
     /// across tenants with at least one submission; `1.0` when no tenant
     /// submitted anything.
@@ -651,10 +683,11 @@ impl<'g> ShardedService<'g> {
         // against one modelled queue per registered graph. Placement-
         // independent: the shard only decides where admitted work runs.
         let order = workload.arrival_order();
-        let mut admission = AdmissionState::new(
+        let mut admission = AdmissionState::with_rate_limits(
             self.graphs.len(),
             workload.admission,
             workload.quotas.clone(),
+            workload.rate_limits.clone(),
             workload.seed,
         );
         enum Decided {
@@ -684,6 +717,7 @@ impl<'g> ShardedService<'g> {
             run_config,
             faults,
             retry,
+            resilience,
             ..
         } = workload;
         let mut graph_queries: Vec<Vec<QuerySpec>> =
@@ -731,6 +765,7 @@ impl<'g> ShardedService<'g> {
                 run_config,
                 faults,
                 retry,
+                resilience,
             })
             .collect();
 
@@ -775,6 +810,7 @@ impl<'g> ShardedService<'g> {
         let mut admitted = 0u64;
         let mut shed = 0u64;
         let mut quota_exhausted = 0u64;
+        let mut quota_throttled = 0u64;
         let mut per_tenant: Vec<(TenantId, u64)> = Vec::new();
         let mut summary = RunningStats::new();
         for p in pending {
@@ -818,6 +854,15 @@ impl<'g> ShardedService<'g> {
                         anytime: anytime(gi),
                     }
                 }
+                Decided::Known(gi, AdmissionDecision::Throttled) => {
+                    quota_throttled += 1;
+                    if !per_tenant.iter().any(|(t, _)| *t == p.tenant) {
+                        per_tenant.push((p.tenant, 0));
+                    }
+                    ServiceStatus::Throttled {
+                        anytime: anytime(gi),
+                    }
+                }
             };
             outcomes.push(ServiceOutcome {
                 id: p.id,
@@ -843,6 +888,7 @@ impl<'g> ShardedService<'g> {
                 admitted,
                 shed,
                 quota_exhausted,
+                quota_throttled,
                 tenant_fairness,
             },
             scheduling: None,

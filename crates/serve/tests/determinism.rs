@@ -10,10 +10,12 @@ use labelcount_graph::churn::{ChurnConfig, ChurnSchedule, ChurnStats, MutableGra
 use labelcount_graph::gen::barabasi_albert;
 use labelcount_graph::labels::{assign_binary_labels, with_labels};
 use labelcount_graph::{LabeledGraph, TargetLabel};
-use labelcount_osn::{CacheConfig, ChurnOsn, FaultConfig, RetryPolicy};
+use labelcount_osn::{
+    BreakerConfig, BurstConfig, CacheConfig, ChurnOsn, FaultConfig, ResilienceConfig, RetryPolicy,
+};
 use labelcount_serve::{
-    AdmissionConfig, GraphKey, QuotaPolicy, SchedulePolicy, ServiceReport, ServiceStatus,
-    ServiceWorkload, ShardRouter, ShardedService,
+    AdmissionConfig, GraphKey, QuotaPolicy, RateLimit, RateLimitPolicy, SchedulePolicy,
+    ServiceReport, ServiceStatus, ServiceWorkload, ShardRouter, ShardedService,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -106,6 +108,17 @@ fn assert_reports_identical(a: &ServiceReport, b: &ServiceReport, ctx: &str) {
                     "{ctx}: request {}",
                     x.id
                 );
+                assert_eq!(p.bursts, q.bursts, "{ctx}: request {} bursts", x.id);
+                assert_eq!(
+                    p.breaker_opens, q.breaker_opens,
+                    "{ctx}: request {} breaker opens",
+                    x.id
+                );
+                assert_eq!(
+                    p.stale_served, q.stale_served,
+                    "{ctx}: request {} stale served",
+                    x.id
+                );
             }
             (
                 ServiceStatus::Shed {
@@ -128,6 +141,17 @@ fn assert_reports_identical(a: &ServiceReport, b: &ServiceReport, ctx: &str) {
             (
                 ServiceStatus::QuotaExhausted { anytime: ap },
                 ServiceStatus::QuotaExhausted { anytime: aq },
+            ) => {
+                assert_eq!(
+                    ap.map(f64::to_bits),
+                    aq.map(f64::to_bits),
+                    "{ctx}: request {} anytime bits",
+                    x.id
+                );
+            }
+            (
+                ServiceStatus::Throttled { anytime: ap },
+                ServiceStatus::Throttled { anytime: aq },
             ) => {
                 assert_eq!(
                     ap.map(f64::to_bits),
@@ -180,6 +204,10 @@ fn assert_reports_identical(a: &ServiceReport, b: &ServiceReport, ctx: &str) {
     assert_eq!(a.serving.shed, b.serving.shed, "{ctx}");
     assert_eq!(
         a.serving.quota_exhausted, b.serving.quota_exhausted,
+        "{ctx}"
+    );
+    assert_eq!(
+        a.serving.quota_throttled, b.serving.quota_throttled,
         "{ctx}"
     );
     assert_eq!(
@@ -729,6 +757,91 @@ fn churn_batch_on_a_slice_boundary_lands_before_the_slice() {
         observed(&got),
         "the boundary batch left the slice's reads untouched"
     );
+}
+
+#[test]
+fn shared_rate_limit_throttles_concurrent_tenant_queries() {
+    let g = fixture(21);
+    let gks = graph_keys(1);
+    let mut svc = ShardedService::new(1, 9);
+    svc.register(gks[0], &g);
+    // All arrivals share tick 0 on the unscheduled path, so the bucket
+    // never refills: each tenant's queries drain one shared bucket until
+    // it runs dry and the rest are throttled.
+    let wl = ServiceWorkload::mixed_multi_tenant(12, &gks, 3, 0.3, target(), 40, 23, cfg())
+        .builder()
+        .rate_limits(RateLimitPolicy::uniform(RateLimit {
+            capacity: 500,
+            refill_interval_ticks: 1_000_000,
+        }))
+        .build();
+    let report = svc.run(wl, 2);
+    assert!(report.serving.quota_throttled > 0, "bucket never ran dry");
+    assert!(report.serving.admitted > 0, "nothing admitted");
+    assert_eq!(report.serving.shed, 0);
+    assert_eq!(
+        report.serving.admitted + report.serving.quota_throttled,
+        report.serving.submitted
+    );
+    // Throttling is transient back-pressure, not a quota violation.
+    assert_eq!(report.serving.quota_exhausted, 0);
+    for o in &report.outcomes {
+        if let ServiceStatus::Throttled { anytime } = &o.status {
+            assert!(anytime.expect("anytime answer available").is_finite());
+        }
+    }
+}
+
+#[test]
+fn burst_resilience_report_is_bit_identical_and_observes_bursts() {
+    let g0 = fixture(24);
+    let g1 = fixture(25);
+    let graphs = [&g0, &g1];
+    let gks = graph_keys(2);
+    let resilience = ResilienceConfig {
+        breaker: Some(BreakerConfig::default()),
+        retry_budget: Some(64),
+        serve_stale: true,
+    };
+    let run = |shards: usize, workers: usize| -> ServiceReport {
+        let mut svc = ShardedService::new(shards, 55);
+        for (i, &k) in gks.iter().enumerate() {
+            svc.register(k, graphs[i]);
+        }
+        let wl = ServiceWorkload::mixed_multi_tenant(16, &gks, 3, 0.5, target(), 40, 29, cfg())
+            .builder()
+            .faults(
+                FaultConfig {
+                    base_latency_ticks: 1,
+                    latency_jitter_ticks: 3,
+                    ..FaultConfig::clean(29)
+                }
+                .with_burst(BurstConfig::short()),
+                RetryPolicy::default(),
+            )
+            .schedule(SchedulePolicy::default().with_interarrival(6))
+            .resilience(resilience)
+            .build();
+        svc.run_scheduled(wl, workers)
+    };
+    let baseline = run(1, 1);
+    let total_bursts: u64 = baseline
+        .outcomes
+        .iter()
+        .filter_map(|o| match &o.status {
+            ServiceStatus::Completed(q) => Some(q.bursts),
+            _ => None,
+        })
+        .sum();
+    assert!(total_bursts > 0, "no query ever saw a burst window");
+    for (shards, workers) in [(2usize, 1usize), (2, 4)] {
+        let r = run(shards, workers);
+        assert_reports_identical(
+            &baseline,
+            &r,
+            &format!("burst shards={shards} workers={workers}"),
+        );
+    }
 }
 
 proptest! {
